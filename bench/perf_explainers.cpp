@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical pieces:
+// feature extraction, EM model inference, perturbation sampling, surrogate
+// fitting, and full explanations per technique and per dataset domain.
+
+#include <benchmark/benchmark.h>
+
+#include "core/landmark_explanation.h"
+#include "core/sampling.h"
+#include "core/surrogate.h"
+#include "datagen/magellan.h"
+
+namespace landmark {
+namespace {
+
+/// Lazily-built shared fixture: a mid-sized product dataset and its model.
+struct PerfContext {
+  EmDataset dataset;
+  std::unique_ptr<LogRegEmModel> model;
+};
+
+const PerfContext& GetContext() {
+  static const PerfContext& context = *[] {
+    auto* ctx = new PerfContext();
+    MagellanGenOptions gen;
+    gen.size_scale = 0.25;
+    ctx->dataset = GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen)
+                       .ValueOrDie();
+    ctx->model =
+        std::move(LogRegEmModel::Train(ctx->dataset)).ValueOrDie();
+    return ctx;
+  }();
+  return context;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  const FeatureExtractor& fx = ctx.model->feature_extractor();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(ctx.dataset.pair(i)));
+    i = (i + 1) % ctx.dataset.size();
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_ModelPredict(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.model->PredictProba(ctx.dataset.pair(i)));
+    i = (i + 1) % ctx.dataset.size();
+  }
+}
+BENCHMARK(BM_ModelPredict);
+
+void BM_MaskSampling(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamplePerturbationMasks(dim, 384, rng));
+  }
+}
+BENCHMARK(BM_MaskSampling)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_SurrogateFit(benchmark::State& state) {
+  Rng rng(2);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  auto masks = SamplePerturbationMasks(dim, 384, rng);
+  std::vector<double> targets, weights;
+  for (const auto& mask : masks) {
+    targets.push_back(ActiveFraction(mask));
+    weights.push_back(KernelWeight(mask, 0.25));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitSurrogate(masks, targets, weights, {}));
+  }
+}
+BENCHMARK(BM_SurrogateFit)->Arg(10)->Arg(40)->Arg(160);
+
+template <typename ExplainerT, GenerationStrategy kStrategy>
+void BM_LandmarkExplain(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  ExplainerOptions options;
+  options.num_samples = static_cast<size_t>(state.range(0));
+  ExplainerT explainer(kStrategy, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = explainer.Explain(*ctx.model, ctx.dataset.pair(i));
+    benchmark::DoNotOptimize(result);
+    i = (i + 1) % ctx.dataset.size();
+  }
+}
+BENCHMARK(BM_LandmarkExplain<LandmarkExplainer, GenerationStrategy::kSingle>)
+    ->Arg(128)
+    ->Arg(384)
+    ->Name("BM_ExplainLandmarkSingle");
+BENCHMARK(BM_LandmarkExplain<LandmarkExplainer, GenerationStrategy::kDouble>)
+    ->Arg(128)
+    ->Arg(384)
+    ->Name("BM_ExplainLandmarkDouble");
+
+void BM_LimeExplain(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  ExplainerOptions options;
+  options.num_samples = static_cast<size_t>(state.range(0));
+  LimeExplainer explainer(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = explainer.Explain(*ctx.model, ctx.dataset.pair(i));
+    benchmark::DoNotOptimize(result);
+    i = (i + 1) % ctx.dataset.size();
+  }
+}
+BENCHMARK(BM_LimeExplain)->Arg(128)->Arg(384);
+
+void BM_MojitoCopyExplain(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  ExplainerOptions options;
+  options.num_samples = static_cast<size_t>(state.range(0));
+  MojitoCopyExplainer explainer(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = explainer.Explain(*ctx.model, ctx.dataset.pair(i));
+    benchmark::DoNotOptimize(result);
+    i = (i + 1) % ctx.dataset.size();
+  }
+}
+BENCHMARK(BM_MojitoCopyExplain)->Arg(128)->Arg(384);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-AG");
+  MagellanGenOptions gen;
+  gen.size_scale = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateMagellanDataset(spec, gen));
+  }
+}
+BENCHMARK(BM_DatasetGeneration);
+
+}  // namespace
+}  // namespace landmark
+
+BENCHMARK_MAIN();

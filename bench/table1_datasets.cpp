@@ -1,0 +1,56 @@
+// Regenerates the paper's Table 1: the Magellan benchmark datasets with
+// their sizes and match percentages, plus (as a sanity column) the held-out
+// F1 of the logistic-regression EM model trained on each.
+//
+// Run:  ./table1_datasets [--scale F] [--datasets S-BR,S-IA] [--skip-model]
+
+#include <iostream>
+
+#include "datagen/magellan.h"
+#include "em/logreg_em_model.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace landmark;  // NOLINT
+  auto flags_result = Flags::Parse(argc, argv);
+  if (!flags_result.ok()) {
+    std::cerr << flags_result.status().ToString() << "\n";
+    return 1;
+  }
+  const Flags& flags = *flags_result;
+  const double scale = flags.GetDouble("scale", 1.0);
+  const bool skip_model = flags.GetBool("skip-model", false);
+
+  std::cout << "Table 1: Magellan Benchmark (synthetic reproduction)\n";
+  std::cout << "paper columns: Size, %Match; extra column: model F1\n\n";
+
+  TablePrinter table({"", "Type", "Dataset", "Size", "% Match", "Model F1"});
+  for (const MagellanDatasetSpec& spec : SelectSpecs(flags)) {
+    MagellanGenOptions gen;
+    gen.size_scale = scale;
+    auto dataset = GenerateMagellanDataset(spec, gen);
+    if (!dataset.ok()) {
+      std::cerr << spec.code << ": " << dataset.status().ToString() << "\n";
+      return 1;
+    }
+    EmDatasetStats stats = dataset->Stats();
+
+    std::string f1 = "-";
+    if (!skip_model) {
+      auto model = LogRegEmModel::Train(*dataset);
+      if (!model.ok()) {
+        std::cerr << spec.code << ": " << model.status().ToString() << "\n";
+        return 1;
+      }
+      f1 = FormatDouble((*model)->report().f1, 3);
+    }
+    table.AddRow({spec.code, spec.type, spec.source_name,
+                  std::to_string(stats.size),
+                  FormatDouble(stats.match_percent, 2), f1});
+  }
+  table.Print(std::cout);
+  return 0;
+}

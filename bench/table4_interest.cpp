@@ -1,0 +1,96 @@
+// Regenerates the paper's Table 4 (interest of the explanations): the
+// fraction of records whose predicted class flips when the decision tokens
+// are removed — positive-weight tokens for matching records, negative-weight
+// tokens for non-matching records.
+//
+// Run:  ./table4_interest [--records N] [--samples N] [--scale F]
+//                         [--datasets S-BR,...] [--threshold F]
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace landmark;  // NOLINT
+
+int RunTable4(const Flags& flags) {
+  ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  std::vector<MagellanDatasetSpec> specs = SelectSpecs(flags);
+
+  struct Row {
+    std::string code;
+    double interest[4] = {0, 0, 0, 0};  // Single, Double, LIME, Copy
+  };
+  std::vector<Row> match_rows, non_match_rows;
+
+  Timer total;
+  for (const MagellanDatasetSpec& spec : specs) {
+    auto context = ExperimentContext::Create(spec, config);
+    if (!context.ok()) {
+      std::cerr << spec.code << ": " << context.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<Technique> techniques =
+        MakeTechniques(config.explainer_options);
+
+    for (MatchLabel label : {MatchLabel::kMatch, MatchLabel::kNonMatch}) {
+      Row row;
+      row.code = spec.code;
+      for (size_t t = 0; t < techniques.size(); ++t) {
+        if (techniques[t].non_match_only && label == MatchLabel::kMatch) {
+          continue;
+        }
+        ExplainBatchResult batch =
+            ExplainRecords(context->model(), *techniques[t].explainer,
+                           context->dataset(), context->sample(label));
+        auto eval = EvaluateInterest(context->model(),
+                                     *techniques[t].explainer,
+                                     context->dataset(), batch.records, label,
+                                     config.interest);
+        if (!eval.ok()) {
+          std::cerr << spec.code << "/" << techniques[t].label << ": "
+                    << eval.status().ToString() << "\n";
+          return 1;
+        }
+        row.interest[t] = eval->interest;
+      }
+      (label == MatchLabel::kMatch ? match_rows : non_match_rows)
+          .push_back(row);
+    }
+    std::cerr << "[table4] " << spec.code << " done ("
+              << FormatDouble(total.ElapsedSeconds(), 1) << "s elapsed)\n";
+  }
+
+  std::cout << "Table 4(a): interest of the explanations, matching label\n";
+  TablePrinter ta({"", "Single", "Double", "LIME"});
+  for (const auto& r : match_rows) {
+    ta.AddRow(r.code, {r.interest[0], r.interest[1], r.interest[2]});
+  }
+  ta.Print(std::cout);
+
+  std::cout << "\nTable 4(b): interest of the explanations, non-matching "
+               "label\n";
+  TablePrinter tb({"", "Single", "Double", "LIME", "Mojito Copy"});
+  for (const auto& r : non_match_rows) {
+    tb.AddRow(r.code,
+              {r.interest[0], r.interest[1], r.interest[2], r.interest[3]});
+  }
+  tb.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = landmark::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return 1;
+  }
+  return RunTable4(*flags);
+}

@@ -1,0 +1,103 @@
+// The paper's motivating use case: use explanations "to debug erroneous
+// behaviors and diagnose unexpected results" (§1). This example trains the
+// EM model on a benchmark dataset, hunts for its worst mistakes on held-out
+// style records (false positives and false negatives), and explains each one
+// from both landmark perspectives so a practitioner can see *which tokens*
+// misled the model.
+//
+// Run:  ./debug_model_errors [--dataset S-WA] [--errors 3]
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/landmark_explanation.h"
+#include "datagen/magellan.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace landmark;  // NOLINT: example code
+
+int Run(const Flags& flags) {
+  const std::string code = flags.GetString("dataset", "S-WA");
+  const size_t max_errors =
+      static_cast<size_t>(flags.GetInt("errors", 3));
+
+  MagellanDatasetSpec spec = FindMagellanSpec(code).ValueOrDie();
+  MagellanGenOptions gen;
+  gen.size_scale = flags.GetDouble("scale", 0.5);
+  EmDataset dataset = GenerateMagellanDataset(spec, gen).ValueOrDie();
+  auto model = LogRegEmModel::Train(dataset).ValueOrDie();
+  std::cout << "dataset " << code << ", model F1 = "
+            << FormatDouble(model->report().f1, 3) << "\n\n";
+
+  // Rank records by how wrong the model is: |p - label|.
+  struct Mistake {
+    size_t index;
+    double probability;
+  };
+  std::vector<Mistake> false_positives, false_negatives;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const PairRecord& pair = dataset.pair(i);
+    const double p = model->PredictProba(pair);
+    if (!pair.is_match() && p >= 0.5) false_positives.push_back({i, p});
+    if (pair.is_match() && p < 0.5) false_negatives.push_back({i, p});
+  }
+  std::sort(false_positives.begin(), false_positives.end(),
+            [](const Mistake& a, const Mistake& b) {
+              return a.probability > b.probability;
+            });
+  std::sort(false_negatives.begin(), false_negatives.end(),
+            [](const Mistake& a, const Mistake& b) {
+              return a.probability < b.probability;
+            });
+  std::cout << false_positives.size() << " false positives, "
+            << false_negatives.size() << " false negatives\n\n";
+
+  LandmarkExplainer explainer(GenerationStrategy::kAuto);
+  const Schema& schema = *dataset.entity_schema();
+
+  auto explain_mistakes = [&](const char* title,
+                              const std::vector<Mistake>& mistakes) {
+    std::cout << "==== " << title << " ====\n";
+    for (size_t k = 0; k < std::min(max_errors, mistakes.size()); ++k) {
+      const PairRecord& pair = dataset.pair(mistakes[k].index);
+      std::cout << pair.ToString() << "\n  model p = "
+                << FormatDouble(mistakes[k].probability, 3) << "\n";
+      auto explanations = explainer.Explain(*model, pair);
+      if (!explanations.ok()) {
+        std::cout << "  (unexplainable: "
+                  << explanations.status().ToString() << ")\n";
+        continue;
+      }
+      for (const Explanation& exp : *explanations) {
+        std::cout << "  -- landmark=" << EntitySideName(*exp.landmark)
+                  << ", the tokens that drove the decision:\n";
+        for (size_t idx : exp.TopFeatures(4)) {
+          const TokenWeight& tw = exp.token_weights[idx];
+          std::cout << "     " << (tw.weight >= 0 ? "+" : "")
+                    << FormatDouble(tw.weight, 4) << "  "
+                    << tw.token.PrefixedName(schema) << "\n";
+        }
+      }
+      std::cout << "\n";
+    }
+  };
+  explain_mistakes("false positives (predicted match, labeled non-match)",
+                   false_positives);
+  explain_mistakes("false negatives (predicted non-match, labeled match)",
+                   false_negatives);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = landmark::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return 1;
+  }
+  return Run(*flags);
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproduces every experiment in EXPERIMENTS.md from a clean checkout.
+#
+# Usage: scripts/reproduce_all.sh [output_dir]
+#
+# Runtime on a single core is roughly 35 minutes, dominated by the four
+# paper-table benches (full Table-1 dataset sizes, 100 records per label).
+# Pass e.g. RECORDS=25 SCALE=0.25 for a ~5x faster smoke reproduction:
+#   RECORDS=25 SCALE=0.25 scripts/reproduce_all.sh out_quick
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-experiment_outputs}"
+RECORDS="${RECORDS:-100}"
+SCALE="${SCALE:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p "$OUT"
+
+ctest --test-dir build 2>&1 | tee "$OUT/tests.txt"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  "./build/bench/$name" "$@" 2>&1 | tee "$OUT/$name.txt"
+}
+
+run table1_datasets --scale "$SCALE"
+run table2_token_eval --records "$RECORDS" --scale "$SCALE"
+run table3_attribute_eval --records "$RECORDS" --scale "$SCALE"
+run table4_interest --records "$RECORDS" --scale "$SCALE"
+run ablation_sweeps --scale "$SCALE"
+run model_zoo_faithfulness
+run stability_sweep
+run perf_explainers
+
+echo "all outputs written to $OUT/"

@@ -1,0 +1,129 @@
+#include "core/anchor_explainer.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace landmark {
+
+std::string AnchorRule::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "IF {";
+  for (size_t i = 0; i < anchor_tokens.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << anchor_tokens[i].PrefixedName(schema);
+  }
+  os << "} present THEN " << (predicts_match ? "match" : "non-match")
+     << " (precision " << precision << ")";
+  return os.str();
+}
+
+double AnchorExplainer::EstimatePrecision(
+    const EmModel& model, const PairRecord& pair,
+    const std::vector<Token>& tokens, EntitySide varying_side,
+    const std::vector<size_t>& anchor, bool target_class, Rng& rng) const {
+  std::vector<uint8_t> in_anchor(tokens.size(), 0);
+  for (size_t idx : anchor) in_anchor[idx] = 1;
+
+  size_t agree = 0;
+  for (size_t s = 0; s < options_.samples_per_candidate; ++s) {
+    // Anchor tokens are always kept; every other token survives with
+    // probability 1/2 (uniform over the conditioned perturbation space).
+    std::vector<uint8_t> active(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      active[i] = in_anchor[i] ? 1 : (rng.NextBernoulli(0.5) ? 1 : 0);
+    }
+    PairRecord rec = pair;
+    rec.entity(varying_side) = ReconstructEntity(
+        pair.entity(varying_side).schema(), tokens, active, varying_side);
+    const bool predicted_match =
+        model.PredictProba(rec) >= options_.decision_threshold;
+    agree += predicted_match == target_class;
+  }
+  return static_cast<double>(agree) /
+         static_cast<double>(options_.samples_per_candidate);
+}
+
+Result<AnchorRule> AnchorExplainer::FindAnchor(const EmModel& model,
+                                               const PairRecord& pair,
+                                               EntitySide landmark_side) const {
+  const EntitySide varying_side = OppositeSide(landmark_side);
+  std::vector<Token> tokens =
+      TokenizeEntity(pair.entity(varying_side), varying_side);
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "varying entity has no tokens to anchor on");
+  }
+
+  const bool target_class =
+      model.PredictProba(pair) >= options_.decision_threshold;
+  Rng rng(options_.seed ^
+          (static_cast<uint64_t>(pair.id + 1) * 0x9e3779b97f4a7c15ULL) ^
+          (landmark_side == EntitySide::kRight ? 0xabcdef1234567ULL : 0));
+
+  struct Candidate {
+    std::vector<size_t> anchor;
+    double precision;
+  };
+  // Start from the empty anchor (pure random perturbation).
+  std::vector<Candidate> beam = {
+      {{}, EstimatePrecision(model, pair, tokens, varying_side, {},
+                             target_class, rng)}};
+  Candidate best = beam[0];
+
+  const size_t max_size =
+      std::min(options_.max_anchor_size, tokens.size());
+  for (size_t size = 1; size <= max_size; ++size) {
+    std::vector<Candidate> expansions;
+    for (const Candidate& candidate : beam) {
+      std::set<size_t> used(candidate.anchor.begin(), candidate.anchor.end());
+      for (size_t f = 0; f < tokens.size(); ++f) {
+        if (used.count(f)) continue;
+        std::vector<size_t> next = candidate.anchor;
+        next.push_back(f);
+        const double precision = EstimatePrecision(
+            model, pair, tokens, varying_side, next, target_class, rng);
+        expansions.push_back({std::move(next), precision});
+      }
+    }
+    if (expansions.empty()) break;
+    std::sort(expansions.begin(), expansions.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.precision != b.precision) return a.precision > b.precision;
+                return a.anchor < b.anchor;
+              });
+    if (expansions.size() > options_.beam_width) {
+      expansions.resize(options_.beam_width);
+    }
+    beam = std::move(expansions);
+    if (beam[0].precision > best.precision ||
+        (beam[0].precision == best.precision &&
+         beam[0].anchor.size() < best.anchor.size())) {
+      best = beam[0];
+    }
+    if (best.precision >= options_.target_precision) break;
+  }
+
+  AnchorRule rule;
+  rule.anchor_features = best.anchor;
+  std::sort(rule.anchor_features.begin(), rule.anchor_features.end());
+  for (size_t idx : rule.anchor_features) {
+    rule.anchor_tokens.push_back(tokens[idx]);
+  }
+  rule.predicts_match = target_class;
+  rule.precision = best.precision;
+  return rule;
+}
+
+Result<std::vector<AnchorRule>> AnchorExplainer::Explain(
+    const EmModel& model, const PairRecord& pair) const {
+  std::vector<AnchorRule> rules;
+  for (EntitySide landmark_side : {EntitySide::kLeft, EntitySide::kRight}) {
+    LANDMARK_ASSIGN_OR_RETURN(AnchorRule rule,
+                              FindAnchor(model, pair, landmark_side));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace landmark

@@ -1,0 +1,82 @@
+#ifndef LANDMARK_CORE_ANCHOR_EXPLAINER_H_
+#define LANDMARK_CORE_ANCHOR_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+#include "core/token_space.h"
+#include "data/pair_record.h"
+#include "em/em_model.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief An if-then rule explaining one prediction: "IF these tokens of the
+/// varying entity are present THEN the model predicts <class> with
+/// `precision`" (Ribeiro et al. 2018, the Anchors system the paper's related
+/// work cites as an alternative explanation family).
+struct AnchorRule {
+  /// Indices into the token space used during the search.
+  std::vector<size_t> anchor_features;
+  /// The tokens themselves (copied for self-contained reporting).
+  std::vector<Token> anchor_tokens;
+  /// Predicted class being anchored (the model's class on the record).
+  bool predicts_match = false;
+  /// Estimated P(model class unchanged | anchor tokens kept, rest random).
+  double precision = 0.0;
+  /// Fraction of sampled perturbations to which the rule applies (here:
+  /// always 1 — anchors condition on kept tokens — reported for parity).
+  double coverage = 1.0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Options for AnchorExplainer.
+struct AnchorOptions {
+  /// Target precision to stop growing the anchor.
+  double target_precision = 0.95;
+  /// Perturbation samples drawn per candidate evaluation.
+  size_t samples_per_candidate = 64;
+  /// Beam width of the greedy search (1 = pure greedy).
+  size_t beam_width = 2;
+  /// Hard cap on anchor length.
+  size_t max_anchor_size = 5;
+  double decision_threshold = 0.5;
+  uint64_t seed = 42;
+};
+
+/// \brief Landmark-style Anchors: beam-searches for a small set of varying-
+/// entity tokens whose presence alone keeps the model's prediction stable
+/// while every other token of the varying entity is randomly dropped. The
+/// landmark entity stays frozen, exactly as in LandmarkExplainer — this
+/// shows the landmark idea composing with a *rule-based* generic explainer,
+/// not only with linear-surrogate ones.
+class AnchorExplainer {
+ public:
+  explicit AnchorExplainer(AnchorOptions options = {}) : options_(options) {}
+
+  /// Finds an anchor rule for the given landmark side.
+  Result<AnchorRule> FindAnchor(const EmModel& model, const PairRecord& pair,
+                                EntitySide landmark_side) const;
+
+  /// Anchors from both landmark perspectives.
+  Result<std::vector<AnchorRule>> Explain(const EmModel& model,
+                                          const PairRecord& pair) const;
+
+  const AnchorOptions& options() const { return options_; }
+
+ private:
+  /// Estimated precision of a candidate anchor (subset of token indices).
+  double EstimatePrecision(const EmModel& model, const PairRecord& pair,
+                           const std::vector<Token>& tokens,
+                           EntitySide varying_side,
+                           const std::vector<size_t>& anchor, bool target_class,
+                           Rng& rng) const;
+
+  AnchorOptions options_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_ANCHOR_EXPLAINER_H_

@@ -1,0 +1,73 @@
+#include "core/counterfactual.h"
+
+#include <algorithm>
+
+namespace landmark {
+
+Result<Counterfactual> FindCounterfactual(
+    const EmModel& model, const PairExplainer& explainer,
+    const Explanation& explanation, const PairRecord& original,
+    const CounterfactualOptions& options) {
+  if (explanation.token_weights.empty()) {
+    return Status::InvalidArgument("explanation has no features");
+  }
+
+  Counterfactual result;
+  result.probability_before = explanation.model_prediction;
+  const bool before_match =
+      result.probability_before >= options.decision_threshold;
+
+  // Candidates: features supporting the current class, strongest first.
+  std::vector<size_t> candidates = before_match
+                                       ? explanation.PositiveFeatures()
+                                       : explanation.NegativeFeatures();
+  std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+    const double wa = explanation.token_weights[a].weight;
+    const double wb = explanation.token_weights[b].weight;
+    // Descending support for the current class.
+    return before_match ? wa > wb : wa < wb;
+  });
+  if (options.max_removals > 0 && candidates.size() > options.max_removals) {
+    candidates.resize(options.max_removals);
+  }
+
+  std::vector<uint8_t> active(explanation.size(), 1);
+  double p_after = result.probability_before;
+  for (size_t idx : candidates) {
+    active[idx] = 0;
+    result.removed_features.push_back(idx);
+    LANDMARK_ASSIGN_OR_RETURN(
+        PairRecord rec, explainer.Reconstruct(explanation, original, active));
+    p_after = model.PredictProba(rec);
+    if ((p_after >= options.decision_threshold) != before_match) {
+      result.flipped = true;
+      break;
+    }
+  }
+  result.probability_after = p_after;
+  if (!result.flipped) return result;
+
+  if (options.prune && result.removed_features.size() > 1) {
+    // Backward pass: restore each removed token unless the flip needs it.
+    std::vector<size_t> pruned = result.removed_features;
+    for (size_t i = 0; i < pruned.size();) {
+      active[pruned[i]] = 1;  // tentatively restore
+      LANDMARK_ASSIGN_OR_RETURN(
+          PairRecord rec,
+          explainer.Reconstruct(explanation, original, active));
+      const double p = model.PredictProba(rec);
+      if ((p >= options.decision_threshold) != before_match) {
+        // Still flipped without it: drop from the set for good.
+        pruned.erase(pruned.begin() + static_cast<std::ptrdiff_t>(i));
+        result.probability_after = p;
+      } else {
+        active[pruned[i]] = 0;  // needed; re-remove
+        ++i;
+      }
+    }
+    result.removed_features = std::move(pruned);
+  }
+  return result;
+}
+
+}  // namespace landmark

@@ -1,0 +1,60 @@
+#ifndef LANDMARK_CORE_COUNTERFACTUAL_H_
+#define LANDMARK_CORE_COUNTERFACTUAL_H_
+
+#include <vector>
+
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "em/em_model.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief A minimal token-removal counterfactual: the smallest set of
+/// interpretable features (found greedily) whose removal flips the model's
+/// predicted class.
+struct Counterfactual {
+  /// Indices into the explanation's token space, in removal order.
+  std::vector<size_t> removed_features;
+  /// Model probability before any removal (on the all-active
+  /// representation) and after removing `removed_features`.
+  double probability_before = 0.0;
+  double probability_after = 0.0;
+  /// True when the predicted class actually flipped; false when even
+  /// removing every candidate token could not flip it (the returned set is
+  /// then the full candidate list).
+  bool flipped = false;
+};
+
+/// \brief Options for FindCounterfactual.
+struct CounterfactualOptions {
+  double decision_threshold = 0.5;
+  /// Stop after removing this many tokens (0 = no limit).
+  size_t max_removals = 0;
+  /// When true, after the greedy phase each removed token is tentatively
+  /// restored to prune removals the flip does not actually need (makes the
+  /// set minimal, not just sufficient).
+  bool prune = true;
+};
+
+/// \brief Greedy counterfactual search over an explanation's token space.
+///
+/// Extends the paper's interest evaluation (§4.3) from "remove *all*
+/// decision tokens" to "remove the *fewest* tokens that change the label":
+/// tokens are removed in descending order of the weight that supports the
+/// current class, re-querying the model after each removal; an optional
+/// pruning pass then restores tokens that were not needed.
+///
+/// The candidate set is the explanation's features whose weight supports the
+/// current predicted class (positive weights for a predicted match, negative
+/// for a predicted non-match), so the search is guided by — and therefore
+/// also a fidelity probe of — the explanation.
+Result<Counterfactual> FindCounterfactual(const EmModel& model,
+                                          const PairExplainer& explainer,
+                                          const Explanation& explanation,
+                                          const PairRecord& original,
+                                          const CounterfactualOptions& options = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_COUNTERFACTUAL_H_

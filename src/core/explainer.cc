@@ -1,0 +1,126 @@
+#include "core/explainer.h"
+
+#include "core/sampling.h"
+#include "core/surrogate.h"
+
+namespace landmark {
+
+namespace {
+
+std::vector<Token> TokensOf(const Explanation& explanation) {
+  std::vector<Token> tokens;
+  tokens.reserve(explanation.token_weights.size());
+  for (const auto& tw : explanation.token_weights) tokens.push_back(tw.token);
+  return tokens;
+}
+
+}  // namespace
+
+Rng PairExplainer::MakeRng(const PairRecord& pair) const {
+  // Mix the record id into the base seed (SplitMix-style odd constant) so
+  // every record gets an independent, reproducible stream.
+  const uint64_t mixed =
+      options_.seed ^ (static_cast<uint64_t>(pair.id + 1) * 0x9e3779b97f4a7c15ULL);
+  return Rng(mixed);
+}
+
+Result<PairRecord> PairExplainer::Reconstruct(
+    const Explanation& explanation, const PairRecord& original,
+    const std::vector<uint8_t>& active) const {
+  if (!active.empty() && active.size() != explanation.size()) {
+    return Status::InvalidArgument(
+        "Reconstruct: mask size does not match the explanation");
+  }
+  bool has_left = false;
+  bool has_right = false;
+  for (const auto& tw : explanation.token_weights) {
+    has_left |= tw.token.side == EntitySide::kLeft;
+    has_right |= tw.token.side == EntitySide::kRight;
+  }
+
+  std::vector<Token> tokens = TokensOf(explanation);
+  PairRecord out = original;
+  if (has_left) {
+    out.left = ReconstructEntity(original.left.schema(), tokens, active,
+                                 EntitySide::kLeft);
+  }
+  if (has_right) {
+    out.right = ReconstructEntity(original.right.schema(), tokens, active,
+                                  EntitySide::kRight);
+  }
+  return out;
+}
+
+void PairExplainer::SampleNeighborhood(
+    size_t dim, Rng& rng, std::vector<std::vector<uint8_t>>* masks,
+    std::vector<double>* kernel_weights) const {
+  switch (options_.neighborhood) {
+    case NeighborhoodKind::kLime:
+      *masks = SamplePerturbationMasks(dim, options_.num_samples, rng);
+      kernel_weights->clear();
+      kernel_weights->reserve(masks->size());
+      for (const auto& mask : *masks) {
+        kernel_weights->push_back(KernelWeight(mask, options_.kernel_width));
+      }
+      break;
+    case NeighborhoodKind::kShap:
+      *masks = SampleShapMasks(dim, options_.num_samples, rng);
+      kernel_weights->clear();
+      kernel_weights->reserve(masks->size());
+      for (const auto& mask : *masks) {
+        kernel_weights->push_back(ShapleyKernelWeight(mask));
+      }
+      break;
+  }
+}
+
+Result<Explanation> PairExplainer::ExplainTokenSpace(
+    const EmModel& model, const PairRecord& original,
+    std::vector<Token> tokens, const std::string& shell_name,
+    std::optional<EntitySide> landmark_side, Rng& rng) const {
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "record has no tokens to explain (all attribute values null)");
+  }
+
+  Explanation explanation;
+  explanation.explainer_name = shell_name;
+  explanation.landmark = landmark_side;
+  explanation.token_weights.reserve(tokens.size());
+  for (auto& token : tokens) {
+    explanation.token_weights.push_back(TokenWeight{std::move(token), 0.0});
+  }
+
+  // Perturbation generation + locality kernel (pluggable: LIME or SHAP).
+  std::vector<std::vector<uint8_t>> masks;
+  std::vector<double> kernel_weights;
+  SampleNeighborhood(explanation.size(), rng, &masks, &kernel_weights);
+
+  // Pair reconstruction + dataset reconstruction (model labelling).
+  std::vector<PairRecord> reconstructed;
+  reconstructed.reserve(masks.size());
+  for (const auto& mask : masks) {
+    LANDMARK_ASSIGN_OR_RETURN(PairRecord rec,
+                              Reconstruct(explanation, original, mask));
+    reconstructed.push_back(std::move(rec));
+  }
+  std::vector<double> predictions = model.PredictProbaBatch(reconstructed);
+
+  // Surrogate model creation.
+  SurrogateOptions surrogate_options;
+  surrogate_options.ridge_lambda = options_.ridge_lambda;
+  surrogate_options.max_features = options_.max_features;
+  LANDMARK_ASSIGN_OR_RETURN(
+      SurrogateFit fit,
+      FitSurrogate(masks, predictions, kernel_weights, surrogate_options));
+
+  for (size_t i = 0; i < explanation.size(); ++i) {
+    explanation.token_weights[i].weight = fit.model.coefficients[i];
+  }
+  explanation.surrogate_intercept = fit.model.intercept;
+  explanation.surrogate_r2 = fit.weighted_r2;
+  explanation.model_prediction = predictions[0];  // the all-active sample
+  return explanation;
+}
+
+}  // namespace landmark

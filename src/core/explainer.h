@@ -1,0 +1,112 @@
+#ifndef LANDMARK_CORE_EXPLAINER_H_
+#define LANDMARK_CORE_EXPLAINER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/token_space.h"
+#include "data/pair_record.h"
+#include "em/em_model.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// Which generic explanation system supplies the perturbation distribution
+/// and locality kernel (the yellow boxes of the paper's Figure 2). Landmark
+/// Explanation is agnostic to this choice — that is the paper's
+/// extensibility claim, made concrete.
+enum class NeighborhoodKind {
+  kLime,  // uniform removal counts + exponential cosine kernel
+  kShap,  // KernelSHAP size distribution + Shapley kernel
+};
+
+/// \brief Configuration shared by all perturbation-based explainers.
+struct ExplainerOptions {
+  /// The generic explainer plugged into the framework.
+  NeighborhoodKind neighborhood = NeighborhoodKind::kLime;
+  /// Number of synthetic neighbourhood samples (perturbations) per
+  /// explanation, including the unperturbed one.
+  size_t num_samples = 384;
+  /// Width of the exponential locality kernel (on cosine distance between
+  /// masks; LIME's default 25/100).
+  double kernel_width = 0.25;
+  /// Ridge strength of the surrogate linear model.
+  double ridge_lambda = 1.0;
+  /// When > 0, LIME-style "highest weights" feature selection keeps only
+  /// this many tokens in the surrogate.
+  size_t max_features = 0;
+  /// Base seed; the per-record stream also mixes in the record id, so each
+  /// record gets an independent but reproducible neighbourhood.
+  uint64_t seed = 42;
+};
+
+/// \brief Base class of all EM explainers (Figure 2 of the paper).
+///
+/// A PairExplainer turns one PairRecord plus a black-box EmModel into one or
+/// more Explanations. The shared pipeline in ExplainTokenSpace realizes the
+/// generic explanation system: Perturbation generation (mask sampling) →
+/// Pair reconstruction (virtual Reconstruct) → Dataset reconstruction
+/// (model querying) → Surrogate model creation (weighted ridge).
+/// Subclasses choose the interpretable token space — that is exactly where
+/// Landmark Explanation differs from plain LIME.
+class PairExplainer {
+ public:
+  explicit PairExplainer(ExplainerOptions options = {})
+      : options_(options) {}
+  virtual ~PairExplainer() = default;
+
+  PairExplainer(const PairExplainer&) = delete;
+  PairExplainer& operator=(const PairExplainer&) = delete;
+
+  /// Technique name used in reports ("lime", "landmark-single", ...).
+  virtual std::string name() const = 0;
+
+  /// Explains `model`'s prediction on `pair`. Landmark explainers return two
+  /// explanations (one per landmark side); LIME returns one.
+  virtual Result<std::vector<Explanation>> Explain(
+      const EmModel& model, const PairRecord& pair) const = 0;
+
+  /// \brief The Pair-reconstruction component: materializes the PairRecord
+  /// corresponding to `explanation` with only the features whose mask bit is
+  /// set (empty mask = all active).
+  ///
+  /// The default rule rebuilds each entity that owns tokens in the
+  /// explanation's space from its active tokens and leaves the other entity
+  /// exactly as in `original` (that is the landmark-preservation semantics).
+  /// The evaluation protocols use this same method, so what is measured is
+  /// what the surrogate was trained on.
+  virtual Result<PairRecord> Reconstruct(
+      const Explanation& explanation, const PairRecord& original,
+      const std::vector<uint8_t>& active) const;
+
+  const ExplainerOptions& options() const { return options_; }
+
+ protected:
+  /// Deterministic per-record RNG stream.
+  Rng MakeRng(const PairRecord& pair) const;
+
+  /// Draws the perturbation masks and their kernel weights according to
+  /// options_.neighborhood.
+  void SampleNeighborhood(size_t dim, Rng& rng,
+                          std::vector<std::vector<uint8_t>>* masks,
+                          std::vector<double>* kernel_weights) const;
+
+  /// Runs the shared pipeline over `tokens`. `shell_name` / `landmark_side`
+  /// seed the Explanation metadata; reconstruction goes through the virtual
+  /// Reconstruct so subclasses with special semantics (Mojito Copy) reuse
+  /// the pipeline unchanged.
+  Result<Explanation> ExplainTokenSpace(
+      const EmModel& model, const PairRecord& original,
+      std::vector<Token> tokens, const std::string& shell_name,
+      std::optional<EntitySide> landmark_side, Rng& rng) const;
+
+  ExplainerOptions options_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_EXPLAINER_H_

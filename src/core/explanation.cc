@@ -1,0 +1,78 @@
+#include "core/explanation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+double Explanation::SurrogatePrediction(
+    const std::vector<uint8_t>& active) const {
+  LANDMARK_CHECK(active.empty() || active.size() == token_weights.size());
+  double out = surrogate_intercept;
+  for (size_t i = 0; i < token_weights.size(); ++i) {
+    if (active.empty() || active[i]) out += token_weights[i].weight;
+  }
+  return out;
+}
+
+std::vector<size_t> Explanation::TopFeatures(size_t k) const {
+  std::vector<size_t> order(token_weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    const double wa = std::abs(token_weights[a].weight);
+    const double wb = std::abs(token_weights[b].weight);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  if (k < order.size()) order.resize(k);
+  return order;
+}
+
+std::vector<double> Explanation::AttributeWeights(
+    size_t num_attributes) const {
+  std::vector<double> weights(num_attributes, 0.0);
+  for (const auto& tw : token_weights) {
+    LANDMARK_CHECK(tw.token.attribute < num_attributes);
+    weights[tw.token.attribute] += std::abs(tw.weight);
+  }
+  return weights;
+}
+
+std::vector<size_t> Explanation::PositiveFeatures() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < token_weights.size(); ++i) {
+    if (token_weights[i].weight > 0.0) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Explanation::NegativeFeatures() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < token_weights.size(); ++i) {
+    if (token_weights[i].weight < 0.0) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Explanation::ToString(const Schema& schema, size_t top_k) const {
+  std::ostringstream os;
+  os << explainer_name;
+  if (landmark.has_value()) {
+    os << " (landmark=" << EntitySideName(*landmark) << ")";
+  }
+  os << " model_p=" << FormatDouble(model_prediction, 3)
+     << " r2=" << FormatDouble(surrogate_r2, 3) << "\n";
+  for (size_t idx : TopFeatures(top_k)) {
+    const TokenWeight& tw = token_weights[idx];
+    os << "  " << (tw.weight >= 0 ? "+" : "") << FormatDouble(tw.weight, 4)
+       << "  " << tw.token.PrefixedName(schema) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace landmark

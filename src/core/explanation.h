@@ -1,0 +1,72 @@
+#ifndef LANDMARK_CORE_EXPLANATION_H_
+#define LANDMARK_CORE_EXPLANATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/token_space.h"
+#include "data/schema.h"
+
+namespace landmark {
+
+/// \brief One interpretable feature with its learned importance.
+struct TokenWeight {
+  Token token;
+  double weight = 0.0;
+};
+
+/// \brief A local explanation of one EM model prediction: the coefficients
+/// of the surrogate linear model over the interpretable token space.
+///
+/// Positive weights are tokens that push the pair towards the *matching*
+/// class, negative weights towards non-matching ("which tokens should be
+/// added and which should be removed to create a description that is close
+/// to the reference entity", §3).
+struct Explanation {
+  /// Name of the technique that produced it ("landmark-single", "lime", ...).
+  std::string explainer_name;
+
+  /// The side kept fixed during perturbation; nullopt for explainers that
+  /// perturb both entities at once (plain LIME / Mojito Drop).
+  std::optional<EntitySide> landmark;
+
+  /// EM model probability on the all-features-active representation (for
+  /// plain LIME that is the original record; for double-entity generation it
+  /// is the augmented record).
+  double model_prediction = 0.0;
+
+  /// Surrogate intercept and weighted R² on the synthetic neighbourhood
+  /// (fidelity diagnostic).
+  double surrogate_intercept = 0.0;
+  double surrogate_r2 = 0.0;
+
+  /// One weight per interpretable feature, aligned with the explainer's
+  /// token space order.
+  std::vector<TokenWeight> token_weights;
+
+  size_t size() const { return token_weights.size(); }
+
+  /// Surrogate prediction for an active-feature mask (empty = all active):
+  /// intercept + sum of active weights.
+  double SurrogatePrediction(const std::vector<uint8_t>& active = {}) const;
+
+  /// Indices of the `k` features with the largest |weight| (all when k >=
+  /// size), most important first.
+  std::vector<size_t> TopFeatures(size_t k) const;
+
+  /// Sum of |weight| grouped by token attribute — the surrogate-side
+  /// attribute importance of the paper's attribute-based evaluation.
+  std::vector<double> AttributeWeights(size_t num_attributes) const;
+
+  /// Indices of features with weight > 0 (match evidence) / < 0.
+  std::vector<size_t> PositiveFeatures() const;
+  std::vector<size_t> NegativeFeatures() const;
+
+  /// Pretty-prints the top-k tokens with weights.
+  std::string ToString(const Schema& schema, size_t top_k = 10) const;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_EXPLANATION_H_

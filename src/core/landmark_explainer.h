@@ -1,0 +1,61 @@
+#ifndef LANDMARK_CORE_LANDMARK_EXPLAINER_H_
+#define LANDMARK_CORE_LANDMARK_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+
+namespace landmark {
+
+/// How the Landmark-generation component builds the varying entity (§3.1).
+enum class GenerationStrategy {
+  /// Single-entity generation: perturb only the varying entity's own
+  /// tokens. Most reliable on records of the matching class (Table 2a).
+  kSingle,
+  /// Double-entity generation: inject the landmark's tokens into the
+  /// varying entity (per-attribute concatenation) before perturbing. Pushes
+  /// non-matching records towards the match class, producing more reliable
+  /// and more interesting explanations on non-matches (Tables 2b / 4b).
+  kDouble,
+  /// Pick per record: kSingle when the model predicts match (p >= 0.5),
+  /// kDouble otherwise — the behaviour §3 describes for the full system.
+  kAuto,
+};
+
+/// Returns "single" / "double" / "auto".
+std::string_view GenerationStrategyName(GenerationStrategy strategy);
+
+/// \brief Landmark Explanation — the paper's contribution.
+///
+/// For each record it produces *two* explanations: one with the left entity
+/// frozen as the landmark and the right entity perturbed, and one with the
+/// roles swapped. The landmark is never perturbed, so no perturbation can
+/// be "null" (remove the same evidence from both sides), and every
+/// coefficient reads as "what this token of the varying entity contributes
+/// to (non-)matching the landmark".
+class LandmarkExplainer : public PairExplainer {
+ public:
+  explicit LandmarkExplainer(GenerationStrategy strategy,
+                             ExplainerOptions options = {})
+      : PairExplainer(options), strategy_(strategy) {}
+
+  std::string name() const override;
+  GenerationStrategy strategy() const { return strategy_; }
+
+  /// Returns two explanations: landmark = left, then landmark = right.
+  Result<std::vector<Explanation>> Explain(
+      const EmModel& model, const PairRecord& pair) const override;
+
+  /// Explains with one specific landmark side.
+  Result<Explanation> ExplainWithLandmark(const EmModel& model,
+                                          const PairRecord& pair,
+                                          EntitySide landmark_side) const;
+
+ private:
+  GenerationStrategy strategy_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_LANDMARK_EXPLAINER_H_

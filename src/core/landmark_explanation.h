@@ -1,0 +1,35 @@
+#ifndef LANDMARK_CORE_LANDMARK_EXPLANATION_H_
+#define LANDMARK_CORE_LANDMARK_EXPLANATION_H_
+
+/// \file
+/// Umbrella header for the Landmark Explanation library's public API.
+///
+/// Quickstart:
+///
+///   #include "core/landmark_explanation.h"
+///
+///   landmark::EmDataset data = ...;                 // pairs + labels
+///   auto model = landmark::LogRegEmModel::Train(data).ValueOrDie();
+///   landmark::LandmarkExplainer explainer(
+///       landmark::GenerationStrategy::kAuto);
+///   auto explanations = explainer.Explain(*model, data.pair(0)).ValueOrDie();
+///   std::cout << explanations[0].ToString(*data.entity_schema());
+
+#include "core/anchor_explainer.h"
+#include "core/counterfactual.h"
+#include "core/explainer.h"
+#include "core/explanation.h"
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "core/sampling.h"
+#include "core/summarizer.h"
+#include "core/surrogate.h"
+#include "core/token_space.h"
+#include "data/dataset_io.h"
+#include "data/em_dataset.h"
+#include "em/em_model.h"
+#include "em/heuristic_model.h"
+#include "em/logreg_em_model.h"
+
+#endif  // LANDMARK_CORE_LANDMARK_EXPLANATION_H_

@@ -1,0 +1,19 @@
+#include "core/lime_explainer.h"
+
+namespace landmark {
+
+Result<std::vector<Explanation>> LimeExplainer::Explain(
+    const EmModel& model, const PairRecord& pair) const {
+  std::vector<Token> tokens = TokenizeEntity(pair.left, EntitySide::kLeft);
+  std::vector<Token> right = TokenizeEntity(pair.right, EntitySide::kRight);
+  tokens.insert(tokens.end(), right.begin(), right.end());
+
+  Rng rng = MakeRng(pair);
+  LANDMARK_ASSIGN_OR_RETURN(
+      Explanation explanation,
+      ExplainTokenSpace(model, pair, std::move(tokens), name(),
+                        /*landmark_side=*/std::nullopt, rng));
+  return std::vector<Explanation>{std::move(explanation)};
+}
+
+}  // namespace landmark

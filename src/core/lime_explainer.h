@@ -1,0 +1,32 @@
+#ifndef LANDMARK_CORE_LIME_EXPLAINER_H_
+#define LANDMARK_CORE_LIME_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+
+namespace landmark {
+
+/// \brief Plain LIME applied to the whole EM record — equivalently, Mojito
+/// Drop (the paper's footnote 5: "the Mojito Drop technique implements the
+/// LIME approach").
+///
+/// The interpretable space is the union of the tokens of *both* entities, so
+/// a perturbation can drop the same discriminating word from both sides at
+/// once — the "null perturbation" problem Landmark Explanation fixes.
+class LimeExplainer : public PairExplainer {
+ public:
+  explicit LimeExplainer(ExplainerOptions options = {})
+      : PairExplainer(options) {}
+
+  std::string name() const override { return "lime"; }
+
+  /// Returns exactly one explanation covering both entities' tokens.
+  Result<std::vector<Explanation>> Explain(
+      const EmModel& model, const PairRecord& pair) const override;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_LIME_EXPLAINER_H_

@@ -1,0 +1,104 @@
+#include "core/mojito_copy_explainer.h"
+
+#include "core/sampling.h"
+#include "core/surrogate.h"
+#include "text/tokenize.h"
+
+namespace landmark {
+
+Result<Explanation> MojitoCopyExplainer::ExplainDirection(
+    const EmModel& model, const PairRecord& pair,
+    EntitySide source_side) const {
+  const EntitySide varying_side = OppositeSide(source_side);
+  const Record& source = pair.entity(source_side);
+  const Record& varying = pair.entity(varying_side);
+
+  // Interpretable space: the varying entity's own tokens (all-ones = the
+  // original record). Only attributes that have tokens AND a non-null source
+  // value can take part in the copy perturbation.
+  std::vector<Token> tokens = TokenizeEntity(varying, varying_side);
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "varying entity has no tokens to explain (all attribute values null)");
+  }
+
+  std::vector<size_t> attrs;            // copyable attributes, in order
+  std::vector<int64_t> attr_slot_of(varying.num_attributes(), -1);
+  for (const Token& token : tokens) {
+    if (attr_slot_of[token.attribute] >= 0) continue;
+    if (source.value(token.attribute).is_null()) continue;
+    attr_slot_of[token.attribute] = static_cast<int64_t>(attrs.size());
+    attrs.push_back(token.attribute);
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument(
+        "no attribute is copyable (source side entirely null)");
+  }
+
+  Explanation explanation;
+  explanation.explainer_name = name();
+  explanation.landmark = source_side;
+  explanation.token_weights.reserve(tokens.size());
+  for (auto& token : tokens) {
+    explanation.token_weights.push_back(TokenWeight{std::move(token), 0.0});
+  }
+
+  // Attribute-level perturbation: bit 0 copies the source value over the
+  // varying entity's attribute.
+  Rng rng = MakeRng(pair);
+  if (source_side == EntitySide::kRight) rng = rng.Fork();
+  std::vector<std::vector<uint8_t>> attr_masks;
+  std::vector<double> kernel_weights;
+  SampleNeighborhood(attrs.size(), rng, &attr_masks, &kernel_weights);
+
+  std::vector<PairRecord> reconstructed;
+  reconstructed.reserve(attr_masks.size());
+  for (const auto& attr_mask : attr_masks) {
+    PairRecord rec = pair;
+    Record& rec_varying = rec.entity(varying_side);
+    for (size_t slot = 0; slot < attrs.size(); ++slot) {
+      if (!attr_mask[slot]) {
+        rec_varying.SetValue(attrs[slot], source.value(attrs[slot]));
+      }
+    }
+    reconstructed.push_back(std::move(rec));
+  }
+  std::vector<double> predictions = model.PredictProbaBatch(reconstructed);
+
+  SurrogateOptions surrogate_options;
+  surrogate_options.ridge_lambda = options_.ridge_lambda;
+  LANDMARK_ASSIGN_OR_RETURN(
+      SurrogateFit fit,
+      FitSurrogate(attr_masks, predictions, kernel_weights,
+                   surrogate_options));
+
+  // Attribute-atomic weights, distributed uniformly over the attribute's
+  // tokens. Tokens of non-copyable attributes keep weight 0.
+  std::vector<size_t> tokens_per_attr(varying.num_attributes(), 0);
+  for (const auto& tw : explanation.token_weights) {
+    ++tokens_per_attr[tw.token.attribute];
+  }
+  for (auto& tw : explanation.token_weights) {
+    const int64_t slot = attr_slot_of[tw.token.attribute];
+    if (slot < 0) continue;
+    tw.weight = fit.model.coefficients[static_cast<size_t>(slot)] /
+                static_cast<double>(tokens_per_attr[tw.token.attribute]);
+  }
+  explanation.surrogate_intercept = fit.model.intercept;
+  explanation.surrogate_r2 = fit.weighted_r2;
+  explanation.model_prediction = predictions[0];  // the original record
+  return explanation;
+}
+
+Result<std::vector<Explanation>> MojitoCopyExplainer::Explain(
+    const EmModel& model, const PairRecord& pair) const {
+  std::vector<Explanation> out;
+  for (EntitySide source_side : {EntitySide::kLeft, EntitySide::kRight}) {
+    LANDMARK_ASSIGN_OR_RETURN(Explanation explanation,
+                              ExplainDirection(model, pair, source_side));
+    out.push_back(std::move(explanation));
+  }
+  return out;
+}
+
+}  // namespace landmark

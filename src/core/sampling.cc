@@ -1,0 +1,96 @@
+#include "core/sampling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace landmark {
+
+std::vector<std::vector<uint8_t>> SamplePerturbationMasks(size_t dim,
+                                                          size_t num_samples,
+                                                          Rng& rng) {
+  LANDMARK_CHECK(dim >= 1);
+  std::vector<std::vector<uint8_t>> masks;
+  masks.reserve(num_samples);
+  if (num_samples == 0) return masks;
+
+  masks.emplace_back(dim, 1);  // the unperturbed representation
+  for (size_t s = 1; s < num_samples; ++s) {
+    std::vector<uint8_t> mask(dim, 1);
+    const size_t k = 1 + static_cast<size_t>(rng.NextUint64(dim));
+    for (size_t idx : rng.SampleWithoutReplacement(dim, k)) {
+      mask[idx] = 0;
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+double ActiveFraction(const std::vector<uint8_t>& mask) {
+  if (mask.empty()) return 0.0;
+  size_t active = 0;
+  for (uint8_t bit : mask) active += bit != 0;
+  return static_cast<double>(active) / static_cast<double>(mask.size());
+}
+
+double KernelWeight(const std::vector<uint8_t>& mask, double kernel_width) {
+  LANDMARK_CHECK(kernel_width > 0.0);
+  const double distance = 1.0 - std::sqrt(ActiveFraction(mask));
+  return std::exp(-(distance * distance) / (kernel_width * kernel_width));
+}
+
+double ShapleyKernelWeight(const std::vector<uint8_t>& mask,
+                           double anchor_weight) {
+  const size_t d = mask.size();
+  LANDMARK_CHECK(d >= 1);
+  size_t k = 0;
+  for (uint8_t bit : mask) k += bit != 0;
+  if (k == 0 || k == d) return anchor_weight;
+  // (d - 1) / (C(d, k) k (d - k)); compute C(d, k) in log space to survive
+  // large d.
+  double log_choose = 0.0;
+  for (size_t i = 1; i <= k; ++i) {
+    log_choose += std::log(static_cast<double>(d - k + i)) -
+                  std::log(static_cast<double>(i));
+  }
+  const double log_weight =
+      std::log(static_cast<double>(d - 1)) - log_choose -
+      std::log(static_cast<double>(k)) -
+      std::log(static_cast<double>(d - k));
+  return std::exp(log_weight);
+}
+
+std::vector<std::vector<uint8_t>> SampleShapMasks(size_t dim,
+                                                  size_t num_samples,
+                                                  Rng& rng) {
+  LANDMARK_CHECK(dim >= 1);
+  std::vector<std::vector<uint8_t>> masks;
+  masks.reserve(num_samples);
+  if (num_samples == 0) return masks;
+
+  masks.emplace_back(dim, 1);  // f(all) anchor
+  if (num_samples >= 2) masks.emplace_back(dim, 0);  // f(none) anchor
+
+  if (dim >= 2) {
+    // Size distribution p(k) ∝ (d - 1) / (k (d - k)), k in [1, d-1].
+    std::vector<double> size_weights(dim - 1);
+    for (size_t k = 1; k < dim; ++k) {
+      size_weights[k - 1] =
+          1.0 / (static_cast<double>(k) * static_cast<double>(dim - k));
+    }
+    for (size_t s = masks.size(); s < num_samples; ++s) {
+      const size_t k = 1 + rng.NextWeighted(size_weights);
+      std::vector<uint8_t> mask(dim, 0);
+      for (size_t idx : rng.SampleWithoutReplacement(dim, k)) mask[idx] = 1;
+      masks.push_back(std::move(mask));
+    }
+  } else {
+    // Single feature: only the two anchors exist; repeat them.
+    for (size_t s = masks.size(); s < num_samples; ++s) {
+      masks.emplace_back(dim, s % 2 == 0 ? 1 : 0);
+    }
+  }
+  return masks;
+}
+
+}  // namespace landmark

@@ -1,0 +1,50 @@
+#ifndef LANDMARK_CORE_SAMPLING_H_
+#define LANDMARK_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief The generic Perturbation-generation component (the yellow box of
+/// the paper's Figure 2, provided by LIME): binary deactivation masks over
+/// an interpretable feature space plus the locality kernel.
+
+/// Samples `num_samples` masks of dimension `dim`. The first mask is
+/// all-ones (the unperturbed representation, as in LIME); each following
+/// mask removes k features, k uniform in {1..dim}, chosen uniformly without
+/// replacement. dim must be >= 1.
+std::vector<std::vector<uint8_t>> SamplePerturbationMasks(size_t dim,
+                                                          size_t num_samples,
+                                                          Rng& rng);
+
+/// Fraction of active bits of a mask (1.0 for all-ones).
+double ActiveFraction(const std::vector<uint8_t>& mask);
+
+/// LIME's exponential locality kernel on binary masks:
+/// weight = exp(-d² / width²) with d = 1 - sqrt(active_fraction), the
+/// cosine distance between the mask and the all-ones vector.
+double KernelWeight(const std::vector<uint8_t>& mask, double kernel_width);
+
+/// \brief KernelSHAP's Shapley kernel on binary masks:
+/// weight = (d - 1) / (C(d, k) * k * (d - k)) for masks with k active
+/// features, 0 < k < d. The (infinite-weight) endpoints k = 0 and k = d are
+/// returned as `anchor_weight` — callers pin them with a large finite weight
+/// so the surrogate respects f(all) and f(none) (the standard KernelSHAP
+/// regularization trick).
+double ShapleyKernelWeight(const std::vector<uint8_t>& mask,
+                           double anchor_weight = 1e6);
+
+/// Samples `num_samples` masks for KernelSHAP: the first two are all-ones
+/// and all-zeros (the anchors); the rest draw their active count k from the
+/// Shapley size distribution p(k) ∝ (d - 1) / (k (d - k)) and a uniform
+/// k-subset. Requires dim >= 1; for dim == 1 only the anchors repeat.
+std::vector<std::vector<uint8_t>> SampleShapMasks(size_t dim,
+                                                  size_t num_samples,
+                                                  Rng& rng);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_SAMPLING_H_

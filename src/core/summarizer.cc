@@ -1,0 +1,93 @@
+#include "core/summarizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace landmark {
+
+ExplanationSummary SummarizeExplanations(
+    const std::vector<Explanation>& explanations, size_t num_attributes,
+    const SummarizerOptions& options) {
+  struct Accumulator {
+    double weight_sum = 0.0;
+    double abs_weight_sum = 0.0;
+    size_t support = 0;
+  };
+  std::map<std::pair<size_t, std::string>, Accumulator> by_token;
+  std::vector<double> attribute_mass(num_attributes, 0.0);
+
+  for (const Explanation& exp : explanations) {
+    // Within one explanation, merge duplicate (attribute, text) occurrences
+    // first so a token repeated in one record counts as one observation.
+    std::map<std::pair<size_t, std::string>, double> local;
+    for (const TokenWeight& tw : exp.token_weights) {
+      if (!options.include_injected && tw.token.injected) continue;
+      if (tw.token.attribute >= num_attributes) continue;
+      local[{tw.token.attribute, tw.token.text}] += tw.weight;
+    }
+    for (const auto& [key, weight] : local) {
+      Accumulator& acc = by_token[key];
+      acc.weight_sum += weight;
+      acc.abs_weight_sum += std::abs(weight);
+      ++acc.support;
+      attribute_mass[key.first] += std::abs(weight);
+    }
+  }
+
+  ExplanationSummary summary;
+  summary.num_explanations = explanations.size();
+  for (const auto& [key, acc] : by_token) {
+    if (acc.support < options.min_support) continue;
+    GlobalTokenImportance entry;
+    entry.attribute = key.first;
+    entry.text = key.second;
+    entry.support = acc.support;
+    entry.mean_weight = acc.weight_sum / static_cast<double>(acc.support);
+    entry.mean_abs_weight =
+        acc.abs_weight_sum / static_cast<double>(acc.support);
+    summary.tokens.push_back(std::move(entry));
+  }
+  std::sort(summary.tokens.begin(), summary.tokens.end(),
+            [](const GlobalTokenImportance& a, const GlobalTokenImportance& b) {
+              if (a.mean_abs_weight != b.mean_abs_weight) {
+                return a.mean_abs_weight > b.mean_abs_weight;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return a.text < b.text;
+            });
+
+  // Normalize attribute importance to sum to 1 for readability.
+  double total = 0.0;
+  for (double v : attribute_mass) total += v;
+  if (total > 0.0) {
+    for (double& v : attribute_mass) v /= total;
+  }
+  summary.attribute_importance = std::move(attribute_mass);
+  return summary;
+}
+
+std::string ExplanationSummary::ToString(const Schema& schema,
+                                         size_t top_k) const {
+  std::ostringstream os;
+  os << "global summary over " << num_explanations << " explanations\n";
+  os << "attribute importance:\n";
+  for (size_t a = 0; a < attribute_importance.size(); ++a) {
+    os << "  " << schema.attribute_name(a) << ": "
+       << FormatDouble(attribute_importance[a], 3) << "\n";
+  }
+  os << "top tokens (mean |weight|, support):\n";
+  for (size_t i = 0; i < std::min(top_k, tokens.size()); ++i) {
+    const GlobalTokenImportance& t = tokens[i];
+    os << "  " << schema.attribute_name(t.attribute) << ":" << t.text << "  "
+       << (t.mean_weight >= 0 ? "+" : "") << FormatDouble(t.mean_weight, 4)
+       << " (|w|=" << FormatDouble(t.mean_abs_weight, 4)
+       << ", n=" << t.support << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace landmark

@@ -1,0 +1,61 @@
+#ifndef LANDMARK_CORE_SUMMARIZER_H_
+#define LANDMARK_CORE_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explanation.h"
+#include "data/schema.h"
+
+namespace landmark {
+
+/// \brief One row of a global explanation summary: a token text (optionally
+/// attribute-qualified) with its importance aggregated over many local
+/// explanations.
+struct GlobalTokenImportance {
+  size_t attribute = 0;
+  std::string text;
+  /// Mean signed weight over the explanations that contain the token.
+  double mean_weight = 0.0;
+  /// Mean |weight| — the magnitude ranking used by the summary.
+  double mean_abs_weight = 0.0;
+  /// In how many explanations the token appeared.
+  size_t support = 0;
+};
+
+/// \brief Global view of an EM model distilled from local explanations —
+/// the paper's §5 future work ("techniques for summarizing the explanations
+/// to facilitate the interpretation of the EM model as a whole").
+///
+/// Local token weights are grouped by (attribute, token text) — the
+/// occurrence index is deliberately dropped, because globally "sony" in the
+/// title is one concept — and aggregated. `attribute_importance` aggregates
+/// the same weights per attribute, giving a drop-in global attribute
+/// ranking.
+struct ExplanationSummary {
+  std::vector<GlobalTokenImportance> tokens;  // sorted by mean_abs_weight desc
+  std::vector<double> attribute_importance;   // one entry per attribute
+  size_t num_explanations = 0;
+
+  /// Pretty-prints the top-k tokens and the attribute ranking.
+  std::string ToString(const Schema& schema, size_t top_k = 15) const;
+};
+
+/// \brief Aggregation configuration.
+struct SummarizerOptions {
+  /// Drop tokens that appear in fewer than this many explanations (rare
+  /// tokens carry record-specific, not model-level, signal).
+  size_t min_support = 2;
+  /// When true, injected (landmark-copied) tokens are aggregated too;
+  /// otherwise only the record's own tokens contribute.
+  bool include_injected = true;
+};
+
+/// Builds a global summary from any collection of local explanations.
+ExplanationSummary SummarizeExplanations(
+    const std::vector<Explanation>& explanations, size_t num_attributes,
+    const SummarizerOptions& options = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_SUMMARIZER_H_

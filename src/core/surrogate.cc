@@ -1,0 +1,118 @@
+#include "core/surrogate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/linalg.h"
+
+namespace landmark {
+
+namespace {
+
+Matrix MasksToMatrix(const std::vector<std::vector<uint8_t>>& masks,
+                     size_t dim) {
+  Matrix x(masks.size(), dim);
+  for (size_t r = 0; r < masks.size(); ++r) {
+    double* row = x.row(r);
+    for (size_t c = 0; c < dim; ++c) row[c] = masks[r][c];
+  }
+  return x;
+}
+
+double WeightedR2(const Matrix& x, const std::vector<double>& y,
+                  const std::vector<double>& w, const LinearModel& model) {
+  double w_total = 0.0, y_mean = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    w_total += w[i];
+    y_mean += w[i] * y[i];
+  }
+  if (w_total <= 0.0) return 0.0;
+  y_mean /= w_total;
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double pred = model.intercept;
+    const double* row = x.row(i);
+    for (size_t c = 0; c < model.coefficients.size(); ++c) {
+      pred += row[c] * model.coefficients[c];
+    }
+    ss_res += w[i] * (y[i] - pred) * (y[i] - pred);
+    ss_tot += w[i] * (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+Result<SurrogateFit> FitSurrogate(
+    const std::vector<std::vector<uint8_t>>& masks,
+    const std::vector<double>& targets,
+    const std::vector<double>& sample_weights,
+    const SurrogateOptions& options) {
+  if (masks.empty()) {
+    return Status::InvalidArgument("FitSurrogate: no samples");
+  }
+  const size_t dim = masks[0].size();
+  if (dim == 0) {
+    return Status::InvalidArgument("FitSurrogate: empty feature space");
+  }
+  if (targets.size() != masks.size() ||
+      sample_weights.size() != masks.size()) {
+    return Status::InvalidArgument("FitSurrogate: shape mismatch");
+  }
+  for (const auto& mask : masks) {
+    if (mask.size() != dim) {
+      return Status::InvalidArgument("FitSurrogate: ragged masks");
+    }
+  }
+
+  Matrix x = MasksToMatrix(masks, dim);
+  LANDMARK_ASSIGN_OR_RETURN(
+      LinearModel full,
+      FitWeightedRidge(x, targets, sample_weights, options.ridge_lambda));
+
+  if (options.max_features == 0 || options.max_features >= dim) {
+    SurrogateFit fit;
+    fit.weighted_r2 = WeightedR2(x, targets, sample_weights, full);
+    fit.model = std::move(full);
+    return fit;
+  }
+
+  // LIME "highest weights" selection: rank by |coefficient|, refit on the
+  // selected columns only.
+  std::vector<size_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&full](size_t a, size_t b) {
+    const double wa = std::abs(full.coefficients[a]);
+    const double wb = std::abs(full.coefficients[b]);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  order.resize(options.max_features);
+  std::sort(order.begin(), order.end());
+
+  Matrix x_sel(masks.size(), order.size());
+  for (size_t r = 0; r < masks.size(); ++r) {
+    for (size_t c = 0; c < order.size(); ++c) {
+      x_sel.at(r, c) = masks[r][order[c]];
+    }
+  }
+  LANDMARK_ASSIGN_OR_RETURN(
+      LinearModel selected,
+      FitWeightedRidge(x_sel, targets, sample_weights, options.ridge_lambda));
+
+  LinearModel expanded;
+  expanded.coefficients.assign(dim, 0.0);
+  for (size_t c = 0; c < order.size(); ++c) {
+    expanded.coefficients[order[c]] = selected.coefficients[c];
+  }
+  expanded.intercept = selected.intercept;
+
+  SurrogateFit fit;
+  fit.weighted_r2 = WeightedR2(x, targets, sample_weights, expanded);
+  fit.model = std::move(expanded);
+  return fit;
+}
+
+}  // namespace landmark

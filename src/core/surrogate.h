@@ -1,0 +1,40 @@
+#ifndef LANDMARK_CORE_SURROGATE_H_
+#define LANDMARK_CORE_SURROGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/linear_regression.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief The generic Surrogate-model-creation component: a weighted linear
+/// model fit on (mask, model-probability) pairs.
+struct SurrogateFit {
+  LinearModel model;
+  /// Weighted R² of the surrogate on its own training neighbourhood. Low
+  /// values indicate the linear approximation is poor around this record.
+  double weighted_r2 = 0.0;
+};
+
+/// \brief Options for FitSurrogate.
+struct SurrogateOptions {
+  /// Ridge regularization strength.
+  double ridge_lambda = 1.0;
+  /// When > 0, keep only this many features: an initial ridge fit ranks
+  /// features by |weight|, then the model is refit on the winners (LIME's
+  /// "highest weights" feature-selection). Dropped features get weight 0.
+  size_t max_features = 0;
+};
+
+/// Fits the surrogate: masks are the binary design matrix, `targets` the EM
+/// model probabilities, `sample_weights` the kernel weights.
+Result<SurrogateFit> FitSurrogate(const std::vector<std::vector<uint8_t>>& masks,
+                                  const std::vector<double>& targets,
+                                  const std::vector<double>& sample_weights,
+                                  const SurrogateOptions& options = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_SURROGATE_H_

@@ -1,0 +1,90 @@
+#include "core/token_space.h"
+
+#include "text/tokenize.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+std::string Token::PrefixedName(const Schema& schema) const {
+  std::string out(side == EntitySide::kLeft ? "L:" : "R:");
+  if (injected) out += "+";
+  out += schema.attribute_name(attribute);
+  out += "__";
+  out += std::to_string(occurrence);
+  out += "__";
+  out += text;
+  return out;
+}
+
+std::vector<Token> TokenizeEntity(const Record& entity, EntitySide side) {
+  std::vector<Token> tokens;
+  for (size_t a = 0; a < entity.num_attributes(); ++a) {
+    const Value& value = entity.value(a);
+    if (value.is_null()) continue;
+    std::vector<std::string> words = WordTokens(value.text());
+    for (size_t i = 0; i < words.size(); ++i) {
+      Token t;
+      t.attribute = a;
+      t.occurrence = i;
+      t.text = std::move(words[i]);
+      t.side = side;
+      tokens.push_back(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+std::vector<Token> BuildAugmentedTokens(const Record& varying,
+                                        EntitySide varying_side,
+                                        const Record& landmark) {
+  LANDMARK_CHECK(varying.num_attributes() == landmark.num_attributes());
+  std::vector<Token> out;
+  for (size_t a = 0; a < varying.num_attributes(); ++a) {
+    size_t occurrence = 0;
+    if (!varying.value(a).is_null()) {
+      for (auto& word : WordTokens(varying.value(a).text())) {
+        Token t;
+        t.attribute = a;
+        t.occurrence = occurrence++;
+        t.text = std::move(word);
+        t.side = varying_side;
+        out.push_back(std::move(t));
+      }
+    }
+    if (!landmark.value(a).is_null()) {
+      for (auto& word : WordTokens(landmark.value(a).text())) {
+        Token t;
+        t.attribute = a;
+        t.occurrence = occurrence++;
+        t.text = std::move(word);
+        t.side = varying_side;
+        t.injected = true;
+        out.push_back(std::move(t));
+      }
+    }
+  }
+  return out;
+}
+
+Record ReconstructEntity(const std::shared_ptr<const Schema>& schema,
+                         const std::vector<Token>& tokens,
+                         const std::vector<uint8_t>& active, EntitySide side) {
+  LANDMARK_CHECK(active.empty() || active.size() == tokens.size());
+  std::vector<std::vector<std::string>> per_attr(schema->num_attributes());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].side != side) continue;
+    if (!active.empty() && !active[i]) continue;
+    LANDMARK_CHECK(tokens[i].attribute < per_attr.size());
+    per_attr[tokens[i].attribute].push_back(tokens[i].text);
+  }
+  Record entity = Record::Empty(schema);
+  for (size_t a = 0; a < per_attr.size(); ++a) {
+    if (!per_attr[a].empty()) {
+      entity.SetValue(a, Value::Of(Join(per_attr[a], " ")));
+    }
+  }
+  return entity;
+}
+
+}  // namespace landmark

@@ -1,0 +1,71 @@
+#ifndef LANDMARK_CORE_TOKEN_SPACE_H_
+#define LANDMARK_CORE_TOKEN_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/pair_record.h"
+#include "data/record.h"
+
+namespace landmark {
+
+/// \brief One interpretable feature of an explanation: a word token with its
+/// provenance.
+///
+/// This realizes the paper's Tokenizer (§3.1): "A token is generated for
+/// each space-separated term in the attribute values. A prefix is introduced
+/// to each token to indicate the attribute where the original value is
+/// located in the entity schema. The prefix enumerates the tokens, to manage
+/// multiple occurrences of the same word in an attribute value."
+struct Token {
+  /// Attribute index in the entity schema.
+  size_t attribute = 0;
+  /// Position of the token within the attribute's value (the enumeration
+  /// part of the paper's prefix; disambiguates repeated words).
+  size_t occurrence = 0;
+  /// Surface form ("sony", "849.99").
+  std::string text;
+  /// Which entity of the pair the token originates from.
+  EntitySide side = EntitySide::kLeft;
+  /// True when the token was injected from the landmark entity into the
+  /// varying entity (double-entity generation).
+  bool injected = false;
+
+  /// The paper-style prefixed name, e.g. "name__2__camera" (with an "R:"/"L:"
+  /// origin marker and "+" for injected tokens).
+  std::string PrefixedName(const Schema& schema) const;
+
+  bool operator==(const Token& other) const {
+    return attribute == other.attribute && occurrence == other.occurrence &&
+           text == other.text && side == other.side &&
+           injected == other.injected;
+  }
+};
+
+/// Tokenizes one entity: every attribute value is split on whitespace; each
+/// token remembers its attribute and position. Null attributes produce no
+/// tokens.
+std::vector<Token> TokenizeEntity(const Record& entity, EntitySide side);
+
+/// Builds the double-entity token space (§3.1, double-entity generation):
+/// for each attribute, the varying entity's tokens followed by the landmark
+/// entity's tokens for the same attribute (flagged `injected`, re-labelled
+/// to the varying side so reconstruction writes them into the varying
+/// entity).
+std::vector<Token> BuildAugmentedTokens(const Record& varying,
+                                        EntitySide varying_side,
+                                        const Record& landmark);
+
+/// \brief The paper's Pair-reconstruction component, entity half: rebuilds
+/// an entity Record from the subset of `tokens` whose mask bit is 1 (or all
+/// tokens when `active` is empty). Tokens are re-joined per attribute in
+/// their stored order; attributes left with no active token become null.
+/// Only tokens whose `side` equals `side` contribute.
+Record ReconstructEntity(const std::shared_ptr<const Schema>& schema,
+                         const std::vector<Token>& tokens,
+                         const std::vector<uint8_t>& active, EntitySide side);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_TOKEN_SPACE_H_

@@ -1,0 +1,127 @@
+#include "data/dataset_io.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace landmark {
+
+namespace {
+constexpr char kLeftPrefix[] = "left_";
+constexpr char kRightPrefix[] = "right_";
+}  // namespace
+
+CsvTable EmDatasetToCsv(const EmDataset& dataset) {
+  CsvTable table;
+  const Schema& schema = *dataset.entity_schema();
+  table.header.push_back("id");
+  for (const auto& name : schema.attribute_names()) {
+    table.header.push_back(kLeftPrefix + name);
+  }
+  for (const auto& name : schema.attribute_names()) {
+    table.header.push_back(kRightPrefix + name);
+  }
+  table.header.push_back("label");
+
+  for (const auto& pair : dataset.pairs()) {
+    std::vector<std::string> row;
+    row.reserve(table.header.size());
+    row.push_back(std::to_string(pair.id));
+    for (const auto& v : pair.left.values()) row.push_back(v.text());
+    for (const auto& v : pair.right.values()) row.push_back(v.text());
+    row.push_back(pair.is_match() ? "1" : "0");
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<EmDataset> EmDatasetFromCsv(const CsvTable& table,
+                                   const std::string& name) {
+  // Recover the entity schema from the left_* columns.
+  std::vector<std::string> attrs;
+  std::vector<size_t> left_cols;
+  std::vector<size_t> right_cols;
+  int id_col = -1;
+  int label_col = -1;
+
+  for (size_t c = 0; c < table.header.size(); ++c) {
+    const std::string& h = table.header[c];
+    if (h == "id") {
+      id_col = static_cast<int>(c);
+    } else if (h == "label") {
+      label_col = static_cast<int>(c);
+    } else if (StartsWith(h, kLeftPrefix)) {
+      attrs.push_back(h.substr(sizeof(kLeftPrefix) - 1));
+      left_cols.push_back(c);
+    }
+  }
+  if (label_col < 0) return Status::InvalidArgument("missing 'label' column");
+  if (attrs.empty()) {
+    return Status::InvalidArgument("no left_* columns found");
+  }
+  for (const auto& attr : attrs) {
+    bool found = false;
+    for (size_t c = 0; c < table.header.size(); ++c) {
+      if (table.header[c] == kRightPrefix + attr) {
+        right_cols.push_back(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("missing right_ column for attribute: " +
+                                     attr);
+    }
+  }
+
+  LANDMARK_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                            Schema::Make(attrs));
+  EmDataset dataset(name, schema);
+
+  auto cell_to_value = [](const std::string& cell) {
+    return cell.empty() ? Value::Null() : Value::Of(cell);
+  };
+
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    std::vector<Value> left_values, right_values;
+    left_values.reserve(attrs.size());
+    right_values.reserve(attrs.size());
+    for (size_t c : left_cols) left_values.push_back(cell_to_value(row[c]));
+    for (size_t c : right_cols) right_values.push_back(cell_to_value(row[c]));
+
+    PairRecord pair;
+    LANDMARK_ASSIGN_OR_RETURN(pair.left,
+                              Record::Make(schema, std::move(left_values)));
+    LANDMARK_ASSIGN_OR_RETURN(pair.right,
+                              Record::Make(schema, std::move(right_values)));
+
+    const std::string& label_cell = row[label_col];
+    if (label_cell == "1") {
+      pair.label = MatchLabel::kMatch;
+    } else if (label_cell == "0") {
+      pair.label = MatchLabel::kNonMatch;
+    } else {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     ": label must be 0 or 1, got '" +
+                                     label_cell + "'");
+    }
+    if (id_col >= 0) {
+      pair.id = std::strtoll(row[id_col].c_str(), nullptr, 10);
+    }
+    LANDMARK_RETURN_NOT_OK(dataset.Append(std::move(pair)));
+  }
+  return dataset;
+}
+
+Status WriteEmDataset(const EmDataset& dataset, const std::string& path) {
+  return WriteCsvFile(EmDatasetToCsv(dataset), path);
+}
+
+Result<EmDataset> ReadEmDataset(const std::string& path,
+                                const std::string& name) {
+  LANDMARK_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  return EmDatasetFromCsv(table, name);
+}
+
+}  // namespace landmark

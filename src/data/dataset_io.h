@@ -1,0 +1,34 @@
+#ifndef LANDMARK_DATA_DATASET_IO_H_
+#define LANDMARK_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/em_dataset.h"
+#include "util/csv.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief Serialization of EM datasets in the Magellan CSV layout:
+/// `id,left_<a1>,...,left_<ak>,right_<a1>,...,right_<ak>,label`.
+///
+/// Null values round-trip as empty cells. `label` is 0/1.
+
+/// Converts a dataset to an in-memory CSV table.
+CsvTable EmDatasetToCsv(const EmDataset& dataset);
+
+/// Parses a CSV table into a dataset. The entity schema is inferred from the
+/// `left_*` columns; every `left_<a>` must have a matching `right_<a>`.
+Result<EmDataset> EmDatasetFromCsv(const CsvTable& table,
+                                   const std::string& name);
+
+/// Writes `dataset` to a CSV file at `path`.
+Status WriteEmDataset(const EmDataset& dataset, const std::string& path);
+
+/// Reads a dataset from a CSV file.
+Result<EmDataset> ReadEmDataset(const std::string& path,
+                                const std::string& name);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_DATASET_IO_H_

@@ -1,0 +1,82 @@
+#include "data/em_dataset.h"
+
+#include <algorithm>
+
+namespace landmark {
+
+Status EmDataset::Append(PairRecord pair) {
+  if (entity_schema_ == nullptr) {
+    return Status::FailedPrecondition("dataset has no entity schema");
+  }
+  if (pair.left.schema() == nullptr || pair.right.schema() == nullptr) {
+    return Status::InvalidArgument("pair entities must have schemas");
+  }
+  if (!pair.left.schema()->Equals(*entity_schema_) ||
+      !pair.right.schema()->Equals(*entity_schema_)) {
+    return Status::InvalidArgument(
+        "pair entity schema differs from the dataset entity schema");
+  }
+  if (pair.id < 0) pair.id = static_cast<int64_t>(pairs_.size());
+  pairs_.push_back(std::move(pair));
+  return Status::OK();
+}
+
+EmDatasetStats EmDataset::Stats() const {
+  EmDatasetStats stats;
+  stats.size = pairs_.size();
+  for (const auto& p : pairs_) {
+    if (p.is_match()) ++stats.num_match;
+  }
+  stats.match_percent =
+      stats.size == 0 ? 0.0 : 100.0 * static_cast<double>(stats.num_match) /
+                                  static_cast<double>(stats.size);
+  return stats;
+}
+
+std::vector<size_t> EmDataset::IndicesWithLabel(MatchLabel label) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i].label == label) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<size_t> EmDataset::SampleByLabel(MatchLabel label, size_t k,
+                                             Rng& rng) const {
+  std::vector<size_t> indices = IndicesWithLabel(label);
+  if (indices.size() <= k) return indices;
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(indices.size(), k);
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t p : picks) out.push_back(indices[p]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<EmDatasetSplit> EmDataset::Split(double valid_fraction,
+                                        double test_fraction, Rng& rng) const {
+  if (valid_fraction < 0.0 || test_fraction < 0.0 ||
+      valid_fraction + test_fraction > 1.0) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  EmDatasetSplit split;
+  // Stratify by label so the imbalanced match class is present in every
+  // partition.
+  for (MatchLabel label : {MatchLabel::kNonMatch, MatchLabel::kMatch}) {
+    std::vector<size_t> indices = IndicesWithLabel(label);
+    rng.Shuffle(indices);
+    size_t n = indices.size();
+    size_t n_valid = static_cast<size_t>(valid_fraction * n);
+    size_t n_test = static_cast<size_t>(test_fraction * n);
+    size_t i = 0;
+    for (; i < n_valid; ++i) split.valid.push_back(indices[i]);
+    for (; i < n_valid + n_test; ++i) split.test.push_back(indices[i]);
+    for (; i < n; ++i) split.train.push_back(indices[i]);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.valid.begin(), split.valid.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace landmark

@@ -1,0 +1,74 @@
+#ifndef LANDMARK_DATA_EM_DATASET_H_
+#define LANDMARK_DATA_EM_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/pair_record.h"
+#include "data/schema.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief Summary statistics in the format of the paper's Table 1.
+struct EmDatasetStats {
+  size_t size = 0;
+  size_t num_match = 0;
+  double match_percent = 0.0;  // 100 * num_match / size
+};
+
+/// \brief Disjoint train / validation / test views over a dataset.
+struct EmDatasetSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> valid;
+  std::vector<size_t> test;
+};
+
+/// \brief A labeled EM benchmark dataset: pairs of entities over one entity
+/// schema.
+class EmDataset {
+ public:
+  EmDataset() = default;
+  EmDataset(std::string name, std::shared_ptr<const Schema> entity_schema)
+      : name_(std::move(name)), entity_schema_(std::move(entity_schema)) {}
+
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<const Schema>& entity_schema() const {
+    return entity_schema_;
+  }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const PairRecord& pair(size_t i) const { return pairs_.at(i); }
+  const std::vector<PairRecord>& pairs() const { return pairs_; }
+
+  /// Appends a pair; both entities must use the dataset's entity schema.
+  Status Append(PairRecord pair);
+
+  /// Table-1-style statistics.
+  EmDatasetStats Stats() const;
+
+  /// Returns indices of pairs with the given label.
+  std::vector<size_t> IndicesWithLabel(MatchLabel label) const;
+
+  /// Samples up to `k` pair indices with the given label, uniformly without
+  /// replacement (all of them when fewer than `k` exist) — the paper's
+  /// "100 records per label, all records when the dataset contains less".
+  std::vector<size_t> SampleByLabel(MatchLabel label, size_t k, Rng& rng) const;
+
+  /// Stratified split with the given fractions (train gets the remainder).
+  /// Fractions must be in [0,1] and sum to at most 1.
+  Result<EmDatasetSplit> Split(double valid_fraction, double test_fraction,
+                               Rng& rng) const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const Schema> entity_schema_;
+  std::vector<PairRecord> pairs_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_EM_DATASET_H_

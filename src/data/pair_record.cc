@@ -1,0 +1,19 @@
+#include "data/pair_record.h"
+
+#include <sstream>
+
+namespace landmark {
+
+std::string_view EntitySideName(EntitySide side) {
+  return side == EntitySide::kLeft ? "left" : "right";
+}
+
+std::string PairRecord::ToString() const {
+  std::ostringstream os;
+  os << "pair#" << id << " [" << (is_match() ? "match" : "non-match") << "]\n"
+     << "  left:  " << left.ToString() << "\n"
+     << "  right: " << right.ToString();
+  return os.str();
+}
+
+}  // namespace landmark

@@ -1,0 +1,52 @@
+#ifndef LANDMARK_DATA_PAIR_RECORD_H_
+#define LANDMARK_DATA_PAIR_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/record.h"
+
+namespace landmark {
+
+/// Which side of an EM pair an entity sits on.
+enum class EntitySide { kLeft, kRight };
+
+/// Returns the opposite side.
+inline EntitySide OppositeSide(EntitySide side) {
+  return side == EntitySide::kLeft ? EntitySide::kRight : EntitySide::kLeft;
+}
+
+/// Returns "left" or "right".
+std::string_view EntitySideName(EntitySide side);
+
+/// Match / non-match class of an EM record.
+enum class MatchLabel : int { kNonMatch = 0, kMatch = 1 };
+
+/// \brief One EM dataset entry: a pair of entities over a shared entity
+/// schema, plus an optional ground-truth label.
+///
+/// This is the "unusual" record structure the paper's Introduction calls
+/// out: each dataset row describes *two* entities, with `left_*` / `right_*`
+/// columns that share statistical/word distributions.
+struct PairRecord {
+  int64_t id = -1;
+  Record left;
+  Record right;
+  MatchLabel label = MatchLabel::kNonMatch;
+
+  const Record& entity(EntitySide side) const {
+    return side == EntitySide::kLeft ? left : right;
+  }
+  Record& entity(EntitySide side) {
+    return side == EntitySide::kLeft ? left : right;
+  }
+
+  bool is_match() const { return label == MatchLabel::kMatch; }
+
+  /// Renders both entities for logs and examples.
+  std::string ToString() const;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_PAIR_RECORD_H_

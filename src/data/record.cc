@@ -1,0 +1,50 @@
+#include "data/record.h"
+
+#include <sstream>
+
+namespace landmark {
+
+Result<Record> Record::Make(std::shared_ptr<const Schema> schema,
+                            std::vector<Value> values) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("record needs a schema");
+  }
+  if (values.size() != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(schema->num_attributes()) + " attributes");
+  }
+  return Record(std::move(schema), std::move(values));
+}
+
+Record Record::Empty(std::shared_ptr<const Schema> schema) {
+  std::vector<Value> values(schema->num_attributes());
+  return Record(std::move(schema), std::move(values));
+}
+
+Result<Value> Record::ValueOf(const std::string& attribute) const {
+  LANDMARK_ASSIGN_OR_RETURN(size_t idx, schema_->IndexOf(attribute));
+  return values_[idx];
+}
+
+void Record::SetValue(size_t i, Value value) {
+  values_.at(i) = std::move(value);
+}
+
+std::string Record::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << schema_->attribute_name(i) << "='"
+       << (values_[i].is_null() ? "<null>" : values_[i].text()) << "'";
+  }
+  return os.str();
+}
+
+bool Record::operator==(const Record& other) const {
+  if ((schema_ == nullptr) != (other.schema_ == nullptr)) return false;
+  if (schema_ != nullptr && !schema_->Equals(*other.schema_)) return false;
+  return values_ == other.values_;
+}
+
+}  // namespace landmark

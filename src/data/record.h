@@ -1,0 +1,52 @@
+#ifndef LANDMARK_DATA_RECORD_H_
+#define LANDMARK_DATA_RECORD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief One entity: a schema plus one Value per attribute.
+class Record {
+ public:
+  Record() = default;
+
+  /// Builds a record; `values` must have one entry per schema attribute.
+  static Result<Record> Make(std::shared_ptr<const Schema> schema,
+                             std::vector<Value> values);
+
+  /// Builds an all-null record over `schema`.
+  static Record Empty(std::shared_ptr<const Schema> schema);
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  size_t num_attributes() const { return values_.size(); }
+
+  const Value& value(size_t i) const { return values_.at(i); }
+  Result<Value> ValueOf(const std::string& attribute) const;
+
+  /// Replaces the value at attribute index `i`.
+  void SetValue(size_t i, Value value);
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Renders "attr1='v1' attr2='v2' ..." for logs and examples.
+  std::string ToString() const;
+
+  bool operator==(const Record& other) const;
+
+ private:
+  Record(std::shared_ptr<const Schema> schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_RECORD_H_

@@ -1,0 +1,38 @@
+#include "data/schema.h"
+
+namespace landmark {
+
+Schema::Schema(std::vector<std::string> names) : names_(std::move(names)) {
+  for (size_t i = 0; i < names_.size(); ++i) index_[names_[i]] = i;
+}
+
+Result<std::shared_ptr<const Schema>> Schema::Make(
+    std::vector<std::string> attribute_names) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::map<std::string, int> seen;
+  for (const auto& name : attribute_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (++seen[name] > 1) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+  }
+  return std::shared_ptr<const Schema>(new Schema(std::move(attribute_names)));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute not in schema: " + name);
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+}  // namespace landmark

@@ -1,0 +1,46 @@
+#ifndef LANDMARK_DATA_SCHEMA_H_
+#define LANDMARK_DATA_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief An ordered list of attribute names.
+///
+/// In an EM dataset both entities of a pair share one entity schema (the
+/// paper's datasets all describe the two sides with the same attributes);
+/// the pair-level dataset columns are derived as `left_<attr>` /
+/// `right_<attr>`.
+class Schema {
+ public:
+  /// Builds a schema; attribute names must be non-empty and unique.
+  static Result<std::shared_ptr<const Schema>> Make(
+      std::vector<std::string> attribute_names);
+
+  size_t num_attributes() const { return names_.size(); }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  const std::string& attribute_name(size_t i) const { return names_.at(i); }
+
+  /// Returns the index of `name`, or an error when absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Returns true when `name` is an attribute of this schema.
+  bool Contains(const std::string& name) const;
+
+  bool Equals(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  explicit Schema(std::vector<std::string> names);
+
+  std::vector<std::string> names_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_SCHEMA_H_

@@ -1,0 +1,21 @@
+#include "data/value.h"
+
+#include "util/string_util.h"
+
+namespace landmark {
+
+Value Value::OfNumber(double number) {
+  // Render integers without a decimal point, otherwise 2 decimals (prices,
+  // ratings and similar benchmark attributes).
+  if (number == static_cast<long long>(number)) {
+    return Value(std::to_string(static_cast<long long>(number)));
+  }
+  return Value(FormatDouble(number, 2));
+}
+
+std::optional<double> Value::AsDouble() const {
+  if (is_null_) return std::nullopt;
+  return ParseDouble(text_);
+}
+
+}  // namespace landmark

@@ -1,0 +1,47 @@
+#ifndef LANDMARK_DATA_VALUE_H_
+#define LANDMARK_DATA_VALUE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace landmark {
+
+/// \brief A single attribute value of an entity.
+///
+/// EM benchmark data is fundamentally textual; numeric attributes (price,
+/// year, ABV...) are stored as their textual form and parsed on demand.
+/// A value can be null (missing), which is common in the dirty Magellan
+/// variants.
+class Value {
+ public:
+  /// Creates a null value.
+  Value() : is_null_(true) {}
+
+  /// Creates a textual value.
+  explicit Value(std::string text) : is_null_(false), text_(std::move(text)) {}
+
+  static Value Null() { return Value(); }
+  static Value Of(std::string text) { return Value(std::move(text)); }
+  static Value OfNumber(double number);
+
+  bool is_null() const { return is_null_; }
+
+  /// The textual form; empty string for null values.
+  const std::string& text() const { return text_; }
+
+  /// Parses the value as a number; nullopt for null or non-numeric text.
+  std::optional<double> AsDouble() const;
+
+  bool operator==(const Value& other) const {
+    return is_null_ == other.is_null_ && text_ == other.text_;
+  }
+
+ private:
+  bool is_null_;
+  std::string text_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATA_VALUE_H_

@@ -1,0 +1,108 @@
+#include "datagen/corruptions.h"
+
+#include <algorithm>
+
+#include "text/tokenize.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+std::string ApplyTypo(const std::string& token, Rng& rng) {
+  if (token.size() < 2) return token;
+  std::string out = token;
+  const size_t kind = rng.NextUint64(4);
+  const size_t pos = rng.NextUint64(out.size());
+  switch (kind) {
+    case 0: {  // swap adjacent characters
+      const size_t p = std::min(pos, out.size() - 2);
+      std::swap(out[p], out[p + 1]);
+      break;
+    }
+    case 1:  // drop a character
+      out.erase(pos, 1);
+      break;
+    case 2:  // duplicate a character
+      out.insert(out.begin() + pos, out[pos]);
+      break;
+    default: {  // substitute with a nearby lowercase letter
+      const char c = static_cast<char>('a' + rng.NextUint64(26));
+      out[pos] = c;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& token) {
+  if (token.size() < 3) return token;
+  return std::string(1, token[0]) + ".";
+}
+
+Value CorruptValue(const Value& value, const CorruptionOptions& options,
+                   Rng& rng) {
+  if (value.is_null()) return value;
+  if (rng.NextBernoulli(options.null_prob)) return Value::Null();
+
+  // Numeric values get relative jitter or a reformat instead of text edits.
+  if (auto num = value.AsDouble(); num.has_value()) {
+    double v = *num;
+    if (rng.NextBernoulli(options.numeric_jitter_prob)) {
+      v *= 1.0 + rng.NextDouble(-0.02, 0.02);
+    }
+    return Value::OfNumber(v);
+  }
+
+  std::vector<std::string> tokens = WordTokens(value.text());
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (tokens.size() > 1 && rng.NextBernoulli(options.drop_prob)) continue;
+    if (rng.NextBernoulli(options.abbreviate_prob)) {
+      out.push_back(Abbreviate(token));
+    } else if (rng.NextBernoulli(options.typo_prob)) {
+      out.push_back(ApplyTypo(token, rng));
+    } else {
+      out.push_back(std::move(token));
+    }
+  }
+  if (out.empty()) {
+    // Never corrupt a value into emptiness; keep one original token.
+    out.push_back(tokens[rng.NextUint64(tokens.size())]);
+  }
+  if (out.size() >= 2 && rng.NextBernoulli(options.swap_prob)) {
+    const size_t p = rng.NextUint64(out.size() - 1);
+    std::swap(out[p], out[p + 1]);
+  }
+  return Value::Of(Join(out, " "));
+}
+
+Record CorruptEntity(const Record& entity, const CorruptionOptions& options,
+                     Rng& rng) {
+  Record out = entity;
+  for (size_t a = 0; a < entity.num_attributes(); ++a) {
+    out.SetValue(a, CorruptValue(entity.value(a), options, rng));
+  }
+  return out;
+}
+
+void MakeDirtyPair(PairRecord& pair, double move_prob, size_t target_attr,
+                   Rng& rng) {
+  for (EntitySide side : {EntitySide::kLeft, EntitySide::kRight}) {
+    Record& entity = pair.entity(side);
+    LANDMARK_CHECK(target_attr < entity.num_attributes());
+    for (size_t a = 0; a < entity.num_attributes(); ++a) {
+      if (a == target_attr) continue;
+      if (entity.value(a).is_null()) continue;
+      if (!rng.NextBernoulli(move_prob)) continue;
+      const std::string moved = entity.value(a).text();
+      const Value& target = entity.value(target_attr);
+      const std::string combined =
+          target.is_null() ? moved : target.text() + " " + moved;
+      entity.SetValue(target_attr, Value::Of(combined));
+      entity.SetValue(a, Value::Null());
+    }
+  }
+}
+
+}  // namespace landmark

@@ -1,0 +1,54 @@
+#ifndef LANDMARK_DATAGEN_CORRUPTIONS_H_
+#define LANDMARK_DATAGEN_CORRUPTIONS_H_
+
+#include <string>
+
+#include "data/pair_record.h"
+#include "data/record.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief Per-token corruption probabilities applied when deriving the
+/// second description of a matching entity pair.
+///
+/// These are the imperfections real EM benchmarks exhibit between the two
+/// sources (BeerAdvocate vs RateBeer, DBLP vs Google Scholar, ...): typos,
+/// dropped words, reordered words, abbreviations, slightly different
+/// numbers.
+struct CorruptionOptions {
+  double typo_prob = 0.12;        // per token: one character edit
+  double drop_prob = 0.28;        // per token: removed entirely
+  double abbreviate_prob = 0.05;  // per token: "john" -> "j."
+  double swap_prob = 0.05;        // per value: two adjacent tokens swapped
+  double numeric_jitter_prob = 0.3;  // per numeric value: small relative noise
+  double null_prob = 0.05;        // per value: becomes missing
+};
+
+/// Applies one random character-level edit (swap / drop / duplicate /
+/// substitute). Single-character tokens are returned unchanged.
+std::string ApplyTypo(const std::string& token, Rng& rng);
+
+/// "john" -> "j." ; tokens shorter than 3 characters are unchanged.
+std::string Abbreviate(const std::string& token);
+
+/// Corrupts one attribute value token-by-token per `options`.
+Value CorruptValue(const Value& value, const CorruptionOptions& options,
+                   Rng& rng);
+
+/// Corrupts every attribute of `entity`.
+Record CorruptEntity(const Record& entity, const CorruptionOptions& options,
+                     Rng& rng);
+
+/// \brief The Magellan "dirty" transformation: with probability `move_prob`,
+/// the value of a non-primary attribute is moved (appended) into the primary
+/// attribute `target_attr` of the same entity, leaving the source attribute
+/// null. Applied independently to both sides of the pair. This is how the
+/// dirty variants (D-IA, D-DA, D-DG, D-WA) were derived from the structured
+/// datasets in the DeepMatcher benchmark.
+void MakeDirtyPair(PairRecord& pair, double move_prob, size_t target_attr,
+                   Rng& rng);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATAGEN_CORRUPTIONS_H_

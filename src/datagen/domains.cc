@@ -1,0 +1,412 @@
+#include "datagen/domains.h"
+
+#include <string>
+#include <vector>
+
+#include "datagen/word_banks.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+namespace {
+
+std::string W(std::string_view sv) { return std::string(sv); }
+
+/// Joins non-empty parts with single spaces.
+std::string JoinParts(const std::vector<std::string>& parts) {
+  std::vector<std::string> non_empty;
+  for (const auto& p : parts) {
+    if (!p.empty()) non_empty.push_back(p);
+  }
+  return Join(non_empty, " ");
+}
+
+std::shared_ptr<const Schema> MakeSchemaOrDie(
+    std::vector<std::string> names) {
+  return Schema::Make(std::move(names)).ValueOrDie();
+}
+
+Record MakeRecordOrDie(std::shared_ptr<const Schema> schema,
+                       std::vector<Value> values) {
+  return Record::Make(std::move(schema), std::move(values)).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Beer (BeerAdvo-RateBeer): beer_name, brew_factory_name, style, abv
+// ---------------------------------------------------------------------------
+
+class BeerGenerator : public EntityGenerator {
+ public:
+  BeerGenerator()
+      : schema_(MakeSchemaOrDie(
+            {"beer_name", "brew_factory_name", "style", "abv"})) {}
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Record Generate(Rng& rng) const override {
+    const std::string brewery = RandomBrewery(rng);
+    return Build(brewery, rng);
+  }
+
+  Record GenerateSibling(const Record& base, Rng& rng) const override {
+    // Same brewery, different beer.
+    return Build(base.value(1).text(), rng);
+  }
+
+ private:
+  std::string RandomBrewery(Rng& rng) const {
+    return JoinParts({W(PickWord(words::LastNames(), rng)),
+                      W(PickWord(words::BrewerySuffixes(), rng))});
+  }
+
+  Record Build(const std::string& brewery, Rng& rng) const {
+    const std::string style = W(PickWord(words::BeerStyleWords(), rng));
+    std::vector<std::string> name_parts = {
+        W(PickWord(words::BeerNameWords(), rng)),
+        W(PickWord(words::BeerNameWords(), rng))};
+    if (rng.NextBernoulli(0.6)) name_parts.push_back(style);
+    const double abv = 4.0 + rng.NextDouble() * 8.0;
+    return MakeRecordOrDie(
+        schema_,
+        {Value::Of(JoinParts(name_parts)), Value::Of(brewery),
+         Value::Of(style),
+         Value::Of(FormatDouble(abv, 1) + " %")});
+  }
+
+  std::shared_ptr<const Schema> schema_;
+};
+
+// ---------------------------------------------------------------------------
+// Music (iTunes-Amazon): song_name, artist_name, album_name, genre, price,
+// released
+// ---------------------------------------------------------------------------
+
+class MusicGenerator : public EntityGenerator {
+ public:
+  MusicGenerator()
+      : schema_(MakeSchemaOrDie({"song_name", "artist_name", "album_name",
+                                 "genre", "price", "released"})) {}
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Record Generate(Rng& rng) const override {
+    return Build(RandomArtist(rng), RandomAlbum(rng), rng);
+  }
+
+  Record GenerateSibling(const Record& base, Rng& rng) const override {
+    // Same artist; usually the same album (another track of it).
+    const std::string album =
+        rng.NextBernoulli(0.7) ? base.value(2).text() : RandomAlbum(rng);
+    return Build(base.value(1).text(), album, rng);
+  }
+
+ private:
+  std::string RandomArtist(Rng& rng) const {
+    if (rng.NextBernoulli(0.25)) {
+      return JoinParts({"the", W(PickWord(words::SongWords(), rng)) + "s"});
+    }
+    return JoinParts({W(PickWord(words::FirstNames(), rng)),
+                      W(PickWord(words::LastNames(), rng))});
+  }
+
+  std::string RandomAlbum(Rng& rng) const {
+    if (rng.NextBernoulli(0.5)) {
+      return W(PickWord(words::AlbumWords(), rng));
+    }
+    return JoinParts({W(PickWord(words::SongWords(), rng)),
+                      W(PickWord(words::AlbumWords(), rng))});
+  }
+
+  Record Build(const std::string& artist, const std::string& album,
+               Rng& rng) const {
+    std::vector<std::string> song = {W(PickWord(words::SongWords(), rng)),
+                                     W(PickWord(words::SongWords(), rng))};
+    if (rng.NextBernoulli(0.4)) {
+      song.push_back(W(PickWord(words::SongWords(), rng)));
+    }
+    const double price = rng.NextBernoulli(0.7) ? 0.99 : 1.29;
+    const int year = static_cast<int>(rng.NextInt(2003, 2019));
+    static constexpr std::string_view kMonths[] = {
+        "january", "february", "march",     "april",   "may",      "june",
+        "july",    "august",   "september", "october", "november", "december"};
+    const std::string released =
+        JoinParts({W(kMonths[rng.NextUint64(12)]),
+                   std::to_string(rng.NextInt(1, 28)) + ",",
+                   std::to_string(year)});
+    return MakeRecordOrDie(
+        schema_, {Value::Of(JoinParts(song)), Value::Of(artist),
+                  Value::Of(album), Value::Of(W(PickWord(words::Genres(), rng))),
+                  Value::Of("$ " + FormatDouble(price, 2)),
+                  Value::Of(released)});
+  }
+
+  std::shared_ptr<const Schema> schema_;
+};
+
+// ---------------------------------------------------------------------------
+// Restaurant (Fodors-Zagats): name, addr, city, phone, type, class
+// ---------------------------------------------------------------------------
+
+class RestaurantGenerator : public EntityGenerator {
+ public:
+  RestaurantGenerator()
+      : schema_(MakeSchemaOrDie(
+            {"name", "addr", "city", "phone", "type", "class"})) {}
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Record Generate(Rng& rng) const override {
+    return Build(W(PickWord(words::Cities(), rng)), rng);
+  }
+
+  Record GenerateSibling(const Record& base, Rng& rng) const override {
+    // Another restaurant in the same city, often the same cuisine.
+    Record sibling = Build(base.value(2).text(), rng);
+    if (rng.NextBernoulli(0.5)) sibling.SetValue(4, base.value(4));
+    return sibling;
+  }
+
+ private:
+  Record Build(const std::string& city, Rng& rng) const {
+    const std::string name =
+        JoinParts({W(PickWord(words::RestaurantNameWords(), rng)),
+                   W(PickWord(words::RestaurantNameWords(), rng)),
+                   W(PickWord(words::RestaurantNouns(), rng))});
+    const std::string addr =
+        JoinParts({std::to_string(rng.NextInt(1, 9999)),
+                   W(PickWord(words::StreetNames(), rng))});
+    const std::string phone =
+        std::to_string(rng.NextInt(200, 989)) + "/" +
+        std::to_string(rng.NextInt(200, 989)) + "-" +
+        std::to_string(rng.NextInt(1000, 9999));
+    return MakeRecordOrDie(
+        schema_,
+        {Value::Of(name), Value::Of(addr), Value::Of(city), Value::Of(phone),
+         Value::Of(W(PickWord(words::CuisineTypes(), rng))),
+         Value::Of(std::to_string(rng.NextInt(0, 700)))});
+  }
+
+  std::shared_ptr<const Schema> schema_;
+};
+
+// ---------------------------------------------------------------------------
+// Citations (DBLP-ACM / DBLP-GoogleScholar): title, authors, venue, year
+// ---------------------------------------------------------------------------
+
+class CitationGenerator : public EntityGenerator {
+ public:
+  explicit CitationGenerator(bool noisy_venues)
+      : noisy_venues_(noisy_venues),
+        schema_(MakeSchemaOrDie({"title", "authors", "venue", "year"})) {}
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Record Generate(Rng& rng) const override {
+    return Build(RandomTitleWords(rng), rng);
+  }
+
+  Record GenerateSibling(const Record& base, Rng& rng) const override {
+    // A paper with an overlapping title (shared topic words), different
+    // authors/venue/year — the classic DBLP near-miss.
+    std::vector<std::string> base_title = SplitWhitespace(base.value(0).text());
+    std::vector<std::string> title = RandomTitleWords(rng);
+    const size_t keep = std::min<size_t>(base_title.size() * 2 / 3, title.size());
+    for (size_t i = 0; i < keep; ++i) {
+      title[i] = base_title[rng.NextUint64(base_title.size())];
+    }
+    return Build(std::move(title), rng);
+  }
+
+ private:
+  std::vector<std::string> RandomTitleWords(Rng& rng) const {
+    const size_t len = 5 + rng.NextUint64(5);
+    std::vector<std::string> title;
+    title.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      title.push_back(W(PickWord(words::PaperTitleWords(), rng)));
+    }
+    return title;
+  }
+
+  Record Build(std::vector<std::string> title, Rng& rng) const {
+    const size_t num_authors = 1 + rng.NextUint64(4);
+    std::vector<std::string> authors;
+    for (size_t i = 0; i < num_authors; ++i) {
+      authors.push_back(JoinParts({W(PickWord(words::FirstNames(), rng)),
+                                   W(PickWord(words::LastNames(), rng))}));
+    }
+    const auto venues =
+        noisy_venues_ ? words::VenuesNoisy() : words::VenuesCurated();
+    return MakeRecordOrDie(
+        schema_,
+        {Value::Of(JoinParts(title)), Value::Of(Join(authors, " , ")),
+         Value::Of(W(PickWord(venues, rng))),
+         Value::Of(std::to_string(rng.NextInt(1995, 2010)))});
+  }
+
+  bool noisy_venues_;
+  std::shared_ptr<const Schema> schema_;
+};
+
+// ---------------------------------------------------------------------------
+// Products: three schema variants
+// ---------------------------------------------------------------------------
+
+enum class ProductVariant { kAmazonGoogle, kWalmartAmazon, kAbtBuy };
+
+class ProductGenerator : public EntityGenerator {
+ public:
+  explicit ProductGenerator(ProductVariant variant)
+      : variant_(variant), schema_(SchemaFor(variant)) {}
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Record Generate(Rng& rng) const override {
+    return Build(W(PickWord(words::ProductBrands(), rng)),
+                 W(PickWord(words::ProductNouns(), rng)), rng);
+  }
+
+  Record GenerateSibling(const Record& base, Rng& rng) const override {
+    // Same product category from a competitor, or another product of the
+    // same brand — both yield Figure-1-style hard negatives.
+    const std::string base_title = base.value(0).text();
+    std::vector<std::string> tokens = SplitWhitespace(base_title);
+    const std::string base_brand = tokens.empty() ? "acme" : tokens[0];
+    std::string noun = W(PickWord(words::ProductNouns(), rng));
+    for (const auto& t : tokens) {
+      // Reuse the base noun when we can spot it, so siblings collide on it.
+      for (std::string_view candidate : words::ProductNouns()) {
+        if (t == candidate) {
+          noun = t;
+          break;
+        }
+      }
+    }
+    const bool same_brand = rng.NextBernoulli(0.75);
+    const std::string brand =
+        same_brand ? base_brand : W(PickWord(words::ProductBrands(), rng));
+    return Build(brand, noun, rng);
+  }
+
+ private:
+  static std::shared_ptr<const Schema> SchemaFor(ProductVariant variant) {
+    switch (variant) {
+      case ProductVariant::kAmazonGoogle:
+        return MakeSchemaOrDie({"title", "manufacturer", "price"});
+      case ProductVariant::kWalmartAmazon:
+        return MakeSchemaOrDie(
+            {"title", "category", "brand", "modelno", "price"});
+      case ProductVariant::kAbtBuy:
+        return MakeSchemaOrDie({"name", "description", "price"});
+    }
+    LANDMARK_CHECK_MSG(false, "unknown product variant");
+    return nullptr;
+  }
+
+  Record Build(const std::string& brand, const std::string& noun,
+               Rng& rng) const {
+    const std::string model = RandomModelNumber(rng);
+    const std::string adj1 = W(PickWord(words::ProductAdjectives(), rng));
+    const std::string adj2 = W(PickWord(words::ProductAdjectives(), rng));
+    const double price = 5.0 + rng.NextDouble() * 1500.0;
+    const std::string price_str = FormatDouble(price, 2);
+
+    switch (variant_) {
+      case ProductVariant::kAmazonGoogle: {
+        const std::string title = JoinParts({brand, adj1, noun, model});
+        const std::string manufacturer =
+            rng.NextBernoulli(0.3) ? brand + " inc." : brand;
+        return MakeRecordOrDie(schema_, {Value::Of(title),
+                                         Value::Of(manufacturer),
+                                         Value::Of(price_str)});
+      }
+      case ProductVariant::kWalmartAmazon: {
+        const std::string title = JoinParts({brand, adj1, adj2, noun, model});
+        return MakeRecordOrDie(
+            schema_,
+            {Value::Of(title),
+             Value::Of(W(PickWord(words::ProductCategories(), rng))),
+             Value::Of(brand), Value::Of(model), Value::Of(price_str)});
+      }
+      case ProductVariant::kAbtBuy: {
+        const std::string name = JoinParts({brand, adj1, noun, model});
+        // Long free-text description, Abt-Buy style.
+        std::vector<std::string> desc = {brand, adj1, noun, "with", adj2,
+                                         W(PickWord(words::ProductNouns(), rng)),
+                                         model};
+        const size_t extra = 3 + rng.NextUint64(8);
+        for (size_t i = 0; i < extra; ++i) {
+          if (rng.NextBernoulli(0.3)) {
+            desc.push_back(FormatDouble(1.0 + rng.NextDouble() * 99.0, 1));
+            desc.push_back(W(PickWord(words::SpecUnits(), rng)));
+          } else {
+            desc.push_back(W(PickWord(words::ProductAdjectives(), rng)));
+          }
+        }
+        return MakeRecordOrDie(schema_,
+                               {Value::Of(name), Value::Of(JoinParts(desc)),
+                                Value::Of(price_str)});
+      }
+    }
+    LANDMARK_CHECK_MSG(false, "unknown product variant");
+    return Record::Empty(schema_);
+  }
+
+  ProductVariant variant_;
+  std::shared_ptr<const Schema> schema_;
+};
+
+}  // namespace
+
+std::string RandomModelNumber(Rng& rng) {
+  std::string out;
+  const size_t letters = 2 + rng.NextUint64(4);
+  for (size_t i = 0; i < letters; ++i) {
+    out += static_cast<char>('a' + rng.NextUint64(26));
+  }
+  const size_t digits = 2 + rng.NextUint64(3);
+  for (size_t i = 0; i < digits; ++i) {
+    out += static_cast<char>('0' + rng.NextUint64(10));
+  }
+  if (rng.NextBernoulli(0.4)) {
+    out += static_cast<char>('a' + rng.NextUint64(26));
+  }
+  return out;
+}
+
+std::unique_ptr<EntityGenerator> MakeEntityGenerator(MagellanDomain domain) {
+  switch (domain) {
+    case MagellanDomain::kBeer:
+      return std::make_unique<BeerGenerator>();
+    case MagellanDomain::kMusic:
+      return std::make_unique<MusicGenerator>();
+    case MagellanDomain::kRestaurant:
+      return std::make_unique<RestaurantGenerator>();
+    case MagellanDomain::kCitationClean:
+      return std::make_unique<CitationGenerator>(/*noisy_venues=*/false);
+    case MagellanDomain::kCitationNoisy:
+      return std::make_unique<CitationGenerator>(/*noisy_venues=*/true);
+    case MagellanDomain::kProductAmazonGoogle:
+      return std::make_unique<ProductGenerator>(ProductVariant::kAmazonGoogle);
+    case MagellanDomain::kProductWalmartAmazon:
+      return std::make_unique<ProductGenerator>(
+          ProductVariant::kWalmartAmazon);
+    case MagellanDomain::kProductAbtBuy:
+      return std::make_unique<ProductGenerator>(ProductVariant::kAbtBuy);
+  }
+  LANDMARK_CHECK_MSG(false, "unknown domain");
+  return nullptr;
+}
+
+}  // namespace landmark

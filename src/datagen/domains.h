@@ -1,0 +1,56 @@
+#ifndef LANDMARK_DATAGEN_DOMAINS_H_
+#define LANDMARK_DATAGEN_DOMAINS_H_
+
+#include <memory>
+#include <string>
+
+#include "data/record.h"
+#include "data/schema.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief Generates synthetic entities of one benchmark domain.
+///
+/// Each generator owns the entity schema of its domain (the schema of the
+/// corresponding real Magellan dataset) and can produce:
+///  - fresh random entities (`Generate`),
+///  - *siblings* of an entity (`GenerateSibling`): a different real-world
+///    entity that shares context with the base one (same brand, same artist,
+///    overlapping title words...). Siblings become the hard non-matching
+///    pairs that make the benchmark non-trivial — e.g. Figure 1's
+///    "sony digital camera" vs "nikon digital camera leather case".
+class EntityGenerator {
+ public:
+  virtual ~EntityGenerator() = default;
+
+  virtual const std::shared_ptr<const Schema>& schema() const = 0;
+
+  /// Generates a fresh entity.
+  virtual Record Generate(Rng& rng) const = 0;
+
+  /// Generates a different entity that shares context with `base`.
+  virtual Record GenerateSibling(const Record& base, Rng& rng) const = 0;
+};
+
+/// The five entity domains behind the 12 benchmark datasets.
+enum class MagellanDomain {
+  kBeer,                  // BeerAdvo-RateBeer
+  kMusic,                 // iTunes-Amazon
+  kRestaurant,            // Fodors-Zagats
+  kCitationClean,         // DBLP-ACM (small, curated venue strings)
+  kCitationNoisy,         // DBLP-GoogleScholar (large, messy venue strings)
+  kProductAmazonGoogle,   // Amazon-Google (title, manufacturer, price)
+  kProductWalmartAmazon,  // Walmart-Amazon (title, category, brand, modelno, price)
+  kProductAbtBuy,         // Abt-Buy (name, long description, price)
+};
+
+/// Factory for domain generators.
+std::unique_ptr<EntityGenerator> MakeEntityGenerator(MagellanDomain domain);
+
+/// Random alphanumeric model number like "dslra200w" or "kx-tg6512b".
+std::string RandomModelNumber(Rng& rng);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATAGEN_DOMAINS_H_

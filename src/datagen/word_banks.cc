@@ -1,0 +1,265 @@
+#include "datagen/word_banks.h"
+
+namespace landmark {
+namespace words {
+
+namespace {
+
+constexpr std::string_view kFirstNames[] = {
+    "james",  "mary",    "john",    "patricia", "robert", "jennifer",
+    "michael", "linda",  "william", "elizabeth", "david", "barbara",
+    "richard", "susan",  "joseph",  "jessica",  "thomas", "sarah",
+    "charles", "karen",  "daniel",  "nancy",    "matthew", "lisa",
+    "anthony", "betty",  "mark",    "margaret", "donald", "sandra",
+    "steven",  "ashley", "paul",    "kimberly", "andrew", "emily",
+    "joshua",  "donna",  "kenneth", "michelle", "kevin",  "dorothy",
+    "brian",   "carol",  "george",  "amanda",   "edward", "melissa",
+    "ronald",  "deborah", "timothy", "stephanie", "jason", "rebecca",
+    "jeffrey", "sharon", "ryan",    "laura",    "jacob",  "cynthia",
+};
+
+constexpr std::string_view kLastNames[] = {
+    "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+    "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",     "richardson",
+};
+
+constexpr std::string_view kProductBrands[] = {
+    "sony",     "nikon",   "canon",    "panasonic", "samsung",  "lg",
+    "hp",       "dell",    "apple",    "epson",     "toshiba",  "olympus",
+    "fujifilm", "garmin",  "logitech", "belkin",    "netgear",  "kodak",
+    "sandisk",  "lexmark", "brother",  "asus",      "acer",     "lenovo",
+    "philips",  "sharp",   "jvc",      "pioneer",   "yamaha",   "bose",
+    "kenwood",  "casio",   "motorola", "nokia",     "blackberry", "vtech",
+    "tomtom",   "magellan", "polaroid", "sylvania",
+};
+
+constexpr std::string_view kProductNouns[] = {
+    "camera",    "laptop",    "printer",   "monitor",   "keyboard",
+    "router",    "speaker",   "headphones", "case",     "charger",
+    "cable",     "adapter",   "lens",      "tripod",    "drive",
+    "player",    "television", "projector", "scanner",  "notebook",
+    "tablet",    "phone",     "camcorder", "receiver",  "subwoofer",
+    "microphone", "webcam",   "mouse",     "dock",      "battery",
+    "memory",    "card",      "flash",     "toner",     "cartridge",
+    "binoculars", "telescope", "radio",    "turntable", "amplifier",
+};
+
+constexpr std::string_view kProductAdjectives[] = {
+    "digital",     "wireless", "portable", "compact",  "professional",
+    "ultra",       "premium",  "slim",     "black",    "silver",
+    "white",       "red",      "blue",     "leather",  "rechargeable",
+    "bluetooth",   "optical",  "hd",       "stereo",   "waterproof",
+    "lightweight", "heavy-duty", "universal", "deluxe", "mini",
+    "wide-angle",  "high-speed", "dual",   "smart",    "classic",
+};
+
+constexpr std::string_view kProductCategories[] = {
+    "electronics",       "computers",        "cameras and photo",
+    "office products",   "home audio",       "tv and video",
+    "cell phones",       "accessories",      "printers and supplies",
+    "networking",        "car electronics",  "portable audio",
+    "video games",       "wearable technology", "musical instruments",
+};
+
+constexpr std::string_view kSpecUnits[] = {
+    "megapixels", "inch", "ghz", "gb", "mb", "tb",
+    "mah",        "watt", "mm",  "hz", "dpi", "rpm",
+};
+
+constexpr std::string_view kBeerStyleWords[] = {
+    "american ipa",           "imperial stout",   "pale ale",
+    "amber ale",              "wheat beer",       "pilsner",
+    "porter",                 "saison",           "lager",
+    "brown ale",              "double ipa",       "hefeweizen",
+    "belgian tripel",         "barleywine",       "kolsch",
+    "scotch ale",             "oatmeal stout",    "fruit beer",
+    "english bitter",         "dunkel",           "bock",
+    "witbier",                "red ale",          "cream ale",
+};
+
+constexpr std::string_view kBeerNameWords[] = {
+    "hoppy",    "golden",  "midnight", "old",      "wild",    "crooked",
+    "raging",   "lazy",    "burning",  "frozen",   "red",     "black",
+    "white",    "copper",  "iron",     "stone",    "river",   "mountain",
+    "valley",   "harbor",  "sunset",   "sunrise",  "winter",  "summer",
+    "harvest",  "bourbon", "barrel",   "smoked",   "toasted", "rustic",
+    "angry",    "happy",   "grumpy",   "dancing",  "flying",  "howling",
+    "roaring",  "silent",  "velvet",   "amber",    "citra",   "cascade",
+    "mosaic",   "galaxy",  "nugget",   "centennial",
+};
+
+constexpr std::string_view kBrewerySuffixes[] = {
+    "brewing company", "brewery",     "brewing co.", "beer company",
+    "brewhouse",       "craft brewery", "brewworks", "ales",
+    "brewing",         "beer works",
+};
+
+constexpr std::string_view kSongWords[] = {
+    "love",   "night",   "heart",  "dance",   "fire",    "dream",
+    "light",  "shadow",  "rain",   "summer",  "midnight", "forever",
+    "crazy",  "beautiful", "broken", "golden", "wild",    "home",
+    "road",   "river",   "sky",    "star",    "moon",    "sun",
+    "ghost",  "angel",   "devil",  "heaven",  "paradise", "storm",
+    "thunder", "lightning", "echo", "whisper", "scream",  "silence",
+    "memory", "yesterday", "tomorrow", "tonight", "alive", "young",
+    "fever",  "gravity", "horizon", "ocean",   "desert",  "city",
+};
+
+constexpr std::string_view kGenres[] = {
+    "pop",        "rock",      "hip-hop/rap", "country", "r&b/soul",
+    "electronic", "jazz",      "classical",   "reggae",  "blues",
+    "folk",       "latin",     "alternative", "dance",   "indie",
+    "metal",      "soundtrack", "gospel",     "punk",    "world",
+};
+
+constexpr std::string_view kAlbumWords[] = {
+    "greatest hits", "deluxe edition", "live",       "unplugged",
+    "acoustic",      "sessions",       "chronicles", "anthology",
+    "revival",       "origins",        "reflections", "horizons",
+    "escape",        "gravity",        "momentum",   "wanderlust",
+    "afterglow",     "daybreak",       "nightfall",  "resonance",
+};
+
+constexpr std::string_view kRestaurantNameWords[] = {
+    "golden",   "royal",   "little",  "blue",     "green",   "grand",
+    "old",      "new",     "corner",  "garden",   "palace",  "dragon",
+    "lotus",    "olive",   "cedar",   "maple",    "harbor",  "sunset",
+    "village",  "union",   "central", "riverside", "uptown", "downtown",
+    "silver",   "copper",  "ivory",   "jade",     "ruby",    "pearl",
+};
+
+constexpr std::string_view kRestaurantNouns[] = {
+    "cafe",     "grill",   "bistro",  "house",    "kitchen", "tavern",
+    "diner",    "eatery",  "cantina", "trattoria", "brasserie", "pizzeria",
+    "steakhouse", "chophouse", "noodle bar", "tea room", "oyster bar",
+    "bakery",   "deli",    "buffet",
+};
+
+constexpr std::string_view kCuisineTypes[] = {
+    "italian",  "french",   "chinese",  "japanese", "mexican",
+    "thai",     "indian",   "american", "mediterranean", "greek",
+    "spanish",  "korean",   "vietnamese", "seafood", "steakhouses",
+    "barbecue", "vegetarian", "cajun",  "continental", "fusion",
+};
+
+constexpr std::string_view kStreetNames[] = {
+    "main st.",      "oak ave.",      "park blvd.",    "broadway",
+    "sunset blvd.",  "melrose ave.",  "wilshire blvd.", "fifth ave.",
+    "lexington ave.", "madison ave.", "market st.",    "mission st.",
+    "valencia st.",  "king st.",      "queen st.",     "elm st.",
+    "pine st.",      "cedar rd.",     "lake shore dr.", "ocean dr.",
+    "canal st.",     "bleecker st.",  "mulberry st.",  "spring st.",
+};
+
+constexpr std::string_view kCities[] = {
+    "new york",      "los angeles", "chicago",   "san francisco",
+    "atlanta",       "boston",      "seattle",   "miami",
+    "dallas",        "houston",     "denver",    "philadelphia",
+    "new orleans",   "las vegas",   "san diego", "washington dc",
+};
+
+constexpr std::string_view kPaperTitleWords[] = {
+    "efficient",   "scalable",   "adaptive",     "distributed", "parallel",
+    "incremental", "approximate", "optimal",     "dynamic",     "robust",
+    "query",       "queries",    "processing",   "optimization", "evaluation",
+    "indexing",    "index",      "join",         "aggregation", "clustering",
+    "classification", "mining",  "learning",     "matching",    "integration",
+    "database",    "databases",  "data",         "knowledge",   "information",
+    "stream",      "streams",    "graph",        "graphs",      "tree",
+    "spatial",     "temporal",   "relational",   "semistructured", "xml",
+    "web",         "semantic",   "schema",       "entity",      "record",
+    "similarity",  "nearest",    "neighbor",     "search",      "retrieval",
+    "caching",     "storage",    "transaction",  "concurrency", "recovery",
+    "warehouse",   "olap",       "views",        "materialized", "sampling",
+    "estimation",  "selectivity", "cardinality", "partitioning", "replication",
+    "compression", "encryption", "privacy",      "security",    "provenance",
+};
+
+constexpr std::string_view kVenuesCurated[] = {
+    "sigmod conference",
+    "vldb",
+    "sigmod record",
+    "acm trans. database syst.",
+    "vldb j.",
+};
+
+constexpr std::string_view kVenuesNoisy[] = {
+    "sigmod conference",
+    "proceedings of the acm sigmod international conference on management of data",
+    "vldb",
+    "proceedings of the international conference on very large data bases",
+    "sigmod record",
+    "acm sigmod record",
+    "acm trans. database syst.",
+    "acm transactions on database systems",
+    "vldb j.",
+    "the vldb journal",
+    "icde",
+    "international conference on data engineering",
+    "kdd",
+    "pods",
+    "edbt",
+    "cikm",
+    "www",
+    "ieee trans. knowl. data eng.",
+};
+
+}  // namespace
+
+#define LANDMARK_BANK(fn, array)                        \
+  std::span<const std::string_view> fn() {              \
+    return std::span<const std::string_view>(array);    \
+  }
+
+LANDMARK_BANK(FirstNames, kFirstNames)
+LANDMARK_BANK(LastNames, kLastNames)
+LANDMARK_BANK(ProductBrands, kProductBrands)
+LANDMARK_BANK(ProductNouns, kProductNouns)
+LANDMARK_BANK(ProductAdjectives, kProductAdjectives)
+LANDMARK_BANK(ProductCategories, kProductCategories)
+LANDMARK_BANK(SpecUnits, kSpecUnits)
+LANDMARK_BANK(BeerStyleWords, kBeerStyleWords)
+LANDMARK_BANK(BeerNameWords, kBeerNameWords)
+LANDMARK_BANK(BrewerySuffixes, kBrewerySuffixes)
+LANDMARK_BANK(SongWords, kSongWords)
+LANDMARK_BANK(Genres, kGenres)
+LANDMARK_BANK(AlbumWords, kAlbumWords)
+LANDMARK_BANK(CuisineTypes, kCuisineTypes)
+LANDMARK_BANK(StreetNames, kStreetNames)
+LANDMARK_BANK(Cities, kCities)
+LANDMARK_BANK(PaperTitleWords, kPaperTitleWords)
+LANDMARK_BANK(VenuesCurated, kVenuesCurated)
+LANDMARK_BANK(VenuesNoisy, kVenuesNoisy)
+
+std::span<const std::string_view> RestaurantNameWords() {
+  return std::span<const std::string_view>(kRestaurantNameWords);
+}
+
+/// Exposed through RestaurantNameWords/PickWord pairs; nouns are separate so
+/// names read "<word> <word> <noun>".
+std::span<const std::string_view> RestaurantNouns() {
+  return std::span<const std::string_view>(kRestaurantNouns);
+}
+
+#undef LANDMARK_BANK
+
+}  // namespace words
+
+std::string_view PickWord(std::span<const std::string_view> pool, Rng& rng) {
+  LANDMARK_CHECK(!pool.empty());
+  return pool[rng.NextUint64(pool.size())];
+}
+
+}  // namespace landmark

@@ -1,0 +1,55 @@
+#ifndef LANDMARK_DATAGEN_WORD_BANKS_H_
+#define LANDMARK_DATAGEN_WORD_BANKS_H_
+
+#include <span>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace landmark {
+
+/// Vocabulary pools the synthetic Magellan-style generators draw from.
+/// All words are lowercase, matching the preprocessed Magellan benchmark
+/// data the paper evaluates on.
+namespace words {
+
+std::span<const std::string_view> FirstNames();
+std::span<const std::string_view> LastNames();
+
+// Electronics / retail products (Amazon-Google, Walmart-Amazon, Abt-Buy).
+std::span<const std::string_view> ProductBrands();
+std::span<const std::string_view> ProductNouns();
+std::span<const std::string_view> ProductAdjectives();
+std::span<const std::string_view> ProductCategories();
+std::span<const std::string_view> SpecUnits();
+
+// Beer (BeerAdvo-RateBeer).
+std::span<const std::string_view> BeerStyleWords();
+std::span<const std::string_view> BeerNameWords();
+std::span<const std::string_view> BrewerySuffixes();
+
+// Music (iTunes-Amazon).
+std::span<const std::string_view> SongWords();
+std::span<const std::string_view> Genres();
+std::span<const std::string_view> AlbumWords();
+
+// Restaurants (Fodors-Zagats).
+std::span<const std::string_view> RestaurantNameWords();
+std::span<const std::string_view> RestaurantNouns();
+std::span<const std::string_view> CuisineTypes();
+std::span<const std::string_view> StreetNames();
+std::span<const std::string_view> Cities();
+
+// Bibliographic (DBLP-ACM, DBLP-GoogleScholar).
+std::span<const std::string_view> PaperTitleWords();
+std::span<const std::string_view> VenuesCurated();   // small, clean pool (ACM side)
+std::span<const std::string_view> VenuesNoisy();     // larger, messier pool (GoogleScholar side)
+
+}  // namespace words
+
+/// Returns a uniformly random element of `pool`.
+std::string_view PickWord(std::span<const std::string_view> pool, Rng& rng);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_DATAGEN_WORD_BANKS_H_

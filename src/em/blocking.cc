@@ -1,0 +1,91 @@
+#include "em/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "text/tokenize.h"
+
+namespace landmark {
+
+namespace {
+
+std::set<std::string> EntityTokens(const Record& entity) {
+  std::set<std::string> tokens;
+  for (size_t a = 0; a < entity.num_attributes(); ++a) {
+    if (entity.value(a).is_null()) continue;
+    for (auto& t : NormalizedTokens(entity.value(a).text())) {
+      tokens.insert(std::move(t));
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<std::vector<CandidatePair>> TokenBlocker::Block(
+    const std::vector<Record>& left, const std::vector<Record>& right) const {
+  if (left.empty() || right.empty()) {
+    return Status::InvalidArgument("blocking needs non-empty collections");
+  }
+  for (const auto& collection : {&left, &right}) {
+    for (const Record& e : *collection) {
+      if (e.schema() == nullptr || !e.schema()->Equals(*left[0].schema())) {
+        return Status::InvalidArgument(
+            "all entities must share the same schema");
+      }
+    }
+  }
+
+  // Inverted index over the left collection.
+  std::map<std::string, std::vector<size_t>> index;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (const auto& token : EntityTokens(left[i])) {
+      index[token].push_back(i);
+    }
+  }
+
+  const double max_df =
+      options_.max_token_frequency * static_cast<double>(left.size());
+  const double n_left = static_cast<double>(left.size());
+
+  // Probe with right entities, accumulating idf-weighted overlap.
+  std::vector<std::vector<CandidatePair>> per_left(left.size());
+  for (size_t j = 0; j < right.size(); ++j) {
+    std::map<size_t, std::pair<size_t, double>> hits;  // left -> (count, score)
+    for (const auto& token : EntityTokens(right[j])) {
+      auto it = index.find(token);
+      if (it == index.end()) continue;
+      const double df = static_cast<double>(it->second.size());
+      if (df > max_df && df > 1.0) continue;  // stop word
+      const double idf = std::log((1.0 + n_left) / (1.0 + df)) + 1.0;
+      for (size_t i : it->second) {
+        auto& [count, score] = hits[i];
+        ++count;
+        score += idf;
+      }
+    }
+    for (const auto& [i, hit] : hits) {
+      if (hit.first < options_.min_shared_tokens) continue;
+      per_left[i].push_back(CandidatePair{i, j, hit.second});
+    }
+  }
+
+  std::vector<CandidatePair> out;
+  for (auto& candidates : per_left) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidatePair& a, const CandidatePair& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.right_index < b.right_index;
+              });
+    if (options_.top_k_per_left > 0 &&
+        candidates.size() > options_.top_k_per_left) {
+      candidates.resize(options_.top_k_per_left);
+    }
+    out.insert(out.end(), candidates.begin(), candidates.end());
+  }
+  return out;
+}
+
+}  // namespace landmark

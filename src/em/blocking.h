@@ -1,0 +1,56 @@
+#ifndef LANDMARK_EM_BLOCKING_H_
+#define LANDMARK_EM_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief Candidate pair produced by blocking: indices into the two input
+/// entity collections plus the blocking score that ranked it.
+struct CandidatePair {
+  size_t left_index = 0;
+  size_t right_index = 0;
+  double score = 0.0;  // shared-token evidence (idf-weighted)
+};
+
+/// \brief Configuration for TokenBlocker.
+struct BlockingOptions {
+  /// Candidates must share at least this many distinct tokens.
+  size_t min_shared_tokens = 1;
+  /// Tokens appearing in more than this fraction of left entities are
+  /// treated as stop words and never generate candidates (prevents the
+  /// "digital"/"camera" flood).
+  double max_token_frequency = 0.2;
+  /// Keep only the best `top_k` candidates per left entity (0 = all).
+  size_t top_k_per_left = 10;
+};
+
+/// \brief Token-based inverted-index blocker over two entity collections.
+///
+/// EM benchmarks like Magellan's are *already blocked* candidate sets; this
+/// component supplies the missing upstream stage so the library covers the
+/// full match pipeline (block -> match -> explain), as exercised by
+/// examples/end_to_end_pipeline. Candidates are scored by the sum of inverse
+/// document frequencies of their shared tokens.
+class TokenBlocker {
+ public:
+  explicit TokenBlocker(BlockingOptions options = {}) : options_(options) {}
+
+  /// Builds the index over `left` and probes it with `right`. Both
+  /// collections must share one schema. Returns candidates sorted by
+  /// (left_index, descending score).
+  Result<std::vector<CandidatePair>> Block(
+      const std::vector<Record>& left, const std::vector<Record>& right) const;
+
+ private:
+  BlockingOptions options_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EM_BLOCKING_H_

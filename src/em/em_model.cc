@@ -1,0 +1,13 @@
+#include "em/em_model.h"
+
+namespace landmark {
+
+std::vector<double> EmModel::PredictProbaBatch(
+    const std::vector<PairRecord>& pairs) const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) out.push_back(PredictProba(pair));
+  return out;
+}
+
+}  // namespace landmark

@@ -1,0 +1,49 @@
+#ifndef LANDMARK_EM_EM_MODEL_H_
+#define LANDMARK_EM_EM_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/pair_record.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief The black-box interface the explainers see.
+///
+/// An EM model maps a pair of entities to the probability that they refer to
+/// the same real-world entity. Explainers only ever call PredictProba /
+/// PredictProbaBatch — they never look inside — which is what makes
+/// Landmark Explanation model-agnostic (paper §3).
+class EmModel {
+ public:
+  virtual ~EmModel() = default;
+
+  /// Probability in [0, 1] that the pair is a match.
+  virtual double PredictProba(const PairRecord& pair) const = 0;
+
+  /// Batch version; default loops over PredictProba.
+  virtual std::vector<double> PredictProbaBatch(
+      const std::vector<PairRecord>& pairs) const;
+
+  /// Hard label at the given decision threshold (the paper uses 0.5 and
+  /// discusses 0.4 as an alternative).
+  MatchLabel Predict(const PairRecord& pair, double threshold = 0.5) const {
+    return PredictProba(pair) >= threshold ? MatchLabel::kMatch
+                                           : MatchLabel::kNonMatch;
+  }
+
+  /// Human-readable model name for reports.
+  virtual std::string name() const = 0;
+
+  /// Per-attribute importance as seen from *inside* the model (for the
+  /// attribute-based evaluation, Table 3). Models that cannot report it
+  /// return NotImplemented.
+  virtual Result<std::vector<double>> AttributeWeights() const {
+    return Status::NotImplemented(name() + " has no attribute weights");
+  }
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EM_EM_MODEL_H_

@@ -1,0 +1,115 @@
+#include "em/embedding_em_model.h"
+
+#include <cmath>
+
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace landmark {
+
+namespace {
+
+uint64_t HashToken(const std::string& token, uint64_t seed) {
+  // FNV-1a, mixed with the model's hash seed.
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Vector EmbeddingEmModel::EmbedToken(const std::string& token) const {
+  Rng rng(HashToken(token, options_.hash_seed));
+  Vector v(options_.embedding_dim);
+  double norm_sq = 0.0;
+  for (double& x : v) {
+    x = rng.NextGaussian();
+    norm_sq += x * x;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& x : v) x *= inv;
+  }
+  return v;
+}
+
+Vector EmbeddingEmModel::EmbedValue(const Value& value) const {
+  Vector v(options_.embedding_dim, 0.0);
+  if (value.is_null()) return v;
+  std::vector<std::string> tokens = NormalizedTokens(value.text());
+  if (tokens.empty()) return v;
+  for (const auto& token : tokens) {
+    Vector e = EmbedToken(token);
+    for (size_t i = 0; i < v.size(); ++i) v[i] += e[i];
+  }
+  const double inv = 1.0 / static_cast<double>(tokens.size());
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+Vector EmbeddingEmModel::Compose(const PairRecord& pair) const {
+  LANDMARK_CHECK(pair.left.schema()->Equals(*schema_));
+  const size_t k = options_.embedding_dim;
+  Vector features;
+  features.reserve(schema_->num_attributes() * 2 * k);
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    Vector l = EmbedValue(pair.left.value(a));
+    Vector r = EmbedValue(pair.right.value(a));
+    for (size_t i = 0; i < k; ++i) features.push_back(std::abs(l[i] - r[i]));
+    for (size_t i = 0; i < k; ++i) features.push_back(l[i] * r[i]);
+  }
+  return features;
+}
+
+Result<std::unique_ptr<EmbeddingEmModel>> EmbeddingEmModel::Train(
+    const EmDataset& dataset, const EmbeddingEmModelOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  if (options.embedding_dim == 0) {
+    return Status::InvalidArgument("embedding_dim must be > 0");
+  }
+  auto model = std::unique_ptr<EmbeddingEmModel>(
+      new EmbeddingEmModel(dataset.entity_schema(), options));
+
+  Rng rng(options.split_seed);
+  LANDMARK_ASSIGN_OR_RETURN(
+      EmDatasetSplit split,
+      dataset.Split(options.valid_fraction, options.test_fraction, rng));
+
+  Matrix x_train(split.train.size(),
+                 dataset.entity_schema()->num_attributes() * 2 *
+                     options.embedding_dim);
+  std::vector<int> y_train;
+  y_train.reserve(split.train.size());
+  for (size_t r = 0; r < split.train.size(); ++r) {
+    Vector features = model->Compose(dataset.pair(split.train[r]));
+    std::copy(features.begin(), features.end(), x_train.row(r));
+    y_train.push_back(dataset.pair(split.train[r]).is_match() ? 1 : 0);
+  }
+
+  LANDMARK_RETURN_NOT_OK(model->mlp_.Fit(x_train, y_train, options.mlp));
+
+  std::vector<int> y_test, y_pred;
+  for (size_t i : split.test) {
+    y_test.push_back(dataset.pair(i).is_match() ? 1 : 0);
+    y_pred.push_back(model->PredictProba(dataset.pair(i)) >= 0.5 ? 1 : 0);
+  }
+  if (!y_test.empty()) {
+    model->report_.confusion = ComputeConfusion(y_test, y_pred);
+    model->report_.f1 = model->report_.confusion.F1();
+    model->report_.precision = model->report_.confusion.Precision();
+    model->report_.recall = model->report_.confusion.Recall();
+    model->report_.accuracy = model->report_.confusion.Accuracy();
+  }
+  return model;
+}
+
+double EmbeddingEmModel::PredictProba(const PairRecord& pair) const {
+  return mlp_.PredictProba(Compose(pair));
+}
+
+}  // namespace landmark

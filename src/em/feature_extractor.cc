@@ -1,0 +1,46 @@
+#include "em/feature_extractor.h"
+
+#include "util/check.h"
+
+namespace landmark {
+
+FeatureExtractor::FeatureExtractor(std::shared_ptr<const Schema> entity_schema)
+    : schema_(std::move(entity_schema)) {
+  LANDMARK_CHECK(schema_ != nullptr);
+  names_.reserve(num_features());
+  for (const auto& attr : schema_->attribute_names()) {
+    for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+      names_.push_back(
+          attr + "_" +
+          std::string(AttributeFeatureKindName(
+              static_cast<AttributeFeatureKind>(k))));
+    }
+  }
+}
+
+Vector FeatureExtractor::Extract(const PairRecord& pair) const {
+  LANDMARK_CHECK(pair.left.schema() != nullptr &&
+                 pair.left.schema()->Equals(*schema_));
+  LANDMARK_CHECK(pair.right.schema() != nullptr &&
+                 pair.right.schema()->Equals(*schema_));
+  Vector features;
+  features.reserve(num_features());
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    std::vector<double> attr_features =
+        ComputeAllAttributeFeatures(pair.left.value(a), pair.right.value(a));
+    features.insert(features.end(), attr_features.begin(), attr_features.end());
+  }
+  return features;
+}
+
+Matrix FeatureExtractor::ExtractBatch(const EmDataset& dataset,
+                                      const std::vector<size_t>& indices) const {
+  Matrix x(indices.size(), num_features());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    Vector features = Extract(dataset.pair(indices[r]));
+    std::copy(features.begin(), features.end(), x.row(r));
+  }
+  return x;
+}
+
+}  // namespace landmark

@@ -1,0 +1,81 @@
+#include "em/features.h"
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace landmark {
+
+std::string_view AttributeFeatureKindName(AttributeFeatureKind kind) {
+  switch (kind) {
+    case AttributeFeatureKind::kJaccard:
+      return "jaccard";
+    case AttributeFeatureKind::kOverlap:
+      return "overlap";
+    case AttributeFeatureKind::kCosine:
+      return "cosine";
+    case AttributeFeatureKind::kMongeElkan:
+      return "monge_elkan";
+    case AttributeFeatureKind::kLevenshtein:
+      return "lev";
+    case AttributeFeatureKind::kJaroWinkler:
+      return "jaro_winkler";
+    case AttributeFeatureKind::kTrigram:
+      return "trigram";
+    case AttributeFeatureKind::kNumericCloseness:
+      return "numeric";
+    case AttributeFeatureKind::kBothPresent:
+      return "both_present";
+  }
+  return "unknown";
+}
+
+double ComputeAttributeFeature(AttributeFeatureKind kind, const Value& left,
+                               const Value& right) {
+  if (kind == AttributeFeatureKind::kBothPresent) {
+    return (!left.is_null() && !right.is_null()) ? 1.0 : 0.0;
+  }
+  if (left.is_null() || right.is_null()) return 0.0;
+
+  const std::string& a = left.text();
+  const std::string& b = right.text();
+  switch (kind) {
+    case AttributeFeatureKind::kJaccard:
+      return JaccardSimilarity(NormalizedTokens(a), NormalizedTokens(b));
+    case AttributeFeatureKind::kOverlap:
+      return OverlapCoefficient(NormalizedTokens(a), NormalizedTokens(b));
+    case AttributeFeatureKind::kCosine:
+      return CosineTokenSimilarity(NormalizedTokens(a), NormalizedTokens(b));
+    case AttributeFeatureKind::kMongeElkan:
+      return MongeElkanSymmetric(NormalizedTokens(a), NormalizedTokens(b));
+    case AttributeFeatureKind::kLevenshtein:
+      return LevenshteinSimilarity(a, b);
+    case AttributeFeatureKind::kJaroWinkler:
+      return JaroWinklerSimilarity(a, b);
+    case AttributeFeatureKind::kTrigram:
+      return TrigramSimilarity(a, b);
+    case AttributeFeatureKind::kNumericCloseness: {
+      auto na = left.AsDouble();
+      auto nb = right.AsDouble();
+      if (!na.has_value() || !nb.has_value()) return 0.0;
+      return NumericSimilarity(*na, *nb);
+    }
+    case AttributeFeatureKind::kBothPresent:
+      break;  // handled above
+  }
+  LANDMARK_CHECK_MSG(false, "unreachable feature kind");
+  return 0.0;
+}
+
+std::vector<double> ComputeAllAttributeFeatures(const Value& left,
+                                                const Value& right) {
+  std::vector<double> out;
+  out.reserve(kNumAttributeFeatures);
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    out.push_back(ComputeAttributeFeature(static_cast<AttributeFeatureKind>(k),
+                                          left, right));
+  }
+  return out;
+}
+
+}  // namespace landmark

@@ -1,0 +1,49 @@
+#ifndef LANDMARK_EM_FEATURES_H_
+#define LANDMARK_EM_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace landmark {
+
+/// \brief The per-attribute similarity features used by the Magellan-style
+/// EM feature extractor.
+///
+/// For every attribute of the entity schema, the extractor compares the left
+/// and the right value and emits one score per feature kind. This mirrors
+/// the feature tables py_entitymatching builds for string attributes, which
+/// is the setting the paper's Logistic Regression EM model is trained in.
+enum class AttributeFeatureKind : int {
+  kJaccard = 0,        // Jaccard over word tokens
+  kOverlap,            // overlap coefficient over word tokens
+  kCosine,             // cosine over token frequency vectors
+  kMongeElkan,         // symmetric Monge-Elkan with Jaro-Winkler base
+  kLevenshtein,        // whole-string edit similarity
+  kJaroWinkler,        // whole-string Jaro-Winkler
+  kTrigram,            // Jaccard over character 3-grams
+  kNumericCloseness,   // relative closeness when both parse as numbers
+  kBothPresent,        // 1 when neither side is null
+};
+
+/// Number of feature kinds emitted per attribute.
+constexpr size_t kNumAttributeFeatures = 9;
+
+/// Returns a short name for a feature kind ("jaccard", "overlap", ...).
+std::string_view AttributeFeatureKindName(AttributeFeatureKind kind);
+
+/// Computes one similarity feature between two attribute values.
+/// Null handling: kBothPresent reports presence; every other feature is 0
+/// when either side is null (a missing value carries no similarity signal).
+double ComputeAttributeFeature(AttributeFeatureKind kind, const Value& left,
+                               const Value& right);
+
+/// Computes all kNumAttributeFeatures features for one attribute pair, in
+/// enum order.
+std::vector<double> ComputeAllAttributeFeatures(const Value& left,
+                                                const Value& right);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EM_FEATURES_H_

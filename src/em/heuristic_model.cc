@@ -1,0 +1,46 @@
+#include "em/heuristic_model.h"
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace landmark {
+
+JaccardEmModel::JaccardEmModel(std::vector<double> attribute_weights)
+    : attribute_weights_(std::move(attribute_weights)) {}
+
+double JaccardEmModel::PredictProba(const PairRecord& pair) const {
+  const size_t num_attrs = pair.left.num_attributes();
+  LANDMARK_CHECK(num_attrs == pair.right.num_attributes());
+  LANDMARK_CHECK(attribute_weights_.empty() ||
+                 attribute_weights_.size() == num_attrs);
+
+  double total = 0.0;
+  double weight_sum = 0.0;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const double w =
+        attribute_weights_.empty() ? 1.0 : attribute_weights_[a];
+    if (w <= 0.0) continue;
+    const Value& lv = pair.left.value(a);
+    const Value& rv = pair.right.value(a);
+    double sim = 0.0;
+    if (!lv.is_null() && !rv.is_null()) {
+      sim = JaccardSimilarity(NormalizedTokens(lv.text()),
+                              NormalizedTokens(rv.text()));
+    }
+    total += w * sim;
+    weight_sum += w;
+  }
+  return weight_sum == 0.0 ? 0.0 : total / weight_sum;
+}
+
+Result<std::vector<double>> JaccardEmModel::AttributeWeights() const {
+  if (attribute_weights_.empty()) {
+    return Status::FailedPrecondition(
+        "uniform jaccard-em has no fixed attribute count; construct with "
+        "explicit weights to expose them");
+  }
+  return attribute_weights_;
+}
+
+}  // namespace landmark

@@ -1,0 +1,35 @@
+#ifndef LANDMARK_EM_HEURISTIC_MODEL_H_
+#define LANDMARK_EM_HEURISTIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "em/em_model.h"
+
+namespace landmark {
+
+/// \brief Rule-based EM baseline: the match probability is the mean Jaccard
+/// similarity of the attribute pairs, optionally weighted per attribute.
+///
+/// It serves two purposes: (1) a second, non-linear-pipeline black box to
+/// demonstrate model-agnosticism of the explainers in tests and examples,
+/// and (2) a perfectly transparent model whose true token behaviour is
+/// computable in closed form, which lets property tests verify that the
+/// explainers attribute weight to the right tokens.
+class JaccardEmModel : public EmModel {
+ public:
+  /// `attribute_weights` must be empty (uniform) or one non-negative weight
+  /// per entity-schema attribute with a positive sum.
+  explicit JaccardEmModel(std::vector<double> attribute_weights = {});
+
+  double PredictProba(const PairRecord& pair) const override;
+  std::string name() const override { return "jaccard-em"; }
+  Result<std::vector<double>> AttributeWeights() const override;
+
+ private:
+  std::vector<double> attribute_weights_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EM_HEURISTIC_MODEL_H_

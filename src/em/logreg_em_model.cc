@@ -1,0 +1,72 @@
+#include "em/logreg_em_model.h"
+
+#include <cmath>
+
+namespace landmark {
+
+Result<std::unique_ptr<LogRegEmModel>> LogRegEmModel::Train(
+    const EmDataset& dataset, const LogRegEmModelOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  auto model = std::unique_ptr<LogRegEmModel>(
+      new LogRegEmModel(dataset.entity_schema()));
+
+  Rng rng(options.split_seed);
+  LANDMARK_ASSIGN_OR_RETURN(
+      EmDatasetSplit split,
+      dataset.Split(options.valid_fraction, options.test_fraction, rng));
+
+  Matrix x_train =
+      model->extractor_->ExtractBatch(dataset, split.train);
+  std::vector<int> y_train;
+  y_train.reserve(split.train.size());
+  for (size_t i : split.train) {
+    y_train.push_back(dataset.pair(i).is_match() ? 1 : 0);
+  }
+
+  LANDMARK_RETURN_NOT_OK(model->scaler_.Fit(x_train));
+  LANDMARK_RETURN_NOT_OK(model->scaler_.TransformInPlace(x_train));
+  LANDMARK_RETURN_NOT_OK(
+      model->classifier_.Fit(x_train, y_train, options.logreg));
+
+  // Held-out report.
+  std::vector<int> y_test, y_pred;
+  y_test.reserve(split.test.size());
+  y_pred.reserve(split.test.size());
+  for (size_t i : split.test) {
+    y_test.push_back(dataset.pair(i).is_match() ? 1 : 0);
+    y_pred.push_back(
+        model->PredictProba(dataset.pair(i)) >= 0.5 ? 1 : 0);
+  }
+  if (!y_test.empty()) {
+    model->report_.confusion = ComputeConfusion(y_test, y_pred);
+    model->report_.f1 = model->report_.confusion.F1();
+    model->report_.precision = model->report_.confusion.Precision();
+    model->report_.recall = model->report_.confusion.Recall();
+    model->report_.accuracy = model->report_.confusion.Accuracy();
+  }
+  return model;
+}
+
+double LogRegEmModel::PredictProba(const PairRecord& pair) const {
+  Vector features = extractor_->Extract(pair);
+  Status st = scaler_.TransformInPlace(features);
+  LANDMARK_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return classifier_.PredictProba(features);
+}
+
+Result<std::vector<double>> LogRegEmModel::AttributeWeights() const {
+  if (!classifier_.is_fitted()) {
+    return Status::FailedPrecondition("model is not trained");
+  }
+  const size_t num_attrs = extractor_->entity_schema()->num_attributes();
+  std::vector<double> weights(num_attrs, 0.0);
+  const Vector& coef = classifier_.coefficients();
+  for (size_t f = 0; f < coef.size(); ++f) {
+    weights[extractor_->attribute_of_feature(f)] += std::abs(coef[f]);
+  }
+  return weights;
+}
+
+}  // namespace landmark

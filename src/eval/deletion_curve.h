@@ -1,0 +1,47 @@
+#ifndef LANDMARK_EVAL_DELETION_CURVE_H_
+#define LANDMARK_EVAL_DELETION_CURVE_H_
+
+#include <vector>
+
+#include "eval/evaluation.h"
+
+namespace landmark {
+
+/// \brief Deletion-curve faithfulness (extension experiment; not in the
+/// paper, standard in the XAI literature).
+///
+/// Tokens are deleted one at a time in descending order of their weight
+/// *towards the match class*, re-querying the model after every deletion.
+/// A faithful explanation ranks the truly influential tokens first, so the
+/// model's match probability collapses early and the (normalized) area
+/// under the deletion curve is low. A random deletion order gives the
+/// reference AUC; faithful explanations sit clearly below it.
+struct DeletionCurveOptions {
+  /// Deletions per explanation (0 = all tokens).
+  size_t max_steps = 20;
+  /// Random-baseline repetitions per explanation.
+  size_t random_repetitions = 3;
+  uint64_t seed = 99;
+};
+
+struct DeletionCurveResult {
+  /// Mean model probability after k deletions (index 0 = no deletion),
+  /// averaged over explanations; curves are truncated/padded to the
+  /// shortest common length.
+  std::vector<double> mean_curve;
+  /// Normalized area under the mean curve, in [0, 1].
+  double auc = 0.0;
+  /// Same, deleting in random order (the reference).
+  double random_auc = 0.0;
+  size_t num_explanations = 0;
+};
+
+/// Computes deletion curves for every explanation in `records`.
+Result<DeletionCurveResult> EvaluateDeletionCurve(
+    const EmModel& model, const PairExplainer& explainer,
+    const EmDataset& dataset, const std::vector<ExplainedRecord>& records,
+    const DeletionCurveOptions& options = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EVAL_DELETION_CURVE_H_

@@ -1,0 +1,161 @@
+#include "eval/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/kendall.h"
+#include "util/logging.h"
+
+namespace landmark {
+
+ExplainBatchResult ExplainRecords(const EmModel& model,
+                                  const PairExplainer& explainer,
+                                  const EmDataset& dataset,
+                                  const std::vector<size_t>& indices) {
+  ExplainBatchResult out;
+  out.records.reserve(indices.size());
+  for (size_t idx : indices) {
+    Result<std::vector<Explanation>> result =
+        explainer.Explain(model, dataset.pair(idx));
+    if (!result.ok()) {
+      LANDMARK_LOG(Debug) << "skipping pair " << idx << ": "
+                          << result.status().ToString();
+      ++out.num_skipped;
+      continue;
+    }
+    ExplainedRecord record;
+    record.pair_index = idx;
+    record.explanations = std::move(result).ValueOrDie();
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<TokenRemovalResult> EvaluateTokenRemoval(
+    const EmModel& model, const PairExplainer& explainer,
+    const EmDataset& dataset, const std::vector<ExplainedRecord>& records,
+    const TokenRemovalOptions& options) {
+  if (options.removal_fraction <= 0.0 || options.removal_fraction >= 1.0) {
+    return Status::InvalidArgument("removal_fraction must be in (0, 1)");
+  }
+  if (options.repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  TokenRemovalResult result;
+  double abs_error_total = 0.0;
+  size_t agreements = 0;
+
+  for (const ExplainedRecord& record : records) {
+    const PairRecord& pair = dataset.pair(record.pair_index);
+    for (const Explanation& explanation : record.explanations) {
+      const size_t dim = explanation.size();
+      if (dim < 2) continue;  // nothing meaningful to remove
+      const size_t num_remove = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(dim * options.removal_fraction)));
+      for (size_t rep = 0; rep < options.repetitions; ++rep) {
+        std::vector<uint8_t> active(dim, 1);
+        double removed_weight = 0.0;
+        for (size_t idx : rng.SampleWithoutReplacement(dim, num_remove)) {
+          active[idx] = 0;
+          removed_weight += explanation.token_weights[idx].weight;
+        }
+
+        LANDMARK_ASSIGN_OR_RETURN(
+            PairRecord reconstructed,
+            explainer.Reconstruct(explanation, pair, active));
+        const double p_model = model.PredictProba(reconstructed);
+        const double p_surrogate =
+            explanation.model_prediction - removed_weight;
+
+        abs_error_total += std::abs(p_model - p_surrogate);
+        const bool model_match = p_model >= options.decision_threshold;
+        const bool surrogate_match =
+            p_surrogate >= options.decision_threshold;
+        agreements += model_match == surrogate_match;
+        ++result.num_trials;
+      }
+    }
+  }
+
+  if (result.num_trials > 0) {
+    result.mae = abs_error_total / static_cast<double>(result.num_trials);
+    result.accuracy = static_cast<double>(agreements) /
+                      static_cast<double>(result.num_trials);
+  }
+  return result;
+}
+
+Result<AttributeEvalResult> EvaluateAttributeCorrelation(
+    const EmModel& model, const EmDataset& dataset,
+    const std::vector<ExplainedRecord>& records) {
+  LANDMARK_ASSIGN_OR_RETURN(std::vector<double> model_weights,
+                            model.AttributeWeights());
+  const size_t num_attrs = dataset.entity_schema()->num_attributes();
+  if (model_weights.size() != num_attrs) {
+    return Status::Internal("model attribute weights do not match schema");
+  }
+  if (num_attrs < 2) {
+    return Status::InvalidArgument(
+        "attribute evaluation needs at least two attributes");
+  }
+
+  AttributeEvalResult result;
+  double tau_total = 0.0;
+  for (const ExplainedRecord& record : records) {
+    for (const Explanation& explanation : record.explanations) {
+      std::vector<double> surrogate_weights =
+          explanation.AttributeWeights(num_attrs);
+      tau_total += WeightedKendallTau(model_weights, surrogate_weights);
+      ++result.num_explanations;
+    }
+  }
+  if (result.num_explanations > 0) {
+    result.mean_weighted_tau =
+        tau_total / static_cast<double>(result.num_explanations);
+  }
+  return result;
+}
+
+Result<InterestResult> EvaluateInterest(
+    const EmModel& model, const PairExplainer& explainer,
+    const EmDataset& dataset, const std::vector<ExplainedRecord>& records,
+    MatchLabel label, const InterestOptions& options) {
+  InterestResult result;
+  size_t flips = 0;
+  for (const ExplainedRecord& record : records) {
+    const PairRecord& pair = dataset.pair(record.pair_index);
+    // The reference class is the model's verdict on the *original* record —
+    // not on the technique's internal representation (e.g. the augmented
+    // record of double-entity generation), which may already sit on the
+    // other side of the threshold.
+    const bool before =
+        model.PredictProba(pair) >= options.decision_threshold;
+    for (const Explanation& explanation : record.explanations) {
+      // Matching records: drop the tokens that argue *for* the match.
+      // Non-matching records: drop the tokens that argue against it.
+      std::vector<size_t> to_remove = label == MatchLabel::kMatch
+                                          ? explanation.PositiveFeatures()
+                                          : explanation.NegativeFeatures();
+      std::vector<uint8_t> active(explanation.size(), 1);
+      for (size_t idx : to_remove) active[idx] = 0;
+
+      LANDMARK_ASSIGN_OR_RETURN(
+          PairRecord reconstructed,
+          explainer.Reconstruct(explanation, pair, active));
+      const bool after =
+          model.PredictProba(reconstructed) >= options.decision_threshold;
+      flips += before != after;
+      ++result.num_explanations;
+    }
+  }
+  if (result.num_explanations > 0) {
+    result.interest =
+        static_cast<double>(flips) /
+        static_cast<double>(result.num_explanations);
+  }
+  return result;
+}
+
+}  // namespace landmark

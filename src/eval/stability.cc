@@ -1,0 +1,90 @@
+#include "eval/stability.h"
+
+#include <set>
+#include <tuple>
+
+namespace landmark {
+
+namespace {
+
+/// Identity of a token within one record's space (surface text included so
+/// the comparison is meaningful to a user).
+using TokenKey = std::tuple<int, bool, size_t, size_t, std::string>;
+
+std::set<TokenKey> TopTokenSet(const Explanation& exp, size_t k) {
+  std::set<TokenKey> keys;
+  for (size_t idx : exp.TopFeatures(k)) {
+    const Token& t = exp.token_weights[idx].token;
+    keys.insert({static_cast<int>(t.side), t.injected, t.attribute,
+                 t.occurrence, t.text});
+  }
+  return keys;
+}
+
+double SetJaccard(const std::set<TokenKey>& a, const std::set<TokenKey>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& key : a) inter += b.count(key);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+Result<StabilityResult> EvaluateStability(
+    const EmModel& model, const ExplainerFactory& factory,
+    const ExplainerOptions& base_options, const EmDataset& dataset,
+    const std::vector<size_t>& indices, const StabilityOptions& options) {
+  if (options.num_seeds < 2) {
+    return Status::InvalidArgument("stability needs at least two seeds");
+  }
+
+  StabilityResult result;
+  double total = 0.0;
+
+  for (size_t idx : indices) {
+    // One run per seed; each run may return several explanations (the two
+    // landmark perspectives) — compare them position-wise.
+    std::vector<std::vector<std::set<TokenKey>>> runs;
+    bool failed = false;
+    for (size_t s = 0; s < options.num_seeds; ++s) {
+      ExplainerOptions seeded = base_options;
+      seeded.seed = options.base_seed + s;
+      std::unique_ptr<PairExplainer> explainer = factory(seeded);
+      auto explanations = explainer->Explain(model, dataset.pair(idx));
+      if (!explanations.ok()) {
+        failed = true;
+        break;
+      }
+      std::vector<std::set<TokenKey>> top_sets;
+      for (const Explanation& exp : *explanations) {
+        top_sets.push_back(TopTokenSet(exp, options.top_k));
+      }
+      runs.push_back(std::move(top_sets));
+    }
+    if (failed || runs.empty()) continue;
+
+    double record_total = 0.0;
+    size_t record_pairs = 0;
+    for (size_t a = 0; a < runs.size(); ++a) {
+      for (size_t b = a + 1; b < runs.size(); ++b) {
+        const size_t positions = std::min(runs[a].size(), runs[b].size());
+        for (size_t p = 0; p < positions; ++p) {
+          record_total += SetJaccard(runs[a][p], runs[b][p]);
+          ++record_pairs;
+        }
+      }
+    }
+    if (record_pairs == 0) continue;
+    total += record_total / static_cast<double>(record_pairs);
+    ++result.num_records;
+  }
+
+  if (result.num_records > 0) {
+    result.mean_topk_jaccard =
+        total / static_cast<double>(result.num_records);
+  }
+  return result;
+}
+
+}  // namespace landmark

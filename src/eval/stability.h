@@ -1,0 +1,45 @@
+#ifndef LANDMARK_EVAL_STABILITY_H_
+#define LANDMARK_EVAL_STABILITY_H_
+
+#include <functional>
+#include <memory>
+
+#include "eval/evaluation.h"
+
+namespace landmark {
+
+/// \brief Stability of explanations under perturbation-sampling randomness
+/// (extension experiment). An explanation technique is only trustworthy if
+/// re-running it with a different sampling seed surfaces (mostly) the same
+/// top tokens.
+struct StabilityOptions {
+  /// Independent explanation runs per record.
+  size_t num_seeds = 5;
+  /// Top-k token sets compared across runs.
+  size_t top_k = 5;
+  /// Seeds used are base_seed, base_seed + 1, ...
+  uint64_t base_seed = 1000;
+};
+
+struct StabilityResult {
+  /// Mean pairwise Jaccard similarity of the top-k token sets across seeds,
+  /// averaged over records (1.0 = perfectly stable).
+  double mean_topk_jaccard = 0.0;
+  size_t num_records = 0;
+};
+
+/// Builds a fresh explainer for a given options value (the seed is varied by
+/// the evaluator).
+using ExplainerFactory =
+    std::function<std::unique_ptr<PairExplainer>(const ExplainerOptions&)>;
+
+/// Measures top-k stability of the technique produced by `factory` on the
+/// records in `indices`. Records that fail to explain are skipped.
+Result<StabilityResult> EvaluateStability(
+    const EmModel& model, const ExplainerFactory& factory,
+    const ExplainerOptions& base_options, const EmDataset& dataset,
+    const std::vector<size_t>& indices, const StabilityOptions& options = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EVAL_STABILITY_H_

@@ -1,0 +1,239 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace landmark {
+
+namespace {
+
+double Gini(double w_pos, double w_total) {
+  if (w_total <= 0.0) return 0.0;
+  const double p = w_pos / w_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int32_t DecisionTree::Build(const Matrix& x, const std::vector<int>& y,
+                            const std::vector<double>& w,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, int depth,
+                            const DecisionTreeOptions& options, Rng* rng) {
+  const size_t n = end - begin;
+  double w_total = 0.0, w_pos = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    w_total += w[indices[i]];
+    w_pos += w[indices[i]] * y[indices[i]];
+  }
+
+  Node node;
+  node.probability = w_total > 0.0 ? w_pos / w_total : 0.0;
+  depth_ = std::max(depth_, depth);
+
+  const bool pure = w_pos <= 0.0 || w_pos >= w_total;
+  if (depth >= options.max_depth || n < options.min_samples_split || pure) {
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // Candidate features.
+  const size_t d = x.cols();
+  std::vector<size_t> candidates;
+  if (options.max_features > 0 && options.max_features < d) {
+    LANDMARK_CHECK_MSG(rng != nullptr,
+                       "max_features requires an Rng for feature sampling");
+    candidates = rng->SampleWithoutReplacement(d, options.max_features);
+  } else {
+    candidates.resize(d);
+    std::iota(candidates.begin(), candidates.end(), 0);
+  }
+
+  const double parent_impurity_mass = w_total * Gini(w_pos, w_total);
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<size_t> sorted(indices.begin() + begin, indices.begin() + end);
+  for (size_t feature : candidates) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x.at(a, feature) < x.at(b, feature);
+    });
+    double w_left = 0.0, w_left_pos = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const size_t idx = sorted[i];
+      w_left += w[idx];
+      w_left_pos += w[idx] * y[idx];
+      const double v = x.at(idx, feature);
+      const double v_next = x.at(sorted[i + 1], feature);
+      if (v == v_next) continue;  // cannot split between equal values
+      if (i + 1 < options.min_samples_leaf ||
+          n - i - 1 < options.min_samples_leaf) {
+        continue;
+      }
+      const double w_right = w_total - w_left;
+      const double w_right_pos = w_pos - w_left_pos;
+      const double child_mass = w_left * Gini(w_left_pos, w_left) +
+                                w_right * Gini(w_right_pos, w_right);
+      const double gain = parent_impurity_mass - child_mass;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(feature);
+        // Split on `x <= v`: the midpoint 0.5*(v + v_next) can round up to
+        // v_next for adjacent doubles, which would leave the right side
+        // empty; v itself is always a valid separator since v < v_next.
+        best_threshold = v;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // Partition [begin, end) in place by the chosen split.
+  auto middle = std::stable_partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t idx) {
+        return x.at(idx, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t split = static_cast<size_t>(middle - indices.begin());
+  LANDMARK_CHECK(split > begin && split < end);
+
+  importances_[static_cast<size_t>(best_feature)] += best_gain;
+
+  // Reserve this node's slot before recursing (children get later ids).
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const int32_t node_id = static_cast<int32_t>(nodes_.size() - 1);
+
+  const int32_t left =
+      Build(x, y, w, indices, begin, split, depth + 1, options, rng);
+  const int32_t right =
+      Build(x, y, w, indices, split, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
+                         const std::vector<double>& sample_weight,
+                         const DecisionTreeOptions& options, Rng* rng) {
+  const size_t n = x.rows();
+  if (n == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("DecisionTree::Fit: empty input");
+  }
+  if (y.size() != n) {
+    return Status::InvalidArgument("DecisionTree::Fit: y size mismatch");
+  }
+  if (!sample_weight.empty() && sample_weight.size() != n) {
+    return Status::InvalidArgument(
+        "DecisionTree::Fit: sample_weight size mismatch");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+
+  nodes_.clear();
+  depth_ = 0;
+  importances_.assign(x.cols(), 0.0);
+  std::vector<double> weights =
+      sample_weight.empty() ? std::vector<double>(n, 1.0) : sample_weight;
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, weights, indices, 0, n, 0, options, rng);
+  return Status::OK();
+}
+
+double DecisionTree::PredictProba(const Vector& features) const {
+  LANDMARK_CHECK_MSG(is_fitted(), "tree is not fitted");
+  int32_t node_id = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.feature < 0) return node.probability;
+    LANDMARK_CHECK(static_cast<size_t>(node.feature) < features.size());
+    node_id = features[static_cast<size_t>(node.feature)] <= node.threshold
+                  ? node.left
+                  : node.right;
+  }
+}
+
+Status RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
+                         const RandomForestOptions& options,
+                         const std::vector<double>& sample_weight) {
+  const size_t n = x.rows();
+  if (n == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("RandomForest::Fit: empty input");
+  }
+  if (y.size() != n) {
+    return Status::InvalidArgument("RandomForest::Fit: y size mismatch");
+  }
+  if (options.num_trees == 0) {
+    return Status::InvalidArgument("RandomForest::Fit: num_trees must be > 0");
+  }
+  if (options.subsample <= 0.0 || options.subsample > 1.0) {
+    return Status::InvalidArgument("RandomForest::Fit: bad subsample");
+  }
+  if (!sample_weight.empty() && sample_weight.size() != n) {
+    return Status::InvalidArgument(
+        "RandomForest::Fit: sample_weight size mismatch");
+  }
+
+  num_features_ = x.cols();
+  trees_.clear();
+  trees_.reserve(options.num_trees);
+  Rng rng(options.seed);
+
+  DecisionTreeOptions tree_options = options.tree;
+  if (options.random_feature_subsets && tree_options.max_features == 0) {
+    tree_options.max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(std::sqrt(
+               static_cast<double>(num_features_)))));
+  }
+
+  const size_t bag_size = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(options.subsample * n)));
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    // Bootstrap: express the bag as per-sample weights, scaled by any
+    // caller-provided weights (e.g. class rebalancing).
+    std::vector<double> weights(n, 0.0);
+    for (size_t i = 0; i < bag_size; ++i) {
+      const size_t pick = static_cast<size_t>(rng.NextUint64(n));
+      weights[pick] += sample_weight.empty() ? 1.0 : sample_weight[pick];
+    }
+    DecisionTree tree;
+    Rng tree_rng = rng.Fork();
+    LANDMARK_RETURN_NOT_OK(tree.Fit(x, y, weights, tree_options, &tree_rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(const Vector& features) const {
+  LANDMARK_CHECK_MSG(is_fitted(), "forest is not fitted");
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.PredictProba(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  std::vector<double> importances(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& ti = tree.feature_importances();
+    for (size_t f = 0; f < num_features_; ++f) importances[f] += ti[f];
+  }
+  double total = 0.0;
+  for (double v : importances) total += v;
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+}  // namespace landmark

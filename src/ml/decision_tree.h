@@ -1,0 +1,109 @@
+#ifndef LANDMARK_ML_DECISION_TREE_H_
+#define LANDMARK_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief Configuration for decision-tree induction.
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Number of feature candidates evaluated per split; 0 = all features.
+  /// Random forests pass ~sqrt(d).
+  size_t max_features = 0;
+};
+
+/// \brief Binary CART classification tree (Gini impurity, axis-aligned
+/// threshold splits), the base learner of RandomForest.
+///
+/// Leaves store the positive-class probability estimated from (optionally
+/// weighted) training counts, so PredictProba is smooth enough for the
+/// perturbation-based explainers to probe.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits on rows of `x` with 0/1 labels. `sample_weight` is optional
+  /// (empty = uniform). `rng` is only used when options.max_features > 0.
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const std::vector<double>& sample_weight,
+             const DecisionTreeOptions& options, Rng* rng = nullptr);
+
+  /// Probability of class 1.
+  double PredictProba(const Vector& features) const;
+
+  bool is_fitted() const { return !nodes_.empty(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+  /// Total Gini-impurity decrease contributed by each feature (sklearn's
+  /// feature_importances_ before normalization).
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+ private:
+  struct Node {
+    // Internal: feature >= 0; leaf: feature == -1.
+    int32_t feature = -1;
+    double threshold = 0.0;   // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double probability = 0.0;  // leaf positive-class probability
+  };
+
+  int32_t Build(const Matrix& x, const std::vector<int>& y,
+                const std::vector<double>& w, std::vector<size_t>& indices,
+                size_t begin, size_t end, int depth,
+                const DecisionTreeOptions& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  int depth_ = 0;
+};
+
+/// \brief Configuration for RandomForest::Fit.
+struct RandomForestOptions {
+  size_t num_trees = 30;
+  DecisionTreeOptions tree;
+  /// Fraction of the training set bootstrapped per tree.
+  double subsample = 1.0;
+  uint64_t seed = 1234;
+  /// When true (default), each split considers ~sqrt(d) random features.
+  bool random_feature_subsets = true;
+};
+
+/// \brief Bagged ensemble of CART trees; the nonlinear EM model used to
+/// demonstrate model-agnostic explanation.
+class RandomForest {
+ public:
+  /// `sample_weight` (empty = uniform) multiplies the bootstrap counts, so
+  /// class rebalancing composes with bagging.
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const RandomForestOptions& options = {},
+             const std::vector<double>& sample_weight = {});
+
+  /// Mean of the trees' leaf probabilities.
+  double PredictProba(const Vector& features) const;
+
+  bool is_fitted() const { return !trees_.empty(); }
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Mean per-tree impurity-decrease importances, normalized to sum to 1.
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_DECISION_TREE_H_

@@ -1,0 +1,88 @@
+#include "ml/kendall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace landmark {
+
+namespace {
+
+int Sign(double d) { return (d > 0.0) - (d < 0.0); }
+
+/// 0-based ranks of the elements when sorted by decreasing `primary`,
+/// breaking ties by decreasing `secondary`, then by index (deterministic).
+std::vector<size_t> RanksByDecreasing(const std::vector<double>& primary,
+                                      const std::vector<double>& secondary) {
+  std::vector<size_t> order(primary.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (primary[a] != primary[b]) return primary[a] > primary[b];
+    if (secondary[a] != secondary[b]) return secondary[a] > secondary[b];
+    return a < b;
+  });
+  std::vector<size_t> rank(primary.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+/// Weighted tau with ranks taken from one ordering (Vigna's additive
+/// hyperbolic weights, normalized so identical rankings give 1).
+double WeightedTauWithRanks(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<size_t>& rank) {
+  const size_t n = x.size();
+  double num = 0.0, den_x = 0.0, den_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double wi = 1.0 / static_cast<double>(rank[i] + 1);
+    for (size_t j = i + 1; j < n; ++j) {
+      const double w = wi + 1.0 / static_cast<double>(rank[j] + 1);
+      const int sx = Sign(x[i] - x[j]);
+      const int sy = Sign(y[i] - y[j]);
+      num += w * sx * sy;
+      den_x += w * sx * sx;
+      den_y += w * sy * sy;
+    }
+  }
+  const double den = std::sqrt(den_x * den_y);
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace
+
+double KendallTauB(const std::vector<double>& x, const std::vector<double>& y) {
+  LANDMARK_CHECK(x.size() == y.size());
+  LANDMARK_CHECK(x.size() >= 2);
+  const size_t n = x.size();
+  long long concordant_minus_discordant = 0;
+  long long pairs_x = 0;  // pairs not tied in x
+  long long pairs_y = 0;  // pairs not tied in y
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const int sx = Sign(x[i] - x[j]);
+      const int sy = Sign(y[i] - y[j]);
+      concordant_minus_discordant += sx * sy;
+      pairs_x += sx != 0;
+      pairs_y += sy != 0;
+    }
+  }
+  if (pairs_x == 0 || pairs_y == 0) return 0.0;
+  return static_cast<double>(concordant_minus_discordant) /
+         std::sqrt(static_cast<double>(pairs_x) *
+                   static_cast<double>(pairs_y));
+}
+
+double WeightedKendallTau(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  LANDMARK_CHECK(x.size() == y.size());
+  LANDMARK_CHECK(x.size() >= 2);
+  // scipy's rank=True behaviour: average the statistic computed with ranks
+  // from (x desc, y desc) and from (y desc, x desc).
+  const double tau_x = WeightedTauWithRanks(x, y, RanksByDecreasing(x, y));
+  const double tau_y = WeightedTauWithRanks(x, y, RanksByDecreasing(y, x));
+  return 0.5 * (tau_x + tau_y);
+}
+
+}  // namespace landmark

@@ -1,0 +1,31 @@
+#ifndef LANDMARK_ML_KENDALL_H_
+#define LANDMARK_ML_KENDALL_H_
+
+#include <vector>
+
+namespace landmark {
+
+/// \brief Kendall rank correlation coefficients.
+///
+/// The paper's attribute-based evaluation (Table 3) compares the attribute
+/// ranking induced by the EM model's weights with the one induced by the
+/// surrogate model, using the *weighted* Kendall tau so that disagreements
+/// among the most important attributes cost more than disagreements in the
+/// tail.
+
+/// Plain Kendall tau-b (tie-corrected). Returns 0 when either input is
+/// constant. Inputs must have equal size >= 2.
+double KendallTauB(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Weighted Kendall tau with additive hyperbolic weighting, following
+/// Vigna (2015) and scipy.stats.weightedtau's defaults: an exchange between
+/// elements of rank r and s (0-based, ranked by decreasing score) weighs
+/// 1/(r+1) + 1/(s+1). As in scipy with rank=True, the statistic is the
+/// average of the values obtained ranking by decreasing x and by
+/// decreasing y.
+double WeightedKendallTau(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_KENDALL_H_

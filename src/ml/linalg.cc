@@ -1,0 +1,139 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace landmark {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  LANDMARK_CHECK(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::MultiplyTransposed(const Vector& x) const {
+  LANDMARK_CHECK(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::GramWeighted(const Vector& w) const {
+  LANDMARK_CHECK(w.size() == rows_);
+  Matrix g(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double wr = w[r];
+    if (wr == 0.0) continue;
+    for (size_t i = 0; i < cols_; ++i) {
+      const double wai = wr * a[i];
+      if (wai == 0.0) continue;
+      double* gi = g.row(i);
+      for (size_t j = i; j < cols_; ++j) gi[j] += wai * a[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) g.at(j, i) = g.at(i, j);
+  }
+  return g;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  LANDMARK_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  LANDMARK_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: shape mismatch");
+  }
+  // Decompose A = L Lᵀ in place (lower triangle of `l`).
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::InvalidArgument(
+              "CholeskySolve: matrix is not positive definite");
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  Vector z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.at(i, k) * z[k];
+    z[i] = sum / l.at(i, i);
+  }
+  // Back solve Lᵀ x = z.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+Result<Vector> SolveRidge(const Matrix& x, const Vector& y, const Vector& w,
+                          double lambda,
+                          const std::vector<size_t>& unpenalized) {
+  if (y.size() != x.rows() || w.size() != x.rows()) {
+    return Status::InvalidArgument("SolveRidge: shape mismatch");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("SolveRidge: lambda must be >= 0");
+  }
+  Matrix gram = x.GramWeighted(w);
+  for (size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += lambda;
+  for (size_t idx : unpenalized) {
+    if (idx >= gram.rows()) {
+      return Status::OutOfRange("SolveRidge: unpenalized index out of range");
+    }
+    gram.at(idx, idx) -= lambda;
+    // Keep a tiny jitter on the unpenalized diagonal so the system stays
+    // solvable when the column is constant-zero.
+    gram.at(idx, idx) += 1e-10;
+  }
+  Vector wy(y.size());
+  for (size_t i = 0; i < y.size(); ++i) wy[i] = w[i] * y[i];
+  Vector rhs = x.MultiplyTransposed(wy);
+  return CholeskySolve(gram, rhs);
+}
+
+}  // namespace landmark

@@ -1,0 +1,73 @@
+#ifndef LANDMARK_ML_LINALG_H_
+#define LANDMARK_ML_LINALG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace landmark {
+
+/// Dense vector of doubles.
+using Vector = std::vector<double>;
+
+/// \brief Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r`.
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// y = A x. Requires x.size() == cols().
+  Vector Multiply(const Vector& x) const;
+
+  /// y = Aᵀ x. Requires x.size() == rows().
+  Vector MultiplyTransposed(const Vector& x) const;
+
+  /// Returns Aᵀ A weighted by `w` (diagonal): Aᵀ diag(w) A.
+  /// Requires w.size() == rows().
+  Matrix GramWeighted(const Vector& w) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+/// y += alpha * x (in place); requires equal sizes.
+void Axpy(double alpha, const Vector& x, Vector& y);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// decomposition. Returns an error when A is not (numerically) SPD.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Solves the weighted ridge system (Xᵀ W X + lambda I) beta = Xᵀ W y.
+/// The intercept column, if any, must already be part of X; the caller
+/// decides whether to regularize it (this routine regularizes every
+/// coefficient uniformly except indices listed in `unpenalized`).
+Result<Vector> SolveRidge(const Matrix& x, const Vector& y, const Vector& w,
+                          double lambda,
+                          const std::vector<size_t>& unpenalized = {});
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_LINALG_H_

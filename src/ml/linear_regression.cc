@@ -1,0 +1,133 @@
+#include "ml/linear_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace landmark {
+
+double LinearModel::Predict(const Vector& x) const {
+  LANDMARK_CHECK(x.size() == coefficients.size());
+  return Dot(x, coefficients) + intercept;
+}
+
+Result<LinearModel> FitWeightedRidge(const Matrix& x, const Vector& y,
+                                     const Vector& sample_weight,
+                                     double lambda) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (y.size() != n || sample_weight.size() != n) {
+    return Status::InvalidArgument("FitWeightedRidge: shape mismatch");
+  }
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("FitWeightedRidge: empty input");
+  }
+  // Augment with an intercept column and solve with the intercept
+  // unpenalized.
+  Matrix xa(n, d + 1);
+  for (size_t r = 0; r < n; ++r) {
+    const double* src = x.row(r);
+    double* dst = xa.row(r);
+    std::copy(src, src + d, dst);
+    dst[d] = 1.0;
+  }
+  LANDMARK_ASSIGN_OR_RETURN(Vector beta,
+                            SolveRidge(xa, y, sample_weight, lambda, {d}));
+  LinearModel model;
+  model.coefficients.assign(beta.begin(), beta.begin() + d);
+  model.intercept = beta[d];
+  return model;
+}
+
+Result<LinearModel> FitWeightedLasso(const Matrix& x, const Vector& y,
+                                     const Vector& sample_weight,
+                                     const LassoOptions& options) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (y.size() != n || sample_weight.size() != n) {
+    return Status::InvalidArgument("FitWeightedLasso: shape mismatch");
+  }
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("FitWeightedLasso: empty input");
+  }
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("FitWeightedLasso: lambda must be >= 0");
+  }
+
+  // Precompute weighted column norms; columns with zero norm keep beta = 0.
+  Vector col_norm_sq(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (size_t c = 0; c < d; ++c) {
+      col_norm_sq[c] += sample_weight[r] * row[c] * row[c];
+    }
+  }
+
+  Vector beta(d, 0.0);
+  double intercept = 0.0;
+  double weight_total = 0.0;
+  for (double w : sample_weight) weight_total += w;
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("FitWeightedLasso: weights sum to zero");
+  }
+
+  // residual_i = y_i - (w·x_i + b), maintained incrementally.
+  Vector residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i];
+
+  auto refit_intercept = [&]() {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += sample_weight[i] * (residual[i] + intercept);
+    }
+    const double new_intercept = acc / weight_total;
+    const double delta = new_intercept - intercept;
+    if (delta != 0.0) {
+      for (size_t i = 0; i < n; ++i) residual[i] -= delta;
+      intercept = new_intercept;
+    }
+  };
+  refit_intercept();
+
+  const double soft = options.lambda * static_cast<double>(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_update = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      if (col_norm_sq[c] <= 0.0) continue;
+      // rho = sum_i w_i x_ic (residual_i + beta_c x_ic)
+      double rho = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        const double xic = x.at(r, c);
+        if (xic == 0.0) continue;
+        rho += sample_weight[r] * xic * (residual[r] + beta[c] * xic);
+      }
+      double new_beta;
+      if (rho > soft) {
+        new_beta = (rho - soft) / col_norm_sq[c];
+      } else if (rho < -soft) {
+        new_beta = (rho + soft) / col_norm_sq[c];
+      } else {
+        new_beta = 0.0;
+      }
+      const double delta = new_beta - beta[c];
+      if (delta != 0.0) {
+        for (size_t r = 0; r < n; ++r) {
+          const double xic = x.at(r, c);
+          if (xic != 0.0) residual[r] -= delta * xic;
+        }
+        beta[c] = new_beta;
+        max_update = std::max(max_update, std::abs(delta));
+      }
+    }
+    refit_intercept();
+    if (max_update < options.tolerance) break;
+  }
+
+  LinearModel model;
+  model.coefficients = std::move(beta);
+  model.intercept = intercept;
+  return model;
+}
+
+}  // namespace landmark

@@ -1,0 +1,43 @@
+#ifndef LANDMARK_ML_LINEAR_REGRESSION_H_
+#define LANDMARK_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief A fitted linear model y ≈ w·x + b.
+struct LinearModel {
+  Vector coefficients;
+  double intercept = 0.0;
+
+  double Predict(const Vector& x) const;
+};
+
+/// \brief Weighted ridge regression (closed form via normal equations).
+///
+/// This is the surrogate model family used by LIME and by Landmark
+/// Explanation: the per-sample weights come from the locality kernel and the
+/// coefficients are the explanation. The intercept is unpenalized.
+Result<LinearModel> FitWeightedRidge(const Matrix& x, const Vector& y,
+                                     const Vector& sample_weight,
+                                     double lambda);
+
+/// \brief Options for FitWeightedLasso.
+struct LassoOptions {
+  double lambda = 0.01;
+  int max_iterations = 1000;
+  double tolerance = 1e-7;
+};
+
+/// \brief Weighted lasso via cyclic coordinate descent; used for the
+/// feature-selection step when the token space is large.
+Result<LinearModel> FitWeightedLasso(const Matrix& x, const Vector& y,
+                                     const Vector& sample_weight,
+                                     const LassoOptions& options);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_LINEAR_REGRESSION_H_

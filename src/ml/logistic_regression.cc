@@ -1,0 +1,122 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace landmark {
+
+double LogisticRegression::Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                               const LogisticRegressionOptions& options) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (y.size() != n) {
+    return Status::InvalidArgument("LogisticRegression::Fit: y size mismatch");
+  }
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("LogisticRegression::Fit: empty input");
+  }
+  size_t n_pos = 0;
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    n_pos += static_cast<size_t>(label);
+  }
+  if (n_pos == 0 || n_pos == n) {
+    return Status::InvalidArgument(
+        "LogisticRegression::Fit: training data has a single class");
+  }
+
+  // Per-sample weights: balanced class weights give each class the same
+  // total weight (n/2 each), as in sklearn's class_weight="balanced".
+  Vector sample_weight(n, 1.0);
+  if (options.balanced_class_weights) {
+    const double w_pos = static_cast<double>(n) / (2.0 * static_cast<double>(n_pos));
+    const double w_neg =
+        static_cast<double>(n) / (2.0 * static_cast<double>(n - n_pos));
+    for (size_t i = 0; i < n; ++i) {
+      sample_weight[i] = y[i] == 1 ? w_pos : w_neg;
+    }
+  }
+
+  // Augmented design: [X | 1]; last coefficient is the intercept.
+  Matrix xa(n, d + 1);
+  for (size_t r = 0; r < n; ++r) {
+    const double* src = x.row(r);
+    double* dst = xa.row(r);
+    std::copy(src, src + d, dst);
+    dst[d] = 1.0;
+  }
+
+  Vector beta(d + 1, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // mu_i = sigmoid(x_i beta); IRLS weights w_i = s_i mu_i (1 - mu_i).
+    Vector eta = xa.Multiply(beta);
+    Vector irls_w(n);
+    Vector working_residual(n);  // s_i (y_i - mu_i)
+    for (size_t i = 0; i < n; ++i) {
+      const double mu = Sigmoid(eta[i]);
+      // Floor the curvature so the Newton system stays well conditioned
+      // when predictions saturate.
+      irls_w[i] = std::max(sample_weight[i] * mu * (1.0 - mu), 1e-10);
+      working_residual[i] = sample_weight[i] * (y[i] - mu);
+    }
+
+    // Newton step: (Xᵀ W X + lambda I') delta = Xᵀ s(y - mu) - lambda I' beta
+    Matrix hessian = xa.GramWeighted(irls_w);
+    for (size_t j = 0; j < d; ++j) hessian.at(j, j) += options.l2;
+    hessian.at(d, d) += 1e-10;  // keep SPD without penalizing the intercept
+
+    Vector grad = xa.MultiplyTransposed(working_residual);
+    for (size_t j = 0; j < d; ++j) grad[j] -= options.l2 * beta[j];
+
+    LANDMARK_ASSIGN_OR_RETURN(Vector delta, CholeskySolve(hessian, grad));
+
+    double max_update = 0.0;
+    for (size_t j = 0; j <= d; ++j) {
+      beta[j] += delta[j];
+      max_update = std::max(max_update, std::abs(delta[j]));
+    }
+    if (max_update < options.tolerance) break;
+  }
+
+  coef_.assign(beta.begin(), beta.begin() + d);
+  intercept_ = beta[d];
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(const Vector& features) const {
+  LANDMARK_CHECK_MSG(fitted_, "model is not fitted");
+  LANDMARK_CHECK(features.size() == coef_.size());
+  return Sigmoid(Dot(features, coef_) + intercept_);
+}
+
+Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {
+  LANDMARK_CHECK_MSG(fitted_, "model is not fitted");
+  LANDMARK_CHECK(x.cols() == coef_.size());
+  Vector out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r);
+    double z = intercept_;
+    for (size_t c = 0; c < coef_.size(); ++c) z += row[c] * coef_[c];
+    out[r] = Sigmoid(z);
+  }
+  return out;
+}
+
+int LogisticRegression::Predict(const Vector& features, double threshold) const {
+  return PredictProba(features) >= threshold ? 1 : 0;
+}
+
+}  // namespace landmark

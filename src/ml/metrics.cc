@@ -1,0 +1,101 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace landmark {
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred) {
+  LANDMARK_CHECK(y_true.size() == y_pred.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) ++cm.true_positive;
+      else ++cm.false_negative;
+    } else {
+      if (y_pred[i] == 1) ++cm.false_positive;
+      else ++cm.true_negative;
+    }
+  }
+  return cm;
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  LANDMARK_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  LANDMARK_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    total += std::abs(y_true[i] - y_pred[i]);
+  }
+  return total / static_cast<double>(y_true.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  LANDMARK_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(y_true.size()));
+}
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  LANDMARK_CHECK(y_true.size() == y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : y_true) mean += v;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace landmark

@@ -1,0 +1,46 @@
+#ifndef LANDMARK_ML_METRICS_H_
+#define LANDMARK_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace landmark {
+
+/// \brief 2x2 confusion counts for binary classification.
+struct ConfusionMatrix {
+  size_t true_positive = 0;
+  size_t true_negative = 0;
+  size_t false_positive = 0;
+  size_t false_negative = 0;
+
+  size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Builds the confusion matrix from 0/1 labels and predictions.
+ConfusionMatrix ComputeConfusion(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred);
+
+/// Fraction of equal entries; 0 for empty input.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Mean absolute error; 0 for empty input.
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+
+/// Root mean squared error; 0 for empty input.
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+
+/// Coefficient of determination R²; 0 when y_true is constant.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_METRICS_H_

@@ -1,0 +1,225 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"
+#include "util/check.h"
+
+namespace landmark {
+
+namespace {
+
+/// Flat Adam state over all parameters of one layer.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+};
+
+}  // namespace
+
+double Mlp::Forward(const Vector& input,
+                    std::vector<Vector>* activations) const {
+  LANDMARK_CHECK(input.size() == input_dim_);
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(input);
+  }
+  Vector current = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Vector next = layer.weights.Multiply(current);
+    for (size_t i = 0; i < next.size(); ++i) next[i] += layer.bias[i];
+    const bool is_output = l + 1 == layers_.size();
+    if (!is_output) {
+      for (double& v : next) v = std::max(0.0, v);  // ReLU
+    }
+    if (activations != nullptr) activations->push_back(next);
+    current = std::move(next);
+  }
+  return LogisticRegression::Sigmoid(current[0]);
+}
+
+Status Mlp::Fit(const Matrix& x, const std::vector<int>& y,
+                const MlpOptions& options) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("Mlp::Fit: empty input");
+  }
+  if (y.size() != n) {
+    return Status::InvalidArgument("Mlp::Fit: y size mismatch");
+  }
+  if (options.epochs <= 0 || options.batch_size == 0) {
+    return Status::InvalidArgument("Mlp::Fit: bad epochs/batch_size");
+  }
+  size_t n_pos = 0;
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    n_pos += static_cast<size_t>(label);
+  }
+  if (n_pos == 0 || n_pos == n) {
+    return Status::InvalidArgument("Mlp::Fit: single-class training data");
+  }
+
+  // He-initialized layers.
+  Rng rng(options.seed);
+  input_dim_ = d;
+  layers_.clear();
+  std::vector<size_t> widths = options.hidden;
+  widths.push_back(1);
+  size_t fan_in = d;
+  for (size_t width : widths) {
+    if (width == 0) return Status::InvalidArgument("zero-width layer");
+    Layer layer;
+    layer.weights = Matrix(width, fan_in);
+    layer.bias = Vector(width, 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (size_t r = 0; r < width; ++r) {
+      for (size_t c = 0; c < fan_in; ++c) {
+        layer.weights.at(r, c) = rng.NextGaussian() * scale;
+      }
+    }
+    layers_.push_back(std::move(layer));
+    fan_in = width;
+  }
+
+  Vector sample_weight(n, 1.0);
+  if (options.balanced_class_weights) {
+    const double w_pos = static_cast<double>(n) / (2.0 * static_cast<double>(n_pos));
+    const double w_neg =
+        static_cast<double>(n) / (2.0 * static_cast<double>(n - n_pos));
+    for (size_t i = 0; i < n; ++i) {
+      sample_weight[i] = y[i] == 1 ? w_pos : w_neg;
+    }
+  }
+
+  // Adam state per layer (weights then bias, flattened).
+  std::vector<AdamState> adam(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const size_t params =
+        layers_[l].weights.rows() * layers_[l].weights.cols() +
+        layers_[l].bias.size();
+    adam[l].m.assign(params, 0.0);
+    adam[l].v.assign(params, 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  int64_t step = 0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Per-layer gradient accumulators, shaped like the layers.
+  std::vector<Matrix> grad_w(layers_.size());
+  std::vector<Vector> grad_b(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l] = Matrix(layers_[l].weights.rows(), layers_[l].weights.cols());
+    grad_b[l] = Vector(layers_[l].bias.size(), 0.0);
+  }
+
+  std::vector<Vector> activations;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      const size_t end = std::min(n, start + options.batch_size);
+      // Zero gradients.
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(grad_w[l].row(0),
+                  grad_w[l].row(0) + grad_w[l].rows() * grad_w[l].cols(), 0.0);
+        std::fill(grad_b[l].begin(), grad_b[l].end(), 0.0);
+      }
+
+      double batch_weight = 0.0;
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t idx = order[bi];
+        Vector input(x.row(idx), x.row(idx) + d);
+        const double p = Forward(input, &activations);
+        const double w = sample_weight[idx];
+        batch_weight += w;
+
+        // Backprop: dL/dz_out = w (p - y) for sigmoid + log loss.
+        Vector delta(1, w * (p - static_cast<double>(y[idx])));
+        for (size_t l = layers_.size(); l-- > 0;) {
+          const Vector& a_in = activations[l];
+          // Accumulate gradients for layer l.
+          for (size_t r = 0; r < layers_[l].weights.rows(); ++r) {
+            const double dr = delta[r];
+            if (dr == 0.0) continue;
+            double* grad_row = grad_w[l].row(r);
+            for (size_t c = 0; c < layers_[l].weights.cols(); ++c) {
+              grad_row[c] += dr * a_in[c];
+            }
+            grad_b[l][r] += dr;
+          }
+          if (l == 0) break;
+          // Propagate: delta_in = Wᵀ delta, gated by ReLU derivative.
+          Vector next_delta(layers_[l].weights.cols(), 0.0);
+          for (size_t r = 0; r < layers_[l].weights.rows(); ++r) {
+            const double dr = delta[r];
+            if (dr == 0.0) continue;
+            const double* w_row = layers_[l].weights.row(r);
+            for (size_t c = 0; c < next_delta.size(); ++c) {
+              next_delta[c] += w_row[c] * dr;
+            }
+          }
+          for (size_t c = 0; c < next_delta.size(); ++c) {
+            if (activations[l][c] <= 0.0) next_delta[c] = 0.0;
+          }
+          delta = std::move(next_delta);
+        }
+      }
+      if (batch_weight <= 0.0) continue;
+
+      // Adam update.
+      ++step;
+      const double bias_correction1 = 1.0 - std::pow(kBeta1, step);
+      const double bias_correction2 = 1.0 - std::pow(kBeta2, step);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        const size_t wcount =
+            layers_[l].weights.rows() * layers_[l].weights.cols();
+        double* weights = layers_[l].weights.row(0);
+        const double* grads = grad_w[l].row(0);
+        for (size_t p = 0; p < wcount + layers_[l].bias.size(); ++p) {
+          const bool is_weight = p < wcount;
+          double g = (is_weight ? grads[p] : grad_b[l][p - wcount]) /
+                     batch_weight;
+          if (is_weight) g += options.l2 * weights[p];
+          double& m = adam[l].m[p];
+          double& v = adam[l].v[p];
+          m = kBeta1 * m + (1.0 - kBeta1) * g;
+          v = kBeta2 * v + (1.0 - kBeta2) * g * g;
+          const double m_hat = m / bias_correction1;
+          const double v_hat = v / bias_correction2;
+          const double update =
+              options.learning_rate * m_hat / (std::sqrt(v_hat) + kEps);
+          if (is_weight) {
+            weights[p] -= update;
+          } else {
+            layers_[l].bias[p - wcount] -= update;
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double Mlp::PredictProba(const Vector& features) const {
+  LANDMARK_CHECK_MSG(is_fitted(), "mlp is not fitted");
+  return Forward(features, nullptr);
+}
+
+size_t Mlp::num_parameters() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.weights.rows() * layer.weights.cols() + layer.bias.size();
+  }
+  return total;
+}
+
+}  // namespace landmark

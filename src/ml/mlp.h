@@ -1,0 +1,61 @@
+#ifndef LANDMARK_ML_MLP_H_
+#define LANDMARK_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/linalg.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace landmark {
+
+/// \brief Configuration for Mlp::Fit.
+struct MlpOptions {
+  /// Hidden layer widths; {32, 16} builds in -> 32 -> 16 -> 1.
+  std::vector<size_t> hidden = {32, 16};
+  int epochs = 30;
+  size_t batch_size = 32;
+  double learning_rate = 1e-3;  // Adam step size
+  double l2 = 1e-4;             // weight decay on all weights
+  uint64_t seed = 7;
+  /// Rebalance classes through per-sample loss weights.
+  bool balanced_class_weights = true;
+};
+
+/// \brief Small fully-connected binary classifier: ReLU hidden layers, a
+/// sigmoid output, log-loss, trained with mini-batch Adam.
+///
+/// This is the deep-learning substrate for the neural EM model
+/// (EmbeddingEmModel) — the class of models (DeepER, DeepMatcher, DITTO)
+/// whose opacity motivates the paper. Everything is implemented from
+/// scratch on the dense kernels in ml/linalg.h.
+class Mlp {
+ public:
+  /// Trains on rows of `x` with 0/1 labels.
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const MlpOptions& options = {});
+
+  /// Probability of class 1.
+  double PredictProba(const Vector& features) const;
+
+  bool is_fitted() const { return !layers_.empty(); }
+  size_t num_parameters() const;
+
+ private:
+  struct Layer {
+    Matrix weights;  // out x in
+    Vector bias;     // out
+  };
+
+  /// Forward pass; fills per-layer post-activations (activations[0] = input).
+  double Forward(const Vector& input,
+                 std::vector<Vector>* activations) const;
+
+  std::vector<Layer> layers_;
+  size_t input_dim_ = 0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_MLP_H_

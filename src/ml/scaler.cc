@@ -1,0 +1,60 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace landmark {
+
+Status StandardScaler::Fit(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("StandardScaler::Fit: empty input");
+  }
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.row(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = row[c] - mean_[c];
+      std_[c] += diff * diff;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s == 0.0) s = 1.0;  // constant column: center only
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status StandardScaler::TransformInPlace(Matrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler is not fitted");
+  if (x.cols() != mean_.size()) {
+    return Status::InvalidArgument("StandardScaler: column count mismatch");
+  }
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.row(r);
+    for (size_t c = 0; c < mean_.size(); ++c) {
+      row[c] = (row[c] - mean_[c]) / std_[c];
+    }
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::TransformInPlace(Vector& v) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler is not fitted");
+  if (v.size() != mean_.size()) {
+    return Status::InvalidArgument("StandardScaler: size mismatch");
+  }
+  for (size_t c = 0; c < mean_.size(); ++c) {
+    v[c] = (v[c] - mean_[c]) / std_[c];
+  }
+  return Status::OK();
+}
+
+}  // namespace landmark

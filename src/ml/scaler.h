@@ -1,0 +1,36 @@
+#ifndef LANDMARK_ML_SCALER_H_
+#define LANDMARK_ML_SCALER_H_
+
+#include "ml/linalg.h"
+#include "util/status.h"
+
+namespace landmark {
+
+/// \brief Standardizes features to zero mean and unit variance.
+///
+/// Constant features (zero variance) are centered but not scaled, matching
+/// sklearn's StandardScaler behaviour.
+class StandardScaler {
+ public:
+  /// Computes per-column means and standard deviations over rows of `x`.
+  Status Fit(const Matrix& x);
+
+  /// Standardizes in place; `x` must have the fitted number of columns.
+  Status TransformInPlace(Matrix& x) const;
+
+  /// Standardizes one feature vector in place.
+  Status TransformInPlace(Vector& v) const;
+
+  bool is_fitted() const { return fitted_; }
+  const Vector& means() const { return mean_; }
+  const Vector& stddevs() const { return std_; }
+
+ private:
+  Vector mean_;
+  Vector std_;
+  bool fitted_ = false;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_ML_SCALER_H_

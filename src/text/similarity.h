@@ -1,0 +1,66 @@
+#ifndef LANDMARK_TEXT_SIMILARITY_H_
+#define LANDMARK_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace landmark {
+
+/// String- and set-based similarity measures used by the Magellan-style EM
+/// feature extractor. All similarities are in [0, 1]; 1 means identical.
+
+/// Unit-cost edit distance (insert / delete / substitute).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist / max(|a|, |b|); 1.0 when both strings are empty.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity (matching window + transpositions).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with the standard prefix scaling factor p = 0.1, prefix
+/// length capped at 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// |A ∩ B| / |A ∪ B| over the distinct elements of the token lists.
+/// 1.0 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|) over distinct elements; 1.0 when both sides are
+/// empty, 0.0 when exactly one side is empty.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|) over distinct elements; 1.0 when both empty.
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Cosine over token multisets (term-frequency vectors); 1.0 when both
+/// empty, 0 when exactly one side is empty.
+double CosineTokenSimilarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+/// `b`. Asymmetric; callers usually average both directions.
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Symmetrized Monge-Elkan: (ME(a,b) + ME(b,a)) / 2.
+double MongeElkanSymmetric(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+/// Jaccard over character 3-grams of the whole strings.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Relative numeric closeness: 1 - |a-b| / max(|a|, |b|); 1.0 when a == b
+/// (including both zero). Clamped to [0, 1].
+double NumericSimilarity(double a, double b);
+
+/// 1.0 when the strings are byte-identical, else 0.0.
+double ExactMatch(std::string_view a, std::string_view b);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_TEXT_SIMILARITY_H_

@@ -1,0 +1,66 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <set>
+
+namespace landmark {
+
+void TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& corpus) {
+  num_docs_ = corpus.size();
+  for (const auto& doc : corpus) {
+    std::set<std::string> distinct(doc.begin(), doc.end());
+    for (const auto& token : distinct) {
+      size_t id = vocab_.GetOrAdd(token);
+      if (id >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+      ++doc_freq_[id];
+    }
+  }
+}
+
+double TfIdfVectorizer::Idf(size_t token_id) const {
+  const double df =
+      token_id < doc_freq_.size() ? static_cast<double>(doc_freq_[token_id]) : 0.0;
+  return std::log((1.0 + static_cast<double>(num_docs_)) / (1.0 + df)) + 1.0;
+}
+
+TfIdfVectorizer::SparseVector TfIdfVectorizer::Transform(
+    const std::vector<std::string>& doc) const {
+  std::map<size_t, double> tf;
+  for (const auto& token : doc) {
+    int64_t id = vocab_.Lookup(token);
+    if (id >= 0) tf[static_cast<size_t>(id)] += 1.0;
+  }
+  SparseVector vec;
+  vec.reserve(tf.size());
+  double norm_sq = 0.0;
+  for (const auto& [id, f] : tf) {
+    const double w = f * Idf(id);
+    vec.emplace_back(id, w);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [id, w] : vec) w *= inv;
+  }
+  return vec;
+}
+
+double TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (a[i].first > b[j].first) {
+      ++j;
+    } else {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace landmark

@@ -1,0 +1,46 @@
+#ifndef LANDMARK_TEXT_TFIDF_H_
+#define LANDMARK_TEXT_TFIDF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace landmark {
+
+/// \brief Sparse TF-IDF vectorizer over token lists.
+///
+/// Fit on a corpus of documents (token lists); transforms documents into
+/// sparse L2-normalized TF-IDF vectors. Used by the soft-TF-IDF attribute
+/// feature and by the datagen hard-negative miner.
+class TfIdfVectorizer {
+ public:
+  /// A sparse vector: (token id, weight), ids strictly increasing.
+  using SparseVector = std::vector<std::pair<size_t, double>>;
+
+  /// Computes document frequencies over `corpus`.
+  void Fit(const std::vector<std::vector<std::string>>& corpus);
+
+  /// Transforms one document; unseen tokens are ignored. The result is
+  /// L2-normalized (or empty when no token is known).
+  SparseVector Transform(const std::vector<std::string>& doc) const;
+
+  /// Cosine similarity of two sparse vectors.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  /// Smoothed idf of a token id: log((1+N) / (1+df)) + 1.
+  double Idf(size_t token_id) const;
+
+  size_t vocab_size() const { return vocab_.size(); }
+  const Vocabulary& vocab() const { return vocab_; }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<size_t> doc_freq_;
+  size_t num_docs_ = 0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_TEXT_TFIDF_H_

@@ -1,0 +1,48 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace landmark {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  return SplitWhitespace(text);
+}
+
+namespace {
+std::string StripPunct(const std::string& token) {
+  size_t b = 0;
+  size_t e = token.size();
+  while (b < e && std::ispunct(static_cast<unsigned char>(token[b]))) ++b;
+  while (e > b && std::ispunct(static_cast<unsigned char>(token[e - 1]))) --e;
+  return token.substr(b, e - b);
+}
+}  // namespace
+
+std::vector<std::string> NormalizedTokens(std::string_view text) {
+  std::vector<std::string> raw = SplitWhitespace(text);
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const auto& t : raw) {
+    std::string stripped = StripPunct(ToLower(t));
+    if (!stripped.empty()) out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  std::vector<std::string> grams;
+  if (q == 0) return grams;
+  if (s.size() <= q) {
+    if (!s.empty()) grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, q));
+  }
+  return grams;
+}
+
+}  // namespace landmark

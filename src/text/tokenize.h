@@ -1,0 +1,28 @@
+#ifndef LANDMARK_TEXT_TOKENIZE_H_
+#define LANDMARK_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace landmark {
+
+/// \brief Splits `text` into word tokens the way the paper's Tokenizer does:
+/// one token per space-separated term (§3.1). No case folding or punctuation
+/// stripping happens here — benchmark values are already lowercase and the
+/// explainers must preserve the exact surface form so that pair
+/// reconstruction can re-join tokens losslessly.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// \brief Normalized tokens for *similarity computation*: lowercased and
+/// stripped of leading/trailing ASCII punctuation. Used by the EM feature
+/// extractor, not by the explainers.
+std::vector<std::string> NormalizedTokens(std::string_view text);
+
+/// \brief Character q-grams of `s` (q >= 1). Shorter strings yield the whole
+/// string as a single gram.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_TEXT_TOKENIZE_H_

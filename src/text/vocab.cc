@@ -1,0 +1,16 @@
+#include "text/vocab.h"
+
+namespace landmark {
+
+size_t Vocabulary::GetOrAdd(const std::string& token) {
+  auto [it, inserted] = ids_.emplace(token, tokens_.size());
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+int64_t Vocabulary::Lookup(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace landmark

@@ -1,0 +1,29 @@
+#ifndef LANDMARK_TEXT_VOCAB_H_
+#define LANDMARK_TEXT_VOCAB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace landmark {
+
+/// \brief Bidirectional token <-> dense-id mapping.
+class Vocabulary {
+ public:
+  /// Returns the id of `token`, inserting it when unseen.
+  size_t GetOrAdd(const std::string& token);
+
+  /// Returns the id of `token`, or -1 when unseen.
+  int64_t Lookup(const std::string& token) const;
+
+  const std::string& TokenOf(size_t id) const { return tokens_.at(id); }
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::map<std::string, size_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_TEXT_VOCAB_H_

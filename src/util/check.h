@@ -1,0 +1,28 @@
+#ifndef LANDMARK_UTIL_CHECK_H_
+#define LANDMARK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal assertion for programmer errors (violated invariants, impossible
+/// states). Unlike Status, which reports recoverable runtime failures, a
+/// failed check aborts the process. Enabled in all build types.
+#define LANDMARK_CHECK(cond)                                                   \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,  \
+                   #cond);                                                     \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)
+
+#define LANDMARK_CHECK_MSG(cond, msg)                                          \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,       \
+                   __LINE__, #cond, msg);                                      \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)
+
+#endif  // LANDMARK_UTIL_CHECK_H_

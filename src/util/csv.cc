@@ -1,0 +1,135 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace landmark {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+        row_has_content = true;
+        ++i;
+      } else if (c == ',') {
+        current.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // swallow; \n handles the row break
+      } else if (c == '\n') {
+        if (row_has_content || !field.empty() || !current.empty()) {
+          current.push_back(std::move(field));
+          field.clear();
+          records.push_back(std::move(current));
+          current.clear();
+          row_has_content = false;
+        }
+        ++i;
+      } else {
+        field += c;
+        row_has_content = true;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field in CSV input");
+  }
+  if (row_has_content || !field.empty() || !current.empty()) {
+    current.push_back(std::move(field));
+    records.push_back(std::move(current));
+  }
+
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input has no header row");
+  }
+
+  CsvTable table;
+  table.header = std::move(records.front());
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.header.size()) {
+      std::ostringstream msg;
+      msg << "CSV row " << r << " has " << records[r].size()
+          << " fields, header has " << table.header.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string WriteCsvString(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out << WriteCsvString(table);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace landmark

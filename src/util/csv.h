@@ -1,0 +1,35 @@
+#ifndef LANDMARK_UTIL_CSV_H_
+#define LANDMARK_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace landmark {
+
+/// \brief A parsed CSV file: a header row plus data rows, all strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text (double-quote quoting, embedded commas,
+/// quotes and newlines inside quoted fields, CRLF or LF line endings).
+/// The first row is treated as the header. Every data row must have the same
+/// number of fields as the header.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV text, quoting fields when needed.
+std::string WriteCsvString(const CsvTable& table);
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_CSV_H_

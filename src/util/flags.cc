@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+Result<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  LANDMARK_CHECK_MSG(end == it->second.c_str() + it->second.size(),
+                     ("flag --" + name + " is not an integer").c_str());
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  LANDMARK_CHECK_MSG(parsed.has_value(),
+                     ("flag --" + name + " is not a number").c_str());
+  return *parsed;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string v = ToLower(it->second);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace landmark

@@ -1,0 +1,42 @@
+#ifndef LANDMARK_UTIL_FLAGS_H_
+#define LANDMARK_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace landmark {
+
+/// \brief Minimal command-line flag parser for the bench and example
+/// binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Anything that does not start with `--` is collected as a positional
+/// argument.
+class Flags {
+ public:
+  /// Parses argv; returns an error on malformed input (e.g. dangling
+  /// `--name` that expects a value via GetInt/GetDouble and got none).
+  static Result<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the flag is absent and abort with
+  /// a clear message when present but malformed.
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_FLAGS_H_

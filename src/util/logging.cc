@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace landmark {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  std::fprintf(stderr, "%s\n", line.c_str());
+  if (level_ == LogLevel::kError) std::fflush(stderr);
+}
+
+}  // namespace internal_logging
+}  // namespace landmark

@@ -1,0 +1,53 @@
+#ifndef LANDMARK_UTIL_LOGGING_H_
+#define LANDMARK_UTIL_LOGGING_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace landmark {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in LANDMARK_LOG type-match `(void)0` (glog idiom).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace landmark
+
+/// Usage: LANDMARK_LOG(Info) << "trained in " << secs << "s";
+#define LANDMARK_LOG(level)                                          \
+  (static_cast<int>(::landmark::LogLevel::k##level) <                \
+   static_cast<int>(::landmark::GetLogLevel()))                      \
+      ? (void)0                                                      \
+      : ::landmark::internal_logging::Voidify() &                    \
+            ::landmark::internal_logging::LogMessage(                \
+                ::landmark::LogLevel::k##level, __FILE__, __LINE__)  \
+                .stream()
+
+#endif  // LANDMARK_UTIL_LOGGING_H_

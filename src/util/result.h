@@ -1,0 +1,82 @@
+#ifndef LANDMARK_UTIL_RESULT_H_
+#define LANDMARK_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace landmark {
+
+/// \brief Holds either a value of type T or an error Status, in the style of
+/// arrow::Result.
+///
+/// A Result constructed from an OK status is a programmer error (there would
+/// be no value to return) and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so functions can
+  /// `return Status::...;`).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    LANDMARK_CHECK_MSG(!this->status().ok(),
+                       "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    LANDMARK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    LANDMARK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    LANDMARK_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace landmark
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error
+/// status to the caller.
+#define LANDMARK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define LANDMARK_ASSIGN_OR_RETURN(lhs, expr)                              \
+  LANDMARK_ASSIGN_OR_RETURN_IMPL(                                         \
+      LANDMARK_CONCAT_NAME(_landmark_result_, __COUNTER__), lhs, expr)
+
+#define LANDMARK_CONCAT_NAME(x, y) LANDMARK_CONCAT_NAME_INNER(x, y)
+#define LANDMARK_CONCAT_NAME_INNER(x, y) x##y
+
+#endif  // LANDMARK_UTIL_RESULT_H_

@@ -1,0 +1,76 @@
+#ifndef LANDMARK_UTIL_RNG_H_
+#define LANDMARK_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace landmark {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library draws from an Rng that is
+/// explicitly seeded, so experiments are reproducible bit-for-bit across
+/// runs and platforms. The generator is small, fast, and passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams
+  /// (the seed is expanded through SplitMix64 as recommended by the xoshiro
+  /// authors).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Returns a standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Returns true with probability p.
+  bool NextBernoulli(double p);
+
+  /// Returns an index in [0, weights.size()) drawn proportionally to
+  /// `weights` (non-negative, not all zero).
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Returns k distinct indices drawn uniformly from [0, n) in random order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent generator; the child stream does not overlap the
+  /// parent's for any practical sequence length.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cached second variate from the polar method.
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_RNG_H_

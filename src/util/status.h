@@ -1,0 +1,111 @@
+#ifndef LANDMARK_UTIL_STATUS_H_
+#define LANDMARK_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace landmark {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail, in the style of
+/// arrow::Status / rocksdb::Status.
+///
+/// The OK status is represented with a null payload so that passing and
+/// returning OK statuses is allocation-free. Errors carry a code and a
+/// message. The class is cheap to move and copyable.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Returns "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace landmark
+
+/// Propagates a non-OK status to the caller.
+#define LANDMARK_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::landmark::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // LANDMARK_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef LANDMARK_UTIL_STRING_UTIL_H_
+#define LANDMARK_UTIL_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace landmark {
+
+/// Splits `s` on the single character `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `s` with ASCII letters lowercased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` without leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns nullopt when `s` is not (entirely) a number.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_STRING_UTIL_H_

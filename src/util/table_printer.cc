@@ -1,0 +1,70 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace landmark {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LANDMARK_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  LANDMARK_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  const size_t cols = header_.size();
+  std::vector<size_t> widths(cols, 0);
+  for (size_t c = 0; c < cols; ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      os << (c == 0 ? "| " : " | ");
+      // Left-align the first (label) column, right-align metrics.
+      const std::string& cell = row[c];
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        os << cell << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cell;
+      }
+    }
+    os << " |\n";
+  };
+
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < cols; ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace landmark

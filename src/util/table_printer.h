@@ -1,0 +1,41 @@
+#ifndef LANDMARK_UTIL_TABLE_PRINTER_H_
+#define LANDMARK_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace landmark {
+
+/// \brief Renders aligned plain-text tables, in the layout the paper's
+/// tables use (row label column plus grouped metric columns).
+///
+/// Example:
+///   TablePrinter tp({"", "Single Acc", "Single MAE", "LIME Acc"});
+///   tp.AddRow({"S-BR", "0.923", "0.121", "0.830"});
+///   tp.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 3 decimals; the first cell is a label.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 3);
+
+  /// Writes the table with column-aligned cells and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TABLE_PRINTER_H_

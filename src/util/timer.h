@@ -1,0 +1,31 @@
+#ifndef LANDMARK_UTIL_TIMER_H_
+#define LANDMARK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace landmark {
+
+/// \brief Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TIMER_H_

@@ -1,0 +1,128 @@
+#include "core/anchor_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "em/heuristic_model.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+PairRecord MakePair(const std::string& l0, const std::string& l1,
+                    const std::string& r0, const std::string& r1) {
+  PairRecord pair;
+  pair.id = 5;
+  pair.left = *Record::Make(TestSchema(), {Value::Of(l0), Value::Of(l1)});
+  pair.right = *Record::Make(TestSchema(), {Value::Of(r0), Value::Of(r1)});
+  return pair;
+}
+
+/// Deterministic rule model: match iff the right name contains "magic".
+class MagicWordModel : public EmModel {
+ public:
+  double PredictProba(const PairRecord& pair) const override {
+    const Value& v = pair.right.value(0);
+    if (v.is_null()) return 0.0;
+    for (const auto& token : WordTokens(v.text())) {
+      if (token == "magic") return 1.0;
+    }
+    return 0.0;
+  }
+  std::string name() const override { return "magic-word"; }
+};
+
+TEST(AnchorExplainerTest, FindsTheDecidingToken) {
+  MagicWordModel model;
+  AnchorExplainer explainer;
+  PairRecord pair = MakePair("whatever", "1", "some magic words here", "2");
+  // Landmark = left, varying = right: the anchor must be exactly {magic}.
+  auto rule = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->predicts_match);
+  EXPECT_GE(rule->precision, 0.95);
+  ASSERT_EQ(rule->anchor_tokens.size(), 1u);
+  EXPECT_EQ(rule->anchor_tokens[0].text, "magic");
+}
+
+TEST(AnchorExplainerTest, NonMatchAnchorsCanBeEmpty) {
+  // Without "magic" the model always says non-match, whatever is dropped:
+  // the empty anchor already has precision 1.
+  MagicWordModel model;
+  AnchorExplainer explainer;
+  PairRecord pair = MakePair("whatever", "1", "plain words only", "2");
+  auto rule = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(rule->predicts_match);
+  EXPECT_GE(rule->precision, 0.95);
+  EXPECT_TRUE(rule->anchor_features.empty());
+}
+
+TEST(AnchorExplainerTest, BothLandmarkPerspectives) {
+  JaccardEmModel model;
+  AnchorOptions options;
+  options.samples_per_candidate = 32;
+  AnchorExplainer explainer(options);
+  PairRecord pair = MakePair("alpha beta", "9", "alpha beta", "9");
+  auto rules = explainer.Explain(model, pair);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 2u);
+  for (const AnchorRule& rule : *rules) {
+    EXPECT_TRUE(rule.predicts_match);
+    EXPECT_GT(rule.precision, 0.5);
+  }
+}
+
+TEST(AnchorExplainerTest, MaxAnchorSizeIsRespected) {
+  JaccardEmModel model;
+  AnchorOptions options;
+  options.max_anchor_size = 2;
+  options.target_precision = 1.01;  // unreachable: forces growth to the cap
+  options.samples_per_candidate = 16;
+  AnchorExplainer explainer(options);
+  PairRecord pair =
+      MakePair("a b c d e f", "9", "a b c d e f", "9");
+  auto rule = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_LE(rule->anchor_features.size(), 2u);
+}
+
+TEST(AnchorExplainerTest, DeterministicAcrossCalls) {
+  JaccardEmModel model;
+  AnchorExplainer explainer;
+  PairRecord pair = MakePair("sony camera kit", "9", "sony camera bag", "7");
+  auto a = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  auto b = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->anchor_features, b->anchor_features);
+  EXPECT_DOUBLE_EQ(a->precision, b->precision);
+}
+
+TEST(AnchorExplainerTest, RuleRendersReadably) {
+  MagicWordModel model;
+  AnchorExplainer explainer;
+  PairRecord pair = MakePair("x", "1", "magic", "2");
+  auto rule = explainer.FindAnchor(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(rule.ok());
+  auto schema = TestSchema();
+  const std::string rendered = rule->ToString(*schema);
+  EXPECT_NE(rendered.find("IF {"), std::string::npos);
+  EXPECT_NE(rendered.find("THEN match"), std::string::npos);
+}
+
+TEST(AnchorExplainerTest, RejectsEmptyVaryingEntity) {
+  MagicWordModel model;
+  AnchorExplainer explainer;
+  PairRecord pair;
+  pair.left = *Record::Make(TestSchema(), {Value::Of("x"), Value::Of("1")});
+  pair.right = Record::Empty(TestSchema());
+  EXPECT_FALSE(explainer.FindAnchor(model, pair, EntitySide::kLeft).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,107 @@
+#include "core/counterfactual.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+PairRecord MakePair(const std::string& l0, const std::string& l1,
+                    const std::string& r0, const std::string& r1) {
+  PairRecord pair;
+  pair.id = 3;
+  pair.left = *Record::Make(TestSchema(), {Value::Of(l0), Value::Of(l1)});
+  pair.right = *Record::Make(TestSchema(), {Value::Of(r0), Value::Of(r1)});
+  return pair;
+}
+
+ExplainerOptions FastOptions() {
+  ExplainerOptions options;
+  options.num_samples = 200;
+  return options;
+}
+
+TEST(CounterfactualTest, FlipsAMatchByRemovingSharedTokens) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  // p = 1.0 match; removing shared tokens must flip it.
+  PairRecord pair = MakePair("alpha beta gamma", "9", "alpha beta gamma", "9");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  auto cf = FindCounterfactual(model, explainer, (*explanations)[0], pair);
+  ASSERT_TRUE(cf.ok());
+  EXPECT_TRUE(cf->flipped);
+  EXPECT_GE(cf->probability_before, 0.5);
+  EXPECT_LT(cf->probability_after, 0.5);
+  EXPECT_GT(cf->removed_features.size(), 0u);
+  EXPECT_LT(cf->removed_features.size(), (*explanations)[0].size());
+}
+
+TEST(CounterfactualTest, PruningYieldsIrreducibleSet) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair =
+      MakePair("alpha beta gamma delta", "9", "alpha beta gamma delta", "9");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];
+  auto cf = FindCounterfactual(model, explainer, exp, pair);
+  ASSERT_TRUE(cf.ok());
+  ASSERT_TRUE(cf->flipped);
+
+  // Irreducibility: restoring any single removed token un-flips the record.
+  for (size_t restore : cf->removed_features) {
+    std::vector<uint8_t> active(exp.size(), 1);
+    for (size_t idx : cf->removed_features) active[idx] = 0;
+    active[restore] = 1;
+    PairRecord rec = explainer.Reconstruct(exp, pair, active).ValueOrDie();
+    EXPECT_GE(model.PredictProba(rec), 0.5)
+        << "removal set was not minimal: token " << restore << " not needed";
+  }
+}
+
+TEST(CounterfactualTest, DoubleEntityFlipsANonMatchByKeepingInjected) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, FastOptions());
+  PairRecord pair = MakePair("aaa bbb ccc", "9", "xxx yyy", "5");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];
+  // The augmented record is what the explanation reasons about; its class
+  // may be either side of the threshold — the counterfactual flips it.
+  auto cf = FindCounterfactual(model, explainer, exp, pair);
+  ASSERT_TRUE(cf.ok());
+  EXPECT_TRUE(cf->flipped);
+}
+
+TEST(CounterfactualTest, MaxRemovalsBoundsTheSearch) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair = MakePair("a b c d e f g h", "9", "a b c d e f g h", "9");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  CounterfactualOptions options;
+  options.max_removals = 1;  // cannot flip with one token out of many
+  auto cf = FindCounterfactual(model, explainer, (*explanations)[0], pair,
+                               options);
+  ASSERT_TRUE(cf.ok());
+  EXPECT_FALSE(cf->flipped);
+  EXPECT_LE(cf->removed_features.size(), 1u);
+}
+
+TEST(CounterfactualTest, RejectsEmptyExplanation) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  Explanation empty;
+  PairRecord pair = MakePair("a", "1", "b", "2");
+  EXPECT_FALSE(FindCounterfactual(model, explainer, empty, pair).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,98 @@
+// Reproducibility guarantees: every experiment artifact must be a pure
+// function of its seeds. These tests pin that end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace landmark {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.records_per_label = 5;
+  config.explainer_options.num_samples = 96;
+  return config;
+}
+
+TEST(DeterminismTest, ExperimentContextIsReproducible) {
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-BR");
+  auto a = ExperimentContext::Create(spec, SmallConfig());
+  auto b = ExperimentContext::Create(spec, SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sample(MatchLabel::kMatch), b->sample(MatchLabel::kMatch));
+  EXPECT_EQ(a->sample(MatchLabel::kNonMatch),
+            b->sample(MatchLabel::kNonMatch));
+  // Same training outcome (spot-check a prediction).
+  EXPECT_DOUBLE_EQ(a->model().PredictProba(a->dataset().pair(0)),
+                   b->model().PredictProba(b->dataset().pair(0)));
+}
+
+TEST(DeterminismTest, FullEvaluationPipelineIsReproducible) {
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-BR");
+  ExperimentConfig config = SmallConfig();
+
+  auto run_once = [&]() {
+    auto context = ExperimentContext::Create(spec, config).ValueOrDie();
+    LandmarkExplainer explainer(GenerationStrategy::kSingle,
+                                config.explainer_options);
+    ExplainBatchResult batch =
+        ExplainRecords(context.model(), explainer, context.dataset(),
+                       context.sample(MatchLabel::kMatch));
+    return EvaluateTokenRemoval(context.model(), explainer, context.dataset(),
+                                batch.records, config.token_removal)
+        .ValueOrDie();
+  };
+  TokenRemovalResult first = run_once();
+  TokenRemovalResult second = run_once();
+  EXPECT_DOUBLE_EQ(first.accuracy, second.accuracy);
+  EXPECT_DOUBLE_EQ(first.mae, second.mae);
+  EXPECT_EQ(first.num_trials, second.num_trials);
+}
+
+TEST(DeterminismTest, DifferentExplainerSeedsChangeTheNeighbourhood) {
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-BR");
+  auto context = ExperimentContext::Create(spec, SmallConfig()).ValueOrDie();
+  const PairRecord& pair =
+      context.dataset().pair(context.sample(MatchLabel::kMatch)[0]);
+
+  ExplainerOptions options_a = SmallConfig().explainer_options;
+  ExplainerOptions options_b = options_a;
+  options_b.seed = options_a.seed + 1;
+  LandmarkExplainer a(GenerationStrategy::kSingle, options_a);
+  LandmarkExplainer b(GenerationStrategy::kSingle, options_b);
+  auto ea = a.Explain(context.model(), pair);
+  auto eb = b.Explain(context.model(), pair);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < (*ea)[0].size(); ++i) {
+    any_diff |= (*ea)[0].token_weights[i].weight !=
+                (*eb)[0].token_weights[i].weight;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DeterminismTest, ShapNeighborhoodIsAlsoReproducible) {
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-BR");
+  auto context = ExperimentContext::Create(spec, SmallConfig()).ValueOrDie();
+  const PairRecord& pair =
+      context.dataset().pair(context.sample(MatchLabel::kNonMatch)[0]);
+  ExplainerOptions options = SmallConfig().explainer_options;
+  options.neighborhood = NeighborhoodKind::kShap;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, options);
+  auto a = explainer.Explain(context.model(), pair);
+  auto b = explainer.Explain(context.model(), pair);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t e = 0; e < a->size(); ++e) {
+    for (size_t i = 0; i < (*a)[e].size(); ++i) {
+      EXPECT_DOUBLE_EQ((*a)[e].token_weights[i].weight,
+                       (*b)[e].token_weights[i].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace landmark

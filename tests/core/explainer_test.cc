@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> NameSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+PairRecord MakePair(const std::string& l0, const std::string& l1,
+                    const std::string& r0, const std::string& r1,
+                    int64_t id = 1) {
+  auto schema = NameSchema();
+  PairRecord pair;
+  pair.id = id;
+  pair.left = *Record::Make(schema, {Value::Of(l0), Value::Of(l1)});
+  pair.right = *Record::Make(schema, {Value::Of(r0), Value::Of(r1)});
+  return pair;
+}
+
+ExplainerOptions FastOptions() {
+  ExplainerOptions options;
+  options.num_samples = 200;
+  return options;
+}
+
+TEST(LimeExplainerTest, CoversTokensOfBothEntities) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  PairRecord pair = MakePair("sony camera", "10", "sony case", "12");
+  auto explanations = lime.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  ASSERT_EQ(explanations->size(), 1u);
+  const Explanation& exp = (*explanations)[0];
+  EXPECT_EQ(exp.size(), 6u);  // 3 left + 3 right tokens
+  EXPECT_FALSE(exp.landmark.has_value());
+  size_t left = 0, right = 0;
+  for (const auto& tw : exp.token_weights) {
+    left += tw.token.side == EntitySide::kLeft;
+    right += tw.token.side == EntitySide::kRight;
+  }
+  EXPECT_EQ(left, 3u);
+  EXPECT_EQ(right, 3u);
+}
+
+TEST(LimeExplainerTest, IsDeterministic) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  PairRecord pair = MakePair("alpha beta gamma", "5", "alpha delta", "5");
+  auto a = lime.Explain(model, pair);
+  auto b = lime.Explain(model, pair);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < (*a)[0].size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[0].token_weights[i].weight,
+                     (*b)[0].token_weights[i].weight);
+  }
+}
+
+TEST(LimeExplainerTest, DifferentRecordsGetDifferentNeighbourhoods) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  PairRecord a = MakePair("alpha beta", "5", "alpha beta", "5", /*id=*/1);
+  PairRecord b = MakePair("alpha beta", "5", "alpha beta", "5", /*id=*/2);
+  auto ea = lime.Explain(model, a);
+  auto eb = lime.Explain(model, b);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  // Same content, different ids -> different sampled masks -> weights are
+  // extremely unlikely to be bit-identical across all tokens.
+  bool any_diff = false;
+  for (size_t i = 0; i < (*ea)[0].size(); ++i) {
+    any_diff |= (*ea)[0].token_weights[i].weight !=
+                (*eb)[0].token_weights[i].weight;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LimeExplainerTest, EmptyRecordIsAnError) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  PairRecord pair;
+  pair.left = Record::Empty(NameSchema());
+  pair.right = Record::Empty(NameSchema());
+  EXPECT_FALSE(lime.Explain(model, pair).ok());
+}
+
+TEST(LandmarkSingleTest, ProducesTwoExplanationsWithOppositeVaryingSides) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair = MakePair("sony camera", "10", "sony case", "12");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  ASSERT_EQ(explanations->size(), 2u);
+
+  const Explanation& left_landmark = (*explanations)[0];
+  EXPECT_EQ(left_landmark.landmark, EntitySide::kLeft);
+  for (const auto& tw : left_landmark.token_weights) {
+    EXPECT_EQ(tw.token.side, EntitySide::kRight);
+    EXPECT_FALSE(tw.token.injected);
+  }
+  const Explanation& right_landmark = (*explanations)[1];
+  EXPECT_EQ(right_landmark.landmark, EntitySide::kRight);
+  for (const auto& tw : right_landmark.token_weights) {
+    EXPECT_EQ(tw.token.side, EntitySide::kLeft);
+  }
+}
+
+TEST(LandmarkSingleTest, SharedTokenPositiveNoiseTokenNegative) {
+  // Model = mean jaccard. Landmark left = "alpha beta". Varying right =
+  // "alpha zzz": dropping "alpha" lowers similarity (positive weight),
+  // dropping "zzz" raises it (negative weight).
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair = MakePair("alpha beta", "7", "alpha zzz", "7");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];  // landmark = left
+  double w_alpha = 0, w_zzz = 0;
+  for (const auto& tw : exp.token_weights) {
+    if (tw.token.text == "alpha") w_alpha = tw.weight;
+    if (tw.token.text == "zzz") w_zzz = tw.weight;
+  }
+  EXPECT_GT(w_alpha, 0.0);
+  EXPECT_LT(w_zzz, 0.0);
+  EXPECT_GT(w_alpha, w_zzz + 0.1);
+}
+
+TEST(LandmarkSingleTest, ReconstructNeverTouchesTheLandmark) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair = MakePair("sony camera kit", "10", "nikon case", "12");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];  // landmark = left
+
+  std::vector<uint8_t> all_removed(exp.size(), 0);
+  auto rec = explainer.Reconstruct(exp, pair, all_removed);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->left, pair.left);  // landmark untouched
+  for (size_t a = 0; a < rec->right.num_attributes(); ++a) {
+    EXPECT_TRUE(rec->right.value(a).is_null());
+  }
+}
+
+TEST(LandmarkDoubleTest, InjectsLandmarkTokensIntoVaryingEntity) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, FastOptions());
+  PairRecord pair = MakePair("sony camera", "10", "nikon case", "12");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];  // landmark = left
+
+  size_t injected = 0, original = 0;
+  for (const auto& tw : exp.token_weights) {
+    EXPECT_EQ(tw.token.side, EntitySide::kRight);
+    injected += tw.token.injected;
+    original += !tw.token.injected;
+  }
+  EXPECT_EQ(original, 3u);  // nikon, case, 12
+  EXPECT_EQ(injected, 3u);  // sony, camera, 10
+}
+
+TEST(LandmarkDoubleTest, AllActiveRepresentationIsTheAugmentedRecord) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, FastOptions());
+  PairRecord pair = MakePair("sony camera", "10", "nikon case", "12");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];
+
+  auto rec = explainer.Reconstruct(exp, pair, {});
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->right.value(0).text(), "nikon case sony camera");
+  EXPECT_EQ(rec->right.value(1).text(), "12 10");
+  EXPECT_DOUBLE_EQ(exp.model_prediction, model.PredictProba(*rec));
+}
+
+TEST(LandmarkDoubleTest, InjectedLandmarkTokensHavePositiveWeight) {
+  // For a non-matching pair, injected landmark tokens make the varying
+  // entity more similar to the landmark: their weights must be positive.
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, FastOptions());
+  PairRecord pair = MakePair("alpha beta gamma", "7", "zzz yyy", "9");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  const Explanation& exp = (*explanations)[0];  // landmark = left
+  double injected_total = 0.0;
+  double original_total = 0.0;
+  for (const auto& tw : exp.token_weights) {
+    if (tw.token.injected) injected_total += tw.weight;
+    else original_total += tw.weight;
+  }
+  EXPECT_GT(injected_total, 0.0);
+  EXPECT_GT(injected_total, original_total);
+}
+
+TEST(LandmarkAutoTest, PicksStrategyByPredictedClass) {
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kAuto, FastOptions());
+
+  // Matching pair (p = 1): single-entity generation, no injected tokens.
+  PairRecord match = MakePair("same name", "5", "same name", "5");
+  auto m = explainer.Explain(model, match);
+  ASSERT_TRUE(m.ok());
+  for (const auto& tw : (*m)[0].token_weights) {
+    EXPECT_FALSE(tw.token.injected);
+  }
+
+  // Non-matching pair (p = 0): double-entity generation injects tokens.
+  PairRecord non_match = MakePair("aaa bbb", "5", "ccc ddd", "9");
+  auto n = explainer.Explain(model, non_match);
+  ASSERT_TRUE(n.ok());
+  bool any_injected = false;
+  for (const auto& tw : (*n)[0].token_weights) {
+    any_injected |= tw.token.injected;
+  }
+  EXPECT_TRUE(any_injected);
+}
+
+TEST(LandmarkExplainerTest, NamesFollowStrategy) {
+  EXPECT_EQ(LandmarkExplainer(GenerationStrategy::kSingle).name(),
+            "landmark-single");
+  EXPECT_EQ(LandmarkExplainer(GenerationStrategy::kDouble).name(),
+            "landmark-double");
+  EXPECT_EQ(LandmarkExplainer(GenerationStrategy::kAuto).name(),
+            "landmark-auto");
+}
+
+TEST(MojitoCopyTest, TokenSpaceIsTheVaryingEntityWithUniformWeights) {
+  JaccardEmModel model;
+  MojitoCopyExplainer copy(FastOptions());
+  PairRecord pair = MakePair("sony camera kit", "10", "nikon leather case", "12");
+  auto explanations = copy.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  ASSERT_EQ(explanations->size(), 2u);
+
+  const Explanation& exp = (*explanations)[0];  // source = left, varying = right
+  EXPECT_EQ(exp.landmark, EntitySide::kLeft);
+  // Tokens are the right entity's original tokens.
+  std::vector<std::string> texts;
+  for (const auto& tw : exp.token_weights) {
+    EXPECT_EQ(tw.token.side, EntitySide::kRight);
+    texts.push_back(tw.token.text);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"nikon", "leather", "case", "12"}));
+
+  // "Mojito treats attributes atomically": equal weights within an attribute.
+  double name_weight = exp.token_weights[0].weight;
+  EXPECT_DOUBLE_EQ(exp.token_weights[1].weight, name_weight);
+  EXPECT_DOUBLE_EQ(exp.token_weights[2].weight, name_weight);
+}
+
+TEST(MojitoCopyTest, ModelPredictionIsTheOriginalRecord) {
+  JaccardEmModel model;
+  MojitoCopyExplainer copy(FastOptions());
+  PairRecord pair = MakePair("aaa bbb", "5", "ccc", "9");
+  auto explanations = copy.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  EXPECT_DOUBLE_EQ((*explanations)[0].model_prediction,
+                   model.PredictProba(pair));
+}
+
+TEST(MojitoCopyTest, CopyWeightsAreNegativeOnNonMatches) {
+  // Keeping the original (non-matching) value active *lowers* the match
+  // probability relative to copying, so attribute weights come out negative.
+  JaccardEmModel model;
+  MojitoCopyExplainer copy(FastOptions());
+  PairRecord pair = MakePair("aaa bbb", "5", "ccc ddd", "9");
+  auto explanations = copy.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  double total = 0.0;
+  for (const auto& tw : (*explanations)[0].token_weights) total += tw.weight;
+  EXPECT_LT(total, 0.0);
+}
+
+TEST(ReconstructTest, RejectsWrongMaskSize) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  PairRecord pair = MakePair("a b", "5", "c", "9");
+  auto explanations = lime.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  std::vector<uint8_t> wrong(3, 1);  // space has 5 tokens
+  EXPECT_FALSE(lime.Reconstruct((*explanations)[0], pair, wrong).ok());
+}
+
+TEST(ExplanationTest, HelperAccessors) {
+  Explanation exp;
+  exp.surrogate_intercept = 0.5;
+  auto add = [&](const std::string& text, size_t attr, double w) {
+    Token t;
+    t.text = text;
+    t.attribute = attr;
+    exp.token_weights.push_back(TokenWeight{t, w});
+  };
+  add("a", 0, 0.3);
+  add("b", 0, -0.1);
+  add("c", 1, 0.2);
+
+  EXPECT_DOUBLE_EQ(exp.SurrogatePrediction(), 0.9);
+  EXPECT_DOUBLE_EQ(exp.SurrogatePrediction({1, 0, 1}), 1.0);
+
+  EXPECT_EQ(exp.TopFeatures(2), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(exp.PositiveFeatures(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(exp.NegativeFeatures(), (std::vector<size_t>{1}));
+
+  auto attr_weights = exp.AttributeWeights(2);
+  EXPECT_DOUBLE_EQ(attr_weights[0], 0.4);
+  EXPECT_DOUBLE_EQ(attr_weights[1], 0.2);
+}
+
+TEST(ExplanationTest, SurrogateTracksModelOnJaccard) {
+  // Jaccard responds sub-linearly to token removal, but the surrogate should
+  // still achieve a decent local fit (R² diagnostic).
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, FastOptions());
+  PairRecord pair =
+      MakePair("alpha beta gamma delta", "7", "alpha beta epsilon", "7");
+  auto explanations = explainer.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  EXPECT_GT((*explanations)[0].surrogate_r2, 0.5);
+}
+
+}  // namespace
+}  // namespace landmark

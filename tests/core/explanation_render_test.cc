@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/explanation.h"
+
+namespace landmark {
+namespace {
+
+Explanation SampleExplanation() {
+  Explanation exp;
+  exp.explainer_name = "landmark-double";
+  exp.landmark = EntitySide::kLeft;
+  exp.model_prediction = 0.123;
+  exp.surrogate_intercept = 0.05;
+  exp.surrogate_r2 = 0.87;
+
+  Token own;
+  own.attribute = 0;
+  own.occurrence = 0;
+  own.text = "nikon";
+  own.side = EntitySide::kRight;
+
+  Token injected;
+  injected.attribute = 0;
+  injected.occurrence = 1;
+  injected.text = "sony";
+  injected.side = EntitySide::kRight;
+  injected.injected = true;
+
+  exp.token_weights = {TokenWeight{own, -0.4}, TokenWeight{injected, 0.6}};
+  return exp;
+}
+
+TEST(ExplanationRenderTest, ToStringContainsAllKeyFields) {
+  auto schema = *Schema::Make({"name"});
+  const std::string out = SampleExplanation().ToString(*schema);
+  EXPECT_NE(out.find("landmark-double"), std::string::npos);
+  EXPECT_NE(out.find("landmark=left"), std::string::npos);
+  EXPECT_NE(out.find("model_p=0.123"), std::string::npos);
+  EXPECT_NE(out.find("r2=0.870"), std::string::npos);
+  // Injected tokens carry the '+' marker; weights carry their signs.
+  EXPECT_NE(out.find("R:+name__1__sony"), std::string::npos);
+  EXPECT_NE(out.find("R:name__0__nikon"), std::string::npos);
+  EXPECT_NE(out.find("+0.6000"), std::string::npos);
+  EXPECT_NE(out.find("-0.4000"), std::string::npos);
+}
+
+TEST(ExplanationRenderTest, TopKTruncates) {
+  auto schema = *Schema::Make({"name"});
+  const std::string full = SampleExplanation().ToString(*schema, 2);
+  const std::string one = SampleExplanation().ToString(*schema, 1);
+  EXPECT_GT(full.size(), one.size());
+  // Top-1 is the injected token (larger |weight|).
+  EXPECT_NE(one.find("sony"), std::string::npos);
+  EXPECT_EQ(one.find("nikon"), std::string::npos);
+}
+
+TEST(ExplanationRenderTest, NoLandmarkOmitsTheLabel) {
+  Explanation exp = SampleExplanation();
+  exp.landmark.reset();
+  auto schema = *Schema::Make({"name"});
+  EXPECT_EQ(exp.ToString(*schema).find("landmark="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landmark

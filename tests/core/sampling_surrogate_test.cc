@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/sampling.h"
+#include "core/surrogate.h"
+#include "util/rng.h"
+
+namespace landmark {
+namespace {
+
+TEST(SamplingTest, FirstMaskIsAllOnes) {
+  Rng rng(1);
+  auto masks = SamplePerturbationMasks(5, 10, rng);
+  ASSERT_EQ(masks.size(), 10u);
+  for (uint8_t bit : masks[0]) EXPECT_EQ(bit, 1);
+}
+
+TEST(SamplingTest, EveryOtherMaskRemovesAtLeastOne) {
+  Rng rng(2);
+  auto masks = SamplePerturbationMasks(8, 200, rng);
+  for (size_t s = 1; s < masks.size(); ++s) {
+    size_t removed = 0;
+    for (uint8_t bit : masks[s]) removed += bit == 0;
+    EXPECT_GE(removed, 1u);
+    EXPECT_LE(removed, 8u);
+  }
+}
+
+TEST(SamplingTest, RemovalCountsSpanTheRange) {
+  Rng rng(3);
+  auto masks = SamplePerturbationMasks(6, 500, rng);
+  std::set<size_t> removal_counts;
+  for (size_t s = 1; s < masks.size(); ++s) {
+    size_t removed = 0;
+    for (uint8_t bit : masks[s]) removed += bit == 0;
+    removal_counts.insert(removed);
+  }
+  // Uniform k in {1..6}: all values appear in 500 samples.
+  EXPECT_EQ(removal_counts.size(), 6u);
+}
+
+TEST(SamplingTest, SingleFeatureSpace) {
+  Rng rng(4);
+  auto masks = SamplePerturbationMasks(1, 5, rng);
+  EXPECT_EQ(masks[0][0], 1);
+  for (size_t s = 1; s < 5; ++s) EXPECT_EQ(masks[s][0], 0);
+}
+
+TEST(SamplingTest, ActiveFraction) {
+  EXPECT_DOUBLE_EQ(ActiveFraction({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(ActiveFraction({1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(ActiveFraction({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ActiveFraction({}), 0.0);
+}
+
+TEST(KernelTest, FullMaskHasWeightOne) {
+  EXPECT_DOUBLE_EQ(KernelWeight({1, 1, 1}, 0.25), 1.0);
+}
+
+TEST(KernelTest, WeightDecreasesWithRemovals) {
+  const double w3 = KernelWeight({1, 1, 1, 0}, 0.25);
+  const double w2 = KernelWeight({1, 1, 0, 0}, 0.25);
+  const double w1 = KernelWeight({1, 0, 0, 0}, 0.25);
+  EXPECT_GT(1.0, w3);
+  EXPECT_GT(w3, w2);
+  EXPECT_GT(w2, w1);
+  EXPECT_GT(w1, 0.0);
+}
+
+TEST(KernelTest, WiderKernelFlattensWeights) {
+  const std::vector<uint8_t> mask = {1, 0, 0, 0};
+  EXPECT_GT(KernelWeight(mask, 1.0), KernelWeight(mask, 0.25));
+}
+
+TEST(SurrogateTest, RecoversLinearResponseExactly) {
+  // Target is a perfectly linear function of the mask bits; the fit must
+  // recover it (up to ridge shrinkage with tiny lambda).
+  Rng rng(5);
+  const size_t d = 6;
+  auto masks = SamplePerturbationMasks(d, 300, rng);
+  const std::vector<double> true_w = {0.3, -0.2, 0.1, 0.0, 0.25, -0.15};
+  std::vector<double> targets, weights;
+  for (const auto& mask : masks) {
+    double y = 0.5;
+    for (size_t i = 0; i < d; ++i) y += mask[i] * true_w[i];
+    targets.push_back(y);
+    weights.push_back(KernelWeight(mask, 0.25));
+  }
+  SurrogateOptions options;
+  options.ridge_lambda = 1e-8;
+  auto fit = FitSurrogate(masks, targets, weights, options);
+  ASSERT_TRUE(fit.ok());
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(fit->model.coefficients[i], true_w[i], 1e-6);
+  }
+  EXPECT_NEAR(fit->model.intercept, 0.5, 1e-6);
+  EXPECT_NEAR(fit->weighted_r2, 1.0, 1e-9);
+}
+
+TEST(SurrogateTest, R2DropsForNonLinearResponse) {
+  Rng rng(6);
+  const size_t d = 5;
+  auto masks = SamplePerturbationMasks(d, 300, rng);
+  std::vector<double> targets, weights;
+  for (const auto& mask : masks) {
+    // XOR-ish response: linear model cannot represent it.
+    targets.push_back(static_cast<double>((mask[0] + mask[1]) % 2));
+    weights.push_back(KernelWeight(mask, 0.25));
+  }
+  auto fit = FitSurrogate(masks, targets, weights, {});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->weighted_r2, 0.6);
+}
+
+TEST(SurrogateTest, FeatureSelectionKeepsTopFeatures) {
+  Rng rng(7);
+  const size_t d = 10;
+  auto masks = SamplePerturbationMasks(d, 400, rng);
+  std::vector<double> targets, weights;
+  for (const auto& mask : masks) {
+    // Only features 2 and 7 matter.
+    targets.push_back(0.8 * mask[2] - 0.5 * mask[7]);
+    weights.push_back(1.0);
+  }
+  SurrogateOptions options;
+  options.ridge_lambda = 1e-6;
+  options.max_features = 2;
+  auto fit = FitSurrogate(masks, targets, weights, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->model.coefficients[2], 0.8, 1e-4);
+  EXPECT_NEAR(fit->model.coefficients[7], -0.5, 1e-4);
+  for (size_t i = 0; i < d; ++i) {
+    if (i == 2 || i == 7) continue;
+    EXPECT_DOUBLE_EQ(fit->model.coefficients[i], 0.0);
+  }
+}
+
+TEST(SurrogateTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitSurrogate({}, {}, {}, {}).ok());
+  EXPECT_FALSE(FitSurrogate({{1, 1}}, {0.5, 0.1}, {1.0}, {}).ok());
+  EXPECT_FALSE(FitSurrogate({{1, 1}, {1}}, {0.5, 0.1}, {1.0, 1.0}, {}).ok());
+  EXPECT_FALSE(FitSurrogate({{}}, {0.5}, {1.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,165 @@
+// Tests for the KernelSHAP neighborhood (the second generic explainer that
+// can be plugged into the Landmark framework).
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "core/sampling.h"
+#include "core/surrogate.h"
+#include "em/em_model.h"
+#include "text/tokenize.h"
+
+namespace landmark {
+namespace {
+
+TEST(ShapleyKernelTest, ClosedFormForSmallD) {
+  // d = 4, k = 1: (d-1) / (C(4,1) * 1 * 3) = 3 / 12 = 0.25
+  EXPECT_NEAR(ShapleyKernelWeight({1, 0, 0, 0}), 0.25, 1e-12);
+  // d = 4, k = 2: 3 / (6 * 2 * 2) = 0.125
+  EXPECT_NEAR(ShapleyKernelWeight({1, 1, 0, 0}), 0.125, 1e-12);
+  // Symmetric in k <-> d-k.
+  EXPECT_NEAR(ShapleyKernelWeight({1, 1, 1, 0}),
+              ShapleyKernelWeight({1, 0, 0, 0}), 1e-12);
+}
+
+TEST(ShapleyKernelTest, AnchorsGetTheAnchorWeight) {
+  EXPECT_DOUBLE_EQ(ShapleyKernelWeight({1, 1, 1}, 123.0), 123.0);
+  EXPECT_DOUBLE_EQ(ShapleyKernelWeight({0, 0, 0}, 123.0), 123.0);
+}
+
+TEST(ShapleyKernelTest, StableForLargeD) {
+  std::vector<uint8_t> mask(200, 0);
+  for (size_t i = 0; i < 100; ++i) mask[i] = 1;
+  const double w = ShapleyKernelWeight(mask);
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(w, 0.0);
+}
+
+TEST(SampleShapMasksTest, AnchorsComeFirst) {
+  Rng rng(1);
+  auto masks = SampleShapMasks(6, 50, rng);
+  ASSERT_EQ(masks.size(), 50u);
+  for (uint8_t bit : masks[0]) EXPECT_EQ(bit, 1);
+  for (uint8_t bit : masks[1]) EXPECT_EQ(bit, 0);
+  for (size_t s = 2; s < masks.size(); ++s) {
+    size_t k = 0;
+    for (uint8_t bit : masks[s]) k += bit;
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 5u);
+  }
+}
+
+TEST(SampleShapMasksTest, ExtremeSizesAreMostCommon) {
+  // p(k) ∝ 1/(k(d-k)) peaks at k = 1 and k = d-1.
+  Rng rng(2);
+  auto masks = SampleShapMasks(8, 4000, rng);
+  std::vector<size_t> counts(9, 0);
+  for (size_t s = 2; s < masks.size(); ++s) {
+    size_t k = 0;
+    for (uint8_t bit : masks[s]) k += bit;
+    ++counts[k];
+  }
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[7], counts[4]);
+}
+
+TEST(SampleShapMasksTest, SingleFeatureSpace) {
+  Rng rng(3);
+  auto masks = SampleShapMasks(1, 6, rng);
+  ASSERT_EQ(masks.size(), 6u);
+  EXPECT_EQ(masks[0][0], 1);
+  EXPECT_EQ(masks[1][0], 0);
+}
+
+/// Additive model over the right entity's tokens: p = clamp(sum of
+/// per-token scores). For such a model KernelSHAP's surrogate must recover
+/// each token's score as its weight.
+class AdditiveTokenModel : public EmModel {
+ public:
+  double PredictProba(const PairRecord& pair) const override {
+    double total = 0.1;  // base rate
+    for (size_t a = 0; a < pair.right.num_attributes(); ++a) {
+      if (pair.right.value(a).is_null()) continue;
+      for (const auto& token : WordTokens(pair.right.value(a).text())) {
+        total += ScoreOf(token);
+      }
+    }
+    return std::clamp(total, 0.0, 1.0);
+  }
+  std::string name() const override { return "additive-token"; }
+
+  static double ScoreOf(const std::string& token) {
+    if (token == "alpha") return 0.30;
+    if (token == "beta") return 0.20;
+    if (token == "gamma") return 0.10;
+    if (token == "noise") return 0.00;
+    return 0.0;
+  }
+};
+
+TEST(ShapNeighborhoodTest, RecoversAdditiveContributions) {
+  auto schema = *Schema::Make({"name"});
+  PairRecord pair;
+  pair.id = 1;
+  pair.left = *Record::Make(schema, {Value::Of("anything here")});
+  pair.right = *Record::Make(schema, {Value::Of("alpha beta gamma noise")});
+
+  AdditiveTokenModel model;
+  ExplainerOptions options;
+  options.neighborhood = NeighborhoodKind::kShap;
+  options.num_samples = 512;
+  options.ridge_lambda = 1e-6;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  auto explanations = explainer.ExplainWithLandmark(model, pair,
+                                                    EntitySide::kLeft);
+  ASSERT_TRUE(explanations.ok());
+  for (const TokenWeight& tw : explanations->token_weights) {
+    EXPECT_NEAR(tw.weight, AdditiveTokenModel::ScoreOf(tw.token.text), 0.02)
+        << tw.token.text;
+  }
+  // Local accuracy: intercept ~ f(empty) = 0.1.
+  EXPECT_NEAR(explanations->surrogate_intercept, 0.1, 0.02);
+}
+
+TEST(ShapNeighborhoodTest, LimeAlsoApproximatesButShapAnchorsTheEndpoints) {
+  // Both neighborhoods produce usable explanations; SHAP additionally pins
+  // the all-active prediction: intercept + sum(w) ~ f(x).
+  auto schema = *Schema::Make({"name"});
+  PairRecord pair;
+  pair.id = 2;
+  pair.left = *Record::Make(schema, {Value::Of("x")});
+  pair.right = *Record::Make(schema, {Value::Of("alpha beta gamma noise")});
+  AdditiveTokenModel model;
+
+  ExplainerOptions shap;
+  shap.neighborhood = NeighborhoodKind::kShap;
+  shap.num_samples = 512;
+  shap.ridge_lambda = 1e-6;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, shap);
+  auto exp = explainer.ExplainWithLandmark(model, pair, EntitySide::kLeft);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_NEAR(exp->SurrogatePrediction(), exp->model_prediction, 0.02);
+}
+
+TEST(ShapNeighborhoodTest, WorksThroughMojitoCopyToo) {
+  auto schema = *Schema::Make({"name", "price"});
+  PairRecord pair;
+  pair.id = 3;
+  pair.left = *Record::Make(schema, {Value::Of("aaa bbb"), Value::Of("5")});
+  pair.right = *Record::Make(schema, {Value::Of("ccc ddd"), Value::Of("9")});
+  AdditiveTokenModel model;
+  ExplainerOptions options;
+  options.neighborhood = NeighborhoodKind::kShap;
+  options.num_samples = 128;
+  MojitoCopyExplainer copy(options);
+  auto explanations = copy.Explain(model, pair);
+  ASSERT_TRUE(explanations.ok());
+  EXPECT_EQ(explanations->size(), 2u);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,140 @@
+#include "core/summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+Explanation MakeExplanation(
+    const std::vector<std::tuple<size_t, std::string, double, bool>>& tokens) {
+  Explanation exp;
+  for (const auto& [attr, text, weight, injected] : tokens) {
+    Token t;
+    t.attribute = attr;
+    t.text = text;
+    t.injected = injected;
+    exp.token_weights.push_back(TokenWeight{t, weight});
+  }
+  return exp;
+}
+
+TEST(SummarizerTest, AggregatesAcrossExplanations) {
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "sony", 0.4, false}, {1, "cheap", -0.1, false}}),
+      MakeExplanation({{0, "sony", 0.2, false}, {0, "nikon", -0.3, false}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 1;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 2, options);
+  EXPECT_EQ(summary.num_explanations, 2u);
+
+  const GlobalTokenImportance* sony = nullptr;
+  for (const auto& t : summary.tokens) {
+    if (t.text == "sony") sony = &t;
+  }
+  ASSERT_NE(sony, nullptr);
+  EXPECT_EQ(sony->support, 2u);
+  EXPECT_NEAR(sony->mean_weight, 0.3, 1e-12);
+  EXPECT_NEAR(sony->mean_abs_weight, 0.3, 1e-12);
+}
+
+TEST(SummarizerTest, MinSupportFiltersRareTokens) {
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "common", 0.5, false}, {0, "rare", 0.9, false}}),
+      MakeExplanation({{0, "common", 0.5, false}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 2;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 1, options);
+  ASSERT_EQ(summary.tokens.size(), 1u);
+  EXPECT_EQ(summary.tokens[0].text, "common");
+}
+
+TEST(SummarizerTest, SortedByMeanAbsoluteWeight) {
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "weak", 0.1, false},
+                       {0, "strong", -0.9, false},
+                       {0, "medium", 0.5, false}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 1;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 1, options);
+  ASSERT_EQ(summary.tokens.size(), 3u);
+  EXPECT_EQ(summary.tokens[0].text, "strong");
+  EXPECT_EQ(summary.tokens[1].text, "medium");
+  EXPECT_EQ(summary.tokens[2].text, "weak");
+}
+
+TEST(SummarizerTest, RepeatedTokenWithinOneExplanationCountsOnce) {
+  // Two occurrences of "sony" in one explanation merge (weights summed)
+  // before aggregation.
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "sony", 0.2, false}, {0, "sony", 0.3, false}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 1;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 1, options);
+  ASSERT_EQ(summary.tokens.size(), 1u);
+  EXPECT_EQ(summary.tokens[0].support, 1u);
+  EXPECT_NEAR(summary.tokens[0].mean_weight, 0.5, 1e-12);
+}
+
+TEST(SummarizerTest, InjectedTokensCanBeExcluded) {
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "own", 0.4, false}, {0, "borrowed", 0.6, true}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 1;
+  options.include_injected = false;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 1, options);
+  ASSERT_EQ(summary.tokens.size(), 1u);
+  EXPECT_EQ(summary.tokens[0].text, "own");
+}
+
+TEST(SummarizerTest, AttributeImportanceNormalizedAndOrdered) {
+  std::vector<Explanation> explanations = {
+      MakeExplanation({{0, "big", 0.9, false}, {1, "small", 0.1, false}}),
+      MakeExplanation({{0, "big", -0.7, false}, {1, "tiny", 0.1, false}}),
+  };
+  SummarizerOptions options;
+  options.min_support = 1;
+  ExplanationSummary summary = SummarizeExplanations(explanations, 2, options);
+  ASSERT_EQ(summary.attribute_importance.size(), 2u);
+  EXPECT_NEAR(summary.attribute_importance[0] + summary.attribute_importance[1],
+              1.0, 1e-12);
+  EXPECT_GT(summary.attribute_importance[0],
+            summary.attribute_importance[1]);
+}
+
+TEST(SummarizerTest, EndToEndOnBenchmark) {
+  // The summary of a Jaccard model must put its weight on genuinely shared
+  // tokens and produce a sane attribute distribution.
+  EmDataset dataset =
+      *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle);
+  Rng rng(3);
+  std::vector<Explanation> all;
+  for (size_t idx : dataset.SampleByLabel(MatchLabel::kMatch, 15, rng)) {
+    auto explanations = explainer.Explain(model, dataset.pair(idx));
+    if (!explanations.ok()) continue;
+    for (auto& e : *explanations) all.push_back(std::move(e));
+  }
+  ASSERT_FALSE(all.empty());
+  ExplanationSummary summary = SummarizeExplanations(
+      all, dataset.entity_schema()->num_attributes());
+  EXPECT_GT(summary.tokens.size(), 0u);
+  double total = 0.0;
+  for (double v : summary.attribute_importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // ToString renders without crashing and mentions the top token.
+  std::string rendered = summary.ToString(*dataset.entity_schema(), 5);
+  EXPECT_NE(rendered.find("top tokens"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,155 @@
+#include "core/token_space.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "description", "price"});
+}
+
+Record CameraEntity() {
+  return *Record::Make(TestSchema(),
+                       {Value::Of("sony digital camera"),
+                        Value::Of("camera with lens kit"), Value::Of("849.99")});
+}
+
+TEST(TokenizeEntityTest, OneTokenPerSpaceSeparatedTerm) {
+  std::vector<Token> tokens = TokenizeEntity(CameraEntity(), EntitySide::kLeft);
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].text, "sony");
+  EXPECT_EQ(tokens[0].attribute, 0u);
+  EXPECT_EQ(tokens[0].occurrence, 0u);
+  EXPECT_EQ(tokens[2].text, "camera");
+  EXPECT_EQ(tokens[2].occurrence, 2u);
+  EXPECT_EQ(tokens[7].text, "849.99");
+  EXPECT_EQ(tokens[7].attribute, 2u);
+  for (const auto& t : tokens) {
+    EXPECT_EQ(t.side, EntitySide::kLeft);
+    EXPECT_FALSE(t.injected);
+  }
+}
+
+TEST(TokenizeEntityTest, OccurrenceDisambiguatesRepeatedWords) {
+  // "camera" appears in both attributes; prefixes must differ.
+  std::vector<Token> tokens = TokenizeEntity(CameraEntity(), EntitySide::kLeft);
+  auto schema_ptr = TestSchema();
+  const Schema& schema = *schema_ptr;
+  std::set<std::string> names;
+  for (const auto& t : tokens) {
+    EXPECT_TRUE(names.insert(t.PrefixedName(schema)).second)
+        << "duplicate prefix " << t.PrefixedName(schema);
+  }
+}
+
+TEST(TokenizeEntityTest, NullAttributesYieldNoTokens) {
+  Record e = Record::Empty(TestSchema());
+  EXPECT_TRUE(TokenizeEntity(e, EntitySide::kLeft).empty());
+  e.SetValue(0, Value::Of("only"));
+  EXPECT_EQ(TokenizeEntity(e, EntitySide::kLeft).size(), 1u);
+}
+
+TEST(TokenTest, PrefixedNameFormat) {
+  Token t;
+  t.attribute = 1;
+  t.occurrence = 2;
+  t.text = "lens";
+  t.side = EntitySide::kRight;
+  EXPECT_EQ(t.PrefixedName(*TestSchema()), "R:description__2__lens");
+  t.injected = true;
+  EXPECT_EQ(t.PrefixedName(*TestSchema()), "R:+description__2__lens");
+}
+
+TEST(ReconstructEntityTest, FullMaskRoundTripsTheEntity) {
+  Record original = CameraEntity();
+  std::vector<Token> tokens = TokenizeEntity(original, EntitySide::kLeft);
+  Record rebuilt = ReconstructEntity(TestSchema(), tokens, {},
+                                     EntitySide::kLeft);
+  EXPECT_EQ(rebuilt, original);
+}
+
+TEST(ReconstructEntityTest, PartialMaskDropsTokens) {
+  Record original = CameraEntity();
+  std::vector<Token> tokens = TokenizeEntity(original, EntitySide::kLeft);
+  std::vector<uint8_t> active(tokens.size(), 1);
+  active[0] = 0;  // drop "sony"
+  Record rebuilt =
+      ReconstructEntity(TestSchema(), tokens, active, EntitySide::kLeft);
+  EXPECT_EQ(rebuilt.value(0).text(), "digital camera");
+  EXPECT_EQ(rebuilt.value(1).text(), "camera with lens kit");
+}
+
+TEST(ReconstructEntityTest, EmptyAttributeBecomesNull) {
+  Record original = CameraEntity();
+  std::vector<Token> tokens = TokenizeEntity(original, EntitySide::kLeft);
+  std::vector<uint8_t> active(tokens.size(), 1);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].attribute == 0) active[i] = 0;
+  }
+  Record rebuilt =
+      ReconstructEntity(TestSchema(), tokens, active, EntitySide::kLeft);
+  EXPECT_TRUE(rebuilt.value(0).is_null());
+  EXPECT_FALSE(rebuilt.value(1).is_null());
+}
+
+TEST(ReconstructEntityTest, IgnoresTokensOfOtherSide) {
+  Record original = CameraEntity();
+  std::vector<Token> tokens = TokenizeEntity(original, EntitySide::kRight);
+  Record rebuilt =
+      ReconstructEntity(TestSchema(), tokens, {}, EntitySide::kLeft);
+  for (size_t a = 0; a < rebuilt.num_attributes(); ++a) {
+    EXPECT_TRUE(rebuilt.value(a).is_null());
+  }
+}
+
+TEST(BuildAugmentedTokensTest, ConcatenatesPerAttribute) {
+  auto schema = *Schema::Make({"name"});
+  Record varying = *Record::Make(schema, {Value::Of("nikon case")});
+  Record landmark_entity = *Record::Make(schema, {Value::Of("sony camera")});
+  std::vector<Token> tokens =
+      BuildAugmentedTokens(varying, EntitySide::kRight, landmark_entity);
+  ASSERT_EQ(tokens.size(), 4u);
+  // Varying tokens first, then injected landmark tokens, occurrences
+  // continuing.
+  EXPECT_EQ(tokens[0].text, "nikon");
+  EXPECT_FALSE(tokens[0].injected);
+  EXPECT_EQ(tokens[2].text, "sony");
+  EXPECT_TRUE(tokens[2].injected);
+  EXPECT_EQ(tokens[2].occurrence, 2u);
+  EXPECT_EQ(tokens[3].occurrence, 3u);
+  // All tokens belong to the varying side, so reconstruction writes them
+  // into the varying entity.
+  for (const auto& t : tokens) EXPECT_EQ(t.side, EntitySide::kRight);
+}
+
+TEST(BuildAugmentedTokensTest, ReconstructionOfFullMaskIsConcatenation) {
+  auto schema = *Schema::Make({"name"});
+  Record varying = *Record::Make(schema, {Value::Of("nikon case")});
+  Record landmark_entity = *Record::Make(schema, {Value::Of("sony camera")});
+  std::vector<Token> tokens =
+      BuildAugmentedTokens(varying, EntitySide::kRight, landmark_entity);
+  Record rebuilt = ReconstructEntity(schema, tokens, {}, EntitySide::kRight);
+  EXPECT_EQ(rebuilt.value(0).text(), "nikon case sony camera");
+}
+
+TEST(BuildAugmentedTokensTest, HandlesNullsOnEitherSide) {
+  auto schema = *Schema::Make({"a", "b"});
+  Record varying = *Record::Make(schema, {Value::Of("x"), Value::Null()});
+  Record landmark_entity =
+      *Record::Make(schema, {Value::Null(), Value::Of("y")});
+  std::vector<Token> tokens =
+      BuildAugmentedTokens(varying, EntitySide::kLeft, landmark_entity);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_FALSE(tokens[0].injected);
+  EXPECT_EQ(tokens[1].text, "y");
+  EXPECT_TRUE(tokens[1].injected);
+  EXPECT_EQ(tokens[1].attribute, 1u);
+  EXPECT_EQ(tokens[1].occurrence, 0u);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,87 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+EmDataset SmallDataset() {
+  auto schema = *Schema::Make({"name", "price"});
+  EmDataset d("io-test", schema);
+  PairRecord p1;
+  p1.left = *Record::Make(schema, {Value::Of("sony camera"), Value::Of("849.99")});
+  p1.right = *Record::Make(schema, {Value::Of("sony cam"), Value::Null()});
+  p1.label = MatchLabel::kMatch;
+  EXPECT_TRUE(d.Append(p1).ok());
+  PairRecord p2;
+  p2.left = *Record::Make(schema, {Value::Of("nikon, \"pro\""), Value::Of("7.99")});
+  p2.right = *Record::Make(schema, {Value::Of("case"), Value::Of("7.99")});
+  p2.label = MatchLabel::kNonMatch;
+  EXPECT_TRUE(d.Append(p2).ok());
+  return d;
+}
+
+TEST(DatasetIoTest, CsvHeaderLayout) {
+  CsvTable table = EmDatasetToCsv(SmallDataset());
+  EXPECT_EQ(table.header,
+            (std::vector<std::string>{"id", "left_name", "left_price",
+                                      "right_name", "right_price", "label"}));
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  EmDataset original = SmallDataset();
+  auto loaded = EmDatasetFromCsv(EmDatasetToCsv(original), "io-test");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->pair(i).label, original.pair(i).label);
+    EXPECT_EQ(loaded->pair(i).id, original.pair(i).id);
+    EXPECT_EQ(loaded->pair(i).left.value(0), original.pair(i).left.value(0));
+    EXPECT_EQ(loaded->pair(i).right.value(1), original.pair(i).right.value(1));
+  }
+  EXPECT_TRUE(loaded->entity_schema()->Equals(*original.entity_schema()));
+}
+
+TEST(DatasetIoTest, NullRoundTripsAsEmptyCell) {
+  auto loaded = EmDatasetFromCsv(EmDatasetToCsv(SmallDataset()), "t");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->pair(0).right.value(1).is_null());
+}
+
+TEST(DatasetIoTest, RejectsMissingLabelColumn) {
+  CsvTable table;
+  table.header = {"left_a", "right_a"};
+  table.rows = {{"x", "y"}};
+  EXPECT_FALSE(EmDatasetFromCsv(table, "t").ok());
+}
+
+TEST(DatasetIoTest, RejectsUnpairedLeftColumn) {
+  CsvTable table;
+  table.header = {"left_a", "left_b", "right_a", "label"};
+  table.rows = {{"1", "2", "3", "0"}};
+  auto r = EmDatasetFromCsv(table, "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("right_"), std::string::npos);
+}
+
+TEST(DatasetIoTest, RejectsBadLabel) {
+  CsvTable table;
+  table.header = {"left_a", "right_a", "label"};
+  table.rows = {{"x", "y", "maybe"}};
+  EXPECT_FALSE(EmDatasetFromCsv(table, "t").ok());
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/landmark_ds_test.csv";
+  EmDataset original = SmallDataset();
+  ASSERT_TRUE(WriteEmDataset(original, path).ok());
+  auto loaded = ReadEmDataset(path, "io-test");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,131 @@
+#include "data/em_dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name"});
+}
+
+PairRecord MakePair(const std::shared_ptr<const Schema>& schema,
+                    const std::string& l, const std::string& r,
+                    MatchLabel label) {
+  PairRecord pair;
+  pair.left = *Record::Make(schema, {Value::Of(l)});
+  pair.right = *Record::Make(schema, {Value::Of(r)});
+  pair.label = label;
+  return pair;
+}
+
+EmDataset MakeDataset(size_t num_match, size_t num_non_match) {
+  auto schema = TestSchema();
+  EmDataset dataset("test", schema);
+  for (size_t i = 0; i < num_match; ++i) {
+    EXPECT_TRUE(
+        dataset.Append(MakePair(schema, "a", "a", MatchLabel::kMatch)).ok());
+  }
+  for (size_t i = 0; i < num_non_match; ++i) {
+    EXPECT_TRUE(
+        dataset.Append(MakePair(schema, "a", "b", MatchLabel::kNonMatch)).ok());
+  }
+  return dataset;
+}
+
+TEST(EmDatasetTest, StatsMatchTable1Format) {
+  EmDataset d = MakeDataset(15, 85);
+  EmDatasetStats stats = d.Stats();
+  EXPECT_EQ(stats.size, 100u);
+  EXPECT_EQ(stats.num_match, 15u);
+  EXPECT_DOUBLE_EQ(stats.match_percent, 15.0);
+}
+
+TEST(EmDatasetTest, AppendAssignsSequentialIds) {
+  EmDataset d = MakeDataset(2, 1);
+  EXPECT_EQ(d.pair(0).id, 0);
+  EXPECT_EQ(d.pair(2).id, 2);
+}
+
+TEST(EmDatasetTest, AppendRejectsWrongSchema) {
+  EmDataset d("test", TestSchema());
+  auto other = *Schema::Make({"different"});
+  PairRecord pair = MakePair(other, "x", "y", MatchLabel::kMatch);
+  EXPECT_TRUE(d.Append(pair).IsInvalidArgument());
+}
+
+TEST(EmDatasetTest, IndicesWithLabel) {
+  EmDataset d = MakeDataset(3, 7);
+  EXPECT_EQ(d.IndicesWithLabel(MatchLabel::kMatch).size(), 3u);
+  EXPECT_EQ(d.IndicesWithLabel(MatchLabel::kNonMatch).size(), 7u);
+}
+
+TEST(EmDatasetTest, SampleByLabelCapsAtAvailable) {
+  // The paper: "all records are sampled when the dataset contains less than
+  // 100 records" with the requested label.
+  EmDataset d = MakeDataset(5, 50);
+  Rng rng(1);
+  EXPECT_EQ(d.SampleByLabel(MatchLabel::kMatch, 100, rng).size(), 5u);
+  EXPECT_EQ(d.SampleByLabel(MatchLabel::kNonMatch, 10, rng).size(), 10u);
+}
+
+TEST(EmDatasetTest, SampleByLabelReturnsRequestedLabelOnly) {
+  EmDataset d = MakeDataset(30, 70);
+  Rng rng(2);
+  for (size_t idx : d.SampleByLabel(MatchLabel::kMatch, 10, rng)) {
+    EXPECT_TRUE(d.pair(idx).is_match());
+  }
+}
+
+TEST(EmDatasetTest, SampleByLabelHasNoDuplicates) {
+  EmDataset d = MakeDataset(50, 50);
+  Rng rng(3);
+  auto sample = d.SampleByLabel(MatchLabel::kMatch, 20, rng);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), sample.size());
+}
+
+TEST(EmDatasetTest, SplitIsDisjointAndComplete) {
+  EmDataset d = MakeDataset(20, 80);
+  Rng rng(4);
+  EmDatasetSplit split = *d.Split(0.2, 0.2, rng);
+  std::set<size_t> all;
+  for (auto* part : {&split.train, &split.valid, &split.test}) {
+    for (size_t i : *part) {
+      EXPECT_TRUE(all.insert(i).second) << "index " << i << " duplicated";
+    }
+  }
+  EXPECT_EQ(all.size(), d.size());
+}
+
+TEST(EmDatasetTest, SplitIsStratified) {
+  EmDataset d = MakeDataset(20, 80);
+  Rng rng(5);
+  EmDatasetSplit split = *d.Split(0.25, 0.25, rng);
+  auto count_matches = [&](const std::vector<size_t>& part) {
+    size_t n = 0;
+    for (size_t i : part) n += d.pair(i).is_match();
+    return n;
+  };
+  EXPECT_EQ(count_matches(split.valid), 5u);
+  EXPECT_EQ(count_matches(split.test), 5u);
+  EXPECT_EQ(count_matches(split.train), 10u);
+}
+
+TEST(EmDatasetTest, SplitRejectsBadFractions) {
+  EmDataset d = MakeDataset(5, 5);
+  Rng rng(6);
+  EXPECT_FALSE(d.Split(0.7, 0.7, rng).ok());
+  EXPECT_FALSE(d.Split(-0.1, 0.2, rng).ok());
+}
+
+TEST(EmDatasetTest, EmptyDatasetStats) {
+  EmDataset d("empty", TestSchema());
+  EXPECT_EQ(d.Stats().size, 0u);
+  EXPECT_DOUBLE_EQ(d.Stats().match_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,66 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+#include "data/pair_record.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+TEST(RecordTest, MakeValidatesArity) {
+  auto schema = TestSchema();
+  EXPECT_TRUE(Record::Make(schema, {Value::Of("tv"), Value::Of("99")}).ok());
+  EXPECT_FALSE(Record::Make(schema, {Value::Of("tv")}).ok());
+  EXPECT_FALSE(Record::Make(nullptr, {}).ok());
+}
+
+TEST(RecordTest, ValueAccess) {
+  auto schema = TestSchema();
+  Record r = *Record::Make(schema, {Value::Of("tv"), Value::Null()});
+  EXPECT_EQ(r.value(0).text(), "tv");
+  EXPECT_TRUE(r.value(1).is_null());
+  EXPECT_EQ(r.ValueOf("name").ValueOrDie().text(), "tv");
+}
+
+TEST(RecordTest, ValueOfMissingAttribute) {
+  Record r = Record::Empty(TestSchema());
+  EXPECT_TRUE(r.ValueOf("missing").status().IsNotFound());
+}
+
+TEST(RecordTest, SetValue) {
+  Record r = Record::Empty(TestSchema());
+  EXPECT_TRUE(r.value(0).is_null());
+  r.SetValue(0, Value::Of("radio"));
+  EXPECT_EQ(r.value(0).text(), "radio");
+}
+
+TEST(RecordTest, EqualityAndToString) {
+  auto schema = TestSchema();
+  Record a = *Record::Make(schema, {Value::Of("tv"), Value::Of("9")});
+  Record b = *Record::Make(schema, {Value::Of("tv"), Value::Of("9")});
+  Record c = *Record::Make(schema, {Value::Of("tv"), Value::Null()});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.ToString().find("name='tv'"), std::string::npos);
+  EXPECT_NE(c.ToString().find("<null>"), std::string::npos);
+}
+
+TEST(PairRecordTest, EntityAccessorAndSides) {
+  auto schema = TestSchema();
+  PairRecord pair;
+  pair.left = *Record::Make(schema, {Value::Of("l"), Value::Null()});
+  pair.right = *Record::Make(schema, {Value::Of("r"), Value::Null()});
+  pair.label = MatchLabel::kMatch;
+  EXPECT_EQ(pair.entity(EntitySide::kLeft).value(0).text(), "l");
+  EXPECT_EQ(pair.entity(EntitySide::kRight).value(0).text(), "r");
+  EXPECT_TRUE(pair.is_match());
+  EXPECT_EQ(OppositeSide(EntitySide::kLeft), EntitySide::kRight);
+  EXPECT_EQ(EntitySideName(EntitySide::kRight), "right");
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,47 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(SchemaTest, BasicLookup) {
+  auto schema = Schema::Make({"title", "authors", "year"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_attributes(), 3u);
+  EXPECT_EQ((*schema)->attribute_name(1), "authors");
+  EXPECT_EQ(*(*schema)->IndexOf("year"), 2u);
+  EXPECT_TRUE((*schema)->Contains("title"));
+  EXPECT_FALSE((*schema)->Contains("venue"));
+}
+
+TEST(SchemaTest, IndexOfMissingIsNotFound) {
+  auto schema = Schema::Make({"a"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE((*schema)->IndexOf("b").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsEmptySchema) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({"a", ""}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto r = Schema::Make({"a", "b", "a"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, EqualsComparesNamesInOrder) {
+  auto a = *Schema::Make({"x", "y"});
+  auto b = *Schema::Make({"x", "y"});
+  auto c = *Schema::Make({"y", "x"});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+}  // namespace
+}  // namespace landmark

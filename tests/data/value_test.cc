@@ -1,0 +1,47 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(ValueTest, NullValue) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.text(), "");
+  EXPECT_FALSE(v.AsDouble().has_value());
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TextValue) {
+  Value v = Value::Of("sony camera");
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.text(), "sony camera");
+  EXPECT_FALSE(v.AsDouble().has_value());
+}
+
+TEST(ValueTest, NumericParsing) {
+  EXPECT_DOUBLE_EQ(*Value::Of("849.99").AsDouble(), 849.99);
+  EXPECT_DOUBLE_EQ(*Value::Of("-3").AsDouble(), -3.0);
+  EXPECT_FALSE(Value::Of("7.99 usd").AsDouble().has_value());
+}
+
+TEST(ValueTest, OfNumberFormatsIntegersWithoutDecimals) {
+  EXPECT_EQ(Value::OfNumber(2005).text(), "2005");
+  EXPECT_EQ(Value::OfNumber(849.99).text(), "849.99");
+}
+
+TEST(ValueTest, OfNumberRoundTripsThroughAsDouble) {
+  for (double d : {0.0, 1.0, -5.0, 12.25, 999.5}) {
+    EXPECT_DOUBLE_EQ(*Value::OfNumber(d).AsDouble(), d);
+  }
+}
+
+TEST(ValueTest, EqualityDistinguishesNullFromEmpty) {
+  EXPECT_NE(Value::Null(), Value::Of(""));
+  EXPECT_EQ(Value::Of("x"), Value::Of("x"));
+  EXPECT_NE(Value::Of("x"), Value::Of("y"));
+}
+
+}  // namespace
+}  // namespace landmark

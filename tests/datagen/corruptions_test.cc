@@ -1,0 +1,159 @@
+#include "datagen/corruptions.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenize.h"
+
+namespace landmark {
+namespace {
+
+TEST(TypoTest, ChangesButKeepsPlausibleLength) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = ApplyTypo("camera", rng);
+    EXPECT_GE(out.size(), 5u);
+    EXPECT_LE(out.size(), 7u);
+  }
+}
+
+TEST(TypoTest, SingleCharacterUnchanged) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyTypo("a", rng), "a");
+  EXPECT_EQ(ApplyTypo("", rng), "");
+}
+
+TEST(AbbreviateTest, FirstLetterPlusDot) {
+  EXPECT_EQ(Abbreviate("john"), "j.");
+  EXPECT_EQ(Abbreviate("ab"), "ab");  // too short
+}
+
+TEST(CorruptValueTest, NullStaysNull) {
+  Rng rng(3);
+  CorruptionOptions options;
+  EXPECT_TRUE(CorruptValue(Value::Null(), options, rng).is_null());
+}
+
+TEST(CorruptValueTest, ZeroProbabilitiesAreIdentity) {
+  Rng rng(4);
+  CorruptionOptions none;
+  none.typo_prob = none.drop_prob = none.abbreviate_prob = none.swap_prob =
+      none.null_prob = 0.0;
+  none.numeric_jitter_prob = 0.0;
+  const Value v = Value::Of("sony digital camera");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(CorruptValue(v, none, rng), v);
+  }
+}
+
+TEST(CorruptValueTest, NeverProducesEmptyText) {
+  Rng rng(5);
+  CorruptionOptions aggressive;
+  aggressive.drop_prob = 0.95;
+  aggressive.null_prob = 0.0;
+  const Value v = Value::Of("one two three");
+  for (int i = 0; i < 200; ++i) {
+    Value out = CorruptValue(v, aggressive, rng);
+    ASSERT_FALSE(out.is_null());
+    EXPECT_FALSE(WordTokens(out.text()).empty());
+  }
+}
+
+TEST(CorruptValueTest, NumericValuesStayNumeric) {
+  Rng rng(6);
+  CorruptionOptions options;
+  options.null_prob = 0.0;
+  const Value v = Value::Of("849.99");
+  for (int i = 0; i < 100; ++i) {
+    Value out = CorruptValue(v, options, rng);
+    ASSERT_TRUE(out.AsDouble().has_value());
+    // Jitter stays within 2%.
+    EXPECT_NEAR(*out.AsDouble(), 849.99, 849.99 * 0.021);
+  }
+}
+
+TEST(CorruptValueTest, CorruptedTextSharesTokensWithOriginal) {
+  Rng rng(7);
+  CorruptionOptions options;  // defaults
+  const Value v = Value::Of("alpha beta gamma delta epsilon zeta");
+  int shared_total = 0, trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    Value out = CorruptValue(v, options, rng);
+    auto orig = NormalizedTokens(v.text());
+    auto corr = NormalizedTokens(out.text());
+    for (const auto& t : corr) {
+      for (const auto& o : orig) {
+        if (t == o) {
+          ++shared_total;
+          goto next_trial;
+        }
+      }
+    }
+  next_trial:;
+  }
+  // Nearly every corruption keeps at least one original token.
+  EXPECT_GT(shared_total, trials * 8 / 10);
+}
+
+TEST(CorruptEntityTest, PreservesSchema) {
+  Rng rng(8);
+  auto schema = *Schema::Make({"a", "b"});
+  Record entity = *Record::Make(schema, {Value::Of("one two"), Value::Of("3")});
+  Record out = CorruptEntity(entity, CorruptionOptions{}, rng);
+  EXPECT_TRUE(out.schema()->Equals(*schema));
+  EXPECT_EQ(out.num_attributes(), 2u);
+}
+
+TEST(MakeDirtyPairTest, MovesValuesIntoTargetAttribute) {
+  Rng rng(9);
+  auto schema = *Schema::Make({"title", "authors", "year"});
+  PairRecord pair;
+  pair.left = *Record::Make(
+      schema, {Value::Of("t"), Value::Of("alice"), Value::Of("1999")});
+  pair.right = *Record::Make(
+      schema, {Value::Of("u"), Value::Of("bob"), Value::Of("2001")});
+  MakeDirtyPair(pair, /*move_prob=*/1.0, /*target_attr=*/0, rng);
+  // Everything moved into the title; sources nulled.
+  EXPECT_EQ(pair.left.value(0).text(), "t alice 1999");
+  EXPECT_TRUE(pair.left.value(1).is_null());
+  EXPECT_TRUE(pair.left.value(2).is_null());
+  EXPECT_EQ(pair.right.value(0).text(), "u bob 2001");
+}
+
+TEST(MakeDirtyPairTest, ZeroProbabilityIsIdentity) {
+  Rng rng(10);
+  auto schema = *Schema::Make({"title", "authors"});
+  PairRecord pair;
+  pair.left = *Record::Make(schema, {Value::Of("t"), Value::Of("a")});
+  pair.right = *Record::Make(schema, {Value::Of("u"), Value::Of("b")});
+  PairRecord copy = pair;
+  MakeDirtyPair(pair, 0.0, 0, rng);
+  EXPECT_EQ(pair.left, copy.left);
+  EXPECT_EQ(pair.right, copy.right);
+}
+
+TEST(MakeDirtyPairTest, TokenMultisetIsPreserved) {
+  // Dirtying moves values around but never invents or deletes tokens.
+  Rng rng(11);
+  auto schema = *Schema::Make({"title", "authors", "venue"});
+  PairRecord pair;
+  pair.left = *Record::Make(
+      schema, {Value::Of("alpha beta"), Value::Of("carol"), Value::Of("vldb")});
+  pair.right = *Record::Make(
+      schema, {Value::Of("gamma"), Value::Of("dave"), Value::Of("icde")});
+  auto all_tokens = [](const Record& r) {
+    std::multiset<std::string> tokens;
+    for (size_t a = 0; a < r.num_attributes(); ++a) {
+      if (r.value(a).is_null()) continue;
+      for (const auto& t : WordTokens(r.value(a).text())) tokens.insert(t);
+    }
+    return tokens;
+  };
+  auto before_left = all_tokens(pair.left);
+  auto before_right = all_tokens(pair.right);
+  MakeDirtyPair(pair, 0.5, 0, rng);
+  EXPECT_EQ(all_tokens(pair.left), before_left);
+  EXPECT_EQ(all_tokens(pair.right), before_right);
+}
+
+}  // namespace
+}  // namespace landmark

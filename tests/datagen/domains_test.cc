@@ -1,0 +1,152 @@
+#include "datagen/domains.h"
+
+#include <cmath>
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenize.h"
+
+namespace landmark {
+namespace {
+
+const MagellanDomain kAllDomains[] = {
+    MagellanDomain::kBeer,
+    MagellanDomain::kMusic,
+    MagellanDomain::kRestaurant,
+    MagellanDomain::kCitationClean,
+    MagellanDomain::kCitationNoisy,
+    MagellanDomain::kProductAmazonGoogle,
+    MagellanDomain::kProductWalmartAmazon,
+    MagellanDomain::kProductAbtBuy,
+};
+
+class DomainTest : public ::testing::TestWithParam<MagellanDomain> {};
+
+TEST_P(DomainTest, GeneratesNonNullEntities) {
+  auto gen = MakeEntityGenerator(GetParam());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Record e = gen->Generate(rng);
+    EXPECT_TRUE(e.schema()->Equals(*gen->schema()));
+    for (size_t a = 0; a < e.num_attributes(); ++a) {
+      EXPECT_FALSE(e.value(a).is_null()) << "attribute " << a;
+      EXPECT_FALSE(e.value(a).text().empty());
+    }
+  }
+}
+
+TEST_P(DomainTest, EntitiesAreDiverse) {
+  auto gen = MakeEntityGenerator(GetParam());
+  Rng rng(2);
+  std::set<std::string> primaries;
+  for (int i = 0; i < 100; ++i) {
+    primaries.insert(gen->Generate(rng).value(0).text());
+  }
+  EXPECT_GT(primaries.size(), 60u);
+}
+
+TEST_P(DomainTest, SiblingsShareContextButDiffer) {
+  auto gen = MakeEntityGenerator(GetParam());
+  Rng rng(3);
+  size_t shared_token_pairs = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    Record base = gen->Generate(rng);
+    Record sibling = gen->GenerateSibling(base, rng);
+    EXPECT_TRUE(sibling.schema()->Equals(*gen->schema()));
+    // Count pairs where any attribute shares a token.
+    bool shares = false;
+    for (size_t a = 0; a < base.num_attributes() && !shares; ++a) {
+      auto bt = NormalizedTokens(base.value(a).text());
+      auto st = NormalizedTokens(sibling.value(a).text());
+      for (const auto& x : bt) {
+        for (const auto& y : st) {
+          if (x == y) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) break;
+      }
+    }
+    shared_token_pairs += shares;
+  }
+  // Hard negatives must overlap with the base entity most of the time.
+  EXPECT_GT(shared_token_pairs, trials * 6 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, DomainTest, ::testing::ValuesIn(kAllDomains),
+    [](const ::testing::TestParamInfo<MagellanDomain>& info) {
+      switch (info.param) {
+        case MagellanDomain::kBeer: return std::string("Beer");
+        case MagellanDomain::kMusic: return std::string("Music");
+        case MagellanDomain::kRestaurant: return std::string("Restaurant");
+        case MagellanDomain::kCitationClean: return std::string("CitationClean");
+        case MagellanDomain::kCitationNoisy: return std::string("CitationNoisy");
+        case MagellanDomain::kProductAmazonGoogle: return std::string("ProductAG");
+        case MagellanDomain::kProductWalmartAmazon: return std::string("ProductWA");
+        case MagellanDomain::kProductAbtBuy: return std::string("ProductAB");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(DomainSchemaTest, SchemasMatchTheRealMagellanDatasets) {
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kBeer)->schema()
+                ->attribute_names(),
+            (std::vector<std::string>{"beer_name", "brew_factory_name",
+                                      "style", "abv"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kCitationClean)->schema()
+                ->attribute_names(),
+            (std::vector<std::string>{"title", "authors", "venue", "year"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kProductAmazonGoogle)
+                ->schema()->attribute_names(),
+            (std::vector<std::string>{"title", "manufacturer", "price"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kProductWalmartAmazon)
+                ->schema()->attribute_names(),
+            (std::vector<std::string>{"title", "category", "brand", "modelno",
+                                      "price"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kProductAbtBuy)->schema()
+                ->attribute_names(),
+            (std::vector<std::string>{"name", "description", "price"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kMusic)->schema()
+                ->attribute_names(),
+            (std::vector<std::string>{"song_name", "artist_name", "album_name",
+                                      "genre", "price", "released"}));
+  EXPECT_EQ(MakeEntityGenerator(MagellanDomain::kRestaurant)->schema()
+                ->attribute_names(),
+            (std::vector<std::string>{"name", "addr", "city", "phone", "type",
+                                      "class"}));
+}
+
+TEST(RandomModelNumberTest, AlphanumericShape) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    std::string m = RandomModelNumber(rng);
+    EXPECT_GE(m.size(), 4u);
+    bool has_letter = false, has_digit = false;
+    for (char c : m) {
+      has_letter |= std::isalpha(static_cast<unsigned char>(c)) != 0;
+      has_digit |= std::isdigit(static_cast<unsigned char>(c)) != 0;
+    }
+    EXPECT_TRUE(has_letter);
+    EXPECT_TRUE(has_digit);
+  }
+}
+
+TEST(DomainTest, AbtBuyDescriptionsAreLong) {
+  // The paper classifies Abt-Buy as "Textual": long free-text descriptions.
+  auto gen = MakeEntityGenerator(MagellanDomain::kProductAbtBuy);
+  Rng rng(5);
+  double total_tokens = 0;
+  for (int i = 0; i < 50; ++i) {
+    Record e = gen->Generate(rng);
+    total_tokens += WordTokens(e.value(1).text()).size();
+  }
+  EXPECT_GT(total_tokens / 50.0, 8.0);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,72 @@
+#include "datagen/word_banks.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(WordBanksTest, AllPoolsAreNonEmptyAndLowercase) {
+  const std::span<const std::string_view> pools[] = {
+      words::FirstNames(),          words::LastNames(),
+      words::ProductBrands(),       words::ProductNouns(),
+      words::ProductAdjectives(),   words::ProductCategories(),
+      words::SpecUnits(),           words::BeerStyleWords(),
+      words::BeerNameWords(),       words::BrewerySuffixes(),
+      words::SongWords(),           words::Genres(),
+      words::AlbumWords(),          words::RestaurantNameWords(),
+      words::RestaurantNouns(),     words::CuisineTypes(),
+      words::StreetNames(),         words::Cities(),
+      words::PaperTitleWords(),     words::VenuesCurated(),
+      words::VenuesNoisy(),
+  };
+  for (const auto& pool : pools) {
+    ASSERT_FALSE(pool.empty());
+    for (std::string_view word : pool) {
+      EXPECT_FALSE(word.empty());
+      for (char c : word) {
+        EXPECT_FALSE(c >= 'A' && c <= 'Z')
+            << "uppercase in bank word: " << word;
+      }
+    }
+  }
+}
+
+TEST(WordBanksTest, PoolsHaveNoDuplicates) {
+  for (const auto& pool :
+       {words::ProductBrands(), words::PaperTitleWords(), words::Genres()}) {
+    std::set<std::string_view> distinct(pool.begin(), pool.end());
+    EXPECT_EQ(distinct.size(), pool.size());
+  }
+}
+
+TEST(WordBanksTest, VenuePoolsModelTheDblpAsymmetry) {
+  // The GoogleScholar side has a larger, messier venue vocabulary than the
+  // curated ACM side — that asymmetry is what distinguishes S-DA from S-DG.
+  EXPECT_GT(words::VenuesNoisy().size(), words::VenuesCurated().size());
+}
+
+TEST(PickWordTest, DeterministicAndInPool) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string_view wa = PickWord(words::ProductNouns(), a);
+    std::string_view wb = PickWord(words::ProductNouns(), b);
+    EXPECT_EQ(wa, wb);
+    bool found = false;
+    for (std::string_view w : words::ProductNouns()) found |= w == wa;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PickWordTest, CoversThePool) {
+  Rng rng(6);
+  std::set<std::string_view> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(PickWord(words::Genres(), rng));
+  }
+  EXPECT_EQ(seen.size(), words::Genres().size());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,140 @@
+#include "em/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corruptions.h"
+#include "datagen/domains.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> ProductSchema() {
+  return *Schema::Make({"title", "brand"});
+}
+
+Record Product(const std::string& title, const std::string& brand) {
+  return *Record::Make(ProductSchema(), {Value::Of(title), Value::Of(brand)});
+}
+
+TEST(TokenBlockerTest, FindsSharedTokenCandidates) {
+  std::vector<Record> left = {Product("sony dslra200w bundle", "sony"),
+                              Product("nikon coolpix p900", "nikon")};
+  std::vector<Record> right = {Product("sony alpha dslra200w", "sony"),
+                               Product("garmin gps unit", "garmin")};
+  BlockingOptions options;
+  options.max_token_frequency = 1.0;  // tiny corpus: no stop-wording
+  TokenBlocker blocker(options);
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  // Pair (0, 0) must be found; (1, 1) shares nothing.
+  bool found_match = false, found_garmin = false;
+  for (const auto& c : candidates) {
+    if (c.left_index == 0 && c.right_index == 0) found_match = true;
+    if (c.right_index == 1) found_garmin = true;
+  }
+  EXPECT_TRUE(found_match);
+  EXPECT_FALSE(found_garmin);
+}
+
+TEST(TokenBlockerTest, RareTokensScoreHigherThanCommonOnes) {
+  // "dslra200w" is rarer than "sony" across the left corpus, so a candidate
+  // sharing the model number outranks one sharing only the brand.
+  std::vector<Record> left = {Product("sony dslra200w", "sony"),
+                              Product("sony walkman", "sony"),
+                              Product("sony bravia", "sony")};
+  std::vector<Record> right = {Product("case for dslra200w", "generic"),
+                               Product("sony charger", "sony")};
+  BlockingOptions options;
+  options.max_token_frequency = 1.0;
+  TokenBlocker blocker(options);
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  double model_score = 0, brand_score = 0;
+  for (const auto& c : candidates) {
+    if (c.left_index == 0 && c.right_index == 0) model_score = c.score;
+    if (c.left_index == 0 && c.right_index == 1) brand_score = c.score;
+  }
+  ASSERT_GT(model_score, 0.0);
+  ASSERT_GT(brand_score, 0.0);
+  EXPECT_GT(model_score, brand_score);
+}
+
+TEST(TokenBlockerTest, StopWordsDoNotGenerateCandidates) {
+  // "camera" appears in every left entity -> with a strict frequency cap it
+  // must not connect otherwise-unrelated products.
+  std::vector<Record> left = {Product("sony camera", "sony"),
+                              Product("nikon camera", "nikon"),
+                              Product("canon camera", "canon"),
+                              Product("kodak camera", "kodak"),
+                              Product("fuji camera", "fuji")};
+  std::vector<Record> right = {Product("generic camera", "acme")};
+  BlockingOptions options;
+  options.max_token_frequency = 0.5;
+  TokenBlocker blocker(options);
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(TokenBlockerTest, TopKCapsCandidatesPerLeftEntity) {
+  std::vector<Record> left = {Product("widget alpha", "acme")};
+  std::vector<Record> right;
+  for (int i = 0; i < 20; ++i) {
+    right.push_back(Product("widget variant " + std::to_string(i), "other"));
+  }
+  BlockingOptions options;
+  options.max_token_frequency = 1.0;
+  options.top_k_per_left = 5;
+  TokenBlocker blocker(options);
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  EXPECT_EQ(candidates.size(), 5u);
+}
+
+TEST(TokenBlockerTest, MinSharedTokensFilters) {
+  std::vector<Record> left = {Product("alpha beta gamma", "x")};
+  std::vector<Record> right = {Product("alpha zzz yyy", "q"),
+                               Product("alpha beta qqq", "q")};
+  BlockingOptions options;
+  options.max_token_frequency = 1.0;
+  options.min_shared_tokens = 2;
+  TokenBlocker blocker(options);
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].right_index, 1u);
+}
+
+TEST(TokenBlockerTest, RecallOnCorruptedDuplicates) {
+  // The property the blocker exists for: a corrupted copy of an entity must
+  // still be found among its candidates.
+  auto gen = MakeEntityGenerator(MagellanDomain::kProductWalmartAmazon);
+  Rng rng(77);
+  CorruptionOptions corruption;
+  std::vector<Record> left, right;
+  const size_t n = 60;
+  for (size_t i = 0; i < n; ++i) {
+    Record base = gen->Generate(rng);
+    left.push_back(base);
+    right.push_back(CorruptEntity(base, corruption, rng));
+  }
+  TokenBlocker blocker;
+  auto candidates = blocker.Block(left, right).ValueOrDie();
+  size_t recalled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& c : candidates) {
+      if (c.left_index == i && c.right_index == i) {
+        ++recalled;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(recalled) / n, 0.95);
+}
+
+TEST(TokenBlockerTest, RejectsEmptyOrMismatchedInput) {
+  TokenBlocker blocker;
+  EXPECT_FALSE(blocker.Block({}, {}).ok());
+  std::vector<Record> left = {Product("a", "b")};
+  std::vector<Record> other = {
+      *Record::Make(*Schema::Make({"different"}), {Value::Of("x")})};
+  EXPECT_FALSE(blocker.Block(left, other).ok());
+}
+
+}  // namespace
+}  // namespace landmark

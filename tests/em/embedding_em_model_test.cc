@@ -1,0 +1,92 @@
+#include "em/embedding_em_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+
+namespace landmark {
+namespace {
+
+class EmbeddingEmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new EmDataset(
+        *GenerateMagellanDataset(*FindMagellanSpec("S-FZ")));
+    model_ = new std::unique_ptr<EmbeddingEmModel>(
+        std::move(EmbeddingEmModel::Train(*dataset_)).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static EmDataset* dataset_;
+  static std::unique_ptr<EmbeddingEmModel>* model_;
+};
+
+EmDataset* EmbeddingEmModelTest::dataset_ = nullptr;
+std::unique_ptr<EmbeddingEmModel>* EmbeddingEmModelTest::model_ = nullptr;
+
+TEST_F(EmbeddingEmModelTest, LearnsTheBenchmark) {
+  // A hash-embedding MLP won't match the feature-engineered model, but must
+  // clearly beat chance on the imbalanced benchmark.
+  EXPECT_GT((*model_)->report().f1, 0.5);
+}
+
+TEST_F(EmbeddingEmModelTest, TokenEmbeddingsAreDeterministicUnitVectors) {
+  Vector a = (*model_)->EmbedToken("sony");
+  Vector b = (*model_)->EmbedToken("sony");
+  Vector c = (*model_)->EmbedToken("nikon");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  double norm_sq = 0.0;
+  for (double v : a) norm_sq += v * v;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+}
+
+TEST_F(EmbeddingEmModelTest, ComposeDimensionality) {
+  const PairRecord& pair = dataset_->pair(0);
+  Vector features = (*model_)->Compose(pair);
+  EXPECT_EQ(features.size(),
+            dataset_->entity_schema()->num_attributes() * 2 * 16);
+}
+
+TEST_F(EmbeddingEmModelTest, IdenticalPairsComposeToZeroDifference) {
+  PairRecord pair = dataset_->pair(0);
+  pair.right = pair.left;
+  Vector features = (*model_)->Compose(pair);
+  // The |l - r| half of every attribute block is exactly zero.
+  const size_t k = 16;
+  for (size_t a = 0; a < dataset_->entity_schema()->num_attributes(); ++a) {
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(features[a * 2 * k + i], 0.0);
+    }
+  }
+}
+
+TEST_F(EmbeddingEmModelTest, ExplainableAsABlackBox) {
+  ExplainerOptions options;
+  options.num_samples = 128;
+  LandmarkExplainer explainer(GenerationStrategy::kAuto, options);
+  auto explanations = explainer.Explain(**model_, dataset_->pair(0));
+  ASSERT_TRUE(explanations.ok());
+  EXPECT_EQ(explanations->size(), 2u);
+  for (const auto& exp : *explanations) {
+    for (const auto& tw : exp.token_weights) {
+      EXPECT_TRUE(std::isfinite(tw.weight));
+    }
+  }
+}
+
+TEST(EmbeddingEmModelStandaloneTest, RejectsBadOptions) {
+  EmDataset empty("e", *Schema::Make({"a"}));
+  EXPECT_FALSE(EmbeddingEmModel::Train(empty).ok());
+}
+
+}  // namespace
+}  // namespace landmark

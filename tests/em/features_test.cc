@@ -1,0 +1,85 @@
+#include "em/features.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(AttributeFeatureTest, AllKindsHaveNames) {
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    EXPECT_NE(AttributeFeatureKindName(static_cast<AttributeFeatureKind>(k)),
+              "unknown");
+  }
+}
+
+TEST(AttributeFeatureTest, IdenticalValuesScoreOne) {
+  const Value v = Value::Of("sony digital camera");
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    const auto kind = static_cast<AttributeFeatureKind>(k);
+    if (kind == AttributeFeatureKind::kNumericCloseness) continue;  // text
+    EXPECT_DOUBLE_EQ(ComputeAttributeFeature(kind, v, v), 1.0)
+        << AttributeFeatureKindName(kind);
+  }
+}
+
+TEST(AttributeFeatureTest, NullsZeroOutSimilarities) {
+  const Value v = Value::Of("something");
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    const auto kind = static_cast<AttributeFeatureKind>(k);
+    const double expected =
+        kind == AttributeFeatureKind::kBothPresent ? 0.0 : 0.0;
+    EXPECT_DOUBLE_EQ(ComputeAttributeFeature(kind, Value::Null(), v), expected)
+        << AttributeFeatureKindName(kind);
+    EXPECT_DOUBLE_EQ(ComputeAttributeFeature(kind, v, Value::Null()), expected);
+  }
+}
+
+TEST(AttributeFeatureTest, BothPresentIndicator) {
+  const Value v = Value::Of("x");
+  EXPECT_DOUBLE_EQ(ComputeAttributeFeature(AttributeFeatureKind::kBothPresent,
+                                           v, v),
+                   1.0);
+  EXPECT_DOUBLE_EQ(ComputeAttributeFeature(AttributeFeatureKind::kBothPresent,
+                                           v, Value::Null()),
+                   0.0);
+}
+
+TEST(AttributeFeatureTest, NumericClosenessRequiresNumbers) {
+  EXPECT_DOUBLE_EQ(
+      ComputeAttributeFeature(AttributeFeatureKind::kNumericCloseness,
+                              Value::Of("100"), Value::Of("50")),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      ComputeAttributeFeature(AttributeFeatureKind::kNumericCloseness,
+                              Value::Of("abc"), Value::Of("50")),
+      0.0);
+}
+
+TEST(AttributeFeatureTest, SharedTokensRaiseSetSimilarities) {
+  const Value a = Value::Of("sony digital camera dslra200w");
+  const Value similar = Value::Of("sony camera kit");
+  const Value different = Value::Of("leather black case");
+  for (auto kind :
+       {AttributeFeatureKind::kJaccard, AttributeFeatureKind::kOverlap,
+        AttributeFeatureKind::kCosine, AttributeFeatureKind::kMongeElkan,
+        AttributeFeatureKind::kTrigram}) {
+    EXPECT_GT(ComputeAttributeFeature(kind, a, similar),
+              ComputeAttributeFeature(kind, a, different))
+        << AttributeFeatureKindName(kind);
+  }
+}
+
+TEST(AttributeFeatureTest, ComputeAllReturnsEnumOrder) {
+  const Value a = Value::Of("alpha beta");
+  const Value b = Value::Of("alpha gamma");
+  std::vector<double> all = ComputeAllAttributeFeatures(a, b);
+  ASSERT_EQ(all.size(), kNumAttributeFeatures);
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    EXPECT_DOUBLE_EQ(
+        all[k],
+        ComputeAttributeFeature(static_cast<AttributeFeatureKind>(k), a, b));
+  }
+}
+
+}  // namespace
+}  // namespace landmark

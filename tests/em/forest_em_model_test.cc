@@ -1,0 +1,48 @@
+#include "em/forest_em_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+
+namespace landmark {
+namespace {
+
+TEST(ForestEmModelTest, LearnsTheBenchmark) {
+  EmDataset dataset = *GenerateMagellanDataset(*FindMagellanSpec("S-FZ"));
+  auto model = ForestEmModel::Train(dataset);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->report().f1, 0.6);
+}
+
+TEST(ForestEmModelTest, AttributeWeightsSumToOne) {
+  EmDataset dataset = *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  auto model = std::move(ForestEmModel::Train(dataset)).ValueOrDie();
+  auto weights = model->AttributeWeights();
+  ASSERT_TRUE(weights.ok());
+  EXPECT_EQ(weights->size(), dataset.entity_schema()->num_attributes());
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ForestEmModelTest, IsExplainableAsABlackBox) {
+  // The whole point: the landmark explainer needs nothing but PredictProba.
+  EmDataset dataset = *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  auto model = std::move(ForestEmModel::Train(dataset)).ValueOrDie();
+  ExplainerOptions options;
+  options.num_samples = 128;
+  LandmarkExplainer explainer(GenerationStrategy::kAuto, options);
+  auto explanations = explainer.Explain(*model, dataset.pair(0));
+  ASSERT_TRUE(explanations.ok());
+  EXPECT_EQ(explanations->size(), 2u);
+  EXPECT_GT((*explanations)[0].size(), 0u);
+}
+
+TEST(ForestEmModelTest, RejectsEmptyDataset) {
+  EmDataset empty("e", *Schema::Make({"a"}));
+  EXPECT_FALSE(ForestEmModel::Train(empty).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,116 @@
+#include "em/rule_em_model.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+
+namespace landmark {
+namespace {
+
+class RuleEmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ =
+        new EmDataset(*GenerateMagellanDataset(*FindMagellanSpec("S-FZ")));
+    model_ = new std::unique_ptr<RuleEmModel>(
+        std::move(RuleEmModel::Train(*dataset_)).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static EmDataset* dataset_;
+  static std::unique_ptr<RuleEmModel>* model_;
+};
+
+EmDataset* RuleEmModelTest::dataset_ = nullptr;
+std::unique_ptr<RuleEmModel>* RuleEmModelTest::model_ = nullptr;
+
+TEST_F(RuleEmModelTest, LearnsUsefulRules) {
+  EXPECT_FALSE((*model_)->rules().empty());
+  EXPECT_GT((*model_)->report().f1, 0.6);
+  for (const MatchRule& rule : (*model_)->rules()) {
+    EXPECT_FALSE(rule.predicates.empty());
+    EXPECT_GE(rule.confidence, 0.5);
+    EXPECT_GE(rule.support, 3u);
+  }
+}
+
+TEST_F(RuleEmModelTest, PredictionIsRuleConfidenceOrDefault) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < 50 && i < dataset_->size(); ++i) {
+    const double p = (*model_)->PredictProba(dataset_->pair(i));
+    bool valid = p == 0.02;  // default_probability
+    for (const MatchRule& rule : (*model_)->rules()) {
+      valid |= p == rule.confidence;
+    }
+    EXPECT_TRUE(valid) << "prediction " << p << " matches no rule confidence";
+  }
+}
+
+TEST_F(RuleEmModelTest, AttributeWeightsReflectRulePredicates) {
+  auto weights = (*model_)->AttributeWeights();
+  ASSERT_TRUE(weights.ok());
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(RuleEmModelTest, RulesRenderReadably) {
+  const std::string rendered = (*model_)->RulesToString();
+  EXPECT_NE(rendered.find("=> match"), std::string::npos);
+  EXPECT_NE(rendered.find("R1:"), std::string::npos);
+}
+
+TEST_F(RuleEmModelTest, ExplanationRecoversTheFiringRuleAttributes) {
+  // Ground-truth validation: explain a record on which a rule fires; the
+  // explanation's attribute mass must be concentrated on attributes used by
+  // the model's rules.
+  const RuleEmModel& model = **model_;
+  // Find a confident match.
+  const PairRecord* target = nullptr;
+  for (size_t i : dataset_->IndicesWithLabel(MatchLabel::kMatch)) {
+    if (model.PredictProba(dataset_->pair(i)) >= 0.9) {
+      target = &dataset_->pair(i);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  std::vector<double> rule_attrs = *model.AttributeWeights();
+  ExplainerOptions options;
+  options.num_samples = 256;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  auto explanations = explainer.Explain(model, *target);
+  ASSERT_TRUE(explanations.ok());
+  for (const Explanation& exp : *explanations) {
+    std::vector<double> exp_attrs =
+        exp.AttributeWeights(rule_attrs.size());
+    // The attribute with the largest explanation mass must be one the rule
+    // list actually uses.
+    size_t top = 0;
+    for (size_t a = 1; a < exp_attrs.size(); ++a) {
+      if (exp_attrs[a] > exp_attrs[top]) top = a;
+    }
+    EXPECT_GT(rule_attrs[top], 0.0)
+        << "explanation concentrates on an attribute no rule uses";
+  }
+}
+
+TEST(RuleEmModelStandaloneTest, RejectsBadInput) {
+  EmDataset empty("e", *Schema::Make({"a"}));
+  EXPECT_FALSE(RuleEmModel::Train(empty).ok());
+  RuleEmModelOptions options;
+  options.thresholds.clear();
+  EmDataset dataset =
+      *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  EXPECT_FALSE(RuleEmModel::Train(dataset, options).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,77 @@
+// The evaluation protocols must work against any EmModel that exposes
+// attribute weights — not just the paper's logistic regression.
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+#include "em/forest_em_model.h"
+#include "em/rule_em_model.h"
+#include "eval/evaluation.h"
+
+namespace landmark {
+namespace {
+
+class CrossModelEvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ =
+        new EmDataset(*GenerateMagellanDataset(*FindMagellanSpec("S-BR")));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static EmDataset* dataset_;
+
+  std::vector<size_t> Sample() {
+    Rng rng(3);
+    std::vector<size_t> sample =
+        dataset_->SampleByLabel(MatchLabel::kMatch, 8, rng);
+    auto non_match = dataset_->SampleByLabel(MatchLabel::kNonMatch, 8, rng);
+    sample.insert(sample.end(), non_match.begin(), non_match.end());
+    return sample;
+  }
+
+  void RunAllProtocols(const EmModel& model) {
+    ExplainerOptions options;
+    options.num_samples = 96;
+    LandmarkExplainer explainer(GenerationStrategy::kAuto, options);
+    ExplainBatchResult batch =
+        ExplainRecords(model, explainer, *dataset_, Sample());
+    ASSERT_FALSE(batch.records.empty());
+
+    auto token = EvaluateTokenRemoval(model, explainer, *dataset_,
+                                      batch.records, {});
+    ASSERT_TRUE(token.ok()) << token.status().ToString();
+    EXPECT_GT(token->num_trials, 0u);
+    EXPECT_GE(token->accuracy, 0.0);
+    EXPECT_LE(token->accuracy, 1.0);
+
+    auto attr = EvaluateAttributeCorrelation(model, *dataset_, batch.records);
+    ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+    EXPECT_GE(attr->mean_weighted_tau, -1.0);
+    EXPECT_LE(attr->mean_weighted_tau, 1.0);
+
+    auto interest = EvaluateInterest(model, explainer, *dataset_,
+                                     batch.records, MatchLabel::kMatch, {});
+    ASSERT_TRUE(interest.ok());
+    EXPECT_GE(interest->interest, 0.0);
+    EXPECT_LE(interest->interest, 1.0);
+  }
+};
+
+EmDataset* CrossModelEvalTest::dataset_ = nullptr;
+
+TEST_F(CrossModelEvalTest, WorksWithRandomForest) {
+  auto model = std::move(ForestEmModel::Train(*dataset_)).ValueOrDie();
+  RunAllProtocols(*model);
+}
+
+TEST_F(CrossModelEvalTest, WorksWithRuleModel) {
+  auto model = std::move(RuleEmModel::Train(*dataset_)).ValueOrDie();
+  RunAllProtocols(*model);
+}
+
+}  // namespace
+}  // namespace landmark

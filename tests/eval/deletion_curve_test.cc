@@ -1,0 +1,90 @@
+#include "eval/deletion_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+EmDataset MatchDataset() {
+  auto schema = *Schema::Make({"name", "price"});
+  EmDataset dataset("dc-test", schema);
+  auto add = [&](const std::string& l0, const std::string& r0) {
+    PairRecord p;
+    p.left = *Record::Make(schema, {Value::Of(l0), Value::Of("9")});
+    p.right = *Record::Make(schema, {Value::Of(r0), Value::Of("9")});
+    p.label = MatchLabel::kMatch;
+    ASSERT_TRUE(dataset.Append(std::move(p)).ok());
+  };
+  add("alpha beta gamma delta", "alpha beta gamma epsilon");
+  add("one two three four five", "one two three nine ten");
+  add("red green blue yellow", "red green blue pink");
+  return dataset;
+}
+
+TEST(DeletionCurveTest, GuidedDeletionBeatsRandom) {
+  EmDataset dataset = MatchDataset();
+  JaccardEmModel model;
+  ExplainerOptions options;
+  options.num_samples = 200;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  ExplainBatchResult batch =
+      ExplainRecords(model, explainer, dataset, {0, 1, 2});
+  DeletionCurveOptions curve_options;
+  curve_options.random_repetitions = 5;
+  auto result = EvaluateDeletionCurve(model, explainer, dataset,
+                                      batch.records, curve_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_explanations, 0u);
+  EXPECT_LT(result->auc, result->random_auc);
+}
+
+TEST(DeletionCurveTest, CurveStartsAtModelPrediction) {
+  EmDataset dataset = MatchDataset();
+  JaccardEmModel model;
+  ExplainerOptions options;
+  options.num_samples = 150;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  ExplainBatchResult batch = ExplainRecords(model, explainer, dataset, {0});
+  auto result =
+      EvaluateDeletionCurve(model, explainer, dataset, batch.records, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->mean_curve.empty());
+  // All explanations of record 0 share one all-active prediction per side;
+  // the curve's first point is their mean.
+  double expected = 0.0;
+  for (const auto& exp : batch.records[0].explanations) {
+    expected += exp.model_prediction;
+  }
+  expected /= static_cast<double>(batch.records[0].explanations.size());
+  EXPECT_NEAR(result->mean_curve[0], expected, 1e-12);
+}
+
+TEST(DeletionCurveTest, MaxStepsBoundsCurveLength) {
+  EmDataset dataset = MatchDataset();
+  JaccardEmModel model;
+  ExplainerOptions options;
+  options.num_samples = 100;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  ExplainBatchResult batch = ExplainRecords(model, explainer, dataset, {0});
+  DeletionCurveOptions curve_options;
+  curve_options.max_steps = 2;
+  auto result = EvaluateDeletionCurve(model, explainer, dataset,
+                                      batch.records, curve_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->mean_curve.size(), 3u);  // p0 + 2 deletions
+}
+
+TEST(DeletionCurveTest, EmptyInputGivesEmptyResult) {
+  EmDataset dataset = MatchDataset();
+  JaccardEmModel model;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle);
+  auto result = EvaluateDeletionCurve(model, explainer, dataset, {}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_explanations, 0u);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,189 @@
+#include "eval/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+EmDataset SmallDataset() {
+  auto schema = TestSchema();
+  EmDataset dataset("eval-test", schema);
+  auto add = [&](const std::string& l0, const std::string& l1,
+                 const std::string& r0, const std::string& r1,
+                 MatchLabel label) {
+    PairRecord p;
+    p.left = *Record::Make(schema, {Value::Of(l0), Value::Of(l1)});
+    p.right = *Record::Make(schema, {Value::Of(r0), Value::Of(r1)});
+    p.label = label;
+    ASSERT_TRUE(dataset.Append(std::move(p)).ok());
+  };
+  add("alpha beta gamma", "10", "alpha beta delta", "10", MatchLabel::kMatch);
+  add("epsilon zeta eta", "20", "epsilon zeta eta", "20", MatchLabel::kMatch);
+  add("one two three", "30", "nine eight seven", "99", MatchLabel::kNonMatch);
+  add("red green blue", "5", "cyan magenta", "77", MatchLabel::kNonMatch);
+  return dataset;
+}
+
+ExplainerOptions FastOptions() {
+  ExplainerOptions options;
+  options.num_samples = 150;
+  return options;
+}
+
+TEST(ExplainRecordsTest, ExplainsEveryRequestedRecord) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainBatchResult batch = ExplainRecords(model, lime, dataset, {0, 1, 2});
+  EXPECT_EQ(batch.records.size(), 3u);
+  EXPECT_EQ(batch.num_skipped, 0u);
+  EXPECT_EQ(batch.records[2].pair_index, 2u);
+  EXPECT_EQ(batch.records[0].explanations.size(), 1u);
+}
+
+TEST(ExplainRecordsTest, SkipsUnexplainableRecords) {
+  auto schema = TestSchema();
+  EmDataset dataset("t", schema);
+  PairRecord empty;
+  empty.left = Record::Empty(schema);
+  empty.right = Record::Empty(schema);
+  ASSERT_TRUE(dataset.Append(std::move(empty)).ok());
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainBatchResult batch = ExplainRecords(model, lime, dataset, {0});
+  EXPECT_TRUE(batch.records.empty());
+  EXPECT_EQ(batch.num_skipped, 1u);
+}
+
+TEST(TokenRemovalTest, LinearModelWouldScorePerfectly) {
+  // With the surrogate fit on the Jaccard model the estimate is imperfect
+  // but must be far better than chance and bounded.
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LandmarkExplainer single(GenerationStrategy::kSingle, FastOptions());
+  ExplainBatchResult batch =
+      ExplainRecords(model, single, dataset, {0, 1, 2, 3});
+  TokenRemovalOptions options;
+  options.repetitions = 4;
+  auto result = EvaluateTokenRemoval(model, single, dataset, batch.records,
+                                     options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_trials, 0u);
+  EXPECT_GE(result->accuracy, 0.5);
+  EXPECT_LE(result->accuracy, 1.0);
+  EXPECT_GE(result->mae, 0.0);
+  EXPECT_LT(result->mae, 0.5);
+}
+
+TEST(TokenRemovalTest, RepetitionsMultiplyTrials) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainBatchResult batch = ExplainRecords(model, lime, dataset, {0, 2});
+  TokenRemovalOptions one, three;
+  one.repetitions = 1;
+  three.repetitions = 3;
+  auto r1 = EvaluateTokenRemoval(model, lime, dataset, batch.records, one);
+  auto r3 = EvaluateTokenRemoval(model, lime, dataset, batch.records, three);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->num_trials, 3 * r1->num_trials);
+}
+
+TEST(TokenRemovalTest, RejectsBadOptions) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainBatchResult batch = ExplainRecords(model, lime, dataset, {0});
+  TokenRemovalOptions bad;
+  bad.removal_fraction = 0.0;
+  EXPECT_FALSE(
+      EvaluateTokenRemoval(model, lime, dataset, batch.records, bad).ok());
+  bad.removal_fraction = 0.25;
+  bad.repetitions = 0;
+  EXPECT_FALSE(
+      EvaluateTokenRemoval(model, lime, dataset, batch.records, bad).ok());
+}
+
+TEST(AttributeEvalTest, PerfectCorrelationForAlignedModel) {
+  // JaccardEmModel with explicit weights exposes its attribute importance;
+  // a hand-built explanation with matching attribute masses must give tau=1.
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model({3.0, 1.0});
+
+  ExplainedRecord record;
+  record.pair_index = 0;
+  Explanation exp;
+  Token t0, t1;
+  t0.attribute = 0;
+  t1.attribute = 1;
+  exp.token_weights = {TokenWeight{t0, 0.9}, TokenWeight{t1, -0.2}};
+  record.explanations.push_back(exp);
+
+  auto result = EvaluateAttributeCorrelation(model, dataset, {record});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_weighted_tau, 1.0);
+
+  // Reversed importance gives tau = -1.
+  record.explanations[0].token_weights[0].weight = 0.1;
+  record.explanations[0].token_weights[1].weight = -0.8;
+  result = EvaluateAttributeCorrelation(model, dataset, {record});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_weighted_tau, -1.0);
+}
+
+TEST(AttributeEvalTest, RequiresModelWeights) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel uniform;  // uniform model has no exposed weights
+  auto result = EvaluateAttributeCorrelation(uniform, dataset, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(InterestTest, DoubleEntityFlipsNonMatches) {
+  // Removing the negative tokens of a double-entity explanation leaves the
+  // injected landmark tokens, which turn the record into a match.
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LandmarkExplainer dbl(GenerationStrategy::kDouble, FastOptions());
+  std::vector<size_t> non_matches = dataset.IndicesWithLabel(MatchLabel::kNonMatch);
+  ExplainBatchResult batch = ExplainRecords(model, dbl, dataset, non_matches);
+  auto result = EvaluateInterest(model, dbl, dataset, batch.records,
+                                 MatchLabel::kNonMatch, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->interest, 0.7);
+}
+
+TEST(InterestTest, SingleEntityFlipsMatches) {
+  // Removing positive tokens from a matching record destroys the overlap.
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LandmarkExplainer single(GenerationStrategy::kSingle, FastOptions());
+  std::vector<size_t> matches = dataset.IndicesWithLabel(MatchLabel::kMatch);
+  ExplainBatchResult batch = ExplainRecords(model, single, dataset, matches);
+  auto result = EvaluateInterest(model, single, dataset, batch.records,
+                                 MatchLabel::kMatch, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->interest, 0.7);
+}
+
+TEST(InterestTest, EmptyInputGivesZero) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  auto result =
+      EvaluateInterest(model, lime, dataset, {}, MatchLabel::kMatch, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_explanations, 0u);
+  EXPECT_DOUBLE_EQ(result->interest, 0.0);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,81 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  return *Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ExperimentConfigTest, FlagOverrides) {
+  ExperimentConfig config = ExperimentConfig::FromFlags(ParseArgs(
+      {"--records=25", "--samples=64", "--scale=0.5", "--threshold=0.4",
+       "--kernel-width=0.5", "--lambda=2.0", "--seed=9"}));
+  EXPECT_EQ(config.records_per_label, 25u);
+  EXPECT_EQ(config.explainer_options.num_samples, 64u);
+  EXPECT_DOUBLE_EQ(config.size_scale, 0.5);
+  EXPECT_DOUBLE_EQ(config.token_removal.decision_threshold, 0.4);
+  EXPECT_DOUBLE_EQ(config.interest.decision_threshold, 0.4);
+  EXPECT_DOUBLE_EQ(config.explainer_options.kernel_width, 0.5);
+  EXPECT_DOUBLE_EQ(config.explainer_options.ridge_lambda, 2.0);
+  EXPECT_EQ(config.explainer_options.seed, 9u);
+}
+
+TEST(ExperimentConfigTest, DefaultsFollowThePaper) {
+  ExperimentConfig config = ExperimentConfig::FromFlags(ParseArgs({}));
+  EXPECT_EQ(config.records_per_label, 100u);            // 100 per label
+  EXPECT_DOUBLE_EQ(config.token_removal.removal_fraction, 0.25);  // 25%
+  EXPECT_DOUBLE_EQ(config.token_removal.decision_threshold, 0.5);
+}
+
+TEST(SelectSpecsTest, DefaultsToAllTwelve) {
+  EXPECT_EQ(SelectSpecs(ParseArgs({})).size(), 12u);
+}
+
+TEST(SelectSpecsTest, FiltersByCode) {
+  auto specs = SelectSpecs(ParseArgs({"--datasets=S-BR, S-IA ,bogus"}));
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].code, "S-BR");
+  EXPECT_EQ(specs[1].code, "S-IA");
+}
+
+TEST(MakeTechniquesTest, PaperColumnOrder) {
+  auto techniques = MakeTechniques(ExplainerOptions{});
+  ASSERT_EQ(techniques.size(), 4u);
+  EXPECT_EQ(techniques[0].label, "Single");
+  EXPECT_EQ(techniques[1].label, "Double");
+  EXPECT_EQ(techniques[2].label, "LIME");
+  EXPECT_EQ(techniques[3].label, "Mojito Copy");
+  EXPECT_FALSE(techniques[0].non_match_only);
+  EXPECT_TRUE(techniques[3].non_match_only);
+  EXPECT_EQ(techniques[0].explainer->name(), "landmark-single");
+  EXPECT_EQ(techniques[1].explainer->name(), "landmark-double");
+  EXPECT_EQ(techniques[2].explainer->name(), "lime");
+  EXPECT_EQ(techniques[3].explainer->name(), "mojito-copy");
+}
+
+TEST(ExperimentContextTest, CreatesDatasetModelAndSamples) {
+  ExperimentConfig config;
+  config.size_scale = 1.0;
+  config.records_per_label = 10;
+  MagellanDatasetSpec spec = *FindMagellanSpec("S-BR");
+  auto context = ExperimentContext::Create(spec, config);
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(context->dataset().size(), 450u);
+  EXPECT_EQ(context->sample(MatchLabel::kMatch).size(), 10u);
+  EXPECT_EQ(context->sample(MatchLabel::kNonMatch).size(), 10u);
+  EXPECT_GT(context->model().report().f1, 0.5);
+  for (size_t i : context->sample(MatchLabel::kMatch)) {
+    EXPECT_TRUE(context->dataset().pair(i).is_match());
+  }
+}
+
+}  // namespace
+}  // namespace landmark

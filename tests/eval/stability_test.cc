@@ -1,0 +1,87 @@
+#include "eval/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+EmDataset SmallDataset() {
+  auto schema = *Schema::Make({"name"});
+  EmDataset dataset("st-test", schema);
+  auto add = [&](const std::string& l, const std::string& r) {
+    PairRecord p;
+    p.left = *Record::Make(schema, {Value::Of(l)});
+    p.right = *Record::Make(schema, {Value::Of(r)});
+    p.label = MatchLabel::kMatch;
+    ASSERT_TRUE(dataset.Append(std::move(p)).ok());
+  };
+  add("alpha beta gamma delta epsilon", "alpha beta gamma zeta");
+  add("one two three four", "one two five six");
+  return dataset;
+}
+
+ExplainerFactory SingleFactory() {
+  return [](const ExplainerOptions& o) -> std::unique_ptr<PairExplainer> {
+    return std::make_unique<LandmarkExplainer>(GenerationStrategy::kSingle, o);
+  };
+}
+
+TEST(StabilityTest, StableOnACrispModel) {
+  // Jaccard model + small token space: the top tokens are clear-cut, so
+  // stability should be high even with modest sample counts.
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  ExplainerOptions options;
+  options.num_samples = 256;
+  auto result = EvaluateStability(model, SingleFactory(), options, dataset,
+                                  {0, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_records, 2u);
+  EXPECT_GT(result->mean_topk_jaccard, 0.6);
+  EXPECT_LE(result->mean_topk_jaccard, 1.0);
+}
+
+TEST(StabilityTest, MoreSamplesNeverHurtMuch) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  ExplainerOptions tiny, large;
+  tiny.num_samples = 24;
+  large.num_samples = 512;
+  auto small_result =
+      EvaluateStability(model, SingleFactory(), tiny, dataset, {0, 1});
+  auto large_result =
+      EvaluateStability(model, SingleFactory(), large, dataset, {0, 1});
+  ASSERT_TRUE(small_result.ok());
+  ASSERT_TRUE(large_result.ok());
+  EXPECT_GE(large_result->mean_topk_jaccard,
+            small_result->mean_topk_jaccard - 0.1);
+}
+
+TEST(StabilityTest, RejectsSingleSeed) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  StabilityOptions options;
+  options.num_seeds = 1;
+  EXPECT_FALSE(EvaluateStability(model, SingleFactory(), {}, dataset, {0},
+                                 options)
+                   .ok());
+}
+
+TEST(StabilityTest, SkipsUnexplainableRecords) {
+  auto schema = *Schema::Make({"name"});
+  EmDataset dataset("st-test", schema);
+  PairRecord empty;
+  empty.left = Record::Empty(schema);
+  empty.right = Record::Empty(schema);
+  ASSERT_TRUE(dataset.Append(std::move(empty)).ok());
+  JaccardEmModel model;
+  auto result = EvaluateStability(model, SingleFactory(), {}, dataset, {0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_records, 0u);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,92 @@
+// Cross-neighborhood sanity: the LIME and KernelSHAP backends are different
+// estimators of the same local behaviour, so on a transparent model they
+// must largely agree about which tokens matter.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+TEST(NeighborhoodAgreementTest, TopTokenOverlapIsHigh) {
+  EmDataset dataset = *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  JaccardEmModel model;
+
+  ExplainerOptions lime_options;
+  lime_options.num_samples = 384;
+  ExplainerOptions shap_options = lime_options;
+  shap_options.neighborhood = NeighborhoodKind::kShap;
+
+  LandmarkExplainer lime_backend(GenerationStrategy::kSingle, lime_options);
+  LandmarkExplainer shap_backend(GenerationStrategy::kSingle, shap_options);
+
+  Rng rng(13);
+  double overlap_total = 0.0;
+  size_t compared = 0;
+  constexpr size_t kTop = 3;
+  for (size_t idx : dataset.SampleByLabel(MatchLabel::kMatch, 10, rng)) {
+    const PairRecord& pair = dataset.pair(idx);
+    auto lime_exp =
+        lime_backend.ExplainWithLandmark(model, pair, EntitySide::kLeft);
+    auto shap_exp =
+        shap_backend.ExplainWithLandmark(model, pair, EntitySide::kLeft);
+    if (!lime_exp.ok() || !shap_exp.ok()) continue;
+    if (lime_exp->size() < kTop) continue;
+
+    auto top_texts = [&](const Explanation& exp) {
+      std::vector<std::string> texts;
+      for (size_t i : exp.TopFeatures(kTop)) {
+        texts.push_back(exp.token_weights[i].token.text);
+      }
+      std::sort(texts.begin(), texts.end());
+      return texts;
+    };
+    std::vector<std::string> a = top_texts(*lime_exp);
+    std::vector<std::string> b = top_texts(*shap_exp);
+    std::vector<std::string> common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    overlap_total += static_cast<double>(common.size()) / kTop;
+    ++compared;
+  }
+  ASSERT_GT(compared, 5u);
+  EXPECT_GT(overlap_total / static_cast<double>(compared), 0.5);
+}
+
+TEST(NeighborhoodAgreementTest, SignsAgreeOnTheStrongestToken) {
+  // The most important token's sign (match-supporting or not) must be the
+  // same under both backends.
+  EmDataset dataset = *GenerateMagellanDataset(*FindMagellanSpec("S-BR"));
+  JaccardEmModel model;
+
+  ExplainerOptions lime_options;
+  lime_options.num_samples = 384;
+  ExplainerOptions shap_options = lime_options;
+  shap_options.neighborhood = NeighborhoodKind::kShap;
+  LandmarkExplainer lime_backend(GenerationStrategy::kSingle, lime_options);
+  LandmarkExplainer shap_backend(GenerationStrategy::kSingle, shap_options);
+
+  Rng rng(17);
+  size_t agreements = 0, compared = 0;
+  for (size_t idx : dataset.SampleByLabel(MatchLabel::kMatch, 10, rng)) {
+    const PairRecord& pair = dataset.pair(idx);
+    auto a = lime_backend.ExplainWithLandmark(model, pair, EntitySide::kLeft);
+    auto b = shap_backend.ExplainWithLandmark(model, pair, EntitySide::kLeft);
+    if (!a.ok() || !b.ok() || a->size() == 0) continue;
+    const size_t top_a = a->TopFeatures(1)[0];
+    // Find the same token in b's space (identical spaces: same record).
+    const double wa = a->token_weights[top_a].weight;
+    const double wb = b->token_weights[top_a].weight;
+    agreements += (wa >= 0) == (wb >= 0);
+    ++compared;
+  }
+  ASSERT_GT(compared, 5u);
+  EXPECT_GE(static_cast<double>(agreements) / compared, 0.8);
+}
+
+}  // namespace
+}  // namespace landmark

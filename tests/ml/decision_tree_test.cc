@@ -1,0 +1,218 @@
+#include "ml/decision_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+/// XOR-ish dataset: y = 1 iff exactly one of (x0 > 0.5, x1 > 0.5). Linear
+/// models fail on it; trees should nail it.
+void MakeXor(size_t n, Rng& rng, Matrix& x, std::vector<int>& y) {
+  x = Matrix(n, 2);
+  y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    x.at(i, 0) = a;
+    x.at(i, 1) = b;
+    y[i] = (a > 0.5) != (b > 0.5);
+  }
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Matrix x(20, 1);
+  std::vector<int> y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y[i] = i >= 10;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, {}, {}).ok());
+  EXPECT_DOUBLE_EQ(tree.PredictProba({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.PredictProba({15.0}), 1.0);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, SolvesXor) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(400, rng, x, y);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, {}, {}).ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int pred = tree.PredictProba({x.at(i, 0), x.at(i, 1)}) >= 0.5;
+    correct += pred == y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.rows(), 0.95);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsTheTree) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(200, rng, x, y);
+  DecisionTreeOptions options;
+  options.max_depth = 1;  // a stump cannot represent XOR
+  DecisionTree stump;
+  ASSERT_TRUE(stump.Fit(x, y, {}, options).ok());
+  EXPECT_LE(stump.depth(), 1);
+}
+
+TEST(DecisionTreeTest, SampleWeightsChangeLeafProbabilities) {
+  // Same feature value, conflicting labels: the leaf probability follows
+  // the weights.
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 1.0;
+  std::vector<int> y = {0, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, {1.0, 3.0}, {}).ok());
+  EXPECT_NEAR(tree.PredictProba({1.0}), 0.75, 1e-12);
+}
+
+TEST(DecisionTreeTest, FeatureImportancesIdentifyTheSignal) {
+  Rng rng(3);
+  const size_t n = 300;
+  Matrix x(n, 3);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.NextDouble();          // noise
+    x.at(i, 1) = rng.NextDouble();          // signal
+    x.at(i, 2) = rng.NextDouble();          // noise
+    y[i] = x.at(i, 1) > 0.4;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, {}, {}).ok());
+  const auto& imp = tree.feature_importances();
+  EXPECT_GT(imp[1], imp[0] * 5);
+  EXPECT_GT(imp[1], imp[2] * 5);
+}
+
+TEST(DecisionTreeTest, SplitsBetweenAdjacentDoubles) {
+  // Regression test: with two adjacent representable doubles the midpoint
+  // rounds up to the larger value, which used to leave the right partition
+  // empty and trip a CHECK. The threshold must separate them exactly.
+  const double hi = 1.0;
+  const double lo = std::nextafter(hi, 0.0);
+  Matrix x(8, 1);
+  std::vector<int> y(8);
+  for (size_t i = 0; i < 8; ++i) {
+    x.at(i, 0) = i < 4 ? lo : hi;
+    y[i] = i >= 4;
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, {}, {}).ok());
+  EXPECT_DOUBLE_EQ(tree.PredictProba({lo}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.PredictProba({hi}), 1.0);
+}
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  DecisionTree tree;
+  Matrix x(2, 1);
+  EXPECT_FALSE(tree.Fit(x, {1}, {}, {}).ok());
+  EXPECT_FALSE(tree.Fit(x, {0, 2}, {}, {}).ok());
+  EXPECT_FALSE(tree.Fit(x, {0, 1}, {1.0}, {}).ok());
+  EXPECT_FALSE(tree.Fit(Matrix(0, 0), {}, {}, {}).ok());
+}
+
+TEST(RandomForestTest, SolvesXorAndBeatsAStump) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(600, rng, x, y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 15;
+  ASSERT_TRUE(forest.Fit(x, y, options).ok());
+  EXPECT_EQ(forest.num_trees(), 15u);
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int pred = forest.PredictProba({x.at(i, 0), x.at(i, 1)}) >= 0.5;
+    correct += pred == y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.rows(), 0.9);
+}
+
+TEST(RandomForestTest, ProbabilitiesAreAveragedOverTrees) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(200, rng, x, y);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 9;
+  ASSERT_TRUE(forest.Fit(x, y, options).ok());
+  const double p = forest.PredictProba({0.2, 0.2});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(RandomForestTest, FeatureImportancesNormalized) {
+  Rng rng(6);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(300, rng, x, y);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y, {}).ok());
+  auto imp = forest.FeatureImportances();
+  double total = 0.0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, DeterministicInSeed) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<int> y;
+  MakeXor(200, rng, x, y);
+  RandomForestOptions options;
+  options.num_trees = 5;
+  RandomForest a, b;
+  ASSERT_TRUE(a.Fit(x, y, options).ok());
+  ASSERT_TRUE(b.Fit(x, y, options).ok());
+  for (double v : {0.1, 0.3, 0.6, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.PredictProba({v, 1.0 - v}),
+                     b.PredictProba({v, 1.0 - v}));
+  }
+}
+
+TEST(RandomForestTest, SampleWeightBiasesPredictions) {
+  // All-positive weights on class 1 push the probability up.
+  Matrix x(10, 1);
+  std::vector<int> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = 1.0;  // indistinguishable features
+    y[i] = i < 5;
+  }
+  RandomForestOptions options;
+  options.num_trees = 20;
+  RandomForest balanced, biased;
+  ASSERT_TRUE(balanced.Fit(x, y, options).ok());
+  std::vector<double> w(10, 1.0);
+  for (size_t i = 0; i < 5; ++i) w[i] = 10.0;  // upweight positives
+  ASSERT_TRUE(biased.Fit(x, y, options, w).ok());
+  EXPECT_GT(biased.PredictProba({1.0}), balanced.PredictProba({1.0}));
+}
+
+TEST(RandomForestTest, RejectsBadOptions) {
+  Matrix x(4, 1);
+  std::vector<int> y = {0, 1, 0, 1};
+  for (size_t i = 0; i < 4; ++i) x.at(i, 0) = static_cast<double>(i);
+  RandomForest forest;
+  RandomForestOptions options;
+  options.num_trees = 0;
+  EXPECT_FALSE(forest.Fit(x, y, options).ok());
+  options.num_trees = 3;
+  options.subsample = 0.0;
+  EXPECT_FALSE(forest.Fit(x, y, options).ok());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,81 @@
+#include "ml/kendall.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(KendallTauBTest, PerfectAgreementAndReversal) {
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+}
+
+TEST(KendallTauBTest, KnownValue) {
+  // 5 concordant, 1 discordant of 6 pairs -> (5-1)/6.
+  EXPECT_NEAR(KendallTauB({1, 2, 3, 4}, {1, 3, 2, 4}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauBTest, TieCorrection) {
+  // x has one tied pair; it is excluded from the x pair count.
+  // x = {1,1,2}: pairs not tied in x: (0,2),(1,2) -> 2. y = {1,2,3}: 3 pairs.
+  // concordant among considered: both + -> num = 2; tau = 2/sqrt(2*3).
+  EXPECT_NEAR(KendallTauB({1, 1, 2}, {1, 2, 3}), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTauBTest, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauB({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(WeightedKendallTauTest, PerfectAgreementAndReversal) {
+  EXPECT_NEAR(WeightedKendallTau({3, 2, 1}, {30, 20, 10}), 1.0, 1e-12);
+  EXPECT_NEAR(WeightedKendallTau({3, 2, 1}, {10, 20, 30}), -1.0, 1e-12);
+}
+
+TEST(WeightedKendallTauTest, HandComputedValue) {
+  // x = {3,2,1}, y = {2,3,1}: both rank directions give
+  // num = -1.5 + 4/3 + 5/6 = 2/3, den = 11/3  ->  tau = 2/11.
+  EXPECT_NEAR(WeightedKendallTau({3, 2, 1}, {2, 3, 1}), 2.0 / 11.0, 1e-12);
+}
+
+TEST(WeightedKendallTauTest, TopDisagreementCostsMoreThanTailDisagreement) {
+  // Swapping the two most important elements must lower tau more than
+  // swapping the two least important ones.
+  const std::vector<double> base = {5, 4, 3, 2, 1};
+  const double top_swap = WeightedKendallTau(base, {4, 5, 3, 2, 1});
+  const double tail_swap = WeightedKendallTau(base, {5, 4, 3, 1, 2});
+  EXPECT_LT(top_swap, tail_swap);
+  EXPECT_LT(top_swap, 1.0);
+  EXPECT_LT(tail_swap, 1.0);
+}
+
+TEST(WeightedKendallTauTest, InvariantUnderMonotoneTransform) {
+  const std::vector<double> x = {0.3, 0.1, 0.9, 0.5};
+  const std::vector<double> y = {1.0, 0.2, 0.8, 0.4};
+  std::vector<double> x_scaled;
+  for (double v : x) x_scaled.push_back(2.0 * v + 10.0);
+  EXPECT_NEAR(WeightedKendallTau(x, y), WeightedKendallTau(x_scaled, y),
+              1e-12);
+}
+
+TEST(WeightedKendallTauTest, SymmetricInArguments) {
+  const std::vector<double> x = {0.3, 0.1, 0.9, 0.5, 0.2};
+  const std::vector<double> y = {1.0, 0.2, 0.8, 0.4, 0.9};
+  EXPECT_NEAR(WeightedKendallTau(x, y), WeightedKendallTau(y, x), 1e-12);
+}
+
+TEST(WeightedKendallTauTest, RangeOnRandomInputs) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(static_cast<double>((i * 37) % 11));
+    y.push_back(static_cast<double>((i * 17 + 3) % 7));
+  }
+  const double tau = WeightedKendallTau(x, y);
+  EXPECT_GE(tau, -1.0);
+  EXPECT_LE(tau, 1.0);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,148 @@
+#include "ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Vector x = {1, 0, -1};
+  Vector y = a.Multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, MultiplyTransposedKnownValues) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Vector x = {1, 2};
+  Vector y = a.MultiplyTransposed(x);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MatrixTest, GramWeightedMatchesManualComputation) {
+  Matrix a(3, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  a.at(2, 0) = 5; a.at(2, 1) = 6;
+  Vector w = {1.0, 0.5, 2.0};
+  Matrix g = a.GramWeighted(w);
+  // g[0][0] = 1*1 + 0.5*9 + 2*25 = 55.5
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 55.5);
+  // g[0][1] = 1*2 + 0.5*12 + 2*30 = 68
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 68.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), g.at(0, 1));
+  // g[1][1] = 4 + 8 + 72 = 84
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 84.0);
+}
+
+TEST(MatrixTest, IdentityConstruction) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id.at(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(VectorOpsTest, DotNormAxpy) {
+  Vector a = {1, 2, 3};
+  Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  Vector y = {1, 1, 1};
+  Axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [4 2; 2 3], b = [2; 1] -> x = [0.5; 0]
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 2;
+  a.at(1, 0) = 2; a.at(1, 1) = 3;
+  auto x = CholeskySolve(a, {2, 1});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, ResidualIsSmallOnLargerSystem) {
+  // Build SPD A = M Mᵀ + I deterministically.
+  const size_t n = 12;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      m.at(i, j) = static_cast<double>((i * 31 + j * 17) % 7) - 3.0;
+    }
+  }
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) acc += m.at(i, k) * m.at(j, k);
+      a.at(i, j) = acc + (i == j ? 1.0 : 0.0);
+    }
+  }
+  Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) - 5.0;
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector ax = a.Multiply(*x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0; a.at(0, 1) = 1;
+  a.at(1, 0) = 1; a.at(1, 1) = 0;
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskyTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(SolveRidgeTest, ShrinksTowardsZero) {
+  // One feature, y = 2x, equal weights.
+  Matrix x(4, 1);
+  Vector y(4), w(4, 1.0);
+  for (size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = static_cast<double>(i + 1);
+    y[i] = 2.0 * static_cast<double>(i + 1);
+  }
+  auto no_reg = SolveRidge(x, y, w, 0.0);
+  ASSERT_TRUE(no_reg.ok());
+  EXPECT_NEAR((*no_reg)[0], 2.0, 1e-10);
+
+  auto reg = SolveRidge(x, y, w, 100.0);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_LT((*reg)[0], 2.0);
+  EXPECT_GT((*reg)[0], 0.0);
+}
+
+TEST(SolveRidgeTest, UnpenalizedIndexIsNotShrunk) {
+  // Two identical columns; penalize only the first.
+  Matrix x(3, 2);
+  Vector y = {1, 2, 3};
+  Vector w(3, 1.0);
+  for (size_t i = 0; i < 3; ++i) {
+    x.at(i, 0) = static_cast<double>(i + 1);
+    x.at(i, 1) = 1.0;  // intercept column
+  }
+  auto beta = SolveRidge(x, y, w, 10.0, {1});
+  ASSERT_TRUE(beta.ok());
+  // Strong penalty on the slope pushes predictions onto the intercept.
+  EXPECT_LT((*beta)[0], 1.0);
+  EXPECT_GT((*beta)[1], 0.5);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,150 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace landmark {
+namespace {
+
+Matrix RandomDesign(size_t n, size_t d, Rng& rng) {
+  Matrix x(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) x.at(i, j) = rng.NextDouble(-1.0, 1.0);
+  }
+  return x;
+}
+
+TEST(RidgeTest, RecoversLinearFunctionWithLowLambda) {
+  Rng rng(1);
+  const size_t n = 200, d = 3;
+  Matrix x = RandomDesign(n, d, rng);
+  const Vector true_w = {2.0, -1.0, 0.5};
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 3.0;  // intercept
+    for (size_t j = 0; j < d; ++j) y[i] += true_w[j] * x.at(i, j);
+  }
+  Vector w(n, 1.0);
+  auto model = FitWeightedRidge(x, y, w, 1e-8);
+  ASSERT_TRUE(model.ok());
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(model->coefficients[j], true_w[j], 1e-5);
+  }
+  EXPECT_NEAR(model->intercept, 3.0, 1e-5);
+  EXPECT_NEAR(model->Predict({1.0, 1.0, 1.0}), 4.5, 1e-4);
+}
+
+TEST(RidgeTest, InterceptIsNotPenalized) {
+  // Constant target: even with huge lambda the intercept must match it.
+  Rng rng(2);
+  Matrix x = RandomDesign(50, 2, rng);
+  Vector y(50, 7.0);
+  Vector w(50, 1.0);
+  auto model = FitWeightedRidge(x, y, w, 1e6);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->intercept, 7.0, 1e-3);
+  EXPECT_NEAR(model->coefficients[0], 0.0, 1e-3);
+}
+
+TEST(RidgeTest, SampleWeightsFocusTheFit) {
+  // Two clusters with different slopes; weighting one cluster should pull
+  // the fit towards its slope.
+  Matrix x(20, 1);
+  Vector y(20), w_a(20), w_b(20);
+  for (size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y[i] = 2.0 * x.at(i, 0);  // slope 2 cluster
+    w_a[i] = 1.0;
+    w_b[i] = 1e-6;
+  }
+  for (size_t i = 10; i < 20; ++i) {
+    x.at(i, 0) = static_cast<double>(i - 10);
+    y[i] = -1.0 * x.at(i, 0);  // slope -1 cluster
+    w_a[i] = 1e-6;
+    w_b[i] = 1.0;
+  }
+  auto ma = FitWeightedRidge(x, y, w_a, 1e-6);
+  auto mb = FitWeightedRidge(x, y, w_b, 1e-6);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_NEAR(ma->coefficients[0], 2.0, 1e-3);
+  EXPECT_NEAR(mb->coefficients[0], -1.0, 1e-3);
+}
+
+TEST(RidgeTest, RejectsShapeMismatch) {
+  Matrix x(3, 1);
+  EXPECT_FALSE(FitWeightedRidge(x, {1, 2}, {1, 1, 1}, 1.0).ok());
+  EXPECT_FALSE(FitWeightedRidge(x, {1, 2, 3}, {1, 1}, 1.0).ok());
+  EXPECT_FALSE(FitWeightedRidge(Matrix(0, 0), {}, {}, 1.0).ok());
+}
+
+TEST(LassoTest, RecoversSparseSignal) {
+  Rng rng(3);
+  const size_t n = 300, d = 8;
+  Matrix x = RandomDesign(n, d, rng);
+  // Only features 1 and 4 matter.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 1.0 + 3.0 * x.at(i, 1) - 2.0 * x.at(i, 4) +
+           0.01 * rng.NextGaussian();
+  }
+  Vector w(n, 1.0);
+  LassoOptions options;
+  options.lambda = 0.05;
+  auto model = FitWeightedLasso(x, y, w, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->coefficients[1], 2.0);
+  EXPECT_LT(model->coefficients[4], -1.0);
+  // Irrelevant features are (nearly) zeroed.
+  for (size_t j : {0u, 2u, 3u, 5u, 6u, 7u}) {
+    EXPECT_NEAR(model->coefficients[j], 0.0, 0.05) << "feature " << j;
+  }
+}
+
+TEST(LassoTest, LargerLambdaGivesSparserModels) {
+  Rng rng(4);
+  const size_t n = 200, d = 6;
+  Matrix x = RandomDesign(n, d, rng);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 0.5 * x.at(i, 0) + 0.4 * x.at(i, 1) + 0.3 * x.at(i, 2) +
+           0.2 * x.at(i, 3) + 0.1 * x.at(i, 4);
+  }
+  Vector w(n, 1.0);
+  auto count_nonzero = [](const LinearModel& m) {
+    size_t nz = 0;
+    for (double c : m.coefficients) nz += std::abs(c) > 1e-9;
+    return nz;
+  };
+  LassoOptions weak, strong;
+  weak.lambda = 0.001;
+  strong.lambda = 0.3;
+  auto mw = FitWeightedLasso(x, y, w, weak);
+  auto ms = FitWeightedLasso(x, y, w, strong);
+  ASSERT_TRUE(mw.ok());
+  ASSERT_TRUE(ms.ok());
+  EXPECT_GT(count_nonzero(*mw), count_nonzero(*ms));
+}
+
+TEST(LassoTest, ZeroLambdaMatchesRidgeLimit) {
+  Rng rng(5);
+  Matrix x = RandomDesign(100, 2, rng);
+  Vector y(100);
+  for (size_t i = 0; i < 100; ++i) y[i] = 1.0 + x.at(i, 0) - 2.0 * x.at(i, 1);
+  Vector w(100, 1.0);
+  LassoOptions options;
+  options.lambda = 0.0;
+  auto lasso = FitWeightedLasso(x, y, w, options);
+  auto ridge = FitWeightedRidge(x, y, w, 1e-10);
+  ASSERT_TRUE(lasso.ok());
+  ASSERT_TRUE(ridge.ok());
+  EXPECT_NEAR(lasso->coefficients[0], ridge->coefficients[0], 1e-4);
+  EXPECT_NEAR(lasso->coefficients[1], ridge->coefficients[1], 1e-4);
+  EXPECT_NEAR(lasso->intercept, ridge->intercept, 1e-4);
+}
+
+}  // namespace
+}  // namespace landmark

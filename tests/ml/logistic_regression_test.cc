@@ -1,0 +1,126 @@
+#include "ml/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace landmark {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(2.0), 0.8807970779778823, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-2.0), 0.11920292202211755, 1e-12);
+  // No overflow at extremes.
+  EXPECT_NEAR(LogisticRegression::Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x0 > 0.
+  Matrix x(40, 1);
+  std::vector<int> y(40);
+  for (size_t i = 0; i < 40; ++i) {
+    const double v = (static_cast<double>(i) - 19.5) / 10.0;
+    x.at(i, 0) = v;
+    y[i] = v > 0 ? 1 : 0;
+  }
+  LogisticRegression model;
+  LogisticRegressionOptions options;
+  options.l2 = 0.1;
+  ASSERT_TRUE(model.Fit(x, y, options).ok());
+  EXPECT_GT(model.coefficients()[0], 0.0);
+  EXPECT_EQ(model.Predict({1.0}), 1);
+  EXPECT_EQ(model.Predict({-1.0}), 0);
+  EXPECT_GT(model.PredictProba({2.0}), 0.9);
+  EXPECT_LT(model.PredictProba({-2.0}), 0.1);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedOnNoisyData) {
+  // Bernoulli(sigmoid(1.5 x - 0.5)) data; the fit should recover the
+  // coefficients approximately.
+  Rng rng(99);
+  const size_t n = 5000;
+  Matrix x(n, 1);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = rng.NextDouble(-3.0, 3.0);
+    x.at(i, 0) = v;
+    y[i] = rng.NextBernoulli(LogisticRegression::Sigmoid(1.5 * v - 0.5));
+  }
+  LogisticRegression model;
+  LogisticRegressionOptions options;
+  options.l2 = 1e-6;
+  options.balanced_class_weights = false;
+  ASSERT_TRUE(model.Fit(x, y, options).ok());
+  EXPECT_NEAR(model.coefficients()[0], 1.5, 0.15);
+  EXPECT_NEAR(model.intercept(), -0.5, 0.15);
+}
+
+TEST(LogisticRegressionTest, L2ShrinksCoefficients) {
+  Matrix x(20, 1);
+  std::vector<int> y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x.at(i, 0) = static_cast<double>(i) - 9.5;
+    y[i] = x.at(i, 0) > 0 ? 1 : 0;
+  }
+  LogisticRegression weak, strong;
+  LogisticRegressionOptions weak_options, strong_options;
+  weak_options.l2 = 0.01;
+  strong_options.l2 = 50.0;
+  ASSERT_TRUE(weak.Fit(x, y, weak_options).ok());
+  ASSERT_TRUE(strong.Fit(x, y, strong_options).ok());
+  EXPECT_GT(weak.coefficients()[0], strong.coefficients()[0]);
+}
+
+TEST(LogisticRegressionTest, BalancedWeightsShiftThresholdOnImbalancedData) {
+  // 90% negatives around -0.1, 10% positives around +1 with overlap:
+  // without balancing, the boundary sits far on the positive side.
+  Rng rng(7);
+  const size_t n = 2000;
+  Matrix x(n, 1);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool pos = i % 10 == 0;
+    x.at(i, 0) = (pos ? 1.0 : -0.1) + rng.NextGaussian() * 0.8;
+    y[i] = pos;
+  }
+  LogisticRegression balanced, unbalanced;
+  LogisticRegressionOptions opt_b, opt_u;
+  opt_b.balanced_class_weights = true;
+  opt_u.balanced_class_weights = false;
+  ASSERT_TRUE(balanced.Fit(x, y, opt_b).ok());
+  ASSERT_TRUE(unbalanced.Fit(x, y, opt_u).ok());
+  // At the midpoint feature value the balanced model gives a higher match
+  // probability than the unbalanced one.
+  EXPECT_GT(balanced.PredictProba({0.45}), unbalanced.PredictProba({0.45}));
+}
+
+TEST(LogisticRegressionTest, RejectsDegenerateInputs) {
+  LogisticRegression model;
+  Matrix x(2, 1);
+  EXPECT_FALSE(model.Fit(x, {1}).ok());                 // size mismatch
+  EXPECT_FALSE(model.Fit(x, {1, 1}).ok());              // single class
+  EXPECT_FALSE(model.Fit(x, {2, 0}).ok());              // invalid label
+  EXPECT_FALSE(model.Fit(Matrix(0, 0), {}).ok());       // empty
+  EXPECT_FALSE(model.is_fitted());
+}
+
+TEST(LogisticRegressionTest, BatchMatchesSinglePredictions) {
+  Matrix x(10, 2);
+  std::vector<int> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    x.at(i, 1) = static_cast<double>(i % 3);
+    y[i] = i >= 5;
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  Vector batch = model.PredictProbaBatch(x);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.PredictProba({x.at(i, 0), x.at(i, 1)}));
+  }
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,120 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace landmark {
+namespace {
+
+TEST(MlpTest, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  const size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.NextDouble(-1, 1);
+    x.at(i, 1) = rng.NextDouble(-1, 1);
+    y[i] = x.at(i, 0) + x.at(i, 1) > 0;
+  }
+  Mlp mlp;
+  MlpOptions options;
+  options.epochs = 40;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    correct += (mlp.PredictProba({x.at(i, 0), x.at(i, 1)}) >= 0.5) == (y[i] == 1);
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(MlpTest, LearnsXorUnlikeALinearModel) {
+  Rng rng(2);
+  const size_t n = 600;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.NextDouble();
+    x.at(i, 1) = rng.NextDouble();
+    y[i] = (x.at(i, 0) > 0.5) != (x.at(i, 1) > 0.5);
+  }
+  Mlp mlp;
+  MlpOptions options;
+  options.hidden = {16, 8};
+  options.epochs = 120;
+  options.learning_rate = 5e-3;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    correct += (mlp.PredictProba({x.at(i, 0), x.at(i, 1)}) >= 0.5) == (y[i] == 1);
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.9);
+}
+
+TEST(MlpTest, OutputsAreProbabilities) {
+  Rng rng(3);
+  Matrix x(50, 3);
+  std::vector<int> y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) x.at(i, j) = rng.NextDouble();
+    y[i] = i % 2;
+  }
+  Mlp mlp;
+  MlpOptions options;
+  options.epochs = 5;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = mlp.PredictProba({x.at(i, 0), x.at(i, 1), x.at(i, 2)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicInSeed) {
+  Rng rng(4);
+  Matrix x(100, 2);
+  std::vector<int> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = rng.NextDouble();
+    x.at(i, 1) = rng.NextDouble();
+    y[i] = x.at(i, 0) > 0.5;
+  }
+  MlpOptions options;
+  options.epochs = 10;
+  Mlp a, b;
+  ASSERT_TRUE(a.Fit(x, y, options).ok());
+  ASSERT_TRUE(b.Fit(x, y, options).ok());
+  EXPECT_DOUBLE_EQ(a.PredictProba({0.3, 0.7}), b.PredictProba({0.3, 0.7}));
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  Rng rng(5);
+  Matrix x(60, 4);
+  std::vector<int> y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 4; ++j) x.at(i, j) = rng.NextDouble();
+    y[i] = i % 2;
+  }
+  Mlp mlp;
+  MlpOptions options;
+  options.hidden = {8};
+  options.epochs = 1;
+  ASSERT_TRUE(mlp.Fit(x, y, options).ok());
+  // (4*8 + 8) + (8*1 + 1) = 49.
+  EXPECT_EQ(mlp.num_parameters(), 49u);
+}
+
+TEST(MlpTest, RejectsDegenerateInputs) {
+  Mlp mlp;
+  Matrix x(2, 1);
+  EXPECT_FALSE(mlp.Fit(x, {1}, {}).ok());
+  EXPECT_FALSE(mlp.Fit(x, {1, 1}, {}).ok());
+  EXPECT_FALSE(mlp.Fit(Matrix(0, 0), {}, {}).ok());
+  MlpOptions bad;
+  bad.epochs = 0;
+  EXPECT_FALSE(mlp.Fit(x, {0, 1}, bad).ok());
+  EXPECT_FALSE(mlp.is_fitted());
+}
+
+}  // namespace
+}  // namespace landmark

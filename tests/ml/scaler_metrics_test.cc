@@ -1,0 +1,100 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+
+namespace landmark {
+namespace {
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  Matrix x(4, 2);
+  // col0: 1,2,3,4 ; col1: 10,10,10,10 (constant)
+  for (size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = static_cast<double>(i + 1);
+    x.at(i, 1) = 10.0;
+  }
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 2.5);
+  EXPECT_DOUBLE_EQ(scaler.means()[1], 10.0);
+  EXPECT_DOUBLE_EQ(scaler.stddevs()[1], 1.0);  // constant column guard
+
+  ASSERT_TRUE(scaler.TransformInPlace(x).ok());
+  double mean = 0.0, var = 0.0;
+  for (size_t i = 0; i < 4; ++i) mean += x.at(i, 0);
+  mean /= 4.0;
+  for (size_t i = 0; i < 4; ++i) var += x.at(i, 0) * x.at(i, 0);
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+  // Constant column is centered, not scaled.
+  EXPECT_DOUBLE_EQ(x.at(0, 1), 0.0);
+}
+
+TEST(ScalerTest, TransformVectorMatchesMatrix) {
+  Matrix x(3, 1);
+  x.at(0, 0) = 0.0;
+  x.at(1, 0) = 1.0;
+  x.at(2, 0) = 2.0;
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Vector v = {2.0};
+  ASSERT_TRUE(scaler.TransformInPlace(v).ok());
+  Matrix m(1, 1);
+  m.at(0, 0) = 2.0;
+  ASSERT_TRUE(scaler.TransformInPlace(m).ok());
+  EXPECT_DOUBLE_EQ(v[0], m.at(0, 0));
+}
+
+TEST(ScalerTest, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  Matrix x(2, 2);
+  EXPECT_TRUE(scaler.TransformInPlace(x).IsFailedPrecondition());
+  ASSERT_TRUE(scaler.Fit(x).ok());
+  Matrix wrong(2, 3);
+  EXPECT_TRUE(scaler.TransformInPlace(wrong).IsInvalidArgument());
+  EXPECT_FALSE(scaler.Fit(Matrix(0, 0)).ok());
+}
+
+TEST(ConfusionTest, CountsAndDerivedMetrics) {
+  //              true:  1  1  0  0  1
+  //              pred:  1  0  0  1  1
+  ConfusionMatrix cm = ComputeConfusion({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.F1(), 2.0 / 3.0);
+}
+
+TEST(ConfusionTest, DegenerateCasesReturnZero) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(MetricsTest, AccuracyMaeRmse) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {1.5, 1.5}), 0.5);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0.0, 0.0}, {3.0, 4.0}),
+                   std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MetricsTest, R2Score) {
+  // Perfect fit -> 1; predicting the mean -> 0.
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {2, 2, 2}), 0.0);
+  EXPECT_LT(R2Score({1, 2, 3}, {3, 2, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({5, 5, 5}, {1, 2, 3}), 0.0);  // constant target
+}
+
+}  // namespace
+}  // namespace landmark

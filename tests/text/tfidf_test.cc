@@ -1,0 +1,62 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "text/vocab.h"
+
+namespace landmark {
+namespace {
+
+TEST(VocabularyTest, AssignsStableIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("a"), 0u);
+  EXPECT_EQ(v.GetOrAdd("b"), 1u);
+  EXPECT_EQ(v.GetOrAdd("a"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.TokenOf(1), "b");
+  EXPECT_EQ(v.Lookup("a"), 0);
+  EXPECT_EQ(v.Lookup("missing"), -1);
+}
+
+TEST(TfIdfTest, TransformIsL2Normalized) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({{"a", "b"}, {"a", "c"}, {"b", "c", "d"}});
+  auto vec = tfidf.Transform({"a", "b", "d"});
+  double norm_sq = 0.0;
+  for (const auto& [id, w] : vec) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, IdfOrdering) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({{"common", "rare"}, {"common"}, {"common"}});
+  const auto rare_id = static_cast<size_t>(tfidf.vocab().Lookup("rare"));
+  const auto common_id = static_cast<size_t>(tfidf.vocab().Lookup("common"));
+  EXPECT_GT(tfidf.Idf(rare_id), tfidf.Idf(common_id));
+}
+
+TEST(TfIdfTest, CosineOfIdenticalDocsIsOne) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({{"a", "b", "c"}, {"d", "e"}});
+  auto v = tfidf.Transform({"a", "b"});
+  EXPECT_NEAR(TfIdfVectorizer::Cosine(v, v), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, CosineOfDisjointDocsIsZero) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({{"a", "b"}, {"c", "d"}});
+  auto va = tfidf.Transform({"a", "b"});
+  auto vc = tfidf.Transform({"c", "d"});
+  EXPECT_DOUBLE_EQ(TfIdfVectorizer::Cosine(va, vc), 0.0);
+}
+
+TEST(TfIdfTest, UnseenTokensAreIgnored) {
+  TfIdfVectorizer tfidf;
+  tfidf.Fit({{"a"}});
+  EXPECT_TRUE(tfidf.Transform({"zzz"}).empty());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,45 @@
+#include "text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(WordTokensTest, SplitsOnWhitespaceOnly) {
+  EXPECT_EQ(WordTokens("sony digital camera"),
+            (std::vector<std::string>{"sony", "digital", "camera"}));
+  // Punctuation and case are preserved (the explainers need the exact
+  // surface forms for lossless reconstruction).
+  EXPECT_EQ(WordTokens("DSLR-A200W, 10.2"),
+            (std::vector<std::string>{"DSLR-A200W,", "10.2"}));
+  EXPECT_EQ(WordTokens(""), (std::vector<std::string>{}));
+  EXPECT_EQ(WordTokens("  x  "), (std::vector<std::string>{"x"}));
+}
+
+TEST(NormalizedTokensTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(NormalizedTokens("Sony, Camera!"),
+            (std::vector<std::string>{"sony", "camera"}));
+  // Interior punctuation stays (model numbers).
+  EXPECT_EQ(NormalizedTokens("dslr-a200w"),
+            (std::vector<std::string>{"dslr-a200w"}));
+  // Pure punctuation tokens vanish.
+  EXPECT_EQ(NormalizedTokens("a - b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(QGramsTest, BasicTrigrams) {
+  EXPECT_EQ(QGrams("abcd", 3), (std::vector<std::string>{"abc", "bcd"}));
+  EXPECT_EQ(QGrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_EQ(QGrams("", 3), (std::vector<std::string>{}));
+  EXPECT_EQ(QGrams("abc", 1), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(QGrams("abc", 0), (std::vector<std::string>{}));
+}
+
+TEST(QGramsTest, CountIsLengthMinusQPlusOne) {
+  const std::string s = "abcdefgh";
+  for (size_t q = 1; q <= s.size(); ++q) {
+    EXPECT_EQ(QGrams(s, q).size(), s.size() - q + 1);
+  }
+}
+
+}  // namespace
+}  // namespace landmark

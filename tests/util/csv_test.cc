@@ -1,0 +1,92 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(CsvParseTest, SimpleTable) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasQuotesNewlines) {
+  auto table = ParseCsv("h1,h2\n\"a,b\",\"say \"\"hi\"\"\"\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "a,b");
+  EXPECT_EQ(table->rows[0][1], "say \"hi\"");
+  EXPECT_EQ(table->rows[1][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrlfLineEndings) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvParseTest, MissingFinalNewline) {
+  auto table = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvParseTest, EmptyFieldsSurvive) {
+  auto table = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsInvalidArgument());
+}
+
+TEST(CsvParseTest, RejectsUnterminatedQuote) {
+  auto table = ParseCsv("a\n\"unterminated\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvParseTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvWriteTest, RoundTripWithSpecialCharacters) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"a,b", "plain"},
+                {"with \"quote\"", "line\nbreak"},
+                {"", "trailing"}};
+  auto parsed = ParseCsv(WriteCsvString(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  CsvTable table;
+  table.header = {"x"};
+  table.rows = {{"1"}, {"2"}};
+  const std::string path = testing::TempDir() + "/landmark_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto r = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  auto r = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--records=50", "--scale=0.5"});
+  EXPECT_EQ(f.GetInt("records", 0), 50);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 0.0), 0.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseArgs({"--name", "value"});
+  EXPECT_EQ(f.GetString("name", ""), "value");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Flags f = ParseArgs({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.GetBool("b", false));
+  EXPECT_FALSE(f.Has("n"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseArgs({"input.csv", "--n=1", "output.csv"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = ParseArgs({"--a=true", "--b=1", "--c=YES", "--d=off"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace landmark {
+namespace {
+
+TEST(LoggingTest, LevelGateSuppressesLowerSeverities) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // The macro's side expression must not run when suppressed.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  LANDMARK_LOG(Info) << count();
+  EXPECT_EQ(evaluations, 0);
+  LANDMARK_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SetGetRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(original);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Burn a little CPU deterministically.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1000.0,
+              timer.ElapsedSeconds() * 100.0);
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,53 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace landmark {
+namespace {
+
+Result<std::unique_ptr<int>> MakePtr(bool fail) {
+  if (fail) return Status::NotFound("nope");
+  return std::make_unique<int>(41);
+}
+
+TEST(ResultMoveTest, MoveOnlyPayloadRoundTrips) {
+  auto r = MakePtr(false);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueOrDie();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 41);
+}
+
+TEST(ResultMoveTest, ErrorPathForMoveOnlyPayload) {
+  auto r = MakePtr(true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultMoveTest, AssignOrReturnWithMoveOnlyType) {
+  auto outer = [](bool fail) -> Result<int> {
+    LANDMARK_ASSIGN_OR_RETURN(std::unique_ptr<int> p, MakePtr(fail));
+    return *p + 1;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 42);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(ResultMoveTest, ResultIsCopyableWhenPayloadIs) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;  // copy
+  EXPECT_EQ(*a, "x");
+  EXPECT_EQ(*b, "x");
+}
+
+TEST(ResultMoveTest, ArrowOnMutableResult) {
+  Result<std::string> r = std::string("ab");
+  r->push_back('c');
+  EXPECT_EQ(*r, "abc");
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitWhitespace(""), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitWhitespace("   "), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitWhitespace("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(JoinTest, SplitJoinRoundTrip) {
+  const std::string s = "x|y|z|";
+  EXPECT_EQ(Join(Split(s, '|'), "|"), s);
+}
+
+TEST(ToLowerTest, LowercasesAsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123!"), "abc123!");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("\t\n "), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("left_name", "left_"));
+  EXPECT_FALSE(StartsWith("name", "left_"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 10 "), 10.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsNonNumbers) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("3.5x").has_value());
+  EXPECT_FALSE(ParseDouble("12 34").has_value());
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(2.5, 0), "2");  // round-to-even at .5
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,38 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace landmark {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"", "Acc", "MAE"});
+  tp.AddRow({"S-BR", "0.9", "0.12"});
+  tp.AddRow({"longer-code", "1", "2"});
+  const std::string out = tp.ToString();
+  // Every line has the same length.
+  size_t line_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  TablePrinter tp({"", "v"});
+  tp.AddRow("row", {0.12345}, 3);
+  EXPECT_NE(tp.ToString().find("0.123"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderAndRuleArePresent) {
+  TablePrinter tp({"", "x"});
+  tp.AddRow({"a", "1"});
+  const std::string out = tp.ToString();
+  EXPECT_NE(out.find("| x"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landmark
