@@ -7,6 +7,7 @@
 //   (4) the decision threshold 0.5 -> 0.4 discussion of §4.2/§4.3.
 //
 // Run:  ./ablation_sweeps [--dataset S-AG] [--records 40]
+//                         [--threads N] [--no-predict-cache]
 
 #include <iostream>
 
@@ -38,6 +39,7 @@ int Run(const Flags& flags) {
   MagellanDatasetSpec spec =
       FindMagellanSpec(flags.GetString("dataset", "S-AG")).ValueOrDie();
   auto context = ExperimentContext::Create(spec, config).ValueOrDie();
+  ExplainerEngine engine = config.MakeEngine();
   const auto& match_sample = context.sample(MatchLabel::kMatch);
   const auto& non_match_sample = context.sample(MatchLabel::kNonMatch);
 
@@ -52,8 +54,9 @@ int Run(const Flags& flags) {
       ExplainerOptions options = config.explainer_options;
       options.num_samples = samples;
       LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
-      ExplainBatchResult batch = ExplainRecords(
-          context.model(), explainer, context.dataset(), match_sample);
+      ExplainBatchResult batch =
+          ExplainRecords(context.model(), explainer, context.dataset(),
+                         match_sample, engine);
       auto eval =
           EvaluateTokenRemoval(context.model(), explainer, context.dataset(),
                                batch.records, config.token_removal)
@@ -74,8 +77,9 @@ int Run(const Flags& flags) {
       ExplainerOptions options = config.explainer_options;
       options.kernel_width = width;
       LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
-      ExplainBatchResult batch = ExplainRecords(
-          context.model(), explainer, context.dataset(), match_sample);
+      ExplainBatchResult batch =
+          ExplainRecords(context.model(), explainer, context.dataset(),
+                         match_sample, engine);
       auto eval =
           EvaluateTokenRemoval(context.model(), explainer, context.dataset(),
                                batch.records, config.token_removal)
@@ -95,8 +99,9 @@ int Run(const Flags& flags) {
     for (GenerationStrategy strategy :
          {GenerationStrategy::kSingle, GenerationStrategy::kDouble}) {
       LandmarkExplainer explainer(strategy, config.explainer_options);
-      ExplainBatchResult batch = ExplainRecords(
-          context.model(), explainer, context.dataset(), non_match_sample);
+      ExplainBatchResult batch =
+          ExplainRecords(context.model(), explainer, context.dataset(),
+                         non_match_sample, engine);
       auto interest =
           EvaluateInterest(context.model(), explainer, context.dataset(),
                            batch.records, MatchLabel::kNonMatch,
@@ -132,7 +137,7 @@ int Run(const Flags& flags) {
       if (technique.non_match_only) continue;
       ExplainBatchResult batch =
           ExplainRecords(context.model(), *technique.explainer,
-                         context.dataset(), match_sample);
+                         context.dataset(), match_sample, engine);
       TokenRemovalOptions at5 = config.token_removal;
       at5.decision_threshold = 0.5;
       TokenRemovalOptions at4 = config.token_removal;
@@ -162,8 +167,9 @@ int Run(const Flags& flags) {
       ExplainerOptions options = config.explainer_options;
       options.neighborhood = kind;
       LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
-      ExplainBatchResult batch = ExplainRecords(
-          context.model(), explainer, context.dataset(), match_sample);
+      ExplainBatchResult batch =
+          ExplainRecords(context.model(), explainer, context.dataset(),
+                         match_sample, engine);
       auto eval =
           EvaluateTokenRemoval(context.model(), explainer, context.dataset(),
                                batch.records, config.token_removal)

@@ -7,6 +7,7 @@
 //
 // Run:  ./model_zoo_faithfulness [--dataset S-AG] [--records 30]
 //                                [--samples N] [--scale F]
+//                                [--threads N] [--no-predict-cache]
 
 #include <iostream>
 
@@ -28,6 +29,11 @@ int Run(const Flags& flags) {
   ExplainerOptions explainer_options;
   explainer_options.num_samples =
       static_cast<size_t>(flags.GetInt("samples", 256));
+  EngineOptions engine_options;
+  engine_options.num_threads =
+      static_cast<size_t>(flags.GetInt("threads", 1));
+  engine_options.cache_predictions = !flags.GetBool("no-predict-cache", false);
+  ExplainerEngine engine(engine_options);
 
   MagellanDatasetSpec spec = FindMagellanSpec(code).ValueOrDie();
   MagellanGenOptions gen;
@@ -72,7 +78,7 @@ int Run(const Flags& flags) {
     for (const Technique& technique : techniques) {
       if (technique.non_match_only) continue;  // keep the table compact
       ExplainBatchResult batch = ExplainRecords(
-          *entry.model, *technique.explainer, dataset, sample);
+          *entry.model, *technique.explainer, dataset, sample, engine);
       auto curve = EvaluateDeletionCurve(*entry.model, *technique.explainer,
                                          dataset, batch.records);
       if (!curve.ok()) {

@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical pieces:
 // feature extraction, EM model inference, perturbation sampling, surrogate
-// fitting, and full explanations per technique and per dataset domain.
+// fitting, full explanations per technique, and the staged ExplainerEngine
+// batch path at different worker-thread counts.
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "core/sampling.h"
 #include "core/surrogate.h"
 #include "datagen/magellan.h"
+#include "em/forest_em_model.h"
 
 namespace landmark {
 namespace {
@@ -126,6 +128,79 @@ void BM_MojitoCopyExplain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MojitoCopyExplain)->Arg(128)->Arg(384);
+
+/// Lazily-built forest model on the shared dataset: per-pair inference is an
+/// order of magnitude more expensive than logreg, which is where the
+/// engine's query-stage parallelism pays off.
+const ForestEmModel& GetForestModel() {
+  static const ForestEmModel* model =
+      std::move(ForestEmModel::Train(GetContext().dataset))
+          .ValueOrDie()
+          .release();
+  return *model;
+}
+
+/// The staged batch path: 16 records per iteration through one engine.
+/// state.range(0) = worker threads. The determinism contract makes the
+/// thread counts directly comparable — they produce identical explanations.
+template <typename ModelGetter>
+void BM_EngineBatch(benchmark::State& state, ModelGetter getter) {
+  const PerfContext& ctx = GetContext();
+  const EmModel& model = getter();
+  ExplainerOptions options;
+  options.num_samples = 128;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  EngineOptions engine_options;
+  engine_options.num_threads = static_cast<size_t>(state.range(0));
+  ExplainerEngine engine(engine_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < 16 && i < ctx.dataset.size(); ++i) {
+    batch.push_back(&ctx.dataset.pair(i));
+  }
+  for (auto _ : state) {
+    EngineBatchResult result = engine.ExplainBatch(model, batch, explainer);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+
+void BM_EngineBatchLogReg(benchmark::State& state) {
+  BM_EngineBatch(state,
+                 []() -> const EmModel& { return *GetContext().model; });
+}
+BENCHMARK(BM_EngineBatchLogReg)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_EngineBatchForest(benchmark::State& state) {
+  BM_EngineBatch(state, []() -> const EmModel& { return GetForestModel(); });
+}
+BENCHMARK(BM_EngineBatchForest)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Prediction-memo effect in isolation: tiny token spaces produce many
+/// duplicate masks, so the deduplicated query stage calls the model far
+/// fewer times than the raw sample count. state.range(0) = cache on/off.
+void BM_EnginePredictionCache(benchmark::State& state) {
+  const PerfContext& ctx = GetContext();
+  ExplainerOptions options;
+  options.num_samples = 384;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+  EngineOptions engine_options;
+  engine_options.cache_predictions = state.range(0) != 0;
+  ExplainerEngine engine(engine_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < 8 && i < ctx.dataset.size(); ++i) {
+    batch.push_back(&ctx.dataset.pair(i));
+  }
+  for (auto _ : state) {
+    EngineBatchResult result =
+        engine.ExplainBatch(*ctx.model, batch, explainer);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EnginePredictionCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("cache");
 
 void BM_DatasetGeneration(benchmark::State& state) {
   MagellanDatasetSpec spec = *FindMagellanSpec("S-AG");

@@ -5,6 +5,7 @@
 //
 // Run:  ./table3_attribute_eval [--records N] [--samples N] [--scale F]
 //                               [--datasets S-BR,...]
+//                               [--threads N] [--no-predict-cache]
 
 #include <iostream>
 
@@ -21,6 +22,7 @@ using namespace landmark;  // NOLINT
 int RunTable3(const Flags& flags) {
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
   std::vector<MagellanDatasetSpec> specs = SelectSpecs(flags);
+  ExplainerEngine engine = config.MakeEngine();
 
   struct Row {
     std::string code;
@@ -47,7 +49,7 @@ int RunTable3(const Flags& flags) {
         }
         ExplainBatchResult batch =
             ExplainRecords(context->model(), *techniques[t].explainer,
-                           context->dataset(), context->sample(label));
+                           context->dataset(), context->sample(label), engine);
         auto eval = EvaluateAttributeCorrelation(
             context->model(), context->dataset(), batch.records);
         if (!eval.ok()) {

@@ -5,6 +5,7 @@
 // function of the decision threshold, per technique.
 //
 // Run:  ./threshold_sweep [--dataset S-AG] [--records 40] [--scale F]
+//                         [--threads N] [--no-predict-cache]
 
 #include <iostream>
 
@@ -23,6 +24,7 @@ int Run(const Flags& flags) {
   MagellanDatasetSpec spec =
       FindMagellanSpec(flags.GetString("dataset", "S-AG")).ValueOrDie();
   auto context = ExperimentContext::Create(spec, config).ValueOrDie();
+  ExplainerEngine engine = config.MakeEngine();
   const double thresholds[] = {0.3, 0.4, 0.5, 0.6, 0.7};
 
   std::vector<Technique> techniques = MakeTechniques(config.explainer_options);
@@ -39,7 +41,7 @@ int Run(const Flags& flags) {
       if (technique.non_match_only && label == MatchLabel::kMatch) continue;
       ExplainBatchResult batch =
           ExplainRecords(context.model(), *technique.explainer,
-                         context.dataset(), context.sample(label));
+                         context.dataset(), context.sample(label), engine);
       std::vector<std::string> acc_row{technique.label + " acc"};
       std::vector<std::string> interest_row{technique.label + " interest"};
       for (double threshold : thresholds) {

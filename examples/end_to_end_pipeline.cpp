@@ -9,7 +9,7 @@
 // token blocker, scores candidates with a trained EM model, and explains the
 // most confident match and the most borderline candidate.
 //
-// Run:  ./end_to_end_pipeline [--catalog-size 300]
+// Run:  ./end_to_end_pipeline [--catalog-size 300] [--threads N]
 
 #include <algorithm>
 #include <iostream>
@@ -91,36 +91,50 @@ int Run(const Flags& flags) {
   for (const auto& s : scored) matches += s.probability >= 0.5;
   std::cout << "matching: " << matches << " predicted matches\n\n";
 
-  // --- Stage 3: explain the decisions that matter.
+  // --- Stage 3: explain the decisions that matter, through the staged
+  // engine: both records go out as ONE batch, so their perturbations share
+  // the prediction memo and (with --threads > 1) the worker pool.
   const Schema& schema = *generator->schema();
   LandmarkExplainer explainer(GenerationStrategy::kAuto);
-
-  if (!scored.empty()) {
-    std::cout << "=== most confident match (p = "
-              << FormatDouble(scored.front().probability, 3) << ") ===\n"
-              << scored.front().pair.ToString() << "\n";
-    auto explanations = explainer.Explain(*model, scored.front().pair);
-    if (explanations.ok()) {
-      std::cout << (*explanations)[0].ToString(schema, 5) << "\n";
-    }
-  }
+  EngineOptions engine_options;
+  engine_options.num_threads =
+      static_cast<size_t>(flags.GetInt("threads", 1));
+  ExplainerEngine engine(engine_options);
 
   // The most borderline candidate is where a human reviewer needs help.
   auto borderline = std::min_element(
       scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
         return std::abs(a.probability - 0.5) < std::abs(b.probability - 0.5);
       });
+
+  std::vector<const PairRecord*> to_explain;
+  if (!scored.empty()) to_explain.push_back(&scored.front().pair);
+  if (borderline != scored.end()) to_explain.push_back(&borderline->pair);
+  EngineBatchResult batch = engine.ExplainBatch(*model, to_explain, explainer);
+
+  size_t slot = 0;
+  if (!scored.empty()) {
+    std::cout << "=== most confident match (p = "
+              << FormatDouble(scored.front().probability, 3) << ") ===\n"
+              << scored.front().pair.ToString() << "\n";
+    const auto& explanations = batch.results[slot++];
+    if (explanations.ok()) {
+      std::cout << (*explanations)[0].ToString(schema, 5) << "\n";
+    }
+  }
+
   if (borderline != scored.end()) {
     std::cout << "=== most borderline candidate (p = "
               << FormatDouble(borderline->probability, 3) << ") ===\n"
               << borderline->pair.ToString() << "\n";
-    auto explanations = explainer.Explain(*model, borderline->pair);
+    const auto& explanations = batch.results[slot++];
     if (explanations.ok()) {
       for (const auto& exp : *explanations) {
         std::cout << exp.ToString(schema, 5) << "\n";
       }
     }
   }
+  std::cout << "engine: " << batch.stats.ToString() << "\n";
   return 0;
 }
 

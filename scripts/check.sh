@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the sanitizer configurations and runs the full test suite under
+# each. This is the pre-merge gate for changes that touch the ExplainerEngine
+# or anything else that runs on the thread pool:
+#
+#   asan-ubsan  memory errors + undefined behaviour
+#   tsan        data races in the staged pipeline (run the engine tests with
+#               --threads > 1 paths; the determinism tests exercise them)
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+for preset in asan-ubsan tsan; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "All sanitizer checks passed."

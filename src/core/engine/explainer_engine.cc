@@ -1,0 +1,350 @@
+#include "core/engine/explainer_engine.h"
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/surrogate.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace landmark {
+
+namespace {
+
+/// Maps every mask to the index of its first occurrence's slot in the
+/// deduplicated list, and records which mask indices are the unique
+/// representatives (in first-occurrence order, so slot 0 is always the
+/// all-active mask). With dedup disabled the mapping is the identity.
+std::vector<uint32_t> DeduplicateMasks(
+    const std::vector<std::vector<uint8_t>>& masks, bool enabled,
+    std::vector<uint32_t>* unique_index) {
+  std::vector<uint32_t> mask_to_unique(masks.size());
+  unique_index->clear();
+  if (!enabled) {
+    unique_index->reserve(masks.size());
+    for (uint32_t m = 0; m < masks.size(); ++m) {
+      mask_to_unique[m] = m;
+      unique_index->push_back(m);
+    }
+    return mask_to_unique;
+  }
+  std::unordered_map<std::string, uint32_t> memo;
+  memo.reserve(masks.size());
+  for (uint32_t m = 0; m < masks.size(); ++m) {
+    std::string key(masks[m].begin(), masks[m].end());
+    auto [it, inserted] =
+        memo.emplace(std::move(key), static_cast<uint32_t>(unique_index->size()));
+    if (inserted) unique_index->push_back(m);
+    mask_to_unique[m] = it->second;
+  }
+  return mask_to_unique;
+}
+
+SurrogateOptions MakeSurrogateOptions(const ExplainerOptions& options) {
+  SurrogateOptions surrogate;
+  surrogate.ridge_lambda = options.ridge_lambda;
+  surrogate.max_features = options.max_features;
+  return surrogate;
+}
+
+/// One unit flowing through the batch pipeline.
+struct UnitWork {
+  size_t record_index = 0;
+  ExplainUnit unit;
+  Status status = Status::OK();
+
+  // Plan stage outputs.
+  std::vector<std::vector<uint8_t>> masks;
+  std::vector<double> kernel_weights;
+  std::vector<uint32_t> mask_to_unique;
+  std::vector<uint32_t> unique_index;  // indices into `masks`
+
+  // Reconstruct stage output (moved into the flat query batch).
+  std::vector<PairRecord> reconstructed;
+  // Offset of this unit's unique reconstructions in the flat batch.
+  size_t query_offset = 0;
+  bool queried = false;
+};
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  std::string out;
+  out += "records=" + std::to_string(num_records);
+  if (num_failed_records > 0) {
+    out += " (failed=" + std::to_string(num_failed_records) + ")";
+  }
+  out += " units=" + std::to_string(num_units);
+  out += " masks=" + std::to_string(num_masks);
+  out += " queries=" + std::to_string(num_model_queries);
+  out += " cache_hits=" + std::to_string(cache_hits);
+  out += " | plan=" + FormatDouble(plan_seconds, 3) + "s";
+  out += " reconstruct=" + FormatDouble(reconstruct_seconds, 3) + "s";
+  out += " query=" + FormatDouble(query_seconds, 3) + "s";
+  out += " fit=" + FormatDouble(fit_seconds, 3) + "s";
+  return out;
+}
+
+ExplainerEngine::ExplainerEngine(EngineOptions options) : options_(options) {
+  // Hard cap: a worker count beyond this is either a typo or a negative
+  // value cast to size_t; spawning it would abort in the pool.
+  constexpr size_t kMaxThreads = 256;
+  num_threads_ = options_.num_threads;
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::min(num_threads_, kMaxThreads);
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+ExplainerEngine::~ExplainerEngine() = default;
+
+const ExplainerEngine& ExplainerEngine::Serial() {
+  static const ExplainerEngine* engine = new ExplainerEngine(EngineOptions{});
+  return *engine;
+}
+
+EngineBatchResult ExplainerEngine::ExplainBatch(
+    const EmModel& model, const std::vector<PairRecord>& pairs,
+    const PairExplainer& explainer) const {
+  std::vector<const PairRecord*> pointers;
+  pointers.reserve(pairs.size());
+  for (const PairRecord& pair : pairs) pointers.push_back(&pair);
+  return ExplainBatch(model, pointers, explainer);
+}
+
+EngineBatchResult ExplainerEngine::ExplainBatch(
+    const EmModel& model, const std::vector<const PairRecord*>& pairs,
+    const PairExplainer& explainer) const {
+  EngineBatchResult out;
+  const size_t n = pairs.size();
+  out.stats.num_records = n;
+  if (n == 0) return out;
+
+  const Status valid = ValidateExplainerOptions(explainer.options());
+  if (!valid.ok()) {
+    out.results.assign(n, Result<std::vector<Explanation>>(valid));
+    out.stats.num_failed_records = n;
+    return out;
+  }
+
+  auto parallel_for = [&](size_t count,
+                          const std::function<void(size_t, size_t)>& body) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(count, body);
+    } else if (count > 0) {
+      body(0, count);
+    }
+  };
+
+  // --- Stage 1: plan. Token spaces + RNG streams per record, then masks,
+  // kernel weights, and the dedup memo per unit.
+  Timer timer;
+  std::vector<Result<std::vector<ExplainUnit>>> plans(
+      n, Result<std::vector<ExplainUnit>>(Status::Internal("not planned")));
+  parallel_for(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      plans[i] = explainer.Plan(model, *pairs[i]);
+    }
+  });
+
+  std::vector<Status> record_status(n, Status::OK());
+  std::vector<UnitWork> works;
+  // Units of record i occupy works[unit_begin[i], unit_begin[i + 1]).
+  std::vector<size_t> unit_begin(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    unit_begin[i] = works.size();
+    if (!plans[i].ok()) {
+      record_status[i] = plans[i].status();
+      continue;
+    }
+    for (ExplainUnit& unit : *plans[i]) {
+      UnitWork work;
+      work.record_index = i;
+      work.unit = std::move(unit);
+      works.push_back(std::move(work));
+    }
+  }
+  unit_begin[n] = works.size();
+  out.stats.num_units = works.size();
+
+  parallel_for(works.size(), [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      UnitWork& work = works[w];
+      explainer.SampleNeighborhood(work.unit.dim, work.unit.rng, &work.masks,
+                                   &work.kernel_weights);
+      work.mask_to_unique = DeduplicateMasks(
+          work.masks, options_.cache_predictions, &work.unique_index);
+    }
+  });
+  for (const UnitWork& work : works) out.stats.num_masks += work.masks.size();
+  out.stats.plan_seconds = timer.ElapsedSeconds();
+
+  // --- Stage 2: reconstruct. One perturbed pair per *unique* mask.
+  timer.Reset();
+  parallel_for(works.size(), [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      UnitWork& work = works[w];
+      work.reconstructed.reserve(work.unique_index.size());
+      for (uint32_t mask_index : work.unique_index) {
+        Result<PairRecord> rec = explainer.ReconstructUnit(
+            work.unit, *pairs[work.record_index], work.masks[mask_index]);
+        if (!rec.ok()) {
+          work.status = rec.status();
+          work.reconstructed.clear();
+          break;
+        }
+        work.reconstructed.push_back(std::move(rec).ValueOrDie());
+      }
+    }
+  });
+  for (const UnitWork& work : works) {
+    if (!work.status.ok() && record_status[work.record_index].ok()) {
+      record_status[work.record_index] = work.status;
+    }
+  }
+  out.stats.reconstruct_seconds = timer.ElapsedSeconds();
+
+  // --- Stage 3: query. A single cross-record deduplicated batch, sharded
+  // over the pool. Units of failed records are excluded.
+  timer.Reset();
+  std::vector<PairRecord> batch;
+  size_t total_queries = 0;
+  for (UnitWork& work : works) {
+    if (!record_status[work.record_index].ok()) continue;
+    total_queries += work.reconstructed.size();
+  }
+  batch.reserve(total_queries);
+  for (UnitWork& work : works) {
+    if (!record_status[work.record_index].ok()) continue;
+    work.query_offset = batch.size();
+    work.queried = true;
+    for (PairRecord& rec : work.reconstructed) batch.push_back(std::move(rec));
+    work.reconstructed.clear();
+  }
+  std::vector<double> predictions(batch.size());
+  parallel_for(batch.size(), [&](size_t begin, size_t end) {
+    model.PredictProbaRange(batch, begin, end, predictions.data() + begin);
+  });
+  out.stats.num_model_queries = batch.size();
+  size_t live_masks = 0;
+  for (const UnitWork& work : works) {
+    if (work.queried) live_masks += work.masks.size();
+  }
+  out.stats.cache_hits = live_masks - batch.size();
+  out.stats.query_seconds = timer.ElapsedSeconds();
+
+  // --- Stage 4: fit. Weighted ridge per unit, coefficients mapped back to
+  // token weights by the explainer.
+  timer.Reset();
+  const SurrogateOptions surrogate_options =
+      MakeSurrogateOptions(explainer.options());
+  parallel_for(works.size(), [&](size_t begin, size_t end) {
+    for (size_t w = begin; w < end; ++w) {
+      UnitWork& work = works[w];
+      if (!work.queried) continue;
+      std::vector<double> unit_predictions(work.masks.size());
+      for (size_t m = 0; m < work.masks.size(); ++m) {
+        unit_predictions[m] =
+            predictions[work.query_offset + work.mask_to_unique[m]];
+      }
+      Result<SurrogateFit> fit =
+          FitSurrogate(work.masks, unit_predictions, work.kernel_weights,
+                       surrogate_options);
+      if (!fit.ok()) {
+        work.status = fit.status();
+        continue;
+      }
+      // Slot 0 of the dedup list is the all-active mask (asserted by
+      // SampleNeighborhood), so this is f(all-active).
+      work.unit.shell.model_prediction = unit_predictions[0];
+      explainer.ApplyFit(*fit, &work.unit);
+    }
+  });
+  for (const UnitWork& work : works) {
+    if (!work.status.ok() && record_status[work.record_index].ok()) {
+      record_status[work.record_index] = work.status;
+    }
+  }
+  out.stats.fit_seconds = timer.ElapsedSeconds();
+
+  // --- Assemble, preserving input order and per-record unit order.
+  out.results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!record_status[i].ok()) {
+      out.results.emplace_back(record_status[i]);
+      ++out.stats.num_failed_records;
+      continue;
+    }
+    std::vector<Explanation> explanations;
+    explanations.reserve(unit_begin[i + 1] - unit_begin[i]);
+    for (size_t w = unit_begin[i]; w < unit_begin[i + 1]; ++w) {
+      explanations.push_back(std::move(works[w].unit.shell));
+    }
+    out.results.emplace_back(std::move(explanations));
+  }
+  return out;
+}
+
+Result<std::vector<Explanation>> ExplainerEngine::ExplainOne(
+    const EmModel& model, const PairRecord& pair,
+    const PairExplainer& explainer) const {
+  {
+    Status valid = ValidateExplainerOptions(explainer.options());
+    if (!valid.ok()) return valid;
+  }
+  LANDMARK_ASSIGN_OR_RETURN(std::vector<ExplainUnit> units,
+                            explainer.Plan(model, pair));
+  std::vector<Explanation> out;
+  out.reserve(units.size());
+  for (ExplainUnit& unit : units) {
+    LANDMARK_ASSIGN_OR_RETURN(
+        Explanation explanation,
+        RunUnit(model, pair, explainer, std::move(unit)));
+    out.push_back(std::move(explanation));
+  }
+  return out;
+}
+
+Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
+                                             const PairRecord& pair,
+                                             const PairExplainer& explainer,
+                                             ExplainUnit unit) const {
+  {
+    Status valid = ValidateExplainerOptions(explainer.options());
+    if (!valid.ok()) return valid;
+  }
+  std::vector<std::vector<uint8_t>> masks;
+  std::vector<double> kernel_weights;
+  explainer.SampleNeighborhood(unit.dim, unit.rng, &masks, &kernel_weights);
+  std::vector<uint32_t> unique_index;
+  const std::vector<uint32_t> mask_to_unique =
+      DeduplicateMasks(masks, options_.cache_predictions, &unique_index);
+
+  std::vector<PairRecord> reconstructed;
+  reconstructed.reserve(unique_index.size());
+  for (uint32_t mask_index : unique_index) {
+    LANDMARK_ASSIGN_OR_RETURN(
+        PairRecord rec,
+        explainer.ReconstructUnit(unit, pair, masks[mask_index]));
+    reconstructed.push_back(std::move(rec));
+  }
+  const std::vector<double> unique_predictions =
+      model.PredictProbaBatch(reconstructed);
+  std::vector<double> predictions(masks.size());
+  for (size_t m = 0; m < masks.size(); ++m) {
+    predictions[m] = unique_predictions[mask_to_unique[m]];
+  }
+
+  LANDMARK_ASSIGN_OR_RETURN(
+      SurrogateFit fit,
+      FitSurrogate(masks, predictions, kernel_weights,
+                   MakeSurrogateOptions(explainer.options())));
+  unit.shell.model_prediction = predictions[0];  // the all-active sample
+  explainer.ApplyFit(fit, &unit);
+  return std::move(unit.shell);
+}
+
+}  // namespace landmark

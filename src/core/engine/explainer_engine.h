@@ -1,0 +1,130 @@
+#ifndef LANDMARK_CORE_ENGINE_EXPLAINER_ENGINE_H_
+#define LANDMARK_CORE_ENGINE_EXPLAINER_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+#include "data/pair_record.h"
+#include "em/em_model.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace landmark {
+
+/// \brief Knobs of the staged explanation pipeline.
+struct EngineOptions {
+  /// Worker threads for the plan / reconstruct / query / fit stages. 1 runs
+  /// everything inline on the calling thread; 0 uses the hardware
+  /// concurrency. The thread count never changes the produced explanations
+  /// (see the determinism contract on ExplainerEngine).
+  size_t num_threads = 1;
+  /// Deduplicate identical perturbation masks within a unit before querying
+  /// the model. Small token spaces draw many duplicate masks (a dim-d space
+  /// has only 2^d distinct ones), and the model query is the dominant cost
+  /// of the whole pipeline, so the memo is a large saving exactly where
+  /// records are cheap to explain badly. Never changes results: duplicate
+  /// masks reconstruct identical pairs, hence identical predictions.
+  bool cache_predictions = true;
+};
+
+/// \brief Per-stage counters of one ExplainBatch call.
+struct EngineStats {
+  size_t num_records = 0;         // records submitted
+  size_t num_failed_records = 0;  // records whose Result is an error
+  size_t num_units = 0;           // explain units planned
+  size_t num_masks = 0;           // raw perturbation masks sampled
+  size_t num_model_queries = 0;   // deduplicated pairs actually scored
+  size_t cache_hits = 0;          // num_masks - num_model_queries
+  double plan_seconds = 0.0;
+  double reconstruct_seconds = 0.0;
+  double query_seconds = 0.0;
+  double fit_seconds = 0.0;
+
+  double total_seconds() const {
+    return plan_seconds + reconstruct_seconds + query_seconds + fit_seconds;
+  }
+  /// One-line human-readable rendering for logs and CLI reports.
+  std::string ToString() const;
+};
+
+/// \brief Result of one batch: per-input-record explanation lists (aligned
+/// with the input order; a record that could not be explained holds its
+/// error status) plus the stage counters.
+struct EngineBatchResult {
+  std::vector<Result<std::vector<Explanation>>> results;
+  EngineStats stats;
+};
+
+/// \brief The staged explanation pipeline — the generic explanation system
+/// of the paper's Figure 2, run once for a whole batch of records:
+///
+///   plan        per record: token-space construction + RNG stream + mask
+///               and kernel-weight sampling (PairExplainer::Plan)
+///   reconstruct per unique mask: materialize the perturbed PairRecord
+///               (PairExplainer::ReconstructUnit)
+///   query       one cross-record, deduplicated batch against the EM model,
+///               sharded over the thread pool (EmModel::PredictProbaRange)
+///   fit         per unit: weighted ridge surrogate + coefficient mapping
+///               (FitSurrogate + PairExplainer::ApplyFit)
+///
+/// **Determinism contract.** Every unit owns an RNG stream derived only from
+/// (options.seed, record id, unit side); work is partitioned statically and
+/// results land in pre-sized slots. Runs with different `num_threads` (and
+/// with the prediction memo on or off) therefore produce bit-identical
+/// explanations, and `ExplainBatch` agrees bit-for-bit with per-record
+/// `PairExplainer::Explain`.
+class ExplainerEngine {
+ public:
+  explicit ExplainerEngine(EngineOptions options = {});
+  ~ExplainerEngine();
+
+  ExplainerEngine(const ExplainerEngine&) = delete;
+  ExplainerEngine& operator=(const ExplainerEngine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  /// Resolved worker count (>= 1; num_threads == 0 resolves to the hardware
+  /// concurrency at construction).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Explains every pair of the batch. `pairs` entries must outlive the
+  /// call. Results are aligned with the input; per-record failures (e.g. a
+  /// record whose attributes are all null) are reported in place, not
+  /// thrown across the batch.
+  EngineBatchResult ExplainBatch(const EmModel& model,
+                                 const std::vector<const PairRecord*>& pairs,
+                                 const PairExplainer& explainer) const;
+
+  /// Convenience overload over an owning vector.
+  EngineBatchResult ExplainBatch(const EmModel& model,
+                                 const std::vector<PairRecord>& pairs,
+                                 const PairExplainer& explainer) const;
+
+  /// Single-record entry point (what PairExplainer::Explain routes to).
+  Result<std::vector<Explanation>> ExplainOne(
+      const EmModel& model, const PairRecord& pair,
+      const PairExplainer& explainer) const;
+
+  /// Runs one already-planned unit through reconstruct → query → fit (used
+  /// by the side-specific public APIs such as ExplainWithLandmark).
+  Result<Explanation> RunUnit(const EmModel& model, const PairRecord& pair,
+                              const PairExplainer& explainer,
+                              ExplainUnit unit) const;
+
+  /// Shared process-wide serial engine (num_threads = 1, memo on) backing
+  /// the single-record convenience APIs.
+  static const ExplainerEngine& Serial();
+
+ private:
+  EngineOptions options_;
+  size_t num_threads_ = 1;
+  // The pool is an execution resource, not logical state: ExplainBatch is
+  // const (and itself thread-safe for distinct engines).
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_ENGINE_EXPLAINER_ENGINE_H_

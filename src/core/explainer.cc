@@ -1,20 +1,26 @@
 #include "core/explainer.h"
 
+#include "core/engine/explainer_engine.h"
 #include "core/sampling.h"
-#include "core/surrogate.h"
 
 namespace landmark {
 
-namespace {
-
-std::vector<Token> TokensOf(const Explanation& explanation) {
-  std::vector<Token> tokens;
-  tokens.reserve(explanation.token_weights.size());
-  for (const auto& tw : explanation.token_weights) tokens.push_back(tw.token);
-  return tokens;
+Status ValidateExplainerOptions(const ExplainerOptions& options) {
+  if (options.num_samples < 2) {
+    return Status::InvalidArgument(
+        "ExplainerOptions::num_samples must be >= 2 (the all-active sample "
+        "plus at least one perturbation)");
+  }
+  if (!(options.kernel_width > 0.0)) {
+    return Status::InvalidArgument(
+        "ExplainerOptions::kernel_width must be > 0");
+  }
+  if (!(options.ridge_lambda >= 0.0)) {
+    return Status::InvalidArgument(
+        "ExplainerOptions::ridge_lambda must be >= 0");
+  }
+  return Status::OK();
 }
-
-}  // namespace
 
 Rng PairExplainer::MakeRng(const PairRecord& pair) const {
   // Mix the record id into the base seed (SplitMix-style odd constant) so
@@ -22,6 +28,30 @@ Rng PairExplainer::MakeRng(const PairRecord& pair) const {
   const uint64_t mixed =
       options_.seed ^ (static_cast<uint64_t>(pair.id + 1) * 0x9e3779b97f4a7c15ULL);
   return Rng(mixed);
+}
+
+Result<ExplainUnit> PairExplainer::MakeTokenUnit(
+    std::vector<Token> tokens, const std::string& shell_name,
+    std::optional<EntitySide> landmark_side, Rng rng) const {
+  if (tokens.empty()) {
+    return Status::InvalidArgument(
+        "record has no tokens to explain (all attribute values null)");
+  }
+  ExplainUnit unit;
+  unit.shell.explainer_name = shell_name;
+  unit.shell.landmark = landmark_side;
+  unit.shell.token_weights.reserve(tokens.size());
+  for (auto& token : tokens) {
+    unit.shell.token_weights.push_back(TokenWeight{std::move(token), 0.0});
+  }
+  unit.dim = unit.shell.size();
+  unit.rng = rng;
+  return unit;
+}
+
+Result<std::vector<Explanation>> PairExplainer::Explain(
+    const EmModel& model, const PairRecord& pair) const {
+  return ExplainerEngine::Serial().ExplainOne(model, pair, *this);
 }
 
 Result<PairRecord> PairExplainer::Reconstruct(
@@ -38,7 +68,9 @@ Result<PairRecord> PairExplainer::Reconstruct(
     has_right |= tw.token.side == EntitySide::kRight;
   }
 
-  std::vector<Token> tokens = TokensOf(explanation);
+  std::vector<Token> tokens;
+  tokens.reserve(explanation.token_weights.size());
+  for (const auto& tw : explanation.token_weights) tokens.push_back(tw.token);
   PairRecord out = original;
   if (has_left) {
     out.left = ReconstructEntity(original.left.schema(), tokens, active,
@@ -49,6 +81,21 @@ Result<PairRecord> PairExplainer::Reconstruct(
                                   EntitySide::kRight);
   }
   return out;
+}
+
+Result<PairRecord> PairExplainer::ReconstructUnit(
+    const ExplainUnit& unit, const PairRecord& original,
+    const std::vector<uint8_t>& mask) const {
+  return Reconstruct(unit.shell, original, mask);
+}
+
+void PairExplainer::ApplyFit(const SurrogateFit& fit, ExplainUnit* unit) const {
+  Explanation& shell = unit->shell;
+  for (size_t i = 0; i < shell.size(); ++i) {
+    shell.token_weights[i].weight = fit.model.coefficients[i];
+  }
+  shell.surrogate_intercept = fit.model.intercept;
+  shell.surrogate_r2 = fit.weighted_r2;
 }
 
 void PairExplainer::SampleNeighborhood(
@@ -72,55 +119,15 @@ void PairExplainer::SampleNeighborhood(
       }
       break;
   }
-}
-
-Result<Explanation> PairExplainer::ExplainTokenSpace(
-    const EmModel& model, const PairRecord& original,
-    std::vector<Token> tokens, const std::string& shell_name,
-    std::optional<EntitySide> landmark_side, Rng& rng) const {
-  if (tokens.empty()) {
-    return Status::InvalidArgument(
-        "record has no tokens to explain (all attribute values null)");
+  // The `predictions[0] == f(all-active)` contract every explanation and
+  // evaluation protocol relies on.
+  if (!masks->empty()) {
+    bool all_active = true;
+    for (uint8_t bit : masks->front()) all_active &= bit != 0;
+    LANDMARK_CHECK_MSG(all_active,
+                       "neighborhood sampler violated the first-mask-all-"
+                       "active contract");
   }
-
-  Explanation explanation;
-  explanation.explainer_name = shell_name;
-  explanation.landmark = landmark_side;
-  explanation.token_weights.reserve(tokens.size());
-  for (auto& token : tokens) {
-    explanation.token_weights.push_back(TokenWeight{std::move(token), 0.0});
-  }
-
-  // Perturbation generation + locality kernel (pluggable: LIME or SHAP).
-  std::vector<std::vector<uint8_t>> masks;
-  std::vector<double> kernel_weights;
-  SampleNeighborhood(explanation.size(), rng, &masks, &kernel_weights);
-
-  // Pair reconstruction + dataset reconstruction (model labelling).
-  std::vector<PairRecord> reconstructed;
-  reconstructed.reserve(masks.size());
-  for (const auto& mask : masks) {
-    LANDMARK_ASSIGN_OR_RETURN(PairRecord rec,
-                              Reconstruct(explanation, original, mask));
-    reconstructed.push_back(std::move(rec));
-  }
-  std::vector<double> predictions = model.PredictProbaBatch(reconstructed);
-
-  // Surrogate model creation.
-  SurrogateOptions surrogate_options;
-  surrogate_options.ridge_lambda = options_.ridge_lambda;
-  surrogate_options.max_features = options_.max_features;
-  LANDMARK_ASSIGN_OR_RETURN(
-      SurrogateFit fit,
-      FitSurrogate(masks, predictions, kernel_weights, surrogate_options));
-
-  for (size_t i = 0; i < explanation.size(); ++i) {
-    explanation.token_weights[i].weight = fit.model.coefficients[i];
-  }
-  explanation.surrogate_intercept = fit.model.intercept;
-  explanation.surrogate_r2 = fit.weighted_r2;
-  explanation.model_prediction = predictions[0];  // the all-active sample
-  return explanation;
 }
 
 }  // namespace landmark

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/explanation.h"
+#include "core/surrogate.h"
 #include "core/token_space.h"
 #include "data/pair_record.h"
 #include "em/em_model.h"
@@ -29,12 +30,13 @@ struct ExplainerOptions {
   /// The generic explainer plugged into the framework.
   NeighborhoodKind neighborhood = NeighborhoodKind::kLime;
   /// Number of synthetic neighbourhood samples (perturbations) per
-  /// explanation, including the unperturbed one.
+  /// explanation, including the unperturbed one. Must be >= 2 (the pipeline
+  /// needs the all-active sample plus at least one perturbation).
   size_t num_samples = 384;
   /// Width of the exponential locality kernel (on cosine distance between
-  /// masks; LIME's default 25/100).
+  /// masks; LIME's default 25/100). Must be > 0.
   double kernel_width = 0.25;
-  /// Ridge strength of the surrogate linear model.
+  /// Ridge strength of the surrogate linear model. Must be >= 0.
   double ridge_lambda = 1.0;
   /// When > 0, LIME-style "highest weights" feature selection keeps only
   /// this many tokens in the surrogate.
@@ -44,15 +46,50 @@ struct ExplainerOptions {
   uint64_t seed = 42;
 };
 
+/// Checks the invariants documented on ExplainerOptions; the pipeline
+/// rejects invalid options with InvalidArgument before doing any work
+/// (num_samples < 2 would otherwise make `predictions[0]` — the all-active
+/// sample every explanation anchors on — undefined).
+Status ValidateExplainerOptions(const ExplainerOptions& options);
+
+/// \brief One unit of explanation work inside the staged pipeline: an
+/// interpretable space plus the metadata needed to reconstruct perturbed
+/// pairs and map surrogate coefficients back onto token weights.
+///
+/// A record plans into one unit for plain LIME and two for the landmark and
+/// Mojito-Copy techniques (one per side). Each unit carries its own
+/// deterministic RNG stream, so units can be processed in any order and on
+/// any thread without changing the result.
+struct ExplainUnit {
+  /// Explanation skeleton: technique name, landmark side, token space with
+  /// all weights still zero. The fit stage fills in the weights.
+  Explanation shell;
+  /// Dimension of the perturbation space. Equals shell.size() for
+  /// token-granular explainers; for Mojito Copy it is the number of
+  /// copyable attributes.
+  size_t dim = 0;
+  /// Per-unit RNG stream (derived from options.seed, the record id, and the
+  /// unit's side).
+  Rng rng{0};
+  /// Attribute-granular perturbation (Mojito Copy): perturbation slot i
+  /// governs attribute copy_attrs[i], whose value is copied over from
+  /// copy_source when the bit is cleared. Empty for token-granular units.
+  std::vector<size_t> copy_attrs;
+  std::optional<EntitySide> copy_source;
+};
+
 /// \brief Base class of all EM explainers (Figure 2 of the paper).
 ///
 /// A PairExplainer turns one PairRecord plus a black-box EmModel into one or
-/// more Explanations. The shared pipeline in ExplainTokenSpace realizes the
-/// generic explanation system: Perturbation generation (mask sampling) →
-/// Pair reconstruction (virtual Reconstruct) → Dataset reconstruction
-/// (model querying) → Surrogate model creation (weighted ridge).
-/// Subclasses choose the interpretable token space — that is exactly where
-/// Landmark Explanation differs from plain LIME.
+/// more Explanations. The generic pipeline — Perturbation generation (mask
+/// sampling) → Pair reconstruction → Dataset reconstruction (model
+/// querying) → Surrogate model creation (weighted ridge) — lives exactly
+/// once, in ExplainerEngine (core/engine/explainer_engine.h); subclasses
+/// only express the *plan*: which interpretable token space to explain
+/// (Plan), how a mask maps to a perturbed pair (ReconstructUnit), and how
+/// surrogate coefficients map back to token weights (ApplyFit). Choosing the
+/// token space is exactly where Landmark Explanation differs from plain
+/// LIME.
 class PairExplainer {
  public:
   explicit PairExplainer(ExplainerOptions options = {})
@@ -66,9 +103,33 @@ class PairExplainer {
   virtual std::string name() const = 0;
 
   /// Explains `model`'s prediction on `pair`. Landmark explainers return two
-  /// explanations (one per landmark side); LIME returns one.
+  /// explanations (one per landmark side); LIME returns one. The default
+  /// implementation drives the shared staged pipeline serially; use
+  /// ExplainerEngine::ExplainBatch to amortize model queries over many
+  /// records and threads.
   virtual Result<std::vector<Explanation>> Explain(
-      const EmModel& model, const PairRecord& pair) const = 0;
+      const EmModel& model, const PairRecord& pair) const;
+
+  /// \brief Plan stage: builds the explain units for one pair (token-space
+  /// construction + RNG stream derivation). Must not query `model` except
+  /// for cheap per-record gating (e.g. GenerationStrategy::kAuto picks its
+  /// strategy from the model's verdict on the original record).
+  virtual Result<std::vector<ExplainUnit>> Plan(const EmModel& model,
+                                                const PairRecord& pair) const = 0;
+
+  /// \brief Reconstruct stage: materializes the perturbed PairRecord of one
+  /// perturbation mask (size unit.dim) of `unit`. The default forwards to
+  /// Reconstruct — token-deletion semantics; Mojito Copy overrides it with
+  /// attribute-copy semantics.
+  virtual Result<PairRecord> ReconstructUnit(
+      const ExplainUnit& unit, const PairRecord& original,
+      const std::vector<uint8_t>& mask) const;
+
+  /// \brief Fit epilogue: writes the surrogate coefficients, intercept and
+  /// weighted R² into unit->shell. The default is the identity mapping
+  /// (coefficient i → token i); Mojito Copy distributes each attribute
+  /// coefficient uniformly over the attribute's tokens.
+  virtual void ApplyFit(const SurrogateFit& fit, ExplainUnit* unit) const;
 
   /// \brief The Pair-reconstruction component: materializes the PairRecord
   /// corresponding to `explanation` with only the features whose mask bit is
@@ -83,26 +144,26 @@ class PairExplainer {
       const Explanation& explanation, const PairRecord& original,
       const std::vector<uint8_t>& active) const;
 
+  /// Draws the perturbation masks and their kernel weights according to
+  /// options().neighborhood. The first mask is guaranteed all-active (the
+  /// `predictions[0]` contract). Public because the engine drives it; only
+  /// reads options, so it is safe to call concurrently.
+  void SampleNeighborhood(size_t dim, Rng& rng,
+                          std::vector<std::vector<uint8_t>>* masks,
+                          std::vector<double>* kernel_weights) const;
+
   const ExplainerOptions& options() const { return options_; }
 
  protected:
   /// Deterministic per-record RNG stream.
   Rng MakeRng(const PairRecord& pair) const;
 
-  /// Draws the perturbation masks and their kernel weights according to
-  /// options_.neighborhood.
-  void SampleNeighborhood(size_t dim, Rng& rng,
-                          std::vector<std::vector<uint8_t>>* masks,
-                          std::vector<double>* kernel_weights) const;
-
-  /// Runs the shared pipeline over `tokens`. `shell_name` / `landmark_side`
-  /// seed the Explanation metadata; reconstruction goes through the virtual
-  /// Reconstruct so subclasses with special semantics (Mojito Copy) reuse
-  /// the pipeline unchanged.
-  Result<Explanation> ExplainTokenSpace(
-      const EmModel& model, const PairRecord& original,
-      std::vector<Token> tokens, const std::string& shell_name,
-      std::optional<EntitySide> landmark_side, Rng& rng) const;
+  /// Builds a token-granular unit over `tokens` (dim == tokens.size());
+  /// errors when the space is empty.
+  Result<ExplainUnit> MakeTokenUnit(std::vector<Token> tokens,
+                                    const std::string& shell_name,
+                                    std::optional<EntitySide> landmark_side,
+                                    Rng rng) const;
 
   ExplainerOptions options_;
 };

@@ -1,5 +1,7 @@
 #include "core/landmark_explainer.h"
 
+#include "core/engine/explainer_engine.h"
+
 namespace landmark {
 
 std::string_view GenerationStrategyName(GenerationStrategy strategy) {
@@ -18,7 +20,7 @@ std::string LandmarkExplainer::name() const {
   return "landmark-" + std::string(GenerationStrategyName(strategy_));
 }
 
-Result<Explanation> LandmarkExplainer::ExplainWithLandmark(
+Result<ExplainUnit> LandmarkExplainer::PlanWithLandmark(
     const EmModel& model, const PairRecord& pair,
     EntitySide landmark_side) const {
   const EntitySide varying_side = OppositeSide(landmark_side);
@@ -42,19 +44,28 @@ Result<Explanation> LandmarkExplainer::ExplainWithLandmark(
   Rng rng = MakeRng(pair);
   // Derive distinct streams for the two landmark sides.
   if (landmark_side == EntitySide::kRight) rng = rng.Fork();
-  return ExplainTokenSpace(model, pair, std::move(tokens), name(),
-                           landmark_side, rng);
+  return MakeTokenUnit(std::move(tokens), name(), landmark_side, rng);
 }
 
-Result<std::vector<Explanation>> LandmarkExplainer::Explain(
+Result<Explanation> LandmarkExplainer::ExplainWithLandmark(
+    const EmModel& model, const PairRecord& pair,
+    EntitySide landmark_side) const {
+  LANDMARK_ASSIGN_OR_RETURN(ExplainUnit unit,
+                            PlanWithLandmark(model, pair, landmark_side));
+  return ExplainerEngine::Serial().RunUnit(model, pair, *this,
+                                           std::move(unit));
+}
+
+Result<std::vector<ExplainUnit>> LandmarkExplainer::Plan(
     const EmModel& model, const PairRecord& pair) const {
-  std::vector<Explanation> out;
+  std::vector<ExplainUnit> units;
+  units.reserve(2);
   for (EntitySide landmark_side : {EntitySide::kLeft, EntitySide::kRight}) {
-    LANDMARK_ASSIGN_OR_RETURN(Explanation explanation,
-                              ExplainWithLandmark(model, pair, landmark_side));
-    out.push_back(std::move(explanation));
+    LANDMARK_ASSIGN_OR_RETURN(ExplainUnit unit,
+                              PlanWithLandmark(model, pair, landmark_side));
+    units.push_back(std::move(unit));
   }
-  return out;
+  return units;
 }
 
 }  // namespace landmark

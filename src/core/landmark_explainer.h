@@ -43,9 +43,10 @@ class LandmarkExplainer : public PairExplainer {
   std::string name() const override;
   GenerationStrategy strategy() const { return strategy_; }
 
-  /// Returns two explanations: landmark = left, then landmark = right.
-  Result<std::vector<Explanation>> Explain(
-      const EmModel& model, const PairRecord& pair) const override;
+  /// Plans two units — landmark = left, then landmark = right — so Explain
+  /// returns two explanations in that order.
+  Result<std::vector<ExplainUnit>> Plan(const EmModel& model,
+                                        const PairRecord& pair) const override;
 
   /// Explains with one specific landmark side.
   Result<Explanation> ExplainWithLandmark(const EmModel& model,
@@ -53,6 +54,11 @@ class LandmarkExplainer : public PairExplainer {
                                           EntitySide landmark_side) const;
 
  private:
+  /// Plan for one landmark side (strategy resolution + token space + RNG).
+  Result<ExplainUnit> PlanWithLandmark(const EmModel& model,
+                                       const PairRecord& pair,
+                                       EntitySide landmark_side) const;
+
   GenerationStrategy strategy_;
 };
 

@@ -17,6 +17,7 @@
 
 #include "core/anchor_explainer.h"
 #include "core/counterfactual.h"
+#include "core/engine/explainer_engine.h"
 #include "core/explainer.h"
 #include "core/explanation.h"
 #include "core/landmark_explainer.h"

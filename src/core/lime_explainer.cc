@@ -2,18 +2,20 @@
 
 namespace landmark {
 
-Result<std::vector<Explanation>> LimeExplainer::Explain(
+Result<std::vector<ExplainUnit>> LimeExplainer::Plan(
     const EmModel& model, const PairRecord& pair) const {
+  (void)model;  // plain LIME needs no per-record gating
   std::vector<Token> tokens = TokenizeEntity(pair.left, EntitySide::kLeft);
   std::vector<Token> right = TokenizeEntity(pair.right, EntitySide::kRight);
   tokens.insert(tokens.end(), right.begin(), right.end());
 
-  Rng rng = MakeRng(pair);
   LANDMARK_ASSIGN_OR_RETURN(
-      Explanation explanation,
-      ExplainTokenSpace(model, pair, std::move(tokens), name(),
-                        /*landmark_side=*/std::nullopt, rng));
-  return std::vector<Explanation>{std::move(explanation)};
+      ExplainUnit unit,
+      MakeTokenUnit(std::move(tokens), name(),
+                    /*landmark_side=*/std::nullopt, MakeRng(pair)));
+  std::vector<ExplainUnit> units;
+  units.push_back(std::move(unit));
+  return units;
 }
 
 }  // namespace landmark

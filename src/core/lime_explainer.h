@@ -22,9 +22,10 @@ class LimeExplainer : public PairExplainer {
 
   std::string name() const override { return "lime"; }
 
-  /// Returns exactly one explanation covering both entities' tokens.
-  Result<std::vector<Explanation>> Explain(
-      const EmModel& model, const PairRecord& pair) const override;
+  /// Plans exactly one unit covering both entities' tokens, so Explain
+  /// returns exactly one explanation.
+  Result<std::vector<ExplainUnit>> Plan(const EmModel& model,
+                                        const PairRecord& pair) const override;
 };
 
 }  // namespace landmark

@@ -1,14 +1,14 @@
 #include "core/mojito_copy_explainer.h"
 
-#include "core/sampling.h"
-#include "core/surrogate.h"
+#include <unordered_map>
+
+#include "core/engine/explainer_engine.h"
 #include "text/tokenize.h"
 
 namespace landmark {
 
-Result<Explanation> MojitoCopyExplainer::ExplainDirection(
-    const EmModel& model, const PairRecord& pair,
-    EntitySide source_side) const {
+Result<ExplainUnit> MojitoCopyExplainer::PlanDirection(
+    const PairRecord& pair, EntitySide source_side) const {
   const EntitySide varying_side = OppositeSide(source_side);
   const Record& source = pair.entity(source_side);
   const Record& varying = pair.entity(varying_side);
@@ -22,7 +22,7 @@ Result<Explanation> MojitoCopyExplainer::ExplainDirection(
         "varying entity has no tokens to explain (all attribute values null)");
   }
 
-  std::vector<size_t> attrs;            // copyable attributes, in order
+  std::vector<size_t> attrs;  // copyable attributes, in order
   std::vector<int64_t> attr_slot_of(varying.num_attributes(), -1);
   for (const Token& token : tokens) {
     if (attr_slot_of[token.attribute] >= 0) continue;
@@ -35,70 +35,96 @@ Result<Explanation> MojitoCopyExplainer::ExplainDirection(
         "no attribute is copyable (source side entirely null)");
   }
 
-  Explanation explanation;
-  explanation.explainer_name = name();
-  explanation.landmark = source_side;
-  explanation.token_weights.reserve(tokens.size());
+  ExplainUnit unit;
+  unit.shell.explainer_name = name();
+  unit.shell.landmark = source_side;
+  unit.shell.token_weights.reserve(tokens.size());
   for (auto& token : tokens) {
-    explanation.token_weights.push_back(TokenWeight{std::move(token), 0.0});
+    unit.shell.token_weights.push_back(TokenWeight{std::move(token), 0.0});
   }
-
-  // Attribute-level perturbation: bit 0 copies the source value over the
-  // varying entity's attribute.
+  // Attribute-level perturbation: clearing bit i copies the source value
+  // over the varying entity's attribute copy_attrs[i].
+  unit.dim = attrs.size();
+  unit.copy_attrs = std::move(attrs);
+  unit.copy_source = source_side;
   Rng rng = MakeRng(pair);
   if (source_side == EntitySide::kRight) rng = rng.Fork();
-  std::vector<std::vector<uint8_t>> attr_masks;
-  std::vector<double> kernel_weights;
-  SampleNeighborhood(attrs.size(), rng, &attr_masks, &kernel_weights);
-
-  std::vector<PairRecord> reconstructed;
-  reconstructed.reserve(attr_masks.size());
-  for (const auto& attr_mask : attr_masks) {
-    PairRecord rec = pair;
-    Record& rec_varying = rec.entity(varying_side);
-    for (size_t slot = 0; slot < attrs.size(); ++slot) {
-      if (!attr_mask[slot]) {
-        rec_varying.SetValue(attrs[slot], source.value(attrs[slot]));
-      }
-    }
-    reconstructed.push_back(std::move(rec));
-  }
-  std::vector<double> predictions = model.PredictProbaBatch(reconstructed);
-
-  SurrogateOptions surrogate_options;
-  surrogate_options.ridge_lambda = options_.ridge_lambda;
-  LANDMARK_ASSIGN_OR_RETURN(
-      SurrogateFit fit,
-      FitSurrogate(attr_masks, predictions, kernel_weights,
-                   surrogate_options));
-
-  // Attribute-atomic weights, distributed uniformly over the attribute's
-  // tokens. Tokens of non-copyable attributes keep weight 0.
-  std::vector<size_t> tokens_per_attr(varying.num_attributes(), 0);
-  for (const auto& tw : explanation.token_weights) {
-    ++tokens_per_attr[tw.token.attribute];
-  }
-  for (auto& tw : explanation.token_weights) {
-    const int64_t slot = attr_slot_of[tw.token.attribute];
-    if (slot < 0) continue;
-    tw.weight = fit.model.coefficients[static_cast<size_t>(slot)] /
-                static_cast<double>(tokens_per_attr[tw.token.attribute]);
-  }
-  explanation.surrogate_intercept = fit.model.intercept;
-  explanation.surrogate_r2 = fit.weighted_r2;
-  explanation.model_prediction = predictions[0];  // the original record
-  return explanation;
+  unit.rng = rng;
+  return unit;
 }
 
-Result<std::vector<Explanation>> MojitoCopyExplainer::Explain(
+Result<std::vector<ExplainUnit>> MojitoCopyExplainer::Plan(
     const EmModel& model, const PairRecord& pair) const {
-  std::vector<Explanation> out;
+  (void)model;
+  std::vector<ExplainUnit> units;
+  units.reserve(2);
   for (EntitySide source_side : {EntitySide::kLeft, EntitySide::kRight}) {
-    LANDMARK_ASSIGN_OR_RETURN(Explanation explanation,
-                              ExplainDirection(model, pair, source_side));
-    out.push_back(std::move(explanation));
+    LANDMARK_ASSIGN_OR_RETURN(ExplainUnit unit,
+                              PlanDirection(pair, source_side));
+    units.push_back(std::move(unit));
   }
-  return out;
+  return units;
+}
+
+Result<PairRecord> MojitoCopyExplainer::ReconstructUnit(
+    const ExplainUnit& unit, const PairRecord& original,
+    const std::vector<uint8_t>& mask) const {
+  if (!unit.copy_source.has_value()) {
+    return PairExplainer::ReconstructUnit(unit, original, mask);
+  }
+  if (mask.size() != unit.copy_attrs.size()) {
+    return Status::InvalidArgument(
+        "ReconstructUnit: mask size does not match the copy-attribute slots");
+  }
+  const EntitySide source_side = *unit.copy_source;
+  const EntitySide varying_side = OppositeSide(source_side);
+  const Record& source = original.entity(source_side);
+  PairRecord rec = original;
+  Record& rec_varying = rec.entity(varying_side);
+  for (size_t slot = 0; slot < unit.copy_attrs.size(); ++slot) {
+    if (!mask[slot]) {
+      rec_varying.SetValue(unit.copy_attrs[slot],
+                           source.value(unit.copy_attrs[slot]));
+    }
+  }
+  return rec;
+}
+
+void MojitoCopyExplainer::ApplyFit(const SurrogateFit& fit,
+                                   ExplainUnit* unit) const {
+  if (!unit->copy_source.has_value()) {
+    PairExplainer::ApplyFit(fit, unit);
+    return;
+  }
+  Explanation& shell = unit->shell;
+  // Attribute-atomic weights, distributed uniformly over the attribute's
+  // tokens. Tokens of non-copyable attributes keep weight 0.
+  std::unordered_map<size_t, size_t> slot_of;
+  slot_of.reserve(unit->copy_attrs.size());
+  for (size_t slot = 0; slot < unit->copy_attrs.size(); ++slot) {
+    slot_of.emplace(unit->copy_attrs[slot], slot);
+  }
+  std::unordered_map<size_t, size_t> tokens_per_attr;
+  for (const auto& tw : shell.token_weights) {
+    ++tokens_per_attr[tw.token.attribute];
+  }
+  for (auto& tw : shell.token_weights) {
+    auto it = slot_of.find(tw.token.attribute);
+    if (it == slot_of.end()) continue;
+    tw.weight = fit.model.coefficients[it->second] /
+                static_cast<double>(tokens_per_attr[tw.token.attribute]);
+  }
+  shell.surrogate_intercept = fit.model.intercept;
+  shell.surrogate_r2 = fit.weighted_r2;
+}
+
+Result<Explanation> MojitoCopyExplainer::ExplainDirection(
+    const EmModel& model, const PairRecord& pair,
+    EntitySide source_side) const {
+  LANDMARK_ASSIGN_OR_RETURN(ExplainUnit unit,
+                            PlanDirection(pair, source_side));
+  return ExplainerEngine::Serial().RunUnit(model, pair, *this,
+                                           std::move(unit));
 }
 
 }  // namespace landmark

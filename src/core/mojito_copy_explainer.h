@@ -31,22 +31,38 @@ class MojitoCopyExplainer : public PairExplainer {
 
   std::string name() const override { return "mojito-copy"; }
 
-  /// Returns two explanations: one per copy direction (source = left, then
-  /// source = right). The `landmark` field records the source (preserved)
-  /// side; the token space is the *varying* entity's original tokens.
+  /// Plans two units — one per copy direction (source = left, then source =
+  /// right) — so Explain returns two explanations. The `landmark` field
+  /// records the source (preserved) side; the token space is the *varying*
+  /// entity's original tokens, but the perturbation space is
+  /// attribute-granular (ExplainUnit::copy_attrs).
+  Result<std::vector<ExplainUnit>> Plan(const EmModel& model,
+                                        const PairRecord& pair) const override;
+
+  /// Copy semantics of the perturbation phase: clearing bit i copies the
+  /// source value over the varying entity's attribute copy_attrs[i].
   ///
-  /// Reconstruction for evaluation purposes uses the inherited token-deletion
-  /// rule: the explanation weights live on the varying entity's real tokens,
-  /// so removing a token deletes it from the record, as for every other
-  /// technique. (The copy semantics exist only inside the perturbation
-  /// phase.)
-  Result<std::vector<Explanation>> Explain(
-      const EmModel& model, const PairRecord& pair) const override;
+  /// Reconstruction for evaluation purposes (the non-virtual-mask
+  /// Reconstruct) keeps the inherited token-deletion rule: the explanation
+  /// weights live on the varying entity's real tokens, so removing a token
+  /// deletes it from the record, as for every other technique.
+  Result<PairRecord> ReconstructUnit(
+      const ExplainUnit& unit, const PairRecord& original,
+      const std::vector<uint8_t>& mask) const override;
+
+  /// Distributes each attribute coefficient uniformly over the attribute's
+  /// tokens ("distributes its impact equally to its constituent tokens").
+  void ApplyFit(const SurrogateFit& fit, ExplainUnit* unit) const override;
 
   /// Explains one copy direction.
   Result<Explanation> ExplainDirection(const EmModel& model,
                                        const PairRecord& pair,
                                        EntitySide source_side) const;
+
+ private:
+  /// Plan for one copy direction.
+  Result<ExplainUnit> PlanDirection(const PairRecord& pair,
+                                    EntitySide source_side) const;
 };
 
 }  // namespace landmark

@@ -1,13 +1,22 @@
 #include "em/em_model.h"
 
+#include "util/check.h"
+
 namespace landmark {
 
 std::vector<double> EmModel::PredictProbaBatch(
     const std::vector<PairRecord>& pairs) const {
-  std::vector<double> out;
-  out.reserve(pairs.size());
-  for (const auto& pair : pairs) out.push_back(PredictProba(pair));
+  std::vector<double> out(pairs.size());
+  PredictProbaRange(pairs, 0, pairs.size(), out.data());
   return out;
+}
+
+void EmModel::PredictProbaRange(const std::vector<PairRecord>& pairs,
+                                size_t begin, size_t end, double* out) const {
+  LANDMARK_CHECK(begin <= end && end <= pairs.size());
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = PredictProba(pairs[i]);
+  }
 }
 
 }  // namespace landmark

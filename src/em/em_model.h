@@ -15,6 +15,14 @@ namespace landmark {
 /// the same real-world entity. Explainers only ever call PredictProba /
 /// PredictProbaBatch — they never look inside — which is what makes
 /// Landmark Explanation model-agnostic (paper §3).
+///
+/// **Thread-safety contract.** The ExplainerEngine shards its deduplicated
+/// query batch across worker threads, so every PredictProba* method must be
+/// safe to call concurrently from multiple threads: implementations are
+/// const and must not mutate any state (no lazy caches, no shared buffers)
+/// once training has finished. All bundled models (logreg, forest, MLP,
+/// embedding, rule, heuristic) are immutable after Train and satisfy this;
+/// custom models plugged into the engine must as well.
 class EmModel {
  public:
   virtual ~EmModel() = default;
@@ -22,9 +30,17 @@ class EmModel {
   /// Probability in [0, 1] that the pair is a match.
   virtual double PredictProba(const PairRecord& pair) const = 0;
 
-  /// Batch version; default loops over PredictProba.
+  /// Batch version; default delegates to PredictProbaRange over the whole
+  /// vector.
   virtual std::vector<double> PredictProbaBatch(
       const std::vector<PairRecord>& pairs) const;
+
+  /// Scores pairs[begin, end) into out[0, end-begin). The engine's query
+  /// stage calls this concurrently on disjoint ranges of one batch; default
+  /// loops over PredictProba. Models with an internally vectorized batch
+  /// path can override it once and serve both entry points.
+  virtual void PredictProbaRange(const std::vector<PairRecord>& pairs,
+                                 size_t begin, size_t end, double* out) const;
 
   /// Hard label at the given decision threshold (the paper uses 0.5 and
   /// discusses 0.4 as an alternative).

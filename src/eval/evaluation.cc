@@ -11,24 +11,39 @@ namespace landmark {
 ExplainBatchResult ExplainRecords(const EmModel& model,
                                   const PairExplainer& explainer,
                                   const EmDataset& dataset,
-                                  const std::vector<size_t>& indices) {
+                                  const std::vector<size_t>& indices,
+                                  const ExplainerEngine& engine) {
+  std::vector<const PairRecord*> pairs;
+  pairs.reserve(indices.size());
+  for (size_t idx : indices) pairs.push_back(&dataset.pair(idx));
+
+  EngineBatchResult batch = engine.ExplainBatch(model, pairs, explainer);
+
   ExplainBatchResult out;
+  out.stats = batch.stats;
   out.records.reserve(indices.size());
-  for (size_t idx : indices) {
-    Result<std::vector<Explanation>> result =
-        explainer.Explain(model, dataset.pair(idx));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    Result<std::vector<Explanation>>& result = batch.results[i];
     if (!result.ok()) {
-      LANDMARK_LOG(Debug) << "skipping pair " << idx << ": "
+      LANDMARK_LOG(Debug) << "skipping pair " << indices[i] << ": "
                           << result.status().ToString();
       ++out.num_skipped;
       continue;
     }
     ExplainedRecord record;
-    record.pair_index = idx;
+    record.pair_index = indices[i];
     record.explanations = std::move(result).ValueOrDie();
     out.records.push_back(std::move(record));
   }
   return out;
+}
+
+ExplainBatchResult ExplainRecords(const EmModel& model,
+                                  const PairExplainer& explainer,
+                                  const EmDataset& dataset,
+                                  const std::vector<size_t>& indices) {
+  return ExplainRecords(model, explainer, dataset, indices,
+                        ExplainerEngine::Serial());
 }
 
 Result<TokenRemovalResult> EvaluateTokenRemoval(

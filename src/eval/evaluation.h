@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine/explainer_engine.h"
 #include "core/explainer.h"
 #include "data/em_dataset.h"
 #include "em/em_model.h"
@@ -20,13 +21,26 @@ struct ExplainedRecord {
   std::vector<Explanation> explanations;
 };
 
-/// Explains each pair in `indices`. Records whose explanation fails (e.g.
-/// all values null after the dirty transform) are skipped with a warning
-/// counter rather than failing the sweep; `num_skipped` reports how many.
+/// Explains each pair in `indices` through the staged ExplainerEngine.
+/// Records whose explanation fails (e.g. all values null after the dirty
+/// transform) are skipped with a warning counter rather than failing the
+/// sweep; `num_skipped` reports how many.
 struct ExplainBatchResult {
   std::vector<ExplainedRecord> records;
   size_t num_skipped = 0;
+  /// Stage counters of the underlying engine batch.
+  EngineStats stats;
 };
+
+/// Runs the batch on `engine` (thread count and prediction-memo behaviour
+/// come from its EngineOptions).
+ExplainBatchResult ExplainRecords(const EmModel& model,
+                                  const PairExplainer& explainer,
+                                  const EmDataset& dataset,
+                                  const std::vector<size_t>& indices,
+                                  const ExplainerEngine& engine);
+
+/// Convenience overload on the shared serial engine.
 ExplainBatchResult ExplainRecords(const EmModel& model,
                                   const PairExplainer& explainer,
                                   const EmDataset& dataset,

@@ -31,6 +31,17 @@ ExperimentConfig ExperimentConfig::FromFlags(const Flags& flags) {
     LANDMARK_LOG(Warning) << "unknown --neighborhood '" << neighborhood
                           << "', using lime";
   }
+  const int64_t threads = flags.GetInt(
+      "threads", static_cast<int64_t>(config.engine_options.num_threads));
+  if (threads < 0) {
+    LANDMARK_LOG(Warning) << "--threads " << threads << " is negative, using 1";
+    config.engine_options.num_threads = 1;
+  } else {
+    config.engine_options.num_threads = static_cast<size_t>(threads);
+  }
+  if (flags.GetBool("no-predict-cache", false)) {
+    config.engine_options.cache_predictions = false;
+  }
   return config;
 }
 

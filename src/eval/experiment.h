@@ -26,6 +26,10 @@ struct ExperimentConfig {
   /// Scales the generated dataset sizes (1.0 = the sizes of Table 1).
   double size_scale = 1.0;
   ExplainerOptions explainer_options;
+  /// Staged-pipeline knobs (worker threads, prediction memo). The thread
+  /// count never changes results — see the ExplainerEngine determinism
+  /// contract.
+  EngineOptions engine_options;
   TokenRemovalOptions token_removal;
   InterestOptions interest;
   MagellanGenOptions gen_options;
@@ -35,7 +39,11 @@ struct ExperimentConfig {
   /// Reads overrides from command-line flags:
   ///   --records N --samples N --scale F --kernel-width F --lambda F
   ///   --threshold F --seed N --datasets S-BR,S-IA
+  ///   --threads N (0 = hardware concurrency) --no-predict-cache
   static ExperimentConfig FromFlags(const Flags& flags);
+
+  /// Builds the engine configured by `engine_options`.
+  ExplainerEngine MakeEngine() const { return ExplainerEngine(engine_options); }
 };
 
 /// Returns the dataset codes selected by --datasets (comma separated), or

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace landmark {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline pool
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::NumChunks(size_t n) const {
+  if (n == 0) return 0;
+  return std::min(n, std::max<size_t>(1, workers_.size()));
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const size_t chunks = NumChunks(n);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  // Static partition: chunk c covers [c*q + min(c,r), ...) with q = n/chunks,
+  // r = n%chunks — the first r chunks get one extra element.
+  const size_t q = n / chunks;
+  const size_t r = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t size = q + (c < r ? 1 : 0);
+    const size_t end = begin + size;
+    Submit([&body, begin, end] { body(begin, end); });
+    begin = end;
+  }
+  Wait();
+}
+
+}  // namespace landmark

@@ -1,0 +1,67 @@
+#ifndef LANDMARK_UTIL_THREAD_POOL_H_
+#define LANDMARK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace landmark {
+
+/// \brief Small fixed-size worker pool for the staged explanation pipeline.
+///
+/// Work is distributed by *static contiguous partitioning* (ParallelFor):
+/// each chunk of the index range is processed exactly once and the caller
+/// writes results into pre-sized slots, so the output of a parallel stage is
+/// independent of thread scheduling. That is the mechanism behind the
+/// engine's determinism contract — parallel and serial runs must produce
+/// bit-identical explanations.
+///
+/// A pool with `num_threads <= 1` spawns no workers; ParallelFor then runs
+/// the body inline on the calling thread, which keeps single-threaded use
+/// free of synchronization entirely.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Splits [0, n) into at most num_threads() contiguous chunks of
+  /// near-equal size and runs `body(begin, end)` for each, blocking until
+  /// all chunks are done. Chunk boundaries depend only on `n` and the pool
+  /// size — never on scheduling — so writes to disjoint index ranges are
+  /// race-free and deterministic. Runs inline when the pool has no workers.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  /// Chunk count ParallelFor would use for a range of size n.
+  size_t NumChunks(size_t n) const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: queue non-empty/stop
+  std::condition_variable done_cv_;   // signals Wait(): all tasks drained
+  size_t in_flight_ = 0;              // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_THREAD_POOL_H_

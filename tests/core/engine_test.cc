@@ -1,0 +1,284 @@
+#include "core/engine/explainer_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "data/em_dataset.h"
+#include "em/heuristic_model.h"
+
+namespace landmark {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return *Schema::Make({"name", "price"});
+}
+
+EmDataset SmallDataset() {
+  auto schema = TestSchema();
+  EmDataset dataset("engine-test", schema);
+  auto add = [&](const std::string& l0, const std::string& l1,
+                 const std::string& r0, const std::string& r1,
+                 MatchLabel label) {
+    PairRecord p;
+    p.id = static_cast<int64_t>(dataset.size());
+    p.left = *Record::Make(schema, {Value::Of(l0), Value::Of(l1)});
+    p.right = *Record::Make(schema, {Value::Of(r0), Value::Of(r1)});
+    p.label = label;
+    ASSERT_TRUE(dataset.Append(std::move(p)).ok());
+  };
+  add("alpha beta gamma", "10", "alpha beta delta", "10", MatchLabel::kMatch);
+  add("epsilon zeta eta", "20", "epsilon zeta eta", "20", MatchLabel::kMatch);
+  add("one two three", "30", "nine eight seven", "99", MatchLabel::kNonMatch);
+  add("red green blue", "5", "cyan magenta", "77", MatchLabel::kNonMatch);
+  return dataset;
+}
+
+ExplainerOptions FastOptions() {
+  ExplainerOptions options;
+  options.num_samples = 120;
+  return options;
+}
+
+std::vector<const PairRecord*> AllPairs(const EmDataset& dataset) {
+  std::vector<const PairRecord*> pairs;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    pairs.push_back(&dataset.pair(i));
+  }
+  return pairs;
+}
+
+/// Bit-identical comparison of two batch outputs — the determinism contract
+/// promises exact equality, not approximate agreement.
+void ExpectIdenticalResults(const EngineBatchResult& a,
+                            const EngineBatchResult& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].ok(), b.results[i].ok()) << "record " << i;
+    if (!a.results[i].ok()) continue;
+    const std::vector<Explanation>& ea = *a.results[i];
+    const std::vector<Explanation>& eb = *b.results[i];
+    ASSERT_EQ(ea.size(), eb.size()) << "record " << i;
+    for (size_t e = 0; e < ea.size(); ++e) {
+      EXPECT_EQ(ea[e].explainer_name, eb[e].explainer_name);
+      EXPECT_EQ(ea[e].landmark, eb[e].landmark);
+      EXPECT_EQ(ea[e].model_prediction, eb[e].model_prediction);
+      EXPECT_EQ(ea[e].surrogate_intercept, eb[e].surrogate_intercept);
+      EXPECT_EQ(ea[e].surrogate_r2, eb[e].surrogate_r2);
+      ASSERT_EQ(ea[e].token_weights.size(), eb[e].token_weights.size());
+      for (size_t t = 0; t < ea[e].token_weights.size(); ++t) {
+        EXPECT_EQ(ea[e].token_weights[t].weight, eb[e].token_weights[t].weight)
+            << "record " << i << " explanation " << e << " token " << t;
+      }
+    }
+  }
+}
+
+class EngineDeterminismTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<PairExplainer> MakeExplainer() const {
+    const std::string kind = GetParam();
+    if (kind == "landmark-single") {
+      return std::make_unique<LandmarkExplainer>(GenerationStrategy::kSingle,
+                                                 FastOptions());
+    }
+    if (kind == "landmark-double") {
+      return std::make_unique<LandmarkExplainer>(GenerationStrategy::kDouble,
+                                                 FastOptions());
+    }
+    if (kind == "lime") return std::make_unique<LimeExplainer>(FastOptions());
+    return std::make_unique<MojitoCopyExplainer>(FastOptions());
+  }
+};
+
+TEST_P(EngineDeterminismTest, ThreadCountNeverChangesResults) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  std::unique_ptr<PairExplainer> explainer = MakeExplainer();
+  std::vector<const PairRecord*> pairs = AllPairs(dataset);
+
+  EngineOptions serial_options;
+  serial_options.num_threads = 1;
+  ExplainerEngine serial(serial_options);
+  EngineOptions parallel_options;
+  parallel_options.num_threads = 4;
+  ExplainerEngine parallel(parallel_options);
+
+  EngineBatchResult a = serial.ExplainBatch(model, pairs, *explainer);
+  EngineBatchResult b = parallel.ExplainBatch(model, pairs, *explainer);
+  ExpectIdenticalResults(a, b);
+}
+
+TEST_P(EngineDeterminismTest, CacheNeverChangesResults) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  std::unique_ptr<PairExplainer> explainer = MakeExplainer();
+  std::vector<const PairRecord*> pairs = AllPairs(dataset);
+
+  EngineOptions cached_options;
+  cached_options.cache_predictions = true;
+  ExplainerEngine cached(cached_options);
+  EngineOptions raw_options;
+  raw_options.cache_predictions = false;
+  ExplainerEngine raw(raw_options);
+
+  EngineBatchResult a = cached.ExplainBatch(model, pairs, *explainer);
+  EngineBatchResult b = raw.ExplainBatch(model, pairs, *explainer);
+  ExpectIdenticalResults(a, b);
+  EXPECT_EQ(b.stats.cache_hits, 0u);
+  EXPECT_EQ(b.stats.num_model_queries, b.stats.num_masks);
+}
+
+TEST_P(EngineDeterminismTest, BatchAgreesWithPerRecordExplain) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  std::unique_ptr<PairExplainer> explainer = MakeExplainer();
+  std::vector<const PairRecord*> pairs = AllPairs(dataset);
+
+  EngineOptions options;
+  options.num_threads = 4;
+  ExplainerEngine engine(options);
+  EngineBatchResult batch = engine.ExplainBatch(model, pairs, *explainer);
+
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto direct = explainer->Explain(model, *pairs[i]);
+    ASSERT_EQ(direct.ok(), batch.results[i].ok()) << "record " << i;
+    if (!direct.ok()) continue;
+    ASSERT_EQ(direct->size(), batch.results[i]->size());
+    for (size_t e = 0; e < direct->size(); ++e) {
+      const Explanation& a = (*direct)[e];
+      const Explanation& b = (*batch.results[i])[e];
+      EXPECT_EQ(a.model_prediction, b.model_prediction);
+      EXPECT_EQ(a.surrogate_intercept, b.surrogate_intercept);
+      EXPECT_EQ(a.surrogate_r2, b.surrogate_r2);
+      ASSERT_EQ(a.token_weights.size(), b.token_weights.size());
+      for (size_t t = 0; t < a.token_weights.size(); ++t) {
+        EXPECT_EQ(a.token_weights[t].weight, b.token_weights[t].weight);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, EngineDeterminismTest,
+                         ::testing::Values("landmark-single",
+                                           "landmark-double", "lime",
+                                           "mojito-copy"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EngineCacheTest, SmallTokenSpacesQueryFarFewerPairsThanMasks) {
+  // "alpha beta" vs "alpha beta": 2 tokens per side -> at most 2^2 distinct
+  // masks per unit, while the sampler draws 120. The memo must collapse the
+  // query count accordingly.
+  auto schema = TestSchema();
+  EmDataset dataset("tiny", schema);
+  PairRecord p;
+  p.left = *Record::Make(schema, {Value::Of("alpha beta"), Value::Null()});
+  p.right = *Record::Make(schema, {Value::Of("alpha gamma"), Value::Null()});
+  p.label = MatchLabel::kMatch;
+  ASSERT_TRUE(dataset.Append(std::move(p)).ok());
+
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainerEngine engine;
+  EngineBatchResult batch =
+      engine.ExplainBatch(model, AllPairs(dataset), lime);
+  ASSERT_TRUE(batch.results[0].ok());
+  EXPECT_EQ(batch.stats.num_masks, 120u);
+  // 4 tokens total in LIME's joint space -> at most 16 distinct masks.
+  EXPECT_LE(batch.stats.num_model_queries, 16u);
+  EXPECT_EQ(batch.stats.cache_hits,
+            batch.stats.num_masks - batch.stats.num_model_queries);
+  EXPECT_GT(batch.stats.cache_hits, 0u);
+}
+
+TEST(EngineValidationTest, RejectsInvalidOptionsUpFront) {
+  for (auto mutate : std::vector<std::function<void(ExplainerOptions&)>>{
+           [](ExplainerOptions& o) { o.num_samples = 0; },
+           [](ExplainerOptions& o) { o.num_samples = 1; },
+           [](ExplainerOptions& o) { o.kernel_width = 0.0; },
+           [](ExplainerOptions& o) { o.kernel_width = -1.0; },
+           [](ExplainerOptions& o) { o.ridge_lambda = -0.5; }}) {
+    ExplainerOptions options;
+    mutate(options);
+    EXPECT_EQ(ValidateExplainerOptions(options).code(),
+              StatusCode::kInvalidArgument);
+
+    EmDataset dataset = SmallDataset();
+    JaccardEmModel model;
+    LimeExplainer lime(options);
+    // The whole batch is rejected before any work happens.
+    ExplainerEngine engine;
+    EngineBatchResult batch =
+        engine.ExplainBatch(model, AllPairs(dataset), lime);
+    EXPECT_EQ(batch.stats.num_failed_records, dataset.size());
+    for (const auto& result : batch.results) {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    }
+    // Per-record paths reject identically.
+    EXPECT_EQ(lime.Explain(model, dataset.pair(0)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(ValidateExplainerOptions(ExplainerOptions{}).ok());
+}
+
+TEST(EngineBatchTest, FailedRecordsAreReportedInPlace) {
+  auto schema = TestSchema();
+  EmDataset dataset("mixed", schema);
+  PairRecord good;
+  good.left = *Record::Make(schema, {Value::Of("alpha beta"), Value::Of("1")});
+  good.right = *Record::Make(schema, {Value::Of("alpha beta"), Value::Of("1")});
+  good.label = MatchLabel::kMatch;
+  ASSERT_TRUE(dataset.Append(std::move(good)).ok());
+  PairRecord empty;  // no tokens on either side: unexplainable
+  empty.left = Record::Empty(schema);
+  empty.right = Record::Empty(schema);
+  ASSERT_TRUE(dataset.Append(std::move(empty)).ok());
+
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainerEngine engine;
+  EngineBatchResult batch = engine.ExplainBatch(model, AllPairs(dataset), lime);
+  ASSERT_EQ(batch.results.size(), 2u);
+  EXPECT_TRUE(batch.results[0].ok());
+  EXPECT_FALSE(batch.results[1].ok());
+  EXPECT_EQ(batch.stats.num_failed_records, 1u);
+}
+
+TEST(EngineBatchTest, EmptyBatchIsANoOp) {
+  JaccardEmModel model;
+  LimeExplainer lime(FastOptions());
+  ExplainerEngine engine;
+  EngineBatchResult batch = engine.ExplainBatch(
+      model, std::vector<const PairRecord*>{}, lime);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.stats.num_records, 0u);
+  EXPECT_EQ(batch.stats.num_model_queries, 0u);
+}
+
+TEST(EngineBatchTest, StatsCountStages) {
+  EmDataset dataset = SmallDataset();
+  JaccardEmModel model;
+  LandmarkExplainer single(GenerationStrategy::kSingle, FastOptions());
+  ExplainerEngine engine;
+  EngineBatchResult batch =
+      engine.ExplainBatch(model, AllPairs(dataset), single);
+  EXPECT_EQ(batch.stats.num_records, 4u);
+  // Landmark techniques plan two units per record (one per side).
+  EXPECT_EQ(batch.stats.num_units, 8u);
+  EXPECT_EQ(batch.stats.num_masks, 8u * 120u);
+  EXPECT_GT(batch.stats.num_model_queries, 0u);
+  EXPECT_LE(batch.stats.num_model_queries, batch.stats.num_masks);
+  EXPECT_FALSE(batch.stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/lime_explainer.h"
 #include "core/sampling.h"
 #include "core/surrogate.h"
 #include "util/rng.h"
@@ -43,6 +44,42 @@ TEST(SamplingTest, SingleFeatureSpace) {
   auto masks = SamplePerturbationMasks(1, 5, rng);
   EXPECT_EQ(masks[0][0], 1);
   for (size_t s = 1; s < 5; ++s) EXPECT_EQ(masks[s][0], 0);
+}
+
+TEST(SamplingTest, ShapFirstMaskIsAllOnes) {
+  // Slot 0 is the all-active anchor — the engine's fit stage reads
+  // predictions[0] as f(all-active), for the SHAP neighborhood too.
+  Rng rng(11);
+  auto masks = SampleShapMasks(5, 12, rng);
+  ASSERT_EQ(masks.size(), 12u);
+  for (uint8_t bit : masks[0]) EXPECT_EQ(bit, 1);
+  for (uint8_t bit : masks[1]) EXPECT_EQ(bit, 0);  // the all-zeros anchor
+}
+
+TEST(SamplingTest, FirstMaskContractHoldsForBothNeighborhoods) {
+  // Regression test for the predictions[0] contract at the explainer level:
+  // SampleNeighborhood must yield an all-active first mask regardless of
+  // which generic explainer (LIME or KernelSHAP) is plugged in.
+  for (NeighborhoodKind kind :
+       {NeighborhoodKind::kLime, NeighborhoodKind::kShap}) {
+    ExplainerOptions options;
+    options.neighborhood = kind;
+    options.num_samples = 40;
+    LimeExplainer explainer(options);
+    for (size_t dim : {1u, 3u, 9u}) {
+      Rng rng(13);
+      std::vector<std::vector<uint8_t>> masks;
+      std::vector<double> kernel_weights;
+      explainer.SampleNeighborhood(dim, rng, &masks, &kernel_weights);
+      ASSERT_EQ(masks.size(), 40u);
+      ASSERT_EQ(kernel_weights.size(), 40u);
+      for (uint8_t bit : masks[0]) {
+        EXPECT_EQ(bit, 1) << "kind=" << static_cast<int>(kind)
+                          << " dim=" << dim;
+      }
+      EXPECT_GT(kernel_weights[0], 0.0);
+    }
+  }
 }
 
 TEST(SamplingTest, ActiveFraction) {

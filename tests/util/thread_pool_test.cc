@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace landmark {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolSpawnsNoWorkers) {
+  ThreadPool zero(0);
+  ThreadPool one(1);
+  EXPECT_EQ(zero.num_threads(), 0u);
+  EXPECT_EQ(one.num_threads(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    for (size_t n : {0u, 1u, 3u, 8u, 100u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                     << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunksAreContiguousAndOrderedByFirstIndex) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelFor(10, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), pool.NumChunks(10));
+  std::sort(chunks.begin(), chunks.end());
+  size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+}
+
+TEST(ThreadPoolTest, PartitionDependsOnlyOnRangeSize) {
+  // Two same-sized pools must produce the same chunk boundaries: that is
+  // what makes parallel stage output independent of scheduling.
+  ThreadPool a(3), b(3);
+  for (size_t n : {1u, 2u, 3u, 7u, 11u, 64u}) {
+    auto boundaries = [n](ThreadPool& pool) {
+      std::mutex mu;
+      std::vector<std::pair<size_t, size_t>> chunks;
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(begin, end);
+      });
+      std::sort(chunks.begin(), chunks.end());
+      return chunks;
+    };
+    EXPECT_EQ(boundaries(a), boundaries(b)) << "n=" << n;
+  }
+}
+
+TEST(ThreadPoolTest, NumChunksNeverExceedsRangeOrPoolSize) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumChunks(0), 0u);
+  EXPECT_EQ(pool.NumChunks(2), 2u);
+  EXPECT_EQ(pool.NumChunks(4), 4u);
+  EXPECT_EQ(pool.NumChunks(100), 4u);
+  ThreadPool inline_pool(1);
+  EXPECT_EQ(inline_pool.NumChunks(100), 1u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::vector<long> out(1000);
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(out.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<long>(i) * (round + 1);
+      }
+    });
+    const long sum = std::accumulate(out.begin(), out.end(), 0L);
+    EXPECT_EQ(sum, 999L * 1000L / 2 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+  // Wait with an empty queue returns immediately.
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace landmark

@@ -42,6 +42,7 @@ commands:
   counterfactual  (--dataset CODE | --input FILE) --pair N [--model ...]
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
+                  [--threads N] [--no-predict-cache] [--engine-stats]
 
 dataset codes: S-BR S-IA S-FZ S-DA S-DG S-AG S-WA T-AB D-IA D-DA D-DG D-WA
 )";
@@ -312,6 +313,8 @@ int CmdEvaluate(const Flags& flags) {
     return 1;
   }
   std::vector<Technique> techniques = MakeTechniques(config.explainer_options);
+  ExplainerEngine engine = config.MakeEngine();
+  const bool print_stats = flags.GetBool("engine-stats", false);
   for (MatchLabel label : {MatchLabel::kMatch, MatchLabel::kNonMatch}) {
     std::cout << "\n--- "
               << (label == MatchLabel::kMatch ? "matching" : "non-matching")
@@ -322,7 +325,11 @@ int CmdEvaluate(const Flags& flags) {
       if (technique.non_match_only && label == MatchLabel::kMatch) continue;
       ExplainBatchResult batch =
           ExplainRecords(context->model(), *technique.explainer,
-                         context->dataset(), context->sample(label));
+                         context->dataset(), context->sample(label), engine);
+      if (print_stats) {
+        std::cerr << "[engine] " << technique.label << ": "
+                  << batch.stats.ToString() << "\n";
+      }
       auto token = EvaluateTokenRemoval(context->model(), *technique.explainer,
                                         context->dataset(), batch.records,
                                         config.token_removal);
