@@ -18,6 +18,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 
 namespace {
 
@@ -105,5 +106,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  landmark::TelemetryScope telemetry =
+      landmark::TelemetryScope::FromFlags(*flags);
   return Run(*flags);
 }

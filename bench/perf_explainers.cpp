@@ -2,14 +2,22 @@
 // feature extraction, EM model inference, perturbation sampling, surrogate
 // fitting, full explanations per technique, and the staged ExplainerEngine
 // batch path at different worker-thread counts.
+//
+// On top of google-benchmark's own flags, --metrics-out=FILE dumps the
+// metrics registry (per-stage engine histograms, model-query latency, pool
+// stats) and --trace-out=FILE records a Chrome/Perfetto trace of the run.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 #include "core/landmark_explanation.h"
 #include "core/sampling.h"
 #include "core/surrogate.h"
 #include "datagen/magellan.h"
 #include "em/forest_em_model.h"
+#include "util/telemetry/telemetry.h"
 
 namespace landmark {
 namespace {
@@ -215,4 +223,27 @@ BENCHMARK(BM_DatasetGeneration);
 }  // namespace
 }  // namespace landmark
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): benchmark::Initialize aborts on
+// flags it does not recognize, so the telemetry flags must be consumed
+// (and compacted out of argv) before it runs.
+int main(int argc, char** argv) {
+  std::string metrics_path, trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_path = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_path = arg + 12;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  landmark::TelemetryScope telemetry(metrics_path, trace_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

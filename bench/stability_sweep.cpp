@@ -12,6 +12,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 
 namespace {
 
@@ -88,5 +89,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  landmark::TelemetryScope telemetry =
+      landmark::TelemetryScope::FromFlags(*flags);
   return Run(*flags);
 }

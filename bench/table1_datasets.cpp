@@ -12,6 +12,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
   using namespace landmark;  // NOLINT
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_result;
+  TelemetryScope telemetry = TelemetryScope::FromFlags(flags);
   const double scale = flags.GetDouble("scale", 1.0);
   const bool skip_model = flags.GetBool("skip-model", false);
 

@@ -13,6 +13,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 #include "util/timer.h"
 
 namespace {
@@ -30,8 +31,12 @@ int RunTable3(const Flags& flags) {
   };
   std::vector<Row> match_rows, non_match_rows;
 
-  Timer total;
+  Histogram& dataset_seconds =
+      MetricsRegistry::Global().GetHistogram("bench/dataset_seconds");
+  double total_seconds = 0.0;
   for (const MagellanDatasetSpec& spec : specs) {
+    double elapsed = 0.0;
+    ScopedTimer dataset_timer(&dataset_seconds, &elapsed);
     auto context = ExperimentContext::Create(spec, config);
     if (!context.ok()) {
       std::cerr << spec.code << ": " << context.status().ToString() << "\n";
@@ -62,8 +67,11 @@ int RunTable3(const Flags& flags) {
       (label == MatchLabel::kMatch ? match_rows : non_match_rows)
           .push_back(row);
     }
+    dataset_timer.Stop();
+    total_seconds += elapsed;
     std::cerr << "[table3] " << spec.code << " done ("
-              << FormatDouble(total.ElapsedSeconds(), 1) << "s elapsed)\n";
+              << FormatDouble(elapsed, 1) << "s, "
+              << FormatDouble(total_seconds, 1) << "s elapsed)\n";
   }
 
   std::cout << "Table 3(a): attribute-based evaluation (weighted Kendall "
@@ -92,5 +100,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  landmark::TelemetryScope telemetry =
+      landmark::TelemetryScope::FromFlags(*flags);
   return RunTable3(*flags);
 }

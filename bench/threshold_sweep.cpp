@@ -13,6 +13,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 
 namespace {
 
@@ -79,5 +80,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  landmark::TelemetryScope telemetry =
+      landmark::TelemetryScope::FromFlags(*flags);
   return Run(*flags);
 }

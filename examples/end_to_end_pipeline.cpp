@@ -10,6 +10,8 @@
 // most confident match and the most borderline candidate.
 //
 // Run:  ./end_to_end_pipeline [--catalog-size 300] [--threads N]
+//                             [--show-metrics]
+//                             [--metrics-out FILE] [--trace-out FILE]
 
 #include <algorithm>
 #include <iostream>
@@ -21,6 +23,7 @@
 #include "em/blocking.h"
 #include "util/flags.h"
 #include "util/string_util.h"
+#include "util/telemetry/telemetry.h"
 
 namespace {
 
@@ -135,6 +138,12 @@ int Run(const Flags& flags) {
     }
   }
   std::cout << "engine: " << batch.stats.ToString() << "\n";
+
+  if (flags.GetBool("show-metrics", false)) {
+    std::cout << "\nmetrics registry after the run:\n";
+    TableSink sink(std::cout);
+    sink.Emit(MetricsRegistry::Global().Snapshot());
+  }
   return 0;
 }
 
@@ -146,5 +155,7 @@ int main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  landmark::TelemetryScope telemetry =
+      landmark::TelemetryScope::FromFlags(*flags);
   return Run(*flags);
 }

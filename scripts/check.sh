@@ -4,8 +4,14 @@
 # or anything else that runs on the thread pool:
 #
 #   asan-ubsan  memory errors + undefined behaviour
-#   tsan        data races in the staged pipeline (run the engine tests with
-#               --threads > 1 paths; the determinism tests exercise them)
+#   tsan        data races in the staged pipeline and the telemetry hot
+#               paths (sharded counters, trace rings, the pool gauges); an
+#               explicit second pass re-runs the telemetry-focused tests so
+#               a race there fails loudly even when triaging the full run
+#
+# After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
+# `telemetry-demo --trace-out --metrics-out` and the outputs are checked by
+# scripts/validate_trace.py (stdlib Python; skipped when python3 is absent).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -21,5 +27,24 @@ for preset in asan-ubsan tsan; do
   echo "=== [$preset] test ==="
   ctest --preset "$preset" -j "$JOBS"
 done
+
+echo "=== [tsan] telemetry-focused re-run ==="
+ctest --preset tsan -j "$JOBS" -R \
+  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool'
+
+echo "=== [default] telemetry outputs ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target landmark_cli
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+./build/tools/landmark_cli telemetry-demo --records 8 \
+  --trace-out="$TELEMETRY_TMP/trace.json" \
+  --metrics-out="$TELEMETRY_TMP/metrics.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_trace.py \
+    "$TELEMETRY_TMP/trace.json" "$TELEMETRY_TMP/metrics.json"
+else
+  echo "python3 not found; skipped trace/metrics validation"
+fi
 
 echo "All sanitizer checks passed."

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates telemetry output files (stdlib-only, no pip dependencies).
+
+Usage:
+    scripts/validate_trace.py TRACE.json [METRICS.json]
+
+Checks that TRACE.json is a loadable Chrome trace-event file — a JSON object
+with a `traceEvents` list whose entries carry the keys chrome://tracing and
+Perfetto require (`ph`, `pid`, `tid`, plus `name`/`ts`/`dur` for complete
+events, with `dur >= 0`) — and, when given, that METRICS.json is a metrics
+snapshot with `counters`/`gauges`/`histograms` keys and internally
+consistent histograms (count/bucket agreement, p50 <= p95 <= p99).
+
+Exit code 0 when everything holds; 1 with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not loadable JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing 'traceEvents' list")
+
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        for key in ("ph", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: traceEvents[{i}] missing '{key}'")
+        if event["ph"] == "X":
+            complete += 1
+            for key in ("name", "ts", "dur"):
+                if key not in event:
+                    fail(f"{path}: complete event [{i}] missing '{key}'")
+            if not isinstance(event["name"], str) or not event["name"]:
+                fail(f"{path}: complete event [{i}] has an empty name")
+            if event["dur"] < 0:
+                fail(f"{path}: traceEvents[{i}] has negative dur")
+            if event["ts"] < 0:
+                fail(f"{path}: traceEvents[{i}] has negative ts")
+    print(f"validate_trace: {path}: ok "
+          f"({len(events)} events, {complete} complete spans)")
+
+
+def validate_metrics(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not loadable JSON: {e}")
+
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    if not isinstance(doc["counters"], dict):
+        fail(f"{path}: 'counters' must be an object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' must be a non-negative integer")
+
+    histograms = doc["histograms"]
+    if not isinstance(histograms, dict):
+        fail(f"{path}: 'histograms' must be an object")
+    for name, h in histograms.items():
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99",
+                    "buckets"):
+            if key not in h:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        if h["count"] < 0:
+            fail(f"{path}: histogram '{name}' has negative count")
+        if h["count"] > 0:
+            if not h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]:
+                fail(f"{path}: histogram '{name}' percentiles out of order: "
+                     f"min={h['min']} p50={h['p50']} p95={h['p95']} "
+                     f"p99={h['p99']} max={h['max']}")
+            bucket_total = sum(b["count"] for b in h["buckets"])
+            if bucket_total != h["count"]:
+                fail(f"{path}: histogram '{name}' bucket counts sum to "
+                     f"{bucket_total}, expected count={h['count']}")
+    print(f"validate_trace: {path}: ok "
+          f"({len(doc['counters'])} counters, {len(histograms)} histograms)")
+
+
+def main(argv) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    validate_trace(argv[1])
+    if len(argv) == 3:
+        validate_metrics(argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,8 @@
 
 #include "core/surrogate.h"
 #include "util/string_util.h"
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/trace.h"
 #include "util/timer.h"
 
 namespace landmark {
@@ -68,6 +70,68 @@ struct UnitWork {
   bool queried = false;
 };
 
+/// Global-registry handles for the engine's stable metric names (the
+/// contract is documented in docs/architecture.md, "Telemetry"). Resolved
+/// once; Add/Record on the handles is lock-free.
+struct EngineMetrics {
+  Counter& batches;
+  Counter& records;
+  Counter& records_failed;
+  Counter& units;
+  Counter& masks;
+  Counter& model_queries;
+  Counter& cache_hits;
+  Counter& cache_misses;
+  Counter& cache_evictions;
+  Histogram& plan_seconds;
+  Histogram& reconstruct_seconds;
+  Histogram& query_seconds;
+  Histogram& fit_seconds;
+  Histogram& batch_seconds;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new EngineMetrics{r.GetCounter("engine/batches"),
+                               r.GetCounter("engine/records"),
+                               r.GetCounter("engine/records_failed"),
+                               r.GetCounter("engine/units"),
+                               r.GetCounter("engine/masks"),
+                               r.GetCounter("engine/model_queries"),
+                               r.GetCounter("engine/cache_hits"),
+                               r.GetCounter("engine/cache_misses"),
+                               r.GetCounter("engine/cache_evictions"),
+                               r.GetHistogram("engine/plan_seconds"),
+                               r.GetHistogram("engine/reconstruct_seconds"),
+                               r.GetHistogram("engine/query_seconds"),
+                               r.GetHistogram("engine/fit_seconds"),
+                               r.GetHistogram("engine/batch_seconds")};
+    }();
+    return *metrics;
+  }
+};
+
+/// EngineStats stays the per-batch snapshot callers consume; the registry
+/// carries the same numbers as process-lifetime aggregates. Publishing once
+/// per batch keeps the pipeline hot path free of registry traffic.
+void PublishBatchStats(const EngineStats& stats, size_t cache_evictions) {
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.batches.Add(1);
+  m.records.Add(stats.num_records);
+  m.records_failed.Add(stats.num_failed_records);
+  m.units.Add(stats.num_units);
+  m.masks.Add(stats.num_masks);
+  m.model_queries.Add(stats.num_model_queries);
+  m.cache_hits.Add(stats.cache_hits);
+  m.cache_misses.Add(stats.num_model_queries);
+  m.cache_evictions.Add(cache_evictions);
+  m.plan_seconds.Record(stats.plan_seconds);
+  m.reconstruct_seconds.Record(stats.reconstruct_seconds);
+  m.query_seconds.Record(stats.query_seconds);
+  m.fit_seconds.Record(stats.fit_seconds);
+  m.batch_seconds.Record(stats.total_seconds());
+}
+
 }  // namespace
 
 std::string EngineStats::ToString() const {
@@ -118,6 +182,7 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
 EngineBatchResult ExplainerEngine::ExplainBatch(
     const EmModel& model, const std::vector<const PairRecord*>& pairs,
     const PairExplainer& explainer) const {
+  LANDMARK_TRACE_SPAN("engine/batch");
   EngineBatchResult out;
   const size_t n = pairs.size();
   out.stats.num_records = n;
@@ -127,6 +192,10 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
   if (!valid.ok()) {
     out.results.assign(n, Result<std::vector<Explanation>>(valid));
     out.stats.num_failed_records = n;
+    // Rejected batches never reach the staged pipeline; count them without
+    // polluting the stage-latency histograms with zero-length timings.
+    EngineMetrics::Get().records.Add(n);
+    EngineMetrics::Get().records_failed.Add(n);
     return out;
   }
 
@@ -141,6 +210,7 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
 
   // --- Stage 1: plan. Token spaces + RNG streams per record, then masks,
   // kernel weights, and the dedup memo per unit.
+  TraceSpan plan_span("engine/plan");
   Timer timer;
   std::vector<Result<std::vector<ExplainUnit>>> plans(
       n, Result<std::vector<ExplainUnit>>(Status::Internal("not planned")));
@@ -181,8 +251,10 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
   });
   for (const UnitWork& work : works) out.stats.num_masks += work.masks.size();
   out.stats.plan_seconds = timer.ElapsedSeconds();
+  plan_span.End();
 
   // --- Stage 2: reconstruct. One perturbed pair per *unique* mask.
+  TraceSpan reconstruct_span("engine/reconstruct");
   timer.Reset();
   parallel_for(works.size(), [&](size_t begin, size_t end) {
     for (size_t w = begin; w < end; ++w) {
@@ -206,14 +278,22 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
     }
   }
   out.stats.reconstruct_seconds = timer.ElapsedSeconds();
+  reconstruct_span.End();
 
   // --- Stage 3: query. A single cross-record deduplicated batch, sharded
   // over the pool. Units of failed records are excluded.
+  TraceSpan query_span("engine/query");
   timer.Reset();
   std::vector<PairRecord> batch;
   size_t total_queries = 0;
+  // Unique masks planned for units whose record failed: their memo entries
+  // were built and then discarded (the memo's eviction counter).
+  size_t cache_evictions = 0;
   for (UnitWork& work : works) {
-    if (!record_status[work.record_index].ok()) continue;
+    if (!record_status[work.record_index].ok()) {
+      cache_evictions += work.unique_index.size();
+      continue;
+    }
     total_queries += work.reconstructed.size();
   }
   batch.reserve(total_queries);
@@ -235,9 +315,11 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
   }
   out.stats.cache_hits = live_masks - batch.size();
   out.stats.query_seconds = timer.ElapsedSeconds();
+  query_span.End();
 
   // --- Stage 4: fit. Weighted ridge per unit, coefficients mapped back to
   // token weights by the explainer.
+  TraceSpan fit_span("engine/fit");
   timer.Reset();
   const SurrogateOptions surrogate_options =
       MakeSurrogateOptions(explainer.options());
@@ -269,6 +351,7 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
     }
   }
   out.stats.fit_seconds = timer.ElapsedSeconds();
+  fit_span.End();
 
   // --- Assemble, preserving input order and per-record unit order.
   out.results.reserve(n);
@@ -285,6 +368,7 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
     }
     out.results.emplace_back(std::move(explanations));
   }
+  PublishBatchStats(out.stats, cache_evictions);
   return out;
 }
 
@@ -316,12 +400,21 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
     Status valid = ValidateExplainerOptions(explainer.options());
     if (!valid.ok()) return valid;
   }
+  LANDMARK_TRACE_SPAN("engine/unit");
   std::vector<std::vector<uint8_t>> masks;
   std::vector<double> kernel_weights;
   explainer.SampleNeighborhood(unit.dim, unit.rng, &masks, &kernel_weights);
   std::vector<uint32_t> unique_index;
   const std::vector<uint32_t> mask_to_unique =
       DeduplicateMasks(masks, options_.cache_predictions, &unique_index);
+  {
+    const EngineMetrics& m = EngineMetrics::Get();
+    m.units.Add(1);
+    m.masks.Add(masks.size());
+    m.model_queries.Add(unique_index.size());
+    m.cache_hits.Add(masks.size() - unique_index.size());
+    m.cache_misses.Add(unique_index.size());
+  }
 
   std::vector<PairRecord> reconstructed;
   reconstructed.reserve(unique_index.size());

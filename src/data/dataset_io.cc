@@ -3,6 +3,9 @@
 #include <cstdlib>
 
 #include "util/string_util.h"
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
 
 namespace landmark {
 
@@ -115,13 +118,27 @@ Result<EmDataset> EmDatasetFromCsv(const CsvTable& table,
 }
 
 Status WriteEmDataset(const EmDataset& dataset, const std::string& path) {
-  return WriteCsvFile(EmDatasetToCsv(dataset), path);
+  LANDMARK_TRACE_SPAN("io/write_dataset");
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  ScopedTimer timer(&registry.GetHistogram("io/write_seconds"));
+  Status status = WriteCsvFile(EmDatasetToCsv(dataset), path);
+  if (status.ok()) {
+    registry.GetCounter("io/rows_written").Add(dataset.size());
+  }
+  return status;
 }
 
 Result<EmDataset> ReadEmDataset(const std::string& path,
                                 const std::string& name) {
+  LANDMARK_TRACE_SPAN("io/read_dataset");
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  ScopedTimer timer(&registry.GetHistogram("io/read_seconds"));
   LANDMARK_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
-  return EmDatasetFromCsv(table, name);
+  Result<EmDataset> dataset = EmDatasetFromCsv(table, name);
+  if (dataset.ok()) {
+    registry.GetCounter("io/rows_read").Add(dataset->size());
+  }
+  return dataset;
 }
 
 }  // namespace landmark

@@ -1,6 +1,9 @@
 #include "em/em_model.h"
 
 #include "util/check.h"
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
 
 namespace landmark {
 
@@ -14,9 +17,24 @@ std::vector<double> EmModel::PredictProbaBatch(
 void EmModel::PredictProbaRange(const std::vector<PairRecord>& pairs,
                                 size_t begin, size_t end, double* out) const {
   LANDMARK_CHECK(begin <= end && end <= pairs.size());
+  if (begin == end) return;
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = PredictProba(pairs[i]);
   }
+  // Per-type visibility into the dominant pipeline cost. One registry
+  // round-trip per *range call* (the engine shards a whole batch into at
+  // most num_threads ranges), never per pair.
+  const double seconds = timer.ElapsedSeconds();
+  const double per_pair = seconds / static_cast<double>(end - begin);
+  const std::string model_name = name();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("model/queries").Add(end - begin);
+  registry.GetCounter("model/queries/" + model_name).Add(end - begin);
+  registry.GetHistogram("model/query_latency").Record(per_pair);
+  registry.GetHistogram("model/query_latency/" + model_name).Record(per_pair);
+  registry.GetHistogram("model/query_batch_seconds").Record(seconds);
 }
 
 }  // namespace landmark

@@ -39,6 +39,11 @@ class EmModel {
   /// stage calls this concurrently on disjoint ranges of one batch; default
   /// loops over PredictProba. Models with an internally vectorized batch
   /// path can override it once and serve both entry points.
+  ///
+  /// The default implementation reports per-model-type telemetry
+  /// (`model/query_latency[/<name>]`, `model/queries[/<name>]` — see
+  /// docs/architecture.md "Telemetry"); overrides that bypass it should
+  /// record the same metrics to keep stage breakdowns comparable.
   virtual void PredictProbaRange(const std::vector<PairRecord>& pairs,
                                  size_t begin, size_t end, double* out) const;
 

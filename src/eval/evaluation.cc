@@ -25,8 +25,11 @@ ExplainBatchResult ExplainRecords(const EmModel& model,
   for (size_t i = 0; i < indices.size(); ++i) {
     Result<std::vector<Explanation>>& result = batch.results[i];
     if (!result.ok()) {
-      LANDMARK_LOG(Debug) << "skipping pair " << indices[i] << ": "
-                          << result.status().ToString();
+      // A sweep over a degenerate dataset can skip thousands of pairs;
+      // sample the warning instead of flooding the log.
+      LANDMARK_LOG_EVERY_N(Warning, 64)
+          << "skipping pair " << indices[i] << ": "
+          << result.status().ToString();
       ++out.num_skipped;
       continue;
     }

@@ -1,12 +1,23 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace landmark {
 
 namespace {
-LogLevel g_log_level = LogLevel::kInfo;
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+void InitLogLevelFromEnvOnce() {
+  std::call_once(g_env_once, [] { ReloadLogLevelFromEnv(); });
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,10 +39,56 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
+
+void ReloadLogLevelFromEnv() {
+  const char* env = std::getenv("LANDMARK_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  const LogLevel current =
+      static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  g_log_level.store(static_cast<int>(ParseLogLevel(env, current)),
+                    std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  // Resolve the env default first so a later lazy init cannot clobber an
+  // explicit SetLogLevel.
+  InitLogLevelFromEnvOnce();
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  InitLogLevelFromEnvOnce();
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
 
 namespace internal_logging {
+
+bool LogEveryN(const char* file, int line, uint64_t n) {
+  if (n <= 1) return true;
+  // Keyed by call site. The mutex is only on warning-class paths, never the
+  // engine hot path, so a simple map beats per-site static registration.
+  static std::mutex mu;
+  static std::map<std::pair<const void*, int>, uint64_t>* counts =
+      new std::map<std::pair<const void*, int>, uint64_t>();
+  std::lock_guard<std::mutex> lock(mu);
+  const uint64_t occurrence =
+      (*counts)[{static_cast<const void*>(file), line}]++;
+  return occurrence % n == 0;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {

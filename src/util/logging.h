@@ -1,6 +1,7 @@
 #ifndef LANDMARK_UTIL_LOGGING_H_
 #define LANDMARK_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -9,9 +10,21 @@ namespace landmark {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum severity that is emitted (default kInfo).
+/// Sets the minimum severity that is emitted. The initial level comes from
+/// the LANDMARK_LOG_LEVEL environment variable when set ("debug", "info",
+/// "warning", "error" or 0-3; default kInfo); SetLogLevel overrides it.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" / "error" (any case) or "0".."3";
+/// returns `fallback` for anything else.
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback);
+
+/// Re-reads LANDMARK_LOG_LEVEL and applies it (no-op when unset). The first
+/// GetLogLevel/SetLogLevel call does this implicitly once; this entry point
+/// exists for tests and for long-running processes told to re-read their
+/// environment.
+void ReloadLogLevelFromEnv();
 
 namespace internal_logging {
 
@@ -37,6 +50,10 @@ class Voidify {
   void operator&(std::ostream&) {}
 };
 
+/// Occurrence gate behind LANDMARK_LOG_EVERY_N: returns true on the 1st,
+/// (n+1)th, (2n+1)th, ... call for this (file, line) site, thread-safely.
+bool LogEveryN(const char* file, int line, uint64_t n);
+
 }  // namespace internal_logging
 }  // namespace landmark
 
@@ -49,5 +66,16 @@ class Voidify {
             ::landmark::internal_logging::LogMessage(                \
                 ::landmark::LogLevel::k##level, __FILE__, __LINE__)  \
                 .stream()
+
+/// Rate-limited logging for per-record warning paths: emits on the first
+/// occurrence at this call site and then once every `n` occurrences.
+/// Usage: LANDMARK_LOG_EVERY_N(Warning, 64) << "skipping " << id;
+/// Expands to a single statement (safe in an unbraced if/else).
+#define LANDMARK_LOG_EVERY_N(level, n)                                    \
+  for (bool landmark_log_every_n_now =                                    \
+           ::landmark::internal_logging::LogEveryN(__FILE__, __LINE__,    \
+                                                   (n));                  \
+       landmark_log_every_n_now; landmark_log_every_n_now = false)        \
+  LANDMARK_LOG(level)
 
 #endif  // LANDMARK_UTIL_LOGGING_H_

@@ -1,0 +1,60 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_JSON_UTIL_H_
+#define LANDMARK_UTIL_TELEMETRY_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace landmark {
+
+/// Escapes a string for embedding inside JSON double quotes.
+inline std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable JSON number rendering. JSON has no infinity/NaN literals,
+/// so non-finite values (e.g. a histogram's overflow-bucket bound) become
+/// very large sentinels / null-safe 0 via clamping at the call sites; here
+/// they render as 1e308 / -1e308 / 0 to keep every emitted document valid.
+inline std::string JsonDouble(double value) {
+  if (std::isnan(value)) return "0";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_JSON_UTIL_H_

@@ -1,0 +1,199 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_METRICS_H_
+#define LANDMARK_UTIL_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace landmark {
+
+/// Small dense per-thread index (0, 1, 2, ...), assigned on a thread's first
+/// call and stable for its lifetime. The metric shards and the trace
+/// recorder both use it: as a shard selector here, as the exported `tid`
+/// there, so a Perfetto track and a shard always refer to the same thread.
+size_t ThisThreadIndex();
+
+namespace telemetry_internal {
+
+/// Shard count for the hot-path metric types. Writers touch only their own
+/// thread's shard (modulo kShards), readers sum all shards, so updates are a
+/// single relaxed fetch_add with no sharing between the first kShards
+/// threads.
+inline constexpr size_t kShards = 16;
+
+inline size_t ThisShard() { return ThisThreadIndex() % kShards; }
+
+/// Lock-free add for pre-C++20-style atomic doubles (fetch_add on
+/// std::atomic<double> is not universally lock-free; the CAS loop is).
+inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMinDouble(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMaxDouble(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace telemetry_internal
+
+/// \brief Monotonic event counter. Add() is a relaxed fetch_add on a
+/// per-thread shard; Value() sums the shards, so concurrent increments are
+/// never lost (exactness under N threads is a tested contract).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    shards_[telemetry_internal::ThisShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, telemetry_internal::kShards> shards_;
+};
+
+/// \brief Last-written (Set) or accumulated (Add) double value, e.g. a queue
+/// depth or a busy-seconds total.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    telemetry_internal::AtomicAddDouble(value_, delta);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Aggregated view of one Histogram at snapshot time. Percentiles are
+/// estimated by linear interpolation inside the bucket containing the rank,
+/// clamped to the observed [min, max].
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Non-empty buckets only, as (inclusive upper bound, count); the overflow
+  /// bucket reports an infinite bound.
+  std::vector<std::pair<double, uint64_t>> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// \brief Fixed-bucket histogram for non-negative values (latencies in
+/// seconds, sizes). Buckets are exponential: bucket 0 holds values up to
+/// kFirstBound, each following bound doubles, and the last bucket catches
+/// overflow — 1 microsecond to ~50 days when recording seconds. Record() is
+/// lock-free: a bucket fetch_add plus CAS updates of the shard's sum and
+/// min/max, all on the calling thread's shard.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 44;  // 43 bounded + 1 overflow
+  static constexpr double kFirstBound = 1e-6;
+
+  void Record(double value);
+  /// Shortcut for recording a count-like value (e.g. batch sizes).
+  void RecordCount(uint64_t value) { Record(static_cast<double>(value)); }
+
+  uint64_t Count() const;
+  HistogramSnapshot Snapshot(std::string name) const;
+  void Reset();
+
+  /// Inclusive upper bound of bucket `index` (infinity for the overflow
+  /// bucket).
+  static double BucketUpperBound(size_t index);
+
+ private:
+  struct alignas(64) Shard {
+    Shard();
+    std::array<std::atomic<uint64_t>, kNumBuckets> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min;  // +inf when empty
+    std::atomic<double> max;  // -inf when empty
+  };
+  std::array<Shard, telemetry_internal::kShards> shards_;
+};
+
+/// \brief Everything the registry knew at one instant, with names sorted, as
+/// plain values safe to format or ship without further synchronization.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// The histogram of that exact name, or nullptr.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  /// The counter value of that exact name, or `fallback`.
+  uint64_t CounterValue(const std::string& name, uint64_t fallback = 0) const;
+};
+
+/// \brief Process-wide home of all named metrics.
+///
+/// GetCounter/GetGauge/GetHistogram intern the name under a mutex and return
+/// a reference that stays valid for the registry's lifetime — resolve once,
+/// then update lock-free. Metric names form a stable contract, documented in
+/// docs/architecture.md ("Telemetry"): `engine/plan_seconds`,
+/// `engine/cache_hits`, `model/query_latency`, `pool/queue_depth`, ...
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation point reports
+  /// to (leaked intentionally: instrumented code may run during shutdown).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (handles stay valid). Meant for tests
+  /// and for binaries that report per-phase snapshots.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_METRICS_H_

@@ -1,0 +1,141 @@
+#include "util/telemetry/sink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+
+#include "util/string_util.h"
+#include "util/telemetry/json_util.h"
+
+namespace landmark {
+
+namespace {
+
+std::string HistogramBodyJson(const HistogramSnapshot& h) {
+  std::string out;
+  out += "\"count\":" + std::to_string(h.count);
+  out += ",\"sum\":" + JsonDouble(h.sum);
+  out += ",\"min\":" + JsonDouble(h.min);
+  out += ",\"max\":" + JsonDouble(h.max);
+  out += ",\"mean\":" + JsonDouble(h.mean());
+  out += ",\"p50\":" + JsonDouble(h.p50);
+  out += ",\"p95\":" + JsonDouble(h.p95);
+  out += ",\"p99\":" + JsonDouble(h.p99);
+  out += ",\"buckets\":[";
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"le\":" + JsonDouble(h.buckets[i].first) +
+           ",\"count\":" + std::to_string(h.buckets[i].second) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+/// Seconds-or-count rendering for the human table: metric values span
+/// nanoseconds to minutes, so pick a precision that keeps both readable.
+std::string HumanValue(double value) {
+  if (value == 0.0) return "0";
+  if (std::abs(value) >= 1000.0) return FormatDouble(value, 1);
+  if (std::abs(value) >= 1.0) return FormatDouble(value, 3);
+  return FormatDouble(value, 6);
+}
+
+}  // namespace
+
+void JsonLinesSink::Emit(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    *out_ << "{\"type\":\"counter\",\"name\":\"" << JsonEscape(name)
+          << "\",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    *out_ << "{\"type\":\"gauge\",\"name\":\"" << JsonEscape(name)
+          << "\",\"value\":" << JsonDouble(value) << "}\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    *out_ << "{\"type\":\"histogram\",\"name\":\"" << JsonEscape(h.name)
+          << "\"," << HistogramBodyJson(h) << "}\n";
+  }
+  out_->flush();
+}
+
+void TableSink::Emit(const MetricsSnapshot& snapshot) {
+  size_t name_width = 4;
+  for (const auto& [name, value] : snapshot.counters) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    name_width = std::max(name_width, h.name.size());
+  }
+
+  std::ostream& out = *out_;
+  if (!snapshot.counters.empty()) {
+    out << "counters\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "  " << std::left << std::setw(static_cast<int>(name_width))
+          << name << "  " << value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "  " << std::left << std::setw(static_cast<int>(name_width))
+          << name << "  " << HumanValue(value) << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms\n";
+    out << "  " << std::left << std::setw(static_cast<int>(name_width))
+        << "name" << "  " << std::right << std::setw(8) << "count"
+        << std::setw(12) << "mean" << std::setw(12) << "p50" << std::setw(12)
+        << "p95" << std::setw(12) << "p99" << std::setw(12) << "max" << "\n";
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      out << "  " << std::left << std::setw(static_cast<int>(name_width))
+          << h.name << "  " << std::right << std::setw(8) << h.count
+          << std::setw(12) << HumanValue(h.mean()) << std::setw(12)
+          << HumanValue(h.p50) << std::setw(12) << HumanValue(h.p95)
+          << std::setw(12) << HumanValue(h.p99) << std::setw(12)
+          << HumanValue(h.max) << "\n";
+    }
+  }
+  if (snapshot.empty()) out << "(no metrics recorded)\n";
+  out.flush();
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n\"" + JsonEscape(snapshot.counters[i].first) +
+           "\":" + std::to_string(snapshot.counters[i].second);
+  }
+  out += "},\n\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n\"" + JsonEscape(snapshot.gauges[i].first) +
+           "\":" + JsonDouble(snapshot.gauges[i].second);
+  }
+  out += "},\n\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out += ",";
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += "\n\"" + JsonEscape(h.name) + "\":{" + HistogramBodyJson(h) + "}";
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+Status WriteMetricsJsonFile(const MetricsSnapshot& snapshot,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open metrics file: " + path);
+  out << MetricsSnapshotToJson(snapshot);
+  out.flush();
+  if (!out) return Status::IoError("failed writing metrics file: " + path);
+  return Status::OK();
+}
+
+}  // namespace landmark

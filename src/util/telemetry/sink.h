@@ -1,0 +1,56 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_SINK_H_
+#define LANDMARK_UTIL_TELEMETRY_SINK_H_
+
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+
+/// \brief Where a metrics snapshot goes once taken: a machine-readable
+/// stream, a human table, a future push gateway. Sinks only see plain
+/// snapshot values, never live metric objects.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Emit(const MetricsSnapshot& snapshot) = 0;
+};
+
+/// \brief One JSON object per line, e.g.
+///   {"type":"counter","name":"engine/cache_hits","value":123}
+///   {"type":"histogram","name":"engine/plan_seconds","count":4,...}
+/// — greppable and appendable, for log files and trajectory tooling.
+class JsonLinesSink : public TelemetrySink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) : out_(&out) {}
+  void Emit(const MetricsSnapshot& snapshot) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// \brief Human-readable aligned tables: counters and gauges by name, then
+/// histograms with count / mean / p50 / p95 / p99 / max columns. This is
+/// what `landmark_cli telemetry-demo` and `evaluate --engine-stats` print.
+class TableSink : public TelemetrySink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(&out) {}
+  void Emit(const MetricsSnapshot& snapshot) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Single JSON document with "counters", "gauges" and "histograms" keys —
+/// the `--metrics-out=FILE` format (each histogram carries count, sum, min,
+/// max, p50, p95, p99 and its non-empty buckets).
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
+Status WriteMetricsJsonFile(const MetricsSnapshot& snapshot,
+                            const std::string& path);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_SINK_H_

@@ -1,0 +1,73 @@
+#include "util/telemetry/telemetry.h"
+
+#include <utility>
+
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace landmark {
+
+TelemetryScope::TelemetryScope(std::string metrics_path,
+                               std::string trace_path)
+    : metrics_path_(std::move(metrics_path)),
+      trace_path_(std::move(trace_path)) {
+  active_ = !metrics_path_.empty() || !trace_path_.empty();
+  if (!trace_path_.empty()) TraceRecorder::Global().Start();
+}
+
+TelemetryScope TelemetryScope::FromFlags(const Flags& flags) {
+  return TelemetryScope(flags.GetString("metrics-out", ""),
+                        flags.GetString("trace-out", ""));
+}
+
+TelemetryScope::TelemetryScope(TelemetryScope&& other) noexcept
+    : metrics_path_(std::move(other.metrics_path_)),
+      trace_path_(std::move(other.trace_path_)),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+TelemetryScope& TelemetryScope::operator=(TelemetryScope&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    metrics_path_ = std::move(other.metrics_path_);
+    trace_path_ = std::move(other.trace_path_);
+    active_ = other.active_;
+    other.active_ = false;
+  }
+  return *this;
+}
+
+TelemetryScope::~TelemetryScope() { Finish(); }
+
+void TelemetryScope::Finish() {
+  if (!active_) return;
+  active_ = false;
+  if (!trace_path_.empty()) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    recorder.Stop();
+    Status status = recorder.WriteChromeTraceFile(trace_path_);
+    if (status.ok()) {
+      LANDMARK_LOG(Info) << "wrote " << recorder.num_events()
+                         << " trace events to " << trace_path_
+                         << (recorder.num_dropped() > 0
+                                 ? " (" +
+                                       std::to_string(recorder.num_dropped()) +
+                                       " dropped by ring overflow)"
+                                 : "");
+    } else {
+      LANDMARK_LOG(Error) << status.ToString();
+    }
+  }
+  if (!metrics_path_.empty()) {
+    Status status = WriteMetricsJsonFile(MetricsRegistry::Global().Snapshot(),
+                                         metrics_path_);
+    if (status.ok()) {
+      LANDMARK_LOG(Info) << "wrote metrics snapshot to " << metrics_path_;
+    } else {
+      LANDMARK_LOG(Error) << status.ToString();
+    }
+  }
+}
+
+}  // namespace landmark

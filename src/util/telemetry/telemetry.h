@@ -1,0 +1,59 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_TELEMETRY_H_
+#define LANDMARK_UTIL_TELEMETRY_TELEMETRY_H_
+
+/// Umbrella header for the telemetry subsystem:
+///   metrics.h  MetricsRegistry — counters, gauges, latency histograms
+///   trace.h    TraceRecorder + LANDMARK_TRACE_SPAN — Chrome-trace spans
+///   sink.h     TelemetrySink — JSON-lines and human-table emitters
+/// plus TelemetryScope, the binary-level wiring for the shared
+/// `--metrics-out=FILE` / `--trace-out=FILE` flags.
+
+#include <string>
+
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/sink.h"
+#include "util/telemetry/trace.h"
+
+namespace landmark {
+
+class Flags;
+
+/// \brief Lifetime of one instrumented binary run.
+///
+/// Construction starts the global trace recorder when a trace path was
+/// given; Finish() (or destruction) stops it and writes the requested
+/// outputs: the full-registry metrics JSON to `metrics_path` and the
+/// Chrome/Perfetto trace to `trace_path`. With both paths empty the scope
+/// is inert, so binaries can create one unconditionally:
+///
+///   TelemetryScope telemetry = TelemetryScope::FromFlags(flags);
+///   ... run ...
+///   telemetry.Finish();  // or let the destructor do it
+class TelemetryScope {
+ public:
+  TelemetryScope() = default;
+  TelemetryScope(std::string metrics_path, std::string trace_path);
+  /// Reads --metrics-out and --trace-out.
+  static TelemetryScope FromFlags(const Flags& flags);
+
+  TelemetryScope(TelemetryScope&& other) noexcept;
+  TelemetryScope& operator=(TelemetryScope&& other) noexcept;
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+  ~TelemetryScope();
+
+  /// Stops tracing and writes the output files (idempotent). Write failures
+  /// are logged, not fatal — telemetry must never take the run down.
+  void Finish();
+
+  bool active() const { return active_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool active_ = false;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_TELEMETRY_H_

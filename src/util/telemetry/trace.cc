@@ -1,0 +1,165 @@
+#include "util/telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "util/telemetry/json_util.h"
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+
+uint64_t TraceNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           origin)
+          .count());
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>(
+        static_cast<uint32_t>(ThisThreadIndex()));
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::Start(size_t events_per_thread) {
+  events_per_thread_.store(std::max<size_t>(1, events_per_thread),
+                           std::memory_order_relaxed);
+  Clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const char* name, uint64_t begin_ns,
+                           uint64_t dur_ns) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  // Uncontended for the owning thread except while an export walks the
+  // rings; cheap relative to span granularity (stages, tasks, queries).
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  const size_t capacity = events_per_thread_.load(std::memory_order_relaxed);
+  if (buffer.ring.size() != capacity) {
+    buffer.ring.assign(capacity, TraceEvent{});
+    buffer.head = 0;
+    buffer.recorded = 0;
+  }
+  buffer.ring[buffer.head] = TraceEvent{name, begin_ns, dur_ns};
+  buffer.head = (buffer.head + 1) % buffer.ring.size();
+  ++buffer.recorded;
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<size_t>(
+        std::min<uint64_t>(buffer->recorded, buffer->ring.size()));
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::num_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (buffer->recorded > buffer->ring.size()) {
+      dropped += buffer->recorded - buffer->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->head = 0;
+    buffer->recorded = 0;
+  }
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  struct TidEvent {
+    uint32_t tid;
+    TraceEvent event;
+  };
+  std::vector<TidEvent> events;
+  std::vector<uint32_t> tids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (buffer->recorded == 0) continue;
+      tids.push_back(buffer->tid);
+      const size_t size = static_cast<size_t>(
+          std::min<uint64_t>(buffer->recorded, buffer->ring.size()));
+      // Oldest-first: a wrapped ring starts at head, a partial one at 0.
+      const size_t begin = buffer->recorded > buffer->ring.size()
+                               ? buffer->head
+                               : 0;
+      for (size_t i = 0; i < size; ++i) {
+        events.push_back(TidEvent{
+            buffer->tid, buffer->ring[(begin + i) % buffer->ring.size()]});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TidEvent& a, const TidEvent& b) {
+                     return a.event.begin_ns < b.event.begin_ns;
+                   });
+
+  // Chrome trace-event format: complete events ("ph":"X") with microsecond
+  // timestamps, plus thread-name metadata so Perfetto labels the tracks.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& event_json) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + event_json;
+  };
+  std::sort(tids.begin(), tids.end());
+  for (uint32_t tid : tids) {
+    append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) +
+           ",\"args\":{\"name\":\"thread-" + std::to_string(tid) + "\"}}");
+  }
+  for (const TidEvent& e : events) {
+    append("{\"name\":\"" + JsonEscape(e.event.name) +
+           "\",\"cat\":\"landmark\",\"ph\":\"X\",\"ts\":" +
+           JsonDouble(static_cast<double>(e.event.begin_ns) / 1e3) +
+           ",\"dur\":" +
+           JsonDouble(static_cast<double>(e.event.dur_ns) / 1e3) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open trace file: " + path);
+  out << ToChromeTraceJson();
+  out.flush();
+  if (!out) return Status::IoError("failed writing trace file: " + path);
+  return Status::OK();
+}
+
+}  // namespace landmark

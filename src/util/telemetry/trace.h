@@ -1,0 +1,126 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_TRACE_H_
+#define LANDMARK_UTIL_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace landmark {
+
+/// Nanoseconds on the steady clock since the process's first trace-clock
+/// use. All trace timestamps share this origin, so spans from different
+/// threads align on one timeline.
+uint64_t TraceNowNs();
+
+/// \brief One completed span: [begin_ns, begin_ns + dur_ns) on one thread.
+/// `name` must be a string with static storage duration — the macro passes
+/// literals, instrumentation passes static tables.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t begin_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// \brief Process-wide span recorder.
+///
+/// Each thread records completed spans into its own fixed-capacity ring
+/// buffer (oldest events overwritten once full; `num_dropped` reports how
+/// many). Recording is off until Start() — a disabled LANDMARK_TRACE_SPAN
+/// costs one relaxed load. The export format is the Chrome trace-event JSON
+/// that chrome://tracing and Perfetto load directly.
+class TraceRecorder {
+ public:
+  /// The recorder LANDMARK_TRACE_SPAN reports to (leaked intentionally so
+  /// spans on late-exiting threads stay safe).
+  static TraceRecorder& Global();
+
+  /// Enables recording. `events_per_thread` sizes each thread's ring buffer
+  /// (existing buffers are resized and cleared).
+  void Start(size_t events_per_thread = kDefaultEventsPerThread);
+  /// Disables recording; buffered events stay available for export.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span to the calling thread's ring.
+  void Record(const char* name, uint64_t begin_ns, uint64_t dur_ns);
+
+  /// Events currently buffered / overwritten because a ring wrapped.
+  size_t num_events() const;
+  uint64_t num_dropped() const;
+  void Clear();
+
+  /// Serializes every buffered event as Chrome trace-event JSON
+  /// (`{"traceEvents": [...], ...}`), sorted by begin time, with thread
+  /// metadata records. Valid to call while stopped or running.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+  static constexpr size_t kDefaultEventsPerThread = 1 << 16;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+    mutable std::mutex mu;  // owner thread writes, exporters read
+    const uint32_t tid;
+    std::vector<TraceEvent> ring;
+    size_t head = 0;        // next write slot
+    uint64_t recorded = 0;  // events ever written to this ring
+  };
+
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> events_per_thread_{kDefaultEventsPerThread};
+  mutable std::mutex mu_;  // guards buffers_ (the list, not their contents)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// \brief RAII span: captures the clock at construction and records into
+/// TraceRecorder::Global() at destruction (or at an early End()). If
+/// tracing was disabled at construction the destructor does nothing, so
+/// spans opened before Start() or closed after Stop() never record
+/// half-configured data.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::Global().enabled()) {
+      name_ = name;
+      begin_ns_ = TraceNowNs();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now instead of at scope exit (idempotent).
+  void End() {
+    if (name_ == nullptr) return;
+    TraceRecorder::Global().Record(name_, begin_ns_,
+                                   TraceNowNs() - begin_ns_);
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t begin_ns_ = 0;
+};
+
+}  // namespace landmark
+
+#define LANDMARK_TRACE_CONCAT_INNER(a, b) a##b
+#define LANDMARK_TRACE_CONCAT(a, b) LANDMARK_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a scoped trace span: LANDMARK_TRACE_SPAN("engine/query");
+/// `name` must be a string literal (or otherwise outlive the recorder).
+#define LANDMARK_TRACE_SPAN(name)               \
+  ::landmark::TraceSpan LANDMARK_TRACE_CONCAT(  \
+      landmark_trace_span_, __COUNTER__)(name)
+
+#endif  // LANDMARK_UTIL_TELEMETRY_TRACE_H_

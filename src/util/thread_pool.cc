@@ -1,14 +1,28 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/telemetry/trace.h"
 
 namespace landmark {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  tasks_total_ = &registry.GetCounter("pool/tasks");
+  queue_depth_ = &registry.GetGauge("pool/queue_depth");
+  task_seconds_ = &registry.GetHistogram("pool/task_seconds");
+  queue_wait_seconds_ = &registry.GetHistogram("pool/queue_wait_seconds");
   if (num_threads <= 1) return;  // inline pool
+  registry.GetGauge("pool/workers").Add(static_cast<double>(num_threads));
   workers_.reserve(num_threads);
+  worker_busy_seconds_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    worker_busy_seconds_.push_back(&registry.GetGauge(
+        "pool/worker_busy_seconds/" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -19,17 +33,38 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if (!workers_.empty()) {
+    MetricsRegistry::Global().GetGauge("pool/workers").Add(
+        -static_cast<double>(workers_.size()));
+  }
+}
+
+void ThreadPool::RunTask(Task task, Gauge* busy_seconds) {
+  LANDMARK_TRACE_SPAN("pool/task");
+  const uint64_t start_ns = TraceNowNs();
+  if (task.enqueue_ns != 0) {
+    queue_wait_seconds_->Record(static_cast<double>(start_ns -
+                                                    task.enqueue_ns) /
+                                1e9);
+  }
+  task.fn();
+  const double seconds =
+      static_cast<double>(TraceNowNs() - start_ns) / 1e9;
+  task_seconds_->Record(seconds);
+  if (busy_seconds != nullptr) busy_seconds->Add(seconds);
+  tasks_total_->Add(1);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    RunTask(Task{std::move(task), 0}, nullptr);
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), TraceNowNs()});
     ++in_flight_;
+    queue_depth_->Set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -40,17 +75,19 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  Gauge* busy_seconds = worker_busy_seconds_[worker_index];
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    RunTask(std::move(task), busy_seconds);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) done_cv_.notify_all();

@@ -3,11 +3,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/telemetry/metrics.h"
 
 namespace landmark {
 
@@ -23,6 +26,13 @@ namespace landmark {
 /// A pool with `num_threads <= 1` spawns no workers; ParallelFor then runs
 /// the body inline on the calling thread, which keeps single-threaded use
 /// free of synchronization entirely.
+///
+/// Every pool reports into the global MetricsRegistry under the stable names
+/// `pool/tasks` (counter), `pool/queue_depth` (gauge, sampled at
+/// enqueue/dequeue), `pool/task_seconds` and `pool/queue_wait_seconds`
+/// (histograms) and `pool/worker_busy_seconds/<i>` (per-worker accumulated
+/// gauge — utilization relative to wall time). Tasks are chunky (one per
+/// worker per stage), so the two clock reads per task are noise.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -51,15 +61,29 @@ class ThreadPool {
   size_t NumChunks(size_t n) const;
 
  private:
-  void WorkerLoop();
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  /// Runs one task with telemetry (latency histogram, busy-seconds gauge).
+  void RunTask(Task task, Gauge* busy_seconds);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: queue non-empty/stop
   std::condition_variable done_cv_;   // signals Wait(): all tasks drained
   size_t in_flight_ = 0;              // queued + currently running tasks
   bool stop_ = false;
+
+  // Global-registry handles, resolved once at construction (never null).
+  Counter* tasks_total_;
+  Gauge* queue_depth_;
+  Histogram* task_seconds_;
+  Histogram* queue_wait_seconds_;
+  std::vector<Gauge*> worker_busy_seconds_;  // one per worker
 };
 
 }  // namespace landmark

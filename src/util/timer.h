@@ -3,9 +3,13 @@
 
 #include <chrono>
 
+#include "util/telemetry/metrics.h"
+
 namespace landmark {
 
-/// \brief Wall-clock stopwatch.
+/// \brief Wall-clock stopwatch on std::chrono::steady_clock (monotonic —
+/// immune to wall-time adjustments; every timing path in the project goes
+/// through this class so no call site can regress to system_clock).
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
@@ -24,6 +28,44 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// \brief RAII stopwatch that reports into telemetry: at scope exit the
+/// elapsed seconds are recorded into `histogram` (if any) and written to
+/// `elapsed_seconds` (if any). Replaces the ad-hoc Timer/print pairs in the
+/// bench binaries:
+///
+///   double secs = 0.0;
+///   {
+///     ScopedTimer timer(
+///         &MetricsRegistry::Global().GetHistogram("bench/dataset_seconds"),
+///         &secs);
+///     ... work ...
+///   }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram,
+                       double* elapsed_seconds = nullptr)
+      : histogram_(histogram), elapsed_seconds_(elapsed_seconds) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at scope exit (idempotent).
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    const double seconds = timer_.ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Record(seconds);
+    if (elapsed_seconds_ != nullptr) *elapsed_seconds_ = seconds;
+  }
+
+ private:
+  Timer timer_;
+  Histogram* histogram_;
+  double* elapsed_seconds_;
+  bool stopped_ = false;
 };
 
 }  // namespace landmark

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/logging.h"
+#include "util/telemetry/metrics.h"
 #include "util/timer.h"
 
 namespace landmark {
@@ -31,6 +34,66 @@ TEST(LoggingTest, SetGetRoundTrip) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("WARNING", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3", LogLevel::kInfo), LogLevel::kError);
+  // Junk falls back.
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("7", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ReloadLogLevelFromEnvAppliesVariable) {
+  const LogLevel original = GetLogLevel();
+  ASSERT_EQ(setenv("LANDMARK_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  ReloadLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ASSERT_EQ(setenv("LANDMARK_LOG_LEVEL", "debug", 1), 0);
+  ReloadLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  // Unset means "keep the current level".
+  ASSERT_EQ(unsetenv("LANDMARK_LOG_LEVEL"), 0);
+  ReloadLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogEveryNGatesOnOccurrenceCount) {
+  // Distinct (file, line) sites count independently; emit on the 1st,
+  // (n+1)th, (2n+1)th occurrence.
+  int emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal_logging::LogEveryN("fake_file.cc", 1, 4)) ++emitted;
+  }
+  EXPECT_EQ(emitted, 3);  // occurrences 1, 5, 9
+  // A different site has its own counter.
+  EXPECT_TRUE(internal_logging::LogEveryN("fake_file.cc", 2, 4));
+  // n <= 1 always emits.
+  EXPECT_TRUE(internal_logging::LogEveryN("fake_file.cc", 3, 1));
+  EXPECT_TRUE(internal_logging::LogEveryN("fake_file.cc", 3, 1));
+}
+
+TEST(LoggingTest, LogEveryNMacroBodyRunsOnlyWhenDue) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output, not the gate
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  for (int i = 0; i < 6; ++i) {
+    LANDMARK_LOG_EVERY_N(Error, 3) << count();
+  }
+  EXPECT_EQ(evaluations, 2);  // occurrences 1 and 4
+  // Single-statement expansion: must bind to an unbraced if.
+  if (false) LANDMARK_LOG_EVERY_N(Error, 1) << count();
+  EXPECT_EQ(evaluations, 2);
+  SetLogLevel(original);
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   // Burn a little CPU deterministically.
@@ -50,6 +113,38 @@ TEST(TimerTest, ResetRestartsTheClock) {
   const double before = timer.ElapsedSeconds();
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(ScopedTimerTest, RecordsIntoHistogramAtScopeExit) {
+  Histogram histogram;
+  double elapsed = -1.0;
+  {
+    ScopedTimer timer(&histogram, &elapsed);
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_GE(elapsed, 0.0);
+  HistogramSnapshot snapshot = histogram.Snapshot("scoped");
+  EXPECT_DOUBLE_EQ(snapshot.sum, elapsed);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndEarly) {
+  Histogram histogram;
+  double elapsed = -1.0;
+  ScopedTimer timer(&histogram, &elapsed);
+  timer.Stop();
+  const double first = elapsed;
+  EXPECT_GE(first, 0.0);
+  timer.Stop();  // second Stop and the destructor must not re-record
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_EQ(elapsed, first);
+}
+
+TEST(ScopedTimerTest, NullHistogramJustReportsElapsed) {
+  double elapsed = -1.0;
+  {
+    ScopedTimer timer(nullptr, &elapsed);
+  }
+  EXPECT_GE(elapsed, 0.0);
 }
 
 }  // namespace

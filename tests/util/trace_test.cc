@@ -1,0 +1,248 @@
+#include "util/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/sink.h"
+
+namespace landmark {
+namespace {
+
+// --- Minimal recursive-descent JSON well-formedness checker. The exporter
+// promises syntactically valid Chrome-trace JSON; this verifies exactly that
+// (structure, string escaping, number syntax) without third-party parsers.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ - 1]));
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Fresh-state fixture: the recorder is global, so each test starts by
+/// clearing whatever a previous test buffered.
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceRecorderTest, DisabledRecorderBuffersNothing) {
+  {
+    LANDMARK_TRACE_SPAN("test/noop");
+  }
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 0u);
+}
+
+TEST_F(TraceRecorderTest, SpansRecordWhileEnabled) {
+  TraceRecorder::Global().Start();
+  {
+    LANDMARK_TRACE_SPAN("test/outer");
+    LANDMARK_TRACE_SPAN("test/inner");
+  }
+  TraceRecorder::Global().Stop();
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 2u);
+  // Spans opened after Stop() must not record.
+  {
+    LANDMARK_TRACE_SPAN("test/late");
+  }
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 2u);
+}
+
+TEST_F(TraceRecorderTest, EndIsIdempotent) {
+  TraceRecorder::Global().Start();
+  TraceSpan span("test/manual");
+  span.End();
+  span.End();
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 1u);
+}
+
+TEST_F(TraceRecorderTest, ExportIsWellFormedJsonWithExpectedFields) {
+  TraceRecorder::Global().Start();
+  {
+    LANDMARK_TRACE_SPAN("test/a");
+    LANDMARK_TRACE_SPAN("test/b \"quoted\\name\"");  // must be escaped
+  }
+  TraceRecorder::Global().Stop();
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/a\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // The raw quote/backslash must not appear unescaped.
+  EXPECT_EQ(json.find("b \"quoted"), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, EmptyExportIsStillValidJson) {
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder::Global().Start(/*events_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    LANDMARK_TRACE_SPAN("test/wrap");
+  }
+  TraceRecorder::Global().Stop();
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 8u);
+  EXPECT_EQ(TraceRecorder::Global().num_dropped(), 12u);
+}
+
+TEST_F(TraceRecorderTest, ThreadsGetDistinctTids) {
+  TraceRecorder::Global().Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] { LANDMARK_TRACE_SPAN("test/worker"); });
+  }
+  for (auto& thread : threads) thread.join();
+  TraceRecorder::Global().Stop();
+  EXPECT_EQ(TraceRecorder::Global().num_events(), 3u);
+  const std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(MetricsJsonTest, SnapshotJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine/batches").Add(3);
+  registry.GetGauge("pool/queue_depth").Set(2.0);
+  registry.GetHistogram("engine/plan_seconds").Record(0.01);
+  registry.GetHistogram("weird \"name\"\\path").Record(1e12);  // escaping
+  const std::string json = MetricsSnapshotToJson(registry.Snapshot());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Infinity (the overflow bucket bound) must not leak into the JSON.
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace landmark

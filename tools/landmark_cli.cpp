@@ -8,13 +8,19 @@
 //   counterfactual  find the minimal token removal that flips a decision
 //   summary         global explanation summary over a record sample
 //   evaluate        run the paper's three protocols on one dataset
+//   telemetry-demo  run a small explain batch and print the metrics table
+//
+// Every command also accepts --metrics-out=FILE (metrics-registry snapshot
+// as JSON) and --trace-out=FILE (Chrome/Perfetto trace of the run).
 //
 // Examples:
 //   landmark_cli generate --dataset S-AG --output sag.csv
 //   landmark_cli explain --dataset S-BR --pair 7 --technique double
 //   landmark_cli explain --input my_pairs.csv --pair 0 --model forest
 //   landmark_cli evaluate --dataset S-IA --records 50
+//   landmark_cli telemetry-demo --trace-out=t.json --metrics-out=m.json
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/counterfactual.h"
@@ -26,6 +32,7 @@
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry/telemetry.h"
 
 namespace landmark_cli {
 
@@ -43,6 +50,11 @@ commands:
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
                   [--threads N] [--no-predict-cache] [--engine-stats]
+  telemetry-demo  [--dataset CODE] [--records N] [--threads N]
+
+every command also accepts:
+  --metrics-out FILE   write the metrics-registry snapshot as JSON
+  --trace-out FILE     record and write a Chrome/Perfetto trace
 
 dataset codes: S-BR S-IA S-FZ S-DA S-DG S-AG S-WA T-AB D-IA D-DA D-DG D-WA
 )";
@@ -348,6 +360,46 @@ int CmdEvaluate(const Flags& flags) {
     }
     table.Print(std::cout);
   }
+  if (print_stats) {
+    std::cerr << "\n[telemetry] process-lifetime metrics registry:\n";
+    TableSink sink(std::cerr);
+    sink.Emit(MetricsRegistry::Global().Snapshot());
+  }
+  return 0;
+}
+
+/// Exercises the full pipeline on a small synthetic dataset, then dumps the
+/// entire metrics registry as a human table — a one-command tour of every
+/// metric the library publishes (and a quick way to produce example
+/// --trace-out / --metrics-out files).
+int CmdTelemetryDemo(const Flags& flags) {
+  auto spec = FindMagellanSpec(flags.GetString("dataset", "S-FZ"));
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  auto context = ExperimentContext::Create(*spec, config);
+  if (!context.ok()) {
+    std::cerr << context.status().ToString() << "\n";
+    return 1;
+  }
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 16));
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < std::min(records, context->dataset().size()); ++i) {
+    indices.push_back(i);
+  }
+  LandmarkExplainer explainer(GenerationStrategy::kDouble,
+                              config.explainer_options);
+  ExplainerEngine engine = config.MakeEngine();
+  ExplainBatchResult batch = ExplainRecords(
+      context->model(), explainer, context->dataset(), indices, engine);
+  std::cout << "explained " << batch.records.size() << " of "
+            << indices.size() << " pairs ("
+            << batch.stats.ToString() << ")\n\n"
+            << "metrics registry after the run:\n";
+  TableSink sink(std::cout);
+  sink.Emit(MetricsRegistry::Global().Snapshot());
   return 0;
 }
 
@@ -362,12 +414,16 @@ int Main(int argc, char** argv) {
     std::cerr << flags.status().ToString() << "\n";
     return 1;
   }
+  // Started before the command runs so traces cover the whole run; the
+  // destructor writes --metrics-out / --trace-out on every exit path.
+  TelemetryScope telemetry = TelemetryScope::FromFlags(*flags);
   if (command == "generate") return CmdGenerate(*flags);
   if (command == "train-eval") return CmdTrainEval(*flags);
   if (command == "explain") return CmdExplain(*flags);
   if (command == "counterfactual") return CmdCounterfactual(*flags);
   if (command == "summary") return CmdSummary(*flags);
   if (command == "evaluate") return CmdEvaluate(*flags);
+  if (command == "telemetry-demo") return CmdTelemetryDemo(*flags);
   std::cerr << "unknown command: " << command << "\n" << kUsage;
   return 1;
 }
