@@ -9,11 +9,21 @@
 #include <mutex>
 #include <utility>
 
+#include "util/thread_annotations.h"
+
 namespace landmark {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::once_flag g_env_once;
+
+/// LANDMARK_LOG_EVERY_N occurrence counts, keyed by call site. The mutex is
+/// only on warning-class paths, never the engine hot path, so a simple map
+/// beats per-site static registration. Leaked (plain pointer, allocated
+/// under the lock) so late-exiting threads can still log during shutdown.
+std::mutex g_log_every_n_mu;
+std::map<std::pair<const void*, int>, uint64_t>* g_log_every_n_counts
+    GUARDED_BY(g_log_every_n_mu) = nullptr;
 
 void InitLogLevelFromEnvOnce() {
   std::call_once(g_env_once, [] { ReloadLogLevelFromEnv(); });
@@ -79,14 +89,13 @@ namespace internal_logging {
 
 bool LogEveryN(const char* file, int line, uint64_t n) {
   if (n <= 1) return true;
-  // Keyed by call site. The mutex is only on warning-class paths, never the
-  // engine hot path, so a simple map beats per-site static registration.
-  static std::mutex mu;
-  static std::map<std::pair<const void*, int>, uint64_t>* counts =
-      new std::map<std::pair<const void*, int>, uint64_t>();
-  std::lock_guard<std::mutex> lock(mu);
+  std::lock_guard<std::mutex> lock(g_log_every_n_mu);
+  if (g_log_every_n_counts == nullptr) {
+    g_log_every_n_counts =
+        new std::map<std::pair<const void*, int>, uint64_t>();
+  }
   const uint64_t occurrence =
-      (*counts)[{static_cast<const void*>(file), line}]++;
+      (*g_log_every_n_counts)[{static_cast<const void*>(file), line}]++;
   return occurrence % n == 0;
 }
 

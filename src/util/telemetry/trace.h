@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace landmark {
 
@@ -68,9 +69,9 @@ class TraceRecorder {
     explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
     mutable std::mutex mu;  // owner thread writes, exporters read
     const uint32_t tid;
-    std::vector<TraceEvent> ring;
-    size_t head = 0;        // next write slot
-    uint64_t recorded = 0;  // events ever written to this ring
+    std::vector<TraceEvent> ring GUARDED_BY(mu);
+    size_t head GUARDED_BY(mu) = 0;        // next write slot
+    uint64_t recorded GUARDED_BY(mu) = 0;  // events ever written to this ring
   };
 
   ThreadBuffer& LocalBuffer();
@@ -78,7 +79,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> events_per_thread_{kDefaultEventsPerThread};
   mutable std::mutex mu_;  // guards buffers_ (the list, not their contents)
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII span: captures the clock at construction and records into

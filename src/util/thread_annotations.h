@@ -1,0 +1,78 @@
+#ifndef LANDMARK_UTIL_THREAD_ANNOTATIONS_H_
+#define LANDMARK_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis attribute macros, no-ops on other
+/// compilers. Annotating a member with GUARDED_BY(mu_) states the
+/// synchronization contract in the declaration itself; when the compiler is
+/// Clang and the CMake option LANDMARK_THREAD_SAFETY_ANALYSIS is ON the
+/// contract is enforced at compile time (-Werror=thread-safety), and
+/// `landmark_lint` checks textually — on every toolchain — that each
+/// std::mutex member is referenced by at least one GUARDED_BY.
+///
+/// Conventions (see docs/architecture.md, "Static analysis"):
+///  - every std::mutex / std::shared_mutex member carries the state it
+///    guards via GUARDED_BY / PT_GUARDED_BY on those members;
+///  - functions that must run under a lock are annotated REQUIRES(mu_);
+///  - functions that take/drop a lock themselves are ACQUIRE/RELEASE;
+///  - a condition_variable never needs its own annotation — it waits on an
+///    annotated mutex.
+
+#if defined(__clang__) && !defined(SWIG)
+#define LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#define CAPABILITY(x) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define SCOPED_CAPABILITY \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define GUARDED_BY(x) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define PT_GUARDED_BY(x) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LANDMARK_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // LANDMARK_UTIL_THREAD_ANNOTATIONS_H_

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/telemetry/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace landmark {
 
@@ -71,12 +72,13 @@ class ThreadPool {
   void RunTask(Task task, Gauge* busy_seconds);
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
   std::mutex mu_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
   std::condition_variable work_cv_;   // signals workers: queue non-empty/stop
   std::condition_variable done_cv_;   // signals Wait(): all tasks drained
-  size_t in_flight_ = 0;              // queued + currently running tasks
-  bool stop_ = false;
+  // Queued + currently running tasks.
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   // Global-registry handles, resolved once at construction (never null).
   Counter* tasks_total_;

@@ -98,7 +98,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   // Burn a little CPU deterministically.
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
   const double elapsed = timer.ElapsedSeconds();
   EXPECT_GT(elapsed, 0.0);
   EXPECT_LT(elapsed, 10.0);
@@ -109,7 +109,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
 TEST(TimerTest, ResetRestartsTheClock) {
   Timer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
   const double before = timer.ElapsedSeconds();
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
