@@ -217,6 +217,8 @@ TEST_F(TraceRecorderTest, RingOverflowDropsOldestAndCounts) {
 
 TEST_F(TraceRecorderTest, ThreadsGetDistinctTids) {
   TraceRecorder::Global().Start();
+  // landmark-lint: allow(raw-thread) distinct-tid assignment is only
+  // observable from genuinely new threads, not pooled workers
   std::vector<std::thread> threads;
   for (int t = 0; t < 3; ++t) {
     threads.emplace_back([] { LANDMARK_TRACE_SPAN("test/worker"); });

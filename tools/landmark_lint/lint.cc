@@ -1,0 +1,838 @@
+#include "landmark_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace landmark_lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kRuleBannedApi[] = "banned-api";
+constexpr char kRuleRawThread[] = "raw-thread";
+constexpr char kRuleMutexGuard[] = "mutex-guard";
+constexpr char kRuleMetricName[] = "metric-name";
+constexpr char kRuleHeaderGuard[] = "header-guard";
+constexpr char kRuleUsingNamespace[] = "using-namespace";
+constexpr char kRuleSuppression[] = "suppression";
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+/// One source file split three ways: `code` has comments AND string/char
+/// literal contents removed (the quotes stay, so call shapes survive),
+/// `text` has only comments removed (metric-name needs the literals), and
+/// `comments` holds each line's comment text (suppression parsing).
+struct FileText {
+  std::string rel_path;  // forward-slash path relative to the root
+  std::vector<std::string> code;
+  std::vector<std::string> text;
+  std::vector<std::string> comments;
+};
+
+/// Line-structure-preserving scanner: one pass over the bytes with a small
+/// state machine for //, /* */, "...", '.', and R"delim(...)delim".
+FileText SplitFile(const std::string& rel_path, const std::string& content) {
+  FileText out;
+  out.rel_path = rel_path;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
+  std::string code_line, text_line, comment_line;
+  auto flush = [&]() {
+    out.code.push_back(code_line);
+    out.text.push_back(text_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    text_line.clear();
+    comment_line.clear();
+  };
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when R directly precedes the quote
+          // and is not part of a longer identifier (LR"..." etc. are not
+          // used in this codebase).
+          const char prev = code_line.empty() ? '\0' : code_line.back();
+          const char prev2 =
+              code_line.size() < 2 ? '\0' : code_line[code_line.size() - 2];
+          if (prev == 'R' && !IsIdentChar(prev2)) {
+            size_t paren = content.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, paren - i - 1) + "\"";
+              state = State::kRawString;
+              code_line += '"';
+              text_line += content.substr(i, paren - i + 1);
+              i = paren;
+              break;
+            }
+          }
+          state = State::kString;
+          code_line += '"';
+          text_line += '"';
+        } else if (c == '\'') {
+          // Skip digit separators (1'000) and the rare char-literal-after-
+          // identifier, which never occurs in practice.
+          const char prev = code_line.empty() ? '\0' : code_line.back();
+          if (IsIdentChar(prev)) {
+            code_line += c;
+            text_line += c;
+          } else {
+            state = State::kChar;
+            code_line += '\'';
+            text_line += '\'';
+          }
+        } else {
+          code_line += c;
+          text_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        text_line += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text_line += next;
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        text_line += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text_line += next;
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        text_line += c;
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Append the rest of the terminator, minding embedded newlines
+          // (a raw-string delimiter cannot contain one).
+          text_line += raw_delim.substr(1);
+          code_line += '"';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  flush();  // final (possibly unterminated) line
+  return out;
+}
+
+/// One parsed `allow(...)` comment and the code line it covers.
+struct Suppression {
+  int comment_line = 0;  // 1-based line of the comment itself
+  int target_line = 0;   // 1-based code line it suppresses (0: none found)
+  std::string rule;
+  std::string rationale;
+  bool used = false;
+};
+
+constexpr char kAllowMarker[] = "landmark-lint: allow(";
+
+std::vector<Suppression> ParseSuppressions(const FileText& file) {
+  std::vector<Suppression> out;
+  for (size_t i = 0; i < file.comments.size(); ++i) {
+    const std::string& comment = file.comments[i];
+    size_t pos = comment.find(kAllowMarker);
+    if (pos == std::string::npos) continue;
+    Suppression s;
+    s.comment_line = static_cast<int>(i) + 1;
+    size_t open = pos + sizeof(kAllowMarker) - 1;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) close = comment.size();
+    s.rule = Trim(comment.substr(open, close - open));
+    s.rationale =
+        close < comment.size() ? Trim(comment.substr(close + 1)) : "";
+    // A trailing comment covers its own line; a standalone comment covers
+    // the next line that has any code on it.
+    if (!Trim(file.code[i]).empty()) {
+      s.target_line = s.comment_line;
+    } else {
+      for (size_t j = i + 1; j < file.code.size(); ++j) {
+        if (!Trim(file.code[j]).empty()) {
+          s.target_line = static_cast<int>(j) + 1;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Per-file sink: routes findings through the suppression table. Outlives
+/// the per-file scan so the global metric-name pass can still honor
+/// suppressions before FinishSuppressions runs.
+class FileDiagnostics {
+ public:
+  FileDiagnostics(std::string rel_path, std::vector<Suppression> suppressions,
+                  std::vector<Diagnostic>* out)
+      : rel_path_(std::move(rel_path)),
+        suppressions_(std::move(suppressions)),
+        out_(out) {}
+
+  void Emit(const char* rule, int line, std::string message) {
+    for (Suppression& s : suppressions_) {
+      if (s.target_line == line && s.rule == rule) {
+        s.used = true;
+        return;
+      }
+    }
+    out_->push_back(Diagnostic{rel_path_, line, rule, std::move(message)});
+  }
+
+  /// Reports malformed / unused suppressions. Run after every rule so the
+  /// `used` bits are final.
+  void FinishSuppressions() {
+    const std::vector<std::string>& known = KnownRules();
+    for (const Suppression& s : suppressions_) {
+      if (std::find(known.begin(), known.end(), s.rule) == known.end()) {
+        out_->push_back(Diagnostic{rel_path_, s.comment_line, kRuleSuppression,
+                                   "allow(" + s.rule +
+                                       ") names an unknown rule"});
+        continue;
+      }
+      if (s.rationale.empty()) {
+        out_->push_back(Diagnostic{
+            rel_path_, s.comment_line, kRuleSuppression,
+            "allow(" + s.rule +
+                ") has no rationale; say why the exception is sound"});
+      }
+      if (!s.used) {
+        out_->push_back(Diagnostic{
+            rel_path_, s.comment_line, kRuleSuppression,
+            "allow(" + s.rule +
+                ") matches no violation on its line; delete the stale "
+                "suppression"});
+      }
+    }
+  }
+
+ private:
+  std::string rel_path_;
+  std::vector<Suppression> suppressions_;
+  std::vector<Diagnostic>* out_;
+};
+
+/// Finds identifier `name` at an identifier boundary, starting at `from`.
+size_t FindToken(const std::string& line, const std::string& name,
+                 size_t from) {
+  size_t pos = line.find(name, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(name, pos + 1);
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpace(const std::string& line, size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+// ---------------------------------------------------------------------------
+// banned-api + raw-thread (determinism contract)
+
+struct BannedToken {
+  std::string token;     // identifier to find at a boundary
+  bool needs_call;       // must be followed by '('
+  std::string call_arg;  // when set: only a call with exactly this argument
+  std::string message;
+};
+
+const std::vector<BannedToken>& BannedTokens() {
+  static const std::vector<BannedToken>* tokens = [] {
+    auto* t = new std::vector<BannedToken>();
+    const std::string rng = "; draw from an Rng stream (util/rng.h) seeded "
+                            "by (options.seed, record id, side)";
+    t->push_back({"rand", true, "",
+                  "rand() breaks the determinism contract" + rng});
+    t->push_back({"srand", true, "",
+                  "srand() breaks the determinism contract" + rng});
+    t->push_back({"random_device", false, "",
+                  "std::random_device is non-deterministic" + rng});
+    t->push_back({"time", true, "nullptr",
+                  "time(nullptr) is wall-clock state; use util/timer.h"});
+    t->push_back({"time", true, "NULL",
+                  "time(NULL) is wall-clock state; use util/timer.h"});
+    t->push_back({"time", true, "0",
+                  "time(0) is wall-clock state; use util/timer.h"});
+    t->push_back({"system_clock", false, "",
+                  "std::chrono::system_clock is not monotonic; use "
+                  "util/timer.h (steady_clock) or the trace clock"});
+    return t;
+  }();
+  return *tokens;
+}
+
+bool PathIsUnder(const std::string& rel, const std::string& dir) {
+  return StartsWith(rel, dir);
+}
+
+bool BannedApiExempt(const std::string& rel) {
+  return PathIsUnder(rel, "src/util/telemetry/") || rel == "src/util/rng.h" ||
+         rel == "src/util/rng.cc" || rel == "src/util/timer.h";
+}
+
+void CheckBannedApi(const FileText& file, FileDiagnostics* diag) {
+  if (BannedApiExempt(file.rel_path)) return;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const BannedToken& banned : BannedTokens()) {
+      size_t pos = FindToken(line, banned.token, 0);
+      while (pos != std::string::npos) {
+        size_t after = SkipSpace(line, pos + banned.token.size());
+        bool hit = true;
+        if (banned.needs_call) {
+          if (after < line.size() && line[after] == '(') {
+            if (!banned.call_arg.empty()) {
+              size_t arg = SkipSpace(line, after + 1);
+              size_t close = SkipSpace(line, arg + banned.call_arg.size());
+              hit = line.compare(arg, banned.call_arg.size(),
+                                 banned.call_arg) == 0 &&
+                    close < line.size() && line[close] == ')';
+            }
+          } else {
+            hit = false;
+          }
+        }
+        if (hit) {
+          diag->Emit(kRuleBannedApi, static_cast<int>(i) + 1, banned.message);
+          break;  // one report per line per token kind
+        }
+        pos = FindToken(line, banned.token, pos + 1);
+      }
+    }
+  }
+}
+
+bool RawThreadExempt(const std::string& rel) {
+  return rel == "src/util/thread_pool.cc" || rel == "src/util/thread_pool.h";
+}
+
+void CheckRawThread(const FileText& file, FileDiagnostics* diag) {
+  if (RawThreadExempt(file.rel_path)) return;
+  const std::string needle = std::string("std::") + "thread";
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    size_t pos = FindToken(line, needle, 0);
+    while (pos != std::string::npos) {
+      // std::thread::hardware_concurrency() etc. is a capability query, not
+      // a thread construction; everything else is banned.
+      size_t after = pos + needle.size();
+      if (!(after + 1 < line.size() && line[after] == ':' &&
+            line[after + 1] == ':')) {
+        diag->Emit(kRuleRawThread, static_cast<int>(i) + 1,
+                   "raw std::thread outside ThreadPool; route parallel work "
+                   "through ThreadPool::ParallelFor so static partitioning "
+                   "keeps results deterministic");
+        break;
+      }
+      pos = FindToken(line, needle, after);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutex-guard (concurrency contract)
+
+struct SyncMember {
+  int line = 0;
+  std::string name;
+  bool is_condition_variable = false;
+};
+
+/// Owned mutex / condition_variable declarations: `std::mutex name;` shapes
+/// (with optional mutable/static and optional initializer), not references,
+/// parameters, or lock_guard template arguments.
+std::vector<SyncMember> FindSyncMembers(const FileText& file) {
+  std::vector<SyncMember> out;
+  const std::vector<std::pair<std::string, bool>> kinds = {
+      {std::string("std::") + "mutex", false},
+      {std::string("std::") + "shared_mutex", false},
+      {std::string("std::") + "condition_variable", true},
+      {std::string("std::") + "condition_variable_any", true},
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const auto& [kind, is_cv] : kinds) {
+      size_t pos = FindToken(line, kind, 0);
+      if (pos == std::string::npos) continue;
+      size_t after = pos + kind.size();
+      if (after < line.size() && (line[after] == '>' || line[after] == '&' ||
+                                  line[after] == '*' || line[after] == ':')) {
+        continue;  // template argument, reference, pointer, nested name
+      }
+      size_t name_begin = SkipSpace(line, after);
+      if (name_begin >= line.size() || line[name_begin] == '&' ||
+          line[name_begin] == '*') {
+        continue;
+      }
+      size_t name_end = name_begin;
+      while (name_end < line.size() && IsIdentChar(line[name_end])) {
+        ++name_end;
+      }
+      if (name_end == name_begin) continue;
+      size_t tail = SkipSpace(line, name_end);
+      if (tail < line.size() &&
+          (line[tail] == ';' || line[tail] == '=' || line[tail] == '{')) {
+        out.push_back(SyncMember{static_cast<int>(i) + 1,
+                                 line.substr(name_begin, name_end - name_begin),
+                                 is_cv});
+      }
+    }
+  }
+  return out;
+}
+
+void CheckMutexGuard(const FileText& file, FileDiagnostics* diag) {
+  if (!PathIsUnder(file.rel_path, "src/")) return;
+  const std::vector<SyncMember> members = FindSyncMembers(file);
+  if (members.empty()) return;
+  bool has_mutex = false;
+  for (const SyncMember& m : members) has_mutex |= !m.is_condition_variable;
+  for (const SyncMember& member : members) {
+    if (member.is_condition_variable) {
+      if (!has_mutex) {
+        diag->Emit(kRuleMutexGuard, member.line,
+                   "condition_variable '" + member.name +
+                       "' has no owned std::mutex in this file to wait on");
+      }
+      continue;
+    }
+    const std::string guarded = "GUARDED_BY(" + member.name + ")";
+    const std::string pt_guarded = "PT_GUARDED_BY(" + member.name + ")";
+    bool referenced = false;
+    for (const std::string& line : file.code) {
+      if (line.find(guarded) != std::string::npos ||
+          line.find(pt_guarded) != std::string::npos) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      diag->Emit(kRuleMutexGuard, member.line,
+                 "mutex '" + member.name + "' is referenced by no " + guarded +
+                     " annotation; annotate the state it protects "
+                     "(util/thread_annotations.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-guard + using-namespace (hygiene)
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string rel = rel_path;
+  if (StartsWith(rel, "src/")) rel = rel.substr(4);
+  std::string guard = "LANDMARK_";
+  for (char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckHeaderGuard(const FileText& file, FileDiagnostics* diag) {
+  const std::string expected = ExpectedGuard(file.rel_path);
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string line = Trim(file.code[i]);
+    if (line.empty()) continue;
+    if (StartsWith(line, "#pragma") && line.find("once") != std::string::npos) {
+      diag->Emit(kRuleHeaderGuard, static_cast<int>(i) + 1,
+                 "#pragma once; use the include guard " + expected);
+      return;
+    }
+    if (!StartsWith(line, "#ifndef")) continue;
+    const std::string actual = Trim(line.substr(7));
+    if (actual != expected) {
+      diag->Emit(kRuleHeaderGuard, static_cast<int>(i) + 1,
+                 "include guard '" + actual + "' should be '" + expected +
+                     "'");
+      return;
+    }
+    // The matching #define must follow on the next code line.
+    for (size_t j = i + 1; j < file.code.size(); ++j) {
+      const std::string next = Trim(file.code[j]);
+      if (next.empty()) continue;
+      if (next != "#define " + expected) {
+        diag->Emit(kRuleHeaderGuard, static_cast<int>(j) + 1,
+                   "#ifndef " + expected + " must be followed by #define " +
+                       expected);
+      }
+      return;
+    }
+    return;
+  }
+  diag->Emit(kRuleHeaderGuard, 1, "missing include guard " + expected);
+}
+
+void CheckUsingNamespace(const FileText& file, FileDiagnostics* diag) {
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    size_t pos = FindToken(file.code[i], "using", 0);
+    if (pos == std::string::npos) continue;
+    size_t next = SkipSpace(file.code[i], pos + 5);
+    if (FindToken(file.code[i], "namespace", next) == next) {
+      diag->Emit(kRuleUsingNamespace, static_cast<int>(i) + 1,
+                 "'using namespace' in a header leaks into every includer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metric-name (telemetry contract)
+
+struct MetricUse {
+  std::string file;
+  int line = 0;
+  std::string name;
+  bool is_prefix = false;   // literal is a dynamic prefix ("pool/x/" + i)
+  size_t sink_index = 0;    // the owning file's FileDiagnostics
+};
+
+/// Extracts string literals passed directly to the registry getters. Runs
+/// on comment-stripped text (literals intact), joined back into one buffer
+/// so a call whose literal sits on the following line still resolves.
+/// Non-literal first arguments cannot be checked statically and are
+/// ignored.
+void CollectMetricUses(const FileText& file, std::vector<MetricUse>* out) {
+  const std::vector<std::string> getters = {
+      std::string("Get") + "Counter",
+      std::string("Get") + "Gauge",
+      std::string("Get") + "Histogram",
+  };
+  std::string buffer;
+  for (const std::string& line : file.text) {
+    buffer += line;
+    buffer += '\n';
+  }
+  auto line_of = [&buffer](size_t pos) {
+    return static_cast<int>(std::count(buffer.begin(), buffer.begin() + pos,
+                                       '\n')) +
+           1;
+  };
+  for (const std::string& getter : getters) {
+    size_t pos = FindToken(buffer, getter, 0);
+    while (pos != std::string::npos) {
+      size_t open = SkipSpace(buffer, pos + getter.size());
+      if (open < buffer.size() && buffer[open] == '(') {
+        size_t quote = SkipSpace(buffer, open + 1);
+        if (quote < buffer.size() && buffer[quote] == '"') {
+          std::string name;
+          size_t j = quote + 1;
+          while (j < buffer.size() && buffer[j] != '"') {
+            if (buffer[j] == '\\' && j + 1 < buffer.size()) ++j;
+            name += buffer[j];
+            ++j;
+          }
+          size_t after = SkipSpace(buffer, j + 1);
+          const bool concatenated = after < buffer.size() &&
+                                    buffer[after] == '+';
+          if (!name.empty()) {
+            out->push_back(MetricUse{file.rel_path, line_of(quote), name,
+                                     concatenated || name.back() == '/'});
+          }
+        }
+      }
+      pos = FindToken(buffer, getter, pos + getter.size());
+    }
+  }
+}
+
+struct DocEntry {
+  int line = 0;
+  std::string name;        // exact documented name
+  bool is_prefix = false;  // documented as NAME[/SUFFIX] or NAME/N
+  bool used = false;
+};
+
+/// Parses the backticked names out of the first column of the "Metric name
+/// contract" table. `model/queries[/NAME]` documents both the exact name
+/// and the dynamic `model/queries/` prefix; `pool/worker_busy_seconds/N`
+/// documents only the prefix.
+std::vector<DocEntry> ParseMetricDocs(const std::vector<std::string>& lines,
+                                      int* section_line) {
+  std::vector<DocEntry> out;
+  *section_line = 0;
+  bool in_section = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (StartsWith(line, "#")) {
+      const bool is_contract =
+          line.find("Metric name contract") != std::string::npos;
+      if (is_contract) *section_line = static_cast<int>(i) + 1;
+      in_section = is_contract;
+      continue;
+    }
+    if (!in_section || line.empty() || line[0] != '|') continue;
+    const size_t cell_end = line.find('|', 1);
+    if (cell_end == std::string::npos) continue;
+    const std::string cell = line.substr(1, cell_end - 1);
+    size_t tick = cell.find('`');
+    while (tick != std::string::npos) {
+      size_t close = cell.find('`', tick + 1);
+      if (close == std::string::npos) break;
+      std::string name = cell.substr(tick + 1, close - tick - 1);
+      const int doc_line = static_cast<int>(i) + 1;
+      const size_t bracket = name.find("[/");
+      if (bracket != std::string::npos) {
+        const std::string base = name.substr(0, bracket);
+        out.push_back(DocEntry{doc_line, base, false});
+        out.push_back(DocEntry{doc_line, base + "/", true});
+      } else if (name.size() > 2 && name.compare(name.size() - 2, 2, "/N") ==
+                                        0) {
+        out.push_back(
+            DocEntry{doc_line, name.substr(0, name.size() - 1), true});
+      } else if (!name.empty()) {
+        out.push_back(DocEntry{doc_line, name, false});
+      }
+      tick = cell.find('`', close + 1);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+bool ReadFile(const fs::path& path, std::string* content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+std::string RelPath(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  fs::path use = (ec || rel.empty() || *rel.begin() == "..") ? path : rel;
+  return use.generic_string();
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::vector<fs::path> DefaultScan(const fs::path& root, std::string* error) {
+  std::vector<fs::path> files;
+  const fs::path fixtures = root / "tests" / "lint" / "fixtures";
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        *error = "cannot walk " + base.string() + ": " + ec.message();
+        return {};
+      }
+      if (it->is_directory() && it->path() == fixtures) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && HasLintableExtension(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownRules() {
+  static const std::vector<std::string>* rules = new std::vector<std::string>{
+      kRuleBannedApi,  kRuleRawThread,      kRuleMutexGuard,
+      kRuleMetricName, kRuleHeaderGuard,    kRuleUsingNamespace,
+      kRuleSuppression};
+  return *rules;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": [" +
+         diagnostic.rule + "] " + diagnostic.message;
+}
+
+bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
+             std::string* error) {
+  diagnostics->clear();
+  std::string walk_error;
+  std::vector<fs::path> files = config.sources;
+  if (files.empty()) {
+    files = DefaultScan(config.root, &walk_error);
+    if (!walk_error.empty()) {
+      *error = walk_error;
+      return false;
+    }
+  }
+
+  std::vector<MetricUse> metric_uses;
+  // Sinks stay alive until after the global metric-name pass so its
+  // findings go through each file's suppression table too.
+  std::vector<std::unique_ptr<FileDiagnostics>> sinks;
+  for (const fs::path& path : files) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      *error = "cannot read " + path.string();
+      return false;
+    }
+    const FileText file = SplitFile(RelPath(path, config.root), content);
+    sinks.push_back(std::make_unique<FileDiagnostics>(
+        file.rel_path, ParseSuppressions(file), diagnostics));
+    FileDiagnostics& diag = *sinks.back();
+    const bool is_header = path.extension() == ".h";
+    CheckBannedApi(file, &diag);
+    CheckRawThread(file, &diag);
+    CheckMutexGuard(file, &diag);
+    if (is_header) {
+      CheckHeaderGuard(file, &diag);
+      CheckUsingNamespace(file, &diag);
+    }
+    // tests/ may use scratch metric names; the contract binds src, tools,
+    // bench, and examples.
+    if (!PathIsUnder(file.rel_path, "tests/")) {
+      std::vector<MetricUse> uses;
+      CollectMetricUses(file, &uses);
+      for (MetricUse& use : uses) {
+        use.sink_index = sinks.size() - 1;
+        metric_uses.push_back(std::move(use));
+      }
+    }
+  }
+
+  if (!config.doc_path.empty()) {
+    const fs::path doc = config.doc_path.is_absolute()
+                             ? config.doc_path
+                             : config.root / config.doc_path;
+    std::string content;
+    if (!ReadFile(doc, &content)) {
+      *error = "cannot read metric contract doc " + doc.string();
+      return false;
+    }
+    std::vector<std::string> lines;
+    std::istringstream stream(content);
+    for (std::string line; std::getline(stream, line);) {
+      lines.push_back(line);
+    }
+    int section_line = 0;
+    std::vector<DocEntry> entries = ParseMetricDocs(lines, &section_line);
+    const std::string doc_rel = RelPath(doc, config.root);
+    if (section_line == 0) {
+      diagnostics->push_back(
+          Diagnostic{doc_rel, 1, kRuleMetricName,
+                     "no 'Metric name contract' section found"});
+    }
+    for (const MetricUse& use : metric_uses) {
+      bool documented = false;
+      for (DocEntry& entry : entries) {
+        const bool match =
+            use.is_prefix
+                ? (entry.is_prefix && entry.name == use.name)
+                : (entry.is_prefix ? StartsWith(use.name, entry.name)
+                                   : entry.name == use.name);
+        if (match) {
+          entry.used = true;
+          documented = true;
+        }
+      }
+      if (!documented) {
+        sinks[use.sink_index]->Emit(
+            kRuleMetricName, use.line,
+            "metric name \"" + use.name + "\" is not documented in " +
+                doc_rel + " (\"Metric name contract\")");
+      }
+    }
+    for (const DocEntry& entry : entries) {
+      if (!entry.used) {
+        diagnostics->push_back(Diagnostic{
+            doc_rel, entry.line, kRuleMetricName,
+            "documented metric \"" + entry.name +
+                "\" is no longer referenced by any registry call; update "
+                "the contract table"});
+      }
+    }
+  }
+
+  for (const std::unique_ptr<FileDiagnostics>& sink : sinks) {
+    sink->FinishSuppressions();
+  }
+
+  std::sort(diagnostics->begin(), diagnostics->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return true;
+}
+
+}  // namespace landmark_lint

@@ -1,0 +1,85 @@
+#ifndef LANDMARK_TOOLS_LANDMARK_LINT_LINT_H_
+#define LANDMARK_TOOLS_LANDMARK_LINT_LINT_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+/// \file
+/// landmark_lint — the in-repo static-analysis pass that enforces the
+/// project contracts the compiler cannot check (docs/architecture.md,
+/// "Static analysis"):
+///
+///   banned-api       determinism contract: rand(, srand(, std::random_device,
+///                    time(nullptr), std::chrono::system_clock are banned
+///                    outside src/util/rng.*, src/util/timer.h and
+///                    src/util/telemetry/ — all randomness flows through Rng
+///                    streams, all timing through Timer / the trace clock.
+///   raw-thread       concurrency contract: raw std::thread construction is
+///                    banned outside src/util/thread_pool.{h,cc}; parallel
+///                    stages go through ThreadPool::ParallelFor, whose static
+///                    partitioning is what makes them deterministic.
+///   mutex-guard      every std::mutex / std::shared_mutex member in src/
+///                    must be referenced by at least one GUARDED_BY /
+///                    PT_GUARDED_BY annotation (util/thread_annotations.h);
+///                    a std::condition_variable must live in a file that
+///                    declares an owned mutex.
+///   metric-name      telemetry contract: metric-name string literals passed
+///                    to the registry Get* calls must appear in the "Metric
+///                    name contract" table of docs/architecture.md, and every
+///                    documented name must still exist in code (tests/ may
+///                    use scratch names and are exempt).
+///   header-guard     headers guard with LANDMARK_<PATH>_H_ (path relative
+///                    to src/, or to the repo root outside src/).
+///   using-namespace  no `using namespace` in headers.
+///   suppression      a comment of the form `landmark-lint:` + ` allow(R) why`
+///                    (see docs/architecture.md for the exact spelling, which
+///                    this header avoids so the linter does not read its own
+///                    documentation as a suppression) suppresses rule R on its
+///                    line, or on the next code line when the comment stands
+///                    alone. The rationale is mandatory, the rule id must
+///                    exist, and a suppression that matches no violation is
+///                    itself reported, so suppressions never outlive the code
+///                    they excuse.
+///
+/// The library is dependency-free (standard library only) so the lint
+/// binary builds before anything else and the fixture tests can drive the
+/// checks in-process.
+
+namespace landmark_lint {
+
+/// One finding, formatted as `file:line: [rule] message`.
+struct Diagnostic {
+  std::string file;  // relative to LintConfig::root when possible
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// All known rule ids (what allow(...) may name).
+const std::vector<std::string>& KnownRules();
+
+struct LintConfig {
+  /// Repo root: the base for relative paths, allowlists, and the default
+  /// scan (src/, tools/, bench/, tests/, examples/ — minus
+  /// tests/lint/fixtures/, which holds deliberate violations).
+  std::filesystem::path root;
+  /// Explicit files to lint instead of the default scan (fixture tests).
+  std::vector<std::filesystem::path> sources;
+  /// Markdown file holding the "Metric name contract" table. Empty disables
+  /// the metric-name rule. Relative paths resolve against `root`.
+  std::filesystem::path doc_path = "docs/architecture.md";
+};
+
+/// Runs every rule over the configured sources. Diagnostics come back
+/// sorted by (file, line, rule). Returns false and sets `error` only for
+/// environmental failures (unreadable root, missing explicit file) —
+/// findings are not errors.
+bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
+             std::string* error);
+
+}  // namespace landmark_lint
+
+#endif  // LANDMARK_TOOLS_LANDMARK_LINT_LINT_H_

@@ -1,0 +1,71 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "landmark_lint/lint.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--doc FILE|--no-doc] [FILE...]\n"
+               "\n"
+               "Static-analysis pass over the repo's determinism,\n"
+               "concurrency, telemetry, and hygiene contracts\n"
+               "(docs/architecture.md, \"Static analysis\").\n"
+               "\n"
+               "  --root DIR   repo root (default: .); without FILE args the\n"
+               "               scan covers src/ tools/ bench/ tests/\n"
+               "               examples/ minus tests/lint/fixtures/\n"
+               "  --doc FILE   metric-name contract doc (default:\n"
+               "               docs/architecture.md under the root)\n"
+               "  --no-doc     disable the metric-name cross-check\n"
+               "\n"
+               "exit status: 0 clean, 1 violations, 2 usage/IO error\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  landmark_lint::LintConfig config;
+  config.root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg == "--root" && i + 1 < argc) {
+      config.root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      config.root = arg.substr(7);
+    } else if (arg == "--doc" && i + 1 < argc) {
+      config.doc_path = argv[++i];
+    } else if (arg.rfind("--doc=", 0) == 0) {
+      config.doc_path = arg.substr(6);
+    } else if (arg == "--no-doc") {
+      config.doc_path.clear();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      config.sources.emplace_back(arg);
+    }
+  }
+
+  std::vector<landmark_lint::Diagnostic> diagnostics;
+  std::string error;
+  if (!landmark_lint::RunLint(config, &diagnostics, &error)) {
+    std::fprintf(stderr, "landmark_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const landmark_lint::Diagnostic& d : diagnostics) {
+    std::printf("%s\n", landmark_lint::FormatDiagnostic(d).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::printf("landmark_lint: %zu violation(s)\n", diagnostics.size());
+    return 1;
+  }
+  return 0;
+}
