@@ -1,0 +1,6 @@
+// Fixture: banned-api — one rand() call site on line 5.
+#include <cstdlib>
+
+int UnseededDraw() {
+  return rand();
+}

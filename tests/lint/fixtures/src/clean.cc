@@ -1,0 +1,10 @@
+// Fixture: fully conforming source — documented metric names only, both the
+// exact and the dynamic-prefix form.
+#include <string>
+
+#include "clean.h"
+
+void Publish(MetricsRegistryLike& registry, int shard) {
+  registry.GetCounter("lint/documented").Add(1);
+  registry.GetGauge("lint/dynamic/" + std::to_string(shard)).Set(1.0);
+}

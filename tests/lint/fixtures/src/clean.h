@@ -1,0 +1,13 @@
+#ifndef LANDMARK_CLEAN_H_
+#define LANDMARK_CLEAN_H_
+// Fixture: fully conforming header — proper guard, annotated mutex.
+#include <mutex>
+#include <vector>
+
+class GuardedState {
+ private:
+  std::mutex mu_;
+  std::vector<int> values_ GUARDED_BY(mu_);
+};
+
+#endif  // LANDMARK_CLEAN_H_

@@ -1,0 +1,5 @@
+#ifndef LINT_FIXTURE_WRONG_GUARD_H
+#define LINT_FIXTURE_WRONG_GUARD_H
+// Fixture: header-guard — the guard does not follow LANDMARK_<PATH>_H_.
+
+#endif  // LINT_FIXTURE_WRONG_GUARD_H

@@ -1,0 +1,6 @@
+// Fixture: metric-name — the literal on line 5 is not in the fixture doc
+// (docs.md), and the doc's own entries are unused here, so both directions
+// of the cross-check fire.
+void Publish(MetricsRegistryLike& registry) {
+  registry.GetCounter("lint/undocumented").Add(1);
+}

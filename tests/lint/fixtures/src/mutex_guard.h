@@ -1,0 +1,12 @@
+#ifndef LANDMARK_MUTEX_GUARD_H_
+#define LANDMARK_MUTEX_GUARD_H_
+// Fixture: mutex-guard — the mutex member on line 8 guards nothing.
+#include <mutex>
+
+class UnguardedState {
+ private:
+  std::mutex mu_;
+  int counter_ = 0;
+};
+
+#endif  // LANDMARK_MUTEX_GUARD_H_

@@ -1,0 +1,7 @@
+// Fixture: raw-thread — one raw std::thread construction on line 5.
+#include <thread>
+
+void SpawnWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

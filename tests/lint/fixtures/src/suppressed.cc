@@ -1,0 +1,14 @@
+// Fixture: suppressions — both placement forms, each with a rationale.
+// Linting this file must produce zero diagnostics.
+#include <cstdlib>
+#include <thread>
+
+void Helper() {
+  std::thread t([] {});  // landmark-lint: allow(raw-thread) fixture exercises the trailing form
+  t.join();
+}
+
+int Draw() {
+  // landmark-lint: allow(banned-api) fixture exercises the standalone form
+  return rand();
+}

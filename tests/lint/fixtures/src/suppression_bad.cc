@@ -1,0 +1,16 @@
+// Fixture: suppression hygiene — all three failure modes, one per function.
+#include <cstdlib>
+
+int MissingRationale() {
+  return rand();  // landmark-lint: allow(banned-api)
+}
+
+int Unused() {
+  // landmark-lint: allow(raw-thread) nothing on the next line spawns a thread
+  return 0;
+}
+
+int UnknownRule() {
+  // landmark-lint: allow(no-such-rule) the rule id does not exist
+  return 0;
+}

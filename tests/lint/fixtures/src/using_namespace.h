@@ -1,0 +1,8 @@
+#ifndef LANDMARK_USING_NAMESPACE_H_
+#define LANDMARK_USING_NAMESPACE_H_
+// Fixture: using-namespace — the dump on line 6 leaks into every includer.
+#include <string>
+
+using namespace std;
+
+#endif  // LANDMARK_USING_NAMESPACE_H_

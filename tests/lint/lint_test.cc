@@ -1,0 +1,136 @@
+// Tests for tools/landmark_lint against tests/lint/fixtures/: one fixture
+// per rule with a known violation (exact rule id and file:line asserted), a
+// clean fixture, and the suppression machinery in both placement forms.
+// The fixture tree mirrors a repo root (fixtures/src/..., fixtures/docs.md)
+// so path-scoped rules behave exactly as in the real scan.
+#include "landmark_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+using landmark_lint::Diagnostic;
+using landmark_lint::LintConfig;
+using landmark_lint::RunLint;
+
+std::filesystem::path FixtureRoot() {
+  return std::filesystem::path(LANDMARK_LINT_FIXTURE_DIR);
+}
+
+std::vector<Diagnostic> Lint(const std::vector<std::string>& files,
+                             bool with_doc) {
+  LintConfig config;
+  config.root = FixtureRoot();
+  for (const std::string& file : files) {
+    config.sources.push_back(config.root / file);
+  }
+  config.doc_path = with_doc ? "docs.md" : "";
+  std::vector<Diagnostic> diagnostics;
+  std::string error;
+  EXPECT_TRUE(RunLint(config, &diagnostics, &error)) << error;
+  return diagnostics;
+}
+
+testing::AssertionResult HasDiagnostic(const std::vector<Diagnostic>& all,
+                                       const std::string& file, int line,
+                                       const std::string& rule) {
+  for (const Diagnostic& d : all) {
+    if (d.file == file && d.line == line && d.rule == rule) {
+      return testing::AssertionSuccess();
+    }
+  }
+  auto result = testing::AssertionFailure()
+                << "no {" << file << ":" << line << ", " << rule
+                << "} among " << all.size() << " diagnostic(s):";
+  for (const Diagnostic& d : all) {
+    result << "\n  " << landmark_lint::FormatDiagnostic(d);
+  }
+  return result;
+}
+
+TEST(LandmarkLint, BannedApiFiresAtExactLocation) {
+  const std::vector<Diagnostic> diags = Lint({"src/banned_api.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/banned_api.cc", 5, "banned-api"));
+}
+
+TEST(LandmarkLint, RawThreadFiresAtExactLocation) {
+  const std::vector<Diagnostic> diags = Lint({"src/raw_thread.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/raw_thread.cc", 5, "raw-thread"));
+}
+
+TEST(LandmarkLint, MutexGuardFiresAtExactLocation) {
+  const std::vector<Diagnostic> diags = Lint({"src/mutex_guard.h"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/mutex_guard.h", 8, "mutex-guard"));
+}
+
+TEST(LandmarkLint, HeaderGuardFiresAtExactLocation) {
+  const std::vector<Diagnostic> diags = Lint({"src/header_guard.h"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/header_guard.h", 1, "header-guard"));
+}
+
+TEST(LandmarkLint, UsingNamespaceFiresAtExactLocation) {
+  const std::vector<Diagnostic> diags = Lint({"src/using_namespace.h"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/using_namespace.h", 6, "using-namespace"));
+}
+
+TEST(LandmarkLint, MetricNameChecksBothDirections) {
+  const std::vector<Diagnostic> diags = Lint({"src/metric_name.cc"}, true);
+  ASSERT_EQ(diags.size(), 3u);
+  // Undocumented literal in code...
+  EXPECT_TRUE(HasDiagnostic(diags, "src/metric_name.cc", 5, "metric-name"));
+  // ...and stale entries in the contract table (exact + dynamic prefix).
+  EXPECT_TRUE(HasDiagnostic(diags, "docs.md", 7, "metric-name"));
+  EXPECT_TRUE(HasDiagnostic(diags, "docs.md", 8, "metric-name"));
+}
+
+TEST(LandmarkLint, SuppressionsSilenceBothPlacementForms) {
+  EXPECT_TRUE(Lint({"src/suppressed.cc"}, false).empty());
+}
+
+TEST(LandmarkLint, SuppressionHygieneIsEnforced) {
+  const std::vector<Diagnostic> diags =
+      Lint({"src/suppression_bad.cc"}, false);
+  ASSERT_EQ(diags.size(), 3u);
+  // Rationale missing (the banned-api finding itself stays suppressed).
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/suppression_bad.cc", 5, "suppression"));
+  // Suppression matching no violation.
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/suppression_bad.cc", 9, "suppression"));
+  // Unknown rule id.
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/suppression_bad.cc", 14, "suppression"));
+}
+
+TEST(LandmarkLint, CleanFixtureProducesNoDiagnostics) {
+  EXPECT_TRUE(Lint({"src/clean.cc", "src/clean.h"}, true).empty());
+}
+
+TEST(LandmarkLint, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"src/x.cc", 7, "banned-api", "message text"};
+  EXPECT_EQ(landmark_lint::FormatDiagnostic(d),
+            "src/x.cc:7: [banned-api] message text");
+}
+
+TEST(LandmarkLint, MissingExplicitFileIsAnError) {
+  LintConfig config;
+  config.root = FixtureRoot();
+  config.sources.push_back(config.root / "src/does_not_exist.cc");
+  config.doc_path = "";
+  std::vector<Diagnostic> diagnostics;
+  std::string error;
+  EXPECT_FALSE(RunLint(config, &diagnostics, &error));
+  EXPECT_NE(error.find("does_not_exist"), std::string::npos);
+}
+
+}  // namespace
