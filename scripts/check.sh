@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Builds the sanitizer configurations and runs the full test suite under
-# each. This is the pre-merge gate for changes that touch the ExplainerEngine
-# or anything else that runs on the thread pool:
+# Pre-merge gate: static analysis first, then the sanitizer matrix with the
+# full test suite under each configuration. Every build here runs with
+# LANDMARK_WERROR=ON, so a new compiler warning fails the gate:
 #
+#   lint        scripts/lint.sh — landmark_lint over the whole tree
+#               (determinism / concurrency / telemetry / hygiene contracts)
+#               plus clang-tidy where available
 #   asan-ubsan  memory errors + undefined behaviour
 #   tsan        data races in the staged pipeline and the telemetry hot
 #               paths (sharded counters, trace rings, the pool gauges); an
@@ -19,9 +22,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+scripts/lint.sh "$JOBS"
+
 for preset in asan-ubsan tsan; do
   echo "=== [$preset] configure ==="
-  cmake --preset "$preset"
+  cmake --preset "$preset" -DLANDMARK_WERROR=ON
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] test ==="
@@ -33,7 +38,7 @@ ctest --preset tsan -j "$JOBS" -R \
   'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool'
 
 echo "=== [default] telemetry outputs ==="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS" --target landmark_cli
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
