@@ -1,0 +1,169 @@
+// Query-stage microbenchmark: per-stage wall times of the staged
+// ExplainerEngine on the perf_explainers workload (S-AG products, logreg EM
+// model, landmark-single explainer), emitted as a single JSON document so
+// scripts/run_bench.sh can track the repo's perf trajectory over time
+// (BENCH_query.json; committed baselines live in bench/baselines/).
+//
+// Unlike perf_explainers (google-benchmark, per-op latencies) this binary
+// reports the engine's own EngineStats per stage, which is what the
+// query-stage optimisations target: the model-query stage dominates the
+// pipeline (PAPER.md / LEMON both call this out), so its seconds are the
+// number a perf PR must move.
+//
+// Flags: --records N --samples N --reps N --threads N --scale F
+//        --json-out FILE (default: stdout)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine/explainer_engine.h"
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+#include "em/logreg_em_model.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace landmark {
+namespace {
+
+/// Per-stage minima over the benchmark repetitions (min is the stable
+/// estimator for wall-clock microbenchmarks: noise is strictly additive).
+struct StageTimes {
+  double plan = 0.0;
+  double reconstruct = 0.0;
+  double query = 0.0;
+  double fit = 0.0;
+  double total = 0.0;
+
+  static StageTimes MinOf(const std::vector<EngineStats>& reps) {
+    StageTimes out;
+    out.plan = out.reconstruct = out.query = out.fit = out.total = 1e300;
+    for (const EngineStats& s : reps) {
+      out.plan = std::min(out.plan, s.plan_seconds);
+      out.reconstruct = std::min(out.reconstruct, s.reconstruct_seconds);
+      out.query = std::min(out.query, s.query_seconds);
+      out.fit = std::min(out.fit, s.fit_seconds);
+      out.total = std::min(out.total, s.total_seconds());
+    }
+    return out;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    out += "\"plan_seconds\": " + FormatDouble(plan, 6);
+    out += ", \"reconstruct_seconds\": " + FormatDouble(reconstruct, 6);
+    out += ", \"query_seconds\": " + FormatDouble(query, 6);
+    out += ", \"fit_seconds\": " + FormatDouble(fit, 6);
+    out += ", \"total_seconds\": " + FormatDouble(total, 6);
+    out += "}";
+    return out;
+  }
+};
+
+int Run(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    LANDMARK_LOG(Error) << "bad flags: " << parsed.status().ToString();
+    return 1;
+  }
+  const Flags& flags = *parsed;
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 16));
+  const size_t samples = static_cast<size_t>(flags.GetInt("samples", 128));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  const double scale = flags.GetDouble("scale", 0.25);
+  const std::string json_out = flags.GetString("json-out", "");
+
+  MagellanGenOptions gen;
+  gen.size_scale = scale;
+  Result<EmDataset> dataset =
+      GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen);
+  if (!dataset.ok()) {
+    LANDMARK_LOG(Error) << "dataset generation failed: "
+                        << dataset.status().ToString();
+    return 1;
+  }
+  Result<std::unique_ptr<LogRegEmModel>> model = LogRegEmModel::Train(*dataset);
+  if (!model.ok()) {
+    LANDMARK_LOG(Error) << "model training failed: "
+                        << model.status().ToString();
+    return 1;
+  }
+
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = samples;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, explainer_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < records && i < dataset->size(); ++i) {
+    batch.push_back(&dataset->pair(i));
+  }
+
+  EngineStats last_stats;
+  auto measure = [&](const EngineOptions& engine_options) {
+    ExplainerEngine engine(engine_options);
+    std::vector<EngineStats> stats;
+    // One untimed warm-up run per configuration (page-in, allocator state).
+    (void)engine.ExplainBatch(**model, batch, explainer);
+    for (size_t r = 0; r < reps; ++r) {
+      EngineBatchResult result = engine.ExplainBatch(**model, batch, explainer);
+      stats.push_back(result.stats);
+      last_stats = result.stats;
+    }
+    return StageTimes::MinOf(stats);
+  };
+
+  EngineOptions string_options;
+  string_options.num_threads = threads;
+  string_options.cache_features = false;
+  const StageTimes string_path = measure(string_options);
+
+  EngineOptions fast_options;
+  fast_options.num_threads = threads;
+  fast_options.cache_features = true;
+  const StageTimes fast_path = measure(fast_options);
+  const EngineStats fast_stats = last_stats;
+
+  const double query_speedup =
+      fast_path.query > 0.0 ? string_path.query / fast_path.query : 0.0;
+  const double total_speedup =
+      fast_path.total > 0.0 ? string_path.total / fast_path.total : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"workload\": {\"dataset\": \"S-AG\", \"size_scale\": " +
+          FormatDouble(scale, 2) + ", \"model\": \"logreg-em\", " +
+          "\"explainer\": \"landmark-single\", \"records\": " +
+          std::to_string(batch.size()) + ", \"num_samples\": " +
+          std::to_string(samples) + ", \"threads\": " +
+          std::to_string(threads) + ", \"reps\": " + std::to_string(reps) +
+          "},\n";
+  json += "  \"string_path\": " + string_path.ToJson() + ",\n";
+  json += "  \"fast_path\": " + fast_path.ToJson() + ",\n";
+  json += "  \"token_cache\": {\"hits\": " +
+          std::to_string(fast_stats.token_cache_hits) + ", \"misses\": " +
+          std::to_string(fast_stats.token_cache_misses) + "},\n";
+  json += "  \"query_speedup\": " + FormatDouble(query_speedup, 3) + ",\n";
+  json += "  \"total_speedup\": " + FormatDouble(total_speedup, 3) + "\n";
+  json += "}\n";
+
+  if (json_out.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      LANDMARK_LOG(Error) << "cannot open " << json_out;
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    LANDMARK_LOG(Info) << "wrote " << json_out;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace landmark
+
+int main(int argc, char** argv) { return landmark::Run(argc, argv); }

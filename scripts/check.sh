@@ -14,7 +14,9 @@
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
 # `telemetry-demo --trace-out --metrics-out` and the outputs are checked by
-# scripts/validate_trace.py (stdlib Python; skipped when python3 is absent).
+# scripts/validate_trace.py (stdlib Python; skipped when python3 is absent),
+# and the perf_smoke ctest label smoke-runs the query-stage benchmark
+# (scripts/run_bench.sh is the full driver).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -37,9 +39,10 @@ echo "=== [tsan] telemetry-focused re-run ==="
 ctest --preset tsan -j "$JOBS" -R \
   'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool'
 
-echo "=== [default] telemetry outputs ==="
+echo "=== [default] telemetry outputs + perf smoke ==="
 cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null
-cmake --build build -j "$JOBS" --target landmark_cli
+cmake --build build -j "$JOBS" --target landmark_cli query_stage_bench
+(cd build && ctest -L perf_smoke --output-on-failure)
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 ./build/tools/landmark_cli telemetry-demo --records 8 \

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance benchmark driver.
+#
+# Builds the bench binaries (default, non-sanitized preset), runs
+#   1. perf_explainers   — google-benchmark per-op latencies
+#   2. query_stage_bench — per-stage engine timings, string path vs the
+#                          cache_features fast path, written to
+#                          BENCH_query.json (per-stage seconds, token-cache
+#                          hit/miss counts, query/total speedup)
+#
+# Reference numbers live in bench/baselines/: BENCH_query_pre.json was
+# captured immediately before the query fast path landed,
+# BENCH_query_post.json immediately after, on the same machine. Compare a
+# fresh BENCH_query.json against those to judge a perf change; the absolute
+# numbers are machine-dependent, the speedup ratios should hold anywhere.
+#
+# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json in $PWD)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+OUT_DIR="$PWD"
+
+cmake -B "$REPO/build" -S "$REPO" >/dev/null
+cmake --build "$REPO/build" -j "$JOBS" \
+  --target perf_explainers query_stage_bench
+
+echo "=== perf_explainers ==="
+# Bare double: the bundled google-benchmark predates the "0.05s" syntax.
+"$REPO/build/bench/perf_explainers" --benchmark_min_time=0.05
+
+echo "=== query_stage_bench ==="
+"$REPO/build/bench/query_stage_bench" --json-out "$OUT_DIR/BENCH_query.json"
+cat "$OUT_DIR/BENCH_query.json"
+echo "wrote $OUT_DIR/BENCH_query.json (baselines: bench/baselines/)"

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/surrogate.h"
+#include "em/prepared_batch.h"
+#include "text/token_cache.h"
 #include "util/string_util.h"
 #include "util/telemetry/metrics.h"
 #include "util/telemetry/trace.h"
@@ -144,6 +146,8 @@ std::string EngineStats::ToString() const {
   out += " masks=" + std::to_string(num_masks);
   out += " queries=" + std::to_string(num_model_queries);
   out += " cache_hits=" + std::to_string(cache_hits);
+  out += " token_cache_hits=" + std::to_string(token_cache_hits);
+  out += " token_cache_misses=" + std::to_string(token_cache_misses);
   out += " | plan=" + FormatDouble(plan_seconds, 3) + "s";
   out += " reconstruct=" + FormatDouble(reconstruct_seconds, 3) + "s";
   out += " query=" + FormatDouble(query_seconds, 3) + "s";
@@ -305,9 +309,34 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
     work.reconstructed.clear();
   }
   std::vector<double> predictions(batch.size());
-  parallel_for(batch.size(), [&](size_t begin, size_t end) {
-    model.PredictProbaRange(batch, begin, end, predictions.data() + begin);
-  });
+  if (options_.cache_features) {
+    // Fast path: resolve every distinct attribute string once, share each
+    // unit's frozen landmark side across all of its perturbations, then
+    // score through the prepared overloads. The single-threaded prepare is
+    // what permits lock-free concurrent reads during the sharded scoring.
+    TokenCache token_cache;
+    PreparedPairBatch prepared(batch, &token_cache);
+    for (const UnitWork& work : works) {
+      if (!work.queried) continue;
+      const LandmarkFeatureContext context = MakeLandmarkFeatureContext(
+          batch[work.query_offset], explainer.FrozenSide(work.unit),
+          token_cache);
+      prepared.PrepareRange(work.query_offset,
+                            work.query_offset + work.unique_index.size(),
+                            context);
+    }
+    parallel_for(batch.size(), [&](size_t begin, size_t end) {
+      model.PredictProbaPrepared(prepared, begin, end,
+                                 predictions.data() + begin);
+    });
+    out.stats.token_cache_hits = token_cache.hits();
+    out.stats.token_cache_misses = token_cache.misses();
+    token_cache.PublishTelemetry();
+  } else {
+    parallel_for(batch.size(), [&](size_t begin, size_t end) {
+      model.PredictProbaRange(batch, begin, end, predictions.data() + begin);
+    });
+  }
   out.stats.num_model_queries = batch.size();
   size_t live_masks = 0;
   for (const UnitWork& work : works) {
@@ -424,8 +453,19 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
         explainer.ReconstructUnit(unit, pair, masks[mask_index]));
     reconstructed.push_back(std::move(rec));
   }
-  const std::vector<double> unique_predictions =
-      model.PredictProbaBatch(reconstructed);
+  std::vector<double> unique_predictions(reconstructed.size());
+  if (options_.cache_features && !reconstructed.empty()) {
+    TokenCache token_cache;
+    PreparedPairBatch prepared(reconstructed, &token_cache);
+    const LandmarkFeatureContext context = MakeLandmarkFeatureContext(
+        reconstructed.front(), explainer.FrozenSide(unit), token_cache);
+    prepared.PrepareRange(0, reconstructed.size(), context);
+    model.PredictProbaPrepared(prepared, 0, reconstructed.size(),
+                               unique_predictions.data());
+    token_cache.PublishTelemetry();
+  } else {
+    unique_predictions = model.PredictProbaBatch(reconstructed);
+  }
   std::vector<double> predictions(masks.size());
   for (size_t m = 0; m < masks.size(); ++m) {
     predictions[m] = unique_predictions[mask_to_unique[m]];

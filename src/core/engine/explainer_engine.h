@@ -28,6 +28,14 @@ struct EngineOptions {
   /// records are cheap to explain badly. Never changes results: duplicate
   /// masks reconstruct identical pairs, hence identical predictions.
   bool cache_predictions = true;
+  /// Route the query stage through the prepared fast path: tokenize each
+  /// distinct attribute string once per batch (text/token_cache.h), resolve
+  /// the frozen landmark side once per unit, and score via
+  /// EmModel::PredictProbaPrepared. Never changes results — the prepared
+  /// kernels are bit-identical to the string path (models without a
+  /// prepared override transparently fall back to it). Off is an escape
+  /// hatch for debugging and for the A/B equivalence tests.
+  bool cache_features = true;
 };
 
 /// \brief Per-stage counters of one ExplainBatch call.
@@ -38,6 +46,8 @@ struct EngineStats {
   size_t num_masks = 0;           // raw perturbation masks sampled
   size_t num_model_queries = 0;   // deduplicated pairs actually scored
   size_t cache_hits = 0;          // num_masks - num_model_queries
+  size_t token_cache_hits = 0;    // token-profile lookups served from cache
+  size_t token_cache_misses = 0;  // distinct strings tokenized (fast path)
   double plan_seconds = 0.0;
   double reconstruct_seconds = 0.0;
   double query_seconds = 0.0;
@@ -73,9 +83,9 @@ struct EngineBatchResult {
 /// **Determinism contract.** Every unit owns an RNG stream derived only from
 /// (options.seed, record id, unit side); work is partitioned statically and
 /// results land in pre-sized slots. Runs with different `num_threads` (and
-/// with the prediction memo on or off) therefore produce bit-identical
-/// explanations, and `ExplainBatch` agrees bit-for-bit with per-record
-/// `PairExplainer::Explain`.
+/// with the prediction memo or the feature cache on or off) therefore
+/// produce bit-identical explanations, and `ExplainBatch` agrees
+/// bit-for-bit with per-record `PairExplainer::Explain`.
 class ExplainerEngine {
  public:
   explicit ExplainerEngine(EngineOptions options = {});

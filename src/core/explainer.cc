@@ -89,6 +89,23 @@ Result<PairRecord> PairExplainer::ReconstructUnit(
   return Reconstruct(unit.shell, original, mask);
 }
 
+std::optional<EntitySide> PairExplainer::FrozenSide(
+    const ExplainUnit& unit) const {
+  // Attribute-copy units (Mojito Copy) read from the source side and write
+  // into the other one.
+  if (unit.copy_source.has_value()) return unit.copy_source;
+  // Token-granular units: the default Reconstruct only rebuilds entities
+  // that own tokens in the space; an entity with no tokens is carried over
+  // from the original untouched.
+  bool has_left = false, has_right = false;
+  for (const TokenWeight& tw : unit.shell.token_weights) {
+    (tw.token.side == EntitySide::kLeft ? has_left : has_right) = true;
+  }
+  if (has_left && !has_right) return EntitySide::kRight;
+  if (has_right && !has_left) return EntitySide::kLeft;
+  return std::nullopt;
+}
+
 void PairExplainer::ApplyFit(const SurrogateFit& fit, ExplainUnit* unit) const {
   Explanation& shell = unit->shell;
   for (size_t i = 0; i < shell.size(); ++i) {

@@ -144,6 +144,23 @@ class PairExplainer {
       const Explanation& explanation, const PairRecord& original,
       const std::vector<uint8_t>& active) const;
 
+  /// \brief The entity side ReconstructUnit never varies across `unit`'s
+  /// masks (the frozen landmark), or nullopt when both sides can change.
+  ///
+  /// The engine's query fast path resolves the frozen side's token profiles
+  /// once per unit and shares them across all of the unit's perturbations,
+  /// so overrides must stay consistent with ReconstructUnit: reporting a
+  /// side that actually varies would score perturbed pairs against stale
+  /// values. Returning nullopt is always safe — it only disables the
+  /// per-unit sharing, the string-keyed token cache still applies.
+  ///
+  /// The default derives the answer structurally, so explainers built on
+  /// the stock ReconstructUnit need no override: a unit copying attributes
+  /// from `copy_source` freezes that side; a token-granular unit whose
+  /// tokens all live on one side freezes the other (the default
+  /// Reconstruct leaves token-less entities untouched); otherwise nullopt.
+  virtual std::optional<EntitySide> FrozenSide(const ExplainUnit& unit) const;
+
   /// Draws the perturbation masks and their kernel weights according to
   /// options().neighborhood. The first mask is guaranteed all-active (the
   /// `predictions[0]` contract). Public because the engine drives it; only

@@ -23,15 +23,26 @@ void EmModel::PredictProbaRange(const std::vector<PairRecord>& pairs,
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = PredictProba(pairs[i]);
   }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
+}
+
+void EmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                   size_t begin, size_t end,
+                                   double* out) const {
+  // Fallback for models without a prepared path: score from the raw pairs.
+  PredictProbaRange(prepared.pairs(), begin, end, out);
+}
+
+void EmModel::ReportQueryTelemetry(size_t num_pairs, double seconds) const {
+  if (num_pairs == 0) return;
   // Per-type visibility into the dominant pipeline cost. One registry
   // round-trip per *range call* (the engine shards a whole batch into at
   // most num_threads ranges), never per pair.
-  const double seconds = timer.ElapsedSeconds();
-  const double per_pair = seconds / static_cast<double>(end - begin);
+  const double per_pair = seconds / static_cast<double>(num_pairs);
   const std::string model_name = name();
   MetricsRegistry& registry = MetricsRegistry::Global();
-  registry.GetCounter("model/queries").Add(end - begin);
-  registry.GetCounter("model/queries/" + model_name).Add(end - begin);
+  registry.GetCounter("model/queries").Add(num_pairs);
+  registry.GetCounter("model/queries/" + model_name).Add(num_pairs);
   registry.GetHistogram("model/query_latency").Record(per_pair);
   registry.GetHistogram("model/query_latency/" + model_name).Record(per_pair);
   registry.GetHistogram("model/query_batch_seconds").Record(seconds);

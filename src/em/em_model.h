@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/pair_record.h"
+#include "em/prepared_batch.h"
 #include "util/result.h"
 
 namespace landmark {
@@ -47,6 +48,20 @@ class EmModel {
   virtual void PredictProbaRange(const std::vector<PairRecord>& pairs,
                                  size_t begin, size_t end, double* out) const;
 
+  /// Scores prepared.pairs()[begin, end) into out[0, end-begin), the
+  /// engine's query fast path: rows carry resolved token profiles, so
+  /// feature-based models skip tokenization entirely. Must be bit-identical
+  /// to PredictProbaRange on the same rows — the engine's determinism
+  /// contract extends to toggling the fast path on and off.
+  ///
+  /// The default falls back to PredictProbaRange on the raw pairs, so
+  /// custom models keep working unchanged (they just don't get the
+  /// speedup). Overrides should call ReportQueryTelemetry once per range to
+  /// keep the per-type metrics comparable with the string path.
+  virtual void PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                    size_t begin, size_t end,
+                                    double* out) const;
+
   /// Hard label at the given decision threshold (the paper uses 0.5 and
   /// discusses 0.4 as an alternative).
   MatchLabel Predict(const PairRecord& pair, double threshold = 0.5) const {
@@ -63,6 +78,13 @@ class EmModel {
   virtual Result<std::vector<double>> AttributeWeights() const {
     return Status::NotImplemented(name() + " has no attribute weights");
   }
+
+ protected:
+  /// Records the per-model-type query metrics (`model/queries[/<name>]`,
+  /// `model/query_latency[/<name>]`, `model/query_batch_seconds`) for one
+  /// scored range. Shared by the PredictProbaRange default and the
+  /// PredictProbaPrepared overrides; call once per range, never per pair.
+  void ReportQueryTelemetry(size_t num_pairs, double seconds) const;
 };
 
 }  // namespace landmark

@@ -4,6 +4,8 @@
 
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
 
 namespace landmark {
 
@@ -36,10 +38,9 @@ Vector EmbeddingEmModel::EmbedToken(const std::string& token) const {
   return v;
 }
 
-Vector EmbeddingEmModel::EmbedValue(const Value& value) const {
+Vector EmbeddingEmModel::EmbedTokens(
+    const std::vector<std::string>& tokens) const {
   Vector v(options_.embedding_dim, 0.0);
-  if (value.is_null()) return v;
-  std::vector<std::string> tokens = NormalizedTokens(value.text());
   if (tokens.empty()) return v;
   for (const auto& token : tokens) {
     Vector e = EmbedToken(token);
@@ -48,6 +49,11 @@ Vector EmbeddingEmModel::EmbedValue(const Value& value) const {
   const double inv = 1.0 / static_cast<double>(tokens.size());
   for (double& x : v) x *= inv;
   return v;
+}
+
+Vector EmbeddingEmModel::EmbedValue(const Value& value) const {
+  if (value.is_null()) return Vector(options_.embedding_dim, 0.0);
+  return EmbedTokens(NormalizedTokens(value.text()));
 }
 
 Vector EmbeddingEmModel::Compose(const PairRecord& pair) const {
@@ -108,8 +114,38 @@ Result<std::unique_ptr<EmbeddingEmModel>> EmbeddingEmModel::Train(
   return model;
 }
 
+Vector EmbeddingEmModel::ComposePrepared(const PreparedPairBatch& prepared,
+                                         size_t pair_index) const {
+  const size_t k = options_.embedding_dim;
+  Vector features;
+  features.reserve(schema_->num_attributes() * 2 * k);
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const PreparedValue& pl =
+        prepared.value(pair_index, a, EntitySide::kLeft);
+    const PreparedValue& pr =
+        prepared.value(pair_index, a, EntitySide::kRight);
+    Vector l = pl.is_null() ? Vector(k, 0.0) : EmbedTokens(pl.tokens->tokens);
+    Vector r = pr.is_null() ? Vector(k, 0.0) : EmbedTokens(pr.tokens->tokens);
+    for (size_t i = 0; i < k; ++i) features.push_back(std::abs(l[i] - r[i]));
+    for (size_t i = 0; i < k; ++i) features.push_back(l[i] * r[i]);
+  }
+  return features;
+}
+
 double EmbeddingEmModel::PredictProba(const PairRecord& pair) const {
   return mlp_.PredictProba(Compose(pair));
+}
+
+void EmbeddingEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                            size_t begin, size_t end,
+                                            double* out) const {
+  if (begin == end) return;
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
+  for (size_t i = begin; i < end; ++i) {
+    out[i - begin] = mlp_.PredictProba(ComposePrepared(prepared, i));
+  }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }
 
 }  // namespace landmark

@@ -41,6 +41,8 @@ class EmbeddingEmModel : public EmModel {
       const EmDataset& dataset, const EmbeddingEmModelOptions& options = {});
 
   double PredictProba(const PairRecord& pair) const override;
+  void PredictProbaPrepared(const PreparedPairBatch& prepared, size_t begin,
+                            size_t end, double* out) const override;
   std::string name() const override { return "embedding-em"; }
 
   const EmModelReport& report() const { return report_; }
@@ -59,6 +61,13 @@ class EmbeddingEmModel : public EmModel {
 
   /// Mean token embedding of one attribute value (zero vector when null).
   Vector EmbedValue(const Value& value) const;
+
+  /// Mean token embedding of an already-tokenized value (zero when empty).
+  Vector EmbedTokens(const std::vector<std::string>& tokens) const;
+
+  /// Compose() from resolved token profiles instead of raw values.
+  Vector ComposePrepared(const PreparedPairBatch& prepared,
+                         size_t pair_index) const;
 
   std::shared_ptr<const Schema> schema_;
   EmbeddingEmModelOptions options_;

@@ -19,26 +19,38 @@ FeatureExtractor::FeatureExtractor(std::shared_ptr<const Schema> entity_schema)
 }
 
 Vector FeatureExtractor::Extract(const PairRecord& pair) const {
+  Vector features(num_features());
+  ExtractInto(pair, features.data());
+  return features;
+}
+
+void FeatureExtractor::ExtractInto(const PairRecord& pair, double* out) const {
   LANDMARK_CHECK(pair.left.schema() != nullptr &&
                  pair.left.schema()->Equals(*schema_));
   LANDMARK_CHECK(pair.right.schema() != nullptr &&
                  pair.right.schema()->Equals(*schema_));
-  Vector features;
-  features.reserve(num_features());
   for (size_t a = 0; a < schema_->num_attributes(); ++a) {
-    std::vector<double> attr_features =
-        ComputeAllAttributeFeatures(pair.left.value(a), pair.right.value(a));
-    features.insert(features.end(), attr_features.begin(), attr_features.end());
+    ComputeAllAttributeFeatures(pair.left.value(a), pair.right.value(a),
+                                out + a * kNumAttributeFeatures);
   }
-  return features;
+}
+
+void FeatureExtractor::ExtractPrepared(const PreparedPairBatch& prepared,
+                                       size_t pair_index, double* out) const {
+  LANDMARK_CHECK(prepared.num_attributes() == schema_->num_attributes());
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    ComputeAllAttributeFeatures(
+        prepared.value(pair_index, a, EntitySide::kLeft),
+        prepared.value(pair_index, a, EntitySide::kRight),
+        out + a * kNumAttributeFeatures);
+  }
 }
 
 Matrix FeatureExtractor::ExtractBatch(const EmDataset& dataset,
                                       const std::vector<size_t>& indices) const {
   Matrix x(indices.size(), num_features());
   for (size_t r = 0; r < indices.size(); ++r) {
-    Vector features = Extract(dataset.pair(indices[r]));
-    std::copy(features.begin(), features.end(), x.row(r));
+    ExtractInto(dataset.pair(indices[r]), x.row(r));
   }
   return x;
 }

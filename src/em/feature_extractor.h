@@ -9,6 +9,7 @@
 #include "data/pair_record.h"
 #include "data/schema.h"
 #include "em/features.h"
+#include "em/prepared_batch.h"
 #include "ml/linalg.h"
 #include "util/result.h"
 
@@ -44,6 +45,16 @@ class FeatureExtractor {
 
   /// Extracts the feature vector for one pair.
   Vector Extract(const PairRecord& pair) const;
+
+  /// Extracts one pair into out[0, num_features()), tokenizing each value
+  /// once (no per-row Vector allocation).
+  void ExtractInto(const PairRecord& pair, double* out) const;
+
+  /// Prepared fast path: extracts pair `pair_index` of `prepared` into
+  /// out[0, num_features()) from its resolved token profiles, without
+  /// tokenizing. Bit-identical to ExtractInto on the same pair.
+  void ExtractPrepared(const PreparedPairBatch& prepared, size_t pair_index,
+                       double* out) const;
 
   /// Extracts a design matrix for the given pair indices of `dataset`.
   Matrix ExtractBatch(const EmDataset& dataset,

@@ -67,14 +67,80 @@ double ComputeAttributeFeature(AttributeFeatureKind kind, const Value& left,
   return 0.0;
 }
 
+PreparedValue PrepareValue(const Value& value, TokenCache& cache) {
+  PreparedValue out;
+  out.value = &value;
+  if (!value.is_null()) out.tokens = &cache.Get(value.text());
+  return out;
+}
+
+double ComputeAttributeFeature(AttributeFeatureKind kind,
+                               const PreparedValue& left,
+                               const PreparedValue& right) {
+  if (kind == AttributeFeatureKind::kBothPresent) {
+    return (!left.is_null() && !right.is_null()) ? 1.0 : 0.0;
+  }
+  if (left.is_null() || right.is_null()) return 0.0;
+
+  switch (kind) {
+    case AttributeFeatureKind::kJaccard:
+      return JaccardSimilarity(*left.tokens, *right.tokens);
+    case AttributeFeatureKind::kOverlap:
+      return OverlapCoefficient(*left.tokens, *right.tokens);
+    case AttributeFeatureKind::kCosine:
+      return CosineTokenSimilarity(*left.tokens, *right.tokens);
+    case AttributeFeatureKind::kMongeElkan:
+      return MongeElkanSymmetric(*left.tokens, *right.tokens);
+    case AttributeFeatureKind::kLevenshtein:
+      return LevenshteinSimilarity(left.value->text(), right.value->text());
+    case AttributeFeatureKind::kJaroWinkler:
+      return JaroWinklerSimilarity(left.value->text(), right.value->text());
+    case AttributeFeatureKind::kTrigram:
+      return TrigramSimilarity(*left.tokens, *right.tokens);
+    case AttributeFeatureKind::kNumericCloseness: {
+      auto na = left.value->AsDouble();
+      auto nb = right.value->AsDouble();
+      if (!na.has_value() || !nb.has_value()) return 0.0;
+      return NumericSimilarity(*na, *nb);
+    }
+    case AttributeFeatureKind::kBothPresent:
+      break;  // handled above
+  }
+  LANDMARK_CHECK_MSG(false, "unreachable feature kind");
+  return 0.0;
+}
+
+void ComputeAllAttributeFeatures(const PreparedValue& left,
+                                 const PreparedValue& right, double* out) {
+  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
+    out[k] = ComputeAttributeFeature(static_cast<AttributeFeatureKind>(k),
+                                     left, right);
+  }
+}
+
+void ComputeAllAttributeFeatures(const Value& left, const Value& right,
+                                 double* out) {
+  // Profile each side once on the stack and share it across all nine kinds,
+  // instead of re-tokenizing per kind like the single-kind entry point.
+  TokenizedValue left_tokens, right_tokens;
+  PreparedValue pl, pr;
+  pl.value = &left;
+  pr.value = &right;
+  if (!left.is_null()) {
+    left_tokens = TokenizedValue::Of(left.text());
+    pl.tokens = &left_tokens;
+  }
+  if (!right.is_null()) {
+    right_tokens = TokenizedValue::Of(right.text());
+    pr.tokens = &right_tokens;
+  }
+  ComputeAllAttributeFeatures(pl, pr, out);
+}
+
 std::vector<double> ComputeAllAttributeFeatures(const Value& left,
                                                 const Value& right) {
-  std::vector<double> out;
-  out.reserve(kNumAttributeFeatures);
-  for (size_t k = 0; k < kNumAttributeFeatures; ++k) {
-    out.push_back(ComputeAttributeFeature(static_cast<AttributeFeatureKind>(k),
-                                          left, right));
-  }
+  std::vector<double> out(kNumAttributeFeatures);
+  ComputeAllAttributeFeatures(left, right, out.data());
   return out;
 }
 

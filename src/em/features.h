@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/value.h"
+#include "text/token_cache.h"
 
 namespace landmark {
 
@@ -39,10 +40,47 @@ std::string_view AttributeFeatureKindName(AttributeFeatureKind kind);
 double ComputeAttributeFeature(AttributeFeatureKind kind, const Value& left,
                                const Value& right);
 
+/// \brief One attribute value with its token profile resolved, ready for
+/// allocation-light feature computation.
+///
+/// `value` is never nullptr once prepared; `tokens` is nullptr exactly when
+/// the value is null (a null value carries no token profile, mirroring the
+/// null short-circuit of ComputeAttributeFeature). Both pointers borrow:
+/// the Value must outlive the PreparedValue, the profile must outlive it
+/// too (it lives in a TokenCache or on the preparer's stack).
+struct PreparedValue {
+  const Value* value = nullptr;
+  const TokenizedValue* tokens = nullptr;
+
+  bool is_null() const { return value == nullptr || value->is_null(); }
+};
+
+/// Resolves `value` against the batch token cache (null values get no
+/// profile and never touch the cache — "" and null must stay distinct).
+PreparedValue PrepareValue(const Value& value, TokenCache& cache);
+
+/// Prepared-path feature kernel; bit-identical to the Value overload for
+/// every kind (the token-set kinds consume the precomputed profile views
+/// instead of re-tokenizing, the whole-string kinds read value->text()).
+double ComputeAttributeFeature(AttributeFeatureKind kind,
+                               const PreparedValue& left,
+                               const PreparedValue& right);
+
 /// Computes all kNumAttributeFeatures features for one attribute pair, in
 /// enum order.
 std::vector<double> ComputeAllAttributeFeatures(const Value& left,
                                                 const Value& right);
+
+/// Same, writing into out[0, kNumAttributeFeatures). Tokenizes each side
+/// once and shares the profiles across all token-set kinds, instead of
+/// re-tokenizing both sides per kind.
+void ComputeAllAttributeFeatures(const Value& left, const Value& right,
+                                 double* out);
+
+/// Prepared-path variant over already-resolved profiles (the engine's
+/// query fast path); writes into out[0, kNumAttributeFeatures).
+void ComputeAllAttributeFeatures(const PreparedValue& left,
+                                 const PreparedValue& right, double* out);
 
 }  // namespace landmark
 

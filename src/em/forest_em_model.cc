@@ -1,5 +1,8 @@
 #include "em/forest_em_model.h"
 
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
+
 namespace landmark {
 
 Result<std::unique_ptr<ForestEmModel>> ForestEmModel::Train(
@@ -59,6 +62,20 @@ Result<std::unique_ptr<ForestEmModel>> ForestEmModel::Train(
 
 double ForestEmModel::PredictProba(const PairRecord& pair) const {
   return forest_.PredictProba(extractor_->Extract(pair));
+}
+
+void ForestEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                         size_t begin, size_t end,
+                                         double* out) const {
+  if (begin == end) return;
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
+  Vector features(extractor_->num_features());
+  for (size_t i = begin; i < end; ++i) {
+    extractor_->ExtractPrepared(prepared, i, features.data());
+    out[i - begin] = forest_.PredictProba(features);
+  }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }
 
 Result<std::vector<double>> ForestEmModel::AttributeWeights() const {

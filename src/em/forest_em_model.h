@@ -37,6 +37,8 @@ class ForestEmModel : public EmModel {
       const EmDataset& dataset, const ForestEmModelOptions& options = {});
 
   double PredictProba(const PairRecord& pair) const override;
+  void PredictProbaPrepared(const PreparedPairBatch& prepared, size_t begin,
+                            size_t end, double* out) const override;
   std::string name() const override { return "forest-em"; }
   Result<std::vector<double>> AttributeWeights() const override;
 

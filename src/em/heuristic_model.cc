@@ -3,6 +3,8 @@
 #include "text/similarity.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
 
 namespace landmark {
 
@@ -32,6 +34,36 @@ double JaccardEmModel::PredictProba(const PairRecord& pair) const {
     weight_sum += w;
   }
   return weight_sum == 0.0 ? 0.0 : total / weight_sum;
+}
+
+void JaccardEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                          size_t begin, size_t end,
+                                          double* out) const {
+  if (begin == end) return;
+  const size_t num_attrs = prepared.num_attributes();
+  LANDMARK_CHECK(attribute_weights_.empty() ||
+                 attribute_weights_.size() == num_attrs);
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
+  for (size_t i = begin; i < end; ++i) {
+    double total = 0.0;
+    double weight_sum = 0.0;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const double w =
+          attribute_weights_.empty() ? 1.0 : attribute_weights_[a];
+      if (w <= 0.0) continue;
+      const PreparedValue& lv = prepared.value(i, a, EntitySide::kLeft);
+      const PreparedValue& rv = prepared.value(i, a, EntitySide::kRight);
+      double sim = 0.0;
+      if (!lv.is_null() && !rv.is_null()) {
+        sim = JaccardSimilarity(*lv.tokens, *rv.tokens);
+      }
+      total += w * sim;
+      weight_sum += w;
+    }
+    out[i - begin] = weight_sum == 0.0 ? 0.0 : total / weight_sum;
+  }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }
 
 Result<std::vector<double>> JaccardEmModel::AttributeWeights() const {

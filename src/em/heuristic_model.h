@@ -23,6 +23,8 @@ class JaccardEmModel : public EmModel {
   explicit JaccardEmModel(std::vector<double> attribute_weights = {});
 
   double PredictProba(const PairRecord& pair) const override;
+  void PredictProbaPrepared(const PreparedPairBatch& prepared, size_t begin,
+                            size_t end, double* out) const override;
   std::string name() const override { return "jaccard-em"; }
   Result<std::vector<double>> AttributeWeights() const override;
 

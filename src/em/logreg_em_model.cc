@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
+
 namespace landmark {
 
 Result<std::unique_ptr<LogRegEmModel>> LogRegEmModel::Train(
@@ -54,6 +57,22 @@ double LogRegEmModel::PredictProba(const PairRecord& pair) const {
   Status st = scaler_.TransformInPlace(features);
   LANDMARK_CHECK_MSG(st.ok(), st.ToString().c_str());
   return classifier_.PredictProba(features);
+}
+
+void LogRegEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                         size_t begin, size_t end,
+                                         double* out) const {
+  if (begin == end) return;
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
+  Vector features(extractor_->num_features());
+  for (size_t i = begin; i < end; ++i) {
+    extractor_->ExtractPrepared(prepared, i, features.data());
+    Status st = scaler_.TransformInPlace(features);
+    LANDMARK_CHECK_MSG(st.ok(), st.ToString().c_str());
+    out[i - begin] = classifier_.PredictProba(features);
+  }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }
 
 Result<std::vector<double>> LogRegEmModel::AttributeWeights() const {

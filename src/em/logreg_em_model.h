@@ -47,6 +47,8 @@ class LogRegEmModel : public EmModel {
       const EmDataset& dataset, const LogRegEmModelOptions& options = {});
 
   double PredictProba(const PairRecord& pair) const override;
+  void PredictProbaPrepared(const PreparedPairBatch& prepared, size_t begin,
+                            size_t end, double* out) const override;
   std::string name() const override { return "logreg-em"; }
   Result<std::vector<double>> AttributeWeights() const override;
 

@@ -1,0 +1,69 @@
+#include "em/prepared_batch.h"
+
+#include "util/check.h"
+
+namespace landmark {
+
+LandmarkFeatureContext MakeLandmarkFeatureContext(
+    const PairRecord& pair, std::optional<EntitySide> frozen_side,
+    TokenCache& cache) {
+  LandmarkFeatureContext context;
+  context.frozen_side = frozen_side;
+  if (!frozen_side.has_value()) return context;
+  const Record& frozen = pair.entity(*frozen_side);
+  const size_t num_attributes =
+      frozen.schema() != nullptr ? frozen.schema()->num_attributes() : 0;
+  context.frozen_values.reserve(num_attributes);
+  for (size_t a = 0; a < num_attributes; ++a) {
+    context.frozen_values.push_back(PrepareValue(frozen.value(a), cache));
+  }
+  return context;
+}
+
+PreparedPairBatch::PreparedPairBatch(const std::vector<PairRecord>& pairs,
+                                     TokenCache* cache)
+    : pairs_(&pairs), cache_(cache) {
+  LANDMARK_CHECK(cache_ != nullptr);
+  if (!pairs.empty() && pairs.front().left.schema() != nullptr) {
+    num_attributes_ = pairs.front().left.schema()->num_attributes();
+  }
+  values_.resize(pairs.size() * num_attributes_ * 2);
+}
+
+void PreparedPairBatch::PrepareRange(size_t begin, size_t end,
+                                     const LandmarkFeatureContext& context) {
+  LANDMARK_CHECK(begin <= end && end <= pairs_->size());
+  if (context.frozen_side.has_value()) {
+    LANDMARK_CHECK(context.frozen_values.size() == num_attributes_);
+  }
+  for (size_t p = begin; p < end; ++p) {
+    const PairRecord& pair = (*pairs_)[p];
+    PreparedValue* row = values_.data() + p * num_attributes_ * 2;
+    for (size_t a = 0; a < num_attributes_; ++a) {
+      for (EntitySide side : {EntitySide::kLeft, EntitySide::kRight}) {
+        PreparedValue& slot = row[a * 2 + (side == EntitySide::kRight)];
+        if (context.frozen_side == side) {
+          slot = context.frozen_values[a];
+        } else {
+          slot = PrepareValue(pair.entity(side).value(a), *cache_);
+        }
+      }
+    }
+  }
+}
+
+void PreparedPairBatch::PrepareRange(size_t begin, size_t end) {
+  PrepareRange(begin, end, LandmarkFeatureContext{});
+}
+
+const PreparedValue& PreparedPairBatch::value(size_t pair_index, size_t attr,
+                                              EntitySide side) const {
+  LANDMARK_CHECK(pair_index < pairs_->size() && attr < num_attributes_);
+  const PreparedValue& slot =
+      values_[(pair_index * num_attributes_ + attr) * 2 +
+              (side == EntitySide::kRight)];
+  LANDMARK_CHECK_MSG(slot.value != nullptr, "row not prepared");
+  return slot;
+}
+
+}  // namespace landmark

@@ -1,0 +1,81 @@
+#ifndef LANDMARK_EM_PREPARED_BATCH_H_
+#define LANDMARK_EM_PREPARED_BATCH_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "data/pair_record.h"
+#include "em/features.h"
+#include "text/token_cache.h"
+
+namespace landmark {
+
+/// \brief Frozen-side precomputation for one explanation unit.
+///
+/// Landmark-style units hold one entity fixed across every perturbation
+/// mask, so the fixed side's token profiles are identical for all rows of
+/// the unit. The context resolves them once; PreparedPairBatch::PrepareRange
+/// then shares them across the unit's rows instead of re-resolving per row.
+///
+/// The context borrows: the source PairRecord and the TokenCache it was
+/// built from must outlive it. An empty context (no `frozen_side`) is valid
+/// and disables sharing — every row resolves both sides through the cache.
+struct LandmarkFeatureContext {
+  /// The side frozen across the unit's masks, if any.
+  std::optional<EntitySide> frozen_side;
+  /// PreparedValue per attribute of the frozen entity; empty when
+  /// `frozen_side` is unset.
+  std::vector<PreparedValue> frozen_values;
+};
+
+/// Builds the context for a unit whose rows all share `pair`'s
+/// `frozen_side` entity. Callers must only pass a side that
+/// PairExplainer::FrozenSide reports — i.e. one ReconstructUnit never
+/// varies; nullopt is always safe and yields an empty context.
+LandmarkFeatureContext MakeLandmarkFeatureContext(
+    const PairRecord& pair, std::optional<EntitySide> frozen_side,
+    TokenCache& cache);
+
+/// \brief A query batch with every attribute value resolved to a
+/// PreparedValue, so feature extraction runs without tokenizing.
+///
+/// The batch borrows `pairs` and `cache`; both must outlive it, and `pairs`
+/// must not reallocate after construction (PreparedValues point into its
+/// records). Preparation mutates the token cache and therefore must run
+/// single-threaded; afterwards the batch is immutable and safe to read from
+/// any number of query workers concurrently.
+class PreparedPairBatch {
+ public:
+  PreparedPairBatch(const std::vector<PairRecord>& pairs, TokenCache* cache);
+
+  /// Resolves rows [begin, end). Frozen-side slots are copied from
+  /// `context` when it names a side; the varying side always resolves
+  /// through the cache. Rows may be prepared in any order but each row
+  /// exactly once.
+  void PrepareRange(size_t begin, size_t end,
+                    const LandmarkFeatureContext& context);
+
+  /// Resolves rows [begin, end) with no frozen side.
+  void PrepareRange(size_t begin, size_t end);
+
+  const std::vector<PairRecord>& pairs() const { return *pairs_; }
+  size_t size() const { return pairs_->size(); }
+  size_t num_attributes() const { return num_attributes_; }
+
+  /// The resolved value of `pairs()[pair_index]`'s attribute `attr` on
+  /// `side`. The row must have been prepared.
+  const PreparedValue& value(size_t pair_index, size_t attr,
+                             EntitySide side) const;
+
+ private:
+  const std::vector<PairRecord>* pairs_;
+  TokenCache* cache_;
+  size_t num_attributes_ = 0;
+  /// Row-major: [pair][attr][side], side kLeft then kRight.
+  std::vector<PreparedValue> values_;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_EM_PREPARED_BATCH_H_

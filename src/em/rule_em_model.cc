@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
 
 namespace landmark {
 
@@ -175,6 +177,24 @@ double RuleEmModel::PredictProba(const PairRecord& pair) const {
     if (rule.Fires(features)) best = std::max(best, rule.confidence);
   }
   return best;
+}
+
+void RuleEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
+                                       size_t begin, size_t end,
+                                       double* out) const {
+  if (begin == end) return;
+  LANDMARK_TRACE_SPAN("model/query");
+  Timer timer;
+  Vector features(extractor_->num_features());
+  for (size_t i = begin; i < end; ++i) {
+    extractor_->ExtractPrepared(prepared, i, features.data());
+    double best = options_.default_probability;
+    for (const MatchRule& rule : rules_) {
+      if (rule.Fires(features)) best = std::max(best, rule.confidence);
+    }
+    out[i - begin] = best;
+  }
+  ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }
 
 Result<std::vector<double>> RuleEmModel::AttributeWeights() const {

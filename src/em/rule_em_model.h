@@ -62,6 +62,8 @@ class RuleEmModel : public EmModel {
       const EmDataset& dataset, const RuleEmModelOptions& options = {});
 
   double PredictProba(const PairRecord& pair) const override;
+  void PredictProbaPrepared(const PreparedPairBatch& prepared, size_t begin,
+                            size_t end, double* out) const override;
   std::string name() const override { return "rule-em"; }
   Result<std::vector<double>> AttributeWeights() const override;
 

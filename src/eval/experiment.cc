@@ -42,6 +42,9 @@ ExperimentConfig ExperimentConfig::FromFlags(const Flags& flags) {
   if (flags.GetBool("no-predict-cache", false)) {
     config.engine_options.cache_predictions = false;
   }
+  if (flags.GetBool("no-feature-cache", false)) {
+    config.engine_options.cache_features = false;
+  }
   return config;
 }
 

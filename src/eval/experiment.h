@@ -40,6 +40,7 @@ struct ExperimentConfig {
   ///   --records N --samples N --scale F --kernel-width F --lambda F
   ///   --threshold F --seed N --datasets S-BR,S-IA
   ///   --threads N (0 = hardware concurrency) --no-predict-cache
+  ///   --no-feature-cache
   static ExperimentConfig FromFlags(const Flags& flags);
 
   /// Builds the engine configured by `engine_options`.

@@ -1,0 +1,173 @@
+#include "text/token_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+
+namespace {
+
+/// Sorted distinct elements of `items` (the set the std::set-based kernels
+/// build implicitly).
+std::vector<std::string> SortedDistinct(std::vector<std::string> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+/// Intersection size of two sorted distinct ranges (linear merge).
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Jaccard over two sorted distinct profiles; both-empty yields 1.0 like the
+/// set-based kernel.
+double SortedJaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+TokenizedValue TokenizedValue::Of(std::string_view text) {
+  TokenizedValue out;
+  out.tokens = NormalizedTokens(text);
+
+  std::vector<std::string> sorted = out.tokens;
+  std::sort(sorted.begin(), sorted.end());
+  out.token_counts.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    out.token_counts.emplace_back(std::move(sorted[i]),
+                                  static_cast<double>(j - i));
+    i = j;
+  }
+  // Accumulated in sorted token order — the iteration order of the
+  // std::map the string-path cosine kernel builds, so the sum is the same
+  // sequence of double additions.
+  for (const auto& [token, freq] : out.token_counts) {
+    out.freq_norm_sq += freq * freq;
+  }
+
+  out.trigrams = SortedDistinct(QGrams(text, 3));
+  return out;
+}
+
+double JaccardSimilarity(const TokenizedValue& a, const TokenizedValue& b) {
+  if (a.token_counts.empty() && b.token_counts.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.token_counts.size() && j < b.token_counts.size()) {
+    const int cmp = a.token_counts[i].first.compare(b.token_counts[j].first);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = a.token_counts.size() + b.token_counts.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double OverlapCoefficient(const TokenizedValue& a, const TokenizedValue& b) {
+  if (a.token_counts.empty() && b.token_counts.empty()) return 1.0;
+  if (a.token_counts.empty() || b.token_counts.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.token_counts.size() && j < b.token_counts.size()) {
+    const int cmp = a.token_counts[i].first.compare(b.token_counts[j].first);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(
+             std::min(a.token_counts.size(), b.token_counts.size()));
+}
+
+double CosineTokenSimilarity(const TokenizedValue& a, const TokenizedValue& b) {
+  if (a.tokens.empty() && b.tokens.empty()) return 1.0;
+  if (a.tokens.empty() || b.tokens.empty()) return 0.0;
+  // The string path iterates side a's sorted frequency map, adding
+  // fa*fb for every shared token; the merge below visits the shared tokens
+  // in the same ascending order, so the dot product is the same sequence of
+  // double additions.
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.token_counts.size() && j < b.token_counts.size()) {
+    const int cmp = a.token_counts[i].first.compare(b.token_counts[j].first);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      dot += a.token_counts[i].second * b.token_counts[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return dot / (std::sqrt(a.freq_norm_sq) * std::sqrt(b.freq_norm_sq));
+}
+
+double MongeElkanSymmetric(const TokenizedValue& a, const TokenizedValue& b) {
+  return MongeElkanSymmetric(a.tokens, b.tokens);
+}
+
+double TrigramSimilarity(const TokenizedValue& a, const TokenizedValue& b) {
+  return SortedJaccard(a.trigrams, b.trigrams);
+}
+
+const TokenizedValue& TokenCache::Get(const std::string& text) {
+  auto it = entries_.find(text);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return entries_.emplace(text, TokenizedValue::Of(text)).first->second;
+}
+
+void TokenCache::PublishTelemetry() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (hits_ > published_hits_) {
+    registry.GetCounter("text/token_cache_hits").Add(hits_ - published_hits_);
+    published_hits_ = hits_;
+  }
+  if (misses_ > published_misses_) {
+    registry.GetCounter("text/token_cache_misses")
+        .Add(misses_ - published_misses_);
+    published_misses_ = misses_;
+  }
+}
+
+}  // namespace landmark

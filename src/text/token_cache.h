@@ -1,0 +1,108 @@
+#ifndef LANDMARK_TEXT_TOKEN_CACHE_H_
+#define LANDMARK_TEXT_TOKEN_CACHE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace landmark {
+
+/// \brief All token-level derivations of one attribute string, computed once
+/// and reused by every similarity kind that consumes them.
+///
+/// `ComputeAttributeFeature`'s token-set kinds each re-tokenized both sides
+/// from scratch (up to 8 tokenizations per attribute pair per call) and
+/// rebuilt their `std::set` / frequency-map scaffolding per kind. A
+/// TokenizedValue precomputes the shared views — the normalized token list,
+/// the sorted distinct token multiset with term frequencies, the squared
+/// frequency norm, and the sorted distinct character-trigram profile — so
+/// the similarity overloads below run allocation-free set merges instead.
+///
+/// **Equivalence contract.** Every overload taking TokenizedValue operands
+/// returns a double bit-identical to its `std::vector<std::string>` /
+/// `std::string_view` counterpart in text/similarity.h: integer set sizes
+/// are representation-independent, and the floating-point accumulations
+/// (cosine norm and dot product) walk tokens in the same sorted order the
+/// `std::map`-based implementation iterates. tests/text/token_cache_test.cc
+/// pins this for adversarial inputs.
+struct TokenizedValue {
+  /// NormalizedTokens(text), original order (Monge-Elkan needs it).
+  std::vector<std::string> tokens;
+  /// Distinct tokens sorted ascending, with their term frequency.
+  std::vector<std::pair<std::string, double>> token_counts;
+  /// Sum of squared term frequencies, accumulated in sorted token order
+  /// (the cosine kernel's per-side norm).
+  double freq_norm_sq = 0.0;
+  /// Distinct character 3-grams of the raw string, sorted ascending.
+  std::vector<std::string> trigrams;
+
+  /// Tokenizes and profiles `text` (the raw attribute string).
+  static TokenizedValue Of(std::string_view text);
+};
+
+/// Jaccard over distinct tokens; bit-identical to
+/// JaccardSimilarity(NormalizedTokens(a), NormalizedTokens(b)).
+double JaccardSimilarity(const TokenizedValue& a, const TokenizedValue& b);
+
+/// Overlap coefficient over distinct tokens; bit-identical to the
+/// vector<string> overload on NormalizedTokens.
+double OverlapCoefficient(const TokenizedValue& a, const TokenizedValue& b);
+
+/// Cosine over term-frequency vectors; bit-identical to the vector<string>
+/// overload on NormalizedTokens.
+double CosineTokenSimilarity(const TokenizedValue& a, const TokenizedValue& b);
+
+/// Symmetric Monge-Elkan over the token lists; bit-identical to the
+/// vector<string> overload on NormalizedTokens.
+double MongeElkanSymmetric(const TokenizedValue& a, const TokenizedValue& b);
+
+/// Jaccard over the precomputed trigram profiles; bit-identical to
+/// TrigramSimilarity(a.text, b.text).
+double TrigramSimilarity(const TokenizedValue& a, const TokenizedValue& b);
+
+/// \brief Batch-lifetime memo of TokenizedValue per distinct attribute
+/// string.
+///
+/// One cache serves one engine query batch: perturbation masks of a unit
+/// recombine the same attribute strings over and over (and one side of
+/// every landmark unit is frozen outright), so the number of distinct
+/// strings is orders of magnitude below the number of value occurrences.
+/// There is no invalidation — entries live exactly as long as the cache,
+/// which lives exactly as long as the batch.
+///
+/// **Thread-safety.** Get() mutates and must run single-threaded (the
+/// engine populates the cache while laying out the prepared batch, before
+/// fanning out to workers); the returned references stay valid and safe to
+/// read concurrently afterwards (std::unordered_map never moves nodes).
+class TokenCache {
+ public:
+  /// Returns the profile of `text`, computing it on first sight. The
+  /// reference is stable for the cache's lifetime.
+  const TokenizedValue& Get(const std::string& text);
+
+  /// Lookups that found an existing entry / had to compute one.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  /// Distinct strings profiled (== misses()).
+  size_t size() const { return entries_.size(); }
+
+  /// Adds this cache's hit/miss counts to the process-wide telemetry
+  /// counters `text/token_cache_hits` / `text/token_cache_misses` (see
+  /// docs/architecture.md, "Metric name contract"). Call once per batch;
+  /// counts already published are not re-published.
+  void PublishTelemetry();
+
+ private:
+  std::unordered_map<std::string, TokenizedValue> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t published_hits_ = 0;
+  size_t published_misses_ = 0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_TEXT_TOKEN_CACHE_H_

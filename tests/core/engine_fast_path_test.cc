@@ -1,0 +1,196 @@
+// A/B equivalence suite for the query-stage fast path: ExplainBatch with
+// EngineOptions::cache_features on must be bit-identical to the string path
+// for every bundled model type, across thread counts and with the
+// prediction memo on or off (docs/architecture.md, "Query fast path").
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine/explainer_engine.h"
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "datagen/magellan.h"
+#include "em/embedding_em_model.h"
+#include "em/forest_em_model.h"
+#include "em/heuristic_model.h"
+#include "em/logreg_em_model.h"
+#include "em/rule_em_model.h"
+
+namespace landmark {
+namespace {
+
+/// One realistic generated dataset shared by every model (training real
+/// models needs more rows than a hand-rolled fixture provides).
+const EmDataset& TestDataset() {
+  static const EmDataset* dataset = [] {
+    MagellanGenOptions gen;
+    gen.size_scale = 0.25;
+    return new EmDataset(
+        *GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen));
+  }();
+  return *dataset;
+}
+
+/// Trained once per model type, shared across all parameter combinations.
+const EmModel& TestModel(const std::string& kind) {
+  static auto* models = new std::map<std::string, std::unique_ptr<EmModel>>();
+  auto it = models->find(kind);
+  if (it != models->end()) return *it->second;
+  std::unique_ptr<EmModel> model;
+  if (kind == "jaccard-em") {
+    model = std::make_unique<JaccardEmModel>();
+  } else if (kind == "logreg-em") {
+    model = std::move(LogRegEmModel::Train(TestDataset())).ValueOrDie();
+  } else if (kind == "forest-em") {
+    model = std::move(ForestEmModel::Train(TestDataset())).ValueOrDie();
+  } else if (kind == "rule-em") {
+    model = std::move(RuleEmModel::Train(TestDataset())).ValueOrDie();
+  } else {
+    EmbeddingEmModelOptions options;
+    options.mlp.hidden = {16};
+    options.mlp.epochs = 3;  // equivalence needs a scorer, not a good one
+    model = std::move(EmbeddingEmModel::Train(TestDataset(), options))
+                .ValueOrDie();
+  }
+  return *models->emplace(kind, std::move(model)).first->second;
+}
+
+/// Bit-identical comparison — the contract is exact equality of every
+/// double, not approximate agreement.
+void ExpectIdenticalResults(const EngineBatchResult& a,
+                            const EngineBatchResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].ok(), b.results[i].ok())
+        << label << " record " << i;
+    if (!a.results[i].ok()) continue;
+    const std::vector<Explanation>& ea = *a.results[i];
+    const std::vector<Explanation>& eb = *b.results[i];
+    ASSERT_EQ(ea.size(), eb.size()) << label << " record " << i;
+    for (size_t e = 0; e < ea.size(); ++e) {
+      EXPECT_EQ(ea[e].model_prediction, eb[e].model_prediction)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_intercept, eb[e].surrogate_intercept)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_r2, eb[e].surrogate_r2)
+          << label << " record " << i << " explanation " << e;
+      ASSERT_EQ(ea[e].token_weights.size(), eb[e].token_weights.size());
+      for (size_t t = 0; t < ea[e].token_weights.size(); ++t) {
+        EXPECT_EQ(ea[e].token_weights[t].weight, eb[e].token_weights[t].weight)
+            << label << " record " << i << " explanation " << e << " token "
+            << t;
+      }
+    }
+  }
+}
+
+std::unique_ptr<PairExplainer> MakeExplainer(const std::string& kind,
+                                             const ExplainerOptions& options) {
+  if (kind == "landmark-single") {
+    return std::make_unique<LandmarkExplainer>(GenerationStrategy::kSingle,
+                                               options);
+  }
+  if (kind == "landmark-double") {
+    return std::make_unique<LandmarkExplainer>(GenerationStrategy::kDouble,
+                                               options);
+  }
+  if (kind == "lime") return std::make_unique<LimeExplainer>(options);
+  return std::make_unique<MojitoCopyExplainer>(options);
+}
+
+class EngineFastPathTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineFastPathTest, FastPathBitIdenticalToStringPath) {
+  const EmModel& model = TestModel(GetParam());
+  const EmDataset& dataset = TestDataset();
+  std::vector<const PairRecord*> pairs;
+  for (size_t i = 0; i < 3 && i < dataset.size(); ++i) {
+    pairs.push_back(&dataset.pair(i));
+  }
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = 64;
+
+  for (const char* explainer_kind :
+       {"landmark-single", "landmark-double", "lime", "mojito-copy"}) {
+    std::unique_ptr<PairExplainer> explainer =
+        MakeExplainer(explainer_kind, explainer_options);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool memo : {true, false}) {
+        EngineOptions fast_options;
+        fast_options.num_threads = threads;
+        fast_options.cache_predictions = memo;
+        fast_options.cache_features = true;
+        EngineOptions string_options = fast_options;
+        string_options.cache_features = false;
+
+        const std::string label = std::string(GetParam()) + "/" +
+                                  explainer_kind + "/threads=" +
+                                  std::to_string(threads) +
+                                  (memo ? "/memo" : "/nomemo");
+        EngineBatchResult fast =
+            ExplainerEngine(fast_options).ExplainBatch(model, pairs,
+                                                       *explainer);
+        EngineBatchResult slow =
+            ExplainerEngine(string_options).ExplainBatch(model, pairs,
+                                                         *explainer);
+        ExpectIdenticalResults(fast, slow, label);
+        // The fast path actually engaged (and the string path did not).
+        EXPECT_GT(fast.stats.token_cache_misses, 0u) << label;
+        EXPECT_GT(fast.stats.token_cache_hits, 0u) << label;
+        EXPECT_EQ(slow.stats.token_cache_misses, 0u) << label;
+        EXPECT_EQ(slow.stats.token_cache_hits, 0u) << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBundledModels, EngineFastPathTest,
+                         ::testing::Values("jaccard-em", "logreg-em",
+                                           "forest-em", "rule-em",
+                                           "embedding-em"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EngineFastPathSingleTest, RunUnitMatchesBatchWithFastPath) {
+  // The single-unit path (ExplainOne/RunUnit) also routes through the
+  // prepared batch; it must agree with ExplainBatch under both settings.
+  const EmModel& model = TestModel("logreg-em");
+  const EmDataset& dataset = TestDataset();
+  ExplainerOptions options;
+  options.num_samples = 64;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+
+  for (bool cache_features : {true, false}) {
+    EngineOptions engine_options;
+    engine_options.cache_features = cache_features;
+    ExplainerEngine engine(engine_options);
+    std::vector<const PairRecord*> one = {&dataset.pair(0)};
+    EngineBatchResult batch = engine.ExplainBatch(model, one, explainer);
+    auto direct = engine.ExplainOne(model, dataset.pair(0), explainer);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(batch.results[0].ok());
+    ASSERT_EQ(direct->size(), batch.results[0]->size());
+    for (size_t e = 0; e < direct->size(); ++e) {
+      EXPECT_EQ((*direct)[e].model_prediction,
+                (*batch.results[0])[e].model_prediction);
+      for (size_t t = 0; t < (*direct)[e].token_weights.size(); ++t) {
+        EXPECT_EQ((*direct)[e].token_weights[t].weight,
+                  (*batch.results[0])[e].token_weights[t].weight);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace landmark

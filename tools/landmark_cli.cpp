@@ -49,7 +49,8 @@ commands:
   counterfactual  (--dataset CODE | --input FILE) --pair N [--model ...]
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
-                  [--threads N] [--no-predict-cache] [--engine-stats]
+                  [--threads N] [--no-predict-cache] [--no-feature-cache]
+                  [--engine-stats]
   telemetry-demo  [--dataset CODE] [--records N] [--threads N]
 
 every command also accepts:
