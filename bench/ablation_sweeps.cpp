@@ -33,8 +33,9 @@ double MeanR2(const std::vector<ExplainedRecord>& records) {
   return n == 0 ? 0.0 : total / static_cast<double>(n);
 }
 
-int Run(const Flags& flags) {
+int Run(const Flags& flags, AuditSink* audit_sink) {
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = audit_sink;
   config.records_per_label =
       static_cast<size_t>(flags.GetInt("records", 40));
   MagellanDatasetSpec spec =
@@ -192,5 +193,5 @@ int main(int argc, char** argv) {
   }
   landmark::TelemetryScope telemetry =
       landmark::TelemetryScope::FromFlags(*flags);
-  return Run(*flags);
+  return Run(*flags, telemetry.audit_sink());
 }

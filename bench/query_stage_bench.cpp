@@ -12,6 +12,9 @@
 //
 // Flags: --records N --samples N --reps N --threads N --scale F
 //        --json-out FILE (default: stdout)
+//        --canonical-out FILE (cross-PR benchmark trajectory schema:
+//        benchmark name -> wall ns + records/second; scripts/run_bench.sh
+//        writes it to the repo root as BENCH_5.json)
 
 #include <algorithm>
 #include <cstdio>
@@ -76,6 +79,7 @@ int Run(int argc, char** argv) {
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   const double scale = flags.GetDouble("scale", 0.25);
   const std::string json_out = flags.GetString("json-out", "");
+  const std::string canonical_out = flags.GetString("canonical-out", "");
 
   MagellanGenOptions gen;
   gen.size_scale = scale;
@@ -159,6 +163,38 @@ int Run(int argc, char** argv) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
     LANDMARK_LOG(Info) << "wrote " << json_out;
+  }
+
+  if (!canonical_out.empty()) {
+    // Canonical cross-PR schema: one entry per benchmark, wall time in
+    // nanoseconds plus throughput in explained records per second, so the
+    // repo-root BENCH_<n>.json trajectory is comparable across PRs without
+    // knowing each benchmark's bespoke layout.
+    auto entry = [&](const std::string& name, double wall_seconds) {
+      const double throughput =
+          wall_seconds > 0.0 ? static_cast<double>(batch.size()) / wall_seconds
+                             : 0.0;
+      return "    \"" + name + "\": {\"wall_ns\": " +
+             std::to_string(static_cast<long long>(wall_seconds * 1e9)) +
+             ", \"throughput\": " + FormatDouble(throughput, 3) + "}";
+    };
+    std::string canonical = "{\n";
+    canonical += "  \"schema\": \"landmark-bench-v1\",\n";
+    canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
+                 "\"throughput\": \"records/second\"},\n";
+    canonical += "  \"benchmarks\": {\n";
+    canonical +=
+        entry("query_stage/string_path", string_path.total) + ",\n";
+    canonical += entry("query_stage/fast_path", fast_path.total) + "\n";
+    canonical += "  }\n}\n";
+    std::FILE* f = std::fopen(canonical_out.c_str(), "w");
+    if (f == nullptr) {
+      LANDMARK_LOG(Error) << "cannot open " << canonical_out;
+      return 1;
+    }
+    std::fputs(canonical.c_str(), f);
+    std::fclose(f);
+    LANDMARK_LOG(Info) << "wrote " << canonical_out;
   }
   return 0;
 }

@@ -20,8 +20,9 @@ namespace {
 
 using namespace landmark;  // NOLINT
 
-int RunTable2(const Flags& flags) {
+int RunTable2(const Flags& flags, AuditSink* audit_sink) {
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = audit_sink;
   std::vector<MagellanDatasetSpec> specs = SelectSpecs(flags);
   ExplainerEngine engine = config.MakeEngine();
 
@@ -108,5 +109,5 @@ int main(int argc, char** argv) {
   }
   landmark::TelemetryScope telemetry =
       landmark::TelemetryScope::FromFlags(*flags);
-  return RunTable2(*flags);
+  return RunTable2(*flags, telemetry.audit_sink());
 }

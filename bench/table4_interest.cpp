@@ -20,8 +20,9 @@ namespace {
 
 using namespace landmark;  // NOLINT
 
-int RunTable4(const Flags& flags) {
+int RunTable4(const Flags& flags, AuditSink* audit_sink) {
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = audit_sink;
   std::vector<MagellanDatasetSpec> specs = SelectSpecs(flags);
   ExplainerEngine engine = config.MakeEngine();
 
@@ -104,5 +105,5 @@ int main(int argc, char** argv) {
   }
   landmark::TelemetryScope telemetry =
       landmark::TelemetryScope::FromFlags(*flags);
-  return RunTable4(*flags);
+  return RunTable4(*flags, telemetry.audit_sink());
 }

@@ -19,8 +19,9 @@ namespace {
 
 using namespace landmark;  // NOLINT
 
-int Run(const Flags& flags) {
+int Run(const Flags& flags, AuditSink* audit_sink) {
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = audit_sink;
   config.records_per_label = static_cast<size_t>(flags.GetInt("records", 40));
   MagellanDatasetSpec spec =
       FindMagellanSpec(flags.GetString("dataset", "S-AG")).ValueOrDie();
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
   }
   landmark::TelemetryScope telemetry =
       landmark::TelemetryScope::FromFlags(*flags);
-  return Run(*flags);
+  return Run(*flags, telemetry.audit_sink());
 }

@@ -13,10 +13,16 @@
 #               a race there fails loudly even when triaging the full run
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
-# `telemetry-demo --trace-out --metrics-out` and the outputs are checked by
-# scripts/validate_trace.py (stdlib Python; skipped when python3 is absent),
-# and the perf_smoke ctest label smoke-runs the query-stage benchmark
-# (scripts/run_bench.sh is the full driver).
+# `telemetry-demo --trace-out --metrics-out --audit-out` and the outputs are
+# checked by scripts/validate_trace.py (stdlib Python; skipped when python3
+# is absent), and the perf_smoke ctest label smoke-runs the query-stage
+# benchmark (scripts/run_bench.sh is the full driver).
+#
+# Finally the exporter smoke stage starts a tiny batch with
+# `--metrics-port 0` (ephemeral port announced on stdout), scrapes /metrics
+# and /healthz through tools/http_probe (raw sockets; the image has no
+# curl), and asserts the exposition contains the explain/quality histograms
+# — once against the default build and once against the TSan build.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -37,22 +43,81 @@ done
 
 echo "=== [tsan] telemetry-focused re-run ==="
 ctest --preset tsan -j "$JOBS" -R \
-  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool'
+  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus'
 
 echo "=== [default] telemetry outputs + perf smoke ==="
 cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null
-cmake --build build -j "$JOBS" --target landmark_cli query_stage_bench
+cmake --build build -j "$JOBS" --target landmark_cli query_stage_bench http_probe
 (cd build && ctest -L perf_smoke --output-on-failure)
 TELEMETRY_TMP="$(mktemp -d)"
 trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 ./build/tools/landmark_cli telemetry-demo --records 8 \
   --trace-out="$TELEMETRY_TMP/trace.json" \
-  --metrics-out="$TELEMETRY_TMP/metrics.json" >/dev/null
+  --metrics-out="$TELEMETRY_TMP/metrics.json" \
+  --audit-out="$TELEMETRY_TMP/audit.jsonl" >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/validate_trace.py \
-    "$TELEMETRY_TMP/trace.json" "$TELEMETRY_TMP/metrics.json"
+    "$TELEMETRY_TMP/trace.json" "$TELEMETRY_TMP/metrics.json" \
+    --audit "$TELEMETRY_TMP/audit.jsonl"
 else
   echo "python3 not found; skipped trace/metrics validation"
 fi
+
+# Exporter smoke: background a tiny batch that serves /metrics on an
+# ephemeral port and lingers, poll the announced port until the finished
+# batch's explain/quality histograms appear in the exposition, check
+# /healthz, then take the process down.
+exporter_smoke() {
+  local bindir="$1" tag="$2"
+  local log="$TELEMETRY_TMP/exporter_$tag.log"
+  "$bindir/tools/landmark_cli" telemetry-demo --records 4 --samples 32 \
+    --scale 0.25 --metrics-port 0 --metrics-linger 300 >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 600); do
+    port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' \
+      "$log" | head -n 1)"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "exporter smoke [$tag]: process exited before announcing a port"
+      cat "$log"
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "exporter smoke [$tag]: no port announced"
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local scraped=""
+  for _ in $(seq 1 600); do
+    if "$bindir/tools/http_probe" "$port" /metrics \
+        --expect-substring landmark_explain_quality_match_fraction_count \
+        >"$TELEMETRY_TMP/metrics_$tag.prom" 2>/dev/null; then
+      scraped=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ -z "$scraped" ]; then
+    echo "exporter smoke [$tag]: /metrics never showed explain/quality"
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  test -s "$TELEMETRY_TMP/metrics_$tag.prom"
+  "$bindir/tools/http_probe" "$port" /healthz --expect-substring ok \
+    >/dev/null
+  "$bindir/tools/http_probe" "$port" /statusz \
+    --expect-substring engine/batches >/dev/null
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  echo "exporter smoke [$tag]: ok (port $port)"
+}
+
+echo "=== exporter smoke [default] ==="
+exporter_smoke build default
+echo "=== exporter smoke [tsan] ==="
+exporter_smoke build-tsan tsan
 
 echo "All sanitizer checks passed."

@@ -14,7 +14,13 @@
 # fresh BENCH_query.json against those to judge a perf change; the absolute
 # numbers are machine-dependent, the speedup ratios should hold anywhere.
 #
-# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json in $PWD)
+# Alongside the per-stage BENCH_query.json, the canonical cross-PR
+# trajectory file BENCH_5.json (schema: benchmark name -> wall_ns +
+# throughput) is written to the repo root so tooling can compare runs
+# across PRs without knowing each benchmark's bespoke layout.
+#
+# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json in $PWD,
+#                                       BENCH_5.json in the repo root)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,6 +36,9 @@ echo "=== perf_explainers ==="
 "$REPO/build/bench/perf_explainers" --benchmark_min_time=0.05
 
 echo "=== query_stage_bench ==="
-"$REPO/build/bench/query_stage_bench" --json-out "$OUT_DIR/BENCH_query.json"
+"$REPO/build/bench/query_stage_bench" \
+  --json-out "$OUT_DIR/BENCH_query.json" \
+  --canonical-out "$REPO/BENCH_5.json"
 cat "$OUT_DIR/BENCH_query.json"
 echo "wrote $OUT_DIR/BENCH_query.json (baselines: bench/baselines/)"
+echo "wrote $REPO/BENCH_5.json (canonical cross-PR trajectory)"

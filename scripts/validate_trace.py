@@ -2,14 +2,20 @@
 """Validates telemetry output files (stdlib-only, no pip dependencies).
 
 Usage:
-    scripts/validate_trace.py TRACE.json [METRICS.json]
+    scripts/validate_trace.py TRACE.json [METRICS.json] [--audit AUDIT.jsonl]
 
 Checks that TRACE.json is a loadable Chrome trace-event file — a JSON object
 with a `traceEvents` list whose entries carry the keys chrome://tracing and
 Perfetto require (`ph`, `pid`, `tid`, plus `name`/`ts`/`dur` for complete
-events, with `dur >= 0`) — and, when given, that METRICS.json is a metrics
-snapshot with `counters`/`gauges`/`histograms` keys and internally
-consistent histograms (count/bucket agreement, p50 <= p95 <= p99).
+events, with `dur >= 0`) — and that spans nest properly per thread: within
+one `(pid, tid)` track, two complete spans either nest or are disjoint;
+partial overlap means the recorder emitted garbage. When given, METRICS.json
+must be a metrics snapshot with `counters`/`gauges`/`histograms` keys and
+internally consistent histograms (count/bucket agreement, p50 <= p95 <=
+p99), and AUDIT.jsonl must be an engine flight-recorder stream: one JSON
+object per line, every `unit` record carrying the schema fields with a
+globally monotone unit ordinal (the append-order determinism contract), and
+`weighted_r2` either a number or null (NaN serializes as null, never 0).
 
 Exit code 0 when everything holds; 1 with a message on the first violation.
 """
@@ -21,6 +27,29 @@ import sys
 def fail(message: str) -> None:
     print(f"validate_trace: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_span_nesting(path: str, events) -> None:
+    """Within a (pid, tid) track, complete spans must nest or be disjoint."""
+    tracks = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), spans in tracks.items():
+        # Sort by start time, longest first on ties, so a parent precedes
+        # the children it encloses.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for span in spans:
+            begin, end = span["ts"], span["ts"] + span["dur"]
+            while stack and begin >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"{path}: span '{span['name']}' [{begin}, {end}) on "
+                     f"track ({pid}, {tid}) partially overlaps enclosing "
+                     f"'{stack[-1][0]}' ending at {stack[-1][1]}")
+            stack.append((span["name"], end))
 
 
 def validate_trace(path: str) -> None:
@@ -54,6 +83,7 @@ def validate_trace(path: str) -> None:
                 fail(f"{path}: traceEvents[{i}] has negative dur")
             if event["ts"] < 0:
                 fail(f"{path}: traceEvents[{i}] has negative ts")
+    check_span_nesting(path, events)
     print(f"validate_trace: {path}: ok "
           f"({len(events)} events, {complete} complete spans)")
 
@@ -97,13 +127,93 @@ def validate_metrics(path: str) -> None:
           f"({len(doc['counters'])} counters, {len(histograms)} histograms)")
 
 
+# Fields every successful audit unit record must carry (failed units carry
+# `error` instead of the quality block). Mirrors AuditSink::UnitToJson.
+AUDIT_UNIT_FIELDS = (
+    "record_id", "record_index", "explainer", "landmark_side",
+    "model_prediction", "weighted_r2", "intercept", "match_fraction",
+    "top_weight_share", "interesting_tokens", "low_r2",
+    "degenerate_neighborhood", "num_masks", "num_model_queries",
+    "cache_hits", "top_tokens",
+)
+
+AUDIT_BATCH_FIELDS = (
+    "num_records", "num_failed_records", "num_units", "num_masks",
+    "num_model_queries", "cache_hits", "plan_seconds",
+    "reconstruct_seconds", "query_seconds", "fit_seconds",
+)
+
+
+def validate_audit(path: str) -> None:
+    units = 0
+    batches = 0
+    expected_ordinal = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: not valid JSON: {e}")
+        if not isinstance(record, dict) or "type" not in record:
+            fail(f"{path}:{lineno}: every line must be an object with 'type'")
+        if record["type"] == "unit":
+            units += 1
+            if record.get("unit") != expected_ordinal:
+                fail(f"{path}:{lineno}: unit ordinal {record.get('unit')} "
+                     f"breaks the monotone append order "
+                     f"(expected {expected_ordinal})")
+            expected_ordinal += 1
+            if "error" in record:
+                continue
+            for key in AUDIT_UNIT_FIELDS:
+                if key not in record:
+                    fail(f"{path}:{lineno}: unit record missing '{key}'")
+            r2 = record["weighted_r2"]
+            if r2 is not None and not isinstance(r2, (int, float)):
+                fail(f"{path}:{lineno}: weighted_r2 must be a number or "
+                     f"null, got {r2!r}")
+            if not isinstance(record["top_tokens"], list):
+                fail(f"{path}:{lineno}: top_tokens must be a list")
+            if not 0.0 <= record["match_fraction"] <= 1.0:
+                fail(f"{path}:{lineno}: match_fraction out of [0, 1]")
+        elif record["type"] == "batch":
+            batches += 1
+            for key in AUDIT_BATCH_FIELDS:
+                if key not in record:
+                    fail(f"{path}:{lineno}: batch record missing '{key}'")
+        else:
+            fail(f"{path}:{lineno}: unknown record type {record['type']!r}")
+    if units == 0:
+        fail(f"{path}: no unit records (the run explained nothing?)")
+    print(f"validate_trace: {path}: ok "
+          f"({units} unit records, {batches} batch records)")
+
+
 def main(argv) -> int:
-    if len(argv) < 2 or len(argv) > 3:
+    args = list(argv[1:])
+    audit_path = None
+    if "--audit" in args:
+        at = args.index("--audit")
+        if at + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        audit_path = args[at + 1]
+        del args[at:at + 2]
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         return 2
-    validate_trace(argv[1])
-    if len(argv) == 3:
-        validate_metrics(argv[2])
+    validate_trace(args[0])
+    if len(args) == 2:
+        validate_metrics(args[1])
+    if audit_path is not None:
+        validate_audit(audit_path)
     return 0
 
 

@@ -5,10 +5,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/engine/quality.h"
 #include "core/surrogate.h"
 #include "em/prepared_batch.h"
 #include "text/token_cache.h"
 #include "util/string_util.h"
+#include "util/telemetry/audit.h"
 #include "util/telemetry/metrics.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
@@ -112,6 +114,58 @@ struct EngineMetrics {
     return *metrics;
   }
 };
+
+/// Coefficients kept per audit line; matches Explanation::ToString's
+/// default report depth.
+constexpr size_t kAuditTopK = 10;
+
+/// Fills the post-fit fields of an audit record from the unit's shell and
+/// quality signals. `schema` resolves attribute indices to names (may be
+/// null for schema-less records).
+void FillAuditSuccess(const Explanation& shell,
+                      const ExplanationQuality& quality, const Schema* schema,
+                      AuditUnitRecord* record) {
+  record->model_prediction = shell.model_prediction;
+  record->weighted_r2 = quality.weighted_r2;
+  record->intercept = quality.intercept;
+  record->match_fraction = quality.match_fraction;
+  record->top_weight_share = quality.top_weight_share;
+  record->interesting_tokens = quality.interesting_tokens;
+  record->low_r2 = quality.low_r2;
+  record->degenerate_neighborhood = quality.degenerate_neighborhood;
+  record->top_tokens.clear();
+  for (size_t index : shell.TopFeatures(kAuditTopK)) {
+    const TokenWeight& tw = shell.token_weights[index];
+    AuditTokenWeight token;
+    token.attribute = schema != nullptr &&
+                              tw.token.attribute < schema->num_attributes()
+                          ? schema->attribute_name(tw.token.attribute)
+                          : std::to_string(tw.token.attribute);
+    token.occurrence = static_cast<int>(tw.token.occurrence);
+    token.text = tw.token.text;
+    token.side = std::string(EntitySideName(tw.token.side));
+    token.injected = tw.token.injected;
+    token.weight = tw.weight;
+    record->top_tokens.push_back(std::move(token));
+  }
+}
+
+AuditBatchStats MakeAuditBatchStats(const EngineStats& stats) {
+  AuditBatchStats out;
+  out.num_records = stats.num_records;
+  out.num_failed_records = stats.num_failed_records;
+  out.num_units = stats.num_units;
+  out.num_masks = stats.num_masks;
+  out.num_model_queries = stats.num_model_queries;
+  out.cache_hits = stats.cache_hits;
+  out.token_cache_hits = stats.token_cache_hits;
+  out.token_cache_misses = stats.token_cache_misses;
+  out.plan_seconds = stats.plan_seconds;
+  out.reconstruct_seconds = stats.reconstruct_seconds;
+  out.query_seconds = stats.query_seconds;
+  out.fit_seconds = stats.fit_seconds;
+  return out;
+}
 
 /// EngineStats stays the per-batch snapshot callers consume; the registry
 /// carries the same numbers as process-lifetime aggregates. Publishing once
@@ -352,6 +406,11 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
   timer.Reset();
   const SurrogateOptions surrogate_options =
       MakeSurrogateOptions(explainer.options());
+  // Quality signals need the full (duplicates included) neighbourhood
+  // predictions, which are local to the fit loop; computed there, published
+  // and audited from the single-threaded epilogue below.
+  std::vector<ExplanationQuality> qualities(works.size());
+  std::vector<uint8_t> fit_ok(works.size(), 0);
   parallel_for(works.size(), [&](size_t begin, size_t end) {
     for (size_t w = begin; w < end; ++w) {
       UnitWork& work = works[w];
@@ -372,6 +431,9 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
       // SampleNeighborhood), so this is f(all-active).
       work.unit.shell.model_prediction = unit_predictions[0];
       explainer.ApplyFit(*fit, &work.unit);
+      qualities[w] =
+          ComputeExplanationQuality(work.unit.shell, unit_predictions);
+      fit_ok[w] = 1;
     }
   });
   for (const UnitWork& work : works) {
@@ -381,6 +443,41 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
   }
   out.stats.fit_seconds = timer.ElapsedSeconds();
   fit_span.End();
+
+  // --- Quality + audit epilogue: publish every fitted unit's quality
+  // signals and capture the audit lines while the shells are still alive
+  // (assembly moves them into the results). Runs single-threaded in unit
+  // index order, so the audit stream is deterministic across thread counts.
+  std::vector<AuditUnitRecord> audit_records;
+  if (options_.audit_sink != nullptr) audit_records.resize(works.size());
+  for (size_t w = 0; w < works.size(); ++w) {
+    const UnitWork& work = works[w];
+    if (fit_ok[w]) PublishExplanationQuality(qualities[w]);
+    if (options_.audit_sink == nullptr) continue;
+    AuditUnitRecord& record = audit_records[w];
+    record.record_id = pairs[work.record_index]->id;
+    record.record_index = work.record_index;
+    record.explainer = work.unit.shell.explainer_name;
+    if (work.unit.shell.landmark.has_value()) {
+      record.landmark_side =
+          std::string(EntitySideName(*work.unit.shell.landmark));
+    }
+    record.num_masks = work.masks.size();
+    if (work.queried) {
+      record.num_model_queries = work.unique_index.size();
+      record.cache_hits = work.masks.size() - work.unique_index.size();
+    }
+    if (fit_ok[w]) {
+      FillAuditSuccess(work.unit.shell, qualities[w],
+                       pairs[work.record_index]->left.schema().get(),
+                       &record);
+    } else {
+      const Status& status = !work.status.ok()
+                                 ? work.status
+                                 : record_status[work.record_index];
+      record.error = status.ok() ? "unit not completed" : status.ToString();
+    }
+  }
 
   // --- Assemble, preserving input order and per-record unit order.
   out.results.reserve(n);
@@ -396,6 +493,12 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
       explanations.push_back(std::move(works[w].unit.shell));
     }
     out.results.emplace_back(std::move(explanations));
+  }
+  if (options_.audit_sink != nullptr) {
+    for (const AuditUnitRecord& record : audit_records) {
+      options_.audit_sink->WriteUnit(record);
+    }
+    options_.audit_sink->WriteBatch(MakeAuditBatchStats(out.stats));
   }
   PublishBatchStats(out.stats, cache_evictions);
   return out;
@@ -477,6 +580,22 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
                    MakeSurrogateOptions(explainer.options())));
   unit.shell.model_prediction = predictions[0];  // the all-active sample
   explainer.ApplyFit(fit, &unit);
+  const ExplanationQuality quality =
+      ComputeExplanationQuality(unit.shell, predictions);
+  PublishExplanationQuality(quality);
+  if (options_.audit_sink != nullptr) {
+    AuditUnitRecord record;
+    record.record_id = pair.id;
+    record.explainer = unit.shell.explainer_name;
+    if (unit.shell.landmark.has_value()) {
+      record.landmark_side = std::string(EntitySideName(*unit.shell.landmark));
+    }
+    record.num_masks = masks.size();
+    record.num_model_queries = unique_index.size();
+    record.cache_hits = masks.size() - unique_index.size();
+    FillAuditSuccess(unit.shell, quality, pair.left.schema().get(), &record);
+    options_.audit_sink->WriteUnit(record);
+  }
   return std::move(unit.shell);
 }
 

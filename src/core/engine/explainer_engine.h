@@ -14,6 +14,8 @@
 
 namespace landmark {
 
+class AuditSink;
+
 /// \brief Knobs of the staged explanation pipeline.
 struct EngineOptions {
   /// Worker threads for the plan / reconstruct / query / fit stages. 1 runs
@@ -36,6 +38,14 @@ struct EngineOptions {
   /// prepared override transparently fall back to it). Off is an escape
   /// hatch for debugging and for the A/B equivalence tests.
   bool cache_features = true;
+  /// Optional flight recorder (`--audit-out`): when non-null, the engine
+  /// appends one JSON line per ExplainUnit — identity, quality signals,
+  /// per-unit cache counts, top-k token weights — plus a batch trailer.
+  /// Records are written from the batch epilogue in input order, never from
+  /// worker threads, so the stream is deterministic and the produced
+  /// explanations are bit-identical with the sink attached or not.
+  /// Non-owning; must outlive every Explain* call on the engine.
+  AuditSink* audit_sink = nullptr;
 };
 
 /// \brief Per-stage counters of one ExplainBatch call.

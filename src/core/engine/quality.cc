@@ -1,0 +1,118 @@
+#include "core/engine/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+
+ExplanationQuality ComputeExplanationQuality(
+    const Explanation& explanation,
+    const std::vector<double>& neighborhood_predictions,
+    const QualityThresholds& thresholds) {
+  ExplanationQuality quality;
+  quality.weighted_r2 = explanation.surrogate_r2;
+  quality.intercept = explanation.surrogate_intercept;
+
+  if (!neighborhood_predictions.empty()) {
+    size_t matches = 0;
+    for (double prediction : neighborhood_predictions) {
+      if (prediction >= thresholds.decision_threshold) ++matches;
+    }
+    quality.match_fraction = static_cast<double>(matches) /
+                             static_cast<double>(
+                                 neighborhood_predictions.size());
+  }
+
+  double total_mass = 0.0;
+  for (const TokenWeight& tw : explanation.token_weights) {
+    total_mass += std::fabs(tw.weight);
+  }
+  if (total_mass > 0.0) {
+    std::vector<size_t> top = explanation.TopFeatures(thresholds.top_k);
+    double top_mass = 0.0;
+    for (size_t index : top) {
+      top_mass += std::fabs(explanation.token_weights[index].weight);
+    }
+    quality.top_weight_share = top_mass / total_mass;
+  }
+
+  // The paper's interesting tokens are counter-evidence: with a match
+  // verdict on the all-active sample, the tokens worth reporting are the
+  // ones pulling towards non-match (remove them to break the match), and
+  // vice versa.
+  const bool model_says_match =
+      explanation.model_prediction >= thresholds.decision_threshold;
+  for (const TokenWeight& tw : explanation.token_weights) {
+    if (std::fabs(tw.weight) <= thresholds.weight_epsilon) continue;
+    if (model_says_match ? tw.weight < 0.0 : tw.weight > 0.0) {
+      ++quality.interesting_tokens;
+    }
+  }
+
+  quality.low_r2 = std::isnan(quality.weighted_r2) ||
+                   quality.weighted_r2 < thresholds.low_r2;
+  quality.degenerate_neighborhood =
+      quality.match_fraction <= 0.0 || quality.match_fraction >= 1.0;
+  return quality;
+}
+
+namespace {
+
+/// Handles into the global registry, resolved once (same pattern as
+/// EngineMetrics in explainer_engine.cc).
+struct QualityMetrics {
+  Counter& units;
+  Counter& low_r2;
+  Counter& degenerate;
+  Histogram& r2;
+  Histogram& intercept;
+  Histogram& match_fraction;
+  Histogram& top_weight_share;
+  Histogram& interesting_tokens;
+
+  static const QualityMetrics& Get() {
+    static const QualityMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return new QualityMetrics{
+          registry.GetCounter("explain/quality/units"),
+          registry.GetCounter("explain/quality/low_r2"),
+          registry.GetCounter("explain/quality/degenerate_neighborhoods"),
+          registry.GetHistogram("explain/quality/r2"),
+          registry.GetHistogram("explain/quality/intercept"),
+          registry.GetHistogram("explain/quality/match_fraction"),
+          registry.GetHistogram("explain/quality/top_weight_share"),
+          registry.GetHistogram("explain/quality/interesting_tokens"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+/// Histograms hold non-negative values; surrogate R² and intercepts can be
+/// slightly negative (an R² below zero is a worse-than-constant fit, an
+/// intercept below zero is legal ridge output). Clamp into range instead of
+/// dropping, so the count still reflects every unit.
+double ClampForHistogram(double value) { return value < 0.0 ? 0.0 : value; }
+
+}  // namespace
+
+void PublishExplanationQuality(const ExplanationQuality& quality) {
+  const QualityMetrics& metrics = QualityMetrics::Get();
+  metrics.units.Add();
+  if (quality.low_r2) metrics.low_r2.Add();
+  if (quality.degenerate_neighborhood) metrics.degenerate.Add();
+  if (!std::isnan(quality.weighted_r2)) {
+    metrics.r2.Record(ClampForHistogram(quality.weighted_r2));
+  }
+  if (!std::isnan(quality.intercept)) {
+    metrics.intercept.Record(ClampForHistogram(quality.intercept));
+  }
+  metrics.match_fraction.Record(quality.match_fraction);
+  metrics.top_weight_share.Record(quality.top_weight_share);
+  metrics.interesting_tokens.RecordCount(quality.interesting_tokens);
+}
+
+}  // namespace landmark

@@ -1,0 +1,81 @@
+#ifndef LANDMARK_CORE_ENGINE_QUALITY_H_
+#define LANDMARK_CORE_ENGINE_QUALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/explanation.h"
+
+namespace landmark {
+
+/// \brief Thresholds of the quality classification below. The defaults are
+/// what the engine publishes; tests may tighten them.
+struct QualityThresholds {
+  /// Neighbourhood predictions at or above this count as the match class
+  /// (the paper's decision threshold).
+  double decision_threshold = 0.5;
+  /// Weighted R² below this flags the surrogate as a poor local fit.
+  double low_r2 = 0.25;
+  /// How many top-|weight| tokens the concentration share covers.
+  size_t top_k = 5;
+  /// |weight| at or below this is treated as zero when counting
+  /// interesting tokens (ridge leaves dust on every coefficient).
+  double weight_epsilon = 1e-12;
+};
+
+/// \brief Per-unit explanation-quality signals, computed in the fit stage
+/// from the fitted Explanation and the neighbourhood predictions the
+/// surrogate was trained on.
+///
+/// This is the paper's failure mode made observable: plain LIME
+/// neighbourhoods of non-matching pairs collapse into the non-match class
+/// (`match_fraction == 0`), the surrogate fits noise (`weighted_r2` low or
+/// NaN) and no token pushes towards the match class
+/// (`interesting_tokens == 0`) — exactly why landmarks and double-entity
+/// generation exist. LEMON (PAPERS.md) measures the same thing as decision
+/// boundary coverage.
+struct ExplanationQuality {
+  /// Surrogate weighted R² on its training neighbourhood (may be NaN when
+  /// the neighbourhood variance is zero).
+  double weighted_r2 = 0.0;
+  /// Surrogate intercept.
+  double intercept = 0.0;
+  /// Fraction of neighbourhood samples the EM model predicted at or above
+  /// the decision threshold — the "did we ever reach the match class" test.
+  double match_fraction = 0.0;
+  /// Share of total |weight| mass held by the top_k largest-|weight|
+  /// tokens (0 when every weight is zero). High concentration on a tiny
+  /// token space reads very differently from a flat spread over hundreds.
+  double top_weight_share = 0.0;
+  /// Tokens whose weight pushes towards the class *opposite* the model's
+  /// verdict on the all-active sample — the tokens the paper calls
+  /// interesting: what to remove (match verdict) or add (non-match
+  /// verdict) to move the pair across the boundary.
+  size_t interesting_tokens = 0;
+  /// weighted_r2 < thresholds.low_r2 (NaN counts as low).
+  bool low_r2 = false;
+  /// The neighbourhood never left one class (match_fraction 0 or 1), so
+  /// the surrogate saw no decision boundary — the degenerate case the
+  /// paper's §4.3 interest metric exists to detect.
+  bool degenerate_neighborhood = false;
+};
+
+/// Computes the signals for one fitted unit. `neighborhood_predictions` are
+/// the EM model probabilities of every perturbation mask (duplicates
+/// included — the surrogate's actual training targets); element 0 is the
+/// all-active sample.
+ExplanationQuality ComputeExplanationQuality(
+    const Explanation& explanation,
+    const std::vector<double>& neighborhood_predictions,
+    const QualityThresholds& thresholds = {});
+
+/// Publishes one unit's signals into the global MetricsRegistry under the
+/// `explain/quality/*` names of the metric contract
+/// (docs/architecture.md). NaN R² is not recorded into the histogram (it
+/// would poison the running sum) — it surfaces through the low-R² counter
+/// and the audit stream instead.
+void PublishExplanationQuality(const ExplanationQuality& quality);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_CORE_ENGINE_QUALITY_H_

@@ -1,0 +1,109 @@
+#include "util/telemetry/audit.h"
+
+#include <utility>
+
+#include "util/telemetry/json_util.h"
+
+namespace landmark {
+
+namespace {
+
+std::string TokenToJson(const AuditTokenWeight& token) {
+  std::string out = "{\"attr\":\"" + JsonEscape(token.attribute) + "\"";
+  out += ",\"occ\":" + std::to_string(token.occurrence);
+  out += ",\"text\":\"" + JsonEscape(token.text) + "\"";
+  out += ",\"side\":\"" + JsonEscape(token.side) + "\"";
+  if (token.injected) out += ",\"injected\":true";
+  out += ",\"weight\":" + JsonDouble(token.weight);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AuditSink>> AuditSink::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open audit output file: " + path);
+  }
+  return std::unique_ptr<AuditSink>(new AuditSink(std::move(out)));
+}
+
+AuditSink::AuditSink(std::ofstream out) : out_(std::move(out)) {}
+
+AuditSink::~AuditSink() { Flush(); }
+
+std::string AuditSink::UnitToJson(const AuditUnitRecord& record,
+                                  uint64_t ordinal) {
+  std::string out = "{\"type\":\"unit\",\"unit\":" + std::to_string(ordinal);
+  out += ",\"record_id\":" + std::to_string(record.record_id);
+  out += ",\"record_index\":" + std::to_string(record.record_index);
+  out += ",\"explainer\":\"" + JsonEscape(record.explainer) + "\"";
+  out += ",\"landmark_side\":\"" + JsonEscape(record.landmark_side) + "\"";
+  if (!record.error.empty()) {
+    out += ",\"error\":\"" + JsonEscape(record.error) + "\"}";
+    return out;
+  }
+  out += ",\"model_prediction\":" + JsonDouble(record.model_prediction);
+  out += ",\"weighted_r2\":" + JsonDouble(record.weighted_r2);
+  out += ",\"intercept\":" + JsonDouble(record.intercept);
+  out += ",\"match_fraction\":" + JsonDouble(record.match_fraction);
+  out += ",\"top_weight_share\":" + JsonDouble(record.top_weight_share);
+  out += ",\"interesting_tokens\":" +
+         std::to_string(record.interesting_tokens);
+  out += std::string(",\"low_r2\":") + (record.low_r2 ? "true" : "false");
+  out += std::string(",\"degenerate_neighborhood\":") +
+         (record.degenerate_neighborhood ? "true" : "false");
+  out += ",\"num_masks\":" + std::to_string(record.num_masks);
+  out += ",\"num_model_queries\":" + std::to_string(record.num_model_queries);
+  out += ",\"cache_hits\":" + std::to_string(record.cache_hits);
+  out += ",\"top_tokens\":[";
+  for (size_t i = 0; i < record.top_tokens.size(); ++i) {
+    if (i > 0) out += ",";
+    out += TokenToJson(record.top_tokens[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AuditSink::BatchToJson(const AuditBatchStats& stats) {
+  std::string out = "{\"type\":\"batch\"";
+  out += ",\"num_records\":" + std::to_string(stats.num_records);
+  out += ",\"num_failed_records\":" +
+         std::to_string(stats.num_failed_records);
+  out += ",\"num_units\":" + std::to_string(stats.num_units);
+  out += ",\"num_masks\":" + std::to_string(stats.num_masks);
+  out += ",\"num_model_queries\":" + std::to_string(stats.num_model_queries);
+  out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+  out += ",\"token_cache_hits\":" + std::to_string(stats.token_cache_hits);
+  out += ",\"token_cache_misses\":" +
+         std::to_string(stats.token_cache_misses);
+  out += ",\"plan_seconds\":" + JsonDouble(stats.plan_seconds);
+  out += ",\"reconstruct_seconds\":" + JsonDouble(stats.reconstruct_seconds);
+  out += ",\"query_seconds\":" + JsonDouble(stats.query_seconds);
+  out += ",\"fit_seconds\":" + JsonDouble(stats.fit_seconds);
+  out += "}";
+  return out;
+}
+
+void AuditSink::WriteUnit(const AuditUnitRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << UnitToJson(record, next_unit_++) << "\n";
+}
+
+void AuditSink::WriteBatch(const AuditBatchStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << BatchToJson(stats) << "\n";
+}
+
+void AuditSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+uint64_t AuditSink::units_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_unit_;
+}
+
+}  // namespace landmark

@@ -1,0 +1,129 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_AUDIT_H_
+#define LANDMARK_UTIL_TELEMETRY_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace landmark {
+
+/// \brief One surrogate coefficient in an audit record, as plain data (the
+/// telemetry layer sits below core, so this mirrors core's TokenWeight
+/// without depending on it).
+struct AuditTokenWeight {
+  std::string attribute;
+  int occurrence = 0;
+  std::string text;
+  /// "left" / "right".
+  std::string side;
+  bool injected = false;
+  double weight = 0.0;
+};
+
+/// \brief The flight-recorder line for one ExplainUnit: identity, the
+/// quality signals computed in the fit stage, per-unit cache effectiveness
+/// and the top-k surrogate weights — everything needed to diagnose one
+/// failing explanation offline without rerunning the batch.
+struct AuditUnitRecord {
+  /// PairRecord::id of the explained pair.
+  int64_t record_id = 0;
+  /// Position of the record in the submitted batch.
+  size_t record_index = 0;
+  /// Technique name ("landmark-double", "lime", ...).
+  std::string explainer;
+  /// Frozen side: "left", "right", or "" when the explainer perturbs both.
+  std::string landmark_side;
+  /// Non-empty when the unit failed; the quality fields are then absent
+  /// from the emitted line.
+  std::string error;
+
+  double model_prediction = 0.0;
+  /// May be NaN (serialized as null).
+  double weighted_r2 = 0.0;
+  double intercept = 0.0;
+  double match_fraction = 0.0;
+  double top_weight_share = 0.0;
+  size_t interesting_tokens = 0;
+  bool low_r2 = false;
+  bool degenerate_neighborhood = false;
+
+  /// Per-unit perturbation counts: raw masks sampled, deduplicated model
+  /// queries issued, and masks served from the prediction memo.
+  size_t num_masks = 0;
+  size_t num_model_queries = 0;
+  size_t cache_hits = 0;
+
+  /// The |weight|-largest coefficients, most important first.
+  std::vector<AuditTokenWeight> top_tokens;
+};
+
+/// \brief Batch trailer: the stage latencies and cross-record cache totals
+/// that have no per-unit decomposition.
+struct AuditBatchStats {
+  size_t num_records = 0;
+  size_t num_failed_records = 0;
+  size_t num_units = 0;
+  size_t num_masks = 0;
+  size_t num_model_queries = 0;
+  size_t cache_hits = 0;
+  size_t token_cache_hits = 0;
+  size_t token_cache_misses = 0;
+  double plan_seconds = 0.0;
+  double reconstruct_seconds = 0.0;
+  double query_seconds = 0.0;
+  double fit_seconds = 0.0;
+};
+
+/// \brief Append-only JSON-lines audit stream (`--audit-out=FILE`).
+///
+/// Each WriteUnit emits one `{"type":"unit","unit":<ordinal>,...}` line and
+/// each WriteBatch one `{"type":"batch",...}` line. The ordinal is assigned
+/// at write time under the sink's mutex and is strictly monotone across the
+/// file; the engine writes units in input order from its epilogue (never
+/// from worker threads), so a given workload produces a byte-identical
+/// stream regardless of thread count. Observing is free of side effects on
+/// the pipeline: explanations are bit-identical with the sink attached or
+/// not (tests/core/engine_audit_test.cc).
+class AuditSink {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static Result<std::unique_ptr<AuditSink>> Open(const std::string& path);
+
+  AuditSink(const AuditSink&) = delete;
+  AuditSink& operator=(const AuditSink&) = delete;
+  ~AuditSink();
+
+  void WriteUnit(const AuditUnitRecord& record);
+  void WriteBatch(const AuditBatchStats& stats);
+
+  /// Flushes buffered lines to the file (also done on destruction).
+  void Flush();
+
+  /// Units written so far (across all batches).
+  uint64_t units_written() const;
+
+  /// Serialization of one record as a JSON line without the ordinal-bearing
+  /// envelope — exposed for tests and for the validate_trace.py contract.
+  static std::string UnitToJson(const AuditUnitRecord& record,
+                                uint64_t ordinal);
+  static std::string BatchToJson(const AuditBatchStats& stats);
+
+ private:
+  explicit AuditSink(std::ofstream out);
+
+  mutable std::mutex mu_;
+  std::ofstream out_ GUARDED_BY(mu_);
+  uint64_t next_unit_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_AUDIT_H_

@@ -1,0 +1,319 @@
+#include "util/telemetry/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/telemetry/trace.h"
+#include "util/timer.h"
+
+namespace landmark {
+
+namespace {
+
+/// Prometheus sample rendering: the exposition format *does* have
+/// NaN/±Inf literals, unlike JSON, so no clamping here.
+std::string PromDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// `engine/plan_seconds` → `landmark_engine_plan_seconds`.
+std::string PromName(const std::string& name) {
+  std::string out = "landmark_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Registry handles for the exporter's own metrics (contract table in
+/// docs/architecture.md).
+struct ExporterMetrics {
+  Counter& requests;
+  Histogram& scrape_seconds;
+
+  static const ExporterMetrics& Get() {
+    static const ExporterMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return new ExporterMetrics{
+          registry.GetCounter("telemetry/http_requests"),
+          registry.GetHistogram("telemetry/scrape_seconds"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+std::string MakeResponse(int status, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Human-readable status page: engine stage totals from the registry plus
+/// compile-time build info.
+std::string StatuszBody(uint64_t started_ns) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  std::string out = "landmark exporter status\n\n";
+  out += "uptime_seconds: " +
+         PromDouble(static_cast<double>(TraceNowNs() - started_ns) / 1e9) +
+         "\n";
+  out += "compiler: " __VERSION__ "\n";
+  out += "c++_standard: " + std::to_string(__cplusplus) + "\n\n";
+  out += "engine totals:\n";
+  for (const char* name :
+       {"engine/batches", "engine/records", "engine/records_failed",
+        "engine/units", "engine/masks", "engine/model_queries",
+        "engine/cache_hits", "explain/quality/units",
+        "explain/quality/low_r2", "explain/quality/degenerate_neighborhoods",
+        "telemetry/http_requests"}) {
+    out += "  " + std::string(name) + ": " +
+           std::to_string(snapshot.CounterValue(name)) + "\n";
+  }
+  out += "\nengine stage seconds (sum over batches):\n";
+  for (const char* name :
+       {"engine/plan_seconds", "engine/reconstruct_seconds",
+        "engine/query_seconds", "engine/fit_seconds",
+        "engine/batch_seconds"}) {
+    const HistogramSnapshot* h = snapshot.FindHistogram(name);
+    out += "  " + std::string(name) + ": " +
+           PromDouble(h != nullptr ? h->sum : 0.0) + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PromDouble(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = PromName(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      // The overflow bucket has an infinite bound; it is exactly the final
+      // `+Inf` sample below, so emitting it here would duplicate the line.
+      if (std::isinf(bound)) continue;
+      out += prom + "_bucket{le=\"" + PromDouble(bound) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += prom + "_sum " + PromDouble(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+Result<std::unique_ptr<HttpExporter>> HttpExporter::Start(
+    const HttpExporterOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind(127.0.0.1:" + std::to_string(options.port) +
+                           "): " + error);
+  }
+  if (::listen(fd, 8) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen(): " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname(): " + error);
+  }
+  return std::unique_ptr<HttpExporter>(
+      new HttpExporter(fd, ntohs(bound.sin_port)));
+}
+
+HttpExporter::HttpExporter(int listen_fd, uint16_t port)
+    : listen_fd_(listen_fd), port_(port), started_ns_(TraceNowNs()) {
+  server_ = std::thread([this] { Serve(); });  // landmark-lint: allow(raw-thread) the accept loop blocks between scrapes; a pool worker would be held hostage for the process lifetime
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+void HttpExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Unblocks the accept() in Serve(); the loop then observes stopped_.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (server_.joinable()) server_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::Serve() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        if (client >= 0) ::close(client);
+        return;
+      }
+    }
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket gone
+    }
+    // Read until the end of the header block (requests have no body).
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16 * 1024) {
+      const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    const size_t line_end = request.find("\r\n");
+    std::string method;
+    std::string path;
+    if (line_end != std::string::npos) {
+      const std::string line = request.substr(0, line_end);
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = line.substr(0, sp1);
+        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+    const std::string response = HandleRequest(method, path);
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::write(client, response.data() + sent, response.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+std::string HttpExporter::HandleRequest(const std::string& method,
+                                        const std::string& path) const {
+  ExporterMetrics::Get().requests.Add();
+  if (method != "GET") {
+    return MakeResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    Timer timer;
+    std::string body = ToPrometheusText(MetricsRegistry::Global().Snapshot());
+    ExporterMetrics::Get().scrape_seconds.Record(timer.ElapsedSeconds());
+    return MakeResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8", body);
+  }
+  if (path == "/healthz") {
+    return MakeResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/statusz") {
+    return MakeResponse(200, "OK", "text/plain", StatuszBody(started_ns_));
+  }
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "unknown path; try /metrics, /healthz, /statusz\n");
+}
+
+Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    int* status_code) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect(127.0.0.1:" + std::to_string(port) +
+                           "): " + error);
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("write() failed mid-request");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("malformed HTTP response (no header terminator)");
+  }
+  if (status_code != nullptr) {
+    *status_code = 0;
+    const size_t sp = response.find(' ');
+    if (sp != std::string::npos && sp + 4 <= response.size()) {
+      *status_code = std::atoi(response.c_str() + sp + 1);
+    }
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace landmark

@@ -1,0 +1,88 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_HTTP_EXPORTER_H_
+#define LANDMARK_UTIL_TELEMETRY_HTTP_EXPORTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/telemetry/metrics.h"
+#include "util/thread_annotations.h"
+
+namespace landmark {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` lines, cumulative `_bucket{le="..."}` series
+/// ending in `+Inf`, and `_sum` / `_count` per histogram. Metric names are
+/// sanitized (`/` → `_`), prefixed `landmark_`, and counters carry the
+/// conventional `_total` suffix.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// \brief Options of the scrape endpoint.
+struct HttpExporterOptions {
+  /// Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port
+  /// (read the resolved one back from HttpExporter::port()).
+  uint16_t port = 0;
+};
+
+/// \brief Dependency-free loopback HTTP server exposing the global
+/// MetricsRegistry for live scraping:
+///
+///   GET /metrics   Prometheus text exposition of the full registry
+///   GET /healthz   200 "ok" while the server is running
+///   GET /statusz   human-readable engine stage totals + build info
+///
+/// The server binds 127.0.0.1 only and answers one blocking request at a
+/// time — it is an operational peephole for a long batch, not a serving
+/// stack. It runs on a dedicated thread rather than the ThreadPool because
+/// the accept loop blocks indefinitely between scrapes; parking it on a
+/// pool worker would steal a determinism-contract thread from the engine
+/// for the whole process lifetime. Scrapes only read snapshot values, so
+/// explanations are bit-identical with the exporter running or not.
+class HttpExporter {
+ public:
+  /// Binds, listens and starts the serving thread. Fails (IoError) when the
+  /// port is taken.
+  static Result<std::unique_ptr<HttpExporter>> Start(
+      const HttpExporterOptions& options = {});
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+  ~HttpExporter();
+
+  /// Unblocks the accept loop and joins the serving thread (idempotent).
+  void Stop();
+
+  /// The bound port (the resolved one when options asked for 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  HttpExporter(int listen_fd, uint16_t port);
+
+  void Serve();
+  /// Builds the full HTTP response for one request line.
+  std::string HandleRequest(const std::string& method,
+                            const std::string& path) const;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  /// Start time of the server (trace clock), for /statusz uptime.
+  uint64_t started_ns_ = 0;
+  std::mutex mu_;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  std::thread server_;  // landmark-lint: allow(raw-thread) dedicated blocking accept loop, never computes explanations
+};
+
+/// Minimal loopback HTTP/1.1 GET client used by the exporter tests and the
+/// check.sh smoke probe (tools/http_probe.cc), so the CI gate needs no
+/// curl. Returns the response body; `status_code` (optional) receives the
+/// parsed HTTP status.
+Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    int* status_code = nullptr);
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_HTTP_EXPORTER_H_

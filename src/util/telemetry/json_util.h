@@ -43,12 +43,14 @@ inline std::string JsonEscape(std::string_view text) {
   return out;
 }
 
-/// Round-trippable JSON number rendering. JSON has no infinity/NaN literals,
-/// so non-finite values (e.g. a histogram's overflow-bucket bound) become
-/// very large sentinels / null-safe 0 via clamping at the call sites; here
-/// they render as 1e308 / -1e308 / 0 to keep every emitted document valid.
+/// Round-trippable JSON number rendering. JSON has no infinity/NaN literals:
+/// infinities (e.g. a histogram's overflow-bucket bound) deliberately clamp
+/// to the ±1e308 sentinels so bucket lists stay numeric and ordered, while
+/// NaN renders as `null` — a NaN quality signal (say a surrogate R² on a
+/// zero-variance neighbourhood) must read as "unknown" downstream, not as a
+/// perfect-looking 0.
 inline std::string JsonDouble(double value) {
-  if (std::isnan(value)) return "0";
+  if (std::isnan(value)) return "null";
   if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", value);

@@ -1,5 +1,8 @@
 #include "util/telemetry/telemetry.h"
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "util/flags.h"
@@ -7,22 +10,65 @@
 
 namespace landmark {
 
-TelemetryScope::TelemetryScope(std::string metrics_path,
-                               std::string trace_path)
-    : metrics_path_(std::move(metrics_path)),
-      trace_path_(std::move(trace_path)) {
-  active_ = !metrics_path_.empty() || !trace_path_.empty();
-  if (!trace_path_.empty()) TraceRecorder::Global().Start();
+TelemetryScope::TelemetryScope(TelemetryScopeOptions options)
+    : options_(std::move(options)) {
+  active_ = !options_.metrics_path.empty() || !options_.trace_path.empty() ||
+            !options_.audit_path.empty() || options_.serve_metrics;
+  if (!options_.trace_path.empty()) TraceRecorder::Global().Start();
+  if (!options_.audit_path.empty()) {
+    Result<std::unique_ptr<AuditSink>> sink =
+        AuditSink::Open(options_.audit_path);
+    if (sink.ok()) {
+      audit_sink_ = std::move(sink).ValueOrDie();
+    } else {
+      LANDMARK_LOG(Error) << sink.status().ToString();
+    }
+  }
+  if (options_.serve_metrics) {
+    HttpExporterOptions exporter_options;
+    exporter_options.port = options_.metrics_port;
+    Result<std::unique_ptr<HttpExporter>> exporter =
+        HttpExporter::Start(exporter_options);
+    if (exporter.ok()) {
+      exporter_ = std::move(exporter).ValueOrDie();
+      // Scripts (scripts/check.sh) parse this line to learn the resolved
+      // ephemeral port; keep the format stable and flush immediately.
+      std::printf("[metrics] listening on http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(exporter_->port()));
+      std::fflush(stdout);
+    } else {
+      LANDMARK_LOG(Error) << exporter.status().ToString();
+    }
+  }
 }
 
+TelemetryScope::TelemetryScope(std::string metrics_path,
+                               std::string trace_path)
+    : TelemetryScope([&] {
+        TelemetryScopeOptions options;
+        options.metrics_path = std::move(metrics_path);
+        options.trace_path = std::move(trace_path);
+        return options;
+      }()) {}
+
 TelemetryScope TelemetryScope::FromFlags(const Flags& flags) {
-  return TelemetryScope(flags.GetString("metrics-out", ""),
-                        flags.GetString("trace-out", ""));
+  TelemetryScopeOptions options;
+  options.metrics_path = flags.GetString("metrics-out", "");
+  options.trace_path = flags.GetString("trace-out", "");
+  options.audit_path = flags.GetString("audit-out", "");
+  options.serve_metrics = flags.Has("metrics-port");
+  if (options.serve_metrics) {
+    options.metrics_port =
+        static_cast<uint16_t>(flags.GetInt("metrics-port", 0));
+  }
+  options.linger_seconds = flags.GetDouble("metrics-linger", 0.0);
+  return TelemetryScope(std::move(options));
 }
 
 TelemetryScope::TelemetryScope(TelemetryScope&& other) noexcept
-    : metrics_path_(std::move(other.metrics_path_)),
-      trace_path_(std::move(other.trace_path_)),
+    : options_(std::move(other.options_)),
+      audit_sink_(std::move(other.audit_sink_)),
+      exporter_(std::move(other.exporter_)),
       active_(other.active_) {
   other.active_ = false;
 }
@@ -30,8 +76,9 @@ TelemetryScope::TelemetryScope(TelemetryScope&& other) noexcept
 TelemetryScope& TelemetryScope::operator=(TelemetryScope&& other) noexcept {
   if (this != &other) {
     Finish();
-    metrics_path_ = std::move(other.metrics_path_);
-    trace_path_ = std::move(other.trace_path_);
+    options_ = std::move(other.options_);
+    audit_sink_ = std::move(other.audit_sink_);
+    exporter_ = std::move(other.exporter_);
     active_ = other.active_;
     other.active_ = false;
   }
@@ -43,13 +90,13 @@ TelemetryScope::~TelemetryScope() { Finish(); }
 void TelemetryScope::Finish() {
   if (!active_) return;
   active_ = false;
-  if (!trace_path_.empty()) {
+  if (!options_.trace_path.empty()) {
     TraceRecorder& recorder = TraceRecorder::Global();
     recorder.Stop();
-    Status status = recorder.WriteChromeTraceFile(trace_path_);
+    Status status = recorder.WriteChromeTraceFile(options_.trace_path);
     if (status.ok()) {
       LANDMARK_LOG(Info) << "wrote " << recorder.num_events()
-                         << " trace events to " << trace_path_
+                         << " trace events to " << options_.trace_path
                          << (recorder.num_dropped() > 0
                                  ? " (" +
                                        std::to_string(recorder.num_dropped()) +
@@ -59,14 +106,30 @@ void TelemetryScope::Finish() {
       LANDMARK_LOG(Error) << status.ToString();
     }
   }
-  if (!metrics_path_.empty()) {
+  if (!options_.metrics_path.empty()) {
     Status status = WriteMetricsJsonFile(MetricsRegistry::Global().Snapshot(),
-                                         metrics_path_);
+                                         options_.metrics_path);
     if (status.ok()) {
-      LANDMARK_LOG(Info) << "wrote metrics snapshot to " << metrics_path_;
+      LANDMARK_LOG(Info) << "wrote metrics snapshot to "
+                         << options_.metrics_path;
     } else {
       LANDMARK_LOG(Error) << status.ToString();
     }
+  }
+  if (audit_sink_ != nullptr) {
+    LANDMARK_LOG(Info) << "wrote " << audit_sink_->units_written()
+                       << " audit records to " << options_.audit_path;
+    audit_sink_.reset();  // flushes and closes the stream
+  }
+  if (exporter_ != nullptr) {
+    if (options_.linger_seconds > 0.0) {
+      // Hold the scrape endpoint open so an external poller can observe the
+      // final metrics of a short-lived batch (the check.sh smoke stage
+      // kills the process once it has scraped).
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.linger_seconds));
+    }
+    exporter_.reset();
   }
 }
 

@@ -1,0 +1,142 @@
+// Serialization contract of the explanation flight recorder: golden JSON
+// lines for unit and batch records, NaN-as-null for the quality signals,
+// and the monotone write-time ordinal (the append-order determinism
+// contract validated on the Python side by scripts/validate_trace.py).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/telemetry/audit.h"
+
+namespace landmark {
+namespace {
+
+AuditUnitRecord MakeRecord() {
+  AuditUnitRecord record;
+  record.record_id = 42;
+  record.record_index = 3;
+  record.explainer = "landmark-double";
+  record.landmark_side = "left";
+  record.model_prediction = 0.75;
+  record.weighted_r2 = 0.5;
+  record.intercept = 0.25;
+  record.match_fraction = 0.5;
+  record.top_weight_share = 1;
+  record.interesting_tokens = 2;
+  record.low_r2 = false;
+  record.degenerate_neighborhood = false;
+  record.num_masks = 64;
+  record.num_model_queries = 60;
+  record.cache_hits = 4;
+  AuditTokenWeight token;
+  token.attribute = "title";
+  token.occurrence = 1;
+  token.text = "ipa";
+  token.side = "right";
+  token.injected = true;
+  token.weight = -0.5;
+  record.top_tokens.push_back(token);
+  return record;
+}
+
+TEST(AuditSinkTest, UnitToJsonGolden) {
+  EXPECT_EQ(
+      AuditSink::UnitToJson(MakeRecord(), 7),
+      "{\"type\":\"unit\",\"unit\":7,\"record_id\":42,\"record_index\":3,"
+      "\"explainer\":\"landmark-double\",\"landmark_side\":\"left\","
+      "\"model_prediction\":0.75,\"weighted_r2\":0.5,\"intercept\":0.25,"
+      "\"match_fraction\":0.5,\"top_weight_share\":1,"
+      "\"interesting_tokens\":2,\"low_r2\":false,"
+      "\"degenerate_neighborhood\":false,\"num_masks\":64,"
+      "\"num_model_queries\":60,\"cache_hits\":4,\"top_tokens\":["
+      "{\"attr\":\"title\",\"occ\":1,\"text\":\"ipa\",\"side\":\"right\","
+      "\"injected\":true,\"weight\":-0.5}]}");
+}
+
+TEST(AuditSinkTest, NanR2SerializesAsNullNeverZero) {
+  AuditUnitRecord record = MakeRecord();
+  record.weighted_r2 = std::nan("");
+  const std::string line = AuditSink::UnitToJson(record, 0);
+  EXPECT_NE(line.find("\"weighted_r2\":null"), std::string::npos) << line;
+  EXPECT_EQ(line.find("\"weighted_r2\":0"), std::string::npos) << line;
+}
+
+TEST(AuditSinkTest, ErrorRecordCarriesNoQualityBlock) {
+  AuditUnitRecord record = MakeRecord();
+  record.error = "model exploded";
+  EXPECT_EQ(AuditSink::UnitToJson(record, 0),
+            "{\"type\":\"unit\",\"unit\":0,\"record_id\":42,"
+            "\"record_index\":3,\"explainer\":\"landmark-double\","
+            "\"landmark_side\":\"left\",\"error\":\"model exploded\"}");
+}
+
+TEST(AuditSinkTest, BatchToJsonGolden) {
+  AuditBatchStats stats;
+  stats.num_records = 8;
+  stats.num_failed_records = 1;
+  stats.num_units = 14;
+  stats.num_masks = 896;
+  stats.num_model_queries = 800;
+  stats.cache_hits = 96;
+  stats.token_cache_hits = 500;
+  stats.token_cache_misses = 20;
+  stats.plan_seconds = 0.5;
+  stats.reconstruct_seconds = 0.25;
+  stats.query_seconds = 2;
+  stats.fit_seconds = 0.125;
+  EXPECT_EQ(AuditSink::BatchToJson(stats),
+            "{\"type\":\"batch\",\"num_records\":8,\"num_failed_records\":1,"
+            "\"num_units\":14,\"num_masks\":896,\"num_model_queries\":800,"
+            "\"cache_hits\":96,\"token_cache_hits\":500,"
+            "\"token_cache_misses\":20,\"plan_seconds\":0.5,"
+            "\"reconstruct_seconds\":0.25,\"query_seconds\":2,"
+            "\"fit_seconds\":0.125}");
+}
+
+TEST(AuditSinkTest, JsonStringsAreEscaped) {
+  AuditUnitRecord record = MakeRecord();
+  record.explainer = "a\"b\\c\nd";
+  const std::string line = AuditSink::UnitToJson(record, 0);
+  EXPECT_NE(line.find("\"explainer\":\"a\\\"b\\\\c\\nd\""),
+            std::string::npos)
+      << line;
+}
+
+TEST(AuditSinkTest, OrdinalsAreMonotoneAcrossBatches) {
+  const std::string path = ::testing::TempDir() + "/audit_sink_test.jsonl";
+  auto sink = AuditSink::Open(path);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+
+  const AuditUnitRecord record = MakeRecord();
+  (*sink)->WriteUnit(record);
+  (*sink)->WriteUnit(record);
+  (*sink)->WriteBatch(AuditBatchStats{});
+  (*sink)->WriteUnit(record);  // a second batch continues the ordinal
+  (*sink)->WriteBatch(AuditBatchStats{});
+  EXPECT_EQ((*sink)->units_written(), 3u);
+  sink->reset();  // destructor flushes
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"unit\",\"unit\":0,", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("{\"type\":\"unit\",\"unit\":1,", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("{\"type\":\"batch\",", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("{\"type\":\"unit\",\"unit\":2,", 0), 0u);
+  EXPECT_EQ(lines[4].rfind("{\"type\":\"batch\",", 0), 0u);
+}
+
+TEST(AuditSinkTest, OpenFailsOnUnwritablePath) {
+  auto sink = AuditSink::Open("/nonexistent-dir/audit.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+}  // namespace
+}  // namespace landmark

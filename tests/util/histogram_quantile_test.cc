@@ -1,0 +1,109 @@
+// Accuracy contract of the histogram percentile estimator: with
+// exponential buckets the estimate cannot be exact, but p50/p95/p99 must
+// land within one bucket of the true quantile, stay inside the observed
+// [min, max], and be exact for point-mass distributions (the min/max
+// clamp). This is what makes the `*_seconds` p95s in the metric table
+// trustworthy enough to act on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+namespace {
+
+/// Index of the bucket a value falls into (the estimator can only resolve
+/// location up to this granularity).
+size_t BucketIndexOf(double value) {
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (value <= Histogram::BucketUpperBound(i)) return i;
+  }
+  return Histogram::kNumBuckets - 1;
+}
+
+/// True quantile by nearest-rank over the recorded sample.
+double TrueQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(values.size()) - 1.0,
+                       q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+void ExpectWithinOneBucket(double estimate, double truth,
+                           const std::string& label) {
+  const double lo = static_cast<double>(BucketIndexOf(estimate));
+  const double hi = static_cast<double>(BucketIndexOf(truth));
+  EXPECT_LE(std::fabs(lo - hi), 1.0)
+      << label << ": estimate " << estimate << " (bucket "
+      << BucketIndexOf(estimate) << ") vs true " << truth << " (bucket "
+      << BucketIndexOf(truth) << ")";
+}
+
+HistogramSnapshot Snap(const std::vector<double>& values) {
+  Histogram histogram;
+  for (double v : values) histogram.Record(v);
+  return histogram.Snapshot("test");
+}
+
+TEST(HistogramQuantileTest, UniformDistributionWithinOneBucket) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(static_cast<double>(i));
+  const HistogramSnapshot s = Snap(values);
+  ExpectWithinOneBucket(s.p50, TrueQuantile(values, 0.50), "p50");
+  ExpectWithinOneBucket(s.p95, TrueQuantile(values, 0.95), "p95");
+  ExpectWithinOneBucket(s.p99, TrueQuantile(values, 0.99), "p99");
+}
+
+TEST(HistogramQuantileTest, LatencyLikeDistributionWithinOneBucket) {
+  // The common shape: a fast mode with a slow tail, 4 orders of magnitude
+  // apart — the case per-bucket interpolation could get badly wrong.
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(1e-3);
+  for (int i = 0; i < 100; ++i) values.push_back(10.0);
+  const HistogramSnapshot s = Snap(values);
+  ExpectWithinOneBucket(s.p50, TrueQuantile(values, 0.50), "p50");
+  ExpectWithinOneBucket(s.p95, TrueQuantile(values, 0.95), "p95");
+  ExpectWithinOneBucket(s.p99, TrueQuantile(values, 0.99), "p99");
+}
+
+TEST(HistogramQuantileTest, PercentilesAreOrderedAndClamped) {
+  std::vector<double> values;
+  for (int i = 1; i <= 257; ++i) {
+    values.push_back(static_cast<double>(i) * 1e-5);
+  }
+  const HistogramSnapshot s = Snap(values);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_EQ(s.min, 1.0 * 1e-5);
+  EXPECT_EQ(s.max, 257.0 * 1e-5);
+}
+
+TEST(HistogramQuantileTest, PointMassIsExact) {
+  // Everything in one bucket: the min/max clamp collapses the
+  // interpolation interval, so every percentile is exactly the value.
+  const HistogramSnapshot s = Snap(std::vector<double>(1000, 0.25));
+  EXPECT_EQ(s.p50, 0.25);
+  EXPECT_EQ(s.p95, 0.25);
+  EXPECT_EQ(s.p99, 0.25);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToObservedMax) {
+  // A sample beyond the last bounded bucket: the infinite bucket bound
+  // must not leak into the estimate — max clamps it to the real value.
+  const HistogramSnapshot s = Snap({1e12});
+  EXPECT_EQ(s.p50, 1e12);
+  EXPECT_EQ(s.p99, 1e12);
+  EXPECT_EQ(s.max, 1e12);
+}
+
+}  // namespace
+}  // namespace landmark

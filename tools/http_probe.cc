@@ -1,0 +1,66 @@
+// http_probe — raw-socket HTTP GET against a loopback port, for the
+// scripts/check.sh exporter smoke stage (the CI image carries no curl).
+//
+//   http_probe PORT PATH [--expect-status N] [--expect-substring S]
+//
+// Prints the response body to stdout. Exits non-zero when the connection
+// fails, the status differs from --expect-status (default 200), or the
+// body misses --expect-substring / is empty.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/flags.h"
+#include "util/telemetry/http_exporter.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: http_probe PORT PATH [--expect-status N] "
+                 "[--expect-substring S]\n");
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+  const std::string path = argv[2];
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "http_probe: bad port '%s'\n", argv[1]);
+    return 2;
+  }
+  auto flags = landmark::Flags::Parse(argc - 2, argv + 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "http_probe: %s\n",
+                 flags.status().ToString().c_str());
+    return 2;
+  }
+  const int expect_status =
+      static_cast<int>(flags->GetInt("expect-status", 200));
+  const std::string expect_substring =
+      flags->GetString("expect-substring", "");
+
+  int status_code = 0;
+  landmark::Result<std::string> body = landmark::HttpGetLoopback(
+      static_cast<uint16_t>(port), path, &status_code);
+  if (!body.ok()) {
+    std::fprintf(stderr, "http_probe: %s\n",
+                 body.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(body->c_str(), stdout);
+  if (status_code != expect_status) {
+    std::fprintf(stderr, "http_probe: expected status %d, got %d\n",
+                 expect_status, status_code);
+    return 1;
+  }
+  if (body->empty()) {
+    std::fprintf(stderr, "http_probe: empty response body\n");
+    return 1;
+  }
+  if (!expect_substring.empty() &&
+      body->find(expect_substring) == std::string::npos) {
+    std::fprintf(stderr, "http_probe: body misses expected substring '%s'\n",
+                 expect_substring.c_str());
+    return 1;
+  }
+  return 0;
+}

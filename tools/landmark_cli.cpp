@@ -11,7 +11,9 @@
 //   telemetry-demo  run a small explain batch and print the metrics table
 //
 // Every command also accepts --metrics-out=FILE (metrics-registry snapshot
-// as JSON) and --trace-out=FILE (Chrome/Perfetto trace of the run).
+// as JSON), --trace-out=FILE (Chrome/Perfetto trace of the run),
+// --audit-out=FILE (per-explanation flight recorder) and --metrics-port=N
+// (live Prometheus /metrics endpoint on 127.0.0.1).
 //
 // Examples:
 //   landmark_cli generate --dataset S-AG --output sag.csv
@@ -56,6 +58,11 @@ commands:
 every command also accepts:
   --metrics-out FILE   write the metrics-registry snapshot as JSON
   --trace-out FILE     record and write a Chrome/Perfetto trace
+  --audit-out FILE     per-explanation flight-recorder JSON lines
+                       (evaluate / telemetry-demo)
+  --metrics-port N     serve live /metrics, /healthz, /statusz on
+                       127.0.0.1:N (0 = ephemeral; port printed on stdout)
+  --metrics-linger S   keep the exporter up S seconds after the run
 
 dataset codes: S-BR S-IA S-FZ S-DA S-DG S-AG S-WA T-AB D-IA D-DA D-DG D-WA
 )";
@@ -309,12 +316,13 @@ int CmdSummary(const Flags& flags) {
   return 0;
 }
 
-int CmdEvaluate(const Flags& flags) {
+int CmdEvaluate(const Flags& flags, TelemetryScope& telemetry) {
   if (!flags.Has("dataset")) {
     std::cerr << "evaluate: pass --dataset CODE\n";
     return 1;
   }
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = telemetry.audit_sink();
   auto spec = FindMagellanSpec(flags.GetString("dataset", ""));
   if (!spec.ok()) {
     std::cerr << spec.status().ToString() << "\n";
@@ -373,13 +381,14 @@ int CmdEvaluate(const Flags& flags) {
 /// entire metrics registry as a human table — a one-command tour of every
 /// metric the library publishes (and a quick way to produce example
 /// --trace-out / --metrics-out files).
-int CmdTelemetryDemo(const Flags& flags) {
+int CmdTelemetryDemo(const Flags& flags, TelemetryScope& telemetry) {
   auto spec = FindMagellanSpec(flags.GetString("dataset", "S-FZ"));
   if (!spec.ok()) {
     std::cerr << spec.status().ToString() << "\n";
     return 1;
   }
   ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  config.engine_options.audit_sink = telemetry.audit_sink();
   auto context = ExperimentContext::Create(*spec, config);
   if (!context.ok()) {
     std::cerr << context.status().ToString() << "\n";
@@ -423,8 +432,8 @@ int Main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(*flags);
   if (command == "counterfactual") return CmdCounterfactual(*flags);
   if (command == "summary") return CmdSummary(*flags);
-  if (command == "evaluate") return CmdEvaluate(*flags);
-  if (command == "telemetry-demo") return CmdTelemetryDemo(*flags);
+  if (command == "evaluate") return CmdEvaluate(*flags, telemetry);
+  if (command == "telemetry-demo") return CmdTelemetryDemo(*flags, telemetry);
   std::cerr << "unknown command: " << command << "\n" << kUsage;
   return 1;
 }
