@@ -1,24 +1,40 @@
-// Query-stage microbenchmark: per-stage wall times of the staged
-// ExplainerEngine on the perf_explainers workload (S-AG products, logreg EM
-// model, landmark-single explainer), emitted as a single JSON document so
+// Engine microbenchmarks emitted as a single JSON document so
 // scripts/run_bench.sh can track the repo's perf trajectory over time
-// (BENCH_query.json; committed baselines live in bench/baselines/).
+// (committed baselines live in bench/baselines/). Two modes:
+//
+//   --mode fastpath (default) — per-stage times of the engine on the
+//     perf_explainers workload (S-AG products, logreg EM model,
+//     landmark-single explainer), string path vs the cache_features fast
+//     path (BENCH_query.json / canonical BENCH_5.json).
+//   --mode scheduler — end-to-end wall time of the legacy barriered stage
+//     loops (--no-task-graph) vs the per-unit task-graph scheduler on a
+//     multi-thread heterogeneous-unit workload (landmark-double, records
+//     sorted heavy-first so static partitioning is adversarial); the
+//     "scheduler_speedup" ratio is the number a scheduling PR must move
+//     (canonical BENCH_6.json). The ratio is only meaningful on multi-core
+//     hardware — with one core both paths serialize the same CPU work and
+//     the ratio degenerates to ~1.0, which is why the JSON records
+//     "hardware_concurrency" next to it.
+//   --mode all — both, printed to stdout (file flags are ignored).
 //
 // Unlike perf_explainers (google-benchmark, per-op latencies) this binary
-// reports the engine's own EngineStats per stage, which is what the
-// query-stage optimisations target: the model-query stage dominates the
-// pipeline (PAPER.md / LEMON both call this out), so its seconds are the
-// number a perf PR must move.
+// reports the engine's own EngineStats, which is what the engine
+// optimisations target: the model-query stage dominates the pipeline
+// (PAPER.md / LEMON both call this out), and the stage barriers it used to
+// run between are what the task-graph scheduler removes.
 //
-// Flags: --records N --samples N --reps N --threads N --scale F
+// Flags: --mode fastpath|scheduler|all
+//        --records N --samples N --reps N --threads N --scale F
+//        (defaults differ per mode; scheduler defaults to 4 threads)
 //        --json-out FILE (default: stdout)
 //        --canonical-out FILE (cross-PR benchmark trajectory schema:
 //        benchmark name -> wall ns + records/second; scripts/run_bench.sh
-//        writes it to the repo root as BENCH_5.json)
+//        writes BENCH_5.json for fastpath, BENCH_6.json for scheduler)
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine/explainer_engine.h"
@@ -66,13 +82,39 @@ struct StageTimes {
   }
 };
 
-int Run(int argc, char** argv) {
-  Result<Flags> parsed = Flags::Parse(argc, argv);
-  if (!parsed.ok()) {
-    LANDMARK_LOG(Error) << "bad flags: " << parsed.status().ToString();
-    return 1;
+/// Writes `content` to `path`, or to stdout when `path` is empty (or when
+/// `to_stdout` forces it, as in --mode all). Returns false on open failure.
+bool EmitJson(const std::string& path, bool to_stdout,
+              const std::string& content) {
+  if (path.empty() || to_stdout) {
+    std::fputs(content.c_str(), stdout);
+    return true;
   }
-  const Flags& flags = *parsed;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LANDMARK_LOG(Error) << "cannot open " << path;
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  LANDMARK_LOG(Info) << "wrote " << path;
+  return true;
+}
+
+/// One canonical cross-PR schema entry: wall time in nanoseconds plus
+/// throughput in explained records per second, so the repo-root
+/// BENCH_<n>.json trajectory is comparable across PRs without knowing each
+/// benchmark's bespoke layout.
+std::string CanonicalEntry(const std::string& name, double wall_seconds,
+                           size_t records) {
+  const double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(records) / wall_seconds : 0.0;
+  return "    \"" + name + "\": {\"wall_ns\": " +
+         std::to_string(static_cast<long long>(wall_seconds * 1e9)) +
+         ", \"throughput\": " + FormatDouble(throughput, 3) + "}";
+}
+
+int RunFastpath(const Flags& flags, bool to_stdout) {
   const size_t records = static_cast<size_t>(flags.GetInt("records", 16));
   const size_t samples = static_cast<size_t>(flags.GetInt("samples", 128));
   const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
@@ -152,51 +194,165 @@ int Run(int argc, char** argv) {
   json += "  \"total_speedup\": " + FormatDouble(total_speedup, 3) + "\n";
   json += "}\n";
 
-  if (json_out.empty()) {
-    std::fputs(json.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(json_out.c_str(), "w");
-    if (f == nullptr) {
-      LANDMARK_LOG(Error) << "cannot open " << json_out;
-      return 1;
-    }
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    LANDMARK_LOG(Info) << "wrote " << json_out;
+  if (!EmitJson(json_out, to_stdout, json)) {
+    return 1;
   }
 
-  if (!canonical_out.empty()) {
-    // Canonical cross-PR schema: one entry per benchmark, wall time in
-    // nanoseconds plus throughput in explained records per second, so the
-    // repo-root BENCH_<n>.json trajectory is comparable across PRs without
-    // knowing each benchmark's bespoke layout.
-    auto entry = [&](const std::string& name, double wall_seconds) {
-      const double throughput =
-          wall_seconds > 0.0 ? static_cast<double>(batch.size()) / wall_seconds
-                             : 0.0;
-      return "    \"" + name + "\": {\"wall_ns\": " +
-             std::to_string(static_cast<long long>(wall_seconds * 1e9)) +
-             ", \"throughput\": " + FormatDouble(throughput, 3) + "}";
-    };
+  if (!canonical_out.empty() && !to_stdout) {
     std::string canonical = "{\n";
     canonical += "  \"schema\": \"landmark-bench-v1\",\n";
     canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
                  "\"throughput\": \"records/second\"},\n";
     canonical += "  \"benchmarks\": {\n";
-    canonical +=
-        entry("query_stage/string_path", string_path.total) + ",\n";
-    canonical += entry("query_stage/fast_path", fast_path.total) + "\n";
+    canonical += CanonicalEntry("query_stage/string_path", string_path.total,
+                                batch.size()) +
+                 ",\n";
+    canonical += CanonicalEntry("query_stage/fast_path", fast_path.total,
+                                batch.size()) +
+                 "\n";
     canonical += "  }\n}\n";
-    std::FILE* f = std::fopen(canonical_out.c_str(), "w");
-    if (f == nullptr) {
-      LANDMARK_LOG(Error) << "cannot open " << canonical_out;
+    if (!EmitJson(canonical_out, false, canonical)) {
       return 1;
     }
-    std::fputs(canonical.c_str(), f);
-    std::fclose(f);
-    LANDMARK_LOG(Info) << "wrote " << canonical_out;
   }
   return 0;
+}
+
+int RunScheduler(const Flags& flags, bool to_stdout) {
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 24));
+  const size_t samples = static_cast<size_t>(flags.GetInt("samples", 256));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  const double scale = flags.GetDouble("scale", 0.25);
+  const std::string json_out = flags.GetString("json-out", "");
+  const std::string canonical_out = flags.GetString("canonical-out", "");
+
+  MagellanGenOptions gen;
+  gen.size_scale = scale;
+  Result<EmDataset> dataset =
+      GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen);
+  if (!dataset.ok()) {
+    LANDMARK_LOG(Error) << "dataset generation failed: "
+                        << dataset.status().ToString();
+    return 1;
+  }
+  Result<std::unique_ptr<LogRegEmModel>> model = LogRegEmModel::Train(*dataset);
+  if (!model.ok()) {
+    LANDMARK_LOG(Error) << "model training failed: "
+                        << model.status().ToString();
+    return 1;
+  }
+
+  // Heterogeneous-unit workload: landmark-double plans two units per record
+  // (one per landmark side), and the batch is sorted heaviest-record-first
+  // so the staged path's static contiguous partitioning is maximally
+  // imbalanced — exactly the straggler shape the task graph's work stealing
+  // exists to absorb.
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = samples;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < records && i < dataset->size(); ++i) {
+    batch.push_back(&dataset->pair(i));
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const PairRecord* a, const PairRecord* b) {
+              const size_t wa = a->ToString().size();
+              const size_t wb = b->ToString().size();
+              return wa != wb ? wa > wb : a->id < b->id;
+            });
+
+  EngineStats last_stats;
+  auto measure = [&](bool use_task_graph) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.use_task_graph = use_task_graph;
+    ExplainerEngine engine(engine_options);
+    std::vector<EngineStats> stats;
+    (void)engine.ExplainBatch(**model, batch, explainer);
+    for (size_t r = 0; r < reps; ++r) {
+      EngineBatchResult result = engine.ExplainBatch(**model, batch, explainer);
+      stats.push_back(result.stats);
+      last_stats = result.stats;
+    }
+    return StageTimes::MinOf(stats);
+  };
+
+  const StageTimes staged = measure(false);
+  const StageTimes task_graph = measure(true);
+  const double critical_path = last_stats.critical_path_seconds;
+
+  // StageTimes::total is EngineStats::total_seconds(), which is batch wall
+  // time on both paths — the end-to-end number the barriers gate.
+  const double scheduler_speedup =
+      task_graph.total > 0.0 ? staged.total / task_graph.total : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"workload\": {\"dataset\": \"S-AG\", \"size_scale\": " +
+          FormatDouble(scale, 2) + ", \"model\": \"logreg-em\", " +
+          "\"explainer\": \"landmark-double\", \"records\": " +
+          std::to_string(batch.size()) + ", \"num_samples\": " +
+          std::to_string(samples) + ", \"threads\": " +
+          std::to_string(threads) + ", \"reps\": " + std::to_string(reps) +
+          ", \"order\": \"heaviest-first\", \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + "},\n";
+  json += "  \"staged\": " + staged.ToJson() + ",\n";
+  json += "  \"task_graph\": " + task_graph.ToJson() + ",\n";
+  json += "  \"critical_path_seconds\": " + FormatDouble(critical_path, 6) +
+          ",\n";
+  json += "  \"scheduler_speedup\": " + FormatDouble(scheduler_speedup, 3) +
+          "\n";
+  json += "}\n";
+
+  if (!EmitJson(json_out, to_stdout, json)) {
+    return 1;
+  }
+
+  if (!canonical_out.empty() && !to_stdout) {
+    std::string canonical = "{\n";
+    canonical += "  \"schema\": \"landmark-bench-v1\",\n";
+    canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
+                 "\"throughput\": \"records/second\"},\n";
+    canonical += "  \"scheduler_speedup\": " +
+                 FormatDouble(scheduler_speedup, 3) + ",\n";
+    canonical += "  \"hardware_concurrency\": " +
+                 std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    canonical += "  \"benchmarks\": {\n";
+    canonical +=
+        CanonicalEntry("scheduler/staged", staged.total, batch.size()) + ",\n";
+    canonical += CanonicalEntry("scheduler/task_graph", task_graph.total,
+                                batch.size()) +
+                 "\n";
+    canonical += "  }\n}\n";
+    if (!EmitJson(canonical_out, false, canonical)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    LANDMARK_LOG(Error) << "bad flags: " << parsed.status().ToString();
+    return 1;
+  }
+  const Flags& flags = *parsed;
+  const std::string mode = flags.GetString("mode", "fastpath");
+  if (mode == "fastpath") {
+    return RunFastpath(flags, /*to_stdout=*/false);
+  }
+  if (mode == "scheduler") {
+    return RunScheduler(flags, /*to_stdout=*/false);
+  }
+  if (mode == "all") {
+    const int fastpath_rc = RunFastpath(flags, /*to_stdout=*/true);
+    const int scheduler_rc = RunScheduler(flags, /*to_stdout=*/true);
+    return fastpath_rc != 0 ? fastpath_rc : scheduler_rc;
+  }
+  LANDMARK_LOG(Error) << "unknown --mode '" << mode
+                      << "' (expected fastpath, scheduler, or all)";
+  return 1;
 }
 
 }  // namespace

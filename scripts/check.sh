@@ -7,10 +7,12 @@
 #               (determinism / concurrency / telemetry / hygiene contracts)
 #               plus clang-tidy where available
 #   asan-ubsan  memory errors + undefined behaviour
-#   tsan        data races in the staged pipeline and the telemetry hot
-#               paths (sharded counters, trace rings, the pool gauges); an
-#               explicit second pass re-runs the telemetry-focused tests so
-#               a race there fails loudly even when triaging the full run
+#   tsan        data races in the engine pipeline (both the task-graph
+#               scheduler and the legacy barriered path) and the telemetry
+#               hot paths (sharded counters, trace rings, the pool gauges);
+#               an explicit second pass re-runs the telemetry- and
+#               scheduler-focused tests (TaskGraph/Scheduler suites) so a
+#               race there fails loudly even when triaging the full run
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
 # `telemetry-demo --trace-out --metrics-out --audit-out` and the outputs are
@@ -41,9 +43,9 @@ for preset in asan-ubsan tsan; do
   ctest --preset "$preset" -j "$JOBS"
 done
 
-echo "=== [tsan] telemetry-focused re-run ==="
+echo "=== [tsan] telemetry + scheduler focused re-run ==="
 ctest --preset tsan -j "$JOBS" -R \
-  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus'
+  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus|TaskGraph|Scheduler'
 
 echo "=== [default] telemetry outputs + perf smoke ==="
 cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null

@@ -7,6 +7,11 @@
 #                          cache_features fast path, written to
 #                          BENCH_query.json (per-stage seconds, token-cache
 #                          hit/miss counts, query/total speedup)
+#   3. query_stage_bench --mode scheduler — end-to-end wall time of the
+#                          legacy barriered stage loops vs the per-unit
+#                          task-graph scheduler on a heterogeneous-unit
+#                          workload, written to BENCH_scheduler.json
+#                          (scheduler_speedup is the headline ratio)
 #
 # Reference numbers live in bench/baselines/: BENCH_query_pre.json was
 # captured immediately before the query fast path landed,
@@ -14,13 +19,16 @@
 # fresh BENCH_query.json against those to judge a perf change; the absolute
 # numbers are machine-dependent, the speedup ratios should hold anywhere.
 #
-# Alongside the per-stage BENCH_query.json, the canonical cross-PR
-# trajectory file BENCH_5.json (schema: benchmark name -> wall_ns +
-# throughput) is written to the repo root so tooling can compare runs
+# Alongside the per-mode JSON documents, the canonical cross-PR trajectory
+# files BENCH_5.json (fastpath) and BENCH_6.json (scheduler; also carries
+# the scheduler_speedup ratio) (schema: benchmark name -> wall_ns +
+# throughput) are written to the repo root so tooling can compare runs
 # across PRs without knowing each benchmark's bespoke layout.
 #
-# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json in $PWD,
-#                                       BENCH_5.json in the repo root)
+# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json and
+#                                       BENCH_scheduler.json in $PWD,
+#                                       BENCH_5.json and BENCH_6.json in
+#                                       the repo root)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,3 +50,11 @@ echo "=== query_stage_bench ==="
 cat "$OUT_DIR/BENCH_query.json"
 echo "wrote $OUT_DIR/BENCH_query.json (baselines: bench/baselines/)"
 echo "wrote $REPO/BENCH_5.json (canonical cross-PR trajectory)"
+
+echo "=== query_stage_bench --mode scheduler ==="
+"$REPO/build/bench/query_stage_bench" --mode scheduler \
+  --json-out "$OUT_DIR/BENCH_scheduler.json" \
+  --canonical-out "$REPO/BENCH_6.json"
+cat "$OUT_DIR/BENCH_scheduler.json"
+echo "wrote $OUT_DIR/BENCH_scheduler.json (staged vs task-graph)"
+echo "wrote $REPO/BENCH_6.json (canonical cross-PR trajectory)"

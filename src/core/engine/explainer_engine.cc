@@ -1,5 +1,6 @@
 #include "core/engine/explainer_engine.h"
 
+#include <algorithm>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -55,7 +56,9 @@ SurrogateOptions MakeSurrogateOptions(const ExplainerOptions& options) {
   return surrogate;
 }
 
-/// One unit flowing through the batch pipeline.
+/// One unit flowing through the batch pipeline (either scheduler). Every
+/// field is written by exactly one stage of the unit's own chain, which is
+/// what makes the task-graph nodes race-free without per-unit locks.
 struct UnitWork {
   size_t record_index = 0;
   ExplainUnit unit;
@@ -67,11 +70,28 @@ struct UnitWork {
   std::vector<uint32_t> mask_to_unique;
   std::vector<uint32_t> unique_index;  // indices into `masks`
 
-  // Reconstruct stage output (moved into the flat query batch).
+  // Reconstruct stage output. The staged scheduler moves these into its
+  // flat cross-record query batch; the task-graph scheduler queries them in
+  // place into `predictions`.
   std::vector<PairRecord> reconstructed;
-  // Offset of this unit's unique reconstructions in the flat batch.
+  // Offset of this unit's unique reconstructions in the flat batch
+  // (staged scheduler only).
   size_t query_offset = 0;
   bool queried = false;
+
+  // Query stage output (task-graph scheduler): one prediction per unique
+  // mask, aligned with `unique_index`.
+  std::vector<double> predictions;
+
+  // Fit stage outputs, consumed by the shared epilogue.
+  ExplanationQuality quality;
+  bool fit_ok = false;
+
+  // Per-stage CPU-seconds of this unit's nodes (task-graph scheduler).
+  double plan_seconds = 0.0;
+  double reconstruct_seconds = 0.0;
+  double query_seconds = 0.0;
+  double fit_seconds = 0.0;
 };
 
 /// Global-registry handles for the engine's stable metric names (the
@@ -113,6 +133,41 @@ struct EngineMetrics {
     }();
     return *metrics;
   }
+};
+
+/// Scheduler-specific metric handles (task-graph path only; names are part
+/// of the contract in docs/architecture.md, "Metric name contract").
+struct SchedulerMetrics {
+  Gauge& inflight_plan;
+  Gauge& inflight_reconstruct;
+  Gauge& inflight_query;
+  Gauge& inflight_fit;
+  Histogram& unit_critical_path_seconds;
+
+  static const SchedulerMetrics& Get() {
+    static const SchedulerMetrics* metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SchedulerMetrics{
+          r.GetGauge("engine/inflight/plan"),
+          r.GetGauge("engine/inflight/reconstruct"),
+          r.GetGauge("engine/inflight/query"),
+          r.GetGauge("engine/inflight/fit"),
+          r.GetHistogram("engine/unit_critical_path_seconds")};
+    }();
+    return *metrics;
+  }
+};
+
+/// Holds a stage's in-flight gauge up for the lifetime of one node body.
+class InflightScope {
+ public:
+  explicit InflightScope(Gauge& gauge) : gauge_(gauge) { gauge_.Add(1.0); }
+  ~InflightScope() { gauge_.Add(-1.0); }
+  InflightScope(const InflightScope&) = delete;
+  InflightScope& operator=(const InflightScope&) = delete;
+
+ private:
+  Gauge& gauge_;
 };
 
 /// Coefficients kept per audit line; matches Explanation::ToString's
@@ -188,6 +243,85 @@ void PublishBatchStats(const EngineStats& stats, size_t cache_evictions) {
   m.batch_seconds.Record(stats.total_seconds());
 }
 
+/// Shared tail of both schedulers: propagate unit failures to their record
+/// (first failing unit in unit order wins), publish quality signals and
+/// capture audit lines, assemble per-record results in input order, and
+/// flush telemetry. Runs single-threaded in unit index order — the audit
+/// stream's byte-for-byte equality across schedulers and thread counts
+/// hangs on this loop, so neither scheduler may write audit lines itself.
+/// `works` is the flat record-major unit list; units of record i occupy
+/// works[unit_begin[i], unit_begin[i + 1]).
+void FinalizeBatch(const EngineOptions& options,
+                   const std::vector<const PairRecord*>& pairs,
+                   const std::vector<UnitWork*>& works,
+                   const std::vector<size_t>& unit_begin,
+                   std::vector<Status>& record_status, size_t cache_evictions,
+                   const Timer& batch_timer, EngineBatchResult* out) {
+  const size_t n = pairs.size();
+  for (UnitWork* work : works) {
+    if (!work->status.ok() && record_status[work->record_index].ok()) {
+      record_status[work->record_index] = work->status;
+    }
+  }
+
+  // Quality + audit epilogue: publish every fitted unit's quality signals
+  // and capture the audit lines while the shells are still alive (assembly
+  // moves them into the results).
+  std::vector<AuditUnitRecord> audit_records;
+  if (options.audit_sink != nullptr) audit_records.resize(works.size());
+  for (size_t w = 0; w < works.size(); ++w) {
+    const UnitWork& work = *works[w];
+    if (work.fit_ok) PublishExplanationQuality(work.quality);
+    if (options.audit_sink == nullptr) continue;
+    AuditUnitRecord& record = audit_records[w];
+    record.record_id = pairs[work.record_index]->id;
+    record.record_index = work.record_index;
+    record.explainer = work.unit.shell.explainer_name;
+    if (work.unit.shell.landmark.has_value()) {
+      record.landmark_side =
+          std::string(EntitySideName(*work.unit.shell.landmark));
+    }
+    record.num_masks = work.masks.size();
+    if (work.queried) {
+      record.num_model_queries = work.unique_index.size();
+      record.cache_hits = work.masks.size() - work.unique_index.size();
+    }
+    if (work.fit_ok) {
+      FillAuditSuccess(work.unit.shell, work.quality,
+                       pairs[work.record_index]->left.schema().get(), &record);
+    } else {
+      const Status& status = !work.status.ok()
+                                 ? work.status
+                                 : record_status[work.record_index];
+      record.error = status.ok() ? "unit not completed" : status.ToString();
+    }
+  }
+
+  // Assemble, preserving input order and per-record unit order.
+  out->results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!record_status[i].ok()) {
+      out->results.emplace_back(record_status[i]);
+      ++out->stats.num_failed_records;
+      continue;
+    }
+    std::vector<Explanation> explanations;
+    explanations.reserve(unit_begin[i + 1] - unit_begin[i]);
+    for (size_t w = unit_begin[i]; w < unit_begin[i + 1]; ++w) {
+      explanations.push_back(std::move(works[w]->unit.shell));
+    }
+    out->results.emplace_back(std::move(explanations));
+  }
+  if (options.audit_sink != nullptr) {
+    for (const AuditUnitRecord& record : audit_records) {
+      options.audit_sink->WriteUnit(record);
+    }
+    options.audit_sink->WriteBatch(MakeAuditBatchStats(out->stats));
+  }
+  out->stats.wall_seconds = batch_timer.ElapsedSeconds();
+  PublishBatchStats(out->stats, cache_evictions);
+}
+
 }  // namespace
 
 std::string EngineStats::ToString() const {
@@ -206,6 +340,12 @@ std::string EngineStats::ToString() const {
   out += " reconstruct=" + FormatDouble(reconstruct_seconds, 3) + "s";
   out += " query=" + FormatDouble(query_seconds, 3) + "s";
   out += " fit=" + FormatDouble(fit_seconds, 3) + "s";
+  if (wall_seconds > 0.0) {
+    out += " wall=" + FormatDouble(wall_seconds, 3) + "s";
+  }
+  if (critical_path_seconds > 0.0) {
+    out += " critical_path=" + FormatDouble(critical_path_seconds, 3) + "s";
+  }
   return out;
 }
 
@@ -240,22 +380,34 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
 EngineBatchResult ExplainerEngine::ExplainBatch(
     const EmModel& model, const std::vector<const PairRecord*>& pairs,
     const PairExplainer& explainer) const {
-  LANDMARK_TRACE_SPAN("engine/batch");
-  EngineBatchResult out;
   const size_t n = pairs.size();
-  out.stats.num_records = n;
-  if (n == 0) return out;
+  if (n == 0) return EngineBatchResult{};
 
   const Status valid = ValidateExplainerOptions(explainer.options());
   if (!valid.ok()) {
+    EngineBatchResult out;
+    out.stats.num_records = n;
     out.results.assign(n, Result<std::vector<Explanation>>(valid));
     out.stats.num_failed_records = n;
-    // Rejected batches never reach the staged pipeline; count them without
+    // Rejected batches never reach the pipeline; count them without
     // polluting the stage-latency histograms with zero-length timings.
     EngineMetrics::Get().records.Add(n);
     EngineMetrics::Get().records_failed.Add(n);
     return out;
   }
+  return options_.use_task_graph
+             ? ExplainBatchTaskGraph(model, pairs, explainer)
+             : ExplainBatchStaged(model, pairs, explainer);
+}
+
+EngineBatchResult ExplainerEngine::ExplainBatchStaged(
+    const EmModel& model, const std::vector<const PairRecord*>& pairs,
+    const PairExplainer& explainer) const {
+  LANDMARK_TRACE_SPAN("engine/batch");
+  Timer batch_timer;
+  EngineBatchResult out;
+  const size_t n = pairs.size();
+  out.stats.num_records = n;
 
   auto parallel_for = [&](size_t count,
                           const std::function<void(size_t, size_t)>& body) {
@@ -408,9 +560,7 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
       MakeSurrogateOptions(explainer.options());
   // Quality signals need the full (duplicates included) neighbourhood
   // predictions, which are local to the fit loop; computed there, published
-  // and audited from the single-threaded epilogue below.
-  std::vector<ExplanationQuality> qualities(works.size());
-  std::vector<uint8_t> fit_ok(works.size(), 0);
+  // and audited from the single-threaded epilogue (FinalizeBatch).
   parallel_for(works.size(), [&](size_t begin, size_t end) {
     for (size_t w = begin; w < end; ++w) {
       UnitWork& work = works[w];
@@ -431,76 +581,257 @@ EngineBatchResult ExplainerEngine::ExplainBatch(
       // SampleNeighborhood), so this is f(all-active).
       work.unit.shell.model_prediction = unit_predictions[0];
       explainer.ApplyFit(*fit, &work.unit);
-      qualities[w] =
+      work.quality =
           ComputeExplanationQuality(work.unit.shell, unit_predictions);
-      fit_ok[w] = 1;
+      work.fit_ok = true;
     }
   });
-  for (const UnitWork& work : works) {
-    if (!work.status.ok() && record_status[work.record_index].ok()) {
-      record_status[work.record_index] = work.status;
-    }
-  }
   out.stats.fit_seconds = timer.ElapsedSeconds();
   fit_span.End();
 
-  // --- Quality + audit epilogue: publish every fitted unit's quality
-  // signals and capture the audit lines while the shells are still alive
-  // (assembly moves them into the results). Runs single-threaded in unit
-  // index order, so the audit stream is deterministic across thread counts.
-  std::vector<AuditUnitRecord> audit_records;
-  if (options_.audit_sink != nullptr) audit_records.resize(works.size());
-  for (size_t w = 0; w < works.size(); ++w) {
-    const UnitWork& work = works[w];
-    if (fit_ok[w]) PublishExplanationQuality(qualities[w]);
-    if (options_.audit_sink == nullptr) continue;
-    AuditUnitRecord& record = audit_records[w];
-    record.record_id = pairs[work.record_index]->id;
-    record.record_index = work.record_index;
-    record.explainer = work.unit.shell.explainer_name;
-    if (work.unit.shell.landmark.has_value()) {
-      record.landmark_side =
-          std::string(EntitySideName(*work.unit.shell.landmark));
+  std::vector<UnitWork*> work_ptrs;
+  work_ptrs.reserve(works.size());
+  for (UnitWork& work : works) work_ptrs.push_back(&work);
+  FinalizeBatch(options_, pairs, work_ptrs, unit_begin, record_status,
+                cache_evictions, batch_timer, &out);
+  return out;
+}
+
+EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
+    const EmModel& model, const std::vector<const PairRecord*>& pairs,
+    const PairExplainer& explainer) const {
+  LANDMARK_TRACE_SPAN("engine/batch");
+  Timer batch_timer;
+  EngineBatchResult out;
+  const size_t n = pairs.size();
+  out.stats.num_records = n;
+
+  /// State of one record in the unit DAG. `units` is built by the record's
+  /// plan node and never resized afterwards, so unit nodes hold stable
+  /// references into it; each downstream field of each UnitWork is written
+  /// by exactly one node.
+  struct RecordWork {
+    std::vector<UnitWork> units;
+    double plan_seconds = 0.0;
+  };
+  std::vector<RecordWork> records(n);
+  std::vector<Status> record_status(n, Status::OK());
+  const SurrogateOptions surrogate_options =
+      MakeSurrogateOptions(explainer.options());
+  const SchedulerMetrics& sm = SchedulerMetrics::Get();
+  // One concurrent cache for the whole epoch: units interleave their query
+  // stages against it from different workers (see text/token_cache.h); the
+  // hit/miss totals still match the staged path because every distinct
+  // string is profiled exactly once either way.
+  TokenCache token_cache;
+
+  TaskGraph graph(pool_.get());
+
+  // Per-unit stage bodies. Everything is captured by reference; the graph
+  // is drained by Wait() before any of it leaves scope.
+  auto reconstruct_body = [&](size_t i, size_t w) {
+    UnitWork& work = records[i].units[w];
+    {
+      // Neighborhood sampling is plan-stage work that happens to live in
+      // the unit's first node (it needs only the unit itself, and splitting
+      // it off would double the node count for no extra parallelism).
+      InflightScope inflight(sm.inflight_plan);
+      TraceSpan span("engine/plan");
+      Timer timer;
+      explainer.SampleNeighborhood(work.unit.dim, work.unit.rng, &work.masks,
+                                   &work.kernel_weights);
+      work.mask_to_unique = DeduplicateMasks(
+          work.masks, options_.cache_predictions, &work.unique_index);
+      work.plan_seconds = timer.ElapsedSeconds();
     }
-    record.num_masks = work.masks.size();
-    if (work.queried) {
-      record.num_model_queries = work.unique_index.size();
-      record.cache_hits = work.masks.size() - work.unique_index.size();
+    InflightScope inflight(sm.inflight_reconstruct);
+    TraceSpan span("engine/reconstruct");
+    Timer timer;
+    work.reconstructed.reserve(work.unique_index.size());
+    for (uint32_t mask_index : work.unique_index) {
+      Result<PairRecord> rec = explainer.ReconstructUnit(
+          work.unit, *pairs[i], work.masks[mask_index]);
+      if (!rec.ok()) {
+        work.status = rec.status();
+        work.reconstructed.clear();
+        break;
+      }
+      work.reconstructed.push_back(std::move(rec).ValueOrDie());
     }
-    if (fit_ok[w]) {
-      FillAuditSuccess(work.unit.shell, qualities[w],
-                       pairs[work.record_index]->left.schema().get(),
-                       &record);
+    work.reconstruct_seconds = timer.ElapsedSeconds();
+  };
+
+  // The per-record join reproduces the staged barrier's failure semantics:
+  // one unit's reconstruct failure excludes ALL of the record's units from
+  // the query stage (first failing unit in unit order wins), so which units
+  // query — and hence every audit line and cache counter — is independent
+  // of node scheduling.
+  auto join_body = [&](size_t i) {
+    RecordWork& rec = records[i];
+    for (const UnitWork& work : rec.units) {
+      if (!work.status.ok() && record_status[i].ok()) {
+        record_status[i] = work.status;
+      }
+    }
+    if (!record_status[i].ok()) return;  // units stay un-queried
+    for (UnitWork& work : rec.units) work.queried = true;
+  };
+
+  auto query_body = [&](size_t i, size_t w) {
+    UnitWork& work = records[i].units[w];
+    if (!work.queried) return;
+    InflightScope inflight(sm.inflight_query);
+    TraceSpan span("engine/query");
+    Timer timer;
+    work.predictions.resize(work.reconstructed.size());
+    if (options_.cache_features) {
+      // Per-unit prepared batch over the shared cache: the frozen landmark
+      // side resolves once per unit, every other string through the
+      // concurrent cache. reconstructed[0] is the all-active mask's pair —
+      // the same row the staged path takes its context from.
+      PreparedPairBatch prepared(work.reconstructed, &token_cache);
+      const LandmarkFeatureContext context = MakeLandmarkFeatureContext(
+          work.reconstructed.front(), explainer.FrozenSide(work.unit),
+          token_cache);
+      prepared.PrepareRange(0, work.reconstructed.size(), context);
+      model.PredictProbaPrepared(prepared, 0, work.reconstructed.size(),
+                                 work.predictions.data());
     } else {
-      const Status& status = !work.status.ok()
-                                 ? work.status
-                                 : record_status[work.record_index];
-      record.error = status.ok() ? "unit not completed" : status.ToString();
+      model.PredictProbaRange(work.reconstructed, 0,
+                              work.reconstructed.size(),
+                              work.predictions.data());
+    }
+    work.query_seconds = timer.ElapsedSeconds();
+  };
+
+  auto fit_body = [&](size_t i, size_t w) {
+    UnitWork& work = records[i].units[w];
+    if (!work.queried) return;
+    InflightScope inflight(sm.inflight_fit);
+    TraceSpan span("engine/fit");
+    Timer timer;
+    std::vector<double> unit_predictions(work.masks.size());
+    for (size_t m = 0; m < work.masks.size(); ++m) {
+      unit_predictions[m] = work.predictions[work.mask_to_unique[m]];
+    }
+    Result<SurrogateFit> fit =
+        FitSurrogate(work.masks, unit_predictions, work.kernel_weights,
+                     surrogate_options);
+    if (!fit.ok()) {
+      work.status = fit.status();
+      work.fit_seconds = timer.ElapsedSeconds();
+      return;
+    }
+    // Slot 0 of the dedup list is the all-active mask (asserted by
+    // SampleNeighborhood), so this is f(all-active).
+    work.unit.shell.model_prediction = unit_predictions[0];
+    explainer.ApplyFit(*fit, &work.unit);
+    work.quality = ComputeExplanationQuality(work.unit.shell, unit_predictions);
+    work.fit_ok = true;
+    work.fit_seconds = timer.ElapsedSeconds();
+  };
+
+  // Seed one plan node per record; each grows its own unit chains
+  // (reconstruct → join → query → fit) from inside the running graph, so a
+  // record's units start reconstructing while later records still plan.
+  for (size_t i = 0; i < n; ++i) {
+    graph.AddNode([&, i] {
+      RecordWork& rec = records[i];
+      {
+        InflightScope inflight(sm.inflight_plan);
+        TraceSpan span("engine/plan");
+        Timer timer;
+        Result<std::vector<ExplainUnit>> plan = explainer.Plan(model, *pairs[i]);
+        if (!plan.ok()) {
+          record_status[i] = plan.status();
+          rec.plan_seconds = timer.ElapsedSeconds();
+          return;
+        }
+        rec.units.reserve(plan->size());
+        for (ExplainUnit& unit : *plan) {
+          UnitWork work;
+          work.record_index = i;
+          work.unit = std::move(unit);
+          rec.units.push_back(std::move(work));
+        }
+        rec.plan_seconds = timer.ElapsedSeconds();
+      }
+      std::vector<TaskGraph::NodeId> reconstructs;
+      reconstructs.reserve(rec.units.size());
+      for (size_t w = 0; w < rec.units.size(); ++w) {
+        reconstructs.push_back(
+            graph.AddNode([&, i, w] { reconstruct_body(i, w); }));
+      }
+      const TaskGraph::NodeId join =
+          graph.AddNode([&, i] { join_body(i); }, reconstructs);
+      for (size_t w = 0; w < rec.units.size(); ++w) {
+        const TaskGraph::NodeId query =
+            graph.AddNode([&, i, w] { query_body(i, w); }, {join});
+        graph.AddNode([&, i, w] { fit_body(i, w); }, {query});
+      }
+    });
+  }
+  graph.Run();
+  graph.Wait();
+
+  // Flatten in input order and fold up the stats. Every loop below reads
+  // state that only the drained graph wrote.
+  std::vector<UnitWork*> works;
+  std::vector<size_t> unit_begin(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    unit_begin[i] = works.size();
+    for (UnitWork& work : records[i].units) works.push_back(&work);
+  }
+  unit_begin[n] = works.size();
+  out.stats.num_units = works.size();
+
+  size_t cache_evictions = 0;
+  size_t live_masks = 0;
+  for (const UnitWork* work : works) {
+    out.stats.num_masks += work->masks.size();
+    if (!work->queried) {
+      // Unique masks planned for units whose record failed pre-query: their
+      // memo entries were built and then discarded.
+      cache_evictions += work->unique_index.size();
+      continue;
+    }
+    live_masks += work->masks.size();
+    out.stats.num_model_queries += work->unique_index.size();
+  }
+  out.stats.cache_hits = live_masks - out.stats.num_model_queries;
+
+  // Stage CPU-seconds (summed across nodes) and the critical path: the
+  // longest chain of node durations ending at each unit's fit — record plan,
+  // then the slowest sibling's sample+reconstruct (the join waits for it),
+  // then the unit's own query and fit.
+  for (size_t i = 0; i < n; ++i) {
+    const RecordWork& rec = records[i];
+    out.stats.plan_seconds += rec.plan_seconds;
+    double slowest_sibling = 0.0;
+    for (const UnitWork& work : rec.units) {
+      slowest_sibling = std::max(
+          slowest_sibling, work.plan_seconds + work.reconstruct_seconds);
+    }
+    for (const UnitWork& work : rec.units) {
+      out.stats.plan_seconds += work.plan_seconds;
+      out.stats.reconstruct_seconds += work.reconstruct_seconds;
+      out.stats.query_seconds += work.query_seconds;
+      out.stats.fit_seconds += work.fit_seconds;
+      const double unit_critical_path = rec.plan_seconds + slowest_sibling +
+                                        work.query_seconds + work.fit_seconds;
+      sm.unit_critical_path_seconds.Record(unit_critical_path);
+      out.stats.critical_path_seconds =
+          std::max(out.stats.critical_path_seconds, unit_critical_path);
     }
   }
 
-  // --- Assemble, preserving input order and per-record unit order.
-  out.results.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!record_status[i].ok()) {
-      out.results.emplace_back(record_status[i]);
-      ++out.stats.num_failed_records;
-      continue;
-    }
-    std::vector<Explanation> explanations;
-    explanations.reserve(unit_begin[i + 1] - unit_begin[i]);
-    for (size_t w = unit_begin[i]; w < unit_begin[i + 1]; ++w) {
-      explanations.push_back(std::move(works[w].unit.shell));
-    }
-    out.results.emplace_back(std::move(explanations));
+  if (options_.cache_features) {
+    out.stats.token_cache_hits = token_cache.hits();
+    out.stats.token_cache_misses = token_cache.misses();
+    token_cache.PublishTelemetry();
   }
-  if (options_.audit_sink != nullptr) {
-    for (const AuditUnitRecord& record : audit_records) {
-      options_.audit_sink->WriteUnit(record);
-    }
-    options_.audit_sink->WriteBatch(MakeAuditBatchStats(out.stats));
-  }
-  PublishBatchStats(out.stats, cache_evictions);
+  FinalizeBatch(options_, pairs, works, unit_begin, record_status,
+                cache_evictions, batch_timer, &out);
   return out;
 }
 

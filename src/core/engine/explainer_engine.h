@@ -38,6 +38,18 @@ struct EngineOptions {
   /// prepared override transparently fall back to it). Off is an escape
   /// hatch for debugging and for the A/B equivalence tests.
   bool cache_features = true;
+  /// Schedule ExplainBatch as a per-unit dependency DAG on the pool (plan →
+  /// reconstruct → query → fit per unit, no batch-wide stage barriers) via
+  /// util/thread_pool.h's TaskGraph. A record's units flow to the query
+  /// stage as soon as their own reconstructions finish, instead of waiting
+  /// for the slowest record of the whole batch at every stage boundary.
+  /// Never changes results: node bodies write only to pre-assigned slots,
+  /// per-record failure semantics are reproduced exactly by a per-record
+  /// join node, and the quality/audit epilogue stays single-threaded in
+  /// input order — explanations and audit unit lines are bit-identical to
+  /// the staged path across thread counts. Off (`--no-task-graph`) runs the
+  /// legacy barriered stages, kept as the equivalence oracle.
+  bool use_task_graph = true;
   /// Optional flight recorder (`--audit-out`): when non-null, the engine
   /// appends one JSON line per ExplainUnit — identity, quality signals,
   /// per-unit cache counts, top-k token weights — plus a batch trailer.
@@ -49,6 +61,19 @@ struct EngineOptions {
 };
 
 /// \brief Per-stage counters of one ExplainBatch call.
+///
+/// **CPU-seconds vs wall-clock.** The four per-stage `*_seconds` fields are
+/// *summed CPU-seconds*: each unit of work accumulates the time its own
+/// stage body ran, across all workers. Under a multi-threaded run their sum
+/// therefore exceeds the batch's elapsed time (stages overlap and workers
+/// run concurrently) — they answer "where did the compute go", not "how
+/// long did I wait". `wall_seconds` is the batch's elapsed time and
+/// `critical_path_seconds` the longest dependency chain of node durations
+/// (the floor no amount of parallelism can beat); both answer the latency
+/// question. The legacy staged path keeps its historical meaning — each
+/// stage field is that stage's wall time between barriers (identical to the
+/// CPU sum when serial) — which is why the split was invisible before the
+/// task-graph scheduler (docs/architecture.md, "Scheduling").
 struct EngineStats {
   size_t num_records = 0;         // records submitted
   size_t num_failed_records = 0;  // records whose Result is an error
@@ -58,12 +83,21 @@ struct EngineStats {
   size_t cache_hits = 0;          // num_masks - num_model_queries
   size_t token_cache_hits = 0;    // token-profile lookups served from cache
   size_t token_cache_misses = 0;  // distinct strings tokenized (fast path)
-  double plan_seconds = 0.0;
-  double reconstruct_seconds = 0.0;
-  double query_seconds = 0.0;
-  double fit_seconds = 0.0;
+  double plan_seconds = 0.0;        // summed CPU-seconds (see above)
+  double reconstruct_seconds = 0.0; // summed CPU-seconds
+  double query_seconds = 0.0;       // summed CPU-seconds
+  double fit_seconds = 0.0;         // summed CPU-seconds
+  /// Elapsed wall-clock of the whole batch (pipeline + epilogue).
+  double wall_seconds = 0.0;
+  /// Longest dependency chain of node durations through the unit DAG
+  /// (task-graph path only; 0 on the staged path).
+  double critical_path_seconds = 0.0;
 
+  /// Batch latency: the measured wall-clock when available, else the sum of
+  /// the stage fields (their historical meaning — exact on the serial
+  /// staged path, an overcount under concurrency).
   double total_seconds() const {
+    if (wall_seconds > 0.0) return wall_seconds;
     return plan_seconds + reconstruct_seconds + query_seconds + fit_seconds;
   }
   /// One-line human-readable rendering for logs and CLI reports.
@@ -78,17 +112,27 @@ struct EngineBatchResult {
   EngineStats stats;
 };
 
-/// \brief The staged explanation pipeline — the generic explanation system
-/// of the paper's Figure 2, run once for a whole batch of records:
+/// \brief The explanation pipeline — the generic explanation system of the
+/// paper's Figure 2, run once for a whole batch of records through four
+/// stages:
 ///
 ///   plan        per record: token-space construction + RNG stream + mask
 ///               and kernel-weight sampling (PairExplainer::Plan)
 ///   reconstruct per unique mask: materialize the perturbed PairRecord
 ///               (PairExplainer::ReconstructUnit)
-///   query       one cross-record, deduplicated batch against the EM model,
-///               sharded over the thread pool (EmModel::PredictProbaRange)
+///   query       deduplicated pairs scored against the EM model
+///               (EmModel::PredictProbaPrepared / PredictProbaRange)
 ///   fit         per unit: weighted ridge surrogate + coefficient mapping
 ///               (FitSurrogate + PairExplainer::ApplyFit)
+///
+/// By default the stages are scheduled as a per-unit dependency DAG on the
+/// thread pool (EngineOptions::use_task_graph; docs/architecture.md,
+/// "Scheduling") — no barrier between stages, so a cheap record's units fit
+/// while an expensive record is still reconstructing. With
+/// `use_task_graph = false` the engine runs the legacy staged loops: every
+/// stage is a batch-wide ParallelFor with a barrier after it, and the query
+/// stage is one flat cross-record batch sharded over the pool. Both paths
+/// produce bit-identical output and share the single-threaded epilogue.
 ///
 /// **Determinism contract.** Every unit owns an RNG stream derived only from
 /// (options.seed, record id, unit side); work is partitioned statically and
@@ -138,6 +182,16 @@ class ExplainerEngine {
   static const ExplainerEngine& Serial();
 
  private:
+  /// Legacy barriered stage loops (use_task_graph = false) — the
+  /// equivalence oracle for the scheduler.
+  EngineBatchResult ExplainBatchStaged(
+      const EmModel& model, const std::vector<const PairRecord*>& pairs,
+      const PairExplainer& explainer) const;
+  /// Per-unit task-graph scheduler (use_task_graph = true, the default).
+  EngineBatchResult ExplainBatchTaskGraph(
+      const EmModel& model, const std::vector<const PairRecord*>& pairs,
+      const PairExplainer& explainer) const;
+
   EngineOptions options_;
   size_t num_threads_ = 1;
   // The pool is an execution resource, not logical state: ExplainBatch is

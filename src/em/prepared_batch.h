@@ -42,9 +42,13 @@ LandmarkFeatureContext MakeLandmarkFeatureContext(
 ///
 /// The batch borrows `pairs` and `cache`; both must outlive it, and `pairs`
 /// must not reallocate after construction (PreparedValues point into its
-/// records). Preparation mutates the token cache and therefore must run
-/// single-threaded; afterwards the batch is immutable and safe to read from
-/// any number of query workers concurrently.
+/// records). Preparation mutates the token cache, which is internally
+/// sharded and safe for concurrent callers — distinct PreparedPairBatch
+/// instances may prepare against one shared cache from different threads
+/// (the task-graph scheduler does exactly that, one batch per unit), but a
+/// single instance must still be prepared by one thread before its readers
+/// start; afterwards the batch is immutable and safe to read from any
+/// number of query workers concurrently.
 class PreparedPairBatch {
  public:
   PreparedPairBatch(const std::vector<PairRecord>& pairs, TokenCache* cache);

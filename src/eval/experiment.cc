@@ -45,6 +45,9 @@ ExperimentConfig ExperimentConfig::FromFlags(const Flags& flags) {
   if (flags.GetBool("no-feature-cache", false)) {
     config.engine_options.cache_features = false;
   }
+  if (flags.GetBool("no-task-graph", false)) {
+    config.engine_options.use_task_graph = false;
+  }
   return config;
 }
 

@@ -40,7 +40,8 @@ struct ExperimentConfig {
   ///   --records N --samples N --scale F --kernel-width F --lambda F
   ///   --threshold F --seed N --datasets S-BR,S-IA
   ///   --threads N (0 = hardware concurrency) --no-predict-cache
-  ///   --no-feature-cache
+  ///   --no-feature-cache --no-task-graph (legacy barriered stage loops;
+  ///   same results, kept as the scheduler's equivalence oracle)
   static ExperimentConfig FromFlags(const Flags& flags);
 
   /// Builds the engine configured by `engine_options`.

@@ -147,26 +147,46 @@ double TrigramSimilarity(const TokenizedValue& a, const TokenizedValue& b) {
   return SortedJaccard(a.trigrams, b.trigrams);
 }
 
+TokenCache::Shard& TokenCache::ShardOf(const std::string& text) {
+  return shards_[std::hash<std::string>{}(text) % kShards];
+}
+
 const TokenizedValue& TokenCache::Get(const std::string& text) {
-  auto it = entries_.find(text);
-  if (it != entries_.end()) {
-    ++hits_;
+  Shard& shard = ShardOf(text);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(text);
+  if (it != shard.entries.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  ++misses_;
-  return entries_.emplace(text, TokenizedValue::Of(text)).first->second;
+  // Profiled under the shard lock: a concurrent Get of the same string
+  // blocks here instead of computing a second profile, so misses() counts
+  // distinct strings exactly, regardless of interleaving.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return shard.entries.emplace(text, TokenizedValue::Of(text)).first->second;
+}
+
+size_t TokenCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 void TokenCache::PublishTelemetry() {
   MetricsRegistry& registry = MetricsRegistry::Global();
-  if (hits_ > published_hits_) {
-    registry.GetCounter("text/token_cache_hits").Add(hits_ - published_hits_);
-    published_hits_ = hits_;
+  const size_t hits = hits_.load(std::memory_order_relaxed);
+  const size_t misses = misses_.load(std::memory_order_relaxed);
+  if (hits > published_hits_) {
+    registry.GetCounter("text/token_cache_hits").Add(hits - published_hits_);
+    published_hits_ = hits;
   }
-  if (misses_ > published_misses_) {
+  if (misses > published_misses_) {
     registry.GetCounter("text/token_cache_misses")
-        .Add(misses_ - published_misses_);
-    published_misses_ = misses_;
+        .Add(misses - published_misses_);
+    published_misses_ = misses;
   }
 }
 

@@ -1,12 +1,17 @@
 #ifndef LANDMARK_TEXT_TOKEN_CACHE_H_
 #define LANDMARK_TEXT_TOKEN_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace landmark {
 
@@ -63,20 +68,26 @@ double MongeElkanSymmetric(const TokenizedValue& a, const TokenizedValue& b);
 /// TrigramSimilarity(a.text, b.text).
 double TrigramSimilarity(const TokenizedValue& a, const TokenizedValue& b);
 
-/// \brief Batch-lifetime memo of TokenizedValue per distinct attribute
+/// \brief Epoch-lifetime memo of TokenizedValue per distinct attribute
 /// string.
 ///
-/// One cache serves one engine query batch: perturbation masks of a unit
+/// One cache serves one engine batch epoch: perturbation masks of a unit
 /// recombine the same attribute strings over and over (and one side of
 /// every landmark unit is frozen outright), so the number of distinct
 /// strings is orders of magnitude below the number of value occurrences.
 /// There is no invalidation — entries live exactly as long as the cache,
-/// which lives exactly as long as the batch.
+/// which lives exactly as long as the epoch.
 ///
-/// **Thread-safety.** Get() mutates and must run single-threaded (the
-/// engine populates the cache while laying out the prepared batch, before
-/// fanning out to workers); the returned references stay valid and safe to
-/// read concurrently afterwards (std::unordered_map never moves nodes).
+/// **Thread-safety.** Get() is safe to call concurrently: the entry map is
+/// sharded by string hash, each shard behind its own mutex, and a miss is
+/// profiled while holding only its shard's lock — the first caller computes,
+/// every concurrent caller of the same string blocks briefly and then reads
+/// the winner's entry, so no profile is ever computed twice and the hit /
+/// miss totals are scheduling-independent. Returned references are stable
+/// for the cache's lifetime and safe to read lock-free (std::unordered_map
+/// never moves nodes), which is what lets the task-graph scheduler
+/// interleave unit query stages against one shared cache while the staged
+/// path keeps its single-threaded build.
 class TokenCache {
  public:
   /// Returns the profile of `text`, computing it on first sight. The
@@ -84,21 +95,33 @@ class TokenCache {
   const TokenizedValue& Get(const std::string& text);
 
   /// Lookups that found an existing entry / had to compute one.
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Distinct strings profiled (== misses()).
-  size_t size() const { return entries_.size(); }
+  size_t size() const;
 
   /// Adds this cache's hit/miss counts to the process-wide telemetry
   /// counters `text/token_cache_hits` / `text/token_cache_misses` (see
-  /// docs/architecture.md, "Metric name contract"). Call once per batch;
-  /// counts already published are not re-published.
+  /// docs/architecture.md, "Metric name contract"). Call once per batch
+  /// from a single thread (the engine epilogue); counts already published
+  /// are not re-published.
   void PublishTelemetry();
 
  private:
-  std::unordered_map<std::string, TokenizedValue> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  /// Shard count: enough that concurrent unit query stages rarely collide
+  /// on a shard, small enough that size() stays trivial.
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TokenizedValue> entries GUARDED_BY(mu);
+  };
+
+  Shard& ShardOf(const std::string& text);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
   size_t published_hits_ = 0;
   size_t published_misses_ = 0;
 };

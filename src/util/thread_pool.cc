@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/telemetry/trace.h"
 
 namespace landmark {
 
+namespace {
+
+/// Identity of the pool worker currently running on this thread, so
+/// SubmitLocal can route to the right deque without a registry lookup. Set
+/// for the lifetime of WorkerLoop; null on every non-worker thread.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity current_worker;
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   tasks_total_ = &registry.GetCounter("pool/tasks");
+  steals_total_ = &registry.GetCounter("pool/steals");
   queue_depth_ = &registry.GetGauge("pool/queue_depth");
   task_seconds_ = &registry.GetHistogram("pool/task_seconds");
   queue_wait_seconds_ = &registry.GetHistogram("pool/queue_wait_seconds");
@@ -17,6 +32,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   registry.GetGauge("pool/workers").Add(static_cast<double>(num_threads));
   workers_.reserve(num_threads);
   worker_busy_seconds_.reserve(num_threads);
+  local_.resize(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     worker_busy_seconds_.push_back(&registry.GetGauge(
         "pool/worker_busy_seconds/" + std::to_string(i)));
@@ -55,18 +71,35 @@ void ThreadPool::RunTask(Task task, Gauge* busy_seconds) {
   tasks_total_->Add(1);
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+size_t ThreadPool::CallerWorkerIndex() const {
+  return current_worker.pool == this ? current_worker.index : workers_.size();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task, size_t local_index) {
   if (workers_.empty()) {
     RunTask(Task{std::move(task), 0}, nullptr);
     return;
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(Task{std::move(task), TraceNowNs()});
+    if (local_index < local_.size()) {
+      local_[local_index].push_back(Task{std::move(task), TraceNowNs()});
+    } else {
+      queue_.push_back(Task{std::move(task), TraceNowNs()});
+    }
+    ++queued_;
     ++in_flight_;
-    queue_depth_->Set(static_cast<double>(queue_.size()));
+    queue_depth_->Set(static_cast<double>(queued_));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(std::move(task), workers_.size());
+}
+
+void ThreadPool::SubmitLocal(std::function<void()> task) {
+  Enqueue(std::move(task), CallerWorkerIndex());
 }
 
 void ThreadPool::Wait() {
@@ -76,23 +109,46 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  current_worker = WorkerIdentity{this, worker_index};
   Gauge* busy_seconds = worker_busy_seconds_[worker_index];
+  const size_t num_workers = local_.size();
   for (;;) {
     Task task;
+    bool stolen = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to run
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_->Set(static_cast<double>(queue_.size()));
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) break;  // stop_ set and nothing left to run
+      // Own deque newest-first (the task most likely to be cache-warm),
+      // then the shared queue oldest-first, then steal the oldest task of
+      // the first non-empty victim deque.
+      if (!local_[worker_index].empty()) {
+        task = std::move(local_[worker_index].back());
+        local_[worker_index].pop_back();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        for (size_t v = 1; v < num_workers; ++v) {
+          const size_t victim = (worker_index + v) % num_workers;
+          if (local_[victim].empty()) continue;
+          task = std::move(local_[victim].front());
+          local_[victim].pop_front();
+          stolen = true;
+          break;
+        }
+      }
+      --queued_;
+      queue_depth_->Set(static_cast<double>(queued_));
     }
+    if (stolen) steals_total_->Add(1);
     RunTask(std::move(task), busy_seconds);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) done_cv_.notify_all();
     }
   }
+  current_worker = WorkerIdentity{};
 }
 
 size_t ThreadPool::NumChunks(size_t n) const {
@@ -120,6 +176,121 @@ void ThreadPool::ParallelFor(size_t n,
     begin = end;
   }
   Wait();
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraph
+
+TaskGraph::TaskGraph(ThreadPool* pool)
+    : pool_(pool != nullptr && pool->num_threads() > 0 ? pool : nullptr) {}
+
+TaskGraph::~TaskGraph() = default;
+
+TaskGraph::NodeId TaskGraph::AddNode(std::function<void()> fn,
+                                     const std::vector<NodeId>& deps) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const NodeId id = nodes_.size();
+  Node node;
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  ++unfinished_;
+  // A dependency that already finished releases nothing later, so it never
+  // counts towards the pending total (this is what makes growing a running
+  // graph race-free: whichever side of the dep's completion AddNode lands
+  // on, the count is consistent because both run under the graph mutex).
+  for (NodeId dep : deps) {
+    if (nodes_[dep].done) continue;
+    nodes_[dep].successors.push_back(id);
+    ++nodes_[id].pending;
+  }
+  if (nodes_[id].pending == 0 && running_) EnqueueReady(id);
+  return id;
+}
+
+void TaskGraph::EnqueueReady(NodeId id) {
+  if (pool_ == nullptr) {
+    inline_ready_.push_back(id);
+    return;
+  }
+  pool_->SubmitLocal([this, id] { RunNode(id); });
+}
+
+void TaskGraph::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = true;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].pending == 0) EnqueueReady(id);
+  }
+}
+
+void TaskGraph::RunNode(NodeId id) {
+  std::function<void()> fn;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cancelled_) fn = std::move(nodes_[id].fn);
+  }
+  if (fn) {
+    try {
+      fn();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      cancelled_ = true;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    nodes_[id].fn = nullptr;
+    nodes_[id].done = true;
+    for (NodeId succ : nodes_[id].successors) {
+      if (--nodes_[succ].pending == 0) EnqueueReady(succ);
+    }
+    if (--unfinished_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void TaskGraph::DrainInline() {
+  for (;;) {
+    NodeId id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (inline_ready_.empty()) return;
+      id = inline_ready_.front();
+      inline_ready_.pop_front();
+    }
+    RunNode(id);
+  }
+}
+
+void TaskGraph::Wait() {
+  if (pool_ == nullptr) {
+    DrainInline();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void TaskGraph::Cancel() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cancelled_ = true;
+}
+
+bool TaskGraph::cancelled() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+size_t TaskGraph::num_nodes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return nodes_.size();
 }
 
 }  // namespace landmark

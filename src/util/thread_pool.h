@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,25 +16,37 @@
 
 namespace landmark {
 
-/// \brief Small fixed-size worker pool for the staged explanation pipeline.
+/// \brief Fixed-size worker pool for the explanation engine, with two
+/// execution disciplines layered on the same workers:
 ///
-/// Work is distributed by *static contiguous partitioning* (ParallelFor):
-/// each chunk of the index range is processed exactly once and the caller
-/// writes results into pre-sized slots, so the output of a parallel stage is
-/// independent of thread scheduling. That is the mechanism behind the
-/// engine's determinism contract — parallel and serial runs must produce
-/// bit-identical explanations.
+///  - **ParallelFor** — static contiguous partitioning. Each chunk of the
+///    index range is processed exactly once and the caller writes results
+///    into pre-sized slots, so the output of a parallel stage is independent
+///    of thread scheduling. The staged (`--no-task-graph`) pipeline runs on
+///    this alone.
+///  - **TaskGraph** (below) — per-unit dependency DAGs. Completing a node
+///    enqueues its ready successors onto the completing worker's own deque
+///    (LIFO, cache-warm); idle workers steal from the front of other
+///    workers' deques (FIFO, oldest first). Scheduling order is free, but
+///    graph nodes write only to their own pre-assigned slots, so results
+///    stay deterministic.
 ///
-/// A pool with `num_threads <= 1` spawns no workers; ParallelFor then runs
-/// the body inline on the calling thread, which keeps single-threaded use
-/// free of synchronization entirely.
+/// Work distribution state is one shared FIFO queue (Submit / ParallelFor
+/// chunks) plus one deque per worker (SubmitLocal / graph successors), all
+/// guarded by a single pool mutex. Tasks are chunky — one per worker per
+/// stage, or one per unit-stage node — so the lock is never contended
+/// relative to task bodies.
+///
+/// A pool with `num_threads <= 1` spawns no workers; ParallelFor and
+/// TaskGraph then run inline on the calling thread in deterministic FIFO
+/// order, which keeps single-threaded use free of synchronization entirely.
 ///
 /// Every pool reports into the global MetricsRegistry under the stable names
-/// `pool/tasks` (counter), `pool/queue_depth` (gauge, sampled at
-/// enqueue/dequeue), `pool/task_seconds` and `pool/queue_wait_seconds`
-/// (histograms) and `pool/worker_busy_seconds/<i>` (per-worker accumulated
-/// gauge — utilization relative to wall time). Tasks are chunky (one per
-/// worker per stage), so the two clock reads per task are noise.
+/// `pool/tasks` (counter), `pool/steals` (counter, cross-worker deque pops),
+/// `pool/queue_depth` (gauge — shared queue plus all per-worker deques,
+/// sampled at enqueue/dequeue), `pool/task_seconds` and
+/// `pool/queue_wait_seconds` (histograms) and `pool/worker_busy_seconds/<i>`
+/// (per-worker accumulated gauge — utilization relative to wall time).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -45,8 +58,14 @@ class ThreadPool {
   /// Number of worker threads (0 for an inline pool).
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues one task. Tasks must not throw.
+  /// Enqueues one task on the shared queue. Tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueues one task on the calling worker's own deque when called from
+  /// one of this pool's workers (newest-first execution, stealable by idle
+  /// workers); falls back to the shared queue from any other thread. This
+  /// is how TaskGraph keeps a unit's chain on one core while it is hot.
+  void SubmitLocal(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
@@ -62,6 +81,8 @@ class ThreadPool {
   size_t NumChunks(size_t n) const;
 
  private:
+  friend class TaskGraph;
+
   struct Task {
     std::function<void()> fn;
     uint64_t enqueue_ns = 0;
@@ -70,22 +91,123 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
   /// Runs one task with telemetry (latency histogram, busy-seconds gauge).
   void RunTask(Task task, Gauge* busy_seconds);
+  /// Shared enqueue path; `local_index` < workers size routes to that
+  /// worker's deque, anything else to the shared queue.
+  void Enqueue(std::function<void()> task, size_t local_index);
+  /// Index of the calling thread within this pool's workers, or
+  /// `workers_.size()` when the caller is not one of them.
+  size_t CallerWorkerIndex() const;
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::deque<Task> queue_ GUARDED_BY(mu_);
-  std::condition_variable work_cv_;   // signals workers: queue non-empty/stop
+  mutable std::mutex mu_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);          // shared FIFO
+  std::vector<std::deque<Task>> local_ GUARDED_BY(mu_);  // one per worker
+  std::condition_variable work_cv_;   // signals workers: work available/stop
   std::condition_variable done_cv_;   // signals Wait(): all tasks drained
+  // Tasks sitting in the shared queue or any worker deque.
+  size_t queued_ GUARDED_BY(mu_) = 0;
   // Queued + currently running tasks.
   size_t in_flight_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;
 
   // Global-registry handles, resolved once at construction (never null).
   Counter* tasks_total_;
+  Counter* steals_total_;
   Gauge* queue_depth_;
   Histogram* task_seconds_;
   Histogram* queue_wait_seconds_;
   std::vector<Gauge*> worker_busy_seconds_;  // one per worker
+};
+
+/// \brief A dependency DAG of small tasks executed on a ThreadPool — the
+/// scheduling primitive behind the engine's per-unit pipeline
+/// (docs/architecture.md, "Scheduling").
+///
+/// Nodes are added with AddNode, naming already-added nodes as
+/// dependencies; a node becomes *ready* when its last dependency finishes
+/// and is then pushed onto the completing worker's deque (see
+/// ThreadPool::SubmitLocal). Nodes may add further nodes while running —
+/// that is how the engine grows each record's unit chains from inside the
+/// record's plan node. A dependency that already finished is satisfied
+/// immediately, so growing a running graph is race-free.
+///
+/// **Drain handle.** Run() seeds the initial ready set; Wait() blocks until
+/// every node (including nodes added mid-run) has finished, then rethrows
+/// the first node exception if any. A node that throws cancels the graph:
+/// nodes not yet started are skipped (their bodies never run) but still
+/// release their successors, so Wait() always terminates. Cancel() triggers
+/// the same skip-draining explicitly.
+///
+/// **Determinism.** On an inline pool (no workers) nodes execute on the
+/// calling thread in FIFO ready order, which is a fixed topological order
+/// of the graph. With workers the interleaving is scheduling-dependent;
+/// callers keep results deterministic the same way ParallelFor users do —
+/// every node writes only to slots assigned before Run().
+///
+/// A TaskGraph is single-use: build, Run, Wait, destroy. It must outlive
+/// its Wait() call and must not be destroyed while nodes are in flight.
+class TaskGraph {
+ public:
+  using NodeId = size_t;
+
+  /// `pool` may be null or worker-less; the graph then runs inline inside
+  /// Wait(). The pool must outlive the graph.
+  explicit TaskGraph(ThreadPool* pool);
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node running `fn` after every node in `deps`. Thread-safe;
+  /// callable before Run() or from inside a running node.
+  NodeId AddNode(std::function<void()> fn, const std::vector<NodeId>& deps = {});
+
+  /// Starts executing: enqueues every currently-ready node. Call exactly
+  /// once; AddNode stays legal afterwards (from inside running nodes).
+  void Run();
+
+  /// Blocks until the graph has drained, then rethrows the first exception
+  /// thrown by a node body (if any). Safe to call exactly once, after
+  /// Run(), from a non-worker thread.
+  void Wait();
+
+  /// Skips every node that has not started yet (bodies never run; counts
+  /// still release successors so Wait() terminates).
+  void Cancel();
+
+  /// True once Cancel() was called or a node threw.
+  bool cancelled() const;
+
+  /// Nodes added so far.
+  size_t num_nodes() const;
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    size_t pending = 0;            // unfinished dependencies
+    bool done = false;             // body ran (or was skipped by Cancel)
+    std::vector<NodeId> successors;
+  };
+
+  /// Executes node `id` (or skips it when cancelled), then releases its
+  /// successors, pushing newly-ready ones onto the current worker's deque.
+  void RunNode(NodeId id);
+  /// Marks `id` ready: enqueues it on the pool, or appends it to the
+  /// inline ready queue when the pool has no workers.
+  void EnqueueReady(NodeId id) REQUIRES(mu_);
+  /// Drains the inline ready queue on the calling thread (worker-less
+  /// pools).
+  void DrainInline();
+
+  ThreadPool* pool_;  // may be null (inline execution)
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_ GUARDED_BY(mu_);
+  std::deque<NodeId> inline_ready_ GUARDED_BY(mu_);
+  size_t unfinished_ GUARDED_BY(mu_) = 0;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool cancelled_ GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  std::condition_variable drained_cv_;  // signals Wait(): unfinished_ == 0
 };
 
 }  // namespace landmark

@@ -1,0 +1,13 @@
+// Fixture: raw-thread (condition-variable form) — the ad-hoc
+// std::condition_variable member on line 10 is banned outside the
+// thread-pool / telemetry allowances. The mutex is annotated so only the
+// condvar diagnostic fires.
+#include <condition_variable>
+#include <mutex>
+
+class AdHocWaiter {
+ private:
+  std::condition_variable cv_;
+  std::mutex mu_;
+  bool ready_ GUARDED_BY(mu_) = false;
+};

@@ -64,6 +64,14 @@ TEST(LandmarkLint, RawThreadFiresAtExactLocation) {
   EXPECT_TRUE(HasDiagnostic(diags, "src/raw_thread.cc", 5, "raw-thread"));
 }
 
+TEST(LandmarkLint, CondvarFiresUnderRawThreadRule) {
+  // The annotated mutex keeps mutex-guard quiet; only the ad-hoc
+  // condition_variable member trips the extended raw-thread rule.
+  const std::vector<Diagnostic> diags = Lint({"src/condvar.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/condvar.cc", 10, "raw-thread"));
+}
+
 TEST(LandmarkLint, MutexGuardFiresAtExactLocation) {
   const std::vector<Diagnostic> diags = Lint({"src/mutex_guard.h"}, false);
   ASSERT_EQ(diags.size(), 1u);

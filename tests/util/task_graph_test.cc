@@ -1,0 +1,234 @@
+// TaskGraph contract: dependency order is respected for chains, diamonds
+// and fan-outs; graphs may grow from inside running nodes; a throwing node
+// cancels the rest and Wait() rethrows; inline (worker-less) execution is
+// deterministic FIFO.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace landmark {
+namespace {
+
+/// Thread-safe append-only log of node labels, for order assertions.
+class ExecutionLog {
+ public:
+  void Append(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(label);
+  }
+  std::vector<std::string> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+  /// Position of `label` in the log; fails the test when absent.
+  size_t IndexOf(const std::string& label) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i] == label) return i;
+    }
+    ADD_FAILURE() << "label not executed: " << label;
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> entries_;
+};
+
+TEST(TaskGraphTest, ChainRunsInDependencyOrder) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    ExecutionLog log;
+    TaskGraph::NodeId prev = graph.AddNode([&log] { log.Append("n0"); });
+    for (int i = 1; i < 8; ++i) {
+      prev = graph.AddNode(
+          [&log, i] { log.Append("n" + std::to_string(i)); }, {prev});
+    }
+    graph.Run();
+    graph.Wait();
+    const std::vector<std::string> entries = log.entries();
+    ASSERT_EQ(entries.size(), 8u) << "threads=" << threads;
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(entries[i], "n" + std::to_string(i)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskGraphTest, DiamondJoinWaitsForBothBranches) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    ExecutionLog log;
+    const TaskGraph::NodeId top = graph.AddNode([&log] { log.Append("top"); });
+    const TaskGraph::NodeId left =
+        graph.AddNode([&log] { log.Append("left"); }, {top});
+    const TaskGraph::NodeId right =
+        graph.AddNode([&log] { log.Append("right"); }, {top});
+    graph.AddNode([&log] { log.Append("join"); }, {left, right});
+    graph.Run();
+    graph.Wait();
+    EXPECT_EQ(log.entries().size(), 4u);
+    const size_t join = log.IndexOf("join");
+    EXPECT_LT(log.IndexOf("top"), log.IndexOf("left"));
+    EXPECT_LT(log.IndexOf("top"), log.IndexOf("right"));
+    EXPECT_LT(log.IndexOf("left"), join);
+    EXPECT_LT(log.IndexOf("right"), join);
+  }
+}
+
+TEST(TaskGraphTest, FanOutRunsEveryLeafExactlyOnce) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    std::atomic<int> root_runs{0};
+    std::vector<std::atomic<int>> leaf_runs(64);
+    for (auto& r : leaf_runs) r = 0;
+    const TaskGraph::NodeId root = graph.AddNode([&root_runs] { ++root_runs; });
+    for (size_t i = 0; i < leaf_runs.size(); ++i) {
+      graph.AddNode([&leaf_runs, i] { ++leaf_runs[i]; }, {root});
+    }
+    graph.Run();
+    graph.Wait();
+    EXPECT_EQ(root_runs.load(), 1);
+    for (size_t i = 0; i < leaf_runs.size(); ++i) {
+      EXPECT_EQ(leaf_runs[i].load(), 1) << "leaf " << i;
+    }
+    EXPECT_EQ(graph.num_nodes(), leaf_runs.size() + 1);
+  }
+}
+
+TEST(TaskGraphTest, NodesCanGrowTheGraphWhileRunning) {
+  // The engine's shape: a seed node adds a chain per "unit", plus a join
+  // over the chains — all from inside the running graph.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    std::atomic<int> stage_a{0}, stage_b{0}, joined{0};
+    graph.AddNode([&] {
+      std::vector<TaskGraph::NodeId> firsts;
+      for (int u = 0; u < 6; ++u) {
+        const TaskGraph::NodeId a = graph.AddNode([&stage_a] { ++stage_a; });
+        graph.AddNode([&stage_b] { ++stage_b; }, {a});
+        firsts.push_back(a);
+      }
+      graph.AddNode([&] { joined = stage_a.load(); }, firsts);
+    });
+    graph.Run();
+    graph.Wait();
+    EXPECT_EQ(stage_a.load(), 6);
+    EXPECT_EQ(stage_b.load(), 6);
+    // The join depended on every first-stage node, so it observed all six.
+    EXPECT_EQ(joined.load(), 6);
+    EXPECT_EQ(graph.num_nodes(), 1u + 6u * 2u + 1u);
+  }
+}
+
+TEST(TaskGraphTest, DependencyThatAlreadyFinishedIsSatisfiedImmediately) {
+  // When `b` runs, its dependency `a` has finished; the node `b` adds on
+  // `a` must become ready immediately rather than wait for a release that
+  // will never come.
+  ThreadPool pool(1);
+  TaskGraph graph(&pool);
+  ExecutionLog log;
+  TaskGraph::NodeId a = graph.AddNode([&log] { log.Append("a"); });
+  graph.AddNode(
+      [&, a] {
+        log.Append("b");
+        graph.AddNode([&log] { log.Append("c"); }, {a});
+      },
+      {a});
+  graph.Run();
+  graph.Wait();
+  EXPECT_EQ(log.entries(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TaskGraphTest, ExceptionCancelsRemainingNodesAndWaitRethrows) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    std::atomic<int> ran{0};
+    const TaskGraph::NodeId boom = graph.AddNode(
+        [] { throw std::runtime_error("node failed"); });
+    // A long chain behind the throwing node: none of it may run.
+    TaskGraph::NodeId prev = boom;
+    for (int i = 0; i < 5; ++i) {
+      prev = graph.AddNode([&ran] { ++ran; }, {prev});
+    }
+    graph.Run();
+    EXPECT_THROW(graph.Wait(), std::runtime_error);
+    EXPECT_TRUE(graph.cancelled());
+    EXPECT_EQ(ran.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(TaskGraphTest, CancelSkipsUnstartedNodesButStillDrains) {
+  ThreadPool pool(1);
+  TaskGraph graph(&pool);
+  std::atomic<int> ran{0};
+  TaskGraph::NodeId prev = graph.AddNode([&] {
+    ++ran;
+    graph.Cancel();
+  });
+  for (int i = 0; i < 10; ++i) {
+    prev = graph.AddNode([&ran] { ++ran; }, {prev});
+  }
+  graph.Run();
+  graph.Wait();  // terminates despite the skipped bodies; nothing rethrown
+  EXPECT_TRUE(graph.cancelled());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskGraphTest, InlineExecutionIsDeterministicFifo) {
+  // Worker-less pools drain ready nodes first-in-first-out: two identical
+  // graphs produce identical logs.
+  auto run_once = [] {
+    ThreadPool pool(1);
+    TaskGraph graph(&pool);
+    ExecutionLog log;
+    const TaskGraph::NodeId a = graph.AddNode([&log] { log.Append("a"); });
+    const TaskGraph::NodeId b = graph.AddNode([&log] { log.Append("b"); });
+    graph.AddNode([&log] { log.Append("c"); }, {a});
+    graph.AddNode([&log] { log.Append("d"); }, {b});
+    graph.AddNode([&log] { log.Append("e"); }, {a, b});
+    graph.Run();
+    graph.Wait();
+    return log.entries();
+  };
+  const std::vector<std::string> first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_EQ(first.size(), 5u);
+  EXPECT_EQ(first[0], "a");
+  EXPECT_EQ(first[1], "b");
+}
+
+TEST(TaskGraphTest, NullPoolRunsInline) {
+  TaskGraph graph(nullptr);
+  int ran = 0;
+  const TaskGraph::NodeId a = graph.AddNode([&ran] { ++ran; });
+  graph.AddNode([&ran] { ++ran; }, {a});
+  graph.Run();
+  graph.Wait();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(TaskGraphTest, EmptyGraphWaitsWithoutBlocking) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph(&pool);
+    graph.Run();
+    graph.Wait();
+    EXPECT_EQ(graph.num_nodes(), 0u);
+    EXPECT_FALSE(graph.cancelled());
+  }
+}
+
+}  // namespace
+}  // namespace landmark

@@ -110,6 +110,36 @@ TEST(ThreadPoolTest, SubmitAndWaitRunEveryTask) {
   EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPoolTest, SubmitLocalRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  // From a non-worker thread SubmitLocal falls back to the shared queue.
+  for (int i = 0; i < 10; ++i) {
+    pool.SubmitLocal([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+  // From inside a worker it lands on that worker's own deque; tasks still
+  // all run (idle workers steal), and nested submission drains before Wait
+  // returns.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      for (int j = 0; j < 5; ++j) {
+        pool.SubmitLocal([&count] { ++count; });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10 + 8 * 5);
+}
+
+TEST(ThreadPoolTest, SubmitLocalRunsInlineOnWorkerlessPool) {
+  ThreadPool pool(1);
+  int count = 0;
+  pool.SubmitLocal([&count] { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
   std::atomic<int> count{0};
   {

@@ -52,7 +52,7 @@ commands:
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
                   [--threads N] [--no-predict-cache] [--no-feature-cache]
-                  [--engine-stats]
+                  [--no-task-graph] [--engine-stats]
   telemetry-demo  [--dataset CODE] [--records N] [--threads N]
 
 every command also accepts:

@@ -370,25 +370,46 @@ bool RawThreadExempt(const std::string& rel) {
   return rel == "src/util/thread_pool.cc" || rel == "src/util/thread_pool.h";
 }
 
+/// Condition variables are additionally tolerated in the telemetry layer
+/// (exporter lifecycle waits), where no pipeline determinism is at stake.
+bool CondvarExempt(const std::string& rel) {
+  return RawThreadExempt(rel) || PathIsUnder(rel, "src/util/telemetry/");
+}
+
 void CheckRawThread(const FileText& file, FileDiagnostics* diag) {
-  if (RawThreadExempt(file.rel_path)) return;
-  const std::string needle = std::string("std::") + "thread";
+  const std::string thread_needle = std::string("std::") + "thread";
+  const std::vector<std::string> condvar_needles = {
+      std::string("std::") + "condition_variable",
+      std::string("std::") + "condition_variable_any"};
   for (size_t i = 0; i < file.code.size(); ++i) {
     const std::string& line = file.code[i];
-    size_t pos = FindToken(line, needle, 0);
-    while (pos != std::string::npos) {
-      // std::thread::hardware_concurrency() etc. is a capability query, not
-      // a thread construction; everything else is banned.
-      size_t after = pos + needle.size();
-      if (!(after + 1 < line.size() && line[after] == ':' &&
-            line[after + 1] == ':')) {
+    if (!RawThreadExempt(file.rel_path)) {
+      size_t pos = FindToken(line, thread_needle, 0);
+      while (pos != std::string::npos) {
+        // std::thread::hardware_concurrency() etc. is a capability query,
+        // not a thread construction; everything else is banned.
+        size_t after = pos + thread_needle.size();
+        if (!(after + 1 < line.size() && line[after] == ':' &&
+              line[after + 1] == ':')) {
+          diag->Emit(kRuleRawThread, static_cast<int>(i) + 1,
+                     "raw std::thread outside ThreadPool; route parallel work "
+                     "through ThreadPool::ParallelFor so static partitioning "
+                     "keeps results deterministic");
+          break;
+        }
+        pos = FindToken(line, thread_needle, after);
+      }
+    }
+    if (!CondvarExempt(file.rel_path)) {
+      for (const std::string& needle : condvar_needles) {
+        if (FindToken(line, needle, 0) == std::string::npos) continue;
         diag->Emit(kRuleRawThread, static_cast<int>(i) + 1,
-                   "raw std::thread outside ThreadPool; route parallel work "
-                   "through ThreadPool::ParallelFor so static partitioning "
-                   "keeps results deterministic");
+                   "ad-hoc condition-variable wait outside ThreadPool; "
+                   "synchronize through ThreadPool / TaskGraph (Wait, drain "
+                   "handles) so blocking is centralized and lock-order "
+                   "auditable");
         break;
       }
-      pos = FindToken(line, needle, after);
     }
   }
 }

@@ -18,7 +18,11 @@
 ///   raw-thread       concurrency contract: raw std::thread construction is
 ///                    banned outside src/util/thread_pool.{h,cc}; parallel
 ///                    stages go through ThreadPool::ParallelFor, whose static
-///                    partitioning is what makes them deterministic.
+///                    partitioning is what makes them deterministic. Ad-hoc
+///                    std::condition_variable waits are banned under the same
+///                    rule (additionally allowed in src/util/telemetry/):
+///                    blocking goes through the pool's / TaskGraph's drain
+///                    handles.
 ///   mutex-guard      every std::mutex / std::shared_mutex member in src/
 ///                    must be referenced by at least one GUARDED_BY /
 ///                    PT_GUARDED_BY annotation (util/thread_annotations.h);
