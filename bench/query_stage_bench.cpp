@@ -15,7 +15,14 @@
 //     hardware — with one core both paths serialize the same CPU work and
 //     the ratio degenerates to ~1.0, which is why the JSON records
 //     "hardware_concurrency" next to it.
-//   --mode all — both, printed to stdout (file flags are ignored).
+//   --mode flightdeck — end-to-end wall time of the task-graph scheduler on
+//     the scheduler workload with the flight deck idle vs fully armed
+//     (sampling profiler running, stall watchdog enabled, one /statusz JSON
+//     render per repetition). "deck_overhead" is the on/off wall ratio a
+//     telemetry PR must keep near 1.0; the canonical file re-emits
+//     scheduler/task_graph so the BENCH_6 -> BENCH_7 trajectory stays
+//     comparable (canonical BENCH_7.json).
+//   --mode all — every mode, printed to stdout (file flags are ignored).
 //
 // Unlike perf_explainers (google-benchmark, per-op latencies) this binary
 // reports the engine's own EngineStats, which is what the engine
@@ -29,7 +36,8 @@
 //        --json-out FILE (default: stdout)
 //        --canonical-out FILE (cross-PR benchmark trajectory schema:
 //        benchmark name -> wall ns + records/second; scripts/run_bench.sh
-//        writes BENCH_5.json for fastpath, BENCH_6.json for scheduler)
+//        writes BENCH_5.json for fastpath, BENCH_6.json for scheduler,
+//        BENCH_7.json for flightdeck)
 
 #include <algorithm>
 #include <cstdio>
@@ -44,6 +52,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/telemetry/flight_deck.h"
 
 namespace landmark {
 namespace {
@@ -331,6 +340,121 @@ int RunScheduler(const Flags& flags, bool to_stdout) {
   return 0;
 }
 
+int RunFlightdeck(const Flags& flags, bool to_stdout) {
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 24));
+  const size_t samples = static_cast<size_t>(flags.GetInt("samples", 256));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  const double scale = flags.GetDouble("scale", 0.25);
+  const std::string json_out = flags.GetString("json-out", "");
+  const std::string canonical_out = flags.GetString("canonical-out", "");
+
+  MagellanGenOptions gen;
+  gen.size_scale = scale;
+  Result<EmDataset> dataset =
+      GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen);
+  if (!dataset.ok()) {
+    LANDMARK_LOG(Error) << "dataset generation failed: "
+                        << dataset.status().ToString();
+    return 1;
+  }
+  Result<std::unique_ptr<LogRegEmModel>> model = LogRegEmModel::Train(*dataset);
+  if (!model.ok()) {
+    LANDMARK_LOG(Error) << "model training failed: "
+                        << model.status().ToString();
+    return 1;
+  }
+
+  // Same heterogeneous task-graph workload as --mode scheduler, so the
+  // "off" run doubles as this PR's scheduler/task_graph trajectory point.
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = samples;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < records && i < dataset->size(); ++i) {
+    batch.push_back(&dataset->pair(i));
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const PairRecord* a, const PairRecord* b) {
+              const size_t wa = a->ToString().size();
+              const size_t wb = b->ToString().size();
+              return wa != wb ? wa > wb : a->id < b->id;
+            });
+
+  auto measure = [&](bool deck_on) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.use_task_graph = true;
+    // A 5s threshold never fires on this microbenchmark, so the "on" run
+    // pays the watchdog's scanning cost without any report noise.
+    if (deck_on) engine_options.stall_threshold = 5.0;
+    ExplainerEngine engine(engine_options);
+    if (deck_on) SamplingProfiler::Global().Start();
+    std::vector<EngineStats> stats;
+    (void)engine.ExplainBatch(**model, batch, explainer);
+    for (size_t r = 0; r < reps; ++r) {
+      EngineBatchResult result = engine.ExplainBatch(**model, batch, explainer);
+      if (deck_on) {
+        // One live scrape per repetition: the cost a dashboard poll adds to
+        // an in-flight batch is part of what this mode measures.
+        (void)FlightDeckStatusJson();
+      }
+      stats.push_back(result.stats);
+    }
+    if (deck_on) SamplingProfiler::Global().Stop();
+    return StageTimes::MinOf(stats);
+  };
+
+  const StageTimes deck_off = measure(false);
+  const StageTimes deck_on = measure(true);
+  const double deck_overhead =
+      deck_off.total > 0.0 ? deck_on.total / deck_off.total : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"workload\": {\"dataset\": \"S-AG\", \"size_scale\": " +
+          FormatDouble(scale, 2) + ", \"model\": \"logreg-em\", " +
+          "\"explainer\": \"landmark-double\", \"records\": " +
+          std::to_string(batch.size()) + ", \"num_samples\": " +
+          std::to_string(samples) + ", \"threads\": " +
+          std::to_string(threads) + ", \"reps\": " + std::to_string(reps) +
+          ", \"order\": \"heaviest-first\", \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + "},\n";
+  json += "  \"deck_off\": " + deck_off.ToJson() + ",\n";
+  json += "  \"deck_on\": " + deck_on.ToJson() + ",\n";
+  json += "  \"profiler_samples\": " +
+          std::to_string(SamplingProfiler::Global().samples()) + ",\n";
+  json += "  \"deck_overhead\": " + FormatDouble(deck_overhead, 3) + "\n";
+  json += "}\n";
+
+  if (!EmitJson(json_out, to_stdout, json)) {
+    return 1;
+  }
+
+  if (!canonical_out.empty() && !to_stdout) {
+    std::string canonical = "{\n";
+    canonical += "  \"schema\": \"landmark-bench-v1\",\n";
+    canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
+                 "\"throughput\": \"records/second\"},\n";
+    canonical += "  \"deck_overhead\": " + FormatDouble(deck_overhead, 3) +
+                 ",\n";
+    canonical += "  \"hardware_concurrency\": " +
+                 std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    canonical += "  \"benchmarks\": {\n";
+    canonical += CanonicalEntry("scheduler/task_graph", deck_off.total,
+                                batch.size()) +
+                 ",\n";
+    canonical +=
+        CanonicalEntry("flightdeck/off", deck_off.total, batch.size()) + ",\n";
+    canonical +=
+        CanonicalEntry("flightdeck/on", deck_on.total, batch.size()) + "\n";
+    canonical += "  }\n}\n";
+    if (!EmitJson(canonical_out, false, canonical)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Result<Flags> parsed = Flags::Parse(argc, argv);
   if (!parsed.ok()) {
@@ -345,13 +469,19 @@ int Run(int argc, char** argv) {
   if (mode == "scheduler") {
     return RunScheduler(flags, /*to_stdout=*/false);
   }
+  if (mode == "flightdeck") {
+    return RunFlightdeck(flags, /*to_stdout=*/false);
+  }
   if (mode == "all") {
     const int fastpath_rc = RunFastpath(flags, /*to_stdout=*/true);
     const int scheduler_rc = RunScheduler(flags, /*to_stdout=*/true);
-    return fastpath_rc != 0 ? fastpath_rc : scheduler_rc;
+    const int flightdeck_rc = RunFlightdeck(flags, /*to_stdout=*/true);
+    if (fastpath_rc != 0) return fastpath_rc;
+    return scheduler_rc != 0 ? scheduler_rc : flightdeck_rc;
   }
   LANDMARK_LOG(Error) << "unknown --mode '" << mode
-                      << "' (expected fastpath, scheduler, or all)";
+                      << "' (expected fastpath, scheduler, flightdeck, "
+                      << "or all)";
   return 1;
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compares two canonical BENCH_*.json trajectory files (stdlib-only).
+
+Usage:
+    scripts/bench_diff.py OLD.json NEW.json [--threshold 0.10]
+
+Both files must use the landmark-bench-v1 schema written by
+query_stage_bench --canonical-out: a `benchmarks` object mapping benchmark
+name -> {"wall_ns": N, "throughput": F}. The diff walks the benchmark
+names common to both files and reports each one's wall-time change.
+
+Exit codes:
+    0 — no common benchmark regressed by more than the threshold, or the
+        comparison is not meaningful (no common benchmark names, or the
+        two files were captured on machines with different — or
+        unrecorded — `hardware_concurrency`, where absolute wall times
+        say nothing).
+    1 — at least one common benchmark's wall_ns grew by more than the
+        threshold (default 10%) on comparable hardware.
+    2 — bad usage or unreadable/ill-formed input.
+
+scripts/check.sh runs this warn-only (|| true) against the committed
+previous-PR baseline; CI hardware varies, so a hard gate lives with the
+humans reading the table, not the script.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), dict):
+        print(f"bench_diff: {path}: missing 'benchmarks' object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main(argv) -> int:
+    args = list(argv[1:])
+    threshold = 0.10
+    if "--threshold" in args:
+        at = args.index("--threshold")
+        if at + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        try:
+            threshold = float(args[at + 1])
+        except ValueError:
+            print(f"bench_diff: bad threshold {args[at + 1]!r}",
+                  file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    old_path, new_path = args
+    old = load(old_path)
+    new = load(new_path)
+
+    common = sorted(set(old["benchmarks"]) & set(new["benchmarks"]))
+    if not common:
+        print(f"bench_diff: no common benchmark names between {old_path} "
+              f"and {new_path}; nothing to compare")
+        return 0
+
+    old_hc = old.get("hardware_concurrency")
+    new_hc = new.get("hardware_concurrency")
+    comparable = old_hc is not None and old_hc == new_hc
+    if not comparable:
+        print(f"bench_diff: hardware_concurrency differs or is unrecorded "
+              f"(old={old_hc}, new={new_hc}); reporting only, not gating")
+
+    regressions = []
+    name_width = max(len(name) for name in common)
+    print(f"{'benchmark':<{name_width}}  {'old wall_ns':>14}  "
+          f"{'new wall_ns':>14}  {'delta':>8}")
+    for name in common:
+        old_ns = old["benchmarks"][name].get("wall_ns")
+        new_ns = new["benchmarks"][name].get("wall_ns")
+        if not isinstance(old_ns, (int, float)) or old_ns <= 0 or \
+                not isinstance(new_ns, (int, float)):
+            print(f"{name:<{name_width}}  {'?':>14}  {'?':>14}  {'n/a':>8}")
+            continue
+        delta = new_ns / old_ns - 1.0
+        flag = ""
+        if delta > threshold:
+            flag = "  <-- regression" if comparable else "  (ignored)"
+            if comparable:
+                regressions.append((name, delta))
+        print(f"{name:<{name_width}}  {old_ns:>14.0f}  {new_ns:>14.0f}  "
+              f"{delta:>+7.1%}{flag}")
+
+    if regressions:
+        names = ", ".join(f"{n} ({d:+.1%})" for n, d in regressions)
+        print(f"bench_diff: FAIL: wall time regressed beyond "
+              f"{threshold:.0%}: {names}", file=sys.stderr)
+        return 1
+    print("bench_diff: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,15 +10,19 @@
 #   tsan        data races in the engine pipeline (both the task-graph
 #               scheduler and the legacy barriered path) and the telemetry
 #               hot paths (sharded counters, trace rings, the pool gauges);
-#               an explicit second pass re-runs the telemetry- and
-#               scheduler-focused tests (TaskGraph/Scheduler suites) so a
-#               race there fails loudly even when triaging the full run
+#               an explicit second pass re-runs the telemetry-, scheduler-
+#               and flight-deck-focused tests (TaskGraph/Scheduler/
+#               FlightDeck/Profiler/Stall suites, including the
+#               concurrent-scrape-during-batch test) so a race there fails
+#               loudly even when triaging the full run
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
-# `telemetry-demo --trace-out --metrics-out --audit-out` and the outputs are
-# checked by scripts/validate_trace.py (stdlib Python; skipped when python3
-# is absent), and the perf_smoke ctest label smoke-runs the query-stage
-# benchmark (scripts/run_bench.sh is the full driver).
+# `telemetry-demo --trace-out --metrics-out --audit-out --profile-out` and
+# the outputs are checked by scripts/validate_trace.py (stdlib Python;
+# skipped when python3 is absent), the perf_smoke ctest label smoke-runs
+# the query-stage benchmark (scripts/run_bench.sh is the full driver), and
+# scripts/bench_diff.py compares the committed BENCH_6/BENCH_7 trajectory
+# files warn-only (CI hardware varies; the table is for humans).
 #
 # Finally the exporter smoke stage starts a tiny batch with
 # `--metrics-port 0` (ephemeral port announced on stdout), scrapes /metrics
@@ -45,7 +49,7 @@ done
 
 echo "=== [tsan] telemetry + scheduler focused re-run ==="
 ctest --preset tsan -j "$JOBS" -R \
-  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus|TaskGraph|Scheduler'
+  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus|TaskGraph|Scheduler|FlightDeck|Profiler|Activity|Stall'
 
 echo "=== [default] telemetry outputs + perf smoke ==="
 cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null
@@ -56,11 +60,18 @@ trap 'rm -rf "$TELEMETRY_TMP"' EXIT
 ./build/tools/landmark_cli telemetry-demo --records 8 \
   --trace-out="$TELEMETRY_TMP/trace.json" \
   --metrics-out="$TELEMETRY_TMP/metrics.json" \
-  --audit-out="$TELEMETRY_TMP/audit.jsonl" >/dev/null
+  --audit-out="$TELEMETRY_TMP/audit.jsonl" \
+  --profile-out="$TELEMETRY_TMP/profile.folded" >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/validate_trace.py \
     "$TELEMETRY_TMP/trace.json" "$TELEMETRY_TMP/metrics.json" \
-    --audit "$TELEMETRY_TMP/audit.jsonl"
+    --audit "$TELEMETRY_TMP/audit.jsonl" \
+    --profile "$TELEMETRY_TMP/profile.folded"
+  if [ -f BENCH_6.json ] && [ -f BENCH_7.json ]; then
+    # Warn-only: trajectory files may come from different machines.
+    python3 scripts/bench_diff.py BENCH_6.json BENCH_7.json || \
+      echo "bench_diff: regression reported above (warn-only)"
+  fi
 else
   echo "python3 not found; skipped trace/metrics validation"
 fi

@@ -12,6 +12,11 @@
 #                          task-graph scheduler on a heterogeneous-unit
 #                          workload, written to BENCH_scheduler.json
 #                          (scheduler_speedup is the headline ratio)
+#   4. query_stage_bench --mode flightdeck — the same task-graph workload
+#                          with the flight deck idle vs armed (profiler +
+#                          stall watchdog + one /statusz render per rep),
+#                          written to BENCH_flightdeck.json (deck_overhead
+#                          is the headline ratio; should stay near 1.0)
 #
 # Reference numbers live in bench/baselines/: BENCH_query_pre.json was
 # captured immediately before the query fast path landed,
@@ -20,15 +25,18 @@
 # numbers are machine-dependent, the speedup ratios should hold anywhere.
 #
 # Alongside the per-mode JSON documents, the canonical cross-PR trajectory
-# files BENCH_5.json (fastpath) and BENCH_6.json (scheduler; also carries
-# the scheduler_speedup ratio) (schema: benchmark name -> wall_ns +
-# throughput) are written to the repo root so tooling can compare runs
-# across PRs without knowing each benchmark's bespoke layout.
+# files BENCH_5.json (fastpath), BENCH_6.json (scheduler; also carries the
+# scheduler_speedup ratio), and BENCH_7.json (flightdeck; also carries the
+# deck_overhead ratio and re-emits scheduler/task_graph for continuity)
+# (schema: benchmark name -> wall_ns + throughput) are written to the repo
+# root so tooling can compare runs across PRs without knowing each
+# benchmark's bespoke layout — scripts/bench_diff.py does exactly that.
 #
-# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json and
-#                                       BENCH_scheduler.json in $PWD,
-#                                       BENCH_5.json and BENCH_6.json in
-#                                       the repo root)
+# Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json,
+#                                       BENCH_scheduler.json and
+#                                       BENCH_flightdeck.json in $PWD,
+#                                       BENCH_5.json, BENCH_6.json and
+#                                       BENCH_7.json in the repo root)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -58,3 +66,11 @@ echo "=== query_stage_bench --mode scheduler ==="
 cat "$OUT_DIR/BENCH_scheduler.json"
 echo "wrote $OUT_DIR/BENCH_scheduler.json (staged vs task-graph)"
 echo "wrote $REPO/BENCH_6.json (canonical cross-PR trajectory)"
+
+echo "=== query_stage_bench --mode flightdeck ==="
+"$REPO/build/bench/query_stage_bench" --mode flightdeck \
+  --json-out "$OUT_DIR/BENCH_flightdeck.json" \
+  --canonical-out "$REPO/BENCH_7.json"
+cat "$OUT_DIR/BENCH_flightdeck.json"
+echo "wrote $OUT_DIR/BENCH_flightdeck.json (flight deck off vs on)"
+echo "wrote $REPO/BENCH_7.json (canonical cross-PR trajectory)"

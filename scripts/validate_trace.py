@@ -3,6 +3,7 @@
 
 Usage:
     scripts/validate_trace.py TRACE.json [METRICS.json] [--audit AUDIT.jsonl]
+                              [--profile PROFILE.folded]
 
 Checks that TRACE.json is a loadable Chrome trace-event file — a JSON object
 with a `traceEvents` list whose entries carry the keys chrome://tracing and
@@ -16,6 +17,9 @@ p99), and AUDIT.jsonl must be an engine flight-recorder stream: one JSON
 object per line, every `unit` record carrying the schema fields with a
 globally monotone unit ordinal (the append-order determinism contract), and
 `weighted_r2` either a number or null (NaN serializes as null, never 0).
+PROFILE.folded must be flamegraph-compatible folded-stack text: at least
+one `frame;frame;... COUNT` line with non-empty semicolon-separated frames
+and a positive integer count.
 
 Exit code 0 when everything holds; 1 with a message on the first violation.
 """
@@ -140,7 +144,7 @@ AUDIT_UNIT_FIELDS = (
 AUDIT_BATCH_FIELDS = (
     "num_records", "num_failed_records", "num_units", "num_masks",
     "num_model_queries", "cache_hits", "plan_seconds",
-    "reconstruct_seconds", "query_seconds", "fit_seconds",
+    "reconstruct_seconds", "query_seconds", "fit_seconds", "num_stalls",
 )
 
 
@@ -196,15 +200,53 @@ def validate_audit(path: str) -> None:
           f"({units} unit records, {batches} batch records)")
 
 
+def validate_profile(path: str) -> None:
+    """Folded-stack profile: `frame;frame;... COUNT` lines, nothing else."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    stacks = 0
+    total_samples = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        stack, sep, count_text = line.rpartition(" ")
+        if not sep or not stack:
+            fail(f"{path}:{lineno}: expected 'frames COUNT', got {line!r}")
+        if not count_text.isdigit() or int(count_text) <= 0:
+            fail(f"{path}:{lineno}: count must be a positive integer, "
+                 f"got {count_text!r}")
+        for frame in stack.split(";"):
+            if not frame:
+                fail(f"{path}:{lineno}: empty frame in stack {stack!r}")
+        stacks += 1
+        total_samples += int(count_text)
+    if stacks == 0:
+        fail(f"{path}: no folded stacks (the profiler sampled nothing?)")
+    print(f"validate_trace: {path}: ok "
+          f"({stacks} folded stacks, {total_samples} samples)")
+
+
 def main(argv) -> int:
     args = list(argv[1:])
     audit_path = None
+    profile_path = None
     if "--audit" in args:
         at = args.index("--audit")
         if at + 1 >= len(args):
             print(__doc__, file=sys.stderr)
             return 2
         audit_path = args[at + 1]
+        del args[at:at + 2]
+    if "--profile" in args:
+        at = args.index("--profile")
+        if at + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        profile_path = args[at + 1]
         del args[at:at + 2]
     if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
@@ -214,6 +256,8 @@ def main(argv) -> int:
         validate_metrics(args[1])
     if audit_path is not None:
         validate_audit(audit_path)
+    if profile_path is not None:
+        validate_profile(profile_path)
     return 0
 
 

@@ -12,6 +12,7 @@
 #include "text/token_cache.h"
 #include "util/string_util.h"
 #include "util/telemetry/audit.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/metrics.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
@@ -205,8 +206,24 @@ void FillAuditSuccess(const Explanation& shell,
   }
 }
 
-AuditBatchStats MakeAuditBatchStats(const EngineStats& stats) {
+AuditBatchStats MakeAuditBatchStats(const EngineStats& stats,
+                                    BatchProgress* progress) {
   AuditBatchStats out;
+  if (progress != nullptr) {
+    // Drain first, then read the monotone total: a stall landing between
+    // the two is counted (num_stalls) even though its details missed the
+    // trailer.
+    for (StallReport& stall : progress->TakeStalls()) {
+      AuditStall entry;
+      entry.stage = stall.stage;
+      entry.record_index = stall.record_index;
+      entry.unit_index = stall.unit_index;
+      entry.elapsed_seconds = stall.elapsed_seconds;
+      entry.worker = std::move(stall.worker);
+      out.stalls.push_back(std::move(entry));
+    }
+    out.num_stalls = progress->num_stalls();
+  }
   out.num_records = stats.num_records;
   out.num_failed_records = stats.num_failed_records;
   out.num_units = stats.num_units;
@@ -256,7 +273,8 @@ void FinalizeBatch(const EngineOptions& options,
                    const std::vector<UnitWork*>& works,
                    const std::vector<size_t>& unit_begin,
                    std::vector<Status>& record_status, size_t cache_evictions,
-                   const Timer& batch_timer, EngineBatchResult* out) {
+                   const Timer& batch_timer, BatchProgress* progress,
+                   EngineBatchResult* out) {
   const size_t n = pairs.size();
   for (UnitWork* work : works) {
     if (!work->status.ok() && record_status[work->record_index].ok()) {
@@ -316,7 +334,7 @@ void FinalizeBatch(const EngineOptions& options,
     for (const AuditUnitRecord& record : audit_records) {
       options.audit_sink->WriteUnit(record);
     }
-    options.audit_sink->WriteBatch(MakeAuditBatchStats(out->stats));
+    options.audit_sink->WriteBatch(MakeAuditBatchStats(out->stats, progress));
   }
   out->stats.wall_seconds = batch_timer.ElapsedSeconds();
   PublishBatchStats(out->stats, cache_evictions);
@@ -359,6 +377,11 @@ ExplainerEngine::ExplainerEngine(EngineOptions options) : options_(options) {
   }
   num_threads_ = std::min(num_threads_, kMaxThreads);
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (options_.stall_threshold > 0.0) {
+    StallWatchdogOptions watchdog_options;
+    watchdog_options.threshold_seconds = options_.stall_threshold;
+    watchdog_ = std::make_unique<StallWatchdog>(watchdog_options);
+  }
 }
 
 ExplainerEngine::~ExplainerEngine() = default;
@@ -409,6 +432,16 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   const size_t n = pairs.size();
   out.stats.num_records = n;
 
+  // Register on the flight deck for /statusz and the stall watchdog. No
+  // task graph to attach on this path; stage chunks still tag the units
+  // they run so stalls carry unit identity.
+  BatchProgressScope deck(n, "staged", options_.stall_threshold);
+  const uint64_t deck_id = deck.progress().id();
+  // The calling thread carries a batch-wide frame so the sampling profiler
+  // sees a non-empty stack for the whole batch, not just while a worker
+  // happens to be inside a stage chunk.
+  LANDMARK_ACTIVITY("engine/batch");
+
   auto parallel_for = [&](size_t count,
                           const std::function<void(size_t, size_t)>& body) {
     if (pool_ != nullptr) {
@@ -425,7 +458,10 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   std::vector<Result<std::vector<ExplainUnit>>> plans(
       n, Result<std::vector<ExplainUnit>>(Status::Internal("not planned")));
   parallel_for(n, [&](size_t begin, size_t end) {
+    LANDMARK_ACTIVITY("engine/plan");
     for (size_t i = begin; i < end; ++i) {
+      NodeTagScope tag(deck_id, "engine/plan", static_cast<uint32_t>(i),
+                       kActivityNoIndex);
       plans[i] = explainer.Plan(model, *pairs[i]);
     }
   });
@@ -451,8 +487,12 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   out.stats.num_units = works.size();
 
   parallel_for(works.size(), [&](size_t begin, size_t end) {
+    LANDMARK_ACTIVITY("engine/plan");
     for (size_t w = begin; w < end; ++w) {
       UnitWork& work = works[w];
+      NodeTagScope tag(deck_id, "engine/plan",
+                       static_cast<uint32_t>(work.record_index),
+                       static_cast<uint32_t>(w));
       explainer.SampleNeighborhood(work.unit.dim, work.unit.rng, &work.masks,
                                    &work.kernel_weights);
       work.mask_to_unique = DeduplicateMasks(
@@ -467,8 +507,12 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   TraceSpan reconstruct_span("engine/reconstruct");
   timer.Reset();
   parallel_for(works.size(), [&](size_t begin, size_t end) {
+    LANDMARK_ACTIVITY("engine/reconstruct");
     for (size_t w = begin; w < end; ++w) {
       UnitWork& work = works[w];
+      NodeTagScope tag(deck_id, "engine/reconstruct",
+                       static_cast<uint32_t>(work.record_index),
+                       static_cast<uint32_t>(w));
       work.reconstructed.reserve(work.unique_index.size());
       for (uint32_t mask_index : work.unique_index) {
         Result<PairRecord> rec = explainer.ReconstructUnit(
@@ -521,6 +565,10 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
     // score through the prepared overloads. The single-threaded prepare is
     // what permits lock-free concurrent reads during the sharded scoring.
     TokenCache token_cache;
+    // The cache lives only for this stage; the probe scope detaches it
+    // from the deck before it is destroyed.
+    TokenCacheProbeScope probe(
+        deck.progress(), [&token_cache] { return token_cache.ShardSizes(); });
     PreparedPairBatch prepared(batch, &token_cache);
     for (const UnitWork& work : works) {
       if (!work.queried) continue;
@@ -532,6 +580,11 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
                             context);
     }
     parallel_for(batch.size(), [&](size_t begin, size_t end) {
+      LANDMARK_ACTIVITY("engine/query");
+      // The flat cross-record chunk covers many units; the tag names the
+      // stage only.
+      NodeTagScope tag(deck_id, "engine/query", kActivityNoIndex,
+                       kActivityNoIndex);
       model.PredictProbaPrepared(prepared, begin, end,
                                  predictions.data() + begin);
     });
@@ -540,6 +593,9 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
     token_cache.PublishTelemetry();
   } else {
     parallel_for(batch.size(), [&](size_t begin, size_t end) {
+      LANDMARK_ACTIVITY("engine/query");
+      NodeTagScope tag(deck_id, "engine/query", kActivityNoIndex,
+                       kActivityNoIndex);
       model.PredictProbaRange(batch, begin, end, predictions.data() + begin);
     });
   }
@@ -562,9 +618,13 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   // predictions, which are local to the fit loop; computed there, published
   // and audited from the single-threaded epilogue (FinalizeBatch).
   parallel_for(works.size(), [&](size_t begin, size_t end) {
+    LANDMARK_ACTIVITY("engine/fit");
     for (size_t w = begin; w < end; ++w) {
       UnitWork& work = works[w];
       if (!work.queried) continue;
+      NodeTagScope tag(deck_id, "engine/fit",
+                       static_cast<uint32_t>(work.record_index),
+                       static_cast<uint32_t>(w));
       std::vector<double> unit_predictions(work.masks.size());
       for (size_t m = 0; m < work.masks.size(); ++m) {
         unit_predictions[m] =
@@ -593,7 +653,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   work_ptrs.reserve(works.size());
   for (UnitWork& work : works) work_ptrs.push_back(&work);
   FinalizeBatch(options_, pairs, work_ptrs, unit_begin, record_status,
-                cache_evictions, batch_timer, &out);
+                cache_evictions, batch_timer, &deck.progress(), &out);
   return out;
 }
 
@@ -627,10 +687,25 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
 
   TaskGraph graph(pool_.get());
 
+  // Register on the flight deck (/statusz DAG progress, stall watchdog).
+  // Declared after the graph and cache so its destructor — which detaches
+  // both pointers — runs before either of them dies.
+  BatchProgressScope deck(n, "task-graph", options_.stall_threshold);
+  deck.progress().SetGraph(&graph);
+  if (options_.cache_features) {
+    deck.progress().SetTokenCacheProbe(
+        [&token_cache] { return token_cache.ShardSizes(); });
+  }
+  const uint64_t deck_id = deck.progress().id();
+  // Batch-wide profiler frame on the calling thread (see ExplainBatchStaged).
+  LANDMARK_ACTIVITY("engine/batch");
+
   // Per-unit stage bodies. Everything is captured by reference; the graph
   // is drained by Wait() before any of it leaves scope.
   auto reconstruct_body = [&](size_t i, size_t w) {
     UnitWork& work = records[i].units[w];
+    NodeTagScope node_tag(deck_id, "engine/reconstruct",
+                          static_cast<uint32_t>(i), static_cast<uint32_t>(w));
     {
       // Neighborhood sampling is plan-stage work that happens to live in
       // the unit's first node (it needs only the unit itself, and splitting
@@ -680,6 +755,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
   auto query_body = [&](size_t i, size_t w) {
     UnitWork& work = records[i].units[w];
     if (!work.queried) return;
+    NodeTagScope node_tag(deck_id, "engine/query", static_cast<uint32_t>(i),
+                          static_cast<uint32_t>(w));
     InflightScope inflight(sm.inflight_query);
     TraceSpan span("engine/query");
     Timer timer;
@@ -707,6 +784,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
   auto fit_body = [&](size_t i, size_t w) {
     UnitWork& work = records[i].units[w];
     if (!work.queried) return;
+    NodeTagScope node_tag(deck_id, "engine/fit", static_cast<uint32_t>(i),
+                          static_cast<uint32_t>(w));
     InflightScope inflight(sm.inflight_fit);
     TraceSpan span("engine/fit");
     Timer timer;
@@ -737,6 +816,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
   for (size_t i = 0; i < n; ++i) {
     graph.AddNode([&, i] {
       RecordWork& rec = records[i];
+      NodeTagScope node_tag(deck_id, "engine/plan", static_cast<uint32_t>(i),
+                            kActivityNoIndex);
       {
         InflightScope inflight(sm.inflight_plan);
         TraceSpan span("engine/plan");
@@ -759,17 +840,17 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
       std::vector<TaskGraph::NodeId> reconstructs;
       reconstructs.reserve(rec.units.size());
       for (size_t w = 0; w < rec.units.size(); ++w) {
-        reconstructs.push_back(
-            graph.AddNode([&, i, w] { reconstruct_body(i, w); }));
+        reconstructs.push_back(graph.AddNode(
+            [&, i, w] { reconstruct_body(i, w); }, {}, "engine/reconstruct"));
       }
-      const TaskGraph::NodeId join =
-          graph.AddNode([&, i] { join_body(i); }, reconstructs);
+      const TaskGraph::NodeId join = graph.AddNode(
+          [&, i] { join_body(i); }, reconstructs, "engine/join");
       for (size_t w = 0; w < rec.units.size(); ++w) {
-        const TaskGraph::NodeId query =
-            graph.AddNode([&, i, w] { query_body(i, w); }, {join});
-        graph.AddNode([&, i, w] { fit_body(i, w); }, {query});
+        const TaskGraph::NodeId query = graph.AddNode(
+            [&, i, w] { query_body(i, w); }, {join}, "engine/query");
+        graph.AddNode([&, i, w] { fit_body(i, w); }, {query}, "engine/fit");
       }
-    });
+    }, {}, "engine/plan");
   }
   graph.Run();
   graph.Wait();
@@ -831,7 +912,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
     token_cache.PublishTelemetry();
   }
   FinalizeBatch(options_, pairs, works, unit_begin, record_status,
-                cache_evictions, batch_timer, &out);
+                cache_evictions, batch_timer, &deck.progress(), &out);
   return out;
 }
 

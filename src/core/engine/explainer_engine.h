@@ -15,6 +15,7 @@
 namespace landmark {
 
 class AuditSink;
+class StallWatchdog;
 
 /// \brief Knobs of the staged explanation pipeline.
 struct EngineOptions {
@@ -50,6 +51,16 @@ struct EngineOptions {
   /// the staged path across thread counts. Off (`--no-task-graph`) runs the
   /// legacy barriered stages, kept as the equivalence oracle.
   bool use_task_graph = true;
+  /// Stall-watchdog threshold in seconds (`--stall-threshold`): when > 0,
+  /// the engine runs a monitor that flags any pipeline node (plan /
+  /// reconstruct / query / fit, per unit) still running after this long,
+  /// emitting a structured report to the log, the `engine/stalls_total`
+  /// counter, and the audit batch trailer — without cancelling the work.
+  /// Elapsed time is measured on the flight-deck clock
+  /// (util/telemetry/flight_deck.h), so tests can drive it virtually.
+  /// 0 disables the watchdog entirely (no monitor thread is created).
+  /// Detection never changes the produced explanations.
+  double stall_threshold = 0.0;
   /// Optional flight recorder (`--audit-out`): when non-null, the engine
   /// appends one JSON line per ExplainUnit — identity, quality signals,
   /// per-unit cache counts, top-k token weights — plus a batch trailer.
@@ -197,6 +208,9 @@ class ExplainerEngine {
   // The pool is an execution resource, not logical state: ExplainBatch is
   // const (and itself thread-safe for distinct engines).
   mutable std::unique_ptr<ThreadPool> pool_;
+  // Created when options_.stall_threshold > 0; scans the flight deck's
+  // activity registry in the background (util/telemetry/flight_deck.h).
+  std::unique_ptr<StallWatchdog> watchdog_;
 };
 
 }  // namespace landmark

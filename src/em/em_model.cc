@@ -1,6 +1,7 @@
 #include "em/em_model.h"
 
 #include "util/check.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/metrics.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
@@ -19,6 +20,7 @@ void EmModel::PredictProbaRange(const std::vector<PairRecord>& pairs,
   LANDMARK_CHECK(begin <= end && end <= pairs.size());
   if (begin == end) return;
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = PredictProba(pairs[i]);

@@ -4,6 +4,7 @@
 
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -141,6 +142,7 @@ void EmbeddingEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
                                             double* out) const {
   if (begin == end) return;
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   for (size_t i = begin; i < end; ++i) {
     out[i - begin] = mlp_.PredictProba(ComposePrepared(prepared, i));

@@ -1,5 +1,6 @@
 #include "em/forest_em_model.h"
 
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -69,6 +70,7 @@ void ForestEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
                                          double* out) const {
   if (begin == end) return;
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   Vector features(extractor_->num_features());
   for (size_t i = begin; i < end; ++i) {

@@ -3,6 +3,7 @@
 #include "text/similarity.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -44,6 +45,7 @@ void JaccardEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
   LANDMARK_CHECK(attribute_weights_.empty() ||
                  attribute_weights_.size() == num_attrs);
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   for (size_t i = begin; i < end; ++i) {
     double total = 0.0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -64,6 +65,7 @@ void LogRegEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
                                          double* out) const {
   if (begin == end) return;
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   Vector features(extractor_->num_features());
   for (size_t i = begin; i < end; ++i) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -184,6 +185,7 @@ void RuleEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
                                        double* out) const {
   if (begin == end) return;
   LANDMARK_TRACE_SPAN("model/query");
+  LANDMARK_ACTIVITY("model/query");
   Timer timer;
   Vector features(extractor_->num_features());
   for (size_t i = begin; i < end; ++i) {

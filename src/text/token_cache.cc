@@ -175,6 +175,16 @@ size_t TokenCache::size() const {
   return total;
 }
 
+std::vector<size_t> TokenCache::ShardSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    sizes.push_back(shard.entries.size());
+  }
+  return sizes;
+}
+
 void TokenCache::PublishTelemetry() {
   MetricsRegistry& registry = MetricsRegistry::Global();
   const size_t hits = hits_.load(std::memory_order_relaxed);

@@ -99,6 +99,10 @@ class TokenCache {
   size_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Distinct strings profiled (== misses()).
   size_t size() const;
+  /// Entry count per shard, in shard order — the flight deck's occupancy
+  /// view (a skewed distribution means one hot shard serializes lookups).
+  /// Safe to call concurrently with Get().
+  std::vector<size_t> ShardSizes() const;
 
   /// Adds this cache's hit/miss counts to the process-wide telemetry
   /// counters `text/token_cache_hits` / `text/token_cache_misses` (see

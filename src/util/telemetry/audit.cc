@@ -82,6 +82,20 @@ std::string AuditSink::BatchToJson(const AuditBatchStats& stats) {
   out += ",\"reconstruct_seconds\":" + JsonDouble(stats.reconstruct_seconds);
   out += ",\"query_seconds\":" + JsonDouble(stats.query_seconds);
   out += ",\"fit_seconds\":" + JsonDouble(stats.fit_seconds);
+  out += ",\"num_stalls\":" + std::to_string(stats.num_stalls);
+  if (!stats.stalls.empty()) {
+    out += ",\"stalls\":[";
+    for (size_t i = 0; i < stats.stalls.size(); ++i) {
+      const AuditStall& stall = stats.stalls[i];
+      if (i > 0) out += ",";
+      out += "{\"stage\":\"" + JsonEscape(stall.stage) + "\"";
+      out += ",\"record_index\":" + std::to_string(stall.record_index);
+      out += ",\"unit_index\":" + std::to_string(stall.unit_index);
+      out += ",\"elapsed_seconds\":" + JsonDouble(stall.elapsed_seconds);
+      out += ",\"worker\":\"" + JsonEscape(stall.worker) + "\"}";
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }

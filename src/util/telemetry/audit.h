@@ -65,8 +65,23 @@ struct AuditUnitRecord {
   std::vector<AuditTokenWeight> top_tokens;
 };
 
+/// \brief One stall-watchdog observation carried in the batch trailer: a
+/// pipeline node that ran past EngineOptions::stall_threshold (the work was
+/// not cancelled — this is a report, not a verdict).
+struct AuditStall {
+  /// Stage of the stalled node ("engine/query", ...).
+  std::string stage;
+  /// Unit identity; SIZE_MAX-like sentinels mean "whole-stage chunk".
+  size_t record_index = 0;
+  size_t unit_index = 0;
+  /// Runtime when flagged, on the flight-deck clock.
+  double elapsed_seconds = 0.0;
+  /// Thread that ran the node ("pool-worker-3", ...).
+  std::string worker;
+};
+
 /// \brief Batch trailer: the stage latencies and cross-record cache totals
-/// that have no per-unit decomposition.
+/// that have no per-unit decomposition, plus any stall reports.
 struct AuditBatchStats {
   size_t num_records = 0;
   size_t num_failed_records = 0;
@@ -80,6 +95,11 @@ struct AuditBatchStats {
   double reconstruct_seconds = 0.0;
   double query_seconds = 0.0;
   double fit_seconds = 0.0;
+  /// Stalls flagged over the batch's lifetime. `stalls` holds the drained
+  /// details; num_stalls is the monotone total and may exceed stalls.size()
+  /// when a report lands between the drain and the batch end.
+  size_t num_stalls = 0;
+  std::vector<AuditStall> stalls;
 };
 
 /// \brief Append-only JSON-lines audit stream (`--audit-out=FILE`).

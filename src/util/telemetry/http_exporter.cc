@@ -6,12 +6,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <thread>
 #include <utility>
 
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -58,6 +62,26 @@ struct ExporterMetrics {
   }
 };
 
+/// Value of `key` in an `a=1&b=2` query string, or `fallback` when absent
+/// or empty. No percent-decoding — the exporter's parameters are plain
+/// identifiers and numbers.
+std::string QueryParam(const std::string& query, const std::string& key,
+                       const std::string& fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp && eq - pos == key.size() &&
+        query.compare(pos, key.size(), key) == 0 && eq + 1 < amp + 1) {
+      const std::string value = query.substr(eq + 1, amp - eq - 1);
+      if (!value.empty()) return value;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
 std::string MakeResponse(int status, const std::string& reason,
                          const std::string& content_type,
                          const std::string& body) {
@@ -102,12 +126,40 @@ std::string StatuszBody(uint64_t started_ns) {
   return out;
 }
 
+/// Folded-stack profile over a sampling window. seconds == 0 returns the
+/// cumulative profile since the profiler started, without waiting;
+/// otherwise the accept loop sleeps for the window and returns the delta.
+std::string ProfilezBody(double seconds) {
+  SamplingProfiler& profiler = SamplingProfiler::Global();
+  profiler.Start();
+  if (seconds <= 0.0) return profiler.FoldedText();
+  const std::map<std::string, uint64_t> before = profiler.FoldedCounts();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  std::map<std::string, uint64_t> delta = profiler.FoldedCounts();
+  for (const auto& [stack, count] : before) {
+    auto it = delta.find(stack);
+    if (it == delta.end()) continue;
+    if (it->second <= count) {
+      delta.erase(it);
+    } else {
+      it->second -= count;
+    }
+  }
+  return SamplingProfiler::RenderFolded(delta);
+}
+
 }  // namespace
 
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PromName(name) + "_total";
+    std::string prom = PromName(name);
+    // Counters carry the conventional `_total` suffix — unless the metric
+    // name already ends in it (engine/stalls_total), which must not become
+    // `_total_total`.
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0) {
+      prom += "_total";
+    }
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + std::to_string(value) + "\n";
   }
@@ -247,21 +299,40 @@ std::string HttpExporter::HandleRequest(const std::string& method,
     return MakeResponse(405, "Method Not Allowed", "text/plain",
                         "only GET is supported\n");
   }
-  if (path == "/metrics") {
+  // "/statusz?format=json" → route "/statusz", query "format=json".
+  const size_t qmark = path.find('?');
+  const std::string route =
+      qmark == std::string::npos ? path : path.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? std::string() : path.substr(qmark + 1);
+  if (route == "/metrics") {
     Timer timer;
     std::string body = ToPrometheusText(MetricsRegistry::Global().Snapshot());
     ExporterMetrics::Get().scrape_seconds.Record(timer.ElapsedSeconds());
     return MakeResponse(200, "OK",
                         "text/plain; version=0.0.4; charset=utf-8", body);
   }
-  if (path == "/healthz") {
+  if (route == "/healthz") {
     return MakeResponse(200, "OK", "text/plain", "ok\n");
   }
-  if (path == "/statusz") {
-    return MakeResponse(200, "OK", "text/plain", StatuszBody(started_ns_));
+  if (route == "/statusz") {
+    if (QueryParam(query, "format", "text") == "json") {
+      return MakeResponse(200, "OK", "application/json",
+                          FlightDeckStatusJson() + "\n");
+    }
+    return MakeResponse(200, "OK", "text/plain",
+                        StatuszBody(started_ns_) + "\n" +
+                            FlightDeckStatusText());
+  }
+  if (route == "/profilez") {
+    double seconds = std::atof(QueryParam(query, "seconds", "1").c_str());
+    if (!(seconds >= 0.0)) seconds = 0.0;  // NaN and negatives → cumulative
+    if (seconds > 30.0) seconds = 30.0;
+    return MakeResponse(200, "OK", "text/plain", ProfilezBody(seconds));
   }
   return MakeResponse(404, "Not Found", "text/plain",
-                      "unknown path; try /metrics, /healthz, /statusz\n");
+                      "unknown path; try /metrics, /healthz, /statusz, "
+                      "/statusz?format=json, /profilez?seconds=N\n");
 }
 
 Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,

@@ -18,7 +18,8 @@ namespace landmark {
 /// (version 0.0.4): `# TYPE` lines, cumulative `_bucket{le="..."}` series
 /// ending in `+Inf`, and `_sum` / `_count` per histogram. Metric names are
 /// sanitized (`/` → `_`), prefixed `landmark_`, and counters carry the
-/// conventional `_total` suffix.
+/// conventional `_total` suffix (not doubled when the metric name already
+/// ends in `_total`, e.g. `engine/stalls_total`).
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// \brief Options of the scrape endpoint.
@@ -29,18 +30,33 @@ struct HttpExporterOptions {
 };
 
 /// \brief Dependency-free loopback HTTP server exposing the global
-/// MetricsRegistry for live scraping:
+/// MetricsRegistry and the flight deck (util/telemetry/flight_deck.h) for
+/// live scraping:
 ///
-///   GET /metrics   Prometheus text exposition of the full registry
-///   GET /healthz   200 "ok" while the server is running
-///   GET /statusz   human-readable engine stage totals + build info
+///   GET /metrics              Prometheus text exposition of the full
+///                             registry
+///   GET /healthz              200 "ok" while the server is running
+///   GET /statusz              human-readable engine stage totals + build
+///                             info + the flight deck: in-flight batches
+///                             with per-stage DAG progress, per-worker
+///                             current activity, queue depths, token-cache
+///                             occupancy
+///   GET /statusz?format=json  the flight-deck block as one JSON object
+///   GET /profilez?seconds=N   folded activity stacks ("a;b;c COUNT",
+///                             flamegraph-compatible) sampled over an
+///                             N-second window (default 1, clamped to
+///                             [0, 30]; 0 returns the cumulative profile
+///                             without waiting). Starts the global
+///                             SamplingProfiler on first use.
 ///
-/// The server binds 127.0.0.1 only and answers one blocking request at a
-/// time — it is an operational peephole for a long batch, not a serving
-/// stack. It runs on a dedicated thread rather than the ThreadPool because
-/// the accept loop blocks indefinitely between scrapes; parking it on a
-/// pool worker would steal a determinism-contract thread from the engine
-/// for the whole process lifetime. Scrapes only read snapshot values, so
+/// Every response carries an explicit Content-Type. The server binds
+/// 127.0.0.1 only and answers one blocking request at a time — it is an
+/// operational peephole for a long batch, not a serving stack; note a
+/// /profilez window blocks that single accept loop for its duration. It
+/// runs on a dedicated thread rather than the ThreadPool because the
+/// accept loop blocks indefinitely between scrapes; parking it on a pool
+/// worker would steal a determinism-contract thread from the engine for
+/// the whole process lifetime. Scrapes only read snapshot values, so
 /// explanations are bit-identical with the exporter running or not.
 class HttpExporter {
  public:

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <utility>
 
@@ -13,8 +14,10 @@ namespace landmark {
 TelemetryScope::TelemetryScope(TelemetryScopeOptions options)
     : options_(std::move(options)) {
   active_ = !options_.metrics_path.empty() || !options_.trace_path.empty() ||
-            !options_.audit_path.empty() || options_.serve_metrics;
+            !options_.audit_path.empty() || !options_.profile_path.empty() ||
+            options_.serve_metrics;
   if (!options_.trace_path.empty()) TraceRecorder::Global().Start();
+  if (!options_.profile_path.empty()) SamplingProfiler::Global().Start();
   if (!options_.audit_path.empty()) {
     Result<std::unique_ptr<AuditSink>> sink =
         AuditSink::Open(options_.audit_path);
@@ -56,6 +59,7 @@ TelemetryScope TelemetryScope::FromFlags(const Flags& flags) {
   options.metrics_path = flags.GetString("metrics-out", "");
   options.trace_path = flags.GetString("trace-out", "");
   options.audit_path = flags.GetString("audit-out", "");
+  options.profile_path = flags.GetString("profile-out", "");
   options.serve_metrics = flags.Has("metrics-port");
   if (options.serve_metrics) {
     options.metrics_port =
@@ -114,6 +118,24 @@ void TelemetryScope::Finish() {
                          << options_.metrics_path;
     } else {
       LANDMARK_LOG(Error) << status.ToString();
+    }
+  }
+  if (!options_.profile_path.empty()) {
+    SamplingProfiler& profiler = SamplingProfiler::Global();
+    profiler.Stop();
+    const std::string folded = profiler.FoldedText();
+    std::ofstream out(options_.profile_path,
+                      std::ios::out | std::ios::trunc);
+    if (out.is_open()) {
+      out << folded;
+      size_t lines = 0;
+      for (char c : folded) lines += c == '\n' ? 1 : 0;
+      LANDMARK_LOG(Info) << "wrote " << lines << " folded stacks ("
+                         << profiler.samples() << " samples) to "
+                         << options_.profile_path;
+    } else {
+      LANDMARK_LOG(Error) << "cannot open profile output file: "
+                          << options_.profile_path;
     }
   }
   if (audit_sink_ != nullptr) {

@@ -7,14 +7,19 @@
 ///   sink.h           TelemetrySink — JSON-lines and human-table emitters
 ///   audit.h          AuditSink — per-unit explanation flight recorder
 ///   http_exporter.h  HttpExporter — live /metrics + /healthz + /statusz
+///                    (+ /statusz?format=json + /profilez)
+///   flight_deck.h    activity stacks, SamplingProfiler, StallWatchdog,
+///                    BatchProgress registry
 /// plus TelemetryScope, the binary-level wiring for the shared
-/// `--metrics-out` / `--trace-out` / `--audit-out` / `--metrics-port` flags.
+/// `--metrics-out` / `--trace-out` / `--audit-out` / `--profile-out` /
+/// `--metrics-port` flags.
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "util/telemetry/audit.h"
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/http_exporter.h"
 #include "util/telemetry/metrics.h"
 #include "util/telemetry/sink.h"
@@ -33,6 +38,10 @@ struct TelemetryScopeOptions {
   /// Per-unit audit JSON-lines stream (`--audit-out`); opened eagerly so
   /// records flow during the run, flushed on Finish.
   std::string audit_path;
+  /// Folded-stack activity profile (`--profile-out`): starts the global
+  /// SamplingProfiler on construction, writes flamegraph-compatible
+  /// `frame;frame;frame COUNT` lines on Finish.
+  std::string profile_path;
   /// Start the loopback HTTP exporter (`--metrics-port`; port 0 is
   /// ephemeral — the resolved port is printed to stdout for scripts).
   bool serve_metrics = false;
@@ -60,8 +69,8 @@ class TelemetryScope {
   explicit TelemetryScope(TelemetryScopeOptions options);
   /// Back-compat convenience over the two original outputs.
   TelemetryScope(std::string metrics_path, std::string trace_path);
-  /// Reads --metrics-out, --trace-out, --audit-out, --metrics-port and
-  /// --metrics-linger.
+  /// Reads --metrics-out, --trace-out, --audit-out, --profile-out,
+  /// --metrics-port and --metrics-linger.
   static TelemetryScope FromFlags(const Flags& flags);
 
   TelemetryScope(TelemetryScope&& other) noexcept;

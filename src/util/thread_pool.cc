@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/telemetry/trace.h"
@@ -26,16 +27,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
   tasks_total_ = &registry.GetCounter("pool/tasks");
   steals_total_ = &registry.GetCounter("pool/steals");
   queue_depth_ = &registry.GetGauge("pool/queue_depth");
+  shared_queue_depth_ = &registry.GetGauge("pool/shared_queue_depth");
   task_seconds_ = &registry.GetHistogram("pool/task_seconds");
   queue_wait_seconds_ = &registry.GetHistogram("pool/queue_wait_seconds");
   if (num_threads <= 1) return;  // inline pool
   registry.GetGauge("pool/workers").Add(static_cast<double>(num_threads));
   workers_.reserve(num_threads);
   worker_busy_seconds_.reserve(num_threads);
+  deque_depth_.reserve(num_threads);
   local_.resize(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     worker_busy_seconds_.push_back(&registry.GetGauge(
         "pool/worker_busy_seconds/" + std::to_string(i)));
+    deque_depth_.push_back(
+        &registry.GetGauge("pool/deque_depth/" + std::to_string(i)));
   }
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -84,8 +89,11 @@ void ThreadPool::Enqueue(std::function<void()> task, size_t local_index) {
     std::unique_lock<std::mutex> lock(mu_);
     if (local_index < local_.size()) {
       local_[local_index].push_back(Task{std::move(task), TraceNowNs()});
+      deque_depth_[local_index]->Set(
+          static_cast<double>(local_[local_index].size()));
     } else {
       queue_.push_back(Task{std::move(task), TraceNowNs()});
+      shared_queue_depth_->Set(static_cast<double>(queue_.size()));
     }
     ++queued_;
     ++in_flight_;
@@ -110,6 +118,8 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   current_worker = WorkerIdentity{this, worker_index};
+  ActivityRegistry::Global().Local().SetRole(
+      "pool-worker", static_cast<uint32_t>(worker_index));
   Gauge* busy_seconds = worker_busy_seconds_[worker_index];
   const size_t num_workers = local_.size();
   for (;;) {
@@ -125,15 +135,20 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       if (!local_[worker_index].empty()) {
         task = std::move(local_[worker_index].back());
         local_[worker_index].pop_back();
+        deque_depth_[worker_index]->Set(
+            static_cast<double>(local_[worker_index].size()));
       } else if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop_front();
+        shared_queue_depth_->Set(static_cast<double>(queue_.size()));
       } else {
         for (size_t v = 1; v < num_workers; ++v) {
           const size_t victim = (worker_index + v) % num_workers;
           if (local_[victim].empty()) continue;
           task = std::move(local_[victim].front());
           local_[victim].pop_front();
+          deque_depth_[victim]->Set(
+              static_cast<double>(local_[victim].size()));
           stolen = true;
           break;
         }
@@ -187,11 +202,13 @@ TaskGraph::TaskGraph(ThreadPool* pool)
 TaskGraph::~TaskGraph() = default;
 
 TaskGraph::NodeId TaskGraph::AddNode(std::function<void()> fn,
-                                     const std::vector<NodeId>& deps) {
+                                     const std::vector<NodeId>& deps,
+                                     const char* label) {
   std::unique_lock<std::mutex> lock(mu_);
   const NodeId id = nodes_.size();
   Node node;
   node.fn = std::move(fn);
+  node.label = label;
   nodes_.push_back(std::move(node));
   ++unfinished_;
   // A dependency that already finished releases nothing later, so it never
@@ -225,12 +242,16 @@ void TaskGraph::Run() {
 
 void TaskGraph::RunNode(NodeId id) {
   std::function<void()> fn;
+  const char* label = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    nodes_[id].started = true;
+    label = nodes_[id].label;
     if (!cancelled_) fn = std::move(nodes_[id].fn);
   }
   if (fn) {
     try {
+      ActivityScope activity(label != nullptr ? label : "graph/node");
       fn();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);
@@ -291,6 +312,38 @@ bool TaskGraph::cancelled() const {
 size_t TaskGraph::num_nodes() const {
   std::unique_lock<std::mutex> lock(mu_);
   return nodes_.size();
+}
+
+std::vector<TaskGraphStageCounts> TaskGraph::StageCounts() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<TaskGraphStageCounts> stages;
+  for (const Node& node : nodes_) {
+    const char* label = node.label != nullptr ? node.label : "(unlabeled)";
+    TaskGraphStageCounts* stage = nullptr;
+    for (TaskGraphStageCounts& existing : stages) {
+      // Labels are interned literals, but compare by content so nodes
+      // labeled from different translation units still group.
+      if (existing.label == label ||
+          std::string_view(existing.label) == label) {
+        stage = &existing;
+        break;
+      }
+    }
+    if (stage == nullptr) {
+      stages.push_back(TaskGraphStageCounts{label, 0, 0, 0, 0});
+      stage = &stages.back();
+    }
+    if (node.done) {
+      ++stage->done;
+    } else if (node.started) {
+      ++stage->running;
+    } else if (node.pending > 0) {
+      ++stage->pending;
+    } else {
+      ++stage->ready;
+    }
+  }
+  return stages;
 }
 
 }  // namespace landmark

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/telemetry/flight_deck.h"
 #include "util/telemetry/metrics.h"
 #include "util/thread_annotations.h"
 
@@ -44,9 +45,13 @@ namespace landmark {
 /// Every pool reports into the global MetricsRegistry under the stable names
 /// `pool/tasks` (counter), `pool/steals` (counter, cross-worker deque pops),
 /// `pool/queue_depth` (gauge — shared queue plus all per-worker deques,
-/// sampled at enqueue/dequeue), `pool/task_seconds` and
-/// `pool/queue_wait_seconds` (histograms) and `pool/worker_busy_seconds/<i>`
-/// (per-worker accumulated gauge — utilization relative to wall time).
+/// sampled at enqueue/dequeue), `pool/shared_queue_depth` (gauge — the
+/// shared FIFO alone) and `pool/deque_depth/<i>` (gauge per worker deque),
+/// `pool/task_seconds` and `pool/queue_wait_seconds` (histograms) and
+/// `pool/worker_busy_seconds/<i>` (per-worker accumulated gauge —
+/// utilization relative to wall time). Workers also register on the
+/// flight-deck ActivityRegistry as `pool-worker-<i>` so /statusz and the
+/// sampling profiler can attribute their current activity.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -114,9 +119,11 @@ class ThreadPool {
   Counter* tasks_total_;
   Counter* steals_total_;
   Gauge* queue_depth_;
+  Gauge* shared_queue_depth_;
   Histogram* task_seconds_;
   Histogram* queue_wait_seconds_;
   std::vector<Gauge*> worker_busy_seconds_;  // one per worker
+  std::vector<Gauge*> deque_depth_;          // one per worker
 };
 
 /// \brief A dependency DAG of small tasks executed on a ThreadPool — the
@@ -159,8 +166,11 @@ class TaskGraph {
   TaskGraph& operator=(const TaskGraph&) = delete;
 
   /// Adds a node running `fn` after every node in `deps`. Thread-safe;
-  /// callable before Run() or from inside a running node.
-  NodeId AddNode(std::function<void()> fn, const std::vector<NodeId>& deps = {});
+  /// callable before Run() or from inside a running node. `label` (static
+  /// storage, e.g. a stage name) groups the node in StageCounts() and names
+  /// its flight-deck activity frame; nullptr files it under "(unlabeled)".
+  NodeId AddNode(std::function<void()> fn, const std::vector<NodeId>& deps = {},
+                 const char* label = nullptr);
 
   /// Starts executing: enqueues every currently-ready node. Call exactly
   /// once; AddNode stays legal afterwards (from inside running nodes).
@@ -181,10 +191,17 @@ class TaskGraph {
   /// Nodes added so far.
   size_t num_nodes() const;
 
+  /// Live pending/ready/running/done node counts, grouped by AddNode label
+  /// in first-seen order (the flight deck's per-batch DAG progress view).
+  /// Thread-safe; callable while the graph runs.
+  std::vector<TaskGraphStageCounts> StageCounts() const;
+
  private:
   struct Node {
     std::function<void()> fn;
+    const char* label = nullptr;   // static string; groups StageCounts()
     size_t pending = 0;            // unfinished dependencies
+    bool started = false;          // body entered (running when !done)
     bool done = false;             // body ran (or was skipped by Cancel)
     std::vector<NodeId> successors;
   };

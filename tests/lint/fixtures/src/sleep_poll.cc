@@ -1,0 +1,13 @@
+// Fixture: sleep-poll — an ad-hoc monitor loop sleeping on line 7, and a
+// suppressed sleep on line 12 (the allow() form keeps it quiet).
+#include <chrono>
+#include <thread>
+
+void PollUntilDone(bool* done) {
+  while (!*done) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void SettleBeforeMeasuring() {
+  // landmark-lint: allow(sleep-poll) fixture exercises the standalone form
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

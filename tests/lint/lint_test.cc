@@ -72,6 +72,14 @@ TEST(LandmarkLint, CondvarFiresUnderRawThreadRule) {
   EXPECT_TRUE(HasDiagnostic(diags, "src/condvar.cc", 10, "raw-thread"));
 }
 
+TEST(LandmarkLint, SleepPollFiresAndRespectsSuppression) {
+  // One ad-hoc sleep loop fires; the allow(sleep-poll)-annotated sleep in
+  // the same file stays quiet (and the suppression counts as used).
+  const std::vector<Diagnostic> diags = Lint({"src/sleep_poll.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/sleep_poll.cc", 7, "sleep-poll"));
+}
+
 TEST(LandmarkLint, MutexGuardFiresAtExactLocation) {
   const std::vector<Diagnostic> diags = Lint({"src/mutex_guard.h"}, false);
   ASSERT_EQ(diags.size(), 1u);

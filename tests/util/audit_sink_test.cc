@@ -95,7 +95,7 @@ TEST(AuditSinkTest, BatchToJsonGolden) {
             "\"cache_hits\":96,\"token_cache_hits\":500,"
             "\"token_cache_misses\":20,\"plan_seconds\":0.5,"
             "\"reconstruct_seconds\":0.25,\"query_seconds\":2,"
-            "\"fit_seconds\":0.125}");
+            "\"fit_seconds\":0.125,\"num_stalls\":0}");
 }
 
 TEST(AuditSinkTest, JsonStringsAreEscaped) {

@@ -2,7 +2,8 @@
 // hand-built snapshot (the exact text contract scrapers parse), structural
 // invariants of histogram rendering against a live Histogram (cumulative
 // buckets, the final `+Inf` sample equal to `_count`), and the HTTP
-// surface (/metrics, /healthz, /statusz, 404) over a real socket.
+// surface (/metrics, /healthz, /statusz, /statusz?format=json, /profilez,
+// 404) over a real socket.
 
 #include <gtest/gtest.h>
 
@@ -69,6 +70,16 @@ TEST(PrometheusTextTest, NameSanitization) {
   EXPECT_NE(text.find("landmark_explain_quality_low_r2_total 1\n"),
             std::string::npos)
       << text;
+}
+
+TEST(PrometheusTextTest, CounterAlreadyEndingInTotalIsNotDoubled) {
+  // engine/stalls_total carries the conventional suffix in its metric name;
+  // the exposition must not render landmark_engine_stalls_total_total.
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"engine/stalls_total", 2}};
+  EXPECT_EQ(ToPrometheusText(snapshot),
+            "# TYPE landmark_engine_stalls_total counter\n"
+            "landmark_engine_stalls_total 2\n");
 }
 
 TEST(PrometheusTextTest, LiveHistogramBucketsAreCumulativeUpToCount) {
@@ -153,9 +164,44 @@ TEST(HttpExporterTest, ServesMetricsHealthzStatusz) {
   auto missing = HttpGetLoopback(port, "/nope", &status);
   ASSERT_TRUE(missing.ok()) << missing.status().ToString();
   EXPECT_EQ(status, 404);
+  // The 404 body advertises every endpoint, including the flight deck.
+  EXPECT_NE(missing->find("/statusz?format=json"), std::string::npos)
+      << *missing;
+  EXPECT_NE(missing->find("/profilez"), std::string::npos) << *missing;
 
   (*exporter)->Stop();
   (*exporter)->Stop();  // idempotent
+}
+
+TEST(HttpExporterTest, ServesFlightDeckEndpoints) {
+  auto exporter = HttpExporter::Start({});
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const uint16_t port = (*exporter)->port();
+
+  int status = 0;
+  // Text /statusz now carries the flight-deck block after the engine totals.
+  auto statusz = HttpGetLoopback(port, "/statusz", &status);
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(statusz->find("-- flight deck --"), std::string::npos) << *statusz;
+  EXPECT_NE(statusz->find("in-flight batches:"), std::string::npos);
+  EXPECT_NE(statusz->find("profiler:"), std::string::npos);
+
+  auto json = HttpGetLoopback(port, "/statusz?format=json", &status);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(status, 200);
+  ASSERT_FALSE(json->empty());
+  EXPECT_EQ(json->front(), '{') << *json;
+  EXPECT_NE(json->find("\"batches\""), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"workers\""), std::string::npos) << *json;
+  EXPECT_NE(json->find("\"profiler\""), std::string::npos) << *json;
+
+  // seconds=0 returns the cumulative profile without blocking the loop.
+  auto profile = HttpGetLoopback(port, "/profilez?seconds=0", &status);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(status, 200);
+
+  (*exporter)->Stop();
 }
 
 TEST(HttpExporterTest, StartFailsOnTakenPort) {

@@ -12,8 +12,9 @@
 //
 // Every command also accepts --metrics-out=FILE (metrics-registry snapshot
 // as JSON), --trace-out=FILE (Chrome/Perfetto trace of the run),
-// --audit-out=FILE (per-explanation flight recorder) and --metrics-port=N
-// (live Prometheus /metrics endpoint on 127.0.0.1).
+// --audit-out=FILE (per-explanation flight recorder), --profile-out=FILE
+// (folded-stack sampling profile) and --metrics-port=N (live Prometheus
+// /metrics endpoint plus /statusz flight deck on 127.0.0.1).
 //
 // Examples:
 //   landmark_cli generate --dataset S-AG --output sag.csv
@@ -52,15 +53,19 @@ commands:
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
                   [--threads N] [--no-predict-cache] [--no-feature-cache]
-                  [--no-task-graph] [--engine-stats]
+                  [--no-task-graph] [--stall-threshold S] [--engine-stats]
   telemetry-demo  [--dataset CODE] [--records N] [--threads N]
+                  [--stall-threshold S]
 
 every command also accepts:
   --metrics-out FILE   write the metrics-registry snapshot as JSON
   --trace-out FILE     record and write a Chrome/Perfetto trace
   --audit-out FILE     per-explanation flight-recorder JSON lines
                        (evaluate / telemetry-demo)
-  --metrics-port N     serve live /metrics, /healthz, /statusz on
+  --profile-out FILE   sample worker activity, write folded flamegraph
+                       stacks ("engine/query;model/query COUNT")
+  --metrics-port N     serve live /metrics, /healthz, /statusz,
+                       /statusz?format=json, /profilez?seconds=N on
                        127.0.0.1:N (0 = ephemeral; port printed on stdout)
   --metrics-linger S   keep the exporter up S seconds after the run
 

@@ -19,6 +19,7 @@ constexpr char kRuleBannedApi[] = "banned-api";
 constexpr char kRuleRawThread[] = "raw-thread";
 constexpr char kRuleMutexGuard[] = "mutex-guard";
 constexpr char kRuleMetricName[] = "metric-name";
+constexpr char kRuleSleepPoll[] = "sleep-poll";
 constexpr char kRuleHeaderGuard[] = "header-guard";
 constexpr char kRuleUsingNamespace[] = "using-namespace";
 constexpr char kRuleSuppression[] = "suppression";
@@ -414,6 +415,29 @@ void CheckRawThread(const FileText& file, FileDiagnostics* diag) {
   }
 }
 
+/// Ad-hoc sampler/monitor loops: sleeping in a poll loop hides a background
+/// thread the flight deck cannot see and TSan cannot schedule around. The
+/// sanctioned homes are the pool (worker parking) and the telemetry layer
+/// (SamplingProfiler, StallWatchdog, exporter windows); everywhere else a
+/// sleep needs an allow() rationale — tests wait on virtual clocks or
+/// bounded yield-spins instead.
+void CheckSleepPoll(const FileText& file, FileDiagnostics* diag) {
+  if (CondvarExempt(file.rel_path)) return;
+  const std::vector<std::string> needles = {"sleep_for", "sleep_until"};
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    for (const std::string& needle : needles) {
+      if (FindToken(file.code[i], needle, 0) == std::string::npos) continue;
+      diag->Emit(kRuleSleepPoll, static_cast<int>(i) + 1,
+                 "ad-hoc " + needle +
+                     " polling outside ThreadPool/telemetry; background "
+                     "monitors belong in the flight deck (SamplingProfiler, "
+                     "StallWatchdog) and tests should advance the deck clock "
+                     "or yield-spin with a bound instead of sleeping");
+      break;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // mutex-guard (concurrency contract)
 
@@ -732,8 +756,8 @@ std::vector<fs::path> DefaultScan(const fs::path& root, std::string* error) {
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string>* rules = new std::vector<std::string>{
       kRuleBannedApi,  kRuleRawThread,      kRuleMutexGuard,
-      kRuleMetricName, kRuleHeaderGuard,    kRuleUsingNamespace,
-      kRuleSuppression};
+      kRuleMetricName, kRuleSleepPoll,      kRuleHeaderGuard,
+      kRuleUsingNamespace, kRuleSuppression};
   return *rules;
 }
 
@@ -772,6 +796,7 @@ bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
     const bool is_header = path.extension() == ".h";
     CheckBannedApi(file, &diag);
     CheckRawThread(file, &diag);
+    CheckSleepPoll(file, &diag);
     CheckMutexGuard(file, &diag);
     if (is_header) {
       CheckHeaderGuard(file, &diag);
