@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_diff.py (stdlib-only, run by ctest as
+`lint.bench_diff`). Covers the exit-code contract: 0 for clean/incomparable
+runs, 1 for a genuine regression on comparable hardware, 2 for unusable
+input."""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_diff", os.path.join(_HERE, "bench_diff.py"))
+bench_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_diff)
+
+
+def doc(benchmarks, concurrency=8):
+    out = {"benchmarks": benchmarks}
+    if concurrency is not None:
+        out["hardware_concurrency"] = concurrency
+    return out
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_diff(self, *argv):
+        try:
+            return bench_diff.main(["bench_diff.py", *argv])
+        except SystemExit as e:  # load() exits directly on bad input
+            return e.code
+
+    def test_no_change_is_clean(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 104}}))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_regression_beyond_threshold_fails(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 150}}))
+        self.assertEqual(self.run_diff(old, new), 1)
+
+    def test_threshold_flag_widens_the_gate(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 150}}))
+        self.assertEqual(self.run_diff("--threshold", "0.6", old, new), 0)
+
+    def test_different_hardware_reports_but_does_not_gate(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}},
+                                         concurrency=4))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900}},
+                                         concurrency=16))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_unrecorded_hardware_does_not_gate(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}},
+                                         concurrency=None))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900}},
+                                         concurrency=None))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_no_common_names_is_clean(self):
+        old = self.write("old.json", doc({"a": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"b": {"wall_ns": 900}}))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_malformed_wall_ns_is_skipped_not_fatal(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 0},
+                                          "r": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900},
+                                          "r": {"wall_ns": 90}}))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_missing_benchmarks_object_is_usage_error(self):
+        old = self.write("old.json", {"not_benchmarks": {}})
+        new = self.write("new.json", doc({"q": {"wall_ns": 100}}))
+        self.assertEqual(self.run_diff(old, new), 2)
+
+    def test_unparseable_json_is_usage_error(self):
+        old = self.write("old.json", "{nope")
+        new = self.write("new.json", doc({"q": {"wall_ns": 100}}))
+        self.assertEqual(self.run_diff(old, new), 2)
+
+    def test_bad_threshold_is_usage_error(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 100}}))
+        self.assertEqual(self.run_diff("--threshold", "fast", old, new), 2)
+
+    def test_missing_file_is_usage_error(self):
+        new = self.write("new.json", doc({"q": {"wall_ns": 100}}))
+        missing = os.path.join(self._dir.name, "absent.json")
+        self.assertEqual(self.run_diff(missing, new), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

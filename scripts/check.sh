@@ -15,6 +15,12 @@
 #               FlightDeck/Profiler/Stall suites, including the
 #               concurrent-scrape-during-batch test) so a race there fails
 #               loudly even when triaging the full run
+#   deadlock-debug  dedicated -DLANDMARK_DEADLOCK_DEBUG=ON build (no
+#               sanitizers): death tests for the runtime lock-order
+#               detector, the engine/telemetry suites under
+#               instrumentation, and a byte-compare of `landmark_cli
+#               explain` output against the default build proving the
+#               detector is observation-only
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
 # `telemetry-demo --trace-out --metrics-out --audit-out --profile-out` and
@@ -75,6 +81,36 @@ if command -v python3 >/dev/null 2>&1; then
 else
   echo "python3 not found; skipped trace/metrics validation"
 fi
+
+# Deadlock-debug stage: a dedicated (non-sanitized) build with the runtime
+# lock-order detector on. The asan-ubsan preset above already runs the full
+# suite with the detector; this stage runs fast and in isolation so a
+# lock-discipline failure is attributable without sanitizer noise, then
+# proves the detector only observes: `landmark_cli explain` output must be
+# byte-identical between the default build and the instrumented one.
+echo "=== [deadlock-debug] build (runtime lock-order detector ON) ==="
+cmake -B build-deadlock -S . -DLANDMARK_WERROR=ON \
+  -DLANDMARK_DEADLOCK_DEBUG=ON >/dev/null
+cmake --build build-deadlock -j "$JOBS"
+echo "=== [deadlock-debug] death tests + engine/telemetry suites ==="
+(cd build-deadlock && ctest --output-on-failure -j "$JOBS" -R \
+  'DeadlockDebug|ThreadPool|TaskGraph|Scheduler|Engine|HttpExporter|FlightDeck|Profiler|Stall|Audit')
+echo "=== [deadlock-debug] explanations bit-identical with detection on ==="
+./build/tools/landmark_cli explain --dataset S-BR --pair 7 \
+  --technique double >"$TELEMETRY_TMP/explain_detector_off.txt"
+./build-deadlock/tools/landmark_cli explain --dataset S-BR --pair 7 \
+  --technique double >"$TELEMETRY_TMP/explain_detector_on.txt"
+cmp "$TELEMETRY_TMP/explain_detector_off.txt" \
+  "$TELEMETRY_TMP/explain_detector_on.txt"
+# Audit unit lines are deterministic too (the "batch" trailer carries wall
+# times, so it is excluded).
+./build/tools/landmark_cli telemetry-demo --records 8 \
+  --audit-out="$TELEMETRY_TMP/audit_detector_off.jsonl" >/dev/null
+./build-deadlock/tools/landmark_cli telemetry-demo --records 8 \
+  --audit-out="$TELEMETRY_TMP/audit_detector_on.jsonl" >/dev/null
+cmp <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_detector_off.jsonl") \
+  <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_detector_on.jsonl")
+echo "deadlock-debug: detector is observation-only (outputs identical)"
 
 # Exporter smoke: background a tiny batch that serves /metrics on an
 # ephemeral port and lingers, poll the announced port until the finished

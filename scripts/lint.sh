@@ -17,8 +17,13 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" --target landmark_lint
 
 echo "=== [lint] landmark_lint --root . ==="
-"./$BUILD_DIR/tools/landmark_lint" --root .
-echo "landmark_lint: clean"
+# The DOT dump is the authoritative picture of the tree's lock-order graph
+# (docs/architecture.md, "Lock discipline"); the grep asserts the emitter
+# actually produced a graph rather than an empty file.
+"./$BUILD_DIR/tools/landmark_lint" --root . \
+  --lock-graph-out "$BUILD_DIR/lock_order.dot"
+grep -q "digraph lock_order" "$BUILD_DIR/lock_order.dot"
+echo "landmark_lint: clean (lock graph: $BUILD_DIR/lock_order.dot)"
 
 echo "=== [lint] clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then

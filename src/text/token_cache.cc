@@ -153,7 +153,7 @@ TokenCache::Shard& TokenCache::ShardOf(const std::string& text) {
 
 const TokenizedValue& TokenCache::Get(const std::string& text) {
   Shard& shard = ShardOf(text);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.entries.find(text);
   if (it != shard.entries.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -169,7 +169,7 @@ const TokenizedValue& TokenCache::Get(const std::string& text) {
 size_t TokenCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total += shard.entries.size();
   }
   return total;
@@ -179,7 +179,7 @@ std::vector<size_t> TokenCache::ShardSizes() const {
   std::vector<size_t> sizes;
   sizes.reserve(shards_.size());
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     sizes.push_back(shard.entries.size());
   }
   return sizes;

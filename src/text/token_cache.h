@@ -4,13 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace landmark {
@@ -117,7 +117,9 @@ class TokenCache {
   static constexpr size_t kShards = 16;
 
   struct Shard {
-    mutable std::mutex mu;
+    // All 16 shards share one rank identity: holding two shards at once is
+    // a lock-discipline violation (the cache only ever locks one).
+    mutable Mutex mu{"TokenCache::Shard::mu"};
     std::unordered_map<std::string, TokenizedValue> entries GUARDED_BY(mu);
   };
 

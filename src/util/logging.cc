@@ -9,6 +9,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace landmark {
@@ -21,7 +22,7 @@ std::once_flag g_env_once;
 /// only on warning-class paths, never the engine hot path, so a simple map
 /// beats per-site static registration. Leaked (plain pointer, allocated
 /// under the lock) so late-exiting threads can still log during shutdown.
-std::mutex g_log_every_n_mu;
+Mutex g_log_every_n_mu{"g_log_every_n_mu"};
 std::map<std::pair<const void*, int>, uint64_t>* g_log_every_n_counts
     GUARDED_BY(g_log_every_n_mu) = nullptr;
 
@@ -89,7 +90,7 @@ namespace internal_logging {
 
 bool LogEveryN(const char* file, int line, uint64_t n) {
   if (n <= 1) return true;
-  std::lock_guard<std::mutex> lock(g_log_every_n_mu);
+  MutexLock lock(&g_log_every_n_mu);
   if (g_log_every_n_counts == nullptr) {
     g_log_every_n_counts =
         new std::map<std::pair<const void*, int>, uint64_t>();

@@ -1,0 +1,201 @@
+#include "util/mutex.h"
+
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/telemetry/flight_deck.h"
+
+namespace landmark {
+namespace deadlock_detail {
+namespace {
+
+// The acquisition-order graph. Nodes are mutex names (rank identities);
+// an edge a -> b records that some thread held a while acquiring b, along
+// with a description of that thread (label + activity stack) from the
+// first observation. Guarded by a raw spinlock rather than a Mutex so the
+// detector never feeds back into itself, and leaked on purpose so it
+// outlives every static destructor.
+struct Edges {
+  std::unordered_map<std::string, std::string> out;  // to-name -> holder desc
+};
+std::unordered_map<std::string, Edges>* const g_graph =
+    new std::unordered_map<std::string, Edges>();
+std::atomic_flag g_graph_lock = ATOMIC_FLAG_INIT;
+
+class GraphLock {
+ public:
+  GraphLock() {
+    while (g_graph_lock.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  ~GraphLock() { g_graph_lock.clear(std::memory_order_release); }
+  GraphLock(const GraphLock&) = delete;
+  GraphLock& operator=(const GraphLock&) = delete;
+};
+
+thread_local std::vector<const Mutex*> t_held;
+// Set while the detector itself runs (including the report path, which
+// reads the activity registry and therefore acquires instrumented locks):
+// nested hook invocations become no-ops instead of recursing.
+thread_local bool t_in_detector = false;
+
+class DetectorScope {
+ public:
+  DetectorScope() { t_in_detector = true; }
+  ~DetectorScope() { t_in_detector = false; }
+};
+
+// "pool-worker-3 [engine/query;model/predict]" for the calling thread.
+std::string DescribeSelf() {
+  ThreadActivity& slot = ActivityRegistry::Global().Local();
+  std::string out = slot.Label();
+  out += " [";
+  bool first = true;
+  for (const char* frame : slot.SnapshotStack()) {
+    if (!first) out += ";";
+    out += frame;
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+std::string HeldNames() {
+  std::string out;
+  for (const Mutex* held : t_held) {
+    if (!out.empty()) out += ", ";
+    out += held->name();
+  }
+  return out;
+}
+
+// DFS for a path from -> ... -> to in g_graph; fills *path with the node
+// names when found. Caller holds the graph lock.
+bool FindPath(const std::string& from, const std::string& to,
+              std::vector<std::string>* path) {
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = g_graph->find(from);
+  if (it != g_graph->end()) {
+    for (const auto& [next, desc] : it->second.out) {
+      bool seen = false;
+      for (const std::string& node : *path) {
+        if (node == next) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      if (FindPath(next, to, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+[[noreturn]] void AbortWithReport(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const Mutex* mu) {
+  if (t_in_detector) return;
+  DetectorScope scope;
+  if (t_held.empty()) {  // nothing held: no ordering to check or record
+    t_held.push_back(mu);
+    return;
+  }
+  for (const Mutex* held : t_held) {
+    if (std::strcmp(held->name(), mu->name()) == 0) {
+      std::string report = "landmark::Mutex deadlock detected: acquiring \"";
+      report += mu->name();
+      report +=
+          "\" while already holding a lock of that rank (recursive "
+          "acquisition or two same-rank instances)\n  acquiring thread: ";
+      report += DescribeSelf();
+      report += "\n  held locks: " + HeldNames() + "\n";
+      AbortWithReport(report);
+    }
+  }
+  const std::string name = mu->name();
+  const std::string self = DescribeSelf();
+  std::string violation;
+  {
+    GraphLock lock;
+    for (const Mutex* held : t_held) {
+      std::vector<std::string> path;
+      if (FindPath(name, held->name(), &path)) {
+        violation =
+            "landmark::Mutex deadlock detected: lock-order cycle — "
+            "acquiring \"";
+        violation += name;
+        violation += "\" while holding \"";
+        violation += held->name();
+        violation += "\" contradicts the established order:\n";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          violation += "    " + path[i] + " -> " + path[i + 1] +
+                       "  (first held by " + (*g_graph)[path[i]].out[path[i + 1]] +
+                       ")\n";
+        }
+        violation += "  acquiring thread: " + self + "\n";
+        violation += "  held locks: " + HeldNames() + "\n";
+        break;
+      }
+      (*g_graph)[held->name()].out.emplace(name, self);
+    }
+  }
+  if (!violation.empty()) AbortWithReport(violation);
+  t_held.push_back(mu);
+}
+
+void OnTryAcquired(const Mutex* mu) {
+  if (t_in_detector) return;
+  DetectorScope scope;
+  t_held.push_back(mu);
+}
+
+void OnRelease(const Mutex* mu) {
+  if (t_in_detector) return;
+  DetectorScope scope;
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1] == mu) {
+      t_held.erase(t_held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void CheckBlockingPoint(const char* what, const Mutex* allowed) {
+  if (t_in_detector) return;
+  DetectorScope scope;
+  std::string offenders;
+  for (const Mutex* held : t_held) {
+    if (held == allowed) continue;
+    if (!offenders.empty()) offenders += ", ";
+    offenders += held->name();
+  }
+  if (offenders.empty()) return;
+  std::string report = "landmark::Mutex deadlock hazard: lock(s) held across "
+                       "blocking point \"";
+  report += what;
+  report += "\"\n  held locks: " + offenders;
+  report += "\n  blocking thread: " + DescribeSelf() + "\n";
+  AbortWithReport(report);
+}
+
+}  // namespace deadlock_detail
+}  // namespace landmark
+
+#endif  // LANDMARK_DEADLOCK_DEBUG

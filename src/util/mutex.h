@@ -1,0 +1,136 @@
+#ifndef LANDMARK_UTIL_MUTEX_H_
+#define LANDMARK_UTIL_MUTEX_H_
+
+/// \file
+/// The repo's only mutex. `landmark::Mutex` is a named wrapper over
+/// `std::mutex`: in release builds it compiles down to the plain mutex (the
+/// name is one stored pointer), and under `-DLANDMARK_DEADLOCK_DEBUG=ON`
+/// (default in the asan-ubsan preset) every acquisition is recorded into a
+/// process-wide lock-order graph keyed by the mutex's name. The first
+/// acquisition that closes a cycle in that graph — i.e. the first execution
+/// that *could* deadlock under a different interleaving, even if this run
+/// got away with it — aborts with a report naming both mutexes, the
+/// acquiring thread's activity stack and the activity stack recorded when
+/// the contradicting order was first observed (util/telemetry/flight_deck.h).
+///
+/// The name doubles as the lock's global *rank identity*: instances that
+/// share a name (e.g. the 16 `TokenCache::Shard::mu` shards) share a rank,
+/// so holding two of them at once is reported as a self-deadlock hazard
+/// just like a recursive acquisition. By convention the name is the
+/// `Class::member` spelling of the declaration — `landmark_lint` checks the
+/// literal against the declaration site (rule `raw-mutex`) and runs the
+/// same cycle analysis statically over lexical guard nesting, so the static
+/// and runtime layers agree on identities (docs/architecture.md, "Lock
+/// discipline").
+///
+/// Blocking points — `ThreadPool::Submit`/`Wait`, `TaskGraph::Wait`,
+/// condition-variable waits, the exporter's socket loop — are registered
+/// via `LANDMARK_BLOCKING_POINT` / `LANDMARK_BLOCKING_POINT_WAIT`; entering
+/// one with any lock held (other than the lock a wait is about to release)
+/// also aborts. Detection only observes — with it on, explanations are
+/// bit-identical and audit streams byte-identical.
+///
+/// Condition variables pair with the wrapper as
+/// `std::condition_variable_any` + `std::unique_lock<Mutex>`, so the wait's
+/// internal unlock/relock flows through the instrumentation.
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace landmark {
+
+class Mutex;
+
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+namespace deadlock_detail {
+/// Cycle-checks `mu` against the calling thread's held set, records new
+/// order edges, and pushes `mu` onto the held set. Aborts with a lock-order
+/// report on the first cycle-closing acquisition. Called *before* the
+/// underlying lock so the report fires instead of the deadlock.
+void OnAcquire(const Mutex* mu);
+/// Pushes `mu` onto the held set without recording order edges: a
+/// successful try_lock cannot block, so it proves nothing about intended
+/// order.
+void OnTryAcquired(const Mutex* mu);
+/// Pops `mu` from the held set.
+void OnRelease(const Mutex* mu);
+/// Aborts when the calling thread holds any lock other than `allowed`
+/// while entering the blocking point `what`. `allowed` is the lock a
+/// condition-variable wait releases for its duration; pass nullptr for
+/// plain blocking points (pool submits, joins-on-drain, socket I/O).
+void CheckBlockingPoint(const char* what, const Mutex* allowed);
+}  // namespace deadlock_detail
+#endif  // LANDMARK_DEADLOCK_DEBUG
+
+/// \brief Named std::mutex. The name must be a string literal with the
+/// declaration's `Class::member` spelling (enforced by landmark_lint); it
+/// is the node identity in both lock-order graphs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+    deadlock_detail::OnAcquire(this);
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+    if (acquired) deadlock_detail::OnTryAcquired(this);
+#endif
+    return acquired;
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+    deadlock_detail::OnRelease(this);
+#endif
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  // landmark-lint: allow(mutex-guard) the wrapper is the guard primitive;
+  // its internal mutex protects nothing nameable
+  std::mutex mu_;
+  const char* const name_;
+};
+
+/// \brief RAII lock for the scope of a block — the `std::lock_guard` of the
+/// wrapper world, spelled Abseil-style so guard scopes are greppable.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace landmark
+
+#if defined(LANDMARK_DEADLOCK_DEBUG)
+/// Asserts (debug builds) that the calling thread holds no landmark::Mutex
+/// on entry to the blocking operation `what` (a string literal).
+#define LANDMARK_BLOCKING_POINT(what) \
+  ::landmark::deadlock_detail::CheckBlockingPoint(what, nullptr)
+/// Same, but `mu` (the lock the wait releases while blocked) may be held.
+#define LANDMARK_BLOCKING_POINT_WAIT(what, mu) \
+  ::landmark::deadlock_detail::CheckBlockingPoint(what, mu)
+#else
+#define LANDMARK_BLOCKING_POINT(what) ((void)0)
+#define LANDMARK_BLOCKING_POINT_WAIT(what, mu) ((void)0)
+#endif
+
+#endif  // LANDMARK_UTIL_MUTEX_H_

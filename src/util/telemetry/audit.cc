@@ -101,22 +101,22 @@ std::string AuditSink::BatchToJson(const AuditBatchStats& stats) {
 }
 
 void AuditSink::WriteUnit(const AuditUnitRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out_ << UnitToJson(record, next_unit_++) << "\n";
 }
 
 void AuditSink::WriteBatch(const AuditBatchStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out_ << BatchToJson(stats) << "\n";
 }
 
 void AuditSink::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out_.flush();
 }
 
 uint64_t AuditSink::units_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_unit_;
 }
 

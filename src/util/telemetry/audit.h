@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/result.h"
 #include "util/status.h"
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace landmark {
@@ -139,7 +139,9 @@ class AuditSink {
  private:
   explicit AuditSink(std::ofstream out);
 
-  mutable std::mutex mu_;
+  // Leaf lock: serializes appends to the stream; nothing else is acquired
+  // while it is held, so audit bytes are interleaving-independent.
+  mutable Mutex mu_{"AuditSink::mu_"};
   std::ofstream out_ GUARDED_BY(mu_);
   uint64_t next_unit_ GUARDED_BY(mu_) = 0;
 };

@@ -144,7 +144,7 @@ ActivityRegistry& ActivityRegistry::Global() {
 ThreadActivity& ActivityRegistry::Local() {
   thread_local std::shared_ptr<ThreadActivity> slot = [this] {
     auto created = std::make_shared<ThreadActivity>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     slots_.push_back(created);
     return created;
   }();
@@ -153,7 +153,7 @@ ThreadActivity& ActivityRegistry::Local() {
 
 std::vector<std::shared_ptr<ThreadActivity>> ActivityRegistry::Slots() const {
   std::vector<std::shared_ptr<ThreadActivity>> live;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   live.reserve(slots_.size());
   size_t kept = 0;
   for (size_t i = 0; i < slots_.size(); ++i) {
@@ -181,26 +181,26 @@ BatchProgress::BatchProgress(uint64_t id, size_t num_records,
       start_ns_(FlightDeckNowNs()) {}
 
 void BatchProgress::SetGraph(TaskGraph* graph) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   graph_ = graph;
 }
 
 std::vector<TaskGraphStageCounts> BatchProgress::GraphCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (graph_ == nullptr) return {};
   return graph_->StageCounts();
 }
 
 void BatchProgress::SetTokenCacheProbe(
     std::function<std::vector<size_t>()> probe) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   token_cache_probe_ = std::move(probe);
 }
 
 std::vector<size_t> BatchProgress::TokenCacheShardSizes() const {
   std::function<std::vector<size_t>()> probe;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     probe = token_cache_probe_;
   }
   return probe ? probe() : std::vector<size_t>();
@@ -208,14 +208,14 @@ std::vector<size_t> BatchProgress::TokenCacheShardSizes() const {
 
 void BatchProgress::RecordStall(StallReport report) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stalls_.push_back(std::move(report));
   }
   num_stalls_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<StallReport> BatchProgress::TakeStalls() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<StallReport> taken;
   taken.swap(stalls_);
   return taken;
@@ -228,7 +228,7 @@ FlightDeck& FlightDeck::Global() {
 
 std::shared_ptr<BatchProgress> FlightDeck::RegisterBatch(
     size_t num_records, const char* scheduler, double stall_threshold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto progress = std::make_shared<BatchProgress>(
       ++next_id_, num_records, scheduler, stall_threshold);
   batches_.push_back(progress);
@@ -236,7 +236,7 @@ std::shared_ptr<BatchProgress> FlightDeck::RegisterBatch(
 }
 
 void FlightDeck::UnregisterBatch(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   batches_.erase(std::remove_if(batches_.begin(), batches_.end(),
                                 [id](const std::shared_ptr<BatchProgress>& b) {
                                   return b->id() == id;
@@ -245,7 +245,7 @@ void FlightDeck::UnregisterBatch(uint64_t id) {
 }
 
 std::shared_ptr<BatchProgress> FlightDeck::FindBatch(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& batch : batches_) {
     if (batch->id() == id) return batch;
   }
@@ -254,7 +254,7 @@ std::shared_ptr<BatchProgress> FlightDeck::FindBatch(uint64_t id) const {
 
 std::vector<std::shared_ptr<BatchProgress>> FlightDeck::InFlightBatches()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return batches_;
 }
 
@@ -281,9 +281,9 @@ SamplingProfiler& SamplingProfiler::Global() {
 }
 
 void SamplingProfiler::Start(uint64_t interval_ns) {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(&lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (running_) return;
     stop_requested_ = false;
     running_ = true;
@@ -293,21 +293,24 @@ void SamplingProfiler::Start(uint64_t interval_ns) {
 }
 
 void SamplingProfiler::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(&lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
   cv_.notify_all();
+  // landmark-lint: allow(lock-blocking) lifecycle_mu_ is held across the
+  // join deliberately: it serializes Start/Stop against each other, and the
+  // sampler thread only ever takes mu_, which was released above.
   if (sampler_.joinable()) sampler_.join();
   sampler_ = {};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   running_ = false;
 }
 
 bool SamplingProfiler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
@@ -315,8 +318,9 @@ void SamplingProfiler::SamplerLoop(uint64_t interval_ns) {
   ActivityRegistry::Global().Local().SetRole("profiler-sampler", 0);
   Counter& samples_total =
       MetricsRegistry::Global().GetCounter("telemetry/profiler_samples");
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<Mutex> lock(mu_);
   while (!stop_requested_) {
+    LANDMARK_BLOCKING_POINT_WAIT("SamplingProfiler::SamplerLoop/wait", &mu_);
     cv_.wait_for(lock, std::chrono::nanoseconds(interval_ns));
     if (stop_requested_) break;
     lock.unlock();
@@ -340,7 +344,7 @@ void SamplingProfiler::SampleOnce() {
     observed.emplace_back(std::move(key), 1);
   }
   if (observed.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [key, count] : observed) {
     counts_[key] += count;
     samples_.fetch_add(count, std::memory_order_relaxed);
@@ -348,7 +352,7 @@ void SamplingProfiler::SampleOnce() {
 }
 
 std::map<std::string, uint64_t> SamplingProfiler::FoldedCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counts_;
 }
 
@@ -381,7 +385,7 @@ StallWatchdog::~StallWatchdog() { Stop(); }
 
 void StallWatchdog::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -391,8 +395,9 @@ void StallWatchdog::Stop() {
 
 void StallWatchdog::MonitorLoop() {
   ActivityRegistry::Global().Local().SetRole("stall-watchdog", 0);
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<Mutex> lock(mu_);
   while (!stop_) {
+    LANDMARK_BLOCKING_POINT_WAIT("StallWatchdog::MonitorLoop/wait", &mu_);
     cv_.wait_for(lock, std::chrono::nanoseconds(options_.poll_interval_ns));
     if (stop_) break;
     lock.unlock();

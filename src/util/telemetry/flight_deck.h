@@ -38,11 +38,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace landmark {
@@ -159,7 +159,8 @@ class ActivityRegistry {
  private:
   ActivityRegistry() = default;
 
-  mutable std::mutex mu_;
+  // Leaf lock: registration and slot snapshots only.
+  mutable Mutex mu_{"ActivityRegistry::mu_"};
   mutable std::vector<std::weak_ptr<ThreadActivity>> slots_ GUARDED_BY(mu_);
 };
 
@@ -265,7 +266,10 @@ class BatchProgress {
   const double stall_threshold_;
   const uint64_t start_ns_;
 
-  mutable std::mutex mu_;
+  // Held while reading the attached graph's StageCounts(), hence ordered
+  // before the graph lock (GraphCounts() is the only cross-component
+  // nesting on the status path).
+  mutable Mutex mu_ ACQUIRED_BEFORE(TaskGraph::mu_){"BatchProgress::mu_"};
   TaskGraph* graph_ GUARDED_BY(mu_) = nullptr;
   std::function<std::vector<size_t>()> token_cache_probe_ GUARDED_BY(mu_);
   std::vector<StallReport> stalls_ GUARDED_BY(mu_);
@@ -289,7 +293,9 @@ class FlightDeck {
  private:
   FlightDeck() = default;
 
-  mutable std::mutex mu_;
+  // Leaf lock: registry bookkeeping only — batch internals are read after
+  // it is released.
+  mutable Mutex mu_{"FlightDeck::mu_"};
   uint64_t next_id_ GUARDED_BY(mu_) = 0;  // ids start at 1; 0 = "no batch"
   std::vector<std::shared_ptr<BatchProgress>> batches_ GUARDED_BY(mu_);
 };
@@ -370,13 +376,13 @@ class SamplingProfiler {
   /// Takes one sweep over every registered slot.
   void SampleOnce();
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"SamplingProfiler::mu_"};
   std::map<std::string, uint64_t> counts_ GUARDED_BY(mu_);
   bool running_ GUARDED_BY(mu_) = false;
   bool stop_requested_ GUARDED_BY(mu_) = false;
-  std::condition_variable cv_;
+  std::condition_variable_any cv_;
   // Serializes Start/Stop (held across the join, which mu_ must not be).
-  std::mutex lifecycle_mu_;
+  Mutex lifecycle_mu_ ACQUIRED_BEFORE(mu_){"SamplingProfiler::lifecycle_mu_"};
   std::thread sampler_ GUARDED_BY(lifecycle_mu_);  // landmark-lint: allow(raw-thread) the sampler must observe pool workers from outside; parking it on a worker would sample itself
   std::atomic<uint64_t> samples_{0};
 };
@@ -413,9 +419,9 @@ class StallWatchdog {
   void MonitorLoop();
 
   const StallWatchdogOptions options_;
-  std::mutex mu_;
+  Mutex mu_{"StallWatchdog::mu_"};
   bool stop_ GUARDED_BY(mu_) = false;
-  std::condition_variable cv_;
+  std::condition_variable_any cv_;
   std::thread monitor_;  // landmark-lint: allow(raw-thread) must keep scanning while every pool worker is (by definition of a stall) stuck
 };
 

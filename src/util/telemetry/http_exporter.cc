@@ -232,7 +232,7 @@ HttpExporter::~HttpExporter() { Stop(); }
 
 void HttpExporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -245,9 +245,13 @@ void HttpExporter::Stop() {
 
 void HttpExporter::Serve() {
   for (;;) {
+    // Registered blocking point covering the whole request cycle: accept()
+    // blocks between scrapes and read()/write() block on the peer, so the
+    // serving thread must never carry a lock into this loop iteration.
+    LANDMARK_BLOCKING_POINT("HttpExporter::Serve/socket-io");
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopped_) {
         if (client >= 0) ::close(client);
         return;
@@ -337,6 +341,7 @@ std::string HttpExporter::HandleRequest(const std::string& method,
 
 Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
                                     int* status_code) {
+  LANDMARK_BLOCKING_POINT("HttpGetLoopback/socket-io");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket(): ") + std::strerror(errno));

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/telemetry/metrics.h"
@@ -87,7 +87,9 @@ class HttpExporter {
   uint16_t port_ = 0;
   /// Start time of the server (trace clock), for /statusz uptime.
   uint64_t started_ns_ = 0;
-  std::mutex mu_;
+  // Leaf lock: guards only the stop flag — never held across socket I/O
+  // (the accept/read/write sites are registered blocking points).
+  Mutex mu_{"HttpExporter::mu_"};
   bool stopped_ GUARDED_BY(mu_) = false;
   std::thread server_;  // landmark-lint: allow(raw-thread) dedicated blocking accept loop, never computes explanations
 };

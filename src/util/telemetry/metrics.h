@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace landmark {
@@ -190,7 +190,8 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
+  // Leaf lock: interning only — handles are updated lock-free afterwards.
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_

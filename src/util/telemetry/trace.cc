@@ -28,7 +28,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
   if (buffer == nullptr) {
     buffer = std::make_shared<ThreadBuffer>(
         static_cast<uint32_t>(ThisThreadIndex()));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     buffers_.push_back(buffer);
   }
   return *buffer;
@@ -51,7 +51,7 @@ void TraceRecorder::Record(const char* name, uint64_t begin_ns,
   ThreadBuffer& buffer = LocalBuffer();
   // Uncontended for the owning thread except while an export walks the
   // rings; cheap relative to span granularity (stages, tasks, queries).
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   const size_t capacity = events_per_thread_.load(std::memory_order_relaxed);
   if (buffer.ring.size() != capacity) {
     buffer.ring.assign(capacity, TraceEvent{});
@@ -64,10 +64,10 @@ void TraceRecorder::Record(const char* name, uint64_t begin_ns,
 }
 
 size_t TraceRecorder::num_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     total += static_cast<size_t>(
         std::min<uint64_t>(buffer->recorded, buffer->ring.size()));
   }
@@ -75,10 +75,10 @@ size_t TraceRecorder::num_events() const {
 }
 
 uint64_t TraceRecorder::num_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     if (buffer->recorded > buffer->ring.size()) {
       dropped += buffer->recorded - buffer->ring.size();
     }
@@ -87,9 +87,9 @@ uint64_t TraceRecorder::num_dropped() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->ring.clear();
     buffer->head = 0;
     buffer->recorded = 0;
@@ -104,9 +104,9 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   std::vector<TidEvent> events;
   std::vector<uint32_t> tids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       if (buffer->recorded == 0) continue;
       tids.push_back(buffer->tid);
       const size_t size = static_cast<size_t>(

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -67,7 +68,9 @@ class TraceRecorder {
  private:
   struct ThreadBuffer {
     explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
-    mutable std::mutex mu;  // owner thread writes, exporters read
+    // Owner thread writes, exporters read (one buffer at a time, under the
+    // recorder lock — see the ACQUIRED_BEFORE edge on TraceRecorder::mu_).
+    mutable Mutex mu{"TraceRecorder::ThreadBuffer::mu"};
     const uint32_t tid;
     std::vector<TraceEvent> ring GUARDED_BY(mu);
     size_t head GUARDED_BY(mu) = 0;        // next write slot
@@ -78,7 +81,9 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> events_per_thread_{kDefaultEventsPerThread};
-  mutable std::mutex mu_;  // guards buffers_ (the list, not their contents)
+  // Guards buffers_ (the list, not their contents). Exporters hold it while
+  // visiting each per-thread ring, hence the documented order.
+  mutable Mutex mu_ ACQUIRED_BEFORE(ThreadBuffer::mu){"TraceRecorder::mu_"};
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
 };
 

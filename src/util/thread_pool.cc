@@ -49,10 +49,11 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
+  LANDMARK_BLOCKING_POINT("ThreadPool::~ThreadPool/join");
   for (std::thread& worker : workers_) worker.join();
   if (!workers_.empty()) {
     MetricsRegistry::Global().GetGauge("pool/workers").Add(
@@ -81,12 +82,16 @@ size_t ThreadPool::CallerWorkerIndex() const {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task, size_t local_index) {
+  // Registered blocking point: a worker-less pool runs the task inline
+  // right here, and even with workers a caller that submits under a lock
+  // would let that lock order against everything the task body takes.
+  LANDMARK_BLOCKING_POINT("ThreadPool::Submit");
   if (workers_.empty()) {
     RunTask(Task{std::move(task), 0}, nullptr);
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (local_index < local_.size()) {
       local_[local_index].push_back(Task{std::move(task), TraceNowNs()});
       deque_depth_[local_index]->Set(
@@ -111,8 +116,9 @@ void ThreadPool::SubmitLocal(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  LANDMARK_BLOCKING_POINT("ThreadPool::Wait");
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<Mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -126,7 +132,8 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     Task task;
     bool stolen = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<Mutex> lock(mu_);
+      LANDMARK_BLOCKING_POINT_WAIT("ThreadPool::WorkerLoop/wait", &mu_);
       work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
       if (queued_ == 0) break;  // stop_ set and nothing left to run
       // Own deque newest-first (the task most likely to be cache-warm),
@@ -159,7 +166,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     if (stolen) steals_total_->Add(1);
     RunTask(std::move(task), busy_seconds);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (--in_flight_ == 0) done_cv_.notify_all();
     }
   }
@@ -204,47 +211,62 @@ TaskGraph::~TaskGraph() = default;
 TaskGraph::NodeId TaskGraph::AddNode(std::function<void()> fn,
                                      const std::vector<NodeId>& deps,
                                      const char* label) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const NodeId id = nodes_.size();
-  Node node;
-  node.fn = std::move(fn);
-  node.label = label;
-  nodes_.push_back(std::move(node));
-  ++unfinished_;
-  // A dependency that already finished releases nothing later, so it never
-  // counts towards the pending total (this is what makes growing a running
-  // graph race-free: whichever side of the dep's completion AddNode lands
-  // on, the count is consistent because both run under the graph mutex).
-  for (NodeId dep : deps) {
-    if (nodes_[dep].done) continue;
-    nodes_[dep].successors.push_back(id);
-    ++nodes_[id].pending;
+  std::vector<NodeId> to_pool;
+  NodeId id = 0;
+  {
+    MutexLock lock(&mu_);
+    id = nodes_.size();
+    Node node;
+    node.fn = std::move(fn);
+    node.label = label;
+    nodes_.push_back(std::move(node));
+    ++unfinished_;
+    // A dependency that already finished releases nothing later, so it never
+    // counts towards the pending total (this is what makes growing a running
+    // graph race-free: whichever side of the dep's completion AddNode lands
+    // on, the count is consistent because both run under the graph mutex).
+    for (NodeId dep : deps) {
+      if (nodes_[dep].done) continue;
+      nodes_[dep].successors.push_back(id);
+      ++nodes_[id].pending;
+    }
+    if (nodes_[id].pending == 0 && running_) MarkReady(id, &to_pool);
   }
-  if (nodes_[id].pending == 0 && running_) EnqueueReady(id);
+  Dispatch(to_pool);
   return id;
 }
 
-void TaskGraph::EnqueueReady(NodeId id) {
+void TaskGraph::MarkReady(NodeId id, std::vector<NodeId>* to_pool) {
   if (pool_ == nullptr) {
     inline_ready_.push_back(id);
     return;
   }
-  pool_->SubmitLocal([this, id] { RunNode(id); });
+  to_pool->push_back(id);
+}
+
+void TaskGraph::Dispatch(const std::vector<NodeId>& to_pool) {
+  for (NodeId id : to_pool) {
+    pool_->SubmitLocal([this, id] { RunNode(id); });
+  }
 }
 
 void TaskGraph::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
-  running_ = true;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (nodes_[id].pending == 0) EnqueueReady(id);
+  std::vector<NodeId> to_pool;
+  {
+    MutexLock lock(&mu_);
+    running_ = true;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (nodes_[id].pending == 0) MarkReady(id, &to_pool);
+    }
   }
+  Dispatch(to_pool);
 }
 
 void TaskGraph::RunNode(NodeId id) {
   std::function<void()> fn;
   const char* label = nullptr;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     nodes_[id].started = true;
     label = nodes_[id].label;
     if (!cancelled_) fn = std::move(nodes_[id].fn);
@@ -254,27 +276,31 @@ void TaskGraph::RunNode(NodeId id) {
       ActivityScope activity(label != nullptr ? label : "graph/node");
       fn();
     } catch (...) {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();
       cancelled_ = true;
     }
   }
+  std::vector<NodeId> to_pool;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     nodes_[id].fn = nullptr;
     nodes_[id].done = true;
     for (NodeId succ : nodes_[id].successors) {
-      if (--nodes_[succ].pending == 0) EnqueueReady(succ);
+      if (--nodes_[succ].pending == 0) MarkReady(succ, &to_pool);
     }
+    // Successors are still counted in unfinished_, so notifying before they
+    // are dispatched cannot wake Wait() early.
     if (--unfinished_ == 0) drained_cv_.notify_all();
   }
+  Dispatch(to_pool);
 }
 
 void TaskGraph::DrainInline() {
   for (;;) {
     NodeId id = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (inline_ready_.empty()) return;
       id = inline_ready_.front();
       inline_ready_.pop_front();
@@ -284,15 +310,16 @@ void TaskGraph::DrainInline() {
 }
 
 void TaskGraph::Wait() {
+  LANDMARK_BLOCKING_POINT("TaskGraph::Wait");
   if (pool_ == nullptr) {
     DrainInline();
   } else {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<Mutex> lock(mu_);
     drained_cv_.wait(lock, [this] { return unfinished_ == 0; });
   }
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     error = first_error_;
     first_error_ = nullptr;
   }
@@ -300,22 +327,22 @@ void TaskGraph::Wait() {
 }
 
 void TaskGraph::Cancel() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cancelled_ = true;
 }
 
 bool TaskGraph::cancelled() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cancelled_;
 }
 
 size_t TaskGraph::num_nodes() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_.size();
 }
 
 std::vector<TaskGraphStageCounts> TaskGraph::StageCounts() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TaskGraphStageCounts> stages;
   for (const Node& node : nodes_) {
     const char* label = node.label != nullptr ? node.label : "(unlabeled)";

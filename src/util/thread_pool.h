@@ -7,10 +7,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/telemetry/flight_deck.h"
 #include "util/telemetry/metrics.h"
 #include "util/thread_annotations.h"
@@ -64,23 +64,26 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues one task on the shared queue. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues one task on the calling worker's own deque when called from
   /// one of this pool's workers (newest-first execution, stealable by idle
   /// workers); falls back to the shared queue from any other thread. This
   /// is how TaskGraph keeps a unit's chain on one core while it is hot.
-  void SubmitLocal(std::function<void()> task);
+  void SubmitLocal(std::function<void()> task) EXCLUDES(mu_);
 
-  /// Blocks until every submitted task has finished.
-  void Wait();
+  /// Blocks until every submitted task has finished. EXCLUDES(mu_) is
+  /// the static face of the registered blocking point: callers must not
+  /// hold any lock here, least of all the pool's own.
+  void Wait() EXCLUDES(mu_);
 
   /// Splits [0, n) into at most num_threads() contiguous chunks of
   /// near-equal size and runs `body(begin, end)` for each, blocking until
   /// all chunks are done. Chunk boundaries depend only on `n` and the pool
   /// size — never on scheduling — so writes to disjoint index ranges are
   /// race-free and deterministic. Runs inline when the pool has no workers.
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body)
+      EXCLUDES(mu_);
 
   /// Chunk count ParallelFor would use for a range of size n.
   size_t NumChunks(size_t n) const;
@@ -104,11 +107,14 @@ class ThreadPool {
   size_t CallerWorkerIndex() const;
 
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;
+  // Leaf lock: nothing else is ever acquired under it (Submit/Wait are
+  // registered blocking points, so holding any lock into them aborts under
+  // LANDMARK_DEADLOCK_DEBUG).
+  mutable Mutex mu_{"ThreadPool::mu_"};
   std::deque<Task> queue_ GUARDED_BY(mu_);          // shared FIFO
   std::vector<std::deque<Task>> local_ GUARDED_BY(mu_);  // one per worker
-  std::condition_variable work_cv_;   // signals workers: work available/stop
-  std::condition_variable done_cv_;   // signals Wait(): all tasks drained
+  std::condition_variable_any work_cv_;  // signals workers: work/stop
+  std::condition_variable_any done_cv_;  // signals Wait(): all tasks drained
   // Tasks sitting in the shared queue or any worker deque.
   size_t queued_ GUARDED_BY(mu_) = 0;
   // Queued + currently running tasks.
@@ -174,12 +180,12 @@ class TaskGraph {
 
   /// Starts executing: enqueues every currently-ready node. Call exactly
   /// once; AddNode stays legal afterwards (from inside running nodes).
-  void Run();
+  void Run() EXCLUDES(mu_);
 
   /// Blocks until the graph has drained, then rethrows the first exception
   /// thrown by a node body (if any). Safe to call exactly once, after
   /// Run(), from a non-worker thread.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Skips every node that has not started yet (bodies never run; counts
   /// still release successors so Wait() terminates).
@@ -209,22 +215,27 @@ class TaskGraph {
   /// Executes node `id` (or skips it when cancelled), then releases its
   /// successors, pushing newly-ready ones onto the current worker's deque.
   void RunNode(NodeId id);
-  /// Marks `id` ready: enqueues it on the pool, or appends it to the
-  /// inline ready queue when the pool has no workers.
-  void EnqueueReady(NodeId id) REQUIRES(mu_);
+  /// Marks `id` ready under mu_: appends it to the inline ready queue when
+  /// the pool has no workers, otherwise to *to_pool for the caller to hand
+  /// to Dispatch *after* releasing mu_ — ThreadPool::SubmitLocal is a
+  /// registered blocking point (it takes the pool lock and may run a task
+  /// inline), so it must never be entered with the graph lock held.
+  void MarkReady(NodeId id, std::vector<NodeId>* to_pool) REQUIRES(mu_);
+  /// Submits every node collected by MarkReady. Call without mu_ held.
+  void Dispatch(const std::vector<NodeId>& to_pool);
   /// Drains the inline ready queue on the calling thread (worker-less
   /// pools).
   void DrainInline();
 
   ThreadPool* pool_;  // may be null (inline execution)
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"TaskGraph::mu_"};
   std::vector<Node> nodes_ GUARDED_BY(mu_);
   std::deque<NodeId> inline_ready_ GUARDED_BY(mu_);
   size_t unfinished_ GUARDED_BY(mu_) = 0;
   bool running_ GUARDED_BY(mu_) = false;
   bool cancelled_ GUARDED_BY(mu_) = false;
   std::exception_ptr first_error_ GUARDED_BY(mu_);
-  std::condition_variable drained_cv_;  // signals Wait(): unfinished_ == 0
+  std::condition_variable_any drained_cv_;  // signals Wait(): unfinished_==0
 };
 
 }  // namespace landmark

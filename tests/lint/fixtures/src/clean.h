@@ -1,12 +1,12 @@
 #ifndef LANDMARK_CLEAN_H_
 #define LANDMARK_CLEAN_H_
-// Fixture: fully conforming header — proper guard, annotated mutex.
-#include <mutex>
+// Fixture: fully conforming header — proper guard, annotated named Mutex
+// whose constructor literal matches its Class::member identity.
 #include <vector>
 
 class GuardedState {
  private:
-  std::mutex mu_;
+  mutable Mutex mu_{"GuardedState::mu_"};
   std::vector<int> values_ GUARDED_BY(mu_);
 };
 

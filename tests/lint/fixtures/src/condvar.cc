@@ -3,11 +3,10 @@
 // thread-pool / telemetry allowances. The mutex is annotated so only the
 // condvar diagnostic fires.
 #include <condition_variable>
-#include <mutex>
 
 class AdHocWaiter {
  private:
+  Mutex mu_{"AdHocWaiter::mu_"};
   std::condition_variable cv_;
-  std::mutex mu_;
   bool ready_ GUARDED_BY(mu_) = false;
 };

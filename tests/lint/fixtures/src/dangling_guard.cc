@@ -1,0 +1,10 @@
+// Fixture: mutex-guard (dangling) — GUARDED_BY(old_mu_) on line 8 names a
+// mutex that no longer exists in this file, so the annotation guards
+// nothing (typically a member renamed out from under its annotations).
+
+class RenamedHolder {
+ private:
+  Mutex mu_{"RenamedHolder::mu_"};
+  int stale_ GUARDED_BY(old_mu_) = 0;
+  int fresh_ GUARDED_BY(mu_) = 0;
+};

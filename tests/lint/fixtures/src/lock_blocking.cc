@@ -1,0 +1,16 @@
+// Fixture: lock-blocking — mu_ is still held when Drain() submits to the
+// thread pool (line 9); a pool task needing mu_ would deadlock against a
+// full queue, which is why Submit is a registered blocking point.
+
+class BlockingHolder {
+ public:
+  void Drain(ThreadPool* pool) {
+    MutexLock lock(&mu_);
+    pool->Submit([] {});
+    ++pending_;
+  }
+
+ private:
+  Mutex mu_{"BlockingHolder::mu_"};
+  int pending_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,18 @@
+// Fixture: lock-order (annotation contradiction) — outer_ declares
+// ACQUIRED_BEFORE(inner_), but Touch() acquires outer_ while holding
+// inner_ (line 9).
+
+class OrderedPair {
+ public:
+  void Touch() {
+    MutexLock hold_inner(&inner_);
+    MutexLock hold_outer(&outer_);
+    ++outer_count_;
+  }
+
+ private:
+  Mutex outer_ ACQUIRED_BEFORE(inner_){"OrderedPair::outer_"};
+  Mutex inner_{"OrderedPair::inner_"};
+  int outer_count_ GUARDED_BY(outer_) = 0;
+  int inner_count_ GUARDED_BY(inner_) = 0;
+};

@@ -1,0 +1,24 @@
+// Fixture: lock-order (cycle) — First() nests b_ under a_, Second() nests
+// a_ under b_. Two threads interleaving the two methods deadlock; the
+// combined graph has the 2-cycle a_ -> b_ -> a_, reported at the later
+// witness site (line 15).
+
+class AbbaPair {
+ public:
+  void First() {
+    MutexLock lock_a(&a_);
+    MutexLock lock_b(&b_);
+    ++count_b_;
+  }
+  void Second() {
+    MutexLock lock_b(&b_);
+    MutexLock lock_a(&a_);
+    ++count_a_;
+  }
+
+ private:
+  Mutex a_{"AbbaPair::a_"};
+  Mutex b_{"AbbaPair::b_"};
+  int count_a_ GUARDED_BY(a_) = 0;
+  int count_b_ GUARDED_BY(b_) = 0;
+};

@@ -1,11 +1,11 @@
 #ifndef LANDMARK_MUTEX_GUARD_H_
 #define LANDMARK_MUTEX_GUARD_H_
-// Fixture: mutex-guard — the mutex member on line 8 guards nothing.
-#include <mutex>
+// Fixture: mutex-guard — the named Mutex member on line 8 guards
+// nothing.
 
 class UnguardedState {
  private:
-  std::mutex mu_;
+  Mutex mu_{"UnguardedState::mu_"};
   int counter_ = 0;
 };
 

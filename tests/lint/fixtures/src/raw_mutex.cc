@@ -1,0 +1,11 @@
+// Fixture: raw-mutex — two violations of the lock-discipline rule: a raw
+// std::mutex member (line 7) and a named Mutex whose constructor literal
+// does not match its Class::member identity (line 9).
+
+class RawMutexHolder {
+ private:
+  std::mutex raw_;
+  int count_ GUARDED_BY(raw_) = 0;
+  Mutex wrong_{"Renamed::wrong_"};
+  int total_ GUARDED_BY(wrong_) = 0;
+};

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -136,6 +138,77 @@ TEST(LandmarkLint, FormatIsFileLineRuleMessage) {
   const Diagnostic d{"src/x.cc", 7, "banned-api", "message text"};
   EXPECT_EQ(landmark_lint::FormatDiagnostic(d),
             "src/x.cc:7: [banned-api] message text");
+}
+
+TEST(LandmarkLint, RawMutexFiresForRawAndMisnamedMutexes) {
+  const std::vector<Diagnostic> diags = Lint({"src/raw_mutex.cc"}, false);
+  ASSERT_EQ(diags.size(), 2u);
+  // A raw std::mutex member outside src/util/mutex.h...
+  EXPECT_TRUE(HasDiagnostic(diags, "src/raw_mutex.cc", 7, "raw-mutex"));
+  // ...and a named Mutex whose literal does not match Class::member.
+  EXPECT_TRUE(HasDiagnostic(diags, "src/raw_mutex.cc", 9, "raw-mutex"));
+}
+
+TEST(LandmarkLint, DanglingGuardAnnotationFires) {
+  const std::vector<Diagnostic> diags =
+      Lint({"src/dangling_guard.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/dangling_guard.cc", 8, "mutex-guard"));
+}
+
+TEST(LandmarkLint, AbbaNestingIsRejectedAsLockOrderCycle) {
+  const std::vector<Diagnostic> diags = Lint({"src/lock_cycle.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  // The cycle is reported once, at the lexically latest witness edge
+  // (Second()'s inner acquisition of a_ while b_ is held).
+  EXPECT_TRUE(HasDiagnostic(diags, "src/lock_cycle.cc", 15, "lock-order"));
+  EXPECT_NE(diags[0].message.find("AbbaPair::a_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("AbbaPair::b_"), std::string::npos);
+}
+
+TEST(LandmarkLint, LockHeldAcrossBlockingCallIsRejected) {
+  const std::vector<Diagnostic> diags =
+      Lint({"src/lock_blocking.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/lock_blocking.cc", 9, "lock-blocking"));
+  EXPECT_NE(diags[0].message.find("BlockingHolder::mu_"), std::string::npos);
+}
+
+TEST(LandmarkLint, NestingContradictingAcquiredBeforeIsRejected) {
+  const std::vector<Diagnostic> diags =
+      Lint({"src/lock_contradiction.cc"}, false);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(
+      HasDiagnostic(diags, "src/lock_contradiction.cc", 9, "lock-order"));
+  // The finding names the annotation it contradicts, including its site.
+  EXPECT_NE(diags[0].message.find("ACQUIRED_BEFORE"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("lock_contradiction.cc:14"),
+            std::string::npos);
+}
+
+TEST(LandmarkLint, LockGraphDotListsNodesAndWitnessedEdges) {
+  LintConfig config;
+  config.root = FixtureRoot();
+  config.sources.push_back(config.root / "src/lock_cycle.cc");
+  config.doc_path = "";
+  config.lock_graph_out =
+      std::filesystem::path(testing::TempDir()) / "lock_graph_test.dot";
+  std::vector<Diagnostic> diagnostics;
+  std::string error;
+  ASSERT_TRUE(RunLint(config, &diagnostics, &error)) << error;
+  std::ifstream in(config.lock_graph_out);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dot = buffer.str();
+  EXPECT_NE(dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("\"AbbaPair::a_\" -> \"AbbaPair::b_\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"AbbaPair::b_\" -> \"AbbaPair::a_\""),
+            std::string::npos);
+  std::filesystem::remove(config.lock_graph_out);
 }
 
 TEST(LandmarkLint, MissingExplicitFileIsAnError) {

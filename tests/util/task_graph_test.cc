@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,16 +19,16 @@ namespace {
 class ExecutionLog {
  public:
   void Append(const std::string& label) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     entries_.push_back(label);
   }
   std::vector<std::string> entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return entries_;
   }
   /// Position of `label` in the log; fails the test when absent.
   size_t IndexOf(const std::string& label) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (size_t i = 0; i < entries_.size(); ++i) {
       if (entries_[i] == label) return i;
     }
@@ -38,7 +37,7 @@ class ExecutionLog {
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"ExecutionLog::mu_"};
   std::vector<std::string> entries_;
 };
 

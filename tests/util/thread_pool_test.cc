@@ -2,9 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "util/mutex.h"
+
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -37,10 +38,10 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
 
 TEST(ThreadPoolTest, ChunksAreContiguousAndOrderedByFirstIndex) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu{"chunk-log"};
   std::vector<std::pair<size_t, size_t>> chunks;
   pool.ParallelFor(10, [&](size_t begin, size_t end) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     chunks.emplace_back(begin, end);
   });
   ASSERT_EQ(chunks.size(), pool.NumChunks(10));
@@ -60,10 +61,10 @@ TEST(ThreadPoolTest, PartitionDependsOnlyOnRangeSize) {
   ThreadPool a(3), b(3);
   for (size_t n : {1u, 2u, 3u, 7u, 11u, 64u}) {
     auto boundaries = [n](ThreadPool& pool) {
-      std::mutex mu;
+      Mutex mu{"boundary-log"};
       std::vector<std::pair<size_t, size_t>> chunks;
       pool.ParallelFor(n, [&](size_t begin, size_t end) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         chunks.emplace_back(begin, end);
       });
       std::sort(chunks.begin(), chunks.end());

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "landmark_lint/lock_graph.h"
+#include "landmark_lint/source_text.h"
 
 namespace landmark_lint {
 
@@ -23,155 +27,6 @@ constexpr char kRuleSleepPoll[] = "sleep-poll";
 constexpr char kRuleHeaderGuard[] = "header-guard";
 constexpr char kRuleUsingNamespace[] = "using-namespace";
 constexpr char kRuleSuppression[] = "suppression";
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool StartsWith(const std::string& text, const std::string& prefix) {
-  return text.size() >= prefix.size() &&
-         text.compare(0, prefix.size(), prefix) == 0;
-}
-
-std::string Trim(const std::string& text) {
-  size_t begin = text.find_first_not_of(" \t\r\n");
-  if (begin == std::string::npos) return "";
-  size_t end = text.find_last_not_of(" \t\r\n");
-  return text.substr(begin, end - begin + 1);
-}
-
-/// One source file split three ways: `code` has comments AND string/char
-/// literal contents removed (the quotes stay, so call shapes survive),
-/// `text` has only comments removed (metric-name needs the literals), and
-/// `comments` holds each line's comment text (suppression parsing).
-struct FileText {
-  std::string rel_path;  // forward-slash path relative to the root
-  std::vector<std::string> code;
-  std::vector<std::string> text;
-  std::vector<std::string> comments;
-};
-
-/// Line-structure-preserving scanner: one pass over the bytes with a small
-/// state machine for //, /* */, "...", '.', and R"delim(...)delim".
-FileText SplitFile(const std::string& rel_path, const std::string& content) {
-  FileText out;
-  out.rel_path = rel_path;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
-  std::string code_line, text_line, comment_line;
-  auto flush = [&]() {
-    out.code.push_back(code_line);
-    out.text.push_back(text_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    text_line.clear();
-    comment_line.clear();
-  };
-  const size_t n = content.size();
-  for (size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — only when R directly precedes the quote
-          // and is not part of a longer identifier (LR"..." etc. are not
-          // used in this codebase).
-          const char prev = code_line.empty() ? '\0' : code_line.back();
-          const char prev2 =
-              code_line.size() < 2 ? '\0' : code_line[code_line.size() - 2];
-          if (prev == 'R' && !IsIdentChar(prev2)) {
-            size_t paren = content.find('(', i + 1);
-            if (paren != std::string::npos) {
-              raw_delim = ")" + content.substr(i + 1, paren - i - 1) + "\"";
-              state = State::kRawString;
-              code_line += '"';
-              text_line += content.substr(i, paren - i + 1);
-              i = paren;
-              break;
-            }
-          }
-          state = State::kString;
-          code_line += '"';
-          text_line += '"';
-        } else if (c == '\'') {
-          // Skip digit separators (1'000) and the rare char-literal-after-
-          // identifier, which never occurs in practice.
-          const char prev = code_line.empty() ? '\0' : code_line.back();
-          if (IsIdentChar(prev)) {
-            code_line += c;
-            text_line += c;
-          } else {
-            state = State::kChar;
-            code_line += '\'';
-            text_line += '\'';
-          }
-        } else {
-          code_line += c;
-          text_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        text_line += c;
-        if (c == '\\' && next != '\0' && next != '\n') {
-          text_line += next;
-          ++i;
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        text_line += c;
-        if (c == '\\' && next != '\0' && next != '\n') {
-          text_line += next;
-          ++i;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString: {
-        text_line += c;
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          // Append the rest of the terminator, minding embedded newlines
-          // (a raw-string delimiter cannot contain one).
-          text_line += raw_delim.substr(1);
-          code_line += '"';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        }
-        break;
-      }
-    }
-  }
-  flush();  // final (possibly unterminated) line
-  return out;
-}
 
 /// One parsed `allow(...)` comment and the code line it covers.
 struct Suppression {
@@ -269,28 +124,6 @@ class FileDiagnostics {
   std::vector<Diagnostic>* out_;
 };
 
-/// Finds identifier `name` at an identifier boundary, starting at `from`.
-size_t FindToken(const std::string& line, const std::string& name,
-                 size_t from) {
-  size_t pos = line.find(name, from);
-  while (pos != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-    const size_t end = pos + name.size();
-    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(name, pos + 1);
-  }
-  return std::string::npos;
-}
-
-size_t SkipSpace(const std::string& line, size_t pos) {
-  while (pos < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
-    ++pos;
-  }
-  return pos;
-}
-
 // ---------------------------------------------------------------------------
 // banned-api + raw-thread (determinism contract)
 
@@ -324,10 +157,6 @@ const std::vector<BannedToken>& BannedTokens() {
     return t;
   }();
   return *tokens;
-}
-
-bool PathIsUnder(const std::string& rel, const std::string& dir) {
-  return StartsWith(rel, dir);
 }
 
 bool BannedApiExempt(const std::string& rel) {
@@ -439,7 +268,7 @@ void CheckSleepPoll(const FileText& file, FileDiagnostics* diag) {
 }
 
 // ---------------------------------------------------------------------------
-// mutex-guard (concurrency contract)
+// mutex-guard + raw-mutex (concurrency contract)
 
 struct SyncMember {
   int line = 0;
@@ -447,12 +276,23 @@ struct SyncMember {
   bool is_condition_variable = false;
 };
 
-/// Owned mutex / condition_variable declarations: `std::mutex name;` shapes
-/// (with optional mutable/static and optional initializer), not references,
-/// parameters, or lock_guard template arguments.
+/// Annotation macros that may sit between a member name and its
+/// initializer, e.g. `Mutex mu_ ACQUIRED_BEFORE(other){"..."}` — the scan
+/// skips their balanced argument list before judging the declaration tail.
+bool IsMemberAnnotation(const std::string& word) {
+  return word == "GUARDED_BY" || word == "PT_GUARDED_BY" ||
+         word == "ACQUIRED_BEFORE" || word == "ACQUIRED_AFTER" ||
+         word == "REQUIRES" || word == "EXCLUDES";
+}
+
+/// Owned mutex / condition_variable declarations: `std::mutex name;` and
+/// `Mutex name{"..."};` shapes (with optional mutable/static, trailing
+/// annotations, and optional initializer), not references, parameters, or
+/// lock_guard template arguments.
 std::vector<SyncMember> FindSyncMembers(const FileText& file) {
   std::vector<SyncMember> out;
   const std::vector<std::pair<std::string, bool>> kinds = {
+      {"Mutex", false},
       {std::string("std::") + "mutex", false},
       {std::string("std::") + "shared_mutex", false},
       {std::string("std::") + "condition_variable", true},
@@ -465,8 +305,9 @@ std::vector<SyncMember> FindSyncMembers(const FileText& file) {
       if (pos == std::string::npos) continue;
       size_t after = pos + kind.size();
       if (after < line.size() && (line[after] == '>' || line[after] == '&' ||
-                                  line[after] == '*' || line[after] == ':')) {
-        continue;  // template argument, reference, pointer, nested name
+                                  line[after] == '*' || line[after] == ':' ||
+                                  line[after] == '(')) {
+        continue;  // template argument, reference, pointer, name, ctor
       }
       size_t name_begin = SkipSpace(line, after);
       if (name_begin >= line.size() || line[name_begin] == '&' ||
@@ -479,6 +320,26 @@ std::vector<SyncMember> FindSyncMembers(const FileText& file) {
       }
       if (name_end == name_begin) continue;
       size_t tail = SkipSpace(line, name_end);
+      // Skip trailing annotation macros and their balanced arguments.
+      while (tail < line.size() && IsIdentChar(line[tail])) {
+        size_t word_end = tail;
+        while (word_end < line.size() && IsIdentChar(line[word_end])) {
+          ++word_end;
+        }
+        const std::string word = line.substr(tail, word_end - tail);
+        size_t open = SkipSpace(line, word_end);
+        if (!IsMemberAnnotation(word) || open >= line.size() ||
+            line[open] != '(') {
+          break;
+        }
+        int depth = 0;
+        size_t close = open;
+        for (; close < line.size(); ++close) {
+          if (line[close] == '(') ++depth;
+          if (line[close] == ')' && --depth == 0) break;
+        }
+        tail = SkipSpace(line, close < line.size() ? close + 1 : close);
+      }
       if (tail < line.size() &&
           (line[tail] == ';' || line[tail] == '=' || line[tail] == '{')) {
         out.push_back(SyncMember{static_cast<int>(i) + 1,
@@ -493,6 +354,48 @@ std::vector<SyncMember> FindSyncMembers(const FileText& file) {
 void CheckMutexGuard(const FileText& file, FileDiagnostics* diag) {
   if (!PathIsUnder(file.rel_path, "src/")) return;
   const std::vector<SyncMember> members = FindSyncMembers(file);
+  const std::vector<std::string> guard_macros = {"GUARDED_BY",
+                                                 "PT_GUARDED_BY"};
+  // Dangling guards: a GUARDED_BY(x) whose x names no mutex declared in
+  // this file protects nothing — usually a member renamed out from under
+  // its annotations.
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const std::string trimmed = Trim(line);
+    // Preprocessor lines: the macro definitions themselves live in
+    // util/thread_annotations.h.
+    if (!trimmed.empty() && trimmed[0] == '#') continue;
+    for (const std::string& macro : guard_macros) {
+      size_t pos = FindToken(line, macro, 0);
+      while (pos != std::string::npos) {
+        size_t open = SkipSpace(line, pos + macro.size());
+        if (open < line.size() && line[open] == '(') {
+          size_t close = line.find(')', open);
+          const std::string target = Trim(line.substr(
+              open + 1,
+              (close == std::string::npos ? line.size() : close) - open - 1));
+          // Qualified targets (Class::mu) reference another scope; the
+          // lock-graph pass resolves those. Plain names must be local.
+          if (!target.empty() &&
+              target.find("::") == std::string::npos &&
+              target.find('.') == std::string::npos &&
+              target.find("->") == std::string::npos) {
+            bool declared = false;
+            for (const SyncMember& m : members) {
+              declared |= !m.is_condition_variable && m.name == target;
+            }
+            if (!declared) {
+              diag->Emit(kRuleMutexGuard, static_cast<int>(i) + 1,
+                         macro + "(" + target +
+                             ") names no mutex declared in this file; the "
+                             "annotation guards nothing");
+            }
+          }
+        }
+        pos = FindToken(line, macro, pos + macro.size());
+      }
+    }
+  }
   if (members.empty()) return;
   bool has_mutex = false;
   for (const SyncMember& m : members) has_mutex |= !m.is_condition_variable;
@@ -501,7 +404,7 @@ void CheckMutexGuard(const FileText& file, FileDiagnostics* diag) {
       if (!has_mutex) {
         diag->Emit(kRuleMutexGuard, member.line,
                    "condition_variable '" + member.name +
-                       "' has no owned std::mutex in this file to wait on");
+                       "' has no owned mutex in this file to wait on");
       }
       continue;
     }
@@ -520,6 +423,31 @@ void CheckMutexGuard(const FileText& file, FileDiagnostics* diag) {
                  "mutex '" + member.name + "' is referenced by no " + guarded +
                      " annotation; annotate the state it protects "
                      "(util/thread_annotations.h)");
+    }
+  }
+}
+
+/// raw-mutex: the tree's lock primitive is landmark::Mutex (util/mutex.h) —
+/// a named std::mutex that feeds the runtime deadlock detector and gives
+/// the lock-order graph its node identity. A raw std::mutex is invisible
+/// to both, so it is banned everywhere except inside the wrapper itself.
+void CheckRawMutex(const FileText& file, FileDiagnostics* diag) {
+  if (file.rel_path == "src/util/mutex.h") return;
+  const std::vector<std::string> needles = {
+      std::string("std::") + "mutex",
+      std::string("std::") + "shared_mutex",
+      std::string("std::") + "recursive_mutex",
+      std::string("std::") + "timed_mutex",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    for (const std::string& needle : needles) {
+      if (FindToken(file.code[i], needle, 0) == std::string::npos) continue;
+      diag->Emit(kRuleRawMutex, static_cast<int>(i) + 1,
+                 needle +
+                     " outside src/util/mutex.h; use landmark::Mutex so the "
+                     "lock participates in the lock-order graph and the "
+                     "LANDMARK_DEADLOCK_DEBUG runtime detector");
+      break;
     }
   }
 }
@@ -757,7 +685,8 @@ const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string>* rules = new std::vector<std::string>{
       kRuleBannedApi,  kRuleRawThread,      kRuleMutexGuard,
       kRuleMetricName, kRuleSleepPoll,      kRuleHeaderGuard,
-      kRuleUsingNamespace, kRuleSuppression};
+      kRuleUsingNamespace, kRuleSuppression,
+      kRuleRawMutex,   kRuleLockOrder,      kRuleLockBlocking};
   return *rules;
 }
 
@@ -780,9 +709,11 @@ bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
   }
 
   std::vector<MetricUse> metric_uses;
-  // Sinks stay alive until after the global metric-name pass so its
-  // findings go through each file's suppression table too.
+  // Sinks stay alive until after the global metric-name and lock-graph
+  // passes so their findings go through each file's suppression table too.
   std::vector<std::unique_ptr<FileDiagnostics>> sinks;
+  std::map<std::string, size_t> sink_by_path;
+  LockAnalyzer lock_analyzer;
   for (const fs::path& path : files) {
     std::string content;
     if (!ReadFile(path, &content)) {
@@ -792,15 +723,22 @@ bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
     const FileText file = SplitFile(RelPath(path, config.root), content);
     sinks.push_back(std::make_unique<FileDiagnostics>(
         file.rel_path, ParseSuppressions(file), diagnostics));
+    sink_by_path[file.rel_path] = sinks.size() - 1;
     FileDiagnostics& diag = *sinks.back();
     const bool is_header = path.extension() == ".h";
     CheckBannedApi(file, &diag);
     CheckRawThread(file, &diag);
     CheckSleepPoll(file, &diag);
     CheckMutexGuard(file, &diag);
+    CheckRawMutex(file, &diag);
     if (is_header) {
       CheckHeaderGuard(file, &diag);
       CheckUsingNamespace(file, &diag);
+    }
+    // The lock-order graph covers src/ — tests may hold ad-hoc local locks
+    // (and the fixture root maps its files under src/ deliberately).
+    if (PathIsUnder(file.rel_path, "src/")) {
+      lock_analyzer.AddFile(file);
     }
     // tests/ may use scratch metric names; the contract binds src, tools,
     // bench, and examples.
@@ -812,6 +750,31 @@ bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
         metric_uses.push_back(std::move(use));
       }
     }
+  }
+
+  std::vector<LockFinding> lock_findings;
+  lock_analyzer.Finish(&lock_findings);
+  for (LockFinding& finding : lock_findings) {
+    auto it = sink_by_path.find(finding.file);
+    if (it != sink_by_path.end()) {
+      sinks[it->second]->Emit(finding.rule, finding.line,
+                              std::move(finding.message));
+    } else {
+      diagnostics->push_back(Diagnostic{finding.file, finding.line,
+                                        finding.rule,
+                                        std::move(finding.message)});
+    }
+  }
+  if (!config.lock_graph_out.empty()) {
+    const fs::path dot_path = config.lock_graph_out.is_absolute()
+                                  ? config.lock_graph_out
+                                  : fs::current_path() / config.lock_graph_out;
+    std::ofstream dot(dot_path, std::ios::binary);
+    if (!dot) {
+      *error = "cannot write lock graph to " + dot_path.string();
+      return false;
+    }
+    dot << lock_analyzer.ToDot();
   }
 
   if (!config.doc_path.empty()) {

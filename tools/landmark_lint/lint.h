@@ -28,6 +28,24 @@
 ///                    PT_GUARDED_BY annotation (util/thread_annotations.h);
 ///                    a std::condition_variable must live in a file that
 ///                    declares an owned mutex.
+///   raw-mutex        lock discipline: raw std::mutex / std::shared_mutex is
+///                    banned outside src/util/mutex.h — locks are
+///                    landmark::Mutex, whose mandatory `Class::member` name
+///                    literal is the rank shared by the static lock-order
+///                    graph and the LANDMARK_DEADLOCK_DEBUG runtime
+///                    detector. A wrapper whose literal does not match its
+///                    computed identity is reported under the same rule.
+///   lock-order       lock discipline: the global lock-order graph (observed
+///                    guard nesting across src/ plus ACQUIRED_BEFORE /
+///                    ACQUIRED_AFTER annotations) must be acyclic, observed
+///                    nesting must not contradict an annotation, one rank
+///                    must not nest inside itself, and a call must not enter
+///                    a function whose declaration EXCLUDES a held mutex.
+///   lock-blocking    lock discipline: no guard may stay active across a
+///                    blocking call — condition-variable waits (other than
+///                    on the wait's own lock), ThreadPool Submit /
+///                    SubmitLocal / ParallelFor / Wait, thread join, sleep,
+///                    raw socket I/O, or a LANDMARK_BLOCKING_POINT marker.
 ///   metric-name      telemetry contract: metric-name string literals passed
 ///                    to the registry Get* calls must appear in the "Metric
 ///                    name contract" table of docs/architecture.md, and every
@@ -75,6 +93,10 @@ struct LintConfig {
   /// Markdown file holding the "Metric name contract" table. Empty disables
   /// the metric-name rule. Relative paths resolve against `root`.
   std::filesystem::path doc_path = "docs/architecture.md";
+  /// When set, the combined lock-order graph (observed nesting + annotated
+  /// edges) is written here as Graphviz DOT after the scan. Relative paths
+  /// resolve against the current directory, like any output file.
+  std::filesystem::path lock_graph_out;
 };
 
 /// Runs every rule over the configured sources. Diagnostics come back

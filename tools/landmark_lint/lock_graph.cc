@@ -1,0 +1,998 @@
+#include "landmark_lint/lock_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace landmark_lint {
+
+const char kRuleLockOrder[] = "lock-order";
+const char kRuleLockBlocking[] = "lock-blocking";
+const char kRuleRawMutex[] = "raw-mutex";
+
+namespace {
+
+/// Annotation macros that may trail a member declaration (see
+/// util/thread_annotations.h). Everything else after the member name means
+/// the line is not a declaration.
+bool IsDeclAnnotation(const std::string& word) {
+  return word == "GUARDED_BY" || word == "PT_GUARDED_BY" ||
+         word == "ACQUIRED_BEFORE" || word == "ACQUIRED_AFTER" ||
+         word == "REQUIRES" || word == "EXCLUDES";
+}
+
+/// Balanced-parenthesis scan: `open` indexes the '('; returns the index
+/// one past the matching ')' (or line.size() when unterminated).
+size_t SkipParens(const std::string& line, size_t open, std::string* inner) {
+  int depth = 0;
+  for (size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '(') {
+      ++depth;
+    } else if (line[i] == ')') {
+      if (--depth == 0) {
+        if (inner != nullptr) *inner = line.substr(open + 1, i - open - 1);
+        return i + 1;
+      }
+    }
+  }
+  if (inner != nullptr) *inner = line.substr(open + 1);
+  return line.size();
+}
+
+/// `<...>` template-argument scan starting at the '<'.
+size_t SkipAngles(const std::string& line, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '<') ++depth;
+    if (line[i] == '>' && --depth == 0) return i + 1;
+  }
+  return line.size();
+}
+
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!Trim(current).empty()) out.push_back(Trim(current));
+  return out;
+}
+
+/// The member name a lock reference ultimately designates: strips `&`,
+/// object prefixes (`shard.mu` -> `mu`, `buffer->mu` -> `mu`) but keeps
+/// `::` qualifiers (`TaskGraph::mu_` stays qualified).
+std::string LockRefName(const std::string& raw) {
+  std::string ref = Trim(raw);
+  while (!ref.empty() && (ref.front() == '&' || ref.front() == '*')) {
+    ref.erase(ref.begin());
+  }
+  ref = Trim(ref);
+  size_t dot = ref.find_last_of('.');
+  size_t arrow = ref.rfind("->");
+  size_t cut = std::string::npos;
+  if (dot != std::string::npos) cut = dot + 1;
+  if (arrow != std::string::npos && (cut == std::string::npos || arrow + 2 > cut)) {
+    cut = arrow + 2;
+  }
+  if (cut != std::string::npos) ref = ref.substr(cut);
+  // `this->mu_` handled by the arrow cut; call shapes like `Lock()` are
+  // not lock references.
+  if (!ref.empty() && ref.back() == ')') return "";
+  return Trim(ref);
+}
+
+std::string IdentifierAt(const std::string& line, size_t pos) {
+  size_t end = pos;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+/// Walks left from `end` (exclusive) over one identifier; returns it ("" if
+/// none).
+std::string IdentifierEndingAt(const std::string& line, size_t end) {
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+bool IsDirective(const std::string& code_line) {
+  const std::string trimmed = Trim(code_line);
+  return !trimmed.empty() && trimmed[0] == '#';
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += "\"" + n + "\"";
+  }
+  return out;
+}
+
+/// Tracks class/struct nesting by brace counting. Namespaces and plain
+/// blocks push anonymous frames so depth stays honest; only class frames
+/// contribute to the identity path.
+class ScopeTracker {
+ public:
+  struct Frame {
+    char kind = 'b';        // 'c' class, 'n' namespace, 'b' body/other
+    std::string name;       // class name for 'c'
+    std::string fn_class;   // for 'b': class qualifier of the function
+    std::string fn_name;    // for 'b': function name, when known
+  };
+
+  std::vector<Frame>& frames() { return frames_; }
+
+  std::string ClassPath() const {
+    std::string path;
+    for (const Frame& f : frames_) {
+      if (f.kind != 'c' || f.name.empty()) continue;
+      if (!path.empty()) path += "::";
+      path += f.name;
+    }
+    return path;
+  }
+
+  /// Innermost function-body context: the class qualifier of the enclosing
+  /// function definition, falling back to the lexical class path.
+  std::string ContextClass() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == 'b' && !it->fn_class.empty()) return it->fn_class;
+    }
+    return ClassPath();
+  }
+
+  bool InFunctionBody() const {
+    for (const Frame& f : frames_) {
+      if (f.kind == 'b') return true;
+    }
+    return false;
+  }
+
+  /// Records a `class X` / `struct X` head seen at `pos`; the name applies
+  /// to the next '{'.
+  void PendClass(std::string name) { pending_class_ = std::move(name); }
+  void PendNamespace() { pending_namespace_ = true; }
+  void PendFunction(std::string cls, std::string fn) {
+    pending_fn_class_ = std::move(cls);
+    pending_fn_name_ = std::move(fn);
+  }
+  void ClearPending() {
+    pending_class_.clear();
+    pending_namespace_ = false;
+    pending_fn_class_.clear();
+    pending_fn_name_.clear();
+  }
+
+  void OpenBrace() {
+    Frame f;
+    if (!pending_class_.empty()) {
+      f.kind = 'c';
+      f.name = pending_class_;
+    } else if (pending_namespace_) {
+      f.kind = 'n';
+    } else {
+      f.kind = 'b';
+      f.fn_class = !pending_fn_class_.empty() ? pending_fn_class_
+                                              : ClassPath();
+      f.fn_name = pending_fn_name_;
+    }
+    frames_.push_back(std::move(f));
+    ClearPending();
+  }
+
+  void CloseBrace() {
+    if (!frames_.empty()) frames_.pop_back();
+  }
+
+ private:
+  std::vector<Frame> frames_;
+  std::string pending_class_;
+  bool pending_namespace_ = false;
+  std::string pending_fn_class_;
+  std::string pending_fn_name_;
+};
+
+/// Parses `class`/`struct`/`namespace` heads on one line into the tracker's
+/// pending state. The class name is the last identifier before the first
+/// '{' or base-clause ':' — that skips attribute macros like
+/// CAPABILITY("mutex").
+void ScanScopeHeads(const std::string& line, ScopeTracker* tracker) {
+  for (const char* keyword : {"class", "struct", "namespace"}) {
+    size_t pos = FindToken(line, keyword, 0);
+    if (pos == std::string::npos) continue;
+    if (keyword[0] == 'n') {
+      tracker->PendNamespace();
+      continue;
+    }
+    size_t stop = line.size();
+    for (size_t i = pos; i < line.size(); ++i) {
+      if (line[i] == '{') {
+        stop = i;
+        break;
+      }
+      if (line[i] == ':' && (i + 1 >= line.size() || line[i + 1] != ':') &&
+          (i == 0 || line[i - 1] != ':')) {
+        stop = i;
+        break;
+      }
+    }
+    std::string name;
+    size_t scan = pos + std::string(keyword).size();
+    while (scan < stop) {
+      scan = SkipSpace(line, scan);
+      if (scan >= stop) break;
+      if (IsIdentChar(line[scan])) {
+        std::string word = IdentifierAt(line, scan);
+        scan += word.size();
+        name = std::move(word);
+      } else if (line[scan] == '(') {
+        scan = SkipParens(line, scan, nullptr);
+      } else {
+        ++scan;
+      }
+    }
+    if (!name.empty()) tracker->PendClass(name);
+  }
+}
+
+/// Feeds one line's braces/semicolons to the tracker (no other events);
+/// used by the declaration pass, which only needs the class path.
+void FeedBraces(const std::string& line, ScopeTracker* tracker) {
+  for (char c : line) {
+    if (c == '{') tracker->OpenBrace();
+    if (c == '}') tracker->CloseBrace();
+    if (c == ';') tracker->ClearPending();
+  }
+}
+
+}  // namespace
+
+void LockAnalyzer::AddFile(const FileText& file) {
+  ScanDeclarations(file);
+  files_.push_back(file);
+}
+
+void LockAnalyzer::ScanDeclarations(const FileText& file) {
+  ScopeTracker tracker;
+  bool in_directive = false;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const bool continued = in_directive;
+    in_directive = (continued || IsDirective(line)) && !line.empty() &&
+                   line.back() == '\\';
+    if (continued || IsDirective(line)) continue;
+    ScanScopeHeads(line, &tracker);
+
+    // Member / file-scope mutex declarations.
+    struct Kind {
+      std::string token;
+      bool wrapper;
+    };
+    const std::vector<Kind> kinds = {
+        {"Mutex", true},
+        {std::string("std::") + "mutex", false},
+        {std::string("std::") + "shared_mutex", false},
+    };
+    for (const Kind& kind : kinds) {
+      size_t pos = FindToken(line, kind.token, 0);
+      while (pos != std::string::npos) {
+        size_t after = pos + kind.token.size();
+        if (after < line.size() && (line[after] == '>' || line[after] == '&' ||
+                                    line[after] == '*' ||
+                                    line[after] == ':' ||
+                                    line[after] == '(')) {
+          pos = FindToken(line, kind.token, after);
+          continue;
+        }
+        size_t name_begin = SkipSpace(line, after);
+        std::string member = name_begin < line.size()
+                                 ? IdentifierAt(line, name_begin)
+                                 : "";
+        if (member.empty()) {
+          pos = FindToken(line, kind.token, after);
+          continue;
+        }
+        // Skip trailing annotations; collect the ordering ones.
+        size_t tail = SkipSpace(line, name_begin + member.size());
+        std::vector<std::string> before_refs, after_refs;
+        bool is_decl = false;
+        while (tail < line.size()) {
+          if (line[tail] == ';' || line[tail] == '=' || line[tail] == '{') {
+            is_decl = true;
+            break;
+          }
+          if (!IsIdentChar(line[tail])) break;
+          const std::string word = IdentifierAt(line, tail);
+          size_t open = SkipSpace(line, tail + word.size());
+          if (!IsDeclAnnotation(word) || open >= line.size() ||
+              line[open] != '(') {
+            break;
+          }
+          std::string inner;
+          tail = SkipSpace(line, SkipParens(line, open, &inner));
+          if (word == "ACQUIRED_BEFORE") {
+            for (std::string& ref : SplitArgs(inner)) {
+              before_refs.push_back(std::move(ref));
+            }
+          } else if (word == "ACQUIRED_AFTER") {
+            for (std::string& ref : SplitArgs(inner)) {
+              after_refs.push_back(std::move(ref));
+            }
+          }
+        }
+        if (is_decl) {
+          Decl decl;
+          decl.member = member;
+          decl.context_class = tracker.ClassPath();
+          decl.identity = decl.context_class.empty()
+                              ? member
+                              : decl.context_class + "::" + member;
+          decl.file = file.rel_path;
+          decl.line = static_cast<int>(i) + 1;
+          decl.is_wrapper = kind.wrapper;
+          decl.before_refs = std::move(before_refs);
+          decl.after_refs = std::move(after_refs);
+          if (kind.wrapper && i < file.text.size()) {
+            // The constructor name literal, read from the literal-preserving
+            // view (the code view blanks string contents).
+            const std::string& text = file.text[i];
+            size_t name_pos = FindToken(text, member, 0);
+            size_t quote = name_pos == std::string::npos
+                               ? std::string::npos
+                               : text.find('"', name_pos);
+            if (quote != std::string::npos) {
+              size_t close = text.find('"', quote + 1);
+              if (close != std::string::npos) {
+                decl.name_literal = text.substr(quote + 1, close - quote - 1);
+              }
+            }
+          }
+          nodes_.insert(decl.identity);
+          decls_.push_back(std::move(decl));
+        }
+        pos = FindToken(line, kind.token, after);
+      }
+    }
+
+    // Function declarations carrying REQUIRES / EXCLUDES (pure declarations
+    // only — `...;`; inline definitions are handled by the scope pass).
+    const std::string trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed.back() == ';') {
+      for (const char* word : {"REQUIRES", "EXCLUDES"}) {
+        size_t pos = FindToken(line, word, 0);
+        if (pos == std::string::npos) continue;
+        size_t open = SkipSpace(line, pos + std::string(word).size());
+        if (open >= line.size() || line[open] != '(') continue;
+        std::string inner;
+        SkipParens(line, open, &inner);
+        size_t first_paren = line.find('(');
+        if (first_paren == std::string::npos || first_paren == 0) continue;
+        std::string fn = IdentifierEndingAt(line, first_paren);
+        if (fn == word) {
+          // Annotation-only continuation line (`... body)\n    EXCLUDES(x);`):
+          // the function name sits before the last '(' of the previous
+          // code line.
+          for (size_t j = i; j-- > 0;) {
+            const std::string prev = Trim(file.code[j]);
+            if (prev.empty()) continue;
+            size_t paren = file.code[j].find('(');
+            fn = paren == std::string::npos
+                     ? ""
+                     : IdentifierEndingAt(file.code[j], paren);
+            break;
+          }
+        }
+        if (fn.empty() || fn == word) continue;
+        FnAnnotation annotation;
+        annotation.cls = tracker.ClassPath();
+        annotation.fn = fn;
+        annotation.file = file.rel_path;
+        annotation.is_excludes = word[0] == 'E';
+        annotation.refs = SplitArgs(inner);
+        fn_annotations_.push_back(std::move(annotation));
+      }
+    }
+
+    FeedBraces(line, &tracker);
+  }
+}
+
+std::string LockAnalyzer::Resolve(const std::string& ref,
+                                  const std::string& context_class,
+                                  const std::string& file) const {
+  const std::string name = LockRefName(ref);
+  if (name.empty()) return "";
+  if (name.find("::") != std::string::npos) {
+    for (const Decl& d : decls_) {
+      if (d.identity == name) return d.identity;
+    }
+    for (const Decl& d : decls_) {
+      if (d.identity.size() > name.size() &&
+          d.identity.compare(d.identity.size() - name.size(), name.size(),
+                             name) == 0 &&
+          d.identity[d.identity.size() - name.size() - 1] == ':') {
+        return d.identity;
+      }
+    }
+    return name;
+  }
+  const Decl* in_context = nullptr;
+  const Decl* in_file = nullptr;
+  const Decl* anywhere = nullptr;
+  int candidates = 0;
+  for (const Decl& d : decls_) {
+    if (d.member != name) continue;
+    ++candidates;
+    anywhere = &d;
+    if (in_file == nullptr && d.file == file) in_file = &d;
+    if (in_context == nullptr && !context_class.empty() &&
+        (d.context_class == context_class ||
+         StartsWith(d.context_class, context_class + "::"))) {
+      in_context = &d;
+    }
+  }
+  if (in_context != nullptr) return in_context->identity;
+  if (in_file != nullptr) return in_file->identity;
+  if (candidates == 1) return anywhere->identity;
+  return name;  // unresolved or ambiguous: participate under the raw name
+}
+
+void LockAnalyzer::AddEdge(const std::string& from, const std::string& to,
+                           const std::string& file, int line, bool annotated) {
+  if (from.empty() || to.empty() || from == to) return;
+  nodes_.insert(from);
+  nodes_.insert(to);
+  auto& map = annotated ? annotated_ : observed_;
+  map.emplace(std::make_pair(from, to), Edge{file, line, annotated});
+}
+
+void LockAnalyzer::ScanGuardScopes(const FileText& file,
+                                   std::vector<LockFinding>* out) {
+  struct Guard {
+    std::string var;                      // "" for REQUIRES pseudo-guards
+    std::vector<std::string> identities;
+    size_t depth = 0;  // frames_.size() at creation; dies below it
+    int line = 0;
+    bool active = true;
+  };
+  ScopeTracker tracker;
+  std::vector<Guard> guards;
+  std::vector<std::string> pending_requires;  // for the next '{'
+
+  auto record_acquisition = [&](const std::vector<std::string>& ids,
+                                int line_no) {
+    for (const Guard& g : guards) {
+      if (!g.active) continue;
+      for (const std::string& held : g.identities) {
+        for (const std::string& id : ids) {
+          if (held == id) {
+            out->push_back(LockFinding{
+                file.rel_path, line_no, kRuleLockOrder,
+                "nested acquisition of lock rank \"" + id +
+                    "\" (already held since line " +
+                    std::to_string(g.line) +
+                    "); the runtime detector aborts on this — merge the "
+                    "critical sections or split the mutex"});
+          } else {
+            AddEdge(held, id, file.rel_path, line_no, false);
+          }
+        }
+      }
+    }
+  };
+
+  struct Event {
+    size_t pos;
+    int kind;  // 0 brace/semicolon, 1 guard, 2 toggle, 3 blocking, 4 excludes
+    char brace = '\0';
+    Guard guard;
+    std::string var;        // toggle target
+    bool toggle_lock = false;
+    std::string what;       // blocking description / excluded fn
+    std::string wait_arg;   // cv-wait lock argument ("" for non-waits)
+    bool is_wait = false;
+  };
+
+  bool in_directive = false;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const int line_no = static_cast<int>(i) + 1;
+    const bool continued = in_directive;
+    in_directive = (continued || IsDirective(line)) && !line.empty() &&
+                   line.back() == '\\';
+    if (continued || IsDirective(line)) continue;
+
+    ScanScopeHeads(line, &tracker);
+
+    std::vector<Event> events;
+    for (size_t p = 0; p < line.size(); ++p) {
+      if (line[p] == '{' || line[p] == '}' || line[p] == ';') {
+        Event e;
+        e.pos = p;
+        e.kind = 0;
+        e.brace = line[p];
+        events.push_back(std::move(e));
+      }
+    }
+
+    // Function-definition qualifier `Class::Fn(` — remembered for the next
+    // '{' so REQUIRES contexts and member resolution know the class.
+    if (!tracker.InFunctionBody()) {
+      size_t q = line.find("::");
+      while (q != std::string::npos) {
+        const std::string left = IdentifierEndingAt(line, q);
+        size_t rhs = q + 2;
+        if (rhs < line.size() && line[rhs] == '~') ++rhs;
+        const std::string right =
+            rhs < line.size() ? IdentifierAt(line, rhs) : "";
+        if (!left.empty() && !right.empty()) {
+          size_t open = rhs + right.size();
+          if (open < line.size() && line[open] == '(') {
+            tracker.PendFunction(left, right);
+            const std::string key = left + "::" + right;
+            auto it = requires_.find(key);
+            if (it != requires_.end()) {
+              pending_requires = it->second;
+            }
+          }
+        }
+        q = line.find("::", q + 2);
+      }
+    }
+    // Inline definition with REQUIRES on the same line as its body.
+    if (line.find('{') != std::string::npos) {
+      size_t pos = FindToken(line, "REQUIRES", 0);
+      if (pos != std::string::npos) {
+        size_t open = SkipSpace(line, pos + 8);
+        if (open < line.size() && line[open] == '(') {
+          std::string inner;
+          SkipParens(line, open, &inner);
+          for (const std::string& ref : SplitArgs(inner)) {
+            pending_requires.push_back(
+                Resolve(ref, tracker.ContextClass(), file.rel_path));
+          }
+        }
+      }
+    }
+
+    // Guard declarations.
+    struct Opener {
+      std::string token;
+      bool address_of;  // MutexLock takes `&mu`; std guards take `mu`
+    };
+    const std::vector<Opener> openers = {
+        {"MutexLock", true},
+        {"lock_guard", false},
+        {"unique_lock", false},
+        {"scoped_lock", false},
+    };
+    for (const Opener& opener : openers) {
+      size_t pos = FindToken(line, opener.token, 0);
+      while (pos != std::string::npos) {
+        size_t cursor = pos + opener.token.size();
+        if (cursor < line.size() && line[cursor] == '<') {
+          cursor = SkipAngles(line, cursor);
+        }
+        cursor = SkipSpace(line, cursor);
+        const std::string var =
+            cursor < line.size() ? IdentifierAt(line, cursor) : "";
+        size_t open = SkipSpace(line, cursor + var.size());
+        if (!var.empty() && open < line.size() && line[open] == '(') {
+          std::string inner;
+          SkipParens(line, open, &inner);
+          Event e;
+          e.pos = pos;
+          e.kind = 1;
+          e.guard.var = var;
+          e.guard.line = line_no;
+          for (const std::string& arg : SplitArgs(inner)) {
+            if (arg.find("defer_lock") != std::string::npos) {
+              e.guard.active = false;
+              continue;
+            }
+            if (arg.find("adopt_lock") != std::string::npos ||
+                arg.find("try_to_lock") != std::string::npos) {
+              continue;
+            }
+            const std::string id =
+                Resolve(arg, tracker.ContextClass(), file.rel_path);
+            if (!id.empty()) e.guard.identities.push_back(id);
+          }
+          if (!e.guard.identities.empty()) events.push_back(std::move(e));
+        }
+        pos = FindToken(line, opener.token, pos + opener.token.size());
+      }
+    }
+
+    // `lock.unlock()` / `lock.lock()` toggles on tracked guard variables.
+    for (const char* method : {"unlock", "lock"}) {
+      size_t pos = FindToken(line, method, 0);
+      while (pos != std::string::npos) {
+        const size_t end = pos + std::string(method).size();
+        if (pos > 0 && line[pos - 1] == '.' && end < line.size() &&
+            line[end] == '(') {
+          Event e;
+          e.pos = pos;
+          e.kind = 2;
+          e.var = IdentifierEndingAt(line, pos - 1);
+          e.toggle_lock = method[0] == 'l';
+          if (!e.var.empty()) events.push_back(std::move(e));
+        }
+        pos = FindToken(line, method, end);
+      }
+    }
+
+    // Blocking calls.
+    auto add_blocking = [&events](size_t pos, std::string what,
+                                  std::string wait_arg = "",
+                                  bool is_wait = false) {
+      Event e;
+      e.pos = pos;
+      e.kind = 3;
+      e.what = std::move(what);
+      e.wait_arg = std::move(wait_arg);
+      e.is_wait = is_wait;
+      events.push_back(std::move(e));
+    };
+    for (const char* method : {"wait", "wait_for", "wait_until"}) {
+      size_t pos = FindToken(line, method, 0);
+      while (pos != std::string::npos) {
+        const size_t end = pos + std::string(method).size();
+        if (pos > 0 && line[pos - 1] == '.' && end < line.size() &&
+            line[end] == '(') {
+          std::string inner;
+          SkipParens(line, end, &inner);
+          const std::vector<std::string> args = SplitArgs(inner);
+          add_blocking(pos, "condition-variable " + std::string(method),
+                       args.empty() ? "" : args[0], true);
+        }
+        pos = FindToken(line, method, end);
+      }
+    }
+    for (const char* fn : {"Submit", "SubmitLocal", "ParallelFor", "Wait"}) {
+      size_t pos = FindToken(line, fn, 0);
+      while (pos != std::string::npos) {
+        const size_t end = pos + std::string(fn).size();
+        if (end < line.size() && line[end] == '(') {
+          add_blocking(pos, std::string(fn) +
+                                "() (blocks on the thread pool)");
+        }
+        pos = FindToken(line, fn, end);
+      }
+    }
+    {
+      size_t pos = FindToken(line, "LANDMARK_BLOCKING_POINT", 0);
+      if (pos != std::string::npos &&
+          pos + 23 < line.size() && line[pos + 23] == '(') {
+        add_blocking(pos, "a registered LANDMARK_BLOCKING_POINT");
+      }
+    }
+    {
+      size_t pos = FindToken(line, "join", 0);
+      while (pos != std::string::npos) {
+        if (pos > 0 && line[pos - 1] == '.' && pos + 4 < line.size() &&
+            line[pos + 4] == '(') {
+          add_blocking(pos, "thread join");
+        }
+        pos = FindToken(line, "join", pos + 4);
+      }
+    }
+    for (const char* fn : {"sleep_for", "sleep_until"}) {
+      size_t pos = FindToken(line, fn, 0);
+      if (pos != std::string::npos) add_blocking(pos, std::string(fn) + "()");
+    }
+    for (const char* fn :
+         {"accept", "read", "write", "recv", "send", "connect", "poll",
+          "select"}) {
+      size_t pos = FindToken(line, fn, 0);
+      while (pos != std::string::npos) {
+        const size_t end = pos + std::string(fn).size();
+        if (pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':' &&
+            end < line.size() && line[end] == '(') {
+          add_blocking(pos, "socket/file I/O ::" + std::string(fn) + "()");
+        }
+        pos = FindToken(line, fn, end);
+      }
+    }
+
+    // Calls into functions whose declaration EXCLUDES a mutex.
+    for (const auto& [fn, excluded] : excludes_) {
+      size_t pos = FindToken(line, fn, 0);
+      while (pos != std::string::npos) {
+        const size_t end = pos + fn.size();
+        if (end < line.size() && line[end] == '(') {
+          Event e;
+          e.pos = pos;
+          e.kind = 4;
+          e.what = fn;
+          events.push_back(std::move(e));
+        }
+        pos = FindToken(line, fn, end);
+      }
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.pos < b.pos;
+                     });
+
+    for (Event& event : events) {
+      switch (event.kind) {
+        case 0:
+          if (event.brace == '{') {
+            tracker.OpenBrace();
+            if (!pending_requires.empty()) {
+              Guard pseudo;
+              pseudo.identities = std::move(pending_requires);
+              pending_requires.clear();
+              pseudo.depth = tracker.frames().size();
+              pseudo.line = line_no;
+              record_acquisition(pseudo.identities, line_no);
+              guards.push_back(std::move(pseudo));
+            }
+          } else if (event.brace == '}') {
+            tracker.CloseBrace();
+            while (!guards.empty() &&
+                   guards.back().depth > tracker.frames().size()) {
+              guards.pop_back();
+            }
+          } else {
+            tracker.ClearPending();
+          }
+          break;
+        case 1:
+          event.guard.depth = tracker.frames().size();
+          if (event.guard.active) {
+            record_acquisition(event.guard.identities, line_no);
+          }
+          guards.push_back(std::move(event.guard));
+          break;
+        case 2:
+          for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+            if (it->var != event.var) continue;
+            if (event.toggle_lock && !it->active) {
+              record_acquisition(it->identities, line_no);
+            }
+            it->active = event.toggle_lock;
+            break;
+          }
+          break;
+        case 3: {
+          std::vector<std::string> held;
+          for (const Guard& g : guards) {
+            if (!g.active) continue;
+            if (event.is_wait && !event.wait_arg.empty() &&
+                g.var == event.wait_arg) {
+              continue;  // the wait's own lock is released by the wait
+            }
+            for (const std::string& id : g.identities) held.push_back(id);
+          }
+          if (!held.empty()) {
+            out->push_back(LockFinding{
+                file.rel_path, line_no, kRuleLockBlocking,
+                "lock(s) " + JoinNames(held) + " held across " + event.what +
+                    "; release before blocking (the runtime detector aborts "
+                    "here under LANDMARK_DEADLOCK_DEBUG)"});
+          }
+          break;
+        }
+        case 4: {
+          auto it = excludes_.find(event.what);
+          if (it == excludes_.end()) break;
+          for (const Guard& g : guards) {
+            if (!g.active) continue;
+            for (const std::string& id : g.identities) {
+              if (std::find(it->second.begin(), it->second.end(), id) ==
+                  it->second.end()) {
+                continue;
+              }
+              out->push_back(LockFinding{
+                  file.rel_path, line_no, kRuleLockOrder,
+                  "call to " + event.what + "() while holding \"" + id +
+                      "\", which its declaration EXCLUDES"});
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void LockAnalyzer::ResolveAnnotations(std::vector<LockFinding>* out) {
+  for (const Decl& decl : decls_) {
+    if (decl.is_wrapper && PathIsUnder(decl.file, "src/") &&
+        decl.name_literal != decl.identity) {
+      out->push_back(LockFinding{
+          decl.file, decl.line, kRuleRawMutex,
+          "Mutex \"" + decl.member + "\" must be constructed with its " +
+              "identity literal \"" + decl.identity + "\" (found \"" +
+              decl.name_literal +
+              "\"); the literal is the rank the runtime deadlock detector "
+              "and this graph share"});
+    }
+    for (const std::string& ref : decl.before_refs) {
+      AddEdge(decl.identity, Resolve(ref, decl.context_class, decl.file),
+              decl.file, decl.line, true);
+    }
+    for (const std::string& ref : decl.after_refs) {
+      AddEdge(Resolve(ref, decl.context_class, decl.file), decl.identity,
+              decl.file, decl.line, true);
+    }
+  }
+  for (const FnAnnotation& annotation : fn_annotations_) {
+    std::vector<std::string> ids;
+    for (const std::string& ref : annotation.refs) {
+      const std::string id =
+          Resolve(ref, annotation.cls, annotation.file);
+      if (!id.empty()) ids.push_back(id);
+    }
+    if (ids.empty()) continue;
+    auto& map = annotation.is_excludes ? excludes_ : requires_;
+    const std::string qualified = annotation.cls.empty()
+                                      ? annotation.fn
+                                      : annotation.cls + "::" + annotation.fn;
+    std::vector<std::string>& qualified_slot = map[qualified];
+    qualified_slot.insert(qualified_slot.end(), ids.begin(), ids.end());
+    if (annotation.is_excludes) {
+      // Call sites cannot see the class of the callee lexically, so
+      // EXCLUDES also registers under the bare function name.
+      std::vector<std::string>& bare_slot = map[annotation.fn];
+      for (const std::string& id : ids) {
+        if (std::find(bare_slot.begin(), bare_slot.end(), id) ==
+            bare_slot.end()) {
+          bare_slot.push_back(id);
+        }
+      }
+    }
+  }
+}
+
+void LockAnalyzer::CheckGraph(std::vector<LockFinding>* out) {
+  // (a) observed nesting contradicting an ACQUIRED_BEFORE/AFTER edge.
+  std::set<std::pair<std::string, std::string>> contradicted;
+  for (const auto& [pair, edge] : annotated_) {
+    auto reverse = observed_.find({pair.second, pair.first});
+    if (reverse == observed_.end()) continue;
+    contradicted.insert(pair);
+    out->push_back(LockFinding{
+        reverse->second.file, reverse->second.line, kRuleLockOrder,
+        "acquires \"" + pair.first + "\" while holding \"" + pair.second +
+            "\", contradicting the ACQUIRED_BEFORE order declared at " +
+            edge.file + ":" + std::to_string(edge.line)});
+  }
+
+  // (b) cycles in the combined graph (contradictions already reported).
+  std::map<std::string, std::vector<std::string>> adjacency;
+  auto edge_at = [this](const std::string& from, const std::string& to)
+      -> const Edge* {
+    auto it = observed_.find({from, to});
+    if (it != observed_.end()) return &it->second;
+    it = annotated_.find({from, to});
+    return it != annotated_.end() ? &it->second : nullptr;
+  };
+  for (const auto& [pair, edge] : observed_) {
+    adjacency[pair.first].push_back(pair.second);
+  }
+  for (const auto& [pair, edge] : annotated_) {
+    if (contradicted.count(pair) != 0) continue;
+    adjacency[pair.first].push_back(pair.second);
+  }
+  std::set<std::string> reported;
+  for (const auto& [from, tos] : adjacency) {
+    for (const std::string& to : tos) {
+      // A cycle exists through edge from->to iff `to` reaches `from`.
+      std::vector<std::string> stack = {to};
+      std::map<std::string, std::string> parent;
+      parent[to] = "";
+      bool found = false;
+      while (!stack.empty() && !found) {
+        const std::string node = stack.back();
+        stack.pop_back();
+        auto it = adjacency.find(node);
+        if (it == adjacency.end()) continue;
+        for (const std::string& next : it->second) {
+          if (parent.count(next) != 0) continue;
+          parent[next] = node;
+          if (next == from) {
+            found = true;
+            break;
+          }
+          stack.push_back(next);
+        }
+      }
+      if (!found) continue;
+      std::vector<std::string> cycle;  // from -> to -> ... -> from
+      cycle.push_back(from);
+      // The parent chain runs to -> ... -> from; rebuild it forward.
+      std::vector<std::string> forward;
+      for (std::string node = from;; node = parent[node]) {
+        forward.push_back(node);
+        if (node == to) break;
+      }
+      std::reverse(forward.begin(), forward.end());  // to ... from
+      cycle.insert(cycle.end(), forward.begin(), forward.end());
+
+      std::vector<std::string> canonical(cycle.begin(), cycle.end() - 1);
+      std::sort(canonical.begin(), canonical.end());
+      std::string key;
+      for (const std::string& node : canonical) key += node + "\x01";
+      if (!reported.insert(key).second) continue;
+
+      std::string path = "\"" + cycle[0] + "\"";
+      std::string worst_file;
+      int worst_line = 0;
+      for (size_t k = 1; k < cycle.size(); ++k) {
+        const Edge* edge = edge_at(cycle[k - 1], cycle[k]);
+        std::string label = "annotated";
+        if (edge != nullptr) {
+          label = edge->file + ":" + std::to_string(edge->line);
+          if (!edge->annotated &&
+              (edge->file > worst_file ||
+               (edge->file == worst_file && edge->line > worst_line))) {
+            worst_file = edge->file;
+            worst_line = edge->line;
+          }
+        }
+        path += " -> \"" + cycle[k] + "\" (" + label + ")";
+      }
+      if (worst_file.empty()) {
+        const Edge* edge = edge_at(cycle[0], cycle[1]);
+        worst_file = edge != nullptr ? edge->file : "";
+        worst_line = edge != nullptr ? edge->line : 1;
+      }
+      out->push_back(LockFinding{
+          worst_file, worst_line, kRuleLockOrder,
+          "lock-order cycle: " + path +
+              "; a second thread interleaving these acquisitions deadlocks "
+              "— pick one order and document it with ACQUIRED_BEFORE"});
+    }
+  }
+}
+
+void LockAnalyzer::Finish(std::vector<LockFinding>* findings) {
+  if (finished_) return;
+  finished_ = true;
+  ResolveAnnotations(findings);
+  for (const FileText& file : files_) {
+    ScanGuardScopes(file, findings);
+  }
+  CheckGraph(findings);
+}
+
+std::string LockAnalyzer::ToDot() const {
+  std::ostringstream out;
+  out << "// Lock-order graph emitted by landmark_lint --lock-graph-out.\n"
+      << "// Solid edges: observed guard nesting (one witness site each).\n"
+      << "// Dashed edges: ACQUIRED_BEFORE/ACQUIRED_AFTER annotations.\n"
+      << "digraph lock_order {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box, fontsize=10];\n";
+  for (const std::string& node : nodes_) {
+    out << "  \"" << node << "\";\n";
+  }
+  for (const auto& [pair, edge] : observed_) {
+    out << "  \"" << pair.first << "\" -> \"" << pair.second
+        << "\" [label=\"" << edge.file << ":" << edge.line << "\"];\n";
+  }
+  for (const auto& [pair, edge] : annotated_) {
+    if (observed_.count(pair) != 0) continue;
+    out << "  \"" << pair.first << "\" -> \"" << pair.second
+        << "\" [style=dashed, label=\"" << edge.file << ":" << edge.line
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace landmark_lint

@@ -1,0 +1,141 @@
+#ifndef LANDMARK_TOOLS_LANDMARK_LINT_LOCK_GRAPH_H_
+#define LANDMARK_TOOLS_LANDMARK_LINT_LOCK_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "landmark_lint/source_text.h"
+
+/// \file
+/// Static lock-discipline pass (docs/architecture.md, "Lock discipline").
+///
+/// The analyzer builds one global lock-order graph for the tree. Nodes are
+/// mutex identities — the `Class::member` path of each declared
+/// `landmark::Mutex` / raw std::mutex, which by contract equals the name
+/// literal passed to the wrapper constructor, so the static graph and the
+/// runtime deadlock detector (util/mutex.h, LANDMARK_DEADLOCK_DEBUG) speak
+/// the same node language. Edges come from two sources:
+///
+///   observed   lexical guard nesting: a MutexLock / lock_guard /
+///              unique_lock / scoped_lock opened while another guard is
+///              still active adds `held -> acquired`.
+///   annotated  ACQUIRED_BEFORE / ACQUIRED_AFTER on the declaration
+///              (util/thread_annotations.h), recording orders the lexical
+///              pass cannot see because they cross a call boundary.
+///
+/// Findings:
+///   lock-order     a cycle in the combined graph, an observed nesting that
+///                  contradicts an ACQUIRED_BEFORE annotation, a nested
+///                  acquisition of one rank, or a call into a function whose
+///                  declaration EXCLUDES a currently held mutex.
+///   lock-blocking  a guard still active across a registered blocking call:
+///                  condition-variable waits (except on the wait's own
+///                  lock), ThreadPool::Submit / SubmitLocal / ParallelFor /
+///                  Wait, TaskGraph::Wait, thread join, sleep, raw socket
+///                  I/O (::accept / ::read / ...), or a
+///                  LANDMARK_BLOCKING_POINT marker.
+///   raw-mutex      a `landmark::Mutex` whose name literal does not equal
+///                  its computed `Class::member` identity (the raw
+///                  std::mutex ban itself is a per-file rule in lint.cc).
+///
+/// The analysis is lexical, like every other landmark_lint rule: it sees
+/// guard scopes inside one function body plus REQUIRES contexts, not
+/// interprocedural lock flow — that is exactly the gap the ACQUIRED_BEFORE
+/// annotations and the runtime detector cover.
+
+namespace landmark_lint {
+
+/// Rule ids emitted by the lock pass (also listed in KnownRules()).
+extern const char kRuleLockOrder[];
+extern const char kRuleLockBlocking[];
+extern const char kRuleRawMutex[];
+
+struct LockFinding {
+  std::string file;
+  int line = 0;
+  const char* rule = nullptr;
+  std::string message;
+};
+
+class LockAnalyzer {
+ public:
+  /// Registers one file (callers pass everything under src/, including the
+  /// lint fixtures routed through a fixture root). Declarations and
+  /// annotations are scanned immediately; guard-scope analysis waits for
+  /// Finish() so identities resolve across files regardless of scan order.
+  void AddFile(const FileText& file);
+
+  /// Runs the guard-scope pass over every registered file, then the global
+  /// graph checks (cycles, annotation contradictions). Call once.
+  void Finish(std::vector<LockFinding>* findings);
+
+  /// Graphviz rendering of the combined graph — solid edges are observed
+  /// nestings labelled with one witness site, dashed edges are annotation-
+  /// only. Valid after Finish().
+  std::string ToDot() const;
+
+ private:
+  struct Decl {
+    std::string identity;       // Class::member (or bare name at file scope)
+    std::string member;         // trailing member name
+    std::string context_class;  // enclosing class path, "" at file scope
+    std::string file;
+    int line = 0;
+    bool is_wrapper = false;      // landmark::Mutex vs raw std::mutex
+    std::string name_literal;     // wrapper constructor literal, if present
+    std::vector<std::string> before_refs;  // ACQUIRED_BEFORE args, raw text
+    std::vector<std::string> after_refs;   // ACQUIRED_AFTER args, raw text
+  };
+
+  struct Edge {
+    std::string file;  // witness site (decl site for annotated edges)
+    int line = 0;
+    bool annotated = false;
+  };
+
+  /// REQUIRES / EXCLUDES seen on a function declaration, unresolved until
+  /// every file's mutexes are known.
+  struct FnAnnotation {
+    std::string cls;   // class path at the declaration, "" at file scope
+    std::string fn;
+    std::string file;
+    bool is_excludes = false;
+    std::vector<std::string> refs;
+  };
+
+  void ScanDeclarations(const FileText& file);
+  void ScanGuardScopes(const FileText& file, std::vector<LockFinding>* out);
+  void ResolveAnnotations(std::vector<LockFinding>* out);
+  void CheckGraph(std::vector<LockFinding>* out);
+
+  /// Maps a mutex reference (`mu_`, `shard.mu`, `TaskGraph::mu_`) to a
+  /// declared identity. Preference order: qualified suffix match, member
+  /// declared in `context_class`, member declared in `file`, unique member
+  /// match anywhere. Unresolvable references become their own node so
+  /// fixture-local graphs still connect.
+  std::string Resolve(const std::string& ref, const std::string& context_class,
+                      const std::string& file) const;
+
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& file, int line, bool annotated);
+
+  std::vector<FileText> files_;
+  std::vector<Decl> decls_;
+  // (from, to) -> first witness. Observed and annotated edges are kept
+  // apart: the contradiction check needs to know which is which.
+  std::map<std::pair<std::string, std::string>, Edge> observed_;
+  std::map<std::pair<std::string, std::string>, Edge> annotated_;
+  std::set<std::string> nodes_;
+  // Functions with REQUIRES / EXCLUDES on their declaration, keyed both as
+  // "Class::fn" and bare "fn" (lexical lookup cannot always see the class).
+  std::map<std::string, std::vector<std::string>> requires_;
+  std::map<std::string, std::vector<std::string>> excludes_;
+  std::vector<FnAnnotation> fn_annotations_;
+  bool finished_ = false;
+};
+
+}  // namespace landmark_lint
+
+#endif  // LANDMARK_TOOLS_LANDMARK_LINT_LOCK_GRAPH_H_

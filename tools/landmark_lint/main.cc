@@ -20,6 +20,9 @@ int Usage(const char* argv0) {
                "  --doc FILE   metric-name contract doc (default:\n"
                "               docs/architecture.md under the root)\n"
                "  --no-doc     disable the metric-name cross-check\n"
+               "  --lock-graph-out FILE\n"
+               "               write the lock-order graph (observed guard\n"
+               "               nesting + ACQUIRED_BEFORE edges) as DOT\n"
                "\n"
                "exit status: 0 clean, 1 violations, 2 usage/IO error\n",
                argv0);
@@ -46,6 +49,10 @@ int main(int argc, char** argv) {
       config.doc_path = arg.substr(6);
     } else if (arg == "--no-doc") {
       config.doc_path.clear();
+    } else if (arg == "--lock-graph-out" && i + 1 < argc) {
+      config.lock_graph_out = argv[++i];
+    } else if (arg.rfind("--lock-graph-out=", 0) == 0) {
+      config.lock_graph_out = arg.substr(17);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return Usage(argv[0]);

@@ -1,0 +1,168 @@
+#include "landmark_lint/source_text.h"
+
+#include <cctype>
+
+namespace landmark_lint {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+bool PathIsUnder(const std::string& rel, const std::string& dir) {
+  return StartsWith(rel, dir);
+}
+
+FileText SplitFile(const std::string& rel_path, const std::string& content) {
+  FileText out;
+  out.rel_path = rel_path;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim\"" terminator
+  std::string code_line, text_line, comment_line;
+  auto flush = [&]() {
+    out.code.push_back(code_line);
+    out.text.push_back(text_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    text_line.clear();
+    comment_line.clear();
+  };
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — only when R directly precedes the quote
+          // and is not part of a longer identifier (LR"..." etc. are not
+          // used in this codebase).
+          const char prev = code_line.empty() ? '\0' : code_line.back();
+          const char prev2 =
+              code_line.size() < 2 ? '\0' : code_line[code_line.size() - 2];
+          if (prev == 'R' && !IsIdentChar(prev2)) {
+            size_t paren = content.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, paren - i - 1) + "\"";
+              state = State::kRawString;
+              code_line += '"';
+              text_line += content.substr(i, paren - i + 1);
+              i = paren;
+              break;
+            }
+          }
+          state = State::kString;
+          code_line += '"';
+          text_line += '"';
+        } else if (c == '\'') {
+          // Skip digit separators (1'000) and the rare char-literal-after-
+          // identifier, which never occurs in practice.
+          const char prev = code_line.empty() ? '\0' : code_line.back();
+          if (IsIdentChar(prev)) {
+            code_line += c;
+            text_line += c;
+          } else {
+            state = State::kChar;
+            code_line += '\'';
+            text_line += '\'';
+          }
+        } else {
+          code_line += c;
+          text_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        text_line += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text_line += next;
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        text_line += c;
+        if (c == '\\' && next != '\0' && next != '\n') {
+          text_line += next;
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        text_line += c;
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Append the rest of the terminator, minding embedded newlines
+          // (a raw-string delimiter cannot contain one).
+          text_line += raw_delim.substr(1);
+          code_line += '"';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  flush();  // final (possibly unterminated) line
+  return out;
+}
+
+size_t FindToken(const std::string& line, const std::string& name,
+                 size_t from) {
+  size_t pos = line.find(name, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(name, pos + 1);
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpace(const std::string& line, size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+}  // namespace landmark_lint

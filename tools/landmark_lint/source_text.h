@@ -1,0 +1,46 @@
+#ifndef LANDMARK_TOOLS_LANDMARK_LINT_SOURCE_TEXT_H_
+#define LANDMARK_TOOLS_LANDMARK_LINT_SOURCE_TEXT_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Shared lexical substrate for landmark_lint: the comment/string-aware
+/// line splitter plus the small token helpers every rule builds on. Split
+/// out of lint.cc so the lock-discipline pass (lock_graph.h) can reuse the
+/// exact same view of a source file — both passes must agree on what is
+/// code and what is a string literal, or a mutex name literal would count
+/// as a lock acquisition.
+
+namespace landmark_lint {
+
+/// One source file split three ways: `code` has comments AND string/char
+/// literal contents removed (the quotes stay, so call shapes survive),
+/// `text` has only comments removed (rules that need literals, e.g. the
+/// metric-name contract and the Mutex name-literal check, read this), and
+/// `comments` holds each line's comment text (suppression parsing).
+struct FileText {
+  std::string rel_path;  // forward-slash path relative to the root
+  std::vector<std::string> code;
+  std::vector<std::string> text;
+  std::vector<std::string> comments;
+};
+
+/// Line-structure-preserving scanner: one pass over the bytes with a small
+/// state machine for //, /* */, "...", '.', and R"delim(...)delim".
+FileText SplitFile(const std::string& rel_path, const std::string& content);
+
+bool IsIdentChar(char c);
+bool StartsWith(const std::string& text, const std::string& prefix);
+std::string Trim(const std::string& text);
+bool PathIsUnder(const std::string& rel, const std::string& dir);
+
+/// Finds identifier `name` at an identifier boundary, starting at `from`.
+size_t FindToken(const std::string& line, const std::string& name,
+                 size_t from);
+
+size_t SkipSpace(const std::string& line, size_t pos);
+
+}  // namespace landmark_lint
+
+#endif  // LANDMARK_TOOLS_LANDMARK_LINT_SOURCE_TEXT_H_
