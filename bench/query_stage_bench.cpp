@@ -22,6 +22,14 @@
 //     telemetry PR must keep near 1.0; the canonical file re-emits
 //     scheduler/task_graph so the BENCH_6 -> BENCH_7 trajectory stays
 //     comparable (canonical BENCH_7.json).
+//   --mode simd — A/B of the scalar vs vectorized kernel variants
+//     (EngineOptions::simd, CLI --no-simd) on the landmark-double workload:
+//     end-to-end engine stage times plus per-kernel micro-timings
+//     (Levenshtein, token-profile merge, packed surrogate fit). The
+//     "simd_speedup" ratio is the number a vectorization PR must move; the
+//     JSON records the detected ISA ("simd_isa") next to it because the
+//     ratio is meaningless across different vector units (canonical
+//     BENCH_8.json).
 //   --mode all — every mode, printed to stdout (file flags are ignored).
 //
 // Unlike perf_explainers (google-benchmark, per-op latencies) this binary
@@ -30,14 +38,14 @@
 // (PAPER.md / LEMON both call this out), and the stage barriers it used to
 // run between are what the task-graph scheduler removes.
 //
-// Flags: --mode fastpath|scheduler|all
+// Flags: --mode fastpath|scheduler|flightdeck|simd|all
 //        --records N --samples N --reps N --threads N --scale F
 //        (defaults differ per mode; scheduler defaults to 4 threads)
 //        --json-out FILE (default: stdout)
 //        --canonical-out FILE (cross-PR benchmark trajectory schema:
 //        benchmark name -> wall ns + records/second; scripts/run_bench.sh
 //        writes BENCH_5.json for fastpath, BENCH_6.json for scheduler,
-//        BENCH_7.json for flightdeck)
+//        BENCH_7.json for flightdeck, BENCH_8.json for simd)
 
 #include <algorithm>
 #include <cstdio>
@@ -47,12 +55,19 @@
 
 #include "core/engine/explainer_engine.h"
 #include "core/landmark_explainer.h"
+#include "core/sampling.h"
+#include "core/surrogate.h"
 #include "datagen/magellan.h"
 #include "em/logreg_em_model.h"
+#include "text/similarity.h"
+#include "text/token_cache.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/rng.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/telemetry/flight_deck.h"
+#include "util/timer.h"
 
 namespace landmark {
 namespace {
@@ -455,6 +470,224 @@ int RunFlightdeck(const Flags& flags, bool to_stdout) {
   return 0;
 }
 
+
+/// Defeats dead-code elimination of the micro-kernel loops; the checksum is
+/// also emitted in the JSON so two runs can be diffed for agreement.
+volatile double g_kernel_sink = 0.0;
+
+/// Minimum wall time of `body` over `reps` runs plus one warm-up.
+template <typename Body>
+double MinKernelSeconds(size_t reps, const Body& body) {
+  body();
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    body();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::string KernelJson(double scalar_seconds, double simd_seconds) {
+  const double speedup =
+      simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0;
+  return "{\"scalar_seconds\": " + FormatDouble(scalar_seconds, 6) +
+         ", \"simd_seconds\": " + FormatDouble(simd_seconds, 6) +
+         ", \"speedup\": " + FormatDouble(speedup, 3) + "}";
+}
+
+int RunSimd(const Flags& flags, bool to_stdout) {
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 16));
+  const size_t samples = static_cast<size_t>(flags.GetInt("samples", 256));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  const double scale = flags.GetDouble("scale", 0.25);
+  const std::string json_out = flags.GetString("json-out", "");
+  const std::string canonical_out = flags.GetString("canonical-out", "");
+
+  MagellanGenOptions gen;
+  gen.size_scale = scale;
+  Result<EmDataset> dataset =
+      GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen);
+  if (!dataset.ok()) {
+    LANDMARK_LOG(Error) << "dataset generation failed: "
+                        << dataset.status().ToString();
+    return 1;
+  }
+  Result<std::unique_ptr<LogRegEmModel>> model = LogRegEmModel::Train(*dataset);
+  if (!model.ok()) {
+    LANDMARK_LOG(Error) << "model training failed: "
+                        << model.status().ToString();
+    return 1;
+  }
+
+  // landmark-double exercises both landmark sides, so the query stage runs
+  // every similarity-kernel family the SIMD pass touches.
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = samples;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < records && i < dataset->size(); ++i) {
+    batch.push_back(&dataset->pair(i));
+  }
+
+  auto measure = [&](bool simd_on) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.simd = simd_on;
+    ExplainerEngine engine(engine_options);
+    std::vector<EngineStats> stats;
+    (void)engine.ExplainBatch(**model, batch, explainer);
+    for (size_t r = 0; r < reps; ++r) {
+      EngineBatchResult result = engine.ExplainBatch(**model, batch, explainer);
+      stats.push_back(result.stats);
+    }
+    return StageTimes::MinOf(stats);
+  };
+
+  const StageTimes scalar = measure(false);
+  const StageTimes vectorized = measure(true);
+  const double query_speedup =
+      vectorized.query > 0.0 ? scalar.query / vectorized.query : 0.0;
+  const double fit_speedup =
+      vectorized.fit > 0.0 ? scalar.fit / vectorized.fit : 0.0;
+  // The acceptance metric: the two model-facing stages together, which is
+  // where the vectorized kernels (similarity merges, ridge solve) live.
+  const double query_fit_speedup =
+      vectorized.query + vectorized.fit > 0.0
+          ? (scalar.query + scalar.fit) / (vectorized.query + vectorized.fit)
+          : 0.0;
+  const double simd_speedup =
+      vectorized.total > 0.0 ? scalar.total / vectorized.total : 0.0;
+
+  // Per-kernel micro-timings on the same data the engine scored: attribute
+  // strings of the batch (Levenshtein, token-profile merges) and a sampled
+  // packed neighborhood (surrogate fit). Each kernel runs the identical
+  // loop under simd off / on.
+  std::vector<std::string> texts;
+  for (const PairRecord* pair : batch) {
+    for (const Record* entity : {&pair->left, &pair->right}) {
+      for (size_t a = 0; a < entity->num_attributes(); ++a) {
+        if (!entity->value(a).is_null()) texts.push_back(entity->value(a).text());
+      }
+    }
+  }
+  std::vector<TokenizedValue> profiles;
+  profiles.reserve(texts.size());
+  for (const std::string& text : texts) {
+    profiles.push_back(TokenizedValue::Of(text));
+  }
+
+  // Inner repeats lift each timed body well above clock resolution.
+  auto lev_loop = [&] {
+    size_t acc = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+      for (size_t i = 0; i + 1 < texts.size(); ++i) {
+        acc += LevenshteinDistance(texts[i], texts[i + 1]);
+      }
+    }
+    g_kernel_sink = g_kernel_sink + static_cast<double>(acc);
+  };
+  auto merge_loop = [&] {
+    double acc = 0.0;
+    for (int rep = 0; rep < 200; ++rep) {
+      for (size_t i = 0; i + 1 < profiles.size(); ++i) {
+        acc += CosineTokenSimilarity(profiles[i], profiles[i + 1]);
+      }
+    }
+    g_kernel_sink = g_kernel_sink + acc;
+  };
+  const size_t fit_dim = 48;
+  Rng fit_rng(1234);
+  MaskMatrix fit_masks = SamplePerturbationMaskMatrix(fit_dim, samples, fit_rng);
+  std::vector<double> fit_targets(fit_masks.rows());
+  std::vector<double> fit_weights(fit_masks.rows());
+  for (size_t r = 0; r < fit_masks.rows(); ++r) {
+    fit_targets[r] = fit_rng.NextDouble();
+    fit_weights[r] = KernelWeight(fit_masks.row(r), 0.25);
+  }
+  auto fit_loop = [&] {
+    for (int rep = 0; rep < 8; ++rep) {
+      Result<SurrogateFit> fit =
+          FitSurrogate(fit_masks, fit_targets, fit_weights, SurrogateOptions{});
+      if (fit.ok()) g_kernel_sink = g_kernel_sink + fit->model.intercept;
+    }
+  };
+
+  const size_t kernel_reps = std::max<size_t>(reps * 4, 20);
+  auto time_kernel = [&](const auto& body) {
+    double scalar_seconds, simd_seconds;
+    {
+      simd::ScopedSimdEnabled off(false);
+      scalar_seconds = MinKernelSeconds(kernel_reps, body);
+    }
+    {
+      simd::ScopedSimdEnabled on(true);
+      simd_seconds = MinKernelSeconds(kernel_reps, body);
+    }
+    return KernelJson(scalar_seconds, simd_seconds);
+  };
+  const std::string lev_json = time_kernel(lev_loop);
+  const std::string merge_json = time_kernel(merge_loop);
+  const std::string fit_json = time_kernel(fit_loop);
+
+  const char* isa = simd::SimdLevelName(simd::DetectedLevel());
+  std::string json = "{\n";
+  json += "  \"workload\": {\"dataset\": \"S-AG\", \"size_scale\": " +
+          FormatDouble(scale, 2) + ", \"model\": \"logreg-em\", " +
+          "\"explainer\": \"landmark-double\", \"records\": " +
+          std::to_string(batch.size()) + ", \"num_samples\": " +
+          std::to_string(samples) + ", \"threads\": " +
+          std::to_string(threads) + ", \"reps\": " + std::to_string(reps) +
+          ", \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) +
+          ", \"simd_isa\": \"" + isa + "\"},\n";
+  json += "  \"scalar\": " + scalar.ToJson() + ",\n";
+  json += "  \"simd\": " + vectorized.ToJson() + ",\n";
+  json += "  \"kernels\": {\"levenshtein\": " + lev_json +
+          ", \"token_merge\": " + merge_json + ", \"surrogate_fit\": " +
+          fit_json + "},\n";
+  json += "  \"query_speedup\": " + FormatDouble(query_speedup, 3) + ",\n";
+  json += "  \"fit_speedup\": " + FormatDouble(fit_speedup, 3) + ",\n";
+  json += "  \"query_fit_speedup\": " + FormatDouble(query_fit_speedup, 3) +
+          ",\n";
+  json += "  \"simd_speedup\": " + FormatDouble(simd_speedup, 3) + "\n";
+  json += "}\n";
+
+  if (!EmitJson(json_out, to_stdout, json)) {
+    return 1;
+  }
+
+  if (!canonical_out.empty() && !to_stdout) {
+    std::string canonical = "{\n";
+    canonical += "  \"schema\": \"landmark-bench-v1\",\n";
+    canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
+                 "\"throughput\": \"records/second\"},\n";
+    canonical += "  \"simd_speedup\": " + FormatDouble(simd_speedup, 3) +
+                 ",\n";
+    canonical += "  \"query_speedup\": " + FormatDouble(query_speedup, 3) +
+                 ",\n";
+    canonical += "  \"fit_speedup\": " + FormatDouble(fit_speedup, 3) +
+                 ",\n";
+    canonical += "  \"query_fit_speedup\": " +
+                 FormatDouble(query_fit_speedup, 3) + ",\n";
+    canonical += "  \"hardware_concurrency\": " +
+                 std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    canonical += "  \"simd_isa\": \"" + std::string(isa) + "\",\n";
+    canonical += "  \"benchmarks\": {\n";
+    canonical +=
+        CanonicalEntry("simd/scalar", scalar.total, batch.size()) + ",\n";
+    canonical +=
+        CanonicalEntry("simd/vectorized", vectorized.total, batch.size()) +
+        "\n";
+    canonical += "  }\n}\n";
+    if (!EmitJson(canonical_out, false, canonical)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Result<Flags> parsed = Flags::Parse(argc, argv);
   if (!parsed.ok()) {
@@ -472,16 +705,21 @@ int Run(int argc, char** argv) {
   if (mode == "flightdeck") {
     return RunFlightdeck(flags, /*to_stdout=*/false);
   }
+  if (mode == "simd") {
+    return RunSimd(flags, /*to_stdout=*/false);
+  }
   if (mode == "all") {
     const int fastpath_rc = RunFastpath(flags, /*to_stdout=*/true);
     const int scheduler_rc = RunScheduler(flags, /*to_stdout=*/true);
     const int flightdeck_rc = RunFlightdeck(flags, /*to_stdout=*/true);
+    const int simd_rc = RunSimd(flags, /*to_stdout=*/true);
     if (fastpath_rc != 0) return fastpath_rc;
-    return scheduler_rc != 0 ? scheduler_rc : flightdeck_rc;
+    if (scheduler_rc != 0) return scheduler_rc;
+    return flightdeck_rc != 0 ? flightdeck_rc : simd_rc;
   }
   LANDMARK_LOG(Error) << "unknown --mode '" << mode
                       << "' (expected fastpath, scheduler, flightdeck, "
-                      << "or all)";
+                      << "simd, or all)";
   return 1;
 }
 

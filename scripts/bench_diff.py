@@ -13,8 +13,8 @@ Exit codes:
     0 — no common benchmark regressed by more than the threshold, or the
         comparison is not meaningful (no common benchmark names, or the
         two files were captured on machines with different — or
-        unrecorded — `hardware_concurrency`, where absolute wall times
-        say nothing).
+        unrecorded — `hardware_concurrency` or `simd_isa`, where absolute
+        wall times say nothing).
     1 — at least one common benchmark's wall_ns grew by more than the
         threshold (default 10%) on comparable hardware.
     2 — bad usage or unreadable/ill-formed input.
@@ -77,6 +77,16 @@ def main(argv) -> int:
     if not comparable:
         print(f"bench_diff: hardware_concurrency differs or is unrecorded "
               f"(old={old_hc}, new={new_hc}); reporting only, not gating")
+
+    # SIMD benches additionally record the detected vector ISA; a wall-time
+    # diff between, say, an AVX2 and a NEON capture says nothing, so when
+    # either side records `simd_isa` both must, and they must agree.
+    old_isa = old.get("simd_isa")
+    new_isa = new.get("simd_isa")
+    if (old_isa is not None or new_isa is not None) and old_isa != new_isa:
+        comparable = False
+        print(f"bench_diff: simd_isa differs or is unrecorded on one side "
+              f"(old={old_isa}, new={new_isa}); reporting only, not gating")
 
     regressions = []
     name_width = max(len(name) for name in common)

@@ -18,10 +18,12 @@ bench_diff = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_diff)
 
 
-def doc(benchmarks, concurrency=8):
+def doc(benchmarks, concurrency=8, isa=None):
     out = {"benchmarks": benchmarks}
     if concurrency is not None:
         out["hardware_concurrency"] = concurrency
+    if isa is not None:
+        out["simd_isa"] = isa
     return out
 
 
@@ -73,6 +75,26 @@ class BenchDiffTest(unittest.TestCase):
         new = self.write("new.json", doc({"q": {"wall_ns": 900}},
                                          concurrency=None))
         self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_different_simd_isa_reports_but_does_not_gate(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}},
+                                         isa="avx2"))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900}},
+                                         isa="neon"))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_simd_isa_on_one_side_only_does_not_gate(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}}))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900}},
+                                         isa="avx2"))
+        self.assertEqual(self.run_diff(old, new), 0)
+
+    def test_matching_simd_isa_still_gates(self):
+        old = self.write("old.json", doc({"q": {"wall_ns": 100}},
+                                         isa="avx2"))
+        new = self.write("new.json", doc({"q": {"wall_ns": 900}},
+                                         isa="avx2"))
+        self.assertEqual(self.run_diff(old, new), 1)
 
     def test_no_common_names_is_clean(self):
         old = self.write("old.json", doc({"a": {"wall_ns": 100}}))

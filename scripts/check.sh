@@ -21,6 +21,10 @@
 #               instrumentation, and a byte-compare of `landmark_cli
 #               explain` output against the default build proving the
 #               detector is observation-only
+#   simd        byte-compare of `landmark_cli explain` output and the audit
+#               unit lines with and without `--no-simd`, on the default
+#               build and again under asan-ubsan — the vectorized kernels'
+#               bit-exactness contract, end to end
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
 # `telemetry-demo --trace-out --metrics-out --audit-out --profile-out` and
@@ -111,6 +115,33 @@ cmp "$TELEMETRY_TMP/explain_detector_off.txt" \
 cmp <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_detector_off.jsonl") \
   <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_detector_on.jsonl")
 echo "deadlock-debug: detector is observation-only (outputs identical)"
+
+# SIMD equivalence stage: the vectorized kernels must be bit-identical to
+# their scalar twins end to end, so `landmark_cli explain` output and the
+# audit unit lines must not change under `--no-simd` — checked on the
+# default build and again under asan-ubsan, where a lane overrun or
+# misaligned load in a kernel would trip the sanitizer.
+simd_equivalence() {
+  local bindir="$1" tag="$2"
+  "$bindir/tools/landmark_cli" explain --dataset S-BR --pair 7 \
+    --technique double >"$TELEMETRY_TMP/explain_simd_on_$tag.txt"
+  "$bindir/tools/landmark_cli" explain --dataset S-BR --pair 7 \
+    --technique double --no-simd >"$TELEMETRY_TMP/explain_simd_off_$tag.txt"
+  cmp "$TELEMETRY_TMP/explain_simd_on_$tag.txt" \
+    "$TELEMETRY_TMP/explain_simd_off_$tag.txt"
+  "$bindir/tools/landmark_cli" telemetry-demo --records 8 \
+    --audit-out="$TELEMETRY_TMP/audit_simd_on_$tag.jsonl" >/dev/null
+  "$bindir/tools/landmark_cli" telemetry-demo --records 8 --no-simd \
+    --audit-out="$TELEMETRY_TMP/audit_simd_off_$tag.jsonl" >/dev/null
+  cmp <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_simd_on_$tag.jsonl") \
+    <(grep '"type":"unit"' "$TELEMETRY_TMP/audit_simd_off_$tag.jsonl")
+  echo "simd equivalence [$tag]: scalar and vectorized outputs identical"
+}
+
+echo "=== simd equivalence [default] ==="
+simd_equivalence build default
+echo "=== simd equivalence [asan-ubsan] ==="
+simd_equivalence build-asan-ubsan asan-ubsan
 
 # Exporter smoke: background a tiny batch that serves /metrics on an
 # ephemeral port and lingers, poll the announced port until the finished

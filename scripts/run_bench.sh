@@ -17,6 +17,13 @@
 #                          stall watchdog + one /statusz render per rep),
 #                          written to BENCH_flightdeck.json (deck_overhead
 #                          is the headline ratio; should stay near 1.0)
+#   5. query_stage_bench --mode simd — scalar vs vectorized kernel variants
+#                          (EngineOptions::simd) end to end, plus per-kernel
+#                          micro-timings (Levenshtein, token merges,
+#                          surrogate fit), written to BENCH_simd.json
+#                          (query_fit_speedup is the headline ratio; the
+#                          detected ISA is recorded next to it because the
+#                          ratios only compare on like hardware)
 #
 # Reference numbers live in bench/baselines/: BENCH_query_pre.json was
 # captured immediately before the query fast path landed,
@@ -26,17 +33,21 @@
 #
 # Alongside the per-mode JSON documents, the canonical cross-PR trajectory
 # files BENCH_5.json (fastpath), BENCH_6.json (scheduler; also carries the
-# scheduler_speedup ratio), and BENCH_7.json (flightdeck; also carries the
-# deck_overhead ratio and re-emits scheduler/task_graph for continuity)
+# scheduler_speedup ratio), BENCH_7.json (flightdeck; also carries the
+# deck_overhead ratio and re-emits scheduler/task_graph for continuity), and
+# BENCH_8.json (simd; carries the simd/query_fit speedup ratios plus
+# hardware_concurrency and simd_isa so bench_diff.py refuses to compare
+# across different vector units)
 # (schema: benchmark name -> wall_ns + throughput) are written to the repo
 # root so tooling can compare runs across PRs without knowing each
 # benchmark's bespoke layout — scripts/bench_diff.py does exactly that.
 #
 # Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json,
-#                                       BENCH_scheduler.json and
-#                                       BENCH_flightdeck.json in $PWD,
-#                                       BENCH_5.json, BENCH_6.json and
-#                                       BENCH_7.json in the repo root)
+#                                       BENCH_scheduler.json,
+#                                       BENCH_flightdeck.json and
+#                                       BENCH_simd.json in $PWD,
+#                                       BENCH_5.json through BENCH_8.json
+#                                       in the repo root)
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -74,3 +85,11 @@ echo "=== query_stage_bench --mode flightdeck ==="
 cat "$OUT_DIR/BENCH_flightdeck.json"
 echo "wrote $OUT_DIR/BENCH_flightdeck.json (flight deck off vs on)"
 echo "wrote $REPO/BENCH_7.json (canonical cross-PR trajectory)"
+
+echo "=== query_stage_bench --mode simd ==="
+"$REPO/build/bench/query_stage_bench" --mode simd \
+  --json-out "$OUT_DIR/BENCH_simd.json" \
+  --canonical-out "$REPO/BENCH_8.json"
+cat "$OUT_DIR/BENCH_simd.json"
+echo "wrote $OUT_DIR/BENCH_simd.json (scalar vs vectorized kernels)"
+echo "wrote $REPO/BENCH_8.json (canonical cross-PR trajectory)"

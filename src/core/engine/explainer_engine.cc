@@ -10,6 +10,7 @@
 #include "core/surrogate.h"
 #include "em/prepared_batch.h"
 #include "text/token_cache.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/telemetry/audit.h"
 #include "util/telemetry/flight_deck.h"
@@ -25,23 +26,26 @@ namespace {
 /// deduplicated list, and records which mask indices are the unique
 /// representatives (in first-occurrence order, so slot 0 is always the
 /// all-active mask). With dedup disabled the mapping is the identity.
-std::vector<uint32_t> DeduplicateMasks(
-    const std::vector<std::vector<uint8_t>>& masks, bool enabled,
-    std::vector<uint32_t>* unique_index) {
-  std::vector<uint32_t> mask_to_unique(masks.size());
+std::vector<uint32_t> DeduplicateMasks(const MaskMatrix& masks, bool enabled,
+                                       std::vector<uint32_t>* unique_index) {
+  std::vector<uint32_t> mask_to_unique(masks.rows());
   unique_index->clear();
   if (!enabled) {
-    unique_index->reserve(masks.size());
-    for (uint32_t m = 0; m < masks.size(); ++m) {
+    unique_index->reserve(masks.rows());
+    for (uint32_t m = 0; m < masks.rows(); ++m) {
       mask_to_unique[m] = m;
       unique_index->push_back(m);
     }
     return mask_to_unique;
   }
   std::unordered_map<std::string, uint32_t> memo;
-  memo.reserve(masks.size());
-  for (uint32_t m = 0; m < masks.size(); ++m) {
-    std::string key(masks[m].begin(), masks[m].end());
+  memo.reserve(masks.rows());
+  // Keyed on the packed words (8x smaller than the byte keys it replaced);
+  // well-defined because the samplers keep padding bits zeroed.
+  const size_t key_bytes = masks.words_per_row() * sizeof(uint64_t);
+  for (uint32_t m = 0; m < masks.rows(); ++m) {
+    std::string key(reinterpret_cast<const char*>(masks.row_words(m)),
+                    key_bytes);
     auto [it, inserted] =
         memo.emplace(std::move(key), static_cast<uint32_t>(unique_index->size()));
     if (inserted) unique_index->push_back(m);
@@ -65,8 +69,8 @@ struct UnitWork {
   ExplainUnit unit;
   Status status = Status::OK();
 
-  // Plan stage outputs.
-  std::vector<std::vector<uint8_t>> masks;
+  // Plan stage outputs. Masks are bit-packed (core/sampling.h).
+  MaskMatrix masks;
   std::vector<double> kernel_weights;
   std::vector<uint32_t> mask_to_unique;
   std::vector<uint32_t> unique_index;  // indices into `masks`
@@ -299,10 +303,10 @@ void FinalizeBatch(const EngineOptions& options,
       record.landmark_side =
           std::string(EntitySideName(*work.unit.shell.landmark));
     }
-    record.num_masks = work.masks.size();
+    record.num_masks = work.masks.rows();
     if (work.queried) {
       record.num_model_queries = work.unique_index.size();
-      record.cache_hits = work.masks.size() - work.unique_index.size();
+      record.cache_hits = work.masks.rows() - work.unique_index.size();
     }
     if (work.fit_ok) {
       FillAuditSuccess(work.unit.shell, work.quality,
@@ -427,6 +431,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
     const EmModel& model, const std::vector<const PairRecord*>& pairs,
     const PairExplainer& explainer) const {
   LANDMARK_TRACE_SPAN("engine/batch");
+  // Kernel-variant selection for the whole batch (EngineOptions::simd).
+  simd::ScopedSimdEnabled simd_scope(options_.simd);
   Timer batch_timer;
   EngineBatchResult out;
   const size_t n = pairs.size();
@@ -499,7 +505,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
           work.masks, options_.cache_predictions, &work.unique_index);
     }
   });
-  for (const UnitWork& work : works) out.stats.num_masks += work.masks.size();
+  for (const UnitWork& work : works) out.stats.num_masks += work.masks.rows();
   out.stats.plan_seconds = timer.ElapsedSeconds();
   plan_span.End();
 
@@ -516,7 +522,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
       work.reconstructed.reserve(work.unique_index.size());
       for (uint32_t mask_index : work.unique_index) {
         Result<PairRecord> rec = explainer.ReconstructUnit(
-            work.unit, *pairs[work.record_index], work.masks[mask_index]);
+            work.unit, *pairs[work.record_index], work.masks.row(mask_index));
         if (!rec.ok()) {
           work.status = rec.status();
           work.reconstructed.clear();
@@ -602,7 +608,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
   out.stats.num_model_queries = batch.size();
   size_t live_masks = 0;
   for (const UnitWork& work : works) {
-    if (work.queried) live_masks += work.masks.size();
+    if (work.queried) live_masks += work.masks.rows();
   }
   out.stats.cache_hits = live_masks - batch.size();
   out.stats.query_seconds = timer.ElapsedSeconds();
@@ -625,8 +631,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchStaged(
       NodeTagScope tag(deck_id, "engine/fit",
                        static_cast<uint32_t>(work.record_index),
                        static_cast<uint32_t>(w));
-      std::vector<double> unit_predictions(work.masks.size());
-      for (size_t m = 0; m < work.masks.size(); ++m) {
+      std::vector<double> unit_predictions(work.masks.rows());
+      for (size_t m = 0; m < work.masks.rows(); ++m) {
         unit_predictions[m] =
             predictions[work.query_offset + work.mask_to_unique[m]];
       }
@@ -661,6 +667,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
     const EmModel& model, const std::vector<const PairRecord*>& pairs,
     const PairExplainer& explainer) const {
   LANDMARK_TRACE_SPAN("engine/batch");
+  // Kernel-variant selection for the whole batch (EngineOptions::simd).
+  simd::ScopedSimdEnabled simd_scope(options_.simd);
   Timer batch_timer;
   EngineBatchResult out;
   const size_t n = pairs.size();
@@ -725,7 +733,7 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
     work.reconstructed.reserve(work.unique_index.size());
     for (uint32_t mask_index : work.unique_index) {
       Result<PairRecord> rec = explainer.ReconstructUnit(
-          work.unit, *pairs[i], work.masks[mask_index]);
+          work.unit, *pairs[i], work.masks.row(mask_index));
       if (!rec.ok()) {
         work.status = rec.status();
         work.reconstructed.clear();
@@ -789,8 +797,8 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
     InflightScope inflight(sm.inflight_fit);
     TraceSpan span("engine/fit");
     Timer timer;
-    std::vector<double> unit_predictions(work.masks.size());
-    for (size_t m = 0; m < work.masks.size(); ++m) {
+    std::vector<double> unit_predictions(work.masks.rows());
+    for (size_t m = 0; m < work.masks.rows(); ++m) {
       unit_predictions[m] = work.predictions[work.mask_to_unique[m]];
     }
     Result<SurrogateFit> fit =
@@ -869,14 +877,14 @@ EngineBatchResult ExplainerEngine::ExplainBatchTaskGraph(
   size_t cache_evictions = 0;
   size_t live_masks = 0;
   for (const UnitWork* work : works) {
-    out.stats.num_masks += work->masks.size();
+    out.stats.num_masks += work->masks.rows();
     if (!work->queried) {
       // Unique masks planned for units whose record failed pre-query: their
       // memo entries were built and then discarded.
       cache_evictions += work->unique_index.size();
       continue;
     }
-    live_masks += work->masks.size();
+    live_masks += work->masks.rows();
     out.stats.num_model_queries += work->unique_index.size();
   }
   out.stats.cache_hits = live_masks - out.stats.num_model_queries;
@@ -945,7 +953,8 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
     if (!valid.ok()) return valid;
   }
   LANDMARK_TRACE_SPAN("engine/unit");
-  std::vector<std::vector<uint8_t>> masks;
+  simd::ScopedSimdEnabled simd_scope(options_.simd);
+  MaskMatrix masks;
   std::vector<double> kernel_weights;
   explainer.SampleNeighborhood(unit.dim, unit.rng, &masks, &kernel_weights);
   std::vector<uint32_t> unique_index;
@@ -954,9 +963,9 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
   {
     const EngineMetrics& m = EngineMetrics::Get();
     m.units.Add(1);
-    m.masks.Add(masks.size());
+    m.masks.Add(masks.rows());
     m.model_queries.Add(unique_index.size());
-    m.cache_hits.Add(masks.size() - unique_index.size());
+    m.cache_hits.Add(masks.rows() - unique_index.size());
     m.cache_misses.Add(unique_index.size());
   }
 
@@ -965,7 +974,7 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
   for (uint32_t mask_index : unique_index) {
     LANDMARK_ASSIGN_OR_RETURN(
         PairRecord rec,
-        explainer.ReconstructUnit(unit, pair, masks[mask_index]));
+        explainer.ReconstructUnit(unit, pair, masks.row(mask_index)));
     reconstructed.push_back(std::move(rec));
   }
   std::vector<double> unique_predictions(reconstructed.size());
@@ -981,8 +990,8 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
   } else {
     unique_predictions = model.PredictProbaBatch(reconstructed);
   }
-  std::vector<double> predictions(masks.size());
-  for (size_t m = 0; m < masks.size(); ++m) {
+  std::vector<double> predictions(masks.rows());
+  for (size_t m = 0; m < masks.rows(); ++m) {
     predictions[m] = unique_predictions[mask_to_unique[m]];
   }
 
@@ -1002,9 +1011,9 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
     if (unit.shell.landmark.has_value()) {
       record.landmark_side = std::string(EntitySideName(*unit.shell.landmark));
     }
-    record.num_masks = masks.size();
+    record.num_masks = masks.rows();
     record.num_model_queries = unique_index.size();
-    record.cache_hits = masks.size() - unique_index.size();
+    record.cache_hits = masks.rows() - unique_index.size();
     FillAuditSuccess(unit.shell, quality, pair.left.schema().get(), &record);
     options_.audit_sink->WriteUnit(record);
   }

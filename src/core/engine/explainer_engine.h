@@ -51,6 +51,18 @@ struct EngineOptions {
   /// the staged path across thread counts. Off (`--no-task-graph`) runs the
   /// legacy barriered stages, kept as the equivalence oracle.
   bool use_task_graph = true;
+  /// Use the SIMD kernel variants (util/simd.h) on the perturbation hot
+  /// path: bit-parallel Levenshtein, key-compressed token merges, and the
+  /// vectorized linear-algebra kernels behind the surrogate fit. The packed
+  /// mask layout and SoA batch layout are unconditional; this knob only
+  /// selects which kernel implementation runs, and every vectorized kernel
+  /// is bit-identical to its scalar twin (fixed-order reductions, no FMA
+  /// contraction), so results never change. Off (`--no-simd`) forces the
+  /// scalar variants everywhere — the equivalence oracle for the A/B tests,
+  /// mirroring `--no-task-graph`. The switch is applied for the duration of
+  /// each Explain* call via a process-global flag; running two engines with
+  /// different `simd` settings concurrently is unsupported.
+  bool simd = true;
   /// Stall-watchdog threshold in seconds (`--stall-threshold`): when > 0,
   /// the engine runs a monitor that flags any pipeline node (plan /
   /// reconstruct / query / fit, per unit) still running after this long,

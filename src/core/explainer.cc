@@ -89,6 +89,12 @@ Result<PairRecord> PairExplainer::ReconstructUnit(
   return Reconstruct(unit.shell, original, mask);
 }
 
+Result<PairRecord> PairExplainer::ReconstructUnit(const ExplainUnit& unit,
+                                                  const PairRecord& original,
+                                                  const MaskRow& mask) const {
+  return ReconstructUnit(unit, original, mask.ToBytes());
+}
+
 std::optional<EntitySide> PairExplainer::FrozenSide(
     const ExplainUnit& unit) const {
   // Attribute-copy units (Mojito Copy) read from the source side and write
@@ -142,6 +148,35 @@ void PairExplainer::SampleNeighborhood(
     bool all_active = true;
     for (uint8_t bit : masks->front()) all_active &= bit != 0;
     LANDMARK_CHECK_MSG(all_active,
+                       "neighborhood sampler violated the first-mask-all-"
+                       "active contract");
+  }
+}
+
+void PairExplainer::SampleNeighborhood(
+    size_t dim, Rng& rng, MaskMatrix* masks,
+    std::vector<double>* kernel_weights) const {
+  switch (options_.neighborhood) {
+    case NeighborhoodKind::kLime:
+      *masks = SamplePerturbationMaskMatrix(dim, options_.num_samples, rng);
+      kernel_weights->clear();
+      kernel_weights->reserve(masks->rows());
+      for (size_t r = 0; r < masks->rows(); ++r) {
+        kernel_weights->push_back(
+            KernelWeight(masks->row(r), options_.kernel_width));
+      }
+      break;
+    case NeighborhoodKind::kShap:
+      *masks = SampleShapMaskMatrix(dim, options_.num_samples, rng);
+      kernel_weights->clear();
+      kernel_weights->reserve(masks->rows());
+      for (size_t r = 0; r < masks->rows(); ++r) {
+        kernel_weights->push_back(ShapleyKernelWeight(masks->row(r)));
+      }
+      break;
+  }
+  if (masks->rows() > 0) {
+    LANDMARK_CHECK_MSG(masks->ActiveCount(0) == masks->dim(),
                        "neighborhood sampler violated the first-mask-all-"
                        "active contract");
   }

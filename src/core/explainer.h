@@ -125,6 +125,14 @@ class PairExplainer {
       const ExplainUnit& unit, const PairRecord& original,
       const std::vector<uint8_t>& mask) const;
 
+  /// Packed-mask form of ReconstructUnit. The default expands the bit row to
+  /// bytes and forwards to the byte overload, so explainers that only
+  /// override the byte form keep working; hot-path overrides (Mojito Copy)
+  /// read the bits directly.
+  virtual Result<PairRecord> ReconstructUnit(const ExplainUnit& unit,
+                                             const PairRecord& original,
+                                             const MaskRow& mask) const;
+
   /// \brief Fit epilogue: writes the surrogate coefficients, intercept and
   /// weighted R² into unit->shell. The default is the identity mapping
   /// (coefficient i → token i); Mojito Copy distributes each attribute
@@ -167,6 +175,12 @@ class PairExplainer {
   /// reads options, so it is safe to call concurrently.
   void SampleNeighborhood(size_t dim, Rng& rng,
                           std::vector<std::vector<uint8_t>>* masks,
+                          std::vector<double>* kernel_weights) const;
+
+  /// Packed form: one bit per token, kernel weights computed from popcounts.
+  /// Draws the exact RNG sequence of the byte overload, so the two forms
+  /// produce the same masks and weights bit for bit.
+  void SampleNeighborhood(size_t dim, Rng& rng, MaskMatrix* masks,
                           std::vector<double>* kernel_weights) const;
 
   const ExplainerOptions& options() const { return options_; }

@@ -90,6 +90,30 @@ Result<PairRecord> MojitoCopyExplainer::ReconstructUnit(
   return rec;
 }
 
+Result<PairRecord> MojitoCopyExplainer::ReconstructUnit(
+    const ExplainUnit& unit, const PairRecord& original,
+    const MaskRow& mask) const {
+  if (!unit.copy_source.has_value()) {
+    return PairExplainer::ReconstructUnit(unit, original, mask);
+  }
+  if (mask.dim != unit.copy_attrs.size()) {
+    return Status::InvalidArgument(
+        "ReconstructUnit: mask size does not match the copy-attribute slots");
+  }
+  const EntitySide source_side = *unit.copy_source;
+  const EntitySide varying_side = OppositeSide(source_side);
+  const Record& source = original.entity(source_side);
+  PairRecord rec = original;
+  Record& rec_varying = rec.entity(varying_side);
+  for (size_t slot = 0; slot < unit.copy_attrs.size(); ++slot) {
+    if (!mask.bit(slot)) {
+      rec_varying.SetValue(unit.copy_attrs[slot],
+                           source.value(unit.copy_attrs[slot]));
+    }
+  }
+  return rec;
+}
+
 void MojitoCopyExplainer::ApplyFit(const SurrogateFit& fit,
                                    ExplainUnit* unit) const {
   if (!unit->copy_source.has_value()) {

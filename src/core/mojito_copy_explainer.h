@@ -50,6 +50,11 @@ class MojitoCopyExplainer : public PairExplainer {
       const ExplainUnit& unit, const PairRecord& original,
       const std::vector<uint8_t>& mask) const override;
 
+  /// Packed form: reads the copy slots straight from the bit row.
+  Result<PairRecord> ReconstructUnit(const ExplainUnit& unit,
+                                     const PairRecord& original,
+                                     const MaskRow& mask) const override;
+
   /// Distributes each attribute coefficient uniformly over the attribute's
   /// tokens ("distributes its impact equally to its constituent tokens").
   void ApplyFit(const SurrogateFit& fit, ExplainUnit* unit) const override;

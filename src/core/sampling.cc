@@ -3,27 +3,97 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace landmark {
+namespace {
+
+std::vector<std::vector<uint8_t>> ExpandRows(const MaskMatrix& packed) {
+  std::vector<std::vector<uint8_t>> masks;
+  masks.reserve(packed.rows());
+  for (size_t r = 0; r < packed.rows(); ++r) {
+    masks.push_back(packed.row(r).ToBytes());
+  }
+  return masks;
+}
+
+}  // namespace
+
+size_t MaskRow::ActiveCount() const {
+  return static_cast<size_t>(simd::PopcountWords(words, num_words()));
+}
+
+std::vector<uint8_t> MaskRow::ToBytes() const {
+  std::vector<uint8_t> bytes(dim);
+  for (size_t i = 0; i < dim; ++i) bytes[i] = bit(i) ? 1 : 0;
+  return bytes;
+}
+
+void MaskMatrix::FillRow(size_t r) {
+  uint64_t* words = row_words(r);
+  for (size_t w = 0; w < words_per_row_; ++w) words[w] = ~uint64_t{0};
+  const size_t tail = dim_ & 63;
+  if (words_per_row_ > 0 && tail != 0) {
+    words[words_per_row_ - 1] = (uint64_t{1} << tail) - 1;
+  }
+}
+
+MaskMatrix SamplePerturbationMaskMatrix(size_t dim, size_t num_samples,
+                                        Rng& rng) {
+  LANDMARK_CHECK(dim >= 1);
+  MaskMatrix masks(num_samples, dim);
+  if (num_samples == 0) return masks;
+
+  masks.FillRow(0);  // the unperturbed representation
+  for (size_t s = 1; s < num_samples; ++s) {
+    masks.FillRow(s);
+    const size_t k = 1 + static_cast<size_t>(rng.NextUint64(dim));
+    for (size_t idx : rng.SampleWithoutReplacement(dim, k)) {
+      masks.ClearBit(s, idx);
+    }
+  }
+  return masks;
+}
+
+MaskMatrix SampleShapMaskMatrix(size_t dim, size_t num_samples, Rng& rng) {
+  LANDMARK_CHECK(dim >= 1);
+  MaskMatrix masks(num_samples, dim);
+  if (num_samples == 0) return masks;
+
+  masks.FillRow(0);  // f(all) anchor; row 1 stays all-zeros: f(none)
+
+  if (dim >= 2) {
+    // Size distribution p(k) ∝ (d - 1) / (k (d - k)), k in [1, d-1].
+    std::vector<double> size_weights(dim - 1);
+    for (size_t k = 1; k < dim; ++k) {
+      size_weights[k - 1] =
+          1.0 / (static_cast<double>(k) * static_cast<double>(dim - k));
+    }
+    for (size_t s = 2; s < num_samples; ++s) {
+      const size_t k = 1 + rng.NextWeighted(size_weights);
+      for (size_t idx : rng.SampleWithoutReplacement(dim, k)) {
+        masks.SetBit(s, idx);
+      }
+    }
+  } else {
+    // Single feature: only the two anchors exist; repeat them.
+    for (size_t s = 2; s < num_samples; ++s) {
+      if (s % 2 == 0) masks.FillRow(s);
+    }
+  }
+  return masks;
+}
 
 std::vector<std::vector<uint8_t>> SamplePerturbationMasks(size_t dim,
                                                           size_t num_samples,
                                                           Rng& rng) {
-  LANDMARK_CHECK(dim >= 1);
-  std::vector<std::vector<uint8_t>> masks;
-  masks.reserve(num_samples);
-  if (num_samples == 0) return masks;
+  return ExpandRows(SamplePerturbationMaskMatrix(dim, num_samples, rng));
+}
 
-  masks.emplace_back(dim, 1);  // the unperturbed representation
-  for (size_t s = 1; s < num_samples; ++s) {
-    std::vector<uint8_t> mask(dim, 1);
-    const size_t k = 1 + static_cast<size_t>(rng.NextUint64(dim));
-    for (size_t idx : rng.SampleWithoutReplacement(dim, k)) {
-      mask[idx] = 0;
-    }
-    masks.push_back(std::move(mask));
-  }
-  return masks;
+std::vector<std::vector<uint8_t>> SampleShapMasks(size_t dim,
+                                                  size_t num_samples,
+                                                  Rng& rng) {
+  return ExpandRows(SampleShapMaskMatrix(dim, num_samples, rng));
 }
 
 double ActiveFraction(const std::vector<uint8_t>& mask) {
@@ -33,18 +103,33 @@ double ActiveFraction(const std::vector<uint8_t>& mask) {
   return static_cast<double>(active) / static_cast<double>(mask.size());
 }
 
-double KernelWeight(const std::vector<uint8_t>& mask, double kernel_width) {
+double ActiveFraction(const MaskRow& mask) {
+  if (mask.dim == 0) return 0.0;
+  return static_cast<double>(mask.ActiveCount()) /
+         static_cast<double>(mask.dim);
+}
+
+namespace {
+
+double KernelWeightFromFraction(double active_fraction, double kernel_width) {
   LANDMARK_CHECK(kernel_width > 0.0);
-  const double distance = 1.0 - std::sqrt(ActiveFraction(mask));
+  const double distance = 1.0 - std::sqrt(active_fraction);
   return std::exp(-(distance * distance) / (kernel_width * kernel_width));
 }
 
-double ShapleyKernelWeight(const std::vector<uint8_t>& mask,
-                           double anchor_weight) {
-  const size_t d = mask.size();
+}  // namespace
+
+double KernelWeight(const std::vector<uint8_t>& mask, double kernel_width) {
+  return KernelWeightFromFraction(ActiveFraction(mask), kernel_width);
+}
+
+double KernelWeight(const MaskRow& mask, double kernel_width) {
+  return KernelWeightFromFraction(ActiveFraction(mask), kernel_width);
+}
+
+double ShapleyKernelWeightFromCount(size_t k, size_t d,
+                                    double anchor_weight) {
   LANDMARK_CHECK(d >= 1);
-  size_t k = 0;
-  for (uint8_t bit : mask) k += bit != 0;
   if (k == 0 || k == d) return anchor_weight;
   // (d - 1) / (C(d, k) k (d - k)); compute C(d, k) in log space to survive
   // large d.
@@ -60,37 +145,16 @@ double ShapleyKernelWeight(const std::vector<uint8_t>& mask,
   return std::exp(log_weight);
 }
 
-std::vector<std::vector<uint8_t>> SampleShapMasks(size_t dim,
-                                                  size_t num_samples,
-                                                  Rng& rng) {
-  LANDMARK_CHECK(dim >= 1);
-  std::vector<std::vector<uint8_t>> masks;
-  masks.reserve(num_samples);
-  if (num_samples == 0) return masks;
+double ShapleyKernelWeight(const std::vector<uint8_t>& mask,
+                           double anchor_weight) {
+  size_t k = 0;
+  for (uint8_t bit : mask) k += bit != 0;
+  return ShapleyKernelWeightFromCount(k, mask.size(), anchor_weight);
+}
 
-  masks.emplace_back(dim, 1);  // f(all) anchor
-  if (num_samples >= 2) masks.emplace_back(dim, 0);  // f(none) anchor
-
-  if (dim >= 2) {
-    // Size distribution p(k) ∝ (d - 1) / (k (d - k)), k in [1, d-1].
-    std::vector<double> size_weights(dim - 1);
-    for (size_t k = 1; k < dim; ++k) {
-      size_weights[k - 1] =
-          1.0 / (static_cast<double>(k) * static_cast<double>(dim - k));
-    }
-    for (size_t s = masks.size(); s < num_samples; ++s) {
-      const size_t k = 1 + rng.NextWeighted(size_weights);
-      std::vector<uint8_t> mask(dim, 0);
-      for (size_t idx : rng.SampleWithoutReplacement(dim, k)) mask[idx] = 1;
-      masks.push_back(std::move(mask));
-    }
-  } else {
-    // Single feature: only the two anchors exist; repeat them.
-    for (size_t s = masks.size(); s < num_samples; ++s) {
-      masks.emplace_back(dim, s % 2 == 0 ? 1 : 0);
-    }
-  }
-  return masks;
+double ShapleyKernelWeight(const MaskRow& mask, double anchor_weight) {
+  return ShapleyKernelWeightFromCount(mask.ActiveCount(), mask.dim,
+                                      anchor_weight);
 }
 
 }  // namespace landmark

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "ml/linalg.h"
+#include "util/arena.h"
+#include "util/simd.h"
 
 namespace landmark {
 
@@ -96,6 +98,85 @@ Result<SurrogateFit> FitSurrogate(
   for (size_t r = 0; r < masks.size(); ++r) {
     for (size_t c = 0; c < order.size(); ++c) {
       x_sel.at(r, c) = masks[r][order[c]];
+    }
+  }
+  LANDMARK_ASSIGN_OR_RETURN(
+      LinearModel selected,
+      FitWeightedRidge(x_sel, targets, sample_weights, options.ridge_lambda));
+
+  LinearModel expanded;
+  expanded.coefficients.assign(dim, 0.0);
+  for (size_t c = 0; c < order.size(); ++c) {
+    expanded.coefficients[order[c]] = selected.coefficients[c];
+  }
+  expanded.intercept = selected.intercept;
+
+  SurrogateFit fit;
+  fit.weighted_r2 = WeightedR2(x, targets, sample_weights, expanded);
+  fit.model = std::move(expanded);
+  return fit;
+}
+
+Result<SurrogateFit> FitSurrogate(const MaskMatrix& masks,
+                                  const std::vector<double>& targets,
+                                  const std::vector<double>& sample_weights,
+                                  const SurrogateOptions& options) {
+  if (masks.rows() == 0) {
+    return Status::InvalidArgument("FitSurrogate: no samples");
+  }
+  const size_t n = masks.rows();
+  const size_t dim = masks.dim();
+  if (dim == 0) {
+    return Status::InvalidArgument("FitSurrogate: empty feature space");
+  }
+  if (targets.size() != n || sample_weights.size() != n) {
+    return Status::InvalidArgument("FitSurrogate: shape mismatch");
+  }
+
+  // Build the intercept-augmented design matrix straight from the bit rows.
+  // Values are exactly the 0.0/1.0 doubles the byte path produces, so
+  // SolveRidge sees a bit-identical system.
+  ArenaFrame frame;
+  const size_t width = dim + 1;
+  double* xa_data = frame.arena().AllocateDoubles(n * width);
+  for (size_t r = 0; r < n; ++r) {
+    double* dst = xa_data + r * width;
+    simd::ExpandBitsToDoubles(masks.row_words(r), dim, dst);
+    dst[dim] = 1.0;
+  }
+  Matrix xa = Matrix::View(xa_data, n, width, width);
+  // Feature block of the same storage: stride skips the intercept column.
+  Matrix x = Matrix::View(xa_data, n, dim, width);
+
+  LANDMARK_ASSIGN_OR_RETURN(
+      Vector beta,
+      SolveRidge(xa, targets, sample_weights, options.ridge_lambda, {dim}));
+  LinearModel full;
+  full.coefficients.assign(beta.begin(), beta.begin() + dim);
+  full.intercept = beta[dim];
+
+  if (options.max_features == 0 || options.max_features >= dim) {
+    SurrogateFit fit;
+    fit.weighted_r2 = WeightedR2(x, targets, sample_weights, full);
+    fit.model = std::move(full);
+    return fit;
+  }
+
+  std::vector<size_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&full](size_t a, size_t b) {
+    const double wa = std::abs(full.coefficients[a]);
+    const double wb = std::abs(full.coefficients[b]);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  order.resize(options.max_features);
+  std::sort(order.begin(), order.end());
+
+  Matrix x_sel(n, order.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < order.size(); ++c) {
+      x_sel.at(r, c) = masks.bit(r, order[c]) ? 1.0 : 0.0;
     }
   }
   LANDMARK_ASSIGN_OR_RETURN(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/sampling.h"
 #include "ml/linear_regression.h"
 #include "util/result.h"
 
@@ -31,6 +32,14 @@ struct SurrogateOptions {
 /// Fits the surrogate: masks are the binary design matrix, `targets` the EM
 /// model probabilities, `sample_weights` the kernel weights.
 Result<SurrogateFit> FitSurrogate(const std::vector<std::vector<uint8_t>>& masks,
+                                  const std::vector<double>& targets,
+                                  const std::vector<double>& sample_weights,
+                                  const SurrogateOptions& options = {});
+
+/// Packed-mask form: the augmented design matrix is assembled directly from
+/// the bit rows into arena memory (no per-mask byte expansion, no Matrix
+/// copy for the intercept column). Bit-identical to the byte overload.
+Result<SurrogateFit> FitSurrogate(const MaskMatrix& masks,
                                   const std::vector<double>& targets,
                                   const std::vector<double>& sample_weights,
                                   const SurrogateOptions& options = {});

@@ -1,5 +1,6 @@
 #include "em/forest_em_model.h"
 
+#include "util/arena.h"
 #include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
@@ -72,10 +73,12 @@ void ForestEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
   LANDMARK_TRACE_SPAN("model/query");
   LANDMARK_ACTIVITY("model/query");
   Timer timer;
-  Vector features(extractor_->num_features());
+  ArenaFrame frame;
+  const size_t width = extractor_->num_features();
+  double* features = frame.arena().AllocateDoubles(width);
   for (size_t i = begin; i < end; ++i) {
-    extractor_->ExtractPrepared(prepared, i, features.data());
-    out[i - begin] = forest_.PredictProba(features);
+    extractor_->ExtractPrepared(prepared, i, features);
+    out[i - begin] = forest_.PredictProba(features, width);
   }
   ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }

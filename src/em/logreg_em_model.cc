@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/arena.h"
+
 #include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
@@ -67,12 +69,16 @@ void LogRegEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
   LANDMARK_TRACE_SPAN("model/query");
   LANDMARK_ACTIVITY("model/query");
   Timer timer;
-  Vector features(extractor_->num_features());
+  // Arena-backed scratch row: no heap traffic per range call (the engine
+  // issues one of these per unit).
+  ArenaFrame frame;
+  const size_t width = extractor_->num_features();
+  double* features = frame.arena().AllocateDoubles(width);
   for (size_t i = begin; i < end; ++i) {
-    extractor_->ExtractPrepared(prepared, i, features.data());
-    Status st = scaler_.TransformInPlace(features);
+    extractor_->ExtractPrepared(prepared, i, features);
+    Status st = scaler_.TransformInPlace(features, width);
     LANDMARK_CHECK_MSG(st.ok(), st.ToString().c_str());
-    out[i - begin] = classifier_.PredictProba(features);
+    out[i - begin] = classifier_.PredictProba(features, width);
   }
   ReportQueryTelemetry(end - begin, timer.ElapsedSeconds());
 }

@@ -27,7 +27,8 @@ PreparedPairBatch::PreparedPairBatch(const std::vector<PairRecord>& pairs,
   if (!pairs.empty() && pairs.front().left.schema() != nullptr) {
     num_attributes_ = pairs.front().left.schema()->num_attributes();
   }
-  values_.resize(pairs.size() * num_attributes_ * 2);
+  value_ptrs_.resize(pairs.size() * num_attributes_ * 2, nullptr);
+  token_ptrs_.resize(pairs.size() * num_attributes_ * 2, nullptr);
 }
 
 void PreparedPairBatch::PrepareRange(size_t begin, size_t end,
@@ -38,15 +39,17 @@ void PreparedPairBatch::PrepareRange(size_t begin, size_t end,
   }
   for (size_t p = begin; p < end; ++p) {
     const PairRecord& pair = (*pairs_)[p];
-    PreparedValue* row = values_.data() + p * num_attributes_ * 2;
     for (size_t a = 0; a < num_attributes_; ++a) {
       for (EntitySide side : {EntitySide::kLeft, EntitySide::kRight}) {
-        PreparedValue& slot = row[a * 2 + (side == EntitySide::kRight)];
+        const size_t slot = SlotIndex(p, a, side);
+        PreparedValue prepared;
         if (context.frozen_side == side) {
-          slot = context.frozen_values[a];
+          prepared = context.frozen_values[a];
         } else {
-          slot = PrepareValue(pair.entity(side).value(a), *cache_);
+          prepared = PrepareValue(pair.entity(side).value(a), *cache_);
         }
+        value_ptrs_[slot] = prepared.value;
+        token_ptrs_[slot] = prepared.tokens;
       }
     }
   }
@@ -56,14 +59,13 @@ void PreparedPairBatch::PrepareRange(size_t begin, size_t end) {
   PrepareRange(begin, end, LandmarkFeatureContext{});
 }
 
-const PreparedValue& PreparedPairBatch::value(size_t pair_index, size_t attr,
-                                              EntitySide side) const {
+PreparedValue PreparedPairBatch::value(size_t pair_index, size_t attr,
+                                       EntitySide side) const {
   LANDMARK_CHECK(pair_index < pairs_->size() && attr < num_attributes_);
-  const PreparedValue& slot =
-      values_[(pair_index * num_attributes_ + attr) * 2 +
-              (side == EntitySide::kRight)];
-  LANDMARK_CHECK_MSG(slot.value != nullptr, "row not prepared");
-  return slot;
+  const size_t slot = SlotIndex(pair_index, attr, side);
+  PreparedValue prepared{value_ptrs_[slot], token_ptrs_[slot]};
+  LANDMARK_CHECK_MSG(prepared.value != nullptr, "row not prepared");
+  return prepared;
 }
 
 }  // namespace landmark

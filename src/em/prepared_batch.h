@@ -68,16 +68,26 @@ class PreparedPairBatch {
   size_t num_attributes() const { return num_attributes_; }
 
   /// The resolved value of `pairs()[pair_index]`'s attribute `attr` on
-  /// `side`. The row must have been prepared.
-  const PreparedValue& value(size_t pair_index, size_t attr,
-                             EntitySide side) const;
+  /// `side`, assembled from the SoA columns. The row must have been
+  /// prepared.
+  PreparedValue value(size_t pair_index, size_t attr, EntitySide side) const;
 
  private:
+  size_t SlotIndex(size_t pair_index, size_t attr, EntitySide side) const {
+    return (pair_index * num_attributes_ + attr) * 2 +
+           (side == EntitySide::kRight);
+  }
+
   const std::vector<PairRecord>* pairs_;
   TokenCache* cache_;
   size_t num_attributes_ = 0;
-  /// Row-major: [pair][attr][side], side kLeft then kRight.
-  std::vector<PreparedValue> values_;
+  /// Structure-of-arrays profile columns, both indexed
+  /// [pair][attr][side] (side kLeft then kRight). The query stage streams
+  /// the token-profile column almost exclusively (eight of nine feature
+  /// kinds read only the tokens), so splitting the PreparedValue fields
+  /// into parallel arrays halves the stride of that walk.
+  std::vector<const Value*> value_ptrs_;
+  std::vector<const TokenizedValue*> token_ptrs_;
 };
 
 }  // namespace landmark

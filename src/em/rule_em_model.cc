@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/arena.h"
 #include "util/string_util.h"
 #include "util/telemetry/flight_deck.h"
 #include "util/telemetry/trace.h"
@@ -11,6 +12,10 @@
 namespace landmark {
 
 bool MatchRule::Fires(const Vector& features) const {
+  return Fires(features.data());
+}
+
+bool MatchRule::Fires(const double* features) const {
   for (const Predicate& p : predicates) {
     if (features[p.feature] < p.threshold) return false;
   }
@@ -51,8 +56,7 @@ RuleStats Evaluate(const MatchRule& rule, const Matrix& x,
   RuleStats stats;
   for (size_t i = 0; i < x.rows(); ++i) {
     if (!active[i]) continue;
-    Vector row(x.row(i), x.row(i) + x.cols());
-    if (!rule.Fires(row)) continue;
+    if (!rule.Fires(x.row(i))) continue;
     if (y[i] == 1) {
       ++stats.covered_positives;
     } else {
@@ -143,8 +147,7 @@ Result<std::unique_ptr<RuleEmModel>> RuleEmModel::Train(
     // Deactivate covered positives (negatives stay to constrain later rules).
     for (size_t i = 0; i < y.size(); ++i) {
       if (!active[i] || y[i] != 1) continue;
-      Vector row(x.row(i), x.row(i) + x.cols());
-      if (rule.Fires(row)) {
+      if (rule.Fires(x.row(i))) {
         active[i] = 0;
         --remaining_positives;
       }
@@ -187,9 +190,10 @@ void RuleEmModel::PredictProbaPrepared(const PreparedPairBatch& prepared,
   LANDMARK_TRACE_SPAN("model/query");
   LANDMARK_ACTIVITY("model/query");
   Timer timer;
-  Vector features(extractor_->num_features());
+  ArenaFrame frame;
+  double* features = frame.arena().AllocateDoubles(extractor_->num_features());
   for (size_t i = begin; i < end; ++i) {
-    extractor_->ExtractPrepared(prepared, i, features.data());
+    extractor_->ExtractPrepared(prepared, i, features);
     double best = options_.default_probability;
     for (const MatchRule& rule : rules_) {
       if (rule.Fires(features)) best = std::max(best, rule.confidence);

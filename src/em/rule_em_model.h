@@ -26,6 +26,8 @@ struct MatchRule {
   size_t support = 0;
 
   bool Fires(const Vector& features) const;
+  /// Pointer form for arena-backed rows.
+  bool Fires(const double* features) const;
   std::string ToString(const FeatureExtractor& extractor) const;
 };
 

@@ -48,6 +48,9 @@ ExperimentConfig ExperimentConfig::FromFlags(const Flags& flags) {
   if (flags.GetBool("no-task-graph", false)) {
     config.engine_options.use_task_graph = false;
   }
+  if (flags.GetBool("no-simd", false)) {
+    config.engine_options.simd = false;
+  }
   config.engine_options.stall_threshold =
       flags.GetDouble("stall-threshold", config.engine_options.stall_threshold);
   return config;

@@ -42,6 +42,8 @@ struct ExperimentConfig {
   ///   --threads N (0 = hardware concurrency) --no-predict-cache
   ///   --no-feature-cache --no-task-graph (legacy barriered stage loops;
   ///   same results, kept as the scheduler's equivalence oracle)
+  ///   --no-simd (scalar kernel variants; same results, kept as the
+  ///   vectorized kernels' equivalence oracle)
   ///   --stall-threshold SECONDS (flag nodes running longer than this in
   ///   the stall watchdog; 0 = disabled, never changes explanations)
   static ExperimentConfig FromFlags(const Flags& flags);

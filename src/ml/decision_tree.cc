@@ -152,12 +152,16 @@ Status DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
 }
 
 double DecisionTree::PredictProba(const Vector& features) const {
+  return PredictProba(features.data(), features.size());
+}
+
+double DecisionTree::PredictProba(const double* features, size_t n) const {
   LANDMARK_CHECK_MSG(is_fitted(), "tree is not fitted");
   int32_t node_id = 0;
   for (;;) {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
     if (node.feature < 0) return node.probability;
-    LANDMARK_CHECK(static_cast<size_t>(node.feature) < features.size());
+    LANDMARK_CHECK(static_cast<size_t>(node.feature) < n);
     node_id = features[static_cast<size_t>(node.feature)] <= node.threshold
                   ? node.left
                   : node.right;
@@ -216,9 +220,13 @@ Status RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
 }
 
 double RandomForest::PredictProba(const Vector& features) const {
+  return PredictProba(features.data(), features.size());
+}
+
+double RandomForest::PredictProba(const double* features, size_t n) const {
   LANDMARK_CHECK_MSG(is_fitted(), "forest is not fitted");
   double total = 0.0;
-  for (const auto& tree : trees_) total += tree.PredictProba(features);
+  for (const auto& tree : trees_) total += tree.PredictProba(features, n);
   return total / static_cast<double>(trees_.size());
 }
 

@@ -39,6 +39,9 @@ class DecisionTree {
   /// Probability of class 1.
   double PredictProba(const Vector& features) const;
 
+  /// Pointer form for arena-backed rows.
+  double PredictProba(const double* features, size_t n) const;
+
   bool is_fitted() const { return !nodes_.empty(); }
   size_t num_nodes() const { return nodes_.size(); }
   int depth() const { return depth_; }
@@ -92,6 +95,9 @@ class RandomForest {
 
   /// Mean of the trees' leaf probabilities.
   double PredictProba(const Vector& features) const;
+
+  /// Pointer form for arena-backed rows.
+  double PredictProba(const double* features, size_t n) const;
 
   bool is_fitted() const { return !trees_.empty(); }
   size_t num_trees() const { return trees_.size(); }

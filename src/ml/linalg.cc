@@ -3,12 +3,25 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace landmark {
 
 Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
   for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::View(double* data, size_t rows, size_t cols,
+                    size_t row_stride) {
+  LANDMARK_CHECK(row_stride >= cols);
+  LANDMARK_CHECK(data != nullptr || rows == 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.stride_ = row_stride;
+  m.ptr_ = data;
   return m;
 }
 
@@ -31,7 +44,9 @@ Vector Matrix::MultiplyTransposed(const Vector& x) const {
     const double* a = row(r);
     const double xr = x[r];
     if (xr == 0.0) continue;
-    for (size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+    // Element-wise accumulate: lane-independent, so the SIMD path is
+    // bit-identical to the scalar loop (util/simd.h exactness contract).
+    simd::AddScaled(y.data(), a, xr, cols_);
   }
   return y;
 }
@@ -46,8 +61,9 @@ Matrix Matrix::GramWeighted(const Vector& w) const {
     for (size_t i = 0; i < cols_; ++i) {
       const double wai = wr * a[i];
       if (wai == 0.0) continue;
-      double* gi = g.row(i);
-      for (size_t j = i; j < cols_; ++j) gi[j] += wai * a[j];
+      // Rank-1 row update over the upper triangle; per-element order
+      // matches the scalar loop exactly.
+      simd::AddScaled(g.row(i) + i, a + i, wai, cols_ - i);
     }
   }
   // Mirror the upper triangle.
@@ -68,7 +84,7 @@ double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
 
 void Axpy(double alpha, const Vector& x, Vector& y) {
   LANDMARK_CHECK(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::AddScaled(y.data(), x.data(), alpha, x.size());
 }
 
 Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
@@ -131,7 +147,7 @@ Result<Vector> SolveRidge(const Matrix& x, const Vector& y, const Vector& w,
     gram.at(idx, idx) += 1e-10;
   }
   Vector wy(y.size());
-  for (size_t i = 0; i < y.size(); ++i) wy[i] = w[i] * y[i];
+  simd::Multiply(wy.data(), w.data(), y.data(), y.size());
   Vector rhs = x.MultiplyTransposed(wy);
   return CholeskySolve(gram, rhs);
 }

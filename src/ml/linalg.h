@@ -12,24 +12,72 @@ namespace landmark {
 /// Dense vector of doubles.
 using Vector = std::vector<double>;
 
-/// \brief Dense row-major matrix.
+/// \brief Dense row-major matrix with an explicit row stride.
+///
+/// Owns its storage by default. `View` wraps external memory (typically an
+/// arena block) without copying; a view with `row_stride > cols` exposes a
+/// column-slice of a wider buffer — e.g. the feature block of an augmented
+/// design matrix whose last column is the intercept — so SoA rows can be
+/// shared between solvers instead of re-packed.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(size_t rows, size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows),
+        cols_(cols),
+        stride_(cols),
+        data_(rows * cols, fill),
+        ptr_(data_.data()) {}
+  Matrix(const Matrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        stride_(other.stride_),
+        data_(other.data_),
+        ptr_(other.owns() ? data_.data() : other.ptr_) {}
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        stride_(other.stride_),
+        ptr_(other.ptr_) {
+    const bool owned = other.owns();
+    data_ = std::move(other.data_);
+    if (owned) ptr_ = data_.data();
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) *this = Matrix(other);
+    return *this;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    stride_ = other.stride_;
+    const bool owned = other.owns();
+    ptr_ = other.ptr_;
+    data_ = std::move(other.data_);
+    if (owned) ptr_ = data_.data();
+    return *this;
+  }
 
   static Matrix Identity(size_t n);
 
+  /// Non-owning view over `rows * row_stride` doubles at `data`; row `r`
+  /// starts at `data + r * row_stride` and exposes `cols` columns. The
+  /// caller keeps the backing memory alive for the view's lifetime.
+  static Matrix View(double* data, size_t rows, size_t cols,
+                     size_t row_stride);
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
+  size_t row_stride() const { return stride_; }
+  /// True when this matrix owns its storage (false for `View`s).
+  bool owns() const { return ptr_ == nullptr || ptr_ == data_.data(); }
 
-  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& at(size_t r, size_t c) { return ptr_[r * stride_ + c]; }
+  double at(size_t r, size_t c) const { return ptr_[r * stride_ + c]; }
 
   /// Pointer to the start of row `r`.
-  double* row(size_t r) { return data_.data() + r * cols_; }
-  const double* row(size_t r) const { return data_.data() + r * cols_; }
+  double* row(size_t r) { return ptr_ + r * stride_; }
+  const double* row(size_t r) const { return ptr_ + r * stride_; }
 
   /// y = A x. Requires x.size() == cols().
   Vector Multiply(const Vector& x) const;
@@ -44,7 +92,9 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
+  size_t stride_ = 0;
   std::vector<double> data_;
+  double* ptr_ = nullptr;
 };
 
 /// Dot product; requires equal sizes.

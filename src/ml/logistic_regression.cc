@@ -97,9 +97,18 @@ Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
 }
 
 double LogisticRegression::PredictProba(const Vector& features) const {
+  return PredictProba(features.data(), features.size());
+}
+
+double LogisticRegression::PredictProba(const double* features,
+                                        size_t n) const {
   LANDMARK_CHECK_MSG(fitted_, "model is not fitted");
-  LANDMARK_CHECK(features.size() == coef_.size());
-  return Sigmoid(Dot(features, coef_) + intercept_);
+  LANDMARK_CHECK(n == coef_.size());
+  // Accumulation order matches Dot(features, coef_) + intercept_ so both
+  // overloads return the same bits.
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += features[i] * coef_[i];
+  return Sigmoid(acc + intercept_);
 }
 
 Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {

@@ -42,6 +42,9 @@ class LogisticRegression {
   /// Probability of class 1 for one feature vector.
   double PredictProba(const Vector& features) const;
 
+  /// Pointer form for arena-backed rows; `n` must equal the fitted width.
+  double PredictProba(const double* features, size_t n) const;
+
   /// Probability of class 1 for every row of `x`.
   Vector PredictProbaBatch(const Matrix& x) const;
 

@@ -47,8 +47,12 @@ Status StandardScaler::TransformInPlace(Matrix& x) const {
 }
 
 Status StandardScaler::TransformInPlace(Vector& v) const {
+  return TransformInPlace(v.data(), v.size());
+}
+
+Status StandardScaler::TransformInPlace(double* v, size_t n) const {
   if (!fitted_) return Status::FailedPrecondition("scaler is not fitted");
-  if (v.size() != mean_.size()) {
+  if (n != mean_.size()) {
     return Status::InvalidArgument("StandardScaler: size mismatch");
   }
   for (size_t c = 0; c < mean_.size(); ++c) {

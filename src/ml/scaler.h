@@ -21,6 +21,10 @@ class StandardScaler {
   /// Standardizes one feature vector in place.
   Status TransformInPlace(Vector& v) const;
 
+  /// Pointer form for arena-backed rows (see util/arena.h): standardizes
+  /// `v[0..n)` in place.
+  Status TransformInPlace(double* v, size_t n) const;
+
   bool is_fitted() const { return fitted_; }
   const Vector& means() const { return mean_; }
   const Vector& stddevs() const { return std_; }

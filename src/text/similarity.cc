@@ -7,6 +7,7 @@
 #include <set>
 
 #include "text/tokenize.h"
+#include "util/simd.h"
 
 namespace landmark {
 
@@ -15,6 +16,14 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   const size_t m = a.size();
   const size_t n = b.size();
   if (m == 0) return n;
+
+  // Myers' bit-parallel algorithm computes the identical distance (it is
+  // the same DP, carried in bit deltas) in one word-op column step instead
+  // of an O(m) row — the dominant cost of the edit-distance feature. Gated
+  // by the simd switch only so `--no-simd` keeps a pure scalar oracle.
+  if (simd::Enabled() && m <= 64) {
+    return simd::MyersLevenshtein(a, b);
+  }
 
   std::vector<size_t> prev(m + 1);
   std::vector<size_t> curr(m + 1);
@@ -43,6 +52,19 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   const size_t lb = b.size();
   if (la == 0 && lb == 0) return 1.0;
   if (la == 0 || lb == 0) return 0.0;
+
+  // Bit-parallel match counting picks the same greedy matches with one
+  // word op per character of `a` (util/simd.h); identical counts feed the
+  // identical formula, so the result is bit-for-bit the scalar one. Gated
+  // by the simd switch only so `--no-simd` keeps a pure scalar oracle.
+  if (simd::Enabled() && la <= 64 && lb <= 64) {
+    size_t matches = 0;
+    size_t transpositions = 0;
+    simd::JaroCounts(a, b, &matches, &transpositions);
+    if (matches == 0) return 0.0;
+    const double m = static_cast<double>(matches);
+    return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+  }
 
   const size_t window =
       std::max<size_t>(1, std::max(la, lb) / 2) - 1;

@@ -44,6 +44,32 @@ struct TokenizedValue {
   /// Distinct character 3-grams of the raw string, sorted ascending.
   std::vector<std::string> trigrams;
 
+  // --- structure-of-arrays mirrors of the profiles above -----------------
+  // The merge kernels stream these contiguous key/frequency columns
+  // instead of chasing std::string heads: one u64 compare replaces a
+  // byte-wise string compare on (almost) every merge step, and sorted-key
+  // runs can be skipped with util/simd.h galloping. The kernels fall back
+  // to the string columns whenever the encodings below lose information,
+  // so results are bit-identical either way.
+
+  /// Big-endian zero-padded first-8-bytes key of token_counts[i].first.
+  /// Unsigned u64 order equals lexicographic order of NUL-free strings up
+  /// to the first 8 bytes; ties (equal keys) mean the strings share an
+  /// 8-byte prefix and need a full compare unless `token_keys_exact`.
+  std::vector<uint64_t> token_keys;
+  /// token_counts[i].second, contiguous (the cosine dot's operands).
+  std::vector<double> token_freqs;
+  /// Key order faithful: every distinct token is NUL-free.
+  bool token_keys_ordered = false;
+  /// Key equality == string equality: ordered and every token <= 8 bytes.
+  bool token_keys_exact = false;
+
+  /// Big-endian zero-padded key of trigrams[i] (grams are 1..3 bytes, so
+  /// 4 bytes always hold the whole gram: equality is exact when ordered).
+  std::vector<uint32_t> trigram_keys;
+  /// Every gram is NUL-free (key order and equality both faithful).
+  bool trigram_keys_ordered = false;
+
   /// Tokenizes and profiles `text` (the raw attribute string).
   static TokenizedValue Of(std::string_view text);
 };

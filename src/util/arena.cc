@@ -1,0 +1,106 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+namespace {
+
+// The gauge tracks the process-wide maximum across all thread arenas; a
+// relaxed CAS loop keeps it monotonic without a registry read-back.
+std::atomic<uint64_t> g_published_high_water{0};
+
+}  // namespace
+
+Arena& Arena::ThisThread() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  LANDMARK_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (current_ < chunks_.size()) {
+    Chunk& chunk = chunks_[current_];
+    const size_t aligned =
+        (chunk.used + alignment - 1) & ~(alignment - 1);
+    if (aligned + bytes <= chunk.capacity) {
+      chunk.used = aligned + bytes;
+      total_allocated_ += bytes;
+      high_water_ = std::max(high_water_, live_bytes());
+      return chunk.data.get() + aligned;
+    }
+    // Current chunk exhausted: try the next retained chunk or grow.
+    ++current_;
+    return Allocate(bytes, alignment);
+  }
+  // `new` returns memory aligned for any fundamental type only; over-size
+  // the chunk so the first aligned offset always fits.
+  const size_t capacity =
+      std::max(kMinChunkBytes, bytes + alignment);
+  Chunk chunk;
+  chunk.data = std::make_unique<unsigned char[]>(capacity);
+  chunk.capacity = capacity;
+  const auto base = reinterpret_cast<uintptr_t>(chunk.data.get());
+  const size_t skew = (alignment - (base & (alignment - 1))) & (alignment - 1);
+  chunk.used = skew + bytes;
+  total_allocated_ += bytes;
+  void* out = chunk.data.get() + skew;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+  high_water_ = std::max(high_water_, live_bytes());
+  return out;
+}
+
+Arena::Mark Arena::CurrentMark() const {
+  if (chunks_.empty()) return Mark{};
+  const size_t chunk = std::min(current_, chunks_.size() - 1);
+  return Mark{chunk, chunks_[chunk].used};
+}
+
+void Arena::ResetTo(const Mark& mark) {
+  if (chunks_.empty()) return;
+  LANDMARK_CHECK(mark.chunk < chunks_.size());
+  chunks_[mark.chunk].used = mark.used;
+  for (size_t i = mark.chunk + 1; i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  current_ = mark.chunk;
+}
+
+size_t Arena::live_bytes() const {
+  size_t live = 0;
+  for (const Chunk& chunk : chunks_) live += chunk.used;
+  return live;
+}
+
+ArenaFrame::ArenaFrame() : ArenaFrame(Arena::ThisThread()) {}
+
+ArenaFrame::ArenaFrame(Arena& arena)
+    : arena_(&arena),
+      mark_(arena.CurrentMark()),
+      allocated_at_entry_(arena.total_allocated_bytes()) {}
+
+ArenaFrame::~ArenaFrame() {
+  const uint64_t frame_bytes =
+      arena_->total_allocated_bytes() - allocated_at_entry_;
+  const uint64_t high_water = arena_->high_water_bytes();
+  arena_->ResetTo(mark_);
+  static Counter& bytes_counter =
+      MetricsRegistry::Global().GetCounter("arena/bytes_allocated");
+  if (frame_bytes != 0) bytes_counter.Add(frame_bytes);
+  uint64_t published = g_published_high_water.load(std::memory_order_relaxed);
+  while (high_water > published) {
+    if (g_published_high_water.compare_exchange_weak(
+            published, high_water, std::memory_order_relaxed)) {
+      static Gauge& high_water_gauge =
+          MetricsRegistry::Global().GetGauge("arena/high_water_bytes");
+      high_water_gauge.Set(static_cast<double>(high_water));
+      break;
+    }
+  }
+}
+
+}  // namespace landmark

@@ -1,0 +1,241 @@
+// A/B equivalence suite for the SIMD kernel variants: ExplainBatch with
+// EngineOptions::simd on must be bit-identical to the scalar path for every
+// bundled model type, across explainers and thread counts — the same
+// contract engine_fast_path_test pins for the query fast path and
+// engine_scheduler_test pins for the task graph. The audit stream's unit
+// lines must also be byte-identical simd on vs off.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine/explainer_engine.h"
+#include "core/landmark_explainer.h"
+#include "core/lime_explainer.h"
+#include "core/mojito_copy_explainer.h"
+#include "datagen/magellan.h"
+#include "em/embedding_em_model.h"
+#include "em/forest_em_model.h"
+#include "em/heuristic_model.h"
+#include "em/logreg_em_model.h"
+#include "em/rule_em_model.h"
+#include "util/telemetry/audit.h"
+
+namespace landmark {
+namespace {
+
+const EmDataset& TestDataset() {
+  static const EmDataset* dataset = [] {
+    MagellanGenOptions gen;
+    gen.size_scale = 0.25;
+    return new EmDataset(
+        *GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen));
+  }();
+  return *dataset;
+}
+
+const EmModel& TestModel(const std::string& kind) {
+  static auto* models = new std::map<std::string, std::unique_ptr<EmModel>>();
+  auto it = models->find(kind);
+  if (it != models->end()) return *it->second;
+  std::unique_ptr<EmModel> model;
+  if (kind == "jaccard-em") {
+    model = std::make_unique<JaccardEmModel>();
+  } else if (kind == "logreg-em") {
+    model = std::move(LogRegEmModel::Train(TestDataset())).ValueOrDie();
+  } else if (kind == "forest-em") {
+    model = std::move(ForestEmModel::Train(TestDataset())).ValueOrDie();
+  } else if (kind == "rule-em") {
+    model = std::move(RuleEmModel::Train(TestDataset())).ValueOrDie();
+  } else {
+    EmbeddingEmModelOptions options;
+    options.mlp.hidden = {16};
+    options.mlp.epochs = 3;  // equivalence needs a scorer, not a good one
+    model = std::move(EmbeddingEmModel::Train(TestDataset(), options))
+                .ValueOrDie();
+  }
+  return *models->emplace(kind, std::move(model)).first->second;
+}
+
+/// Bit-identical comparison — the contract is exact equality of every
+/// double, not approximate agreement.
+void ExpectIdenticalResults(const EngineBatchResult& a,
+                            const EngineBatchResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].ok(), b.results[i].ok())
+        << label << " record " << i;
+    if (!a.results[i].ok()) continue;
+    const std::vector<Explanation>& ea = *a.results[i];
+    const std::vector<Explanation>& eb = *b.results[i];
+    ASSERT_EQ(ea.size(), eb.size()) << label << " record " << i;
+    for (size_t e = 0; e < ea.size(); ++e) {
+      EXPECT_EQ(ea[e].model_prediction, eb[e].model_prediction)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_intercept, eb[e].surrogate_intercept)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_r2, eb[e].surrogate_r2)
+          << label << " record " << i << " explanation " << e;
+      ASSERT_EQ(ea[e].token_weights.size(), eb[e].token_weights.size());
+      for (size_t t = 0; t < ea[e].token_weights.size(); ++t) {
+        EXPECT_EQ(ea[e].token_weights[t].weight, eb[e].token_weights[t].weight)
+            << label << " record " << i << " explanation " << e << " token "
+            << t;
+      }
+    }
+  }
+}
+
+std::unique_ptr<PairExplainer> MakeExplainer(const std::string& kind,
+                                             const ExplainerOptions& options) {
+  if (kind == "landmark-single") {
+    return std::make_unique<LandmarkExplainer>(GenerationStrategy::kSingle,
+                                               options);
+  }
+  if (kind == "landmark-double") {
+    return std::make_unique<LandmarkExplainer>(GenerationStrategy::kDouble,
+                                               options);
+  }
+  if (kind == "lime") return std::make_unique<LimeExplainer>(options);
+  return std::make_unique<MojitoCopyExplainer>(options);
+}
+
+class EngineSimdTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineSimdTest, SimdBitIdenticalToScalar) {
+  const EmModel& model = TestModel(GetParam());
+  const EmDataset& dataset = TestDataset();
+  std::vector<const PairRecord*> pairs;
+  for (size_t i = 0; i < 3 && i < dataset.size(); ++i) {
+    pairs.push_back(&dataset.pair(i));
+  }
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = 64;
+
+  for (const char* explainer_kind :
+       {"landmark-single", "landmark-double", "lime", "mojito-copy"}) {
+    std::unique_ptr<PairExplainer> explainer =
+        MakeExplainer(explainer_kind, explainer_options);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool task_graph : {true, false}) {
+        EngineOptions simd_options;
+        simd_options.num_threads = threads;
+        simd_options.use_task_graph = task_graph;
+        simd_options.simd = true;
+        EngineOptions scalar_options = simd_options;
+        scalar_options.simd = false;
+
+        const std::string label =
+            std::string(GetParam()) + "/" + explainer_kind +
+            "/threads=" + std::to_string(threads) +
+            (task_graph ? "/graph" : "/staged");
+        EngineBatchResult vectorized =
+            ExplainerEngine(simd_options).ExplainBatch(model, pairs,
+                                                       *explainer);
+        EngineBatchResult scalar =
+            ExplainerEngine(scalar_options).ExplainBatch(model, pairs,
+                                                         *explainer);
+        ExpectIdenticalResults(vectorized, scalar, label);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBundledModels, EngineSimdTest,
+                         ::testing::Values("jaccard-em", "logreg-em",
+                                           "forest-em", "rule-em",
+                                           "embedding-em"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+/// The unit lines only — the batch trailer carries wall-clock stage
+/// latencies, which legitimately differ between runs.
+std::vector<std::string> UnitLines(const std::vector<std::string>& lines) {
+  std::vector<std::string> units;
+  for (const std::string& line : lines) {
+    if (line.rfind("{\"type\":\"unit\"", 0) == 0) units.push_back(line);
+  }
+  return units;
+}
+
+TEST(EngineSimdAuditTest, AuditUnitLinesByteIdenticalSimdOnOff) {
+  const EmModel& model = TestModel("logreg-em");
+  const EmDataset& dataset = TestDataset();
+  std::vector<const PairRecord*> pairs;
+  for (size_t i = 0; i < 4 && i < dataset.size(); ++i) {
+    pairs.push_back(&dataset.pair(i));
+  }
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = 64;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+
+  std::vector<std::vector<std::string>> streams;
+  for (bool simd_on : {true, false}) {
+    const std::string path = ::testing::TempDir() + "/engine_simd_audit_" +
+                             (simd_on ? "on" : "off") + ".jsonl";
+    auto sink = AuditSink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    EngineOptions options;
+    options.simd = simd_on;
+    options.audit_sink = sink->get();
+    EngineBatchResult result =
+        ExplainerEngine(options).ExplainBatch(model, pairs, explainer);
+    ASSERT_EQ(result.stats.num_failed_records, 0u);
+    sink->reset();  // flush before reading
+    streams.push_back(UnitLines(ReadLines(path)));
+    EXPECT_EQ(streams.back().size(), result.stats.num_units);
+  }
+  ASSERT_EQ(streams.size(), 2u);
+  ASSERT_EQ(streams[0].size(), streams[1].size());
+  for (size_t u = 0; u < streams[0].size(); ++u) {
+    EXPECT_EQ(streams[0][u], streams[1][u]) << "unit line " << u;
+  }
+}
+
+TEST(EngineSimdAuditTest, ExplainOneMatchesBatchUnderBothSettings) {
+  const EmModel& model = TestModel("logreg-em");
+  const EmDataset& dataset = TestDataset();
+  ExplainerOptions options;
+  options.num_samples = 64;
+  LandmarkExplainer explainer(GenerationStrategy::kSingle, options);
+
+  std::vector<Result<std::vector<Explanation>>> runs;
+  for (bool simd_on : {true, false}) {
+    EngineOptions engine_options;
+    engine_options.simd = simd_on;
+    ExplainerEngine engine(engine_options);
+    runs.push_back(engine.ExplainOne(model, dataset.pair(0), explainer));
+    ASSERT_TRUE(runs.back().ok());
+  }
+  ASSERT_EQ(runs[0]->size(), runs[1]->size());
+  for (size_t e = 0; e < runs[0]->size(); ++e) {
+    EXPECT_EQ((*runs[0])[e].model_prediction, (*runs[1])[e].model_prediction);
+    ASSERT_EQ((*runs[0])[e].token_weights.size(),
+              (*runs[1])[e].token_weights.size());
+    for (size_t t = 0; t < (*runs[0])[e].token_weights.size(); ++t) {
+      EXPECT_EQ((*runs[0])[e].token_weights[t].weight,
+                (*runs[1])[e].token_weights[t].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,136 @@
+// The bit-packed mask layout (core/sampling.h): the packed samplers must
+// be bit-for-bit consistent with the legacy byte samplers on the same RNG
+// stream, popcount-based weights must equal the byte-path weights exactly,
+// and the padding-bits-stay-zero invariant the engine's word-wise mask
+// deduplication relies on must hold everywhere.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampling.h"
+#include "util/rng.h"
+
+namespace landmark {
+namespace {
+
+/// Padding bits of the last word of every row are zero — the invariant
+/// that makes word-wise row comparison equivalent to mask comparison.
+void ExpectPaddingZero(const MaskMatrix& masks) {
+  const size_t tail = masks.dim() % 64;
+  if (tail == 0 || masks.rows() == 0) return;
+  const uint64_t padding = ~((uint64_t{1} << tail) - 1);
+  for (size_t r = 0; r < masks.rows(); ++r) {
+    EXPECT_EQ(masks.row_words(r)[masks.words_per_row() - 1] & padding, 0u)
+        << "row " << r;
+  }
+}
+
+TEST(MaskMatrixTest, LayoutAndBitOps) {
+  MaskMatrix masks(3, 70);  // two words per row, 6 padding bits
+  EXPECT_EQ(masks.rows(), 3u);
+  EXPECT_EQ(masks.dim(), 70u);
+  EXPECT_EQ(masks.words_per_row(), 2u);
+  EXPECT_FALSE(masks.bit(1, 65));
+  masks.SetBit(1, 65);
+  EXPECT_TRUE(masks.bit(1, 65));
+  EXPECT_FALSE(masks.bit(0, 65));  // row-local
+  EXPECT_FALSE(masks.bit(2, 65));
+  EXPECT_EQ(masks.ActiveCount(1), 1u);
+  masks.ClearBit(1, 65);
+  EXPECT_FALSE(masks.bit(1, 65));
+  EXPECT_EQ(masks.ActiveCount(1), 0u);
+}
+
+TEST(MaskMatrixTest, FillRowKeepsPaddingZero) {
+  MaskMatrix masks(2, 70);
+  masks.FillRow(0);
+  EXPECT_EQ(masks.ActiveCount(0), 70u);
+  EXPECT_EQ(masks.ActiveCount(1), 0u);
+  ExpectPaddingZero(masks);
+  // Row views agree with the matrix accessors.
+  const MaskRow row = masks.row(0);
+  EXPECT_EQ(row.dim, 70u);
+  EXPECT_EQ(row.num_words(), 2u);
+  EXPECT_EQ(row.ActiveCount(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(row.bit(i)) << i;
+}
+
+TEST(MaskMatrixTest, ToBytesRoundTrip) {
+  MaskMatrix masks(1, 9);
+  masks.SetBit(0, 0);
+  masks.SetBit(0, 3);
+  masks.SetBit(0, 8);
+  const std::vector<uint8_t> bytes = masks.row(0).ToBytes();
+  ASSERT_EQ(bytes.size(), 9u);
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(bytes[i] != 0, masks.bit(0, i)) << i;
+  }
+}
+
+class PackedSamplerTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackedSamplerTest, PerturbationSamplerMatchesByteSampler) {
+  const size_t dim = GetParam();
+  Rng packed_rng(77);
+  Rng byte_rng(77);
+  const MaskMatrix packed = SamplePerturbationMaskMatrix(dim, 33, packed_rng);
+  const std::vector<std::vector<uint8_t>> bytes =
+      SamplePerturbationMasks(dim, 33, byte_rng);
+  ASSERT_EQ(packed.rows(), bytes.size());
+  ASSERT_EQ(packed.dim(), dim);
+  for (size_t r = 0; r < packed.rows(); ++r) {
+    for (size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(packed.bit(r, i), bytes[r][i] != 0)
+          << "row " << r << " bit " << i;
+    }
+  }
+  // Both samplers consumed the identical RNG sequence.
+  EXPECT_EQ(packed_rng.Next(), byte_rng.Next());
+  // First mask is the unperturbed all-ones representation.
+  EXPECT_EQ(packed.ActiveCount(0), dim);
+  ExpectPaddingZero(packed);
+}
+
+TEST_P(PackedSamplerTest, ShapSamplerMatchesByteSampler) {
+  const size_t dim = GetParam();
+  Rng packed_rng(78);
+  Rng byte_rng(78);
+  const MaskMatrix packed = SampleShapMaskMatrix(dim, 33, packed_rng);
+  const std::vector<std::vector<uint8_t>> bytes =
+      SampleShapMasks(dim, 33, byte_rng);
+  ASSERT_EQ(packed.rows(), bytes.size());
+  for (size_t r = 0; r < packed.rows(); ++r) {
+    for (size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(packed.bit(r, i), bytes[r][i] != 0)
+          << "row " << r << " bit " << i;
+    }
+  }
+  EXPECT_EQ(packed_rng.Next(), byte_rng.Next());
+  ExpectPaddingZero(packed);
+}
+
+TEST_P(PackedSamplerTest, PopcountWeightsEqualBytePathWeights) {
+  const size_t dim = GetParam();
+  Rng rng(79);
+  const MaskMatrix packed = SamplePerturbationMaskMatrix(dim, 33, rng);
+  for (size_t r = 0; r < packed.rows(); ++r) {
+    const MaskRow row = packed.row(r);
+    const std::vector<uint8_t> bytes = row.ToBytes();
+    // Bit-equality of the derived doubles, not approximate agreement: the
+    // packed path feeds the same arithmetic from a popcount.
+    EXPECT_EQ(ActiveFraction(row), ActiveFraction(bytes)) << r;
+    EXPECT_EQ(KernelWeight(row, 0.25), KernelWeight(bytes, 0.25)) << r;
+    EXPECT_EQ(ShapleyKernelWeight(row), ShapleyKernelWeight(bytes)) << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PackedSamplerTest,
+                         ::testing::Values(1, 2, 7, 63, 64, 65, 130),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace landmark

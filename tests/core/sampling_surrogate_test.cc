@@ -85,8 +85,8 @@ TEST(SamplingTest, FirstMaskContractHoldsForBothNeighborhoods) {
 TEST(SamplingTest, ActiveFraction) {
   EXPECT_DOUBLE_EQ(ActiveFraction({1, 1, 1, 1}), 1.0);
   EXPECT_DOUBLE_EQ(ActiveFraction({1, 0, 0, 1}), 0.5);
-  EXPECT_DOUBLE_EQ(ActiveFraction({0, 0}), 0.0);
-  EXPECT_DOUBLE_EQ(ActiveFraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(ActiveFraction(std::vector<uint8_t>{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ActiveFraction(std::vector<uint8_t>{}), 0.0);
 }
 
 TEST(KernelTest, FullMaskHasWeightOne) {
@@ -172,7 +172,8 @@ TEST(SurrogateTest, FeatureSelectionKeepsTopFeatures) {
 }
 
 TEST(SurrogateTest, RejectsDegenerateInputs) {
-  EXPECT_FALSE(FitSurrogate({}, {}, {}, {}).ok());
+  EXPECT_FALSE(
+      FitSurrogate(std::vector<std::vector<uint8_t>>{}, {}, {}, {}).ok());
   EXPECT_FALSE(FitSurrogate({{1, 1}}, {0.5, 0.1}, {1.0}, {}).ok());
   EXPECT_FALSE(FitSurrogate({{1, 1}, {1}}, {0.5, 0.1}, {1.0, 1.0}, {}).ok());
   EXPECT_FALSE(FitSurrogate({{}}, {0.5}, {1.0}, {}).ok());

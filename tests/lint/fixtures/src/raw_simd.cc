@@ -1,0 +1,11 @@
+// Fixture: raw-simd — a raw intrinsic include on line 4 and an OpenMP
+// pragma on line 8; both belong in src/util/simd.* only.
+// NOLINTNEXTLINE
+#include <immintrin.h>
+
+double SumFour(const double* x) {
+  double acc = 0.0;
+#pragma omp simd
+  for (int i = 0; i < 4; ++i) acc += x[i];
+  return acc;
+}

@@ -82,6 +82,13 @@ TEST(LandmarkLint, SleepPollFiresAndRespectsSuppression) {
   EXPECT_TRUE(HasDiagnostic(diags, "src/sleep_poll.cc", 7, "sleep-poll"));
 }
 
+TEST(LandmarkLint, RawSimdFiresForIntrinsicsAndOmp) {
+  const std::vector<Diagnostic> diags = Lint({"src/raw_simd.cc"}, false);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(HasDiagnostic(diags, "src/raw_simd.cc", 4, "raw-simd"));
+  EXPECT_TRUE(HasDiagnostic(diags, "src/raw_simd.cc", 8, "raw-simd"));
+}
+
 TEST(LandmarkLint, MutexGuardFiresAtExactLocation) {
   const std::vector<Diagnostic> diags = Lint({"src/mutex_guard.h"}, false);
   ASSERT_EQ(diags.size(), 1u);

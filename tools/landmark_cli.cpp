@@ -27,6 +27,7 @@
 #include <iostream>
 
 #include "core/counterfactual.h"
+#include "core/engine/explainer_engine.h"
 #include "core/landmark_explanation.h"
 #include "core/summarizer.h"
 #include "datagen/magellan.h"
@@ -48,14 +49,15 @@ commands:
   train-eval      (--dataset CODE | --input FILE) [--model logreg|forest]
   explain         (--dataset CODE | --input FILE) --pair N
                   [--technique single|double|auto|lime|copy|anchor] [--top K]
-                  [--model logreg|forest] [--samples N]
+                  [--model logreg|forest] [--samples N] [--no-simd]
   counterfactual  (--dataset CODE | --input FILE) --pair N [--model ...]
   summary         (--dataset CODE | --input FILE) [--records N] [--top K]
   evaluate        --dataset CODE [--records N] [--samples N] [--scale F]
                   [--threads N] [--no-predict-cache] [--no-feature-cache]
-                  [--no-task-graph] [--stall-threshold S] [--engine-stats]
+                  [--no-task-graph] [--no-simd] [--stall-threshold S]
+                  [--engine-stats]
   telemetry-demo  [--dataset CODE] [--records N] [--threads N]
-                  [--stall-threshold S]
+                  [--no-simd] [--stall-threshold S]
 
 every command also accepts:
   --metrics-out FILE   write the metrics-registry snapshot as JSON
@@ -225,7 +227,10 @@ int CmdExplain(const Flags& flags) {
     std::cerr << explainer.status().ToString() << "\n";
     return 1;
   }
-  auto explanations = (*explainer)->Explain(**model, pair);
+  EngineOptions engine_options;
+  engine_options.simd = !flags.GetBool("no-simd", false);
+  ExplainerEngine engine(engine_options);
+  auto explanations = engine.ExplainOne(**model, pair, **explainer);
   if (!explanations.ok()) {
     std::cerr << explanations.status().ToString() << "\n";
     return 1;
@@ -259,7 +264,10 @@ int CmdCounterfactual(const Flags& flags) {
     return 1;
   }
   const PairRecord& pair = dataset->pair(pair_index);
-  auto explanations = (*explainer)->Explain(**model, pair);
+  EngineOptions engine_options;
+  engine_options.simd = !flags.GetBool("no-simd", false);
+  ExplainerEngine engine(engine_options);
+  auto explanations = engine.ExplainOne(**model, pair, **explainer);
   if (!explanations.ok()) {
     std::cerr << explanations.status().ToString() << "\n";
     return 1;

@@ -27,6 +27,7 @@ constexpr char kRuleSleepPoll[] = "sleep-poll";
 constexpr char kRuleHeaderGuard[] = "header-guard";
 constexpr char kRuleUsingNamespace[] = "using-namespace";
 constexpr char kRuleSuppression[] = "suppression";
+constexpr char kRuleRawSimd[] = "raw-simd";
 
 /// One parsed `allow(...)` comment and the code line it covers.
 struct Suppression {
@@ -349,6 +350,42 @@ std::vector<SyncMember> FindSyncMembers(const FileText& file) {
     }
   }
   return out;
+}
+
+/// Intrinsics confinement: vector code goes through the landmark::simd shim
+/// (src/util/simd.h), which owns runtime dispatch, the scalar fallbacks, and
+/// the bit-exactness contract. Raw intrinsic headers or OpenMP pragmas
+/// anywhere else would fork that contract.
+bool RawSimdExempt(const std::string& rel) {
+  return rel == "src/util/simd.h" || rel == "src/util/simd.cc";
+}
+
+void CheckRawSimd(const FileText& file, FileDiagnostics* diag) {
+  if (RawSimdExempt(file.rel_path)) return;
+  // Needles assembled at runtime so this file does not flag itself.
+  const std::vector<std::string> intrinsic_headers = {
+      std::string("immintrin") + ".h", std::string("arm_neon") + ".h"};
+  const std::string omp_pragma = std::string("#pragma") + " omp";
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    bool flagged = false;
+    for (const std::string& header : intrinsic_headers) {
+      if (line.find(header) == std::string::npos) continue;
+      diag->Emit(kRuleRawSimd, static_cast<int>(i) + 1,
+                 "raw SIMD intrinsics outside src/util/simd.*; use the "
+                 "landmark::simd kernels so runtime dispatch and the "
+                 "scalar-equivalence contract stay in one place");
+      flagged = true;
+      break;
+    }
+    if (flagged) continue;
+    if (line.find(omp_pragma) != std::string::npos) {
+      diag->Emit(kRuleRawSimd, static_cast<int>(i) + 1,
+                 "OpenMP pragma outside src/util/simd.*; parallelism goes "
+                 "through ThreadPool and vectorization through "
+                 "landmark::simd");
+    }
+  }
 }
 
 void CheckMutexGuard(const FileText& file, FileDiagnostics* diag) {
@@ -686,7 +723,8 @@ const std::vector<std::string>& KnownRules() {
       kRuleBannedApi,  kRuleRawThread,      kRuleMutexGuard,
       kRuleMetricName, kRuleSleepPoll,      kRuleHeaderGuard,
       kRuleUsingNamespace, kRuleSuppression,
-      kRuleRawMutex,   kRuleLockOrder,      kRuleLockBlocking};
+      kRuleRawMutex,   kRuleLockOrder,      kRuleLockBlocking,
+      kRuleRawSimd};
   return *rules;
 }
 
@@ -729,6 +767,7 @@ bool RunLint(const LintConfig& config, std::vector<Diagnostic>* diagnostics,
     CheckBannedApi(file, &diag);
     CheckRawThread(file, &diag);
     CheckSleepPoll(file, &diag);
+    CheckRawSimd(file, &diag);
     CheckMutexGuard(file, &diag);
     CheckRawMutex(file, &diag);
     if (is_header) {

@@ -46,6 +46,12 @@
 ///                    on the wait's own lock), ThreadPool Submit /
 ///                    SubmitLocal / ParallelFor / Wait, thread join, sleep,
 ///                    raw socket I/O, or a LANDMARK_BLOCKING_POINT marker.
+///   raw-simd         vectorization contract: raw intrinsic headers
+///                    (immintrin / arm_neon) and OpenMP pragmas are banned
+///                    outside src/util/simd.{h,cc} — vector kernels go
+///                    through the landmark::simd shim, which owns runtime
+///                    dispatch, the scalar fallbacks, and the bit-exactness
+///                    contract.
 ///   metric-name      telemetry contract: metric-name string literals passed
 ///                    to the registry Get* calls must appear in the "Metric
 ///                    name contract" table of docs/architecture.md, and every
