@@ -22,6 +22,14 @@
 //     telemetry PR must keep near 1.0; the canonical file re-emits
 //     scheduler/task_graph so the BENCH_6 -> BENCH_7 trajectory stays
 //     comparable (canonical BENCH_7.json).
+//   --mode timeline — end-to-end wall time of the task-graph scheduler on
+//     the scheduler workload with the snapshot collector idle vs armed at
+//     its production cadence (1 s windows, an SLO policy registered, one
+//     /timelinez JSON render per repetition). "timeline_overhead" is the
+//     on/off wall ratio a time-series PR must keep near 1.0 (< 1.02 is the
+//     acceptance bar); the canonical file re-emits scheduler/task_graph so
+//     the BENCH_7 -> BENCH_9 trajectory stays comparable (canonical
+//     BENCH_9.json).
 //   --mode simd — A/B of the scalar vs vectorized kernel variants
 //     (EngineOptions::simd, CLI --no-simd) on the landmark-double workload:
 //     end-to-end engine stage times plus per-kernel micro-timings
@@ -38,14 +46,15 @@
 // (PAPER.md / LEMON both call this out), and the stage barriers it used to
 // run between are what the task-graph scheduler removes.
 //
-// Flags: --mode fastpath|scheduler|flightdeck|simd|all
+// Flags: --mode fastpath|scheduler|flightdeck|timeline|simd|all
 //        --records N --samples N --reps N --threads N --scale F
 //        (defaults differ per mode; scheduler defaults to 4 threads)
 //        --json-out FILE (default: stdout)
 //        --canonical-out FILE (cross-PR benchmark trajectory schema:
 //        benchmark name -> wall ns + records/second; scripts/run_bench.sh
 //        writes BENCH_5.json for fastpath, BENCH_6.json for scheduler,
-//        BENCH_7.json for flightdeck, BENCH_8.json for simd)
+//        BENCH_7.json for flightdeck, BENCH_8.json for simd,
+//        BENCH_9.json for timeline)
 
 #include <algorithm>
 #include <cstdio>
@@ -67,6 +76,8 @@
 #include "util/simd.h"
 #include "util/string_util.h"
 #include "util/telemetry/flight_deck.h"
+#include "util/telemetry/slo.h"
+#include "util/telemetry/timeseries.h"
 #include "util/timer.h"
 
 namespace landmark {
@@ -471,6 +482,136 @@ int RunFlightdeck(const Flags& flags, bool to_stdout) {
 }
 
 
+int RunTimeline(const Flags& flags, bool to_stdout) {
+  const size_t records = static_cast<size_t>(flags.GetInt("records", 24));
+  const size_t samples = static_cast<size_t>(flags.GetInt("samples", 256));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 5));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  const double scale = flags.GetDouble("scale", 0.25);
+  const std::string json_out = flags.GetString("json-out", "");
+  const std::string canonical_out = flags.GetString("canonical-out", "");
+
+  MagellanGenOptions gen;
+  gen.size_scale = scale;
+  Result<EmDataset> dataset =
+      GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen);
+  if (!dataset.ok()) {
+    LANDMARK_LOG(Error) << "dataset generation failed: "
+                        << dataset.status().ToString();
+    return 1;
+  }
+  Result<std::unique_ptr<LogRegEmModel>> model = LogRegEmModel::Train(*dataset);
+  if (!model.ok()) {
+    LANDMARK_LOG(Error) << "model training failed: "
+                        << model.status().ToString();
+    return 1;
+  }
+
+  // Same heterogeneous task-graph workload as --mode scheduler, so the
+  // "off" run doubles as this PR's scheduler/task_graph trajectory point.
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = samples;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+  std::vector<const PairRecord*> batch;
+  for (size_t i = 0; i < records && i < dataset->size(); ++i) {
+    batch.push_back(&dataset->pair(i));
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const PairRecord* a, const PairRecord* b) {
+              const size_t wa = a->ToString().size();
+              const size_t wb = b->ToString().size();
+              return wa != wb ? wa > wb : a->id < b->id;
+            });
+
+  auto measure = [&](bool collector_on) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    engine_options.use_task_graph = true;
+    ExplainerEngine engine(engine_options);
+    SnapshotCollector& collector = SnapshotCollector::Global();
+    if (collector_on) {
+      // Production cadence: 1 s windows, one registered policy burning on
+      // every emitted window through the observer hook.
+      SloPolicy policy;
+      policy.name = "bench_unit_q";
+      policy.metric = "engine/unit/query_seconds";
+      policy.threshold = 0.5;
+      SloRegistry::Global().Register(policy);
+      collector.Configure(TimeseriesOptions{});
+      collector.Start();
+    }
+    std::vector<EngineStats> stats;
+    (void)engine.ExplainBatch(**model, batch, explainer);
+    for (size_t r = 0; r < reps; ++r) {
+      EngineBatchResult result = engine.ExplainBatch(**model, batch, explainer);
+      if (collector_on) {
+        // One live scrape per repetition: the cost a dashboard poll adds to
+        // an in-flight batch is part of what this mode measures.
+        (void)collector.TimelinezJson();
+      }
+      stats.push_back(result.stats);
+    }
+    if (collector_on) {
+      collector.Stop();
+      SloRegistry::Global().Clear();
+      collector.ResetForTest();
+    }
+    return StageTimes::MinOf(stats);
+  };
+
+  const StageTimes collector_off = measure(false);
+  const StageTimes collector_on = measure(true);
+  const double timeline_overhead =
+      collector_off.total > 0.0 ? collector_on.total / collector_off.total
+                                : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"workload\": {\"dataset\": \"S-AG\", \"size_scale\": " +
+          FormatDouble(scale, 2) + ", \"model\": \"logreg-em\", " +
+          "\"explainer\": \"landmark-double\", \"records\": " +
+          std::to_string(batch.size()) + ", \"num_samples\": " +
+          std::to_string(samples) + ", \"threads\": " +
+          std::to_string(threads) + ", \"reps\": " + std::to_string(reps) +
+          ", \"order\": \"heaviest-first\", \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + "},\n";
+  json += "  \"timeline_off\": " + collector_off.ToJson() + ",\n";
+  json += "  \"timeline_on\": " + collector_on.ToJson() + ",\n";
+  json += "  \"timeline_overhead\": " + FormatDouble(timeline_overhead, 3) +
+          "\n";
+  json += "}\n";
+
+  if (!EmitJson(json_out, to_stdout, json)) {
+    return 1;
+  }
+
+  if (!canonical_out.empty() && !to_stdout) {
+    std::string canonical = "{\n";
+    canonical += "  \"schema\": \"landmark-bench-v1\",\n";
+    canonical += "  \"unit\": {\"wall_ns\": \"nanoseconds\", "
+                 "\"throughput\": \"records/second\"},\n";
+    canonical += "  \"timeline_overhead\": " +
+                 FormatDouble(timeline_overhead, 3) + ",\n";
+    canonical += "  \"hardware_concurrency\": " +
+                 std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    canonical += "  \"benchmarks\": {\n";
+    canonical += CanonicalEntry("scheduler/task_graph", collector_off.total,
+                                batch.size()) +
+                 ",\n";
+    canonical += CanonicalEntry("timeline/off", collector_off.total,
+                                batch.size()) +
+                 ",\n";
+    canonical += CanonicalEntry("timeline/on", collector_on.total,
+                                batch.size()) +
+                 "\n";
+    canonical += "  }\n}\n";
+    if (!EmitJson(canonical_out, false, canonical)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+
 /// Defeats dead-code elimination of the micro-kernel loops; the checksum is
 /// also emitted in the JSON so two runs can be diffed for agreement.
 volatile double g_kernel_sink = 0.0;
@@ -705,6 +846,9 @@ int Run(int argc, char** argv) {
   if (mode == "flightdeck") {
     return RunFlightdeck(flags, /*to_stdout=*/false);
   }
+  if (mode == "timeline") {
+    return RunTimeline(flags, /*to_stdout=*/false);
+  }
   if (mode == "simd") {
     return RunSimd(flags, /*to_stdout=*/false);
   }
@@ -712,14 +856,16 @@ int Run(int argc, char** argv) {
     const int fastpath_rc = RunFastpath(flags, /*to_stdout=*/true);
     const int scheduler_rc = RunScheduler(flags, /*to_stdout=*/true);
     const int flightdeck_rc = RunFlightdeck(flags, /*to_stdout=*/true);
+    const int timeline_rc = RunTimeline(flags, /*to_stdout=*/true);
     const int simd_rc = RunSimd(flags, /*to_stdout=*/true);
     if (fastpath_rc != 0) return fastpath_rc;
     if (scheduler_rc != 0) return scheduler_rc;
-    return flightdeck_rc != 0 ? flightdeck_rc : simd_rc;
+    if (flightdeck_rc != 0) return flightdeck_rc;
+    return timeline_rc != 0 ? timeline_rc : simd_rc;
   }
   LANDMARK_LOG(Error) << "unknown --mode '" << mode
                       << "' (expected fastpath, scheduler, flightdeck, "
-                      << "simd, or all)";
+                      << "timeline, simd, or all)";
   return 1;
 }
 

@@ -27,18 +27,22 @@
 #               bit-exactness contract, end to end
 #
 # After the sanitizer matrix, a default (non-sanitized) landmark_cli runs
-# `telemetry-demo --trace-out --metrics-out --audit-out --profile-out` and
-# the outputs are checked by scripts/validate_trace.py (stdlib Python;
-# skipped when python3 is absent), the perf_smoke ctest label smoke-runs
-# the query-stage benchmark (scripts/run_bench.sh is the full driver), and
-# scripts/bench_diff.py compares the committed BENCH_6/BENCH_7 trajectory
-# files warn-only (CI hardware varies; the table is for humans).
+# `telemetry-demo --trace-out --metrics-out --audit-out --profile-out
+# --timeline-out` and the outputs are checked by scripts/validate_trace.py
+# (stdlib Python; skipped when python3 is absent), the perf_smoke ctest
+# label smoke-runs the query-stage benchmark (scripts/run_bench.sh is the
+# full driver), and scripts/bench_diff.py compares the committed
+# BENCH_6/BENCH_7 trajectory files warn-only (CI hardware varies; the
+# table is for humans).
 #
 # Finally the exporter smoke stage starts a tiny batch with
 # `--metrics-port 0` (ephemeral port announced on stdout), scrapes /metrics
 # and /healthz through tools/http_probe (raw sockets; the image has no
 # curl), and asserts the exposition contains the explain/quality histograms
-# — once against the default build and once against the TSan build.
+# — once against the default build and once against the TSan build. The
+# timeline smoke stage does the same with `--slo` armed and additionally
+# scrapes /timelinez (text + JSON), /sloz, and the OpenMetrics exposition
+# (Accept negotiation + the mandatory `# EOF` trailer).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -59,7 +63,7 @@ done
 
 echo "=== [tsan] telemetry + scheduler focused re-run ==="
 ctest --preset tsan -j "$JOBS" -R \
-  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus|TaskGraph|Scheduler|FlightDeck|Profiler|Activity|Stall'
+  'Counter|Gauge|Histogram|MetricsRegistry|TraceRecorder|EngineTelemetry|ThreadPool|HttpExporter|Audit|Prometheus|TaskGraph|Scheduler|FlightDeck|Profiler|Activity|Stall|SnapshotCollector|WindowedQuantile|Timeline|Slo'
 
 echo "=== [default] telemetry outputs + perf smoke ==="
 cmake -B build -S . -DLANDMARK_WERROR=ON >/dev/null
@@ -71,12 +75,15 @@ trap 'rm -rf "$TELEMETRY_TMP"' EXIT
   --trace-out="$TELEMETRY_TMP/trace.json" \
   --metrics-out="$TELEMETRY_TMP/metrics.json" \
   --audit-out="$TELEMETRY_TMP/audit.jsonl" \
-  --profile-out="$TELEMETRY_TMP/profile.folded" >/dev/null
+  --profile-out="$TELEMETRY_TMP/profile.folded" \
+  --timeline-out="$TELEMETRY_TMP/timeline.jsonl" \
+  --timeline-period 0.05 >/dev/null
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/validate_trace.py \
     "$TELEMETRY_TMP/trace.json" "$TELEMETRY_TMP/metrics.json" \
     --audit "$TELEMETRY_TMP/audit.jsonl" \
-    --profile "$TELEMETRY_TMP/profile.folded"
+    --profile "$TELEMETRY_TMP/profile.folded" \
+    --timeline "$TELEMETRY_TMP/timeline.jsonl"
   if [ -f BENCH_6.json ] && [ -f BENCH_7.json ]; then
     # Warn-only: trajectory files may come from different machines.
     python3 scripts/bench_diff.py BENCH_6.json BENCH_7.json || \
@@ -199,5 +206,71 @@ echo "=== exporter smoke [default] ==="
 exporter_smoke build default
 echo "=== exporter smoke [tsan] ==="
 exporter_smoke build-tsan tsan
+
+# Timeline smoke: same backgrounded-batch pattern, with the snapshot
+# collector ticking fast and an SLO policy registered. The lingering
+# process must serve the windowed time series on /timelinez (text + JSON),
+# the burn-rate table on /sloz, and the OpenMetrics exposition (with the
+# mandatory `# EOF` trailer) behind Accept negotiation on /metrics.
+timeline_smoke() {
+  local bindir="$1" tag="$2"
+  local log="$TELEMETRY_TMP/timeline_$tag.log"
+  "$bindir/tools/landmark_cli" telemetry-demo --records 4 --samples 32 \
+    --scale 0.25 --metrics-port 0 --metrics-linger 300 \
+    --timeline-period 0.05 \
+    --slo "unit_q=engine/unit/query_seconds,p95<0.5,window=300" \
+    >"$log" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 600); do
+    port="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' \
+      "$log" | head -n 1)"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "timeline smoke [$tag]: process exited before announcing a port"
+      cat "$log"
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "timeline smoke [$tag]: no port announced"
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  local scraped=""
+  for _ in $(seq 1 600); do
+    if "$bindir/tools/http_probe" "$port" '/timelinez?format=json' \
+        --expect-substring '"windows":[' \
+        >"$TELEMETRY_TMP/timelinez_$tag.json" 2>/dev/null; then
+      scraped=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ -z "$scraped" ]; then
+    echo "timeline smoke [$tag]: /timelinez never served a window"
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  "$bindir/tools/http_probe" "$port" /timelinez \
+    --expect-substring "landmark timeline" >/dev/null
+  "$bindir/tools/http_probe" "$port" /sloz \
+    --expect-substring burn_rate >/dev/null
+  "$bindir/tools/http_probe" "$port" '/sloz?format=json' \
+    --expect-substring '"burn_rate":' >/dev/null
+  "$bindir/tools/http_probe" "$port" /metrics \
+    --accept application/openmetrics-text \
+    --expect-substring "# EOF" \
+    >"$TELEMETRY_TMP/openmetrics_$tag.prom"
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  echo "timeline smoke [$tag]: ok (port $port)"
+}
+
+echo "=== timeline smoke [default] ==="
+timeline_smoke build default
+echo "=== timeline smoke [tsan] ==="
+timeline_smoke build-tsan tsan
 
 echo "All sanitizer checks passed."

@@ -17,7 +17,14 @@
 #                          stall watchdog + one /statusz render per rep),
 #                          written to BENCH_flightdeck.json (deck_overhead
 #                          is the headline ratio; should stay near 1.0)
-#   5. query_stage_bench --mode simd — scalar vs vectorized kernel variants
+#   5. query_stage_bench --mode timeline — the same task-graph workload
+#                          with the snapshot collector idle vs armed at its
+#                          production cadence (1 s windows, an SLO policy
+#                          registered, one /timelinez JSON render per rep),
+#                          written to BENCH_timeline.json
+#                          (timeline_overhead is the headline ratio; the
+#                          acceptance bar is < 1.02)
+#   6. query_stage_bench --mode simd — scalar vs vectorized kernel variants
 #                          (EngineOptions::simd) end to end, plus per-kernel
 #                          micro-timings (Levenshtein, token merges,
 #                          surrogate fit), written to BENCH_simd.json
@@ -34,19 +41,21 @@
 # Alongside the per-mode JSON documents, the canonical cross-PR trajectory
 # files BENCH_5.json (fastpath), BENCH_6.json (scheduler; also carries the
 # scheduler_speedup ratio), BENCH_7.json (flightdeck; also carries the
-# deck_overhead ratio and re-emits scheduler/task_graph for continuity), and
+# deck_overhead ratio and re-emits scheduler/task_graph for continuity),
 # BENCH_8.json (simd; carries the simd/query_fit speedup ratios plus
 # hardware_concurrency and simd_isa so bench_diff.py refuses to compare
-# across different vector units)
+# across different vector units), and BENCH_9.json (timeline; carries the
+# timeline_overhead ratio and re-emits scheduler/task_graph for continuity)
 # (schema: benchmark name -> wall_ns + throughput) are written to the repo
 # root so tooling can compare runs across PRs without knowing each
 # benchmark's bespoke layout — scripts/bench_diff.py does exactly that.
 #
 # Usage: scripts/run_bench.sh [jobs]   (output: BENCH_query.json,
 #                                       BENCH_scheduler.json,
-#                                       BENCH_flightdeck.json and
+#                                       BENCH_flightdeck.json,
+#                                       BENCH_timeline.json and
 #                                       BENCH_simd.json in $PWD,
-#                                       BENCH_5.json through BENCH_8.json
+#                                       BENCH_5.json through BENCH_9.json
 #                                       in the repo root)
 set -euo pipefail
 
@@ -85,6 +94,14 @@ echo "=== query_stage_bench --mode flightdeck ==="
 cat "$OUT_DIR/BENCH_flightdeck.json"
 echo "wrote $OUT_DIR/BENCH_flightdeck.json (flight deck off vs on)"
 echo "wrote $REPO/BENCH_7.json (canonical cross-PR trajectory)"
+
+echo "=== query_stage_bench --mode timeline ==="
+"$REPO/build/bench/query_stage_bench" --mode timeline \
+  --json-out "$OUT_DIR/BENCH_timeline.json" \
+  --canonical-out "$REPO/BENCH_9.json"
+cat "$OUT_DIR/BENCH_timeline.json"
+echo "wrote $OUT_DIR/BENCH_timeline.json (snapshot collector off vs on)"
+echo "wrote $REPO/BENCH_9.json (canonical cross-PR trajectory)"
 
 echo "=== query_stage_bench --mode simd ==="
 "$REPO/build/bench/query_stage_bench" --mode simd \

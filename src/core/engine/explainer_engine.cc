@@ -117,6 +117,11 @@ struct EngineMetrics {
   Histogram& query_seconds;
   Histogram& fit_seconds;
   Histogram& batch_seconds;
+  // Per-unit stage latencies (task-graph scheduler only — the staged
+  // scheduler has no per-unit decomposition). Recorded with exemplars from
+  // the epilogue, so an outlier bucket can name its ExplainUnit.
+  Histogram& unit_query_seconds;
+  Histogram& unit_fit_seconds;
 
   static const EngineMetrics& Get() {
     static const EngineMetrics* metrics = [] {
@@ -134,7 +139,9 @@ struct EngineMetrics {
                                r.GetHistogram("engine/reconstruct_seconds"),
                                r.GetHistogram("engine/query_seconds"),
                                r.GetHistogram("engine/fit_seconds"),
-                               r.GetHistogram("engine/batch_seconds")};
+                               r.GetHistogram("engine/batch_seconds"),
+                               r.GetHistogram("engine/unit/query_seconds"),
+                               r.GetHistogram("engine/unit/fit_seconds")};
     }();
     return *metrics;
   }
@@ -286,14 +293,14 @@ void FinalizeBatch(const EngineOptions& options,
     }
   }
 
-  // Quality + audit epilogue: publish every fitted unit's quality signals
-  // and capture the audit lines while the shells are still alive (assembly
-  // moves them into the results).
+  // Audit epilogue, first half: capture the audit lines while the shells
+  // are still alive (assembly moves them into the results). Writing — and
+  // quality publication — happens in the telemetry loop below, where the
+  // write can hand back the line's ordinal for exemplar capture.
   std::vector<AuditUnitRecord> audit_records;
   if (options.audit_sink != nullptr) audit_records.resize(works.size());
   for (size_t w = 0; w < works.size(); ++w) {
     const UnitWork& work = *works[w];
-    if (work.fit_ok) PublishExplanationQuality(work.quality);
     if (options.audit_sink == nullptr) continue;
     AuditUnitRecord& record = audit_records[w];
     record.record_id = pairs[work.record_index]->id;
@@ -334,10 +341,36 @@ void FinalizeBatch(const EngineOptions& options,
     }
     out->results.emplace_back(std::move(explanations));
   }
-  if (options.audit_sink != nullptr) {
-    for (const AuditUnitRecord& record : audit_records) {
-      options.audit_sink->WriteUnit(record);
+  // Telemetry loop, still in unit order: write each audit line (the sink
+  // assigns its monotone ordinal), then publish quality signals and the
+  // per-unit stage latencies with exemplar context pointing back at that
+  // exact line. Metrics-only writes — explanations and audit bytes are
+  // unchanged by exemplar capture.
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  for (size_t w = 0; w < works.size(); ++w) {
+    const UnitWork& work = *works[w];
+    ExemplarContext context;
+    context.record_id = pairs[work.record_index]->id;
+    context.record_index = static_cast<uint32_t>(work.record_index);
+    context.unit_index =
+        static_cast<uint32_t>(w - unit_begin[work.record_index]);
+    if (options.audit_sink != nullptr) {
+      context.audit_ordinal = options.audit_sink->WriteUnit(audit_records[w]);
+      context.has_audit_ordinal = true;
     }
+    if (work.fit_ok) PublishExplanationQuality(work.quality, context);
+    // Per-unit stage seconds are only populated by the task-graph
+    // scheduler; the staged path leaves them 0.0 and records nothing here.
+    if (work.queried && work.query_seconds > 0.0) {
+      LANDMARK_OBSERVE_WITH_EXEMPLAR(metrics.unit_query_seconds,
+                                     work.query_seconds, context);
+    }
+    if (work.fit_ok && work.fit_seconds > 0.0) {
+      LANDMARK_OBSERVE_WITH_EXEMPLAR(metrics.unit_fit_seconds,
+                                     work.fit_seconds, context);
+    }
+  }
+  if (options.audit_sink != nullptr) {
     options.audit_sink->WriteBatch(MakeAuditBatchStats(out->stats, progress));
   }
   out->stats.wall_seconds = batch_timer.ElapsedSeconds();
@@ -1003,7 +1036,9 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
   explainer.ApplyFit(fit, &unit);
   const ExplanationQuality quality =
       ComputeExplanationQuality(unit.shell, predictions);
-  PublishExplanationQuality(quality);
+  // Audit first so the quality exemplars can carry the line's ordinal.
+  ExemplarContext exemplar_context;
+  exemplar_context.record_id = pair.id;
   if (options_.audit_sink != nullptr) {
     AuditUnitRecord record;
     record.record_id = pair.id;
@@ -1015,8 +1050,10 @@ Result<Explanation> ExplainerEngine::RunUnit(const EmModel& model,
     record.num_model_queries = unique_index.size();
     record.cache_hits = masks.rows() - unique_index.size();
     FillAuditSuccess(unit.shell, quality, pair.left.schema().get(), &record);
-    options_.audit_sink->WriteUnit(record);
+    exemplar_context.audit_ordinal = options_.audit_sink->WriteUnit(record);
+    exemplar_context.has_audit_ordinal = true;
   }
+  PublishExplanationQuality(quality, exemplar_context);
   return std::move(unit.shell);
 }
 

@@ -115,4 +115,27 @@ void PublishExplanationQuality(const ExplanationQuality& quality) {
   metrics.interesting_tokens.RecordCount(quality.interesting_tokens);
 }
 
+void PublishExplanationQuality(const ExplanationQuality& quality,
+                               const ExemplarContext& context) {
+  const QualityMetrics& metrics = QualityMetrics::Get();
+  metrics.units.Add();
+  if (quality.low_r2) metrics.low_r2.Add();
+  if (quality.degenerate_neighborhood) metrics.degenerate.Add();
+  if (!std::isnan(quality.weighted_r2)) {
+    LANDMARK_OBSERVE_WITH_EXEMPLAR(
+        metrics.r2, ClampForHistogram(quality.weighted_r2), context);
+  }
+  if (!std::isnan(quality.intercept)) {
+    LANDMARK_OBSERVE_WITH_EXEMPLAR(
+        metrics.intercept, ClampForHistogram(quality.intercept), context);
+  }
+  LANDMARK_OBSERVE_WITH_EXEMPLAR(metrics.match_fraction,
+                                 quality.match_fraction, context);
+  LANDMARK_OBSERVE_WITH_EXEMPLAR(metrics.top_weight_share,
+                                 quality.top_weight_share, context);
+  LANDMARK_OBSERVE_WITH_EXEMPLAR(
+      metrics.interesting_tokens,
+      static_cast<double>(quality.interesting_tokens), context);
+}
+
 }  // namespace landmark

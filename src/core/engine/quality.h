@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/explanation.h"
+#include "util/telemetry/metrics.h"
 
 namespace landmark {
 
@@ -75,6 +76,14 @@ ExplanationQuality ComputeExplanationQuality(
 /// would poison the running sum) — it surfaces through the low-R² counter
 /// and the audit stream instead.
 void PublishExplanationQuality(const ExplanationQuality& quality);
+
+/// Same, with exemplar capture: each histogram observation retains
+/// `context` (audit ordinal, record/unit identity) so a quality outlier on
+/// /metrics can be traced to the concrete ExplainUnit — see
+/// LANDMARK_OBSERVE_WITH_EXEMPLAR in util/telemetry/metrics.h. Called from
+/// the engine's single-threaded epilogue, where the audit ordinal is known.
+void PublishExplanationQuality(const ExplanationQuality& quality,
+                               const ExemplarContext& context);
 
 }  // namespace landmark
 

@@ -24,8 +24,13 @@ void* Arena::Allocate(size_t bytes, size_t alignment) {
   LANDMARK_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
   if (current_ < chunks_.size()) {
     Chunk& chunk = chunks_[current_];
+    // Align the absolute address, not the offset: chunk bases are only
+    // new[]-aligned, so an offset that is a multiple of `alignment` does
+    // not imply the resulting pointer is.
+    const auto base = reinterpret_cast<uintptr_t>(chunk.data.get());
     const size_t aligned =
-        (chunk.used + alignment - 1) & ~(alignment - 1);
+        ((base + chunk.used + alignment - 1) & ~(uintptr_t{alignment} - 1)) -
+        base;
     if (aligned + bytes <= chunk.capacity) {
       chunk.used = aligned + bytes;
       total_allocated_ += bytes;

@@ -100,9 +100,11 @@ std::string AuditSink::BatchToJson(const AuditBatchStats& stats) {
   return out;
 }
 
-void AuditSink::WriteUnit(const AuditUnitRecord& record) {
+uint64_t AuditSink::WriteUnit(const AuditUnitRecord& record) {
   MutexLock lock(&mu_);
-  out_ << UnitToJson(record, next_unit_++) << "\n";
+  const uint64_t ordinal = next_unit_++;
+  out_ << UnitToJson(record, ordinal) << "\n";
+  return ordinal;
 }
 
 void AuditSink::WriteBatch(const AuditBatchStats& stats) {

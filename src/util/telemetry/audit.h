@@ -121,7 +121,11 @@ class AuditSink {
   AuditSink& operator=(const AuditSink&) = delete;
   ~AuditSink();
 
-  void WriteUnit(const AuditUnitRecord& record);
+  /// Appends one unit line and returns the ordinal assigned to it — the
+  /// `"unit":N` envelope number, which exemplar capture
+  /// (LANDMARK_OBSERVE_WITH_EXEMPLAR in the engine epilogue) embeds so an
+  /// OpenMetrics exemplar can point back at the exact audit line.
+  uint64_t WriteUnit(const AuditUnitRecord& record);
   void WriteBatch(const AuditBatchStats& stats);
 
   /// Flushes buffered lines to the file (also done on destruction).

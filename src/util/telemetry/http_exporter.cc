@@ -15,7 +15,10 @@
 #include <thread>
 #include <utility>
 
+#include "util/string_util.h"
 #include "util/telemetry/flight_deck.h"
+#include "util/telemetry/slo.h"
+#include "util/telemetry/timeseries.h"
 #include "util/telemetry/trace.h"
 #include "util/timer.h"
 
@@ -82,6 +85,24 @@ std::string QueryParam(const std::string& query, const std::string& key,
   return fallback;
 }
 
+/// OpenMetrics exemplar suffix for one retained observation:
+/// ` # {ordinal="12",record="34",record_index="0",unit="1",thread="3"} 0.0034`.
+/// The ordinal label is omitted when no audit sink was attached at capture
+/// time (there is no line it could point at then).
+std::string ExemplarSuffix(const Exemplar& exemplar) {
+  if (!exemplar.valid) return "";
+  std::string out = " # {";
+  if (exemplar.has_audit_ordinal) {
+    out += "ordinal=\"" + std::to_string(exemplar.audit_ordinal) + "\",";
+  }
+  out += "record=\"" + std::to_string(exemplar.record_id) + "\"";
+  out += ",record_index=\"" + std::to_string(exemplar.record_index) + "\"";
+  out += ",unit=\"" + std::to_string(exemplar.unit_index) + "\"";
+  out += ",thread=\"" + std::to_string(exemplar.thread_index) + "\"";
+  out += "} " + PromDouble(exemplar.value);
+  return out;
+}
+
 std::string MakeResponse(int status, const std::string& reason,
                          const std::string& content_type,
                          const std::string& body) {
@@ -123,7 +144,37 @@ std::string StatuszBody(uint64_t started_ns) {
     out += "  " + std::string(name) + ": " +
            PromDouble(h != nullptr ? h->sum : 0.0) + "\n";
   }
+  bool exemplar_header_written = false;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    for (const BucketExemplars& e : h.exemplars) {
+      if (!e.latest.valid) continue;
+      if (!exemplar_header_written) {
+        out += "\nhistogram exemplars (latest per non-empty bucket):\n";
+        exemplar_header_written = true;
+      }
+      out += "  " + h.name + " le=" + PromDouble(e.bound) + ": value=" +
+             PromDouble(e.latest.value);
+      if (e.latest.has_audit_ordinal) {
+        out += " audit_unit=" + std::to_string(e.latest.audit_ordinal);
+      }
+      out += " record=" + std::to_string(e.latest.record_id) + " unit=" +
+             std::to_string(e.latest.unit_index) + " thread=" +
+             std::to_string(e.latest.thread_index);
+      if (e.peak.valid && e.peak.value != e.latest.value) {
+        out += " (peak " + PromDouble(e.peak.value) + ")";
+      }
+      out += "\n";
+    }
+  }
   return out;
+}
+
+/// The exporter's route list as a JSON array — spliced into the /statusz
+/// JSON object and kept next to the 404 body so the two cannot drift apart.
+std::string EndpointsJsonArray() {
+  return "[\"/metrics\",\"/healthz\",\"/statusz\",\"/statusz?format=json\","
+         "\"/profilez?seconds=N\",\"/timelinez\",\"/timelinez?format=json\","
+         "\"/sloz\",\"/sloz?format=json\"]";
 }
 
 /// Folded-stack profile over a sampling window. seconds == 0 returns the
@@ -184,6 +235,55 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out += prom + "_sum " + PromDouble(h.sum) + "\n";
     out += prom + "_count " + std::to_string(h.count) + "\n";
   }
+  return out;
+}
+
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string family = PromName(name);
+    // OpenMetrics: the counter *family* must not end in `_total`; the
+    // sample name carries the suffix instead.
+    if (family.size() >= 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0) {
+      family.resize(family.size() - 6);
+    }
+    out += "# TYPE " + family + " counter\n";
+    out += family + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = PromName(name);
+    out += "# TYPE " + family + " gauge\n";
+    out += family + " " + PromDouble(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string family = PromName(h.name);
+    out += "# TYPE " + family + " histogram\n";
+    // Exemplars by bucket index, and the peak of the highest bucket that
+    // retained one (attached to the +Inf sample below).
+    std::array<const Exemplar*, Histogram::kNumBuckets> latest{};
+    const Exemplar* top_peak = nullptr;
+    for (const BucketExemplars& e : h.exemplars) {
+      if (e.bucket_index < latest.size()) latest[e.bucket_index] = &e.latest;
+      if (e.peak.valid) top_peak = &e.peak;
+    }
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      if (std::isinf(bound)) continue;
+      out += family + "_bucket{le=\"" + PromDouble(bound) + "\"} " +
+             std::to_string(cumulative);
+      const size_t index = Histogram::BucketIndexForBound(bound);
+      if (latest[index] != nullptr) out += ExemplarSuffix(*latest[index]);
+      out += "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(h.count);
+    if (top_peak != nullptr) out += ExemplarSuffix(*top_peak);
+    out += "\n";
+    out += family + "_sum " + PromDouble(h.sum) + "\n";
+    out += family + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
   return out;
 }
 
@@ -284,7 +384,25 @@ void HttpExporter::Serve() {
         path = line.substr(sp1 + 1, sp2 - sp1 - 1);
       }
     }
-    const std::string response = HandleRequest(method, path);
+    // Accept header (case-insensitive name per RFC 9110) for /metrics
+    // content negotiation. Header lines sit between the request line and
+    // the blank terminator.
+    std::string accept;
+    size_t header_pos =
+        line_end == std::string::npos ? std::string::npos : line_end + 2;
+    while (header_pos != std::string::npos && header_pos < request.size()) {
+      const size_t eol = request.find("\r\n", header_pos);
+      if (eol == std::string::npos || eol == header_pos) break;
+      const std::string header =
+          request.substr(header_pos, eol - header_pos);
+      const size_t colon = header.find(':');
+      if (colon != std::string::npos &&
+          ToLower(Trim(header.substr(0, colon))) == "accept") {
+        accept = Trim(header.substr(colon + 1));
+      }
+      header_pos = eol + 2;
+    }
+    const std::string response = HandleRequest(method, path, accept);
     size_t sent = 0;
     while (sent < response.size()) {
       const ssize_t n =
@@ -297,7 +415,8 @@ void HttpExporter::Serve() {
 }
 
 std::string HttpExporter::HandleRequest(const std::string& method,
-                                        const std::string& path) const {
+                                        const std::string& path,
+                                        const std::string& accept) const {
   ExporterMetrics::Get().requests.Add();
   if (method != "GET") {
     return MakeResponse(405, "Method Not Allowed", "text/plain",
@@ -311,18 +430,35 @@ std::string HttpExporter::HandleRequest(const std::string& method,
       qmark == std::string::npos ? std::string() : path.substr(qmark + 1);
   if (route == "/metrics") {
     Timer timer;
-    std::string body = ToPrometheusText(MetricsRegistry::Global().Snapshot());
+    // Exemplars are only legal in the OpenMetrics format, so the default
+    // stays Prometheus 0.0.4 and scrapers opt in via Accept.
+    const bool open_metrics =
+        accept.find("application/openmetrics-text") != std::string::npos;
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    std::string body =
+        open_metrics ? ToOpenMetricsText(snapshot) : ToPrometheusText(snapshot);
     ExporterMetrics::Get().scrape_seconds.Record(timer.ElapsedSeconds());
-    return MakeResponse(200, "OK",
-                        "text/plain; version=0.0.4; charset=utf-8", body);
+    return MakeResponse(
+        200, "OK",
+        open_metrics ? "application/openmetrics-text; version=1.0.0; "
+                       "charset=utf-8"
+                     : "text/plain; version=0.0.4; charset=utf-8",
+        body);
   }
   if (route == "/healthz") {
     return MakeResponse(200, "OK", "text/plain", "ok\n");
   }
   if (route == "/statusz") {
     if (QueryParam(query, "format", "text") == "json") {
-      return MakeResponse(200, "OK", "application/json",
-                          FlightDeckStatusJson() + "\n");
+      // FlightDeckStatusJson renders one flat object; the endpoint list is
+      // spliced in as its first member.
+      std::string body = FlightDeckStatusJson();
+      const size_t brace = body.find('{');
+      if (brace != std::string::npos) {
+        body.insert(brace + 1,
+                    "\"endpoints\":" + EndpointsJsonArray() + ",");
+      }
+      return MakeResponse(200, "OK", "application/json", body + "\n");
     }
     return MakeResponse(200, "OK", "text/plain",
                         StatuszBody(started_ns_) + "\n" +
@@ -334,12 +470,36 @@ std::string HttpExporter::HandleRequest(const std::string& method,
     if (seconds > 30.0) seconds = 30.0;
     return MakeResponse(200, "OK", "text/plain", ProfilezBody(seconds));
   }
+  if (route == "/timelinez") {
+    const SnapshotCollector& collector = SnapshotCollector::Global();
+    if (QueryParam(query, "format", "text") == "json") {
+      return MakeResponse(200, "OK", "application/json",
+                          collector.TimelinezJson() + "\n");
+    }
+    return MakeResponse(200, "OK", "text/plain", collector.TimelinezText());
+  }
+  if (route == "/sloz") {
+    const SloRegistry& slos = SloRegistry::Global();
+    if (QueryParam(query, "format", "text") == "json") {
+      return MakeResponse(200, "OK", "application/json",
+                          slos.StatusJson() + "\n");
+    }
+    return MakeResponse(200, "OK", "text/plain", slos.StatusText());
+  }
   return MakeResponse(404, "Not Found", "text/plain",
                       "unknown path; try /metrics, /healthz, /statusz, "
-                      "/statusz?format=json, /profilez?seconds=N\n");
+                      "/statusz?format=json, /profilez?seconds=N, "
+                      "/timelinez, /timelinez?format=json, /sloz, "
+                      "/sloz?format=json\n");
 }
 
 Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    int* status_code) {
+  return HttpGetLoopback(port, path, {}, status_code);
+}
+
+Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    const std::vector<std::string>& headers,
                                     int* status_code) {
   LANDMARK_BLOCKING_POINT("HttpGetLoopback/socket-io");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -357,9 +517,11 @@ Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
     return Status::IoError("connect(127.0.0.1:" + std::to_string(port) +
                            "): " + error);
   }
-  const std::string request = "GET " + path +
-                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                              "Connection: close\r\n\r\n";
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                        "Connection: close\r\n";
+  for (const std::string& header : headers) request += header + "\r\n";
+  request += "\r\n";
   size_t sent = 0;
   while (sent < request.size()) {
     const ssize_t n =

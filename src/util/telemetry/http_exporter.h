@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/mutex.h"
 #include "util/result.h"
@@ -22,6 +23,17 @@ namespace landmark {
 /// ends in `_total`, e.g. `engine/stalls_total`).
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
+/// Renders a metrics snapshot in the OpenMetrics text format (version
+/// 1.0.0): counter *families* drop the `_total` suffix (their samples carry
+/// it), the exposition ends with the mandatory `# EOF` line, and — the
+/// reason this format exists here at all — histogram bucket samples carry
+/// exemplars (`... # {ordinal="12",...} 0.0034`), which are not legal in
+/// the Prometheus 0.0.4 format. Bounded bucket lines carry the bucket's
+/// most recent exemplar; the `+Inf` line carries the peak (max-valued)
+/// exemplar of the highest bucket that retained one, i.e. the worst
+/// observation the histogram can still name.
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot);
+
 /// \brief Options of the scrape endpoint.
 struct HttpExporterOptions {
   /// Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port
@@ -34,20 +46,32 @@ struct HttpExporterOptions {
 /// live scraping:
 ///
 ///   GET /metrics              Prometheus text exposition of the full
-///                             registry
+///                             registry; OpenMetrics 1.0.0 (with histogram
+///                             exemplars and the `# EOF` trailer) when the
+///                             request's Accept header asks for
+///                             `application/openmetrics-text`
 ///   GET /healthz              200 "ok" while the server is running
 ///   GET /statusz              human-readable engine stage totals + build
-///                             info + the flight deck: in-flight batches
-///                             with per-stage DAG progress, per-worker
-///                             current activity, queue depths, token-cache
-///                             occupancy
-///   GET /statusz?format=json  the flight-deck block as one JSON object
+///                             info + histogram exemplars + the flight
+///                             deck: in-flight batches with per-stage DAG
+///                             progress, per-worker current activity, queue
+///                             depths, token-cache occupancy
+///   GET /statusz?format=json  the flight-deck block (plus the endpoint
+///                             list) as one JSON object
 ///   GET /profilez?seconds=N   folded activity stacks ("a;b;c COUNT",
 ///                             flamegraph-compatible) sampled over an
 ///                             N-second window (default 1, clamped to
 ///                             [0, 30]; 0 returns the cumulative profile
 ///                             without waiting). Starts the global
 ///                             SamplingProfiler on first use.
+///   GET /timelinez            windowed time-series over the last N
+///                             collector periods (SnapshotCollector ring):
+///                             per-counter rates, windowed histogram
+///                             quantiles; `?format=json` for the machine
+///                             shape
+///   GET /sloz                 registered SLO policies with burn rate and
+///                             error-budget remaining; `?format=json`
+///                             likewise
 ///
 /// Every response carries an explicit Content-Type. The server binds
 /// 127.0.0.1 only and answers one blocking request at a time — it is an
@@ -79,9 +103,12 @@ class HttpExporter {
   HttpExporter(int listen_fd, uint16_t port);
 
   void Serve();
-  /// Builds the full HTTP response for one request line.
+  /// Builds the full HTTP response for one request line. `accept` is the
+  /// request's Accept header value ("" when absent) — only /metrics
+  /// inspects it (OpenMetrics vs Prometheus text).
   std::string HandleRequest(const std::string& method,
-                            const std::string& path) const;
+                            const std::string& path,
+                            const std::string& accept) const;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -99,6 +126,14 @@ class HttpExporter {
 /// curl. Returns the response body; `status_code` (optional) receives the
 /// parsed HTTP status.
 Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    int* status_code = nullptr);
+
+/// Same, with extra request headers appended verbatim to the header block —
+/// each entry must be a full `Name: value` line *without* the trailing CRLF
+/// (e.g. "Accept: application/openmetrics-text"). Content negotiation
+/// tests and `http_probe --accept` go through this overload.
+Result<std::string> HttpGetLoopback(uint16_t port, const std::string& path,
+                                    const std::vector<std::string>& headers,
                                     int* status_code = nullptr);
 
 }  // namespace landmark

@@ -66,6 +66,15 @@ double Histogram::BucketUpperBound(size_t index) {
   return BucketBounds()[index];
 }
 
+size_t Histogram::BucketIndexForBound(double bound) {
+  if (std::isinf(bound)) return kNumBuckets - 1;
+  const auto& bounds = BucketBounds();
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i] == bound) return i;
+  }
+  return kNumBuckets - 1;
+}
+
 void Histogram::Record(double value) {
   Shard& shard = shards_[telemetry_internal::ThisShard()];
   shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
@@ -73,6 +82,28 @@ void Histogram::Record(double value) {
   telemetry_internal::AtomicAddDouble(shard.sum, value);
   telemetry_internal::AtomicMinDouble(shard.min, value);
   telemetry_internal::AtomicMaxDouble(shard.max, value);
+}
+
+void Histogram::RecordWithExemplar(double value,
+                                   const ExemplarContext& context) {
+  Record(value);
+  Exemplar exemplar;
+  exemplar.valid = true;
+  exemplar.value = value;
+  exemplar.audit_ordinal = context.audit_ordinal;
+  exemplar.has_audit_ordinal = context.has_audit_ordinal;
+  exemplar.record_id = context.record_id;
+  exemplar.record_index = context.record_index;
+  exemplar.unit_index = context.unit_index;
+  exemplar.thread_index = static_cast<uint32_t>(ThisThreadIndex());
+  const size_t bucket = BucketIndex(value);
+  MutexLock lock(&exemplar_mu_);
+  if (exemplar_slots_ == nullptr) {
+    exemplar_slots_ = std::make_unique<ExemplarSlots>();
+  }
+  exemplar_slots_->latest[bucket] = exemplar;
+  Exemplar& peak = exemplar_slots_->peak[bucket];
+  if (!peak.valid || value >= peak.value) peak = exemplar;
 }
 
 uint64_t Histogram::Count() const {
@@ -93,13 +124,13 @@ void Histogram::Reset() {
     shard.max.store(-std::numeric_limits<double>::infinity(),
                     std::memory_order_relaxed);
   }
+  MutexLock lock(&exemplar_mu_);
+  exemplar_slots_.reset();
 }
-
-namespace {
 
 /// Rank-`target` value (0-based, in [0, count-1]) estimated from aggregated
 /// bucket counts by linear interpolation within the owning bucket.
-double PercentileFromBuckets(
+double HistogramPercentileFromBuckets(
     const std::array<uint64_t, Histogram::kNumBuckets>& counts, uint64_t count,
     double min, double max, double quantile) {
   if (count == 0) return 0.0;
@@ -124,8 +155,6 @@ double PercentileFromBuckets(
   return max;
 }
 
-}  // namespace
-
 HistogramSnapshot Histogram::Snapshot(std::string name) const {
   HistogramSnapshot snapshot;
   snapshot.name = std::move(name);
@@ -144,12 +173,29 @@ HistogramSnapshot Histogram::Snapshot(std::string name) const {
   if (snapshot.count == 0) return snapshot;
   snapshot.min = min;
   snapshot.max = max;
-  snapshot.p50 = PercentileFromBuckets(counts, snapshot.count, min, max, 0.50);
-  snapshot.p95 = PercentileFromBuckets(counts, snapshot.count, min, max, 0.95);
-  snapshot.p99 = PercentileFromBuckets(counts, snapshot.count, min, max, 0.99);
+  snapshot.p50 =
+      HistogramPercentileFromBuckets(counts, snapshot.count, min, max, 0.50);
+  snapshot.p95 =
+      HistogramPercentileFromBuckets(counts, snapshot.count, min, max, 0.95);
+  snapshot.p99 =
+      HistogramPercentileFromBuckets(counts, snapshot.count, min, max, 0.99);
   for (size_t i = 0; i < kNumBuckets; ++i) {
     if (counts[i] > 0) {
       snapshot.buckets.emplace_back(BucketUpperBound(i), counts[i]);
+    }
+  }
+  {
+    MutexLock lock(&exemplar_mu_);
+    if (exemplar_slots_ != nullptr) {
+      for (size_t i = 0; i < kNumBuckets; ++i) {
+        if (!exemplar_slots_->latest[i].valid) continue;
+        BucketExemplars entry;
+        entry.bucket_index = i;
+        entry.bound = BucketUpperBound(i);
+        entry.latest = exemplar_slots_->latest[i];
+        entry.peak = exemplar_slots_->peak[i];
+        snapshot.exemplars.push_back(entry);
+      }
     }
   }
   return snapshot;

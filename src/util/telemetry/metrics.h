@@ -91,6 +91,43 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// \brief Context a caller attaches to one histogram observation so a latency
+/// (or quality) outlier can be traced back to the concrete ExplainUnit that
+/// produced it. The audit ordinal is the `"unit":N` envelope number of the
+/// matching `--audit-out` line; it is absent when no audit sink was attached.
+struct ExemplarContext {
+  uint64_t audit_ordinal = 0;
+  bool has_audit_ordinal = false;
+  int64_t record_id = 0;
+  uint32_t record_index = 0;
+  uint32_t unit_index = 0;
+};
+
+/// \brief One retained observation-with-context. `thread_index` is
+/// ThisThreadIndex() of the recording thread (the same dense index the trace
+/// recorder exports as `tid`).
+struct Exemplar {
+  bool valid = false;
+  double value = 0.0;
+  uint64_t audit_ordinal = 0;
+  bool has_audit_ordinal = false;
+  int64_t record_id = 0;
+  uint32_t record_index = 0;
+  uint32_t unit_index = 0;
+  uint32_t thread_index = 0;
+};
+
+/// \brief Exemplars of one non-empty histogram bucket: the most recent
+/// observation and the largest-valued one ("peak" — for a latency histogram,
+/// the worst case the bucket has seen).
+struct BucketExemplars {
+  size_t bucket_index = 0;
+  /// Inclusive upper bound of the bucket (infinite for overflow).
+  double bound = 0.0;
+  Exemplar latest;
+  Exemplar peak;
+};
+
 /// \brief Aggregated view of one Histogram at snapshot time. Percentiles are
 /// estimated by linear interpolation inside the bucket containing the rank,
 /// clamped to the observed [min, max].
@@ -106,6 +143,9 @@ struct HistogramSnapshot {
   /// Non-empty buckets only, as (inclusive upper bound, count); the overflow
   /// bucket reports an infinite bound.
   std::vector<std::pair<double, uint64_t>> buckets;
+  /// Buckets that have retained an exemplar (only histograms recorded through
+  /// the LANDMARK_OBSERVE_WITH_EXEMPLAR path carry any), bucket order.
+  std::vector<BucketExemplars> exemplars;
 
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -126,6 +166,12 @@ class Histogram {
   void Record(double value);
   /// Shortcut for recording a count-like value (e.g. batch sizes).
   void RecordCount(uint64_t value) { Record(static_cast<double>(value)); }
+  /// Record() plus exemplar retention: the observation's context becomes the
+  /// owning bucket's `latest` exemplar, and its `peak` when the value is the
+  /// largest the bucket has seen. Exemplar slots sit behind a mutex — this
+  /// is a cold-path entry point (the engine calls it from its
+  /// single-threaded epilogue), while Record() stays lock-free.
+  void RecordWithExemplar(double value, const ExemplarContext& context);
 
   uint64_t Count() const;
   HistogramSnapshot Snapshot(std::string name) const;
@@ -134,6 +180,11 @@ class Histogram {
   /// Inclusive upper bound of bucket `index` (infinity for the overflow
   /// bucket).
   static double BucketUpperBound(size_t index);
+  /// Index of the bucket whose inclusive upper bound equals `bound` exactly
+  /// (infinite bound → overflow bucket). Bounds in HistogramSnapshot come
+  /// from BucketUpperBound, so exact equality is well-defined; a bound that
+  /// matches no bucket maps to the overflow bucket.
+  static size_t BucketIndexForBound(double bound);
 
  private:
   struct alignas(64) Shard {
@@ -144,8 +195,25 @@ class Histogram {
     std::atomic<double> min;  // +inf when empty
     std::atomic<double> max;  // -inf when empty
   };
+  struct ExemplarSlots {
+    std::array<Exemplar, kNumBuckets> latest;
+    std::array<Exemplar, kNumBuckets> peak;
+  };
   std::array<Shard, telemetry_internal::kShards> shards_;
+  // Leaf lock: exemplar slots only — the lock-free Record() path never
+  // touches it. Acquired under MetricsRegistry::mu_ by Snapshot().
+  mutable Mutex exemplar_mu_{"Histogram::exemplar_mu_"};
+  std::unique_ptr<ExemplarSlots> exemplar_slots_ GUARDED_BY(exemplar_mu_);
 };
+
+/// Rank-interpolated quantile from aggregated bucket counts, clamped to the
+/// observed [min, max] extrema — the estimator behind
+/// HistogramSnapshot::p50/p95/p99, exposed so the time-series layer
+/// (util/telemetry/timeseries.h) can compute *windowed* quantiles from
+/// per-window bucket deltas with the same semantics.
+double HistogramPercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& counts, uint64_t count,
+    double min, double max, double quantile);
 
 /// \brief Everything the registry knew at one instant, with names sorted, as
 /// plain values safe to format or ship without further synchronization.
@@ -190,8 +258,10 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  // Leaf lock: interning only — handles are updated lock-free afterwards.
-  mutable Mutex mu_{"MetricsRegistry::mu_"};
+  // Interning plus snapshots. Snapshot() reads each histogram's exemplar
+  // slots while holding this, hence the declared order over the exemplar
+  // leaf lock.
+  mutable Mutex mu_ ACQUIRED_BEFORE(Histogram::exemplar_mu_){"MetricsRegistry::mu_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
@@ -199,5 +269,12 @@ class MetricsRegistry {
 };
 
 }  // namespace landmark
+
+/// Records one observation with traceback context into a histogram handle:
+/// LANDMARK_OBSERVE_WITH_EXEMPLAR(metrics.fit_seconds, seconds, context);
+/// The spelled-out macro marks exemplar capture sites greppably — they are
+/// the (cold) places where an OpenMetrics exemplar can be born.
+#define LANDMARK_OBSERVE_WITH_EXEMPLAR(hist, value, context) \
+  (hist).RecordWithExemplar((value), (context))
 
 #endif  // LANDMARK_UTIL_TELEMETRY_METRICS_H_

@@ -1,0 +1,284 @@
+#include "util/telemetry/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/telemetry/json_util.h"
+#include "util/telemetry/metrics.h"
+
+namespace landmark {
+
+namespace {
+
+Status SpecError(const std::string& spec, const std::string& why) {
+  return Status::InvalidArgument(
+      "bad --slo spec \"" + spec + "\": " + why +
+      " (expected NAME=METRIC,pQQ<THRESHOLD,window=SECONDS[,objective=F])");
+}
+
+Result<SloPolicy> ParseOneSpec(const std::string& spec) {
+  SloPolicy policy;
+  const std::vector<std::string> parts = Split(spec, ',');
+  if (parts.empty()) return SpecError(spec, "empty spec");
+
+  const std::string head = Trim(parts[0]);
+  const size_t eq = head.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= head.size()) {
+    return SpecError(spec, "first field must be NAME=METRIC");
+  }
+  policy.name = Trim(head.substr(0, eq));
+  policy.metric = Trim(head.substr(eq + 1));
+
+  bool saw_quantile = false;
+  bool saw_window = false;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string part = Trim(parts[i]);
+    if (part.empty()) return SpecError(spec, "empty field");
+    if (part[0] == 'p' || part[0] == 'P') {
+      const size_t lt = part.find('<');
+      if (lt == std::string::npos) {
+        return SpecError(spec, "quantile field must be pQQ<THRESHOLD");
+      }
+      const std::optional<double> percent =
+          ParseDouble(Trim(part.substr(1, lt - 1)));
+      const std::optional<double> threshold =
+          ParseDouble(Trim(part.substr(lt + 1)));
+      if (!percent.has_value() || *percent <= 0.0 || *percent >= 100.0) {
+        return SpecError(spec, "quantile percentage must be in (0, 100)");
+      }
+      if (!threshold.has_value() || *threshold <= 0.0) {
+        return SpecError(spec, "threshold must be positive");
+      }
+      policy.quantile = *percent / 100.0;
+      policy.threshold = *threshold;
+      saw_quantile = true;
+    } else if (StartsWith(part, "window=")) {
+      const std::optional<double> seconds =
+          ParseDouble(Trim(part.substr(7)));
+      if (!seconds.has_value() || *seconds <= 0.0) {
+        return SpecError(spec, "window seconds must be positive");
+      }
+      policy.window_seconds = *seconds;
+      saw_window = true;
+    } else if (StartsWith(part, "objective=")) {
+      const std::optional<double> objective =
+          ParseDouble(Trim(part.substr(10)));
+      if (!objective.has_value() || *objective <= 0.0 || *objective >= 1.0) {
+        return SpecError(spec, "objective must be in (0, 1)");
+      }
+      policy.objective = *objective;
+    } else {
+      return SpecError(spec, "unknown field \"" + part + "\"");
+    }
+  }
+  if (!saw_quantile) return SpecError(spec, "missing pQQ<THRESHOLD field");
+  if (!saw_window) return SpecError(spec, "missing window=SECONDS field");
+  return policy;
+}
+
+}  // namespace
+
+Result<std::vector<SloPolicy>> ParseSloSpecs(const std::string& text) {
+  std::vector<SloPolicy> policies;
+  for (const std::string& spec : Split(text, ';')) {
+    if (Trim(spec).empty()) continue;
+    SloPolicy policy;
+    LANDMARK_ASSIGN_OR_RETURN(policy, ParseOneSpec(Trim(spec)));
+    policies.push_back(std::move(policy));
+  }
+  if (policies.empty()) {
+    return Status::InvalidArgument("--slo flag given but no spec parsed");
+  }
+  return policies;
+}
+
+SloStatus EvaluateSloPolicy(const SloPolicy& policy,
+                            const std::vector<TimeseriesWindow>& windows) {
+  SloStatus status;
+  status.policy = policy;
+  if (windows.empty()) return status;
+
+  // Aggregate trailing windows from the newest back until the budget window
+  // is covered.
+  const uint64_t horizon_ns =
+      static_cast<uint64_t>(policy.window_seconds * 1e9);
+  const uint64_t newest_end = windows.back().end_ns;
+  std::array<uint64_t, Histogram::kNumBuckets> counts{};
+  for (size_t i = windows.size(); i-- > 0;) {
+    const TimeseriesWindow& window = windows[i];
+    if (newest_end - window.start_ns > horizon_ns) break;
+    for (const WindowHistogram& h : window.histograms) {
+      if (h.name != policy.metric) continue;
+      status.total += h.count_delta;
+      for (const auto& [bound, delta] : h.buckets) {
+        counts[Histogram::BucketIndexForBound(bound)] += delta;
+      }
+    }
+  }
+  if (status.total == 0) return status;
+  status.has_data = true;
+
+  // Observations past the last finite bound (~50 days for latencies in
+  // seconds) are over any realistic threshold; treating the overflow
+  // bucket's span as "all bad once the threshold is below its lower bound"
+  // keeps the estimate conservative without inventing a finite upper edge.
+  const double last_finite_bound =
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 2);
+  status.windowed_quantile =
+      WindowedQuantile(counts, status.total, last_finite_bound,
+                       policy.quantile);
+
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double count = static_cast<double>(counts[i]);
+    const double lower = i == 0 ? 0.0 : Histogram::BucketUpperBound(i - 1);
+    const double upper = Histogram::BucketUpperBound(i);
+    if (lower >= policy.threshold) {
+      status.bad += count;
+    } else if (upper <= policy.threshold) {
+      // entirely under the threshold
+    } else if (std::isinf(upper)) {
+      // Threshold inside the overflow bucket: see comment above.
+    } else {
+      status.bad += count * (upper - policy.threshold) / (upper - lower);
+    }
+  }
+  status.bad_fraction = status.bad / static_cast<double>(status.total);
+  const double allowed = std::max(1e-12, 1.0 - policy.objective);
+  status.burn_rate = status.bad_fraction / allowed;
+  status.budget_remaining = std::max(0.0, 1.0 - status.burn_rate);
+  return status;
+}
+
+SloRegistry& SloRegistry::Global() {
+  static SloRegistry* registry = new SloRegistry();
+  return *registry;
+}
+
+void SloRegistry::Register(const SloPolicy& policy) {
+  MutexLock lock(&mu_);
+  for (SloPolicy& existing : policies_) {
+    if (existing.name == policy.name) {
+      existing = policy;
+      return;
+    }
+  }
+  policies_.push_back(policy);
+}
+
+std::vector<SloPolicy> SloRegistry::Policies() const {
+  MutexLock lock(&mu_);
+  return policies_;
+}
+
+void SloRegistry::Evaluate(const std::vector<TimeseriesWindow>& windows) {
+  std::vector<SloPolicy> policies;
+  {
+    MutexLock lock(&mu_);
+    policies = policies_;
+  }
+  // Evaluation and gauge publication run outside mu_: GetGauge takes
+  // MetricsRegistry::mu_, and keeping this registry's lock a leaf keeps the
+  // lock-order graph simple.
+  std::vector<SloStatus> statuses;
+  statuses.reserve(policies.size());
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const SloPolicy& policy : policies) {
+    SloStatus status = EvaluateSloPolicy(policy, windows);
+    registry.GetGauge("slo/" + policy.name + "/burn_rate")
+        .Set(status.burn_rate);
+    registry.GetGauge("slo/" + policy.name + "/bad_fraction")
+        .Set(status.bad_fraction);
+    registry.GetGauge("slo/" + policy.name + "/windowed_quantile")
+        .Set(status.windowed_quantile);
+    registry.GetGauge("slo/" + policy.name + "/budget_remaining")
+        .Set(status.budget_remaining);
+    statuses.push_back(std::move(status));
+  }
+  MutexLock lock(&mu_);
+  statuses_ = std::move(statuses);
+}
+
+std::vector<SloStatus> SloRegistry::Statuses() const {
+  MutexLock lock(&mu_);
+  return statuses_;
+}
+
+std::string SloRegistry::StatusText() const {
+  std::vector<SloPolicy> policies;
+  std::vector<SloStatus> statuses;
+  {
+    MutexLock lock(&mu_);
+    policies = policies_;
+    statuses = statuses_;
+  }
+  std::string out = "landmark slos\n\n";
+  if (policies.empty()) {
+    out += "no policies registered (pass --slo to register one)\n";
+    return out;
+  }
+  if (statuses.empty()) {
+    out += "policies registered, not yet evaluated (collector has not "
+           "emitted a window)\n";
+  }
+  for (const SloStatus& status : statuses) {
+    const SloPolicy& p = status.policy;
+    out += p.name + ": p" + FormatDouble(p.quantile * 100.0, 1) + " of " +
+           p.metric + " < " + FormatDouble(p.threshold, 6) + "s over " +
+           FormatDouble(p.window_seconds, 0) + "s (objective " +
+           FormatDouble(p.objective, 4) + ")\n";
+    if (!status.has_data) {
+      out += "  no data in budget window\n";
+      continue;
+    }
+    out += "  windowed_quantile: " +
+           FormatDouble(status.windowed_quantile, 6) + "s\n";
+    out += "  observations: " + std::to_string(status.total) + " (bad " +
+           FormatDouble(status.bad, 2) + ", fraction " +
+           FormatDouble(status.bad_fraction, 6) + ")\n";
+    out += "  burn_rate: " + FormatDouble(status.burn_rate, 4) +
+           "  budget_remaining: " +
+           FormatDouble(status.budget_remaining, 4) + "\n";
+  }
+  return out;
+}
+
+std::string SloRegistry::StatusJson() const {
+  std::vector<SloStatus> statuses;
+  {
+    MutexLock lock(&mu_);
+    statuses = statuses_;
+  }
+  std::string out = "{\"slos\":[";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& status = statuses[i];
+    const SloPolicy& p = status.policy;
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(p.name) + "\"";
+    out += ",\"metric\":\"" + JsonEscape(p.metric) + "\"";
+    out += ",\"quantile\":" + JsonDouble(p.quantile);
+    out += ",\"threshold\":" + JsonDouble(p.threshold);
+    out += ",\"window_seconds\":" + JsonDouble(p.window_seconds);
+    out += ",\"objective\":" + JsonDouble(p.objective);
+    out += ",\"has_data\":" + std::string(status.has_data ? "true" : "false");
+    out += ",\"windowed_quantile\":" + JsonDouble(status.windowed_quantile);
+    out += ",\"total\":" + std::to_string(status.total);
+    out += ",\"bad\":" + JsonDouble(status.bad);
+    out += ",\"bad_fraction\":" + JsonDouble(status.bad_fraction);
+    out += ",\"burn_rate\":" + JsonDouble(status.burn_rate);
+    out += ",\"budget_remaining\":" + JsonDouble(status.budget_remaining);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void SloRegistry::Clear() {
+  MutexLock lock(&mu_);
+  policies_.clear();
+  statuses_.clear();
+}
+
+}  // namespace landmark

@@ -1,0 +1,126 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_SLO_H_
+#define LANDMARK_UTIL_TELEMETRY_SLO_H_
+
+/// SLO burn-rate tracking over the time-series windows
+/// (util/telemetry/timeseries.h). A declarative SloPolicy states a latency
+/// objective ("p95 of engine/unit/query_seconds stays under 50 ms, with a
+/// 99% objective over a 5-minute error-budget window"); the registry
+/// re-aggregates the trailing windows covering that budget window into a
+/// windowed distribution, estimates the fraction of observations over the
+/// threshold ("bad"), and reports the burn rate: bad_fraction divided by the
+/// allowed error fraction (1 - objective). Burn rate 1.0 means the budget is
+/// being spent exactly as fast as it accrues; above 1.0 the budget is
+/// burning down — the signal `landmark_serve` admission control will key on
+/// (ROADMAP.md north-star).
+///
+/// Policies arrive from the `--slo` flag (ParseSloSpecs grammar below);
+/// results are published as `slo/<name>/...` gauges, on `GET /sloz`, and via
+/// Statuses() for tests. Evaluation is read-only over window copies, so the
+/// determinism contract of the collector carries over unchanged.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/telemetry/timeseries.h"
+#include "util/thread_annotations.h"
+
+namespace landmark {
+
+/// \brief One declarative latency objective against a histogram metric.
+struct SloPolicy {
+  /// Short handle; names the `slo/<name>/...` gauges and the /sloz row.
+  std::string name;
+  /// Histogram metric the objective is stated over, e.g.
+  /// "engine/unit/query_seconds".
+  std::string metric;
+  /// Target quantile in (0, 1), e.g. 0.95 for "p95 < threshold".
+  double quantile = 0.95;
+  /// Inclusive threshold in the metric's unit (seconds for latencies).
+  double threshold = 0.0;
+  /// Error-budget window: how far back windows are aggregated.
+  double window_seconds = 300.0;
+  /// Fraction of observations that must be under the threshold, e.g. 0.99
+  /// allows 1% bad.
+  double objective = 0.99;
+};
+
+/// \brief Evaluation outcome for one policy over the trailing windows.
+struct SloStatus {
+  SloPolicy policy;
+  /// False when no window in the budget window moved the metric (burn rate
+  /// and quantile are meaningless zeros then).
+  bool has_data = false;
+  /// The policy quantile of the windowed distribution.
+  double windowed_quantile = 0.0;
+  /// Observations aggregated over the budget window.
+  uint64_t total = 0;
+  /// Estimated observations over the threshold (interpolated within the
+  /// straddling bucket, hence fractional).
+  double bad = 0.0;
+  /// bad / total (0 when total == 0).
+  double bad_fraction = 0.0;
+  /// bad_fraction / (1 - objective); 1.0 = spending the budget exactly as
+  /// fast as it accrues.
+  double burn_rate = 0.0;
+  /// max(0, 1 - burn_rate): 1.0 = untouched budget, 0.0 = exhausted.
+  double budget_remaining = 0.0;
+};
+
+/// Parses the `--slo` flag value: one or more `;`-separated policies, each
+///   NAME=METRIC,pQQ<THRESHOLD,window=SECONDS[,objective=F]
+/// e.g. `unit_query=engine/unit/query_seconds,p95<0.05,window=300` or with
+/// an explicit objective `...,window=60,objective=0.999`. QQ is the
+/// quantile percentage and may be fractional (p99.9). Policies are
+/// `;`-separated inside one flag value because the flag parser keeps only
+/// the last occurrence of a repeated flag.
+Result<std::vector<SloPolicy>> ParseSloSpecs(const std::string& text);
+
+/// Aggregates the trailing windows whose span covers `policy.window_seconds`
+/// (counted back from the newest window) and evaluates the policy over the
+/// summed bucket deltas. Pure function — the registry and tests share it.
+SloStatus EvaluateSloPolicy(const SloPolicy& policy,
+                            const std::vector<TimeseriesWindow>& windows);
+
+/// \brief Process-wide set of registered policies plus their most recent
+/// evaluation, behind `GET /sloz` and the `slo/*` gauges.
+class SloRegistry {
+ public:
+  static SloRegistry& Global();
+
+  SloRegistry() = default;
+  SloRegistry(const SloRegistry&) = delete;
+  SloRegistry& operator=(const SloRegistry&) = delete;
+
+  /// Registers (or, by name, replaces) one policy.
+  void Register(const SloPolicy& policy);
+  std::vector<SloPolicy> Policies() const;
+
+  /// Evaluates every registered policy over `windows`, publishes the
+  /// `slo/<name>/...` gauges, and retains the statuses for Statuses() and
+  /// the /sloz renderers. Called from the collector's observer hook
+  /// (TelemetryScope wiring), so it must not call back into the collector.
+  void Evaluate(const std::vector<TimeseriesWindow>& windows);
+
+  /// The most recent Evaluate() results (empty before the first call).
+  std::vector<SloStatus> Statuses() const;
+
+  /// `GET /sloz` human table.
+  std::string StatusText() const;
+  /// `GET /sloz?format=json`.
+  std::string StatusJson() const;
+
+  /// Drops policies and statuses (tests).
+  void Clear();
+
+ private:
+  mutable Mutex mu_{"SloRegistry::mu_"};
+  std::vector<SloPolicy> policies_ GUARDED_BY(mu_);
+  std::vector<SloStatus> statuses_ GUARDED_BY(mu_);
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_SLO_H_

@@ -15,6 +15,7 @@ TelemetryScope::TelemetryScope(TelemetryScopeOptions options)
     : options_(std::move(options)) {
   active_ = !options_.metrics_path.empty() || !options_.trace_path.empty() ||
             !options_.audit_path.empty() || !options_.profile_path.empty() ||
+            !options_.timeline_path.empty() || !options_.slo_spec.empty() ||
             options_.serve_metrics;
   if (!options_.trace_path.empty()) TraceRecorder::Global().Start();
   if (!options_.profile_path.empty()) SamplingProfiler::Global().Start();
@@ -43,6 +44,39 @@ TelemetryScope::TelemetryScope(TelemetryScopeOptions options)
       LANDMARK_LOG(Error) << exporter.status().ToString();
     }
   }
+  // Any time-series consumer — JSONL dump, SLO policies, or just a live
+  // /timelinez behind the exporter — arms the global collector.
+  if (!options_.timeline_path.empty() || !options_.slo_spec.empty() ||
+      options_.serve_metrics) {
+    if (!options_.slo_spec.empty()) {
+      Result<std::vector<SloPolicy>> policies =
+          ParseSloSpecs(options_.slo_spec);
+      if (policies.ok()) {
+        for (const SloPolicy& policy : *policies) {
+          SloRegistry::Global().Register(policy);
+        }
+      } else {
+        LANDMARK_LOG(Error) << policies.status().ToString();
+      }
+    }
+    TimeseriesOptions timeseries_options;
+    if (options_.timeline_period_seconds > 0.0) {
+      timeseries_options.period_ns = static_cast<uint64_t>(
+          options_.timeline_period_seconds * 1e9);
+    }
+    SnapshotCollector& collector = SnapshotCollector::Global();
+    collector.Configure(timeseries_options);
+    // The SLO hook rides the collector's observer list; attach it once per
+    // process (scopes come and go, the global collector does not).
+    static const bool slo_observer_attached = [] {
+      SnapshotCollector::Global().AddObserver([](const TimeseriesWindow&) {
+        SloRegistry::Global().Evaluate(SnapshotCollector::Global().Windows());
+      });
+      return true;
+    }();
+    (void)slo_observer_attached;
+    collector.Start();
+  }
 }
 
 TelemetryScope::TelemetryScope(std::string metrics_path,
@@ -66,6 +100,9 @@ TelemetryScope TelemetryScope::FromFlags(const Flags& flags) {
         static_cast<uint16_t>(flags.GetInt("metrics-port", 0));
   }
   options.linger_seconds = flags.GetDouble("metrics-linger", 0.0);
+  options.timeline_path = flags.GetString("timeline-out", "");
+  options.timeline_period_seconds = flags.GetDouble("timeline-period", 1.0);
+  options.slo_spec = flags.GetString("slo", "");
   return TelemetryScope(std::move(options));
 }
 
@@ -142,6 +179,27 @@ void TelemetryScope::Finish() {
     LANDMARK_LOG(Info) << "wrote " << audit_sink_->units_written()
                        << " audit records to " << options_.audit_path;
     audit_sink_.reset();  // flushes and closes the stream
+  }
+  if (!options_.timeline_path.empty() || !options_.slo_spec.empty() ||
+      options_.serve_metrics) {
+    SnapshotCollector& collector = SnapshotCollector::Global();
+    if (collector.running()) {
+      // One final synchronous window covering the tail of the run, then
+      // stop the thread. The ring survives Stop(), so /timelinez keeps
+      // serving the final windows through the linger below.
+      collector.TickOnce();
+      collector.Stop();
+    }
+    if (!options_.timeline_path.empty()) {
+      Status status = collector.WriteJsonl(options_.timeline_path);
+      if (status.ok()) {
+        LANDMARK_LOG(Info) << "wrote " << collector.Windows().size()
+                           << " timeline windows to "
+                           << options_.timeline_path;
+      } else {
+        LANDMARK_LOG(Error) << status.ToString();
+      }
+    }
   }
   if (exporter_ != nullptr) {
     if (options_.linger_seconds > 0.0) {

@@ -1,0 +1,462 @@
+#include "util/telemetry/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "util/string_util.h"
+#include "util/telemetry/flight_deck.h"
+#include "util/telemetry/json_util.h"
+#include "util/timer.h"
+
+namespace landmark {
+
+namespace {
+
+/// Handles into the global registry for the collector's own footprint
+/// (contract table in docs/architecture.md). The collector diffs the
+/// registry it reports into, so its own ticks show up on the timeline —
+/// which is the honest thing for an observability layer to do.
+struct TimeseriesMetrics {
+  Counter& ticks;
+  Histogram& collect_seconds;
+  Gauge& windows_retained;
+
+  static const TimeseriesMetrics& Get() {
+    static const TimeseriesMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return new TimeseriesMetrics{
+          registry.GetCounter("timeseries/ticks"),
+          registry.GetHistogram("timeseries/collect_seconds"),
+          registry.GetGauge("timeseries/windows_retained"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+/// Expands a snapshot's sparse (bound, count) bucket list back into the
+/// dense per-index array the delta math runs on.
+std::array<uint64_t, Histogram::kNumBuckets> DenseCounts(
+    const HistogramSnapshot& h) {
+  std::array<uint64_t, Histogram::kNumBuckets> counts{};
+  for (const auto& [bound, count] : h.buckets) {
+    counts[Histogram::BucketIndexForBound(bound)] += count;
+  }
+  return counts;
+}
+
+/// Everything that moved between `prev` and `current`. Counters are
+/// monotone by contract; a registry Reset() between ticks would make a
+/// delta negative, which clamps to zero (the validate_trace.py schema
+/// requires non-negative deltas).
+TimeseriesWindow DiffSnapshots(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& current,
+                               uint64_t start_ns, uint64_t end_ns,
+                               uint64_t index) {
+  TimeseriesWindow window;
+  window.index = index;
+  window.start_ns = start_ns;
+  window.end_ns = end_ns;
+  const double seconds = window.seconds();
+
+  // Both lists are name-sorted (MetricsRegistry::Snapshot iterates maps), so
+  // the diff is a two-pointer merge. A counter absent from `prev` was
+  // interned mid-window: its whole value is this window's delta.
+  size_t p = 0;
+  for (const auto& [name, value] : current.counters) {
+    while (p < prev.counters.size() && prev.counters[p].first < name) ++p;
+    uint64_t before = 0;
+    if (p < prev.counters.size() && prev.counters[p].first == name) {
+      before = prev.counters[p].second;
+    }
+    if (value <= before) continue;
+    WindowCounter counter;
+    counter.name = name;
+    counter.delta = value - before;
+    counter.rate =
+        seconds > 0.0 ? static_cast<double>(counter.delta) / seconds : 0.0;
+    window.counters.push_back(std::move(counter));
+  }
+
+  window.gauges.reserve(current.gauges.size());
+  for (const auto& [name, value] : current.gauges) {
+    window.gauges.push_back(WindowGauge{name, value});
+  }
+
+  for (const HistogramSnapshot& h : current.histograms) {
+    const HistogramSnapshot* before = prev.FindHistogram(h.name);
+    const uint64_t count_before = before != nullptr ? before->count : 0;
+    if (h.count <= count_before) continue;
+    WindowHistogram wh;
+    wh.name = h.name;
+    wh.count_delta = h.count - count_before;
+    const double sum_before = before != nullptr ? before->sum : 0.0;
+    wh.sum_delta = std::max(0.0, h.sum - sum_before);
+    std::array<uint64_t, Histogram::kNumBuckets> deltas = DenseCounts(h);
+    if (before != nullptr) {
+      const std::array<uint64_t, Histogram::kNumBuckets> prev_counts =
+          DenseCounts(*before);
+      for (size_t i = 0; i < deltas.size(); ++i) {
+        deltas[i] = deltas[i] > prev_counts[i] ? deltas[i] - prev_counts[i]
+                                               : 0;
+      }
+    }
+    wh.p50 = WindowedQuantile(deltas, wh.count_delta, h.max, 0.50);
+    wh.p95 = WindowedQuantile(deltas, wh.count_delta, h.max, 0.95);
+    wh.p99 = WindowedQuantile(deltas, wh.count_delta, h.max, 0.99);
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (deltas[i] > 0) {
+        wh.buckets.emplace_back(Histogram::BucketUpperBound(i), deltas[i]);
+      }
+    }
+    window.histograms.push_back(std::move(wh));
+  }
+  return window;
+}
+
+std::string WindowFieldsJson(const TimeseriesWindow& window) {
+  std::string out = "\"index\":" + std::to_string(window.index);
+  out += ",\"start_ns\":" + std::to_string(window.start_ns);
+  out += ",\"end_ns\":" + std::to_string(window.end_ns);
+  out += ",\"seconds\":" + JsonDouble(window.seconds());
+  out += ",\"counters\":[";
+  for (size_t i = 0; i < window.counters.size(); ++i) {
+    const WindowCounter& c = window.counters[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(c.name) + "\",\"delta\":" +
+           std::to_string(c.delta) + ",\"rate\":" + JsonDouble(c.rate) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < window.gauges.size(); ++i) {
+    const WindowGauge& g = window.gauges[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(g.name) + "\",\"value\":" +
+           JsonDouble(g.value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < window.histograms.size(); ++i) {
+    const WindowHistogram& h = window.histograms[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(h.name) + "\"";
+    out += ",\"count\":" + std::to_string(h.count_delta);
+    out += ",\"sum\":" + JsonDouble(h.sum_delta);
+    out += ",\"p50\":" + JsonDouble(h.p50);
+    out += ",\"p95\":" + JsonDouble(h.p95);
+    out += ",\"p99\":" + JsonDouble(h.p99);
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      out += "{\"le\":" + JsonDouble(h.buckets[b].first) + ",\"delta\":" +
+             std::to_string(h.buckets[b].second) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string BaseFieldsJson(const TimeseriesBase& base) {
+  std::string out = "\"start_ns\":" + std::to_string(base.start_ns);
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < base.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(base.counters[i].first) + "\":" +
+           std::to_string(base.counters[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+double WindowedQuantile(
+    const std::array<uint64_t, Histogram::kNumBuckets>& delta_counts,
+    uint64_t count, double max_hint, double quantile) {
+  if (count == 0) return 0.0;
+  double min = 0.0;
+  for (size_t i = 0; i < delta_counts.size(); ++i) {
+    if (delta_counts[i] == 0) continue;
+    min = i == 0 ? 0.0 : Histogram::BucketUpperBound(i - 1);
+    break;
+  }
+  double max = min;
+  for (size_t i = delta_counts.size(); i-- > 0;) {
+    if (delta_counts[i] == 0) continue;
+    const double upper = Histogram::BucketUpperBound(i);
+    max = std::isinf(upper) ? std::max(min, max_hint) : upper;
+    break;
+  }
+  return HistogramPercentileFromBuckets(delta_counts, count, min, max,
+                                        quantile);
+}
+
+SnapshotCollector& SnapshotCollector::Global() {
+  static SnapshotCollector* collector = new SnapshotCollector();
+  return *collector;
+}
+
+SnapshotCollector::SnapshotCollector(TimeseriesOptions options) {
+  MutexLock lock(&mu_);
+  options_ = options;
+}
+
+SnapshotCollector::~SnapshotCollector() { Stop(); }
+
+void SnapshotCollector::Configure(const TimeseriesOptions& options) {
+  MutexLock lock(&mu_);
+  options_ = options;
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+TimeseriesOptions SnapshotCollector::options() const {
+  MutexLock lock(&mu_);
+  return options_;
+}
+
+void SnapshotCollector::Start() {
+  MutexLock lifecycle(&lifecycle_mu_);
+  {
+    MutexLock lock(&mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  // Arm the base synchronously so a caller that starts the collector and
+  // immediately generates load never loses that load to an unarmed base.
+  TickOnce();
+  collector_ = std::thread([this] { CollectorLoop(); });  // landmark-lint: allow(raw-thread) the ticking cadence must survive a fully-stalled pool; parking it on a worker would stop the clock exactly when the timeline matters
+}
+
+void SnapshotCollector::Stop() {
+  MutexLock lifecycle(&lifecycle_mu_);
+  {
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  // landmark-lint: allow(lock-blocking) lifecycle_mu_ is held across the
+  // join deliberately: it serializes Start/Stop against each other, and the
+  // collector thread only ever takes mu_, which was released above.
+  if (collector_.joinable()) collector_.join();
+  MutexLock lock(&mu_);
+  running_ = false;
+  stop_requested_ = false;
+}
+
+bool SnapshotCollector::running() const {
+  MutexLock lock(&mu_);
+  return running_;
+}
+
+void SnapshotCollector::CollectorLoop() {
+  ActivityRegistry::Global().Local().SetRole("timeline-collector", 0);
+  std::unique_lock<Mutex> lock(mu_);
+  while (!stop_requested_) {
+    const uint64_t period_ns = options_.period_ns;
+    LANDMARK_BLOCKING_POINT_WAIT("SnapshotCollector::CollectorLoop/wait",
+                                 &mu_);
+    cv_.wait_for(lock, std::chrono::nanoseconds(period_ns));
+    if (stop_requested_) break;
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+  }
+}
+
+void SnapshotCollector::TickOnce() {
+  Timer timer;
+  const uint64_t now = FlightDeckNowNs();
+  MetricsSnapshot current = MetricsRegistry::Global().Snapshot();
+  TimeseriesWindow window;
+  bool emitted = false;
+  size_t retained = 0;
+  std::vector<Observer> observers;
+  {
+    MutexLock lock(&mu_);
+    if (!armed_) {
+      armed_ = true;
+      base_.start_ns = now;
+      base_.counters = current.counters;
+    } else {
+      window = DiffSnapshots(prev_, current, last_tick_ns_, now, ticks_);
+      ++ticks_;
+      while (ring_.size() >= std::max<size_t>(options_.capacity, 1)) {
+        ring_.erase(ring_.begin());
+        ++dropped_;
+      }
+      ring_.push_back(window);
+      emitted = true;
+      observers = observers_;
+    }
+    prev_ = std::move(current);
+    last_tick_ns_ = now;
+    retained = ring_.size();
+  }
+  const TimeseriesMetrics& metrics = TimeseriesMetrics::Get();
+  metrics.ticks.Add(1);
+  metrics.windows_retained.Set(static_cast<double>(retained));
+  metrics.collect_seconds.Record(timer.ElapsedSeconds());
+  if (emitted) {
+    for (const Observer& observer : observers) observer(window);
+  }
+}
+
+std::vector<TimeseriesWindow> SnapshotCollector::Windows() const {
+  MutexLock lock(&mu_);
+  return ring_;
+}
+
+TimeseriesBase SnapshotCollector::Base() const {
+  MutexLock lock(&mu_);
+  return base_;
+}
+
+uint64_t SnapshotCollector::ticks() const {
+  MutexLock lock(&mu_);
+  return ticks_;
+}
+
+uint64_t SnapshotCollector::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+bool SnapshotCollector::armed() const {
+  MutexLock lock(&mu_);
+  return armed_;
+}
+
+void SnapshotCollector::AddObserver(Observer observer) {
+  MutexLock lock(&mu_);
+  observers_.push_back(std::move(observer));
+}
+
+void SnapshotCollector::ResetForTest() {
+  Stop();
+  MutexLock lock(&mu_);
+  armed_ = false;
+  base_ = TimeseriesBase{};
+  prev_ = MetricsSnapshot{};
+  last_tick_ns_ = 0;
+  ticks_ = 0;
+  dropped_ = 0;
+  ring_.clear();
+  observers_.clear();
+}
+
+std::string SnapshotCollector::TimelinezText() const {
+  TimeseriesOptions options;
+  TimeseriesBase base;
+  std::vector<TimeseriesWindow> windows;
+  uint64_t total_ticks = 0;
+  uint64_t total_dropped = 0;
+  {
+    MutexLock lock(&mu_);
+    options = options_;
+    base = base_;
+    windows = ring_;
+    total_ticks = ticks_;
+    total_dropped = dropped_;
+  }
+  std::string out = "landmark timeline\n\n";
+  out += "period_seconds: " +
+         FormatDouble(static_cast<double>(options.period_ns) * 1e-9, 3) + "\n";
+  out += "capacity: " + std::to_string(options.capacity) + "\n";
+  out += "ticks: " + std::to_string(total_ticks) + "\n";
+  out += "retained: " + std::to_string(windows.size()) + "\n";
+  out += "dropped: " + std::to_string(total_dropped) + "\n";
+  out += "base_start_ns: " + std::to_string(base.start_ns) + "\n";
+  // The human table shows the newest windows; the full ring is one
+  // ?format=json (or --timeline-out) away.
+  constexpr size_t kTextWindows = 10;
+  const size_t first =
+      windows.size() > kTextWindows ? windows.size() - kTextWindows : 0;
+  if (first > 0) {
+    out += "(showing last " + std::to_string(windows.size() - first) + " of " +
+           std::to_string(windows.size()) + " retained windows)\n";
+  }
+  for (size_t i = first; i < windows.size(); ++i) {
+    const TimeseriesWindow& w = windows[i];
+    out += "\nwindow " + std::to_string(w.index) + " (" +
+           FormatDouble(w.seconds(), 3) + "s):\n";
+    for (const WindowCounter& c : w.counters) {
+      out += "  counter " + c.name + ": +" + std::to_string(c.delta) + " (" +
+             FormatDouble(c.rate, 3) + "/s)\n";
+    }
+    for (const WindowHistogram& h : w.histograms) {
+      out += "  histogram " + h.name + ": count=" +
+             std::to_string(h.count_delta) + " sum=" +
+             FormatDouble(h.sum_delta, 6) + " p50=" + FormatDouble(h.p50, 6) +
+             " p95=" + FormatDouble(h.p95, 6) + " p99=" +
+             FormatDouble(h.p99, 6) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string SnapshotCollector::TimelinezJson() const {
+  TimeseriesOptions options;
+  TimeseriesBase base;
+  std::vector<TimeseriesWindow> windows;
+  uint64_t total_ticks = 0;
+  uint64_t total_dropped = 0;
+  {
+    MutexLock lock(&mu_);
+    options = options_;
+    base = base_;
+    windows = ring_;
+    total_ticks = ticks_;
+    total_dropped = dropped_;
+  }
+  std::string out = "{\"period_seconds\":" +
+                    JsonDouble(static_cast<double>(options.period_ns) * 1e-9);
+  out += ",\"capacity\":" + std::to_string(options.capacity);
+  out += ",\"ticks\":" + std::to_string(total_ticks);
+  out += ",\"dropped\":" + std::to_string(total_dropped);
+  out += ",\"base\":{" + BaseFieldsJson(base) + "}";
+  out += ",\"windows\":[";
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{" + WindowFieldsJson(windows[i]) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status SnapshotCollector::WriteJsonl(const std::string& path) const {
+  TimeseriesOptions options;
+  TimeseriesBase base;
+  std::vector<TimeseriesWindow> windows;
+  uint64_t total_ticks = 0;
+  uint64_t total_dropped = 0;
+  {
+    MutexLock lock(&mu_);
+    options = options_;
+    base = base_;
+    windows = ring_;
+    total_ticks = ticks_;
+    total_dropped = dropped_;
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open timeline output file: " + path);
+  }
+  out << "{\"type\":\"timeline_base\",\"period_seconds\":"
+      << JsonDouble(static_cast<double>(options.period_ns) * 1e-9)
+      << ",\"capacity\":" << options.capacity << ",\"ticks\":" << total_ticks
+      << ",\"dropped\":" << total_dropped << "," << BaseFieldsJson(base)
+      << "}\n";
+  for (const TimeseriesWindow& window : windows) {
+    out << "{\"type\":\"window\"," << WindowFieldsJson(window) << "}\n";
+  }
+  if (!out.good()) {
+    return Status::IoError("write failed for timeline output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace landmark

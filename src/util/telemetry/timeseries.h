@@ -1,0 +1,204 @@
+#ifndef LANDMARK_UTIL_TELEMETRY_TIMESERIES_H_
+#define LANDMARK_UTIL_TELEMETRY_TIMESERIES_H_
+
+/// Time-series telemetry: the SnapshotCollector periodically diffs the
+/// global MetricsRegistry into fixed-capacity in-memory ring buffers of
+/// *windowed* deltas — per-counter rates, gauge samples, per-histogram
+/// bucket deltas with windowed p50/p95/p99 — so an operator can see what
+/// the process did over the last N seconds, not just since it started.
+/// Consumed by `GET /timelinez` on the HttpExporter, the `--timeline-out`
+/// JSONL dump in TelemetryScope, and the SLO burn-rate layer
+/// (util/telemetry/slo.h), which re-aggregates trailing windows into
+/// error-budget math.
+///
+/// Determinism contract: the collector only *reads* snapshot values (plus
+/// its own `timeseries/*` metrics), so explanations are bit-identical and
+/// audit streams byte-identical with the collector armed or not
+/// (tests/core/engine_timeline_test.cc). Timestamps come from the
+/// flight-deck clock (FlightDeckNowNs), which makes every windowing
+/// behaviour virtual-clock-testable via SetFlightDeckClockForTest — the
+/// same injection point the stall watchdog uses.
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/telemetry/metrics.h"
+#include "util/thread_annotations.h"
+
+namespace landmark {
+
+/// \brief Collector configuration. The period is real time (the background
+/// thread's cadence); window timestamps are deck-clock, so tests drive
+/// TickOnce() with a fake clock instead of racing the thread.
+struct TimeseriesOptions {
+  /// Tick cadence of the background thread (default 1 s).
+  uint64_t period_ns = 1000ull * 1000 * 1000;
+  /// Windows retained in the ring (default 5 minutes at a 1 s period).
+  size_t capacity = 300;
+};
+
+/// \brief One counter's movement over a window.
+struct WindowCounter {
+  std::string name;
+  uint64_t delta = 0;
+  /// delta / window seconds (0 when the window has zero width).
+  double rate = 0.0;
+};
+
+/// \brief One gauge sampled at the window's end.
+struct WindowGauge {
+  std::string name;
+  double value = 0.0;
+};
+
+/// \brief One histogram's movement over a window: the per-bucket count
+/// deltas (non-empty deltas only, as (inclusive upper bound, delta)) and
+/// quantiles estimated from those deltas alone — the window's latency
+/// distribution, not the process-cumulative one.
+struct WindowHistogram {
+  std::string name;
+  uint64_t count_delta = 0;
+  double sum_delta = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/// \brief Everything that moved between two consecutive collector ticks.
+/// Counters and histograms with zero delta are omitted; gauges are sampled
+/// unconditionally (a zero queue depth is information).
+struct TimeseriesWindow {
+  /// Monotone tick number (survives ring eviction, so window 7 stays
+  /// window 7 after windows 0-3 rotate out).
+  uint64_t index = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::vector<WindowCounter> counters;
+  std::vector<WindowGauge> gauges;
+  std::vector<WindowHistogram> histograms;
+
+  double seconds() const {
+    return end_ns <= start_ns ? 0.0
+                              : static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// \brief Counter values at the moment the collector armed, so
+/// base + sum(window deltas) == cumulative registry total is an exact,
+/// testable identity (delta-vs-cumulative exactness contract).
+struct TimeseriesBase {
+  uint64_t start_ns = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// Quantile over one window's bucket deltas, with the extrema estimated
+/// from the deltas themselves: the window minimum is bounded below by the
+/// first non-empty bucket's lower bound, the maximum above by the last
+/// non-empty bucket's upper bound (`max_hint` tightens the overflow
+/// bucket's infinite bound — pass the cumulative histogram max).
+double WindowedQuantile(const std::array<uint64_t, Histogram::kNumBuckets>&
+                            delta_counts,
+                        uint64_t count, double max_hint, double quantile);
+
+/// \brief Background diff-taker over the global MetricsRegistry.
+///
+/// One thread (started lazily by Start(), stopped idempotently by Stop())
+/// calls TickOnce() every period. The first tick arms the base snapshot and
+/// emits no window; every later tick appends one TimeseriesWindow to the
+/// ring and notifies observers. TickOnce() is also public and synchronous
+/// so tests — and TelemetryScope::Finish, which wants one final window
+/// covering the tail of the run — can drive collection deterministically
+/// without the thread.
+class SnapshotCollector {
+ public:
+  /// The process-wide collector behind /timelinez and --timeline-out.
+  static SnapshotCollector& Global();
+
+  explicit SnapshotCollector(TimeseriesOptions options = {});
+  SnapshotCollector(const SnapshotCollector&) = delete;
+  SnapshotCollector& operator=(const SnapshotCollector&) = delete;
+  ~SnapshotCollector();
+
+  /// Replaces the options. Takes effect for Start() calls and ring growth
+  /// from now on; no-op on the running thread's current wait.
+  void Configure(const TimeseriesOptions& options);
+  TimeseriesOptions options() const;
+
+  /// Arms the base (first tick) and starts the background thread. No-op
+  /// when already running.
+  void Start();
+  /// Stops and joins the thread. The base, ring and tick count survive, so
+  /// /timelinez keeps serving the final windows during --metrics-linger.
+  void Stop();
+  bool running() const;
+
+  /// One synchronous collection on the calling thread (see class comment).
+  void TickOnce();
+
+  /// The retained windows, oldest first.
+  std::vector<TimeseriesWindow> Windows() const;
+  TimeseriesBase Base() const;
+  /// Windows emitted so far (monotone; >= Windows().size()).
+  uint64_t ticks() const;
+  /// Windows evicted by ring rotation.
+  uint64_t dropped() const;
+  /// True once the base snapshot is armed (first TickOnce or Start).
+  bool armed() const;
+
+  /// Called after each emitted window, outside the collector's locks, on
+  /// the ticking thread. Observers must not call back into the collector's
+  /// mutating API; reading (Windows()) is fine. Used by TelemetryScope to
+  /// hook SLO evaluation without a timeseries → slo dependency.
+  using Observer = std::function<void(const TimeseriesWindow&)>;
+  void AddObserver(Observer observer);
+
+  /// Drops base, ring, tick count and observers (tests).
+  void ResetForTest();
+
+  /// `GET /timelinez` human table.
+  std::string TimelinezText() const;
+  /// `GET /timelinez?format=json`: {"period_seconds","capacity","ticks",
+  /// "dropped","base":{...},"windows":[...]} — the shape
+  /// scripts/validate_trace.py checks for the JSONL dump, minus the
+  /// line-orientation.
+  std::string TimelinezJson() const;
+  /// `--timeline-out` JSONL dump: one `{"type":"timeline_base",...}` line,
+  /// then one `{"type":"window",...}` line per retained window.
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  void CollectorLoop();
+
+  // Serializes Start/Stop (held across the join, which mu_ must not be) —
+  // the SamplingProfiler lifecycle pattern.
+  mutable Mutex lifecycle_mu_ ACQUIRED_BEFORE(mu_){"SnapshotCollector::lifecycle_mu_"};
+  std::thread collector_ GUARDED_BY(lifecycle_mu_);  // landmark-lint: allow(raw-thread) the ticking cadence must survive a fully-stalled pool; parking it on a worker would stop the clock exactly when the timeline matters
+
+  mutable Mutex mu_{"SnapshotCollector::mu_"};
+  std::condition_variable_any cv_;
+  TimeseriesOptions options_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  bool armed_ GUARDED_BY(mu_) = false;
+  TimeseriesBase base_ GUARDED_BY(mu_);
+  MetricsSnapshot prev_ GUARDED_BY(mu_);
+  uint64_t last_tick_ns_ GUARDED_BY(mu_) = 0;
+  uint64_t ticks_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::vector<TimeseriesWindow> ring_ GUARDED_BY(mu_);
+  std::vector<Observer> observers_ GUARDED_BY(mu_);
+};
+
+}  // namespace landmark
+
+#endif  // LANDMARK_UTIL_TELEMETRY_TIMESERIES_H_

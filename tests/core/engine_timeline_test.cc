@@ -1,0 +1,346 @@
+// Time-series telemetry around a real multi-threaded ExplainBatch: the
+// global SnapshotCollector (driven by the injectable deck clock and manual
+// TickOnce() calls) must emit one non-empty window per batch whose counter
+// deltas sum back to the cumulative registry totals, /timelinez and /sloz
+// must serve well-formed scrapes over the live exporter, OpenMetrics
+// exemplar ordinals must resolve to real --audit-out unit lines, and —
+// the tentpole contract — explanations plus the audit stream must be
+// byte-identical with the collector armed versus off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine/explainer_engine.h"
+#include "core/landmark_explainer.h"
+#include "datagen/magellan.h"
+#include "em/heuristic_model.h"
+#include "util/telemetry/audit.h"
+#include "util/telemetry/flight_deck.h"
+#include "util/telemetry/http_exporter.h"
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/slo.h"
+#include "util/telemetry/timeseries.h"
+
+namespace landmark {
+namespace {
+
+std::atomic<uint64_t> g_fake_now_ns{0};
+uint64_t FakeNow() { return g_fake_now_ns.load(std::memory_order_relaxed); }
+
+/// Scoped deck-clock override; restores the real clock on destruction so a
+/// failing test cannot poison its neighbors.
+class FakeClockScope {
+ public:
+  explicit FakeClockScope(uint64_t start_ns) {
+    g_fake_now_ns.store(start_ns, std::memory_order_relaxed);
+    SetFlightDeckClockForTest(&FakeNow);
+  }
+  ~FakeClockScope() { SetFlightDeckClockForTest(nullptr); }
+
+  void AdvanceSeconds(double seconds) {
+    g_fake_now_ns.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                            std::memory_order_relaxed);
+  }
+};
+
+const EmDataset& TestDataset() {
+  static const EmDataset* dataset = [] {
+    MagellanGenOptions gen;
+    gen.size_scale = 0.25;
+    return new EmDataset(
+        *GenerateMagellanDataset(*FindMagellanSpec("S-AG"), gen));
+  }();
+  return *dataset;
+}
+
+std::vector<const PairRecord*> TestPairs() {
+  const EmDataset& dataset = TestDataset();
+  std::vector<const PairRecord*> pairs;
+  for (size_t i = 0; i < 4 && i < dataset.size(); ++i) {
+    pairs.push_back(&dataset.pair(i));
+  }
+  return pairs;
+}
+
+uint64_t CounterDelta(const TimeseriesWindow& window,
+                      const std::string& name) {
+  for (const WindowCounter& c : window.counters) {
+    if (c.name == name) return c.delta;
+  }
+  return 0;
+}
+
+uint64_t BaseCounter(const TimeseriesBase& base, const std::string& name) {
+  for (const auto& [n, v] : base.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const WindowHistogram* FindWindowHistogram(const TimeseriesWindow& window,
+                                           const std::string& name) {
+  for (const WindowHistogram& h : window.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> UnitLines(const std::vector<std::string>& lines) {
+  std::vector<std::string> units;
+  for (const std::string& line : lines) {
+    if (line.rfind("{\"type\":\"unit\"", 0) == 0) units.push_back(line);
+  }
+  return units;
+}
+
+/// Every audit ordinal referenced from an OpenMetrics exemplar annotation.
+std::vector<uint64_t> ExemplarOrdinals(const std::string& body) {
+  std::vector<uint64_t> ordinals;
+  const std::string needle = "# {ordinal=\"";
+  for (size_t pos = body.find(needle); pos != std::string::npos;
+       pos = body.find(needle, pos + needle.size())) {
+    const size_t start = pos + needle.size();
+    const size_t end = body.find('"', start);
+    if (end == std::string::npos) break;
+    ordinals.push_back(std::stoull(body.substr(start, end - start)));
+  }
+  return ordinals;
+}
+
+void ExpectIdenticalResults(const EngineBatchResult& a,
+                            const EngineBatchResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << label;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i].ok(), b.results[i].ok())
+        << label << " record " << i;
+    if (!a.results[i].ok()) continue;
+    const std::vector<Explanation>& ea = *a.results[i];
+    const std::vector<Explanation>& eb = *b.results[i];
+    ASSERT_EQ(ea.size(), eb.size()) << label << " record " << i;
+    for (size_t e = 0; e < ea.size(); ++e) {
+      EXPECT_EQ(ea[e].model_prediction, eb[e].model_prediction)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_intercept, eb[e].surrogate_intercept)
+          << label << " record " << i << " explanation " << e;
+      EXPECT_EQ(ea[e].surrogate_r2, eb[e].surrogate_r2)
+          << label << " record " << i << " explanation " << e;
+      ASSERT_EQ(ea[e].token_weights.size(), eb[e].token_weights.size());
+      for (size_t t = 0; t < ea[e].token_weights.size(); ++t) {
+        EXPECT_EQ(ea[e].token_weights[t].weight,
+                  eb[e].token_weights[t].weight)
+            << label << " record " << i << " explanation " << e << " token "
+            << t;
+      }
+    }
+  }
+}
+
+TEST(EngineTimelineTest, WindowsCoverAMultiThreadedBatchEndToEnd) {
+  const JaccardEmModel model;
+  const std::vector<const PairRecord*> pairs = TestPairs();
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = 64;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+
+  FakeClockScope clock(123456789);
+  SnapshotCollector& collector = SnapshotCollector::Global();
+  collector.ResetForTest();
+  SloRegistry::Global().Clear();
+
+  // Exercise the real --slo grammar end to end.
+  Result<std::vector<SloPolicy>> policies = ParseSloSpecs(
+      "unit_q=engine/unit/query_seconds,p95<0.05,window=300");
+  ASSERT_TRUE(policies.ok()) << policies.status().ToString();
+  for (const SloPolicy& policy : *policies) {
+    SloRegistry::Global().Register(policy);
+  }
+
+  // Arm the base against whatever the registry already accumulated from
+  // other tests in this binary.
+  collector.TickOnce();
+  ASSERT_TRUE(collector.armed());
+  const uint64_t base_units =
+      BaseCounter(collector.Base(), "engine/units");
+
+  const std::string audit_path =
+      ::testing::TempDir() + "/engine_timeline_audit.jsonl";
+  auto sink = AuditSink::Open(audit_path);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.audit_sink = sink->get();
+  ExplainerEngine engine(options);
+
+  // Two batches, one collector window each.
+  EngineBatchResult first = engine.ExplainBatch(model, pairs, explainer);
+  clock.AdvanceSeconds(1.0);
+  collector.TickOnce();
+  EngineBatchResult second = engine.ExplainBatch(model, pairs, explainer);
+  clock.AdvanceSeconds(1.0);
+  collector.TickOnce();
+
+  const std::vector<TimeseriesWindow> windows = collector.Windows();
+  ASSERT_GE(windows.size(), 2u);
+  for (const TimeseriesWindow& window : windows) {
+    EXPECT_GT(window.end_ns, window.start_ns);
+    EXPECT_GT(CounterDelta(window, "engine/units"), 0u)
+        << "window " << window.index;
+    // The 4-thread batch runs the task-graph scheduler, so the per-unit
+    // stage histograms move inside each window.
+    const WindowHistogram* fit =
+        FindWindowHistogram(window, "engine/unit/fit_seconds");
+    ASSERT_NE(fit, nullptr) << "window " << window.index;
+    EXPECT_GT(fit->count_delta, 0u);
+    EXPECT_FALSE(fit->buckets.empty());
+    EXPECT_GT(fit->p95, 0.0);
+    EXPECT_LE(fit->p50, fit->p99);
+  }
+
+  // Delta exactness: base + every window's delta == the cumulative total.
+  uint64_t delta_sum = 0;
+  for (const TimeseriesWindow& window : windows) {
+    delta_sum += CounterDelta(window, "engine/units");
+  }
+  EXPECT_EQ(base_units + delta_sum,
+            MetricsRegistry::Global().GetCounter("engine/units").Value());
+
+  // SLO evaluation over the emitted windows publishes a finite burn rate.
+  SloRegistry::Global().Evaluate(windows);
+  const std::vector<SloStatus> statuses = SloRegistry::Global().Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].has_data);
+  EXPECT_TRUE(std::isfinite(statuses[0].burn_rate));
+  EXPECT_TRUE(std::isfinite(
+      MetricsRegistry::Global().GetGauge("slo/unit_q/burn_rate").Value()));
+
+  // Live scrapes: /timelinez (text + JSON) and /sloz (text + JSON).
+  auto exporter = HttpExporter::Start({});
+  ASSERT_TRUE(exporter.ok()) << exporter.status().ToString();
+  const uint16_t port = (*exporter)->port();
+
+  int status = 0;
+  auto timeline_json =
+      HttpGetLoopback(port, "/timelinez?format=json", &status);
+  ASSERT_TRUE(timeline_json.ok()) << timeline_json.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(timeline_json->find("\"windows\":["), std::string::npos);
+  EXPECT_NE(timeline_json->find("engine/units"), std::string::npos);
+
+  auto timeline_text = HttpGetLoopback(port, "/timelinez", &status);
+  ASSERT_TRUE(timeline_text.ok()) << timeline_text.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(timeline_text->find("landmark timeline"), std::string::npos);
+
+  auto sloz = HttpGetLoopback(port, "/sloz", &status);
+  ASSERT_TRUE(sloz.ok()) << sloz.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(sloz->find("unit_q"), std::string::npos);
+  EXPECT_NE(sloz->find("burn_rate"), std::string::npos);
+
+  auto sloz_json = HttpGetLoopback(port, "/sloz?format=json", &status);
+  ASSERT_TRUE(sloz_json.ok()) << sloz_json.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(sloz_json->find("\"burn_rate\":"), std::string::npos);
+
+  // OpenMetrics exposition carries exemplars whose audit ordinals resolve
+  // to real unit lines in this run's audit file. Ordinals count per sink,
+  // so flush ours and match against its lines; buckets last touched by an
+  // earlier test's sink may carry out-of-range ordinals — at least one
+  // must come from the batches above (they rewrote every bucket they hit).
+  sink->reset();
+  const std::vector<std::string> units = UnitLines(ReadLines(audit_path));
+  ASSERT_FALSE(units.empty());
+
+  auto openmetrics = HttpGetLoopback(
+      port, "/metrics", {"Accept: application/openmetrics-text"}, &status);
+  ASSERT_TRUE(openmetrics.ok()) << openmetrics.status().ToString();
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(openmetrics->find("# EOF"), std::string::npos);
+  const std::vector<uint64_t> ordinals = ExemplarOrdinals(*openmetrics);
+  ASSERT_FALSE(ordinals.empty());
+  bool resolved = false;
+  for (uint64_t ordinal : ordinals) {
+    if (ordinal >= units.size()) continue;
+    const std::string prefix =
+        "{\"type\":\"unit\",\"unit\":" + std::to_string(ordinal) + ",";
+    EXPECT_EQ(units[ordinal].rfind(prefix, 0), 0u) << units[ordinal];
+    resolved = true;
+  }
+  EXPECT_TRUE(resolved) << "no exemplar ordinal resolved to an audit line";
+
+  // The two batches were observed identically.
+  ExpectIdenticalResults(first, second, "first vs second batch");
+
+  SloRegistry::Global().Clear();
+  collector.ResetForTest();
+}
+
+TEST(EngineTimelineTest, ExplanationsBitIdenticalCollectorOnAndOff) {
+  const JaccardEmModel model;
+  const std::vector<const PairRecord*> pairs = TestPairs();
+  ExplainerOptions explainer_options;
+  explainer_options.num_samples = 64;
+  LandmarkExplainer explainer(GenerationStrategy::kDouble, explainer_options);
+
+  SnapshotCollector& collector = SnapshotCollector::Global();
+  collector.ResetForTest();
+
+  auto run = [&](const std::string& audit_path) {
+    auto sink = AuditSink::Open(audit_path);
+    EXPECT_TRUE(sink.ok()) << sink.status().ToString();
+    EngineOptions options;
+    options.num_threads = 4;
+    options.audit_sink = sink->get();
+    EngineBatchResult result =
+        ExplainerEngine(options).ExplainBatch(model, pairs, explainer);
+    sink->reset();  // flush before reading
+    return result;
+  };
+
+  // Collector off.
+  const std::string off_path =
+      ::testing::TempDir() + "/engine_timeline_off.jsonl";
+  EngineBatchResult off = run(off_path);
+
+  // Collector armed on a real 2 ms thread, ticking throughout the batch.
+  TimeseriesOptions timeseries_options;
+  timeseries_options.period_ns = 2000000;  // 2 ms
+  collector.Configure(timeseries_options);
+  collector.Start();
+  ASSERT_TRUE(collector.running());
+  const std::string on_path =
+      ::testing::TempDir() + "/engine_timeline_on.jsonl";
+  EngineBatchResult on = run(on_path);
+  collector.Stop();
+
+  ExpectIdenticalResults(off, on, "collector off vs on");
+  const std::vector<std::string> off_units = UnitLines(ReadLines(off_path));
+  const std::vector<std::string> on_units = UnitLines(ReadLines(on_path));
+  ASSERT_FALSE(off_units.empty());
+  ASSERT_EQ(off_units.size(), on_units.size());
+  for (size_t i = 0; i < off_units.size(); ++i) {
+    EXPECT_EQ(off_units[i], on_units[i]) << "unit " << i;
+  }
+
+  collector.ResetForTest();
+}
+
+}  // namespace
+}  // namespace landmark

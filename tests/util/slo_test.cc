@@ -1,0 +1,199 @@
+// SLO layer unit tests: the --slo spec grammar (goldens and rejection
+// messages), burn-rate goldens over synthetic time-series windows, budget
+// exhaustion, the trailing-window horizon, and gauge publication through
+// SloRegistry::Evaluate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/slo.h"
+#include "util/telemetry/timeseries.h"
+
+namespace landmark {
+namespace {
+
+/// One synthetic window moving `metric`: `buckets` holds (value-ish upper
+/// bound index, delta) pairs against the real histogram bucket grid.
+TimeseriesWindow MakeWindow(uint64_t index, uint64_t start_ns,
+                            uint64_t end_ns, const std::string& metric,
+                            const std::vector<std::pair<size_t, uint64_t>>&
+                                bucket_deltas) {
+  TimeseriesWindow window;
+  window.index = index;
+  window.start_ns = start_ns;
+  window.end_ns = end_ns;
+  WindowHistogram histogram;
+  histogram.name = metric;
+  for (const auto& [bucket, delta] : bucket_deltas) {
+    histogram.count_delta += delta;
+    histogram.buckets.emplace_back(Histogram::BucketUpperBound(bucket),
+                                   delta);
+  }
+  window.histograms.push_back(std::move(histogram));
+  return window;
+}
+
+TEST(ParseSloSpecsTest, FullSpecGolden) {
+  Result<std::vector<SloPolicy>> parsed = ParseSloSpecs(
+      "unit_q=engine/unit/query_seconds,p95<0.05,window=300,objective=0.999");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  const SloPolicy& policy = (*parsed)[0];
+  EXPECT_EQ(policy.name, "unit_q");
+  EXPECT_EQ(policy.metric, "engine/unit/query_seconds");
+  EXPECT_DOUBLE_EQ(policy.quantile, 0.95);
+  EXPECT_DOUBLE_EQ(policy.threshold, 0.05);
+  EXPECT_DOUBLE_EQ(policy.window_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(policy.objective, 0.999);
+}
+
+TEST(ParseSloSpecsTest, SemicolonSeparatesPoliciesInOneFlagValue) {
+  // The flag parser keeps only the last occurrence of a repeated flag, so
+  // multiple policies must share one --slo value.
+  Result<std::vector<SloPolicy>> parsed = ParseSloSpecs(
+      "a=m/one,p50<0.01,window=60; b=m/two,p99.9<1.5,window=120");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "a");
+  EXPECT_DOUBLE_EQ((*parsed)[0].quantile, 0.50);
+  EXPECT_EQ((*parsed)[1].name, "b");
+  EXPECT_DOUBLE_EQ((*parsed)[1].quantile, 0.999);
+  EXPECT_DOUBLE_EQ((*parsed)[1].threshold, 1.5);
+  // Default objective applies when omitted.
+  EXPECT_DOUBLE_EQ((*parsed)[1].objective, 0.99);
+}
+
+TEST(ParseSloSpecsTest, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           "",                                     // nothing parsed
+           "no_equals,p95<0.05,window=300",        // missing NAME=METRIC
+           "a=m,p95<0.05",                         // missing window
+           "a=m,window=300",                       // missing quantile
+           "a=m,p95<0.05,window=-3",               // negative window
+           "a=m,p0<0.05,window=300",               // quantile out of range
+           "a=m,p95<0.05,window=300,objective=2",  // objective out of range
+           "a=m,p95<0.05,window=300,bogus=1",      // unknown field
+       }) {
+    EXPECT_FALSE(ParseSloSpecs(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(EvaluateSloPolicyTest, BurnRateGolden) {
+  SloPolicy policy;
+  policy.name = "g";
+  policy.metric = "m/latency";
+  policy.quantile = 0.95;
+  // Threshold exactly on a bucket boundary: everything in buckets above
+  // index 20 is bad, everything at or below is good — no interpolation.
+  policy.threshold = Histogram::BucketUpperBound(20);
+  policy.window_seconds = 300.0;
+  policy.objective = 0.99;
+
+  // 98 good observations, 2 bad → bad_fraction 0.02, allowed 0.01,
+  // burn rate 2.0, budget exhausted.
+  const std::vector<TimeseriesWindow> windows = {
+      MakeWindow(0, 0, 1000000000ull, "m/latency", {{10, 98}, {22, 2}}),
+  };
+  const SloStatus status = EvaluateSloPolicy(policy, windows);
+  EXPECT_TRUE(status.has_data);
+  EXPECT_EQ(status.total, 100u);
+  EXPECT_NEAR(status.bad, 2.0, 1e-9);
+  EXPECT_NEAR(status.bad_fraction, 0.02, 1e-9);
+  EXPECT_NEAR(status.burn_rate, 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(status.budget_remaining, 0.0);
+  // The p95 sits in the good mass, under the threshold.
+  EXPECT_LE(status.windowed_quantile, policy.threshold);
+}
+
+TEST(EvaluateSloPolicyTest, ZeroBadBurnsNothing) {
+  SloPolicy policy;
+  policy.metric = "m/latency";
+  policy.threshold = Histogram::BucketUpperBound(30);
+  policy.window_seconds = 300.0;
+  const std::vector<TimeseriesWindow> windows = {
+      MakeWindow(0, 0, 1000000000ull, "m/latency", {{10, 50}}),
+  };
+  const SloStatus status = EvaluateSloPolicy(policy, windows);
+  EXPECT_TRUE(status.has_data);
+  EXPECT_DOUBLE_EQ(status.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(status.budget_remaining, 1.0);
+}
+
+TEST(EvaluateSloPolicyTest, TrailingHorizonExcludesOldWindows) {
+  SloPolicy policy;
+  policy.metric = "m/latency";
+  policy.threshold = Histogram::BucketUpperBound(5);
+  policy.window_seconds = 2.0;  // only the last two 1 s windows count
+
+  const uint64_t s = 1000000000ull;
+  // Old window: all bad. Recent windows: all good. A 2 s horizon must see
+  // only the good ones.
+  const std::vector<TimeseriesWindow> windows = {
+      MakeWindow(0, 0 * s, 1 * s, "m/latency", {{30, 100}}),
+      MakeWindow(1, 1 * s, 2 * s, "m/latency", {{2, 10}}),
+      MakeWindow(2, 2 * s, 3 * s, "m/latency", {{2, 10}}),
+  };
+  const SloStatus status = EvaluateSloPolicy(policy, windows);
+  EXPECT_EQ(status.total, 20u);
+  EXPECT_DOUBLE_EQ(status.bad, 0.0);
+  EXPECT_DOUBLE_EQ(status.burn_rate, 0.0);
+}
+
+TEST(EvaluateSloPolicyTest, NoDataInHorizon) {
+  SloPolicy policy;
+  policy.metric = "m/absent";
+  policy.threshold = 0.5;
+  const std::vector<TimeseriesWindow> windows = {
+      MakeWindow(0, 0, 1000000000ull, "m/latency", {{10, 50}}),
+  };
+  const SloStatus status = EvaluateSloPolicy(policy, windows);
+  EXPECT_FALSE(status.has_data);
+  EXPECT_EQ(status.total, 0u);
+  EXPECT_DOUBLE_EQ(status.burn_rate, 0.0);
+}
+
+TEST(SloRegistryTest, EvaluatePublishesGaugesAndStatuses) {
+  SloRegistry registry;
+  SloPolicy policy;
+  policy.name = "test_slo_gauges";
+  policy.metric = "m/latency";
+  policy.threshold = Histogram::BucketUpperBound(20);
+  policy.window_seconds = 300.0;
+  policy.objective = 0.99;
+  registry.Register(policy);
+  // Re-registering by name replaces, not duplicates.
+  registry.Register(policy);
+  EXPECT_EQ(registry.Policies().size(), 1u);
+
+  const std::vector<TimeseriesWindow> windows = {
+      MakeWindow(0, 0, 1000000000ull, "m/latency", {{10, 98}, {22, 2}}),
+  };
+  registry.Evaluate(windows);
+  const std::vector<SloStatus> statuses = registry.Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_NEAR(statuses[0].burn_rate, 2.0, 1e-6);
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  EXPECT_NEAR(metrics.GetGauge("slo/test_slo_gauges/burn_rate").Value(), 2.0,
+              1e-6);
+  EXPECT_NEAR(metrics.GetGauge("slo/test_slo_gauges/bad_fraction").Value(),
+              0.02, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge("slo/test_slo_gauges/budget_remaining").Value(), 0.0);
+
+  // Renderers mention the policy and the burn rate.
+  EXPECT_NE(registry.StatusText().find("test_slo_gauges"),
+            std::string::npos);
+  EXPECT_NE(registry.StatusJson().find("\"burn_rate\":"), std::string::npos);
+
+  registry.Clear();
+  EXPECT_TRUE(registry.Policies().empty());
+  EXPECT_TRUE(registry.Statuses().empty());
+}
+
+}  // namespace
+}  // namespace landmark

@@ -1,0 +1,306 @@
+// SnapshotCollector unit tests, driven entirely by the injectable deck
+// clock and synchronous TickOnce() calls — no real waiting: ring-buffer
+// rotation with monotone window indices, delta-vs-cumulative exactness
+// (base + sum of window deltas == registry total), windowed rates on a
+// virtual 2 s window, windowed histogram quantiles staying inside the one
+// bucket that moved, exemplar latest/peak retention, observer delivery,
+// the JSONL dump shape and one real Start/Stop thread smoke.
+//
+// The metrics registry is process-global and shared with every other test
+// in this binary, so each test works with uniquely-named metrics and
+// asserts only on names it owns.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/telemetry/flight_deck.h"
+#include "util/telemetry/metrics.h"
+#include "util/telemetry/timeseries.h"
+
+namespace landmark {
+namespace {
+
+std::atomic<uint64_t> g_fake_now_ns{0};
+uint64_t FakeNow() { return g_fake_now_ns.load(std::memory_order_relaxed); }
+
+/// Scoped deck-clock override; restores the real clock on destruction so a
+/// failing test cannot poison its neighbors.
+class FakeClockScope {
+ public:
+  explicit FakeClockScope(uint64_t start_ns) {
+    g_fake_now_ns.store(start_ns, std::memory_order_relaxed);
+    SetFlightDeckClockForTest(&FakeNow);
+  }
+  ~FakeClockScope() { SetFlightDeckClockForTest(nullptr); }
+
+  void AdvanceSeconds(double seconds) {
+    g_fake_now_ns.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                            std::memory_order_relaxed);
+  }
+};
+
+/// The window's delta for `name`, or 0 when the counter did not move.
+uint64_t CounterDelta(const TimeseriesWindow& window,
+                      const std::string& name) {
+  for (const WindowCounter& c : window.counters) {
+    if (c.name == name) return c.delta;
+  }
+  return 0;
+}
+
+const WindowHistogram* FindWindowHistogram(const TimeseriesWindow& window,
+                                           const std::string& name) {
+  for (const WindowHistogram& h : window.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(WindowedQuantileTest, SingleBucketStaysInsideItsBounds) {
+  std::array<uint64_t, Histogram::kNumBuckets> deltas{};
+  // 100 observations, all in the bucket whose range is
+  // (bounds[9], bounds[10]].
+  deltas[10] = 100;
+  const double lower = Histogram::BucketUpperBound(9);
+  const double upper = Histogram::BucketUpperBound(10);
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double value = WindowedQuantile(deltas, 100, 0.0, q);
+    EXPECT_GE(value, lower) << "q=" << q;
+    EXPECT_LE(value, upper) << "q=" << q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(WindowedQuantile(deltas, 100, 0.0, 0.5),
+            WindowedQuantile(deltas, 100, 0.0, 0.99));
+}
+
+TEST(WindowedQuantileTest, EmptyDeltasReturnZero) {
+  std::array<uint64_t, Histogram::kNumBuckets> deltas{};
+  EXPECT_EQ(WindowedQuantile(deltas, 0, 0.0, 0.95), 0.0);
+}
+
+TEST(SnapshotCollectorTest, FirstTickArmsBaseWithoutAWindow) {
+  FakeClockScope clock(1000);
+  SnapshotCollector collector;
+  EXPECT_FALSE(collector.armed());
+  collector.TickOnce();
+  EXPECT_TRUE(collector.armed());
+  EXPECT_EQ(collector.ticks(), 0u);
+  EXPECT_TRUE(collector.Windows().empty());
+  EXPECT_EQ(collector.Base().start_ns, 1000u);
+}
+
+TEST(SnapshotCollectorTest, DeltaPlusBaseEqualsCumulative) {
+  FakeClockScope clock(0);
+  Counter& counter = MetricsRegistry::Global().GetCounter(
+      "test/timeseries/exactness_total");
+  counter.Add(7);  // pre-existing value lands in the base, not a delta
+
+  SnapshotCollector collector;
+  collector.TickOnce();  // arm
+  const uint64_t base =
+      [&] {
+        for (const auto& [name, value] : collector.Base().counters) {
+          if (name == "test/timeseries/exactness_total") return value;
+        }
+        return uint64_t{0};
+      }();
+  EXPECT_EQ(base, 7u);
+
+  uint64_t delta_sum = 0;
+  for (uint64_t bump : {3u, 0u, 11u, 1u}) {
+    counter.Add(bump);
+    clock.AdvanceSeconds(1.0);
+    collector.TickOnce();
+  }
+  for (const TimeseriesWindow& window : collector.Windows()) {
+    delta_sum += CounterDelta(window, "test/timeseries/exactness_total");
+  }
+  EXPECT_EQ(base + delta_sum, counter.Value());
+  EXPECT_EQ(delta_sum, 15u);
+  // The zero-delta window omitted the counter entirely.
+  EXPECT_EQ(collector.Windows().size(), 4u);
+  EXPECT_EQ(CounterDelta(collector.Windows()[1],
+                         "test/timeseries/exactness_total"),
+            0u);
+}
+
+TEST(SnapshotCollectorTest, RingRotationKeepsMonotoneIndices) {
+  FakeClockScope clock(0);
+  TimeseriesOptions options;
+  options.capacity = 3;
+  SnapshotCollector collector(options);
+  collector.TickOnce();  // arm
+  for (int i = 0; i < 5; ++i) {
+    clock.AdvanceSeconds(1.0);
+    collector.TickOnce();
+  }
+  EXPECT_EQ(collector.ticks(), 5u);
+  EXPECT_EQ(collector.dropped(), 2u);
+  const std::vector<TimeseriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 3u);
+  // Window identity survives eviction: the retained windows are 2, 3, 4.
+  EXPECT_EQ(windows[0].index, 2u);
+  EXPECT_EQ(windows[1].index, 3u);
+  EXPECT_EQ(windows[2].index, 4u);
+  EXPECT_LT(windows[0].start_ns, windows[0].end_ns);
+  EXPECT_EQ(windows[0].end_ns, windows[1].start_ns);
+}
+
+TEST(SnapshotCollectorTest, RatesUseTheVirtualWindowLength) {
+  FakeClockScope clock(0);
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test/timeseries/rate_total");
+  SnapshotCollector collector;
+  collector.TickOnce();  // arm
+  counter.Add(10);
+  clock.AdvanceSeconds(2.0);
+  collector.TickOnce();
+  const std::vector<TimeseriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].seconds(), 2.0);
+  for (const WindowCounter& c : windows[0].counters) {
+    if (c.name != "test/timeseries/rate_total") continue;
+    EXPECT_EQ(c.delta, 10u);
+    EXPECT_DOUBLE_EQ(c.rate, 5.0);
+    return;
+  }
+  FAIL() << "counter missing from window";
+}
+
+TEST(SnapshotCollectorTest, WindowedHistogramQuantilesTrackTheWindow) {
+  FakeClockScope clock(0);
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test/timeseries/latency_seconds");
+  // Cumulative history in a *low* bucket, before the collector arms: the
+  // windowed quantiles must not see it.
+  for (int i = 0; i < 50; ++i) histogram.Record(2e-6);
+
+  SnapshotCollector collector;
+  collector.TickOnce();  // arm
+  // This window's observations all land in the bucket containing 1e-3.
+  for (int i = 0; i < 20; ++i) histogram.Record(1e-3);
+  clock.AdvanceSeconds(1.0);
+  collector.TickOnce();
+
+  const std::vector<TimeseriesWindow> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  const WindowHistogram* wh =
+      FindWindowHistogram(windows[0], "test/timeseries/latency_seconds");
+  ASSERT_NE(wh, nullptr);
+  EXPECT_EQ(wh->count_delta, 20u);
+  EXPECT_NEAR(wh->sum_delta, 20 * 1e-3, 1e-9);
+  // All three quantiles stay inside the single moved bucket — far above
+  // the 2e-6 mass that dominates the cumulative distribution.
+  const size_t bucket = Histogram::BucketIndexForBound(
+      wh->buckets.front().first);
+  const double lower = bucket == 0 ? 0.0 : Histogram::BucketUpperBound(
+                                               bucket - 1);
+  const double upper = Histogram::BucketUpperBound(bucket);
+  ASSERT_EQ(wh->buckets.size(), 1u);
+  for (double q : {wh->p50, wh->p95, wh->p99}) {
+    EXPECT_GE(q, lower);
+    EXPECT_LE(q, upper);
+  }
+  EXPECT_GT(wh->p50, 1e-4);
+}
+
+TEST(SnapshotCollectorTest, ObserversSeeEachEmittedWindow) {
+  FakeClockScope clock(0);
+  SnapshotCollector collector;
+  std::vector<uint64_t> seen;
+  collector.AddObserver(
+      [&seen](const TimeseriesWindow& window) {
+        seen.push_back(window.index);
+      });
+  collector.TickOnce();  // arm — no window, no callback
+  EXPECT_TRUE(seen.empty());
+  for (int i = 0; i < 3; ++i) {
+    clock.AdvanceSeconds(1.0);
+    collector.TickOnce();
+  }
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(SnapshotCollectorTest, JsonlDumpHasBaseAndWindowLines) {
+  FakeClockScope clock(0);
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test/timeseries/jsonl_total");
+  SnapshotCollector collector;
+  collector.TickOnce();  // arm
+  counter.Add(4);
+  clock.AdvanceSeconds(1.0);
+  collector.TickOnce();
+
+  const std::string path = ::testing::TempDir() + "/timeseries_test.jsonl";
+  ASSERT_TRUE(collector.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"type\":\"timeline_base\"", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("{\"type\":\"window\"", 0), 0u);
+  EXPECT_NE(lines[1].find("\"test/timeseries/jsonl_total\""),
+            std::string::npos);
+
+  // The /timelinez JSON shape mirrors the dump.
+  const std::string json = collector.TimelinezJson();
+  EXPECT_NE(json.find("\"windows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"base\":{"), std::string::npos);
+  // And the human table names the same counter.
+  EXPECT_NE(collector.TimelinezText().find("test/timeseries/jsonl_total"),
+            std::string::npos);
+}
+
+TEST(SnapshotCollectorTest, StartStopThreadSmoke) {
+  TimeseriesOptions options;
+  options.period_ns = 5ull * 1000 * 1000;  // 5 ms — real clock, real thread
+  SnapshotCollector collector(options);
+  collector.Start();
+  EXPECT_TRUE(collector.running());
+  EXPECT_TRUE(collector.armed());  // Start arms the base synchronously
+  collector.Stop();
+  EXPECT_FALSE(collector.running());
+  collector.Stop();  // idempotent
+  // The ring survives Stop (linger contract).
+  EXPECT_TRUE(collector.armed());
+}
+
+TEST(HistogramExemplarTest, LatestAndPeakPerBucket) {
+  Histogram& histogram = MetricsRegistry::Global().GetHistogram(
+      "test/timeseries/exemplar_seconds");
+  ExemplarContext first;
+  first.audit_ordinal = 41;
+  first.has_audit_ordinal = true;
+  first.record_id = 100;
+  ExemplarContext second;
+  second.audit_ordinal = 42;
+  second.has_audit_ordinal = true;
+  second.record_id = 200;
+  // Same bucket, second observation smaller: latest moves, peak stays.
+  LANDMARK_OBSERVE_WITH_EXEMPLAR(histogram, 1.9e-3, first);
+  LANDMARK_OBSERVE_WITH_EXEMPLAR(histogram, 1.1e-3, second);
+
+  const HistogramSnapshot snapshot =
+      histogram.Snapshot("test/timeseries/exemplar_seconds");
+  ASSERT_EQ(snapshot.exemplars.size(), 1u);
+  const BucketExemplars& bucket = snapshot.exemplars[0];
+  EXPECT_TRUE(bucket.latest.valid);
+  EXPECT_EQ(bucket.latest.audit_ordinal, 42u);
+  EXPECT_EQ(bucket.latest.record_id, 200);
+  EXPECT_DOUBLE_EQ(bucket.latest.value, 1.1e-3);
+  EXPECT_TRUE(bucket.peak.valid);
+  EXPECT_EQ(bucket.peak.audit_ordinal, 41u);
+  EXPECT_DOUBLE_EQ(bucket.peak.value, 1.9e-3);
+  // Reset drops the slots with the counts.
+  histogram.Reset();
+  EXPECT_TRUE(histogram.Snapshot("x").exemplars.empty());
+}
+
+}  // namespace
+}  // namespace landmark

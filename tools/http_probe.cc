@@ -2,14 +2,18 @@
 // scripts/check.sh exporter smoke stage (the CI image carries no curl).
 //
 //   http_probe PORT PATH [--expect-status N] [--expect-substring S]
+//                        [--accept TYPE]
 //
 // Prints the response body to stdout. Exits non-zero when the connection
 // fails, the status differs from --expect-status (default 200), or the
-// body misses --expect-substring / is empty.
+// body misses --expect-substring / is empty. --accept sends an Accept
+// request header, e.g. `--accept application/openmetrics-text` to ask
+// /metrics for the OpenMetrics exposition with exemplars.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "util/flags.h"
 #include "util/telemetry/http_exporter.h"
@@ -18,7 +22,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: http_probe PORT PATH [--expect-status N] "
-                 "[--expect-substring S]\n");
+                 "[--expect-substring S] [--accept TYPE]\n");
     return 2;
   }
   const int port = std::atoi(argv[1]);
@@ -37,10 +41,13 @@ int main(int argc, char** argv) {
       static_cast<int>(flags->GetInt("expect-status", 200));
   const std::string expect_substring =
       flags->GetString("expect-substring", "");
+  const std::string accept = flags->GetString("accept", "");
 
+  std::vector<std::string> headers;
+  if (!accept.empty()) headers.push_back("Accept: " + accept);
   int status_code = 0;
   landmark::Result<std::string> body = landmark::HttpGetLoopback(
-      static_cast<uint16_t>(port), path, &status_code);
+      static_cast<uint16_t>(port), path, headers, &status_code);
   if (!body.ok()) {
     std::fprintf(stderr, "http_probe: %s\n",
                  body.status().ToString().c_str());
